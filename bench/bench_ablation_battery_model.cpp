@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Ablation: the C/L/C battery model vs an ideal (lossless,
+ * rate-unlimited) battery. Quantifies how much the physical limits
+ * the paper models — efficiency loss, C-rate caps, DoD window —
+ * change coverage and required sizing.
+ */
+
+#include <iostream>
+
+#include "battery/clc_battery.h"
+#include "battery/ideal_battery.h"
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "scheduler/simulation_engine.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Ablation — C/L/C battery vs ideal storage",
+                  "physical limits (efficiency, C-rate, DoD) cost "
+                  "coverage; ignoring them undersizes batteries");
+
+    ExplorerConfig config;
+    config.ba_code = "PACE";
+    config.avg_dc_power_mw = 19.0;
+    const CarbonExplorer explorer(config);
+    const double dc = config.avg_dc_power_mw;
+
+    const TimeSeries supply =
+        explorer.coverageAnalyzer().supplyFor(4.0 * dc, 4.0 * dc);
+    const SimulationEngine engine(explorer.dcPower(), supply);
+
+    TextTable table("Coverage vs battery size, by battery model",
+                    {"Battery (h of compute)", "Ideal %", "C/L/C %",
+                     "C/L/C 80% DoD %", "Gap (ideal - CLC)"});
+    double max_gap = 0.0;
+    for (double hours : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+        const double mwh = hours * dc;
+
+        IdealBattery ideal(mwh);
+        SimulationConfig cfg;
+        cfg.capacity_cap_mw = explorer.dcPeakPowerMw();
+        cfg.battery = &ideal;
+        const double cov_ideal = engine.run(cfg).coverage_pct;
+
+        ClcBattery clc(mwh, BatteryChemistry::lithiumIronPhosphate());
+        cfg.battery = &clc;
+        const double cov_clc = engine.run(cfg).coverage_pct;
+
+        BatteryChemistry dod80 =
+            BatteryChemistry::lithiumIronPhosphate();
+        dod80.depth_of_discharge = 0.8;
+        ClcBattery clc80(mwh, dod80);
+        cfg.battery = &clc80;
+        const double cov_80 = engine.run(cfg).coverage_pct;
+
+        max_gap = std::max(max_gap, cov_ideal - cov_clc);
+        table.addRow({formatFixed(hours, 0), formatFixed(cov_ideal, 2),
+                      formatFixed(cov_clc, 2), formatFixed(cov_80, 2),
+                      formatFixed(cov_ideal - cov_clc, 2)});
+    }
+    table.print(std::cout);
+
+    // Sizing for a fixed target under each model.
+    const double target = 99.0;
+    auto sizeFor = [&](bool ideal_model) {
+        double lo = 0.0;
+        double hi = 200.0 * dc;
+        auto coverageAt = [&](double mwh) {
+            SimulationConfig cfg;
+            cfg.capacity_cap_mw = explorer.dcPeakPowerMw();
+            if (ideal_model) {
+                IdealBattery b(mwh);
+                cfg.battery = &b;
+                return engine.run(cfg).coverage_pct;
+            }
+            ClcBattery b(mwh,
+                         BatteryChemistry::lithiumIronPhosphate());
+            cfg.battery = &b;
+            return engine.run(cfg).coverage_pct;
+        };
+        if (coverageAt(hi) < target)
+            return -1.0;
+        for (int i = 0; i < 40; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            (coverageAt(mid) >= target ? hi : lo) = mid;
+        }
+        return hi;
+    };
+    const double mwh_ideal = sizeFor(true);
+    const double mwh_clc = sizeFor(false);
+    std::cout << "\nBattery for " << target
+              << "% coverage: ideal model "
+              << formatFixed(mwh_ideal / dc, 1) << " h, C/L/C "
+              << formatFixed(mwh_clc / dc, 1)
+              << " h — ignoring physics undersizes by "
+              << formatPercent(100.0 * (mwh_clc - mwh_ideal) /
+                               mwh_clc)
+              << "\n";
+
+    bench::shapeCheck(max_gap > 0.1,
+                      "physical limits measurably reduce coverage");
+    bench::shapeCheck(mwh_clc > mwh_ideal,
+                      "C/L/C model requires a larger battery for the "
+                      "same target");
+    return 0;
+}

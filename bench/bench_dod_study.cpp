@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Section 5.2's depth-of-discharge study: 80% DoD extends cycle life
+ * by 50% but needs ~43% larger batteries in the carbon-optimal
+ * configuration; net effect is a ~5% average total-carbon reduction,
+ * and DoD tuning is worth 3-9% across regions.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "datacenter/site.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Section 5.2 — Depth-of-discharge study",
+                  "80% DoD: +50% cycle life, larger optimal battery, "
+                  "a few percent lower total carbon");
+
+    TextTable table("Carbon-optimal renewables+battery per DoD",
+                    {"Site", "DoD %", "Battery MWh", "Cycles/yr",
+                     "Coverage %", "Total ktCO2/yr", "vs 100% DoD"});
+
+    // Per-site outcome of lowering DoD from 100%.
+    struct Outcome
+    {
+        double cycles_at_100 = 0.0;
+        double delta80_pct = 0.0;
+        double delta60_pct = 0.0;
+    };
+    std::vector<Outcome> outcomes;
+
+    for (const char *state : {"UT", "TX", "NC", "NE"}) {
+        const Site &site = SiteRegistry::instance().byState(state);
+        Outcome outcome;
+        double total_at_100 = 0.0;
+        for (double dod : {1.0, 0.8, 0.6}) {
+            ExplorerConfig config;
+            config.ba_code = site.ba_code;
+            config.avg_dc_power_mw = site.avg_dc_power_mw;
+            config.chemistry =
+                BatteryChemistry::lithiumIronPhosphate();
+            config.chemistry.depth_of_discharge = dod;
+            const CarbonExplorer explorer(config);
+            const DesignSpace space = DesignSpace::forDatacenter(
+                site.avg_dc_power_mw, 10.0, 6, 8, 1);
+            const Evaluation best =
+                explorer.optimize(space, Strategy::RenewableBattery)
+                    .best;
+            if (dod == 1.0) {
+                total_at_100 = best.totalKg();
+                outcome.cycles_at_100 = best.battery_cycles;
+            }
+            const double delta_pct =
+                100.0 * (best.totalKg() - total_at_100) /
+                total_at_100;
+            if (dod == 0.8)
+                outcome.delta80_pct = delta_pct;
+            if (dod == 0.6)
+                outcome.delta60_pct = delta_pct;
+            table.addRow(
+                {std::string(state), formatFixed(100.0 * dod, 0),
+                 formatFixed(best.point.battery_mwh, 0),
+                 formatFixed(best.battery_cycles, 0),
+                 formatFixed(best.coverage_pct, 1),
+                 formatFixed(KilogramsCo2(best.totalKg()).kilotons(),
+                             2),
+                 dod == 1.0 ? "-"
+                            : formatFixed(delta_pct, 1) + "%"});
+        }
+        outcomes.push_back(outcome);
+    }
+    table.print(std::cout);
+
+    // The paper reports ~5% average savings at 80% DoD because its
+    // optimal batteries cycle near-daily; ours cycle rarely in wind
+    // regions (calendar life dominates there), so the benefit only
+    // appears where cycling is frequent.
+    const Outcome *most_cycled = &outcomes.front();
+    bool sixty_never_beats_eighty = true;
+    for (const Outcome &o : outcomes) {
+        if (o.cycles_at_100 > most_cycled->cycles_at_100)
+            most_cycled = &o;
+        if (o.delta60_pct < o.delta80_pct - 1e-9)
+            sixty_never_beats_eighty = false;
+    }
+
+    std::cout << "\nCycle life: 3000 @ 100% DoD, 4500 @ 80% (+50%), "
+                 "10000 @ 60%\n"
+              << "Most-cycled site ("
+              << formatFixed(most_cycled->cycles_at_100, 0)
+              << " cycles/yr): 80% DoD changes total carbon by "
+              << formatFixed(most_cycled->delta80_pct, 1)
+              << "% (paper: about -5% when batteries cycle daily)\n";
+
+    bench::shapeCheck(most_cycled->delta80_pct < 1.0,
+                      "where the battery cycles heavily, 80% DoD "
+                      "roughly pays for itself or wins");
+    bench::shapeCheck(sixty_never_beats_eighty,
+                      "dropping to 60% DoD is counterproductive "
+                      "(paper: 'at some point shallower DoD becomes "
+                      "counterproductive')");
+    return 0;
+}

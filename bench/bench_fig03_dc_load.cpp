@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 3: diurnal datacenter CPU fluctuations and the power vs
+ * utilization correlation. Paper facts: Meta CPU swings ~20 points
+ * diurnally, fleet power max-min is only ~4%, and power is linear in
+ * utilization (energy-proportional with a high idle floor).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "datacenter/load_model.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Fig. 3 — Datacenter load characteristics",
+                  "~20-point diurnal CPU swing; ~4% power swing; "
+                  "linear power/utilization correlation");
+
+    LoadModelParams params;
+    params.avg_power_mw = 30.0;
+    const DatacenterLoadModel model(params);
+    const LoadTrace trace = model.generate(2020, 2020);
+
+    const auto util_day = trace.utilization.averageDayProfile();
+    const auto power_day = trace.power.averageDayProfile();
+
+    TextTable table("Average day (hourly means over the year)",
+                    {"Hour", "CPU util %", "Power MW", ""});
+    for (int hour = 0; hour < 24; ++hour) {
+        const auto h = static_cast<size_t>(hour);
+        table.addRow({std::to_string(hour),
+                      formatFixed(100.0 * util_day[h], 1),
+                      formatFixed(power_day[h], 2),
+                      asciiBar(util_day[h], 0.7, 30)});
+    }
+    table.print(std::cout);
+
+    double u_lo = 1.0, u_hi = 0.0, p_lo = 1e30, p_hi = 0.0;
+    for (int hour = 0; hour < 24; ++hour) {
+        const auto h = static_cast<size_t>(hour);
+        u_lo = std::min(u_lo, util_day[h]);
+        u_hi = std::max(u_hi, util_day[h]);
+        p_lo = std::min(p_lo, power_day[h]);
+        p_hi = std::max(p_hi, power_day[h]);
+    }
+    const double cpu_swing = 100.0 * (u_hi - u_lo);
+    const double power_swing = 100.0 * (p_hi - p_lo) / p_hi;
+
+    std::vector<double> u(trace.utilization.values().begin(),
+                          trace.utilization.values().end());
+    std::vector<double> p(trace.power.values().begin(),
+                          trace.power.values().end());
+    const double corr = pearsonCorrelation(u, p);
+    const LinearFit fit = linearFit(u, p);
+
+    std::cout << "\nDiurnal CPU swing:  " << formatFixed(cpu_swing, 1)
+              << " points (paper: ~20)\n"
+              << "Diurnal power swing: " << formatFixed(power_swing, 1)
+              << "% (paper: ~4%)\n"
+              << "Power/util correlation: " << formatFixed(corr, 4)
+              << ", linear fit P = " << formatFixed(fit.slope, 2)
+              << " * u + " << formatFixed(fit.intercept, 2)
+              << " MW (R^2 = " << formatFixed(fit.r2, 4) << ")\n"
+              << "Idle floor: "
+              << formatPercent(100.0 * model.idlePowerMw() /
+                               model.peakPowerMw())
+              << " of peak power\n";
+
+    bench::shapeCheck(cpu_swing > 15.0 && cpu_swing < 25.0,
+                      "CPU swing near 20 points");
+    bench::shapeCheck(power_swing > 2.0 && power_swing < 7.0,
+                      "power swing near 4%");
+    bench::shapeCheck(corr > 0.99, "power ~ linear in utilization");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 4: historical wind and solar curtailments in the California
+ * grid rising from 2015 to 2021 (to ~6% of renewable generation) as
+ * renewable capacity grows.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "grid/curtailment.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Fig. 4 — California curtailment build-out study",
+                  "curtailed fraction of renewable generation rises "
+                  "steadily 2015-2021, reaching ~6%");
+
+    CurtailmentStudyParams params;
+    const CurtailmentModel model(californiaProfile(), params);
+    const auto rows = model.run();
+
+    TextTable table("Curtailment by year",
+                    {"Year", "Fleet scale", "Renewable share %",
+                     "Solar curtail %", "Wind curtail %",
+                     "Total curtail %", ""});
+    std::vector<double> years;
+    std::vector<double> fracs;
+    for (const auto &row : rows) {
+        years.push_back(row.year);
+        fracs.push_back(row.total_curtail_frac);
+        table.addRow(
+            {std::to_string(row.year),
+             formatFixed(row.renewable_scale, 2),
+             formatFixed(100.0 * row.renewable_share, 1),
+             formatFixed(100.0 * row.solar_curtail_frac, 2),
+             formatFixed(100.0 * row.wind_curtail_frac, 2),
+             formatFixed(100.0 * row.total_curtail_frac, 2),
+             asciiBar(row.total_curtail_frac, 0.1, 30)});
+    }
+    table.print(std::cout);
+
+    const LinearFit trend = linearFit(years, fracs);
+    std::cout << "\nTrendline: " << formatFixed(100.0 * trend.slope, 3)
+              << " percentage points per year (R^2 = "
+              << formatFixed(trend.r2, 3) << ")\n";
+
+    bench::shapeCheck(trend.slope > 0.0,
+                      "curtailment trendline rises with build-out");
+    bench::shapeCheck(fracs.back() > 0.02 && fracs.back() < 0.20,
+                      "final-year curtailment in the few-percent "
+                      "range (paper: ~6% in 2021)");
+    bench::shapeCheck(rows.back().solar_curtail_frac >
+                          rows.back().wind_curtail_frac,
+                      "solar curtails more than wind (duck curve)");
+    return 0;
+}

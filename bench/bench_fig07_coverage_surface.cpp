@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fig. 7: 24/7 coverage with varying wind and solar investments for
+ * the three representative regions, with Meta's actual investment
+ * marked. Paper facts: solar-only regions plateau near 50%; hybrid
+ * regions climb highest; each region's grid dictates which axis pays.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "datacenter/site.h"
+
+namespace
+{
+
+using namespace carbonx;
+
+/** Print one region's coverage surface and return key corner values. */
+struct SurfaceSummary
+{
+    double at_meta;
+    double solar_only_max;
+    double full_corner;
+};
+
+SurfaceSummary
+printSurface(const std::string &state)
+{
+    const Site &site = SiteRegistry::instance().byState(state);
+    ExplorerConfig config;
+    config.ba_code = site.ba_code;
+    config.avg_dc_power_mw = site.avg_dc_power_mw;
+    const CarbonExplorer explorer(config);
+    const auto &cov = explorer.coverageAnalyzer();
+
+    std::cout << "\n--- " << site.location << " (" << site.ba_code
+              << "), AVG DC power " << site.avg_dc_power_mw
+              << " MW ---\n";
+
+    const double unit = site.avg_dc_power_mw;
+    std::vector<std::string> header = {"wind \\ solar (MW)"};
+    for (int s = 0; s <= 5; ++s)
+        header.push_back(formatFixed(4.0 * s * unit, 0));
+    TextTable table("Coverage % over (wind, solar) investment", header);
+    for (int w = 0; w <= 5; ++w) {
+        std::vector<std::string> row = {formatFixed(4.0 * w * unit, 0)};
+        for (int s = 0; s <= 5; ++s) {
+            row.push_back(formatFixed(
+                cov.coverage(4.0 * s * unit, 4.0 * w * unit), 1));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    SurfaceSummary out;
+    out.at_meta =
+        cov.coverage(site.solar_invest_mw, site.wind_invest_mw);
+    out.solar_only_max = cov.coverage(40.0 * unit, 0.0);
+    out.full_corner = cov.coverage(20.0 * unit, 20.0 * unit);
+    std::cout << "Meta's investment (S=" << site.solar_invest_mw
+              << ", W=" << site.wind_invest_mw
+              << " MW) covers: " << formatPercent(out.at_meta) << '\n';
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Fig. 7 — Coverage surface vs investments",
+                  "solar-only plateaus ~50%; wind/hybrid regions climb "
+                  "far higher; current investments leave a large "
+                  "hourly gap");
+
+    const SurfaceSummary orx = printSurface("OR");
+    const SurfaceSummary nc = printSurface("NC");
+    const SurfaceSummary ut = printSurface("UT");
+
+    std::cout << '\n';
+    bench::shapeCheck(nc.solar_only_max > 40.0 &&
+                          nc.solar_only_max < 60.0,
+                      "NC (solar-only) plateaus near 50%");
+    bench::shapeCheck(ut.full_corner > nc.full_corner,
+                      "hybrid UT outclimbs solar-only NC");
+    bench::shapeCheck(orx.at_meta < 60.0 && nc.at_meta < 60.0,
+                      "existing investments leave hourly coverage "
+                      "well below 100% (paper: 46% and 51%)");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 13: the Carbon Explorer pipeline end to end — hourly demand
+ * and supply in, operational+embodied minimization, carbon-optimal
+ * renewable / battery / server investments out.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "core/report.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Fig. 13 — Carbon Explorer pipeline",
+                  "inputs (hourly demand, supply, embodied params) -> "
+                  "exhaustive minimization -> optimal investments");
+
+    ExplorerConfig config;
+    config.ba_code = "PACE";
+    config.avg_dc_power_mw = 19.0;
+    config.flexible_ratio = 0.4;
+    const CarbonExplorer explorer(config);
+
+    std::cout << "Inputs:\n  demand: "
+              << formatFixed(explorer.dcPower().mean(), 1)
+              << " MW avg / " << formatFixed(explorer.dcPeakPowerMw(), 1)
+              << " MW peak hourly series ("
+              << explorer.dcPower().size() << " hours)\n  supply: "
+              << config.ba_code << " wind+solar shapes, grid intensity "
+              << formatFixed(explorer.gridIntensity().mean(), 0)
+              << " g/kWh mean\n  embodied: solar "
+              << config.renewable_embodied.solar_g_per_kwh
+              << " g/kWh, wind "
+              << config.renewable_embodied.wind_g_per_kwh
+              << " g/kWh, battery "
+              << config.chemistry.embodied_kg_per_kwh
+              << " kg/kWh, server "
+              << config.server_spec.embodied_kg_co2 << " kg x "
+              << config.server_spec.infrastructure_multiplier << "\n\n";
+
+    const DesignSpace space =
+        DesignSpace::forDatacenter(config.avg_dc_power_mw, 8.0, 7, 7,
+                                   5);
+    const OptimizationResult result =
+        explorer.optimize(space, Strategy::RenewableBatteryCas);
+
+    std::cout << "Output (carbon-optimal design over "
+              << result.evaluated.size() << " evaluated points):\n  "
+              << summarizeEvaluation(result.best) << '\n';
+    const Evaluation &b = result.best;
+    std::cout << "  solar " << formatFixed(b.point.solar_mw, 0)
+              << " MW, wind " << formatFixed(b.point.wind_mw, 0)
+              << " MW, battery " << formatFixed(b.point.battery_mwh, 0)
+              << " MWh, extra servers "
+              << formatPercent(100.0 * b.point.extra_capacity, 0)
+              << "\n\n";
+
+    const Evaluation nothing =
+        explorer.evaluate(DesignPoint{}, Strategy::RenewablesOnly);
+    bench::shapeCheck(b.totalKg() < nothing.totalKg(),
+                      "optimal design beats doing nothing");
+    bench::shapeCheck(b.coverage_pct > 80.0,
+                      "optimal design reaches high (if not full) "
+                      "coverage");
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Fig. 15 (the headline result): total carbon footprint of the
+ * carbon-optimal setting of each solution, per MW of DC capacity,
+ * for all thirteen sites grouped by region character. Coverage
+ * annotations mark which optima reach 100% 24/7.
+ *
+ * Paper facts to reproduce in shape:
+ *   - renewables-only incurs the highest footprint everywhere, with
+ *     optimal coverage between 37% and 97%;
+ *   - adding batteries cuts the total footprint dramatically;
+ *   - battery + CAS is the best overall and pushes optimal coverage
+ *     to ~99-100% for most regions (except lull-prone Oregon);
+ *   - wind/hybrid regions (NE, UT, TX) beat solar-only regions.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_util.h"
+#include "core/explorer.h"
+#include "datacenter/site.h"
+#include "grid/balancing_authority.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Fig. 15 — Optimal total footprint per MW, all sites",
+                  "renewables-only worst everywhere; batteries cut "
+                  "footprint by a large factor; +CAS best; 100% "
+                  "coverage optimal only with storage");
+
+    const std::array<Strategy, 4> strategies = {
+        Strategy::RenewablesOnly, Strategy::RenewableBattery,
+        Strategy::RenewableCas, Strategy::RenewableBatteryCas};
+
+    TextTable table(
+        "Total optimal footprint (tCO2/yr per MW of avg DC power); "
+        "'*' = 100% 24/7 coverage, otherwise coverage% annotated",
+        {"Site", "Type", "Ren only", "Ren+Batt", "Ren+CAS",
+         "Ren+Batt+CAS"});
+
+    struct Agg
+    {
+        double ren_only_cov_min = 100.0;
+        double ren_only_cov_max = 0.0;
+        int combined_full = 0;
+        int combined_above99 = 0;
+        int combined_above95 = 0;
+        bool ren_only_always_worst = true;
+        /** ren-only / ren+battery footprint ratio in solar regions. */
+        double solar_region_min_cut = 1e9;
+    } agg;
+
+    for (const Site &site : SiteRegistry::instance().all()) {
+        ExplorerConfig config;
+        config.ba_code = site.ba_code;
+        config.avg_dc_power_mw = site.avg_dc_power_mw;
+        config.flexible_ratio = 0.4;
+        const CarbonExplorer explorer(config);
+        const DesignSpace space = DesignSpace::forDatacenter(
+            site.avg_dc_power_mw, 12.0, 7, 7, 3);
+
+        std::map<Strategy, Evaluation> best;
+        for (Strategy s : strategies)
+            best.emplace(s, explorer.optimizeRefined(space, s).best);
+
+        auto cellFor = [&](Strategy s) {
+            const Evaluation &e = best.at(s);
+            const double per_mw =
+                e.totalKg() / 1000.0 / site.avg_dc_power_mw;
+            const std::string annotation = e.coverage_pct >= 99.95
+                ? "*"
+                : " (" + formatFixed(e.coverage_pct, 0) + "%)";
+            return formatFixed(per_mw, 1) + annotation;
+        };
+        const auto &profile =
+            BalancingAuthorityRegistry::instance().lookup(site.ba_code);
+        table.addRow({site.state + " " + site.location,
+                      renewableCharacterName(profile.character),
+                      cellFor(Strategy::RenewablesOnly),
+                      cellFor(Strategy::RenewableBattery),
+                      cellFor(Strategy::RenewableCas),
+                      cellFor(Strategy::RenewableBatteryCas)});
+
+        const Evaluation &ren = best.at(Strategy::RenewablesOnly);
+        const Evaluation &batt = best.at(Strategy::RenewableBattery);
+        const Evaluation &combo =
+            best.at(Strategy::RenewableBatteryCas);
+        agg.ren_only_cov_min =
+            std::min(agg.ren_only_cov_min, ren.coverage_pct);
+        agg.ren_only_cov_max =
+            std::max(agg.ren_only_cov_max, ren.coverage_pct);
+        if (combo.coverage_pct >= 99.95)
+            ++agg.combined_full;
+        if (combo.coverage_pct >= 99.0)
+            ++agg.combined_above99;
+        if (combo.coverage_pct >= 95.0)
+            ++agg.combined_above95;
+        for (Strategy s :
+             {Strategy::RenewableBattery, Strategy::RenewableCas,
+              Strategy::RenewableBatteryCas}) {
+            if (best.at(s).totalKg() > ren.totalKg())
+                agg.ren_only_always_worst = false;
+        }
+        if (profile.character == RenewableCharacter::MajorlySolar) {
+            agg.solar_region_min_cut = std::min(
+                agg.solar_region_min_cut,
+                ren.totalKg() / batt.totalKg());
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nRenewables-only optimal coverage range: "
+              << formatFixed(agg.ren_only_cov_min, 0) << "% to "
+              << formatFixed(agg.ren_only_cov_max, 0)
+              << "% (paper: 37% to 97%)\n"
+              << "Combined solution reaches 100% coverage at "
+              << agg.combined_full << " sites and >=99% at "
+              << agg.combined_above99 << " of 13 (paper: 100% at 5, "
+              << ">=99% everywhere except OR)\n";
+
+    bench::shapeCheck(agg.ren_only_always_worst,
+                      "renewables-only is never better than adding "
+                      "batteries or CAS");
+    bench::shapeCheck(agg.solar_region_min_cut > 1.5,
+                      "batteries cut the optimal footprint most in "
+                      "solar-only regions (paper: order of magnitude; "
+                      "ours >1.5x)");
+    bench::shapeCheck(agg.ren_only_cov_min < 75.0 &&
+                          agg.ren_only_cov_max > 90.0,
+                      "renewables-only optima span a wide coverage "
+                      "range");
+    bench::shapeCheck(agg.combined_above95 >= 10,
+                      "combined solution pushes nearly every region "
+                      "to very high optimal coverage (paper: >=99% "
+                      "everywhere but OR; ours: >=95% at 10+ sites — "
+                      "our synthetic weather tails are heavier)");
+    return 0;
+}

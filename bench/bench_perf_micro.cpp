@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the framework's hot paths:
+ * trace synthesis, coverage evaluation, the co-simulation engine,
+ * the greedy scheduler, and a full design-space search.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "battery/clc_battery.h"
+#include "core/coordinate_descent.h"
+#include "core/explorer.h"
+#include "grid/balancing_authority.h"
+#include "grid/grid_synthesizer.h"
+#include "scheduler/greedy_scheduler.h"
+#include "scheduler/simulation_engine.h"
+
+namespace
+{
+
+using namespace carbonx;
+
+const CarbonExplorer &
+sharedExplorer()
+{
+    static const CarbonExplorer explorer([] {
+        ExplorerConfig config;
+        config.ba_code = "PACE";
+        config.avg_dc_power_mw = 19.0;
+        config.flexible_ratio = 0.4;
+        return config;
+    }());
+    return explorer;
+}
+
+void
+BM_GridSynthesisYear(benchmark::State &state)
+{
+    const auto &profile =
+        BalancingAuthorityRegistry::instance().lookup("PACE");
+    const GridSynthesizer synth(profile, 2020);
+    for (auto _ : state) {
+        GridTrace trace = synth.synthesize(2020);
+        benchmark::DoNotOptimize(trace.intensity.total());
+    }
+}
+BENCHMARK(BM_GridSynthesisYear);
+
+void
+BM_CoverageEvaluation(benchmark::State &state)
+{
+    const auto &cov = sharedExplorer().coverageAnalyzer();
+    double solar = 50.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cov.coverage(solar, 80.0));
+        solar += 0.001; // Defeat caching.
+    }
+}
+BENCHMARK(BM_CoverageEvaluation);
+
+void
+BM_SimulationYearNoBattery(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const TimeSeries supply =
+        ex.coverageAnalyzer().supplyFor(80.0, 80.0);
+    const SimulationEngine engine(ex.dcPower(), supply);
+    SimulationConfig cfg;
+    cfg.capacity_cap_mw = ex.dcPeakPowerMw();
+    for (auto _ : state) {
+        SimulationResult r = engine.run(cfg);
+        benchmark::DoNotOptimize(r.coverage_pct);
+    }
+}
+BENCHMARK(BM_SimulationYearNoBattery);
+
+void
+BM_SimulationYearBatteryCas(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const TimeSeries supply =
+        ex.coverageAnalyzer().supplyFor(80.0, 80.0);
+    const SimulationEngine engine(ex.dcPower(), supply);
+    ClcBattery battery(150.0,
+                       BatteryChemistry::lithiumIronPhosphate());
+    SimulationConfig cfg;
+    cfg.capacity_cap_mw = 1.5 * ex.dcPeakPowerMw();
+    cfg.flexible_ratio = 0.4;
+    cfg.battery = &battery;
+    for (auto _ : state) {
+        SimulationResult r = engine.run(cfg);
+        benchmark::DoNotOptimize(r.coverage_pct);
+    }
+}
+BENCHMARK(BM_SimulationYearBatteryCas);
+
+void
+BM_GreedySchedulerYear(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 1.2 * ex.dcPeakPowerMw();
+    cfg.flexible_ratio = 0.4;
+    const GreedyCarbonScheduler scheduler(cfg);
+    for (auto _ : state) {
+        ScheduleResult r =
+            scheduler.schedule(ex.dcPower(), ex.gridIntensity());
+        benchmark::DoNotOptimize(r.moved_mwh);
+    }
+}
+BENCHMARK(BM_GreedySchedulerYear);
+
+void
+BM_WindowedSchedulerYear(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 1.2 * ex.dcPeakPowerMw();
+    cfg.flexible_ratio = 0.4;
+    cfg.slo_window_hours = 8.0;
+    const GreedyCarbonScheduler scheduler(cfg);
+    for (auto _ : state) {
+        ScheduleResult r =
+            scheduler.schedule(ex.dcPower(), ex.gridIntensity());
+        benchmark::DoNotOptimize(r.moved_mwh);
+    }
+}
+BENCHMARK(BM_WindowedSchedulerYear);
+
+void
+BM_OptimizeRenewablesOnly(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 8.0, 5, 3, 2);
+    for (auto _ : state) {
+        OptimizationResult r =
+            ex.optimize(space, Strategy::RenewablesOnly);
+        benchmark::DoNotOptimize(r.best.totalKg());
+    }
+}
+BENCHMARK(BM_OptimizeRenewablesOnly);
+
+void
+BM_CoordinateDescentCombined(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 8.0, 15, 15, 9);
+    CoordinateDescentConfig cfg;
+    cfg.restarts = 1;
+    const CoordinateDescentOptimizer cd(ex, cfg);
+    for (auto _ : state) {
+        CoordinateDescentResult r =
+            cd.optimize(space, Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.best.totalKg());
+    }
+}
+BENCHMARK(BM_CoordinateDescentCombined);
+
+void
+BM_BatteryYearOfHourlySteps(benchmark::State &state)
+{
+    ClcBattery battery(100.0,
+                       BatteryChemistry::lithiumIronPhosphate());
+    for (auto _ : state) {
+        battery.reset();
+        for (int h = 0; h < 8784; ++h) {
+            if (h % 2 == 0)
+                battery.charge(60.0, 1.0);
+            else
+                battery.discharge(60.0, 1.0);
+        }
+        benchmark::DoNotOptimize(battery.fullEquivalentCycles());
+    }
+}
+BENCHMARK(BM_BatteryYearOfHourlySteps);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Parameter sensitivity study (section 6): re-optimize the design at
+ * the low and high end of every published parameter range and report
+ * the swing in the optimal design and total carbon.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/sensitivity.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Section 6 — parameter sensitivity",
+                  "published ranges: solar 40-70 g/kWh, wind 10-15, "
+                  "battery 74-134 kg/kWh, server life 3-5 y, "
+                  "flexibility 20-60%");
+
+    ExplorerConfig base;
+    base.ba_code = "PACE";
+    base.avg_dc_power_mw = 19.0;
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 8.0, 6, 6, 3);
+    const SensitivityAnalysis analysis(
+        base, space, Strategy::RenewableBatteryCas);
+
+    TextTable table("Optimal design across parameter ranges (PACE)",
+                    {"Parameter", "Low", "High",
+                     "Total ktCO2 (low)", "Total ktCO2 (high)",
+                     "Swing %", "Coverage swing pp"});
+    double max_swing = 0.0;
+    for (const SensitivityRow &row :
+         analysis.runAll(SensitivityAnalysis::paperRanges())) {
+        max_swing = std::max(max_swing, row.totalSwingFraction());
+        table.addRow(
+            {row.parameter, formatFixed(row.low_value, 1),
+             formatFixed(row.high_value, 1),
+             formatFixed(KilogramsCo2(row.best_low.totalKg())
+                             .kilotons(),
+                         2),
+             formatFixed(KilogramsCo2(row.best_high.totalKg())
+                             .kilotons(),
+                         2),
+             formatFixed(100.0 * row.totalSwingFraction(), 1),
+             formatFixed(row.coverageSwingPoints(), 1)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nLargest optimal-total swing across any published "
+                 "range: "
+              << formatPercent(100.0 * max_swing, 1) << "\n";
+
+    bench::shapeCheck(max_swing > 0.005,
+                      "at least one published parameter range moves "
+                      "the optimum materially");
+    bench::shapeCheck(max_swing < 1.0,
+                      "no range flips the conclusion by more than 2x "
+                      "— the framework's findings are robust");
+    return 0;
+}

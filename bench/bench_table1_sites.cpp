@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 1: Meta's U.S. datacenter locations and regional renewable
+ * investments.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "datacenter/site.h"
+#include "grid/balancing_authority.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Table 1 — Datacenter locations and investments",
+                  "13 sites, 10 balancing authorities, 5754 MW of "
+                  "renewable investment");
+
+    const auto &reg = SiteRegistry::instance();
+    TextTable table("",
+                    {"#", "Location", "BA", "Solar MW", "Wind MW",
+                     "Total MW"});
+    for (const Site &s : reg.all()) {
+        table.addRow({std::to_string(s.index), s.location, s.ba_code,
+                      formatFixed(s.solar_invest_mw, 0),
+                      formatFixed(s.wind_invest_mw, 0),
+                      formatFixed(s.totalInvestMw(), 0)});
+    }
+    table.addRow({"", "Total", "",
+                  formatFixed(reg.totalSolarInvestMw(), 0),
+                  formatFixed(reg.totalWindInvestMw(), 0),
+                  formatFixed(reg.totalSolarInvestMw() +
+                                  reg.totalWindInvestMw(),
+                              0)});
+    table.print(std::cout);
+
+    // Count region characters, which section 3.2 summarizes as three
+    // wind, three solar, four mixed.
+    int wind = 0;
+    int solar = 0;
+    int hybrid = 0;
+    for (const auto &ba : BalancingAuthorityRegistry::instance().all()) {
+        switch (ba.character) {
+          case RenewableCharacter::MajorlyWind:
+            ++wind;
+            break;
+          case RenewableCharacter::MajorlySolar:
+            ++solar;
+            break;
+          case RenewableCharacter::Hybrid:
+            ++hybrid;
+            break;
+        }
+    }
+    std::cout << "\nBA characters: " << wind << " majorly wind, "
+              << solar << " majorly solar, " << hybrid << " hybrid\n";
+
+    bench::shapeCheck(reg.all().size() == 13, "thirteen sites");
+    bench::shapeCheck(reg.totalSolarInvestMw() +
+                              reg.totalWindInvestMw() ==
+                          5754.0,
+                      "total investment is 5754 MW");
+    bench::shapeCheck(wind == 3 && solar == 3 && hybrid == 4,
+                      "3 wind / 3 solar / 4 hybrid regions");
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 2: carbon efficiency of energy sources (gCO2eq/kWh).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "grid/fuels.h"
+
+int
+main()
+{
+    using namespace carbonx;
+    bench::banner("Table 2 — Carbon efficiency of energy sources",
+                  "wind 11, solar 41, water 24, nuclear 12, gas 490, "
+                  "coal 820, oil 650, other 230 gCO2eq/kWh");
+
+    TextTable table("", {"Type", "gCO2eq/kWh", "Carbon-free?"});
+    for (Fuel f : kAllFuels) {
+        table.addRow({fuelName(f),
+                      formatFixed(fuelIntensity(f).value(), 0),
+                      isCarbonFree(f) ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    bench::shapeCheck(fuelIntensity(Fuel::Wind).value() == 11.0 &&
+                          fuelIntensity(Fuel::Coal).value() == 820.0,
+                      "values match the paper exactly");
+    bench::shapeCheck(fuelIntensity(Fuel::Coal).value() >
+                          70.0 * fuelIntensity(Fuel::Wind).value(),
+                      "coal is ~75x dirtier than wind");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses. Every bench binary
+ * regenerates one table or figure of the paper and prints it in a
+ * uniform format: a banner naming the experiment, the regenerated
+ * rows/series, and a shape-check line summarizing how the result
+ * compares with what the paper reports.
+ */
+
+#ifndef CARBONX_BENCH_BENCH_UTIL_H
+#define CARBONX_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace carbonx::bench
+{
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::cout << "==============================================="
+                 "=================\n"
+              << experiment << '\n'
+              << "Paper: " << paper_claim << '\n'
+              << "==============================================="
+                 "=================\n";
+}
+
+/** Print a PASS/NOTE shape-check line. */
+inline void
+shapeCheck(bool holds, const std::string &what)
+{
+    std::cout << (holds ? "[SHAPE OK]   " : "[SHAPE NOTE] ") << what
+              << '\n';
+}
+
+} // namespace carbonx::bench
+
+#endif // CARBONX_BENCH_BENCH_UTIL_H

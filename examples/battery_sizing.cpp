@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Battery sizing: how much storage does 24/7 carbon-free operation
+ * take, and how do chemistries compare? (Paper sections 4.2 / 5.1.)
+ *
+ * Run:  ./build/examples/battery_sizing [BA_CODE] [AVG_DC_MW]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "battery/chemistry.h"
+#include "common/table.h"
+#include "core/explorer.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace carbonx;
+
+    ExplorerConfig config;
+    config.ba_code = argc > 1 ? argv[1] : "PACE";
+    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 19.0;
+    const double dc = config.avg_dc_power_mw;
+
+    std::cout << "Battery sizing for a " << dc << " MW datacenter on "
+              << config.ba_code << "\n\n";
+
+    const CarbonExplorer explorer(config);
+
+    // Sweep renewable oversizing and find the minimum battery that
+    // reaches (effectively) 100% hourly renewable coverage.
+    TextTable sizing("Minimum battery for 24/7 vs renewable investment",
+                     {"Renewables (x avg DC power)", "Solar MW",
+                      "Wind MW", "Coverage w/o battery %",
+                      "Battery MWh", "Battery (hours of compute)"});
+    for (double reach : {2.0, 4.0, 6.0, 8.0, 12.0}) {
+        const double solar = 0.5 * reach * dc;
+        const double wind = 0.5 * reach * dc;
+        const double cov =
+            explorer.coverageAnalyzer().coverage(solar, wind);
+        const double mwh = explorer.minimumBatteryForCoverage(
+            solar, wind, 99.99, 200.0 * dc);
+        sizing.addRow(
+            {formatFixed(reach, 0), formatFixed(solar, 0),
+             formatFixed(wind, 0), formatFixed(cov, 1),
+             mwh < 0.0 ? "unreachable" : formatFixed(mwh, 0),
+             mwh < 0.0 ? "-" : formatFixed(mwh / dc, 1)});
+    }
+    sizing.print(std::cout);
+
+    // Chemistry comparison at a fixed design point.
+    const DesignPoint point{3.0 * dc, 3.0 * dc, 8.0 * dc, 0.0};
+    TextTable chem_table(
+        "\nChemistry comparison at " + point.describe(),
+        {"Chemistry", "Coverage %", "Cycles/yr", "Embodied ktCO2/yr",
+         "Total ktCO2/yr"});
+    for (const BatteryChemistry &chem :
+         {BatteryChemistry::lithiumIronPhosphate(),
+          BatteryChemistry::nickelManganeseCobalt(),
+          BatteryChemistry::sodiumIon()}) {
+        ExplorerConfig cfg = config;
+        cfg.chemistry = chem;
+        const CarbonExplorer ex(cfg);
+        const Evaluation e =
+            ex.evaluate(point, Strategy::RenewableBattery);
+        chem_table.addRow(
+            {chem.name, formatFixed(e.coverage_pct, 1),
+             formatFixed(e.battery_cycles, 0),
+             formatFixed(KilogramsCo2(e.embodied_battery_kg).kilotons(),
+                         3),
+             formatFixed(KilogramsCo2(e.totalKg()).kilotons(), 3)});
+    }
+    chem_table.print(std::cout);
+
+    std::cout << "\nMixed solar+wind regions need only a few hours of "
+                 "storage; solar-only regions need to span the night.\n";
+    return 0;
+}

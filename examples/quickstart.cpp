@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: explore carbon-optimal designs for one datacenter.
+ *
+ * Builds a Carbon Explorer study for Meta's Utah datacenter (PACE
+ * balancing authority), evaluates all four strategies of the paper,
+ * and prints the carbon-optimal investment for each.
+ *
+ * Run:  ./build/examples/quickstart [BA_CODE] [AVG_DC_MW]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/explorer.h"
+#include "common/table.h"
+#include "core/report.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace carbonx;
+
+    ExplorerConfig config;
+    config.ba_code = argc > 1 ? argv[1] : "PACE";
+    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 19.0;
+    config.flexible_ratio = 0.4; // Paper's realistic flexible share.
+
+    std::cout << "Carbon Explorer quickstart\n"
+              << "  region: " << config.ba_code << ", datacenter: "
+              << config.avg_dc_power_mw << " MW average\n\n";
+
+    const CarbonExplorer explorer(config);
+
+    // 1. How green is the region's grid?
+    const TimeSeries &intensity = explorer.gridIntensity();
+    std::cout << "Grid carbon intensity: mean "
+              << formatFixed(intensity.mean(), 0) << " g/kWh, range ["
+              << formatFixed(intensity.min(), 0) << ", "
+              << formatFixed(intensity.max(), 0) << "]\n";
+
+    // 2. Coverage from a first renewable guess: 6x the DC's average
+    //    power, split between solar and wind.
+    const double guess = 6.0 * config.avg_dc_power_mw;
+    const double cov = explorer.coverageAnalyzer().coverage(
+        0.5 * guess, 0.5 * guess);
+    std::cout << "Coverage with " << guess << " MW of 50/50 "
+              << "renewables: " << formatPercent(cov) << "\n\n";
+
+    // 3. Optimize each strategy over the default design space.
+    const DesignSpace space =
+        DesignSpace::forDatacenter(config.avg_dc_power_mw, 8.0, 7, 7, 5);
+    std::vector<Evaluation> bests;
+    for (Strategy strategy :
+         {Strategy::RenewablesOnly, Strategy::RenewableBattery,
+          Strategy::RenewableCas, Strategy::RenewableBatteryCas}) {
+        const OptimizationResult result =
+            explorer.optimize(space, strategy);
+        bests.push_back(result.best);
+    }
+    printEvaluationTable(std::cout,
+                         "Carbon-optimal design per strategy", bests);
+
+    std::cout << "\nBest overall: "
+              << summarizeEvaluation(bests.back()) << "\n";
+    return 0;
+}

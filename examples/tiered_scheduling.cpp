@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tier-aware carbon scheduling: schedule the Fig. 10 workload mix —
+ * five tiers with SLO windows from +/-1 hour to a week — against a
+ * region's grid carbon intensity, and attribute the savings per tier.
+ *
+ * Run:  ./build/examples/tiered_scheduling [BA_CODE]
+ */
+
+#include <iostream>
+
+#include "carbon/operational.h"
+#include "common/table.h"
+#include "core/explorer.h"
+#include "scheduler/tiered_scheduler.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace carbonx;
+
+    ExplorerConfig config;
+    config.ba_code = argc > 1 ? argv[1] : "ERCO";
+    config.avg_dc_power_mw = 30.0;
+    const CarbonExplorer explorer(config);
+    const TimeSeries &load = explorer.dcPower();
+    const TimeSeries &intensity = explorer.gridIntensity();
+
+    const WorkloadMix mix = WorkloadMix::metaDataProcessing();
+    const double cap = 1.25 * explorer.dcPeakPowerMw();
+    const TieredScheduler scheduler(mix, cap);
+    const TieredScheduleResult result =
+        scheduler.schedule(load, intensity);
+
+    const double before =
+        OperationalCarbonModel::gridEmissions(load, intensity).value();
+    const double after = OperationalCarbonModel::gridEmissions(
+                             result.reshaped_power, intensity)
+                             .value();
+
+    std::cout << "Tier-aware scheduling on " << config.ba_code
+              << " (cap " << formatFixed(cap, 1) << " MW)\n\n";
+
+    TextTable table("Per-tier outcome",
+                    {"Tier", "Window h", "Share %", "Moved MWh",
+                     "MWh moved per share-point"});
+    for (const TierOutcome &t : result.tiers) {
+        table.addRow({t.tier_name,
+                      formatFixed(t.slo_window_hours, 0),
+                      formatFixed(100.0 * t.share, 1),
+                      formatFixed(t.moved_mwh, 0),
+                      t.share > 0.0
+                          ? formatFixed(t.moved_mwh /
+                                            (100.0 * t.share),
+                                        0)
+                          : "-"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTotal energy moved: "
+              << formatFixed(result.moved_mwh, 0) << " MWh, peak "
+              << formatFixed(result.peak_power_mw, 2)
+              << " MW\nAnnual grid-mix emissions: "
+              << formatFixed(KilogramsCo2(before).kilotons(), 1)
+              << " -> " << formatFixed(KilogramsCo2(after).kilotons(), 1)
+              << " ktCO2 ("
+              << formatPercent(100.0 * (before - after) / before)
+              << " saved)\n"
+              << "\nWide-window tiers do nearly all the work: the "
+                 "Tier 4 daily majority is what makes carbon-aware "
+                 "scheduling worthwhile.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Abstract battery interface (paper section 4.2).
+ *
+ * "The Carbon Explorer framework is designed to include a modular
+ * battery model that supports different storage technologies to be
+ * added through a simple API." This is that API: the simulation engine
+ * offers surplus renewable power to charge() and requests deficit
+ * power from discharge(); implementations decide how much they accept
+ * or deliver given their physical limits.
+ *
+ * Power convention: both calls use AC-terminal power in MW — what the
+ * grid/datacenter sees. Conversion losses happen inside the model.
+ */
+
+#ifndef CARBONX_BATTERY_BATTERY_MODEL_H
+#define CARBONX_BATTERY_BATTERY_MODEL_H
+
+#include <memory>
+#include <string>
+
+namespace carbonx
+{
+
+/** Abstract energy-storage model. */
+class BatteryModel
+{
+  public:
+    virtual ~BatteryModel() = default;
+
+    /** Nameplate energy capacity in MWh. */
+    virtual double capacityMwh() const = 0;
+
+    /** Current stored energy in MWh. */
+    virtual double energyContentMwh() const = 0;
+
+    /** State of charge in [0, 1]: content / capacity. */
+    virtual double stateOfCharge() const = 0;
+
+    /**
+     * Offer charging power for a timestep.
+     *
+     * @param offered_power_mw AC power available for charging (>= 0).
+     * @param dt_hours Timestep length in hours.
+     * @return AC power actually drawn (<= offered), limited by C-rate
+     *         and remaining headroom.
+     */
+    virtual double charge(double offered_power_mw, double dt_hours) = 0;
+
+    /**
+     * Request discharging power for a timestep.
+     *
+     * @param requested_power_mw AC power needed (>= 0).
+     * @param dt_hours Timestep length in hours.
+     * @return AC power actually delivered (<= requested), limited by
+     *         C-rate and usable stored energy.
+     */
+    virtual double discharge(double requested_power_mw,
+                             double dt_hours) = 0;
+
+    /** Restore the initial state and clear throughput counters. */
+    virtual void reset() = 0;
+
+    /** Total AC energy absorbed while charging (MWh since reset). */
+    virtual double totalChargedMwh() const = 0;
+
+    /** Total AC energy delivered while discharging (MWh since reset). */
+    virtual double totalDischargedMwh() const = 0;
+
+    /**
+     * Full-equivalent cycles since reset: discharged energy divided by
+     * usable capacity. Drives lifetime and embodied-carbon
+     * amortization.
+     */
+    virtual double fullEquivalentCycles() const = 0;
+
+    /** Human-readable model / chemistry description. */
+    virtual std::string description() const = 0;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_BATTERY_BATTERY_MODEL_H

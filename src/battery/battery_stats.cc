@@ -1,0 +1,138 @@
+#include "battery_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+namespace
+{
+
+/** Reduce a series to strictly alternating turning points. */
+std::vector<double>
+turningPoints(std::span<const double> series)
+{
+    std::vector<double> points;
+    for (double v : series) {
+        if (points.size() < 2) {
+            if (points.empty() || points.back() != v)
+                points.push_back(v);
+            continue;
+        }
+        const double prev = points[points.size() - 1];
+        const double before = points[points.size() - 2];
+        const bool rising = prev > before;
+        if ((rising && v >= prev) || (!rising && v <= prev)) {
+            points.back() = v; // Continue the current leg.
+        } else if (v != prev) {
+            points.push_back(v); // Direction change: new extremum.
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+std::vector<RainflowCycle>
+rainflowCount(std::span<const double> soc)
+{
+    std::vector<RainflowCycle> cycles;
+    const std::vector<double> points = turningPoints(soc);
+    if (points.size() < 2)
+        return cycles;
+
+    // ASTM E1049 rainflow: maintain a stack of turning points; when
+    // the most recent range is at least as large as the previous one,
+    // the previous range closes as a full cycle.
+    std::vector<double> stack;
+    for (double point : points) {
+        stack.push_back(point);
+        while (stack.size() >= 3) {
+            const size_t n = stack.size();
+            const double range_prev =
+                std::abs(stack[n - 2] - stack[n - 3]);
+            const double range_last =
+                std::abs(stack[n - 1] - stack[n - 2]);
+            if (range_last < range_prev)
+                break;
+            if (stack.size() == 3) {
+                // Leading residual: count as a half cycle.
+                cycles.push_back(RainflowCycle{range_prev, 0.5});
+                stack.erase(stack.begin());
+            } else {
+                cycles.push_back(RainflowCycle{range_prev, 1.0});
+                stack.erase(stack.end() - 3, stack.end() - 1);
+            }
+        }
+    }
+    // Trailing residual: half cycles.
+    for (size_t i = 1; i < stack.size(); ++i) {
+        cycles.push_back(
+            RainflowCycle{std::abs(stack[i] - stack[i - 1]), 0.5});
+    }
+    return cycles;
+}
+
+double
+minersDamage(const std::vector<RainflowCycle> &cycles,
+             const BatteryChemistry &chemistry, double min_depth)
+{
+    require(min_depth >= 0.0, "min depth must be >= 0");
+    double damage = 0.0;
+    for (const RainflowCycle &cycle : cycles) {
+        if (cycle.depth < min_depth)
+            continue;
+        const double rated =
+            chemistry.cyclesAtDod(std::min(cycle.depth, 1.0));
+        damage += cycle.count / rated;
+    }
+    return damage;
+}
+
+double
+damageLifetimeYears(double annual_damage,
+                    const BatteryChemistry &chemistry)
+{
+    require(annual_damage >= 0.0, "damage must be >= 0");
+    if (annual_damage <= 0.0)
+        return chemistry.calendar_life_years;
+    return std::min(1.0 / annual_damage,
+                    chemistry.calendar_life_years);
+}
+
+SocDutySummary
+summarizeSocDuty(std::span<const double> soc)
+{
+    SocDutySummary summary;
+    if (soc.empty())
+        return summary;
+
+    double sum = 0.0;
+    size_t full = 0;
+    size_t empty = 0;
+    for (double s : soc) {
+        sum += s;
+        if (s > 0.95)
+            ++full;
+        if (s < 0.05)
+            ++empty;
+    }
+    const double n = static_cast<double>(soc.size());
+    summary.mean_soc = sum / n;
+    summary.fraction_full = static_cast<double>(full) / n;
+    summary.fraction_empty = static_cast<double>(empty) / n;
+
+    const std::vector<RainflowCycle> cycles = rainflowCount(soc);
+    summary.cycle_count = cycles.size();
+    for (const RainflowCycle &cycle : cycles) {
+        summary.deepest_cycle =
+            std::max(summary.deepest_cycle, cycle.depth);
+        summary.full_equivalent_cycles += cycle.depth * cycle.count;
+    }
+    return summary;
+}
+
+} // namespace carbonx

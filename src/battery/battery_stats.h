@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Battery usage statistics and rainflow-based degradation analysis.
+ *
+ * The paper estimates battery lifetime from full-equivalent cycles at
+ * a fixed depth of discharge. Real duty cycles mix shallow and deep
+ * swings, and battery aging literature (which the paper cites for
+ * charge-discharge management) weighs each swing by its depth. This
+ * module extracts cycles from a state-of-charge series with the
+ * classic rainflow counting algorithm and combines them with the
+ * chemistry's DoD -> cycle-life curve into a Miner's-rule damage
+ * estimate, giving a duty-aware lifetime.
+ */
+
+#ifndef CARBONX_BATTERY_BATTERY_STATS_H
+#define CARBONX_BATTERY_BATTERY_STATS_H
+
+#include <span>
+#include <vector>
+
+#include "battery/chemistry.h"
+
+namespace carbonx
+{
+
+/** One extracted cycle: a SoC swing and its weight. */
+struct RainflowCycle
+{
+    double depth;  ///< SoC swing magnitude in [0, 1].
+    double count;  ///< 1.0 for a full cycle, 0.5 for a half cycle.
+};
+
+/**
+ * Rainflow cycle counting (ASTM E1049 three-point method) over a
+ * state-of-charge series in [0, 1]. The series is first reduced to
+ * its turning points; full cycles are extracted against a stack and
+ * the residual contributes half cycles.
+ */
+std::vector<RainflowCycle>
+rainflowCount(std::span<const double> soc);
+
+/**
+ * Miner's-rule damage of a set of cycles under a chemistry's
+ * DoD -> cycle-life curve: damage = sum(count_i / N(depth_i)).
+ * Cycles shallower than @p min_depth are ignored (they contribute
+ * negligibly and the life curve is not calibrated there).
+ *
+ * @return Fractional life consumed; 1.0 means end of life.
+ */
+double minersDamage(const std::vector<RainflowCycle> &cycles,
+                    const BatteryChemistry &chemistry,
+                    double min_depth = 0.01);
+
+/**
+ * Duty-aware lifetime in years given the damage accumulated over one
+ * simulated year, capped by the chemistry's calendar life.
+ */
+double damageLifetimeYears(double annual_damage,
+                           const BatteryChemistry &chemistry);
+
+/** Aggregate duty statistics of a SoC series. */
+struct SocDutySummary
+{
+    double mean_soc = 0.0;
+    double fraction_full = 0.0;    ///< Share of hours with SoC > 0.95.
+    double fraction_empty = 0.0;   ///< Share of hours with SoC < 0.05.
+    double deepest_cycle = 0.0;    ///< Largest rainflow depth.
+    double full_equivalent_cycles = 0.0; ///< Sum of depth x count.
+    size_t cycle_count = 0;        ///< Number of extracted cycles.
+};
+
+/** Summarize a SoC series' duty (drives the Fig. 16 analysis). */
+SocDutySummary summarizeSocDuty(std::span<const double> soc);
+
+} // namespace carbonx
+
+#endif // CARBONX_BATTERY_BATTERY_STATS_H

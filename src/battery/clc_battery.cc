@@ -1,0 +1,129 @@
+#include "clc_battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+ClcBattery::ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
+                       double initial_soc)
+    : capacity_mwh_(capacity_mwh), chemistry_(std::move(chemistry)),
+      charged_mwh_(0.0), discharged_mwh_(0.0)
+{
+    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    require(chemistry_.charge_efficiency > 0.0 &&
+                chemistry_.charge_efficiency <= 1.0,
+            "charge efficiency must be in (0, 1]");
+    require(chemistry_.discharge_efficiency > 0.0 &&
+                chemistry_.discharge_efficiency <= 1.0,
+            "discharge efficiency must be in (0, 1]");
+    require(chemistry_.max_charge_c_rate > 0.0 &&
+                chemistry_.max_discharge_c_rate > 0.0,
+            "C-rates must be positive");
+    require(chemistry_.depth_of_discharge > 0.0 &&
+                chemistry_.depth_of_discharge <= 1.0,
+            "depth of discharge must be in (0, 1]");
+
+    const double min_soc = 1.0 - chemistry_.depth_of_discharge;
+    double soc = initial_soc;
+    if (soc < 0.0)
+        soc = min_soc; // Default: start at the empty end of the window.
+    require(soc >= min_soc - 1e-9 && soc <= 1.0 + 1e-9,
+            "initial SoC outside the DoD window");
+    initial_content_mwh_ = capacity_mwh_ * std::clamp(soc, min_soc, 1.0);
+    content_mwh_ = initial_content_mwh_;
+}
+
+double
+ClcBattery::stateOfCharge() const
+{
+    return capacity_mwh_ > 0.0 ? content_mwh_ / capacity_mwh_ : 0.0;
+}
+
+double
+ClcBattery::usableCapacityMwh() const
+{
+    return capacity_mwh_ * chemistry_.depth_of_discharge;
+}
+
+double
+ClcBattery::minContentMwh() const
+{
+    return capacity_mwh_ * (1.0 - chemistry_.depth_of_discharge);
+}
+
+double
+ClcBattery::charge(double offered_power_mw, double dt_hours)
+{
+    require(offered_power_mw >= 0.0, "charge power must be >= 0");
+    require(dt_hours > 0.0, "timestep must be positive");
+    if (capacity_mwh_ <= 0.0 || offered_power_mw <= 0.0)
+        return 0.0;
+
+    // C-rate power cap (applied at the AC terminal, per the C/L/C
+    // model's linear charging limit).
+    const double rate_cap = chemistry_.max_charge_c_rate * capacity_mwh_;
+    // Headroom cap: cannot exceed nameplate content after losses.
+    const double headroom = std::max(capacity_mwh_ - content_mwh_, 0.0);
+    const double headroom_cap =
+        headroom / (chemistry_.charge_efficiency * dt_hours);
+
+    const double accepted =
+        std::min({offered_power_mw, rate_cap, headroom_cap});
+    content_mwh_ += accepted * dt_hours * chemistry_.charge_efficiency;
+    content_mwh_ = std::min(content_mwh_, capacity_mwh_);
+    charged_mwh_ += accepted * dt_hours;
+    return accepted;
+}
+
+double
+ClcBattery::discharge(double requested_power_mw, double dt_hours)
+{
+    require(requested_power_mw >= 0.0, "discharge power must be >= 0");
+    require(dt_hours > 0.0, "timestep must be positive");
+    if (capacity_mwh_ <= 0.0 || requested_power_mw <= 0.0)
+        return 0.0;
+
+    const double rate_cap =
+        chemistry_.max_discharge_c_rate * capacity_mwh_;
+    // Usable stored energy above the DoD floor, delivered at the AC
+    // terminal after discharge losses.
+    const double available =
+        std::max(content_mwh_ - minContentMwh(), 0.0);
+    const double content_cap =
+        available * chemistry_.discharge_efficiency / dt_hours;
+
+    const double delivered =
+        std::min({requested_power_mw, rate_cap, content_cap});
+    content_mwh_ -=
+        delivered * dt_hours / chemistry_.discharge_efficiency;
+    content_mwh_ = std::max(content_mwh_, minContentMwh());
+    discharged_mwh_ += delivered * dt_hours;
+    return delivered;
+}
+
+void
+ClcBattery::reset()
+{
+    content_mwh_ = initial_content_mwh_;
+    charged_mwh_ = 0.0;
+    discharged_mwh_ = 0.0;
+}
+
+double
+ClcBattery::fullEquivalentCycles() const
+{
+    const double usable = usableCapacityMwh();
+    return usable > 0.0 ? discharged_mwh_ / usable : 0.0;
+}
+
+std::string
+ClcBattery::description() const
+{
+    return "C/L/C " + chemistry_.name + " battery";
+}
+
+} // namespace carbonx

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * C/L/C lithium-ion battery model (Kazhamiaka, Rosenberg & Keshav,
+ * "Tractable lithium-ion storage models for optimizing energy
+ * systems", Energy Informatics 2019) — the battery model used by
+ * Carbon Explorer (section 4.2).
+ *
+ * The C/L/C model captures, per timestep:
+ *   - Capacity limits: energy content b must stay within
+ *     [(1 - DoD) * C, C].
+ *   - Loss: one-way charge efficiency eta_c and discharge efficiency
+ *     eta_d applied at the AC terminal.
+ *   - C-rate limits: charging power <= rho_c * C, discharging power
+ *     <= rho_d * C (the paper assumes 1C for hourly data).
+ *   - Linear charging/discharging dynamics with respect to content.
+ */
+
+#ifndef CARBONX_BATTERY_CLC_BATTERY_H
+#define CARBONX_BATTERY_CLC_BATTERY_H
+
+#include "battery/battery_model.h"
+#include "battery/chemistry.h"
+
+namespace carbonx
+{
+
+/** C/L/C battery implementation of the BatteryModel API. */
+class ClcBattery : public BatteryModel
+{
+  public:
+    /**
+     * @param capacity_mwh Nameplate capacity; must be >= 0 (a zero
+     *        capacity battery is valid and accepts/delivers nothing).
+     * @param chemistry Chemistry parameter set.
+     * @param initial_soc Initial state of charge in [min SoC, 1].
+     */
+    ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
+               double initial_soc = -1.0);
+
+    double capacityMwh() const override { return capacity_mwh_; }
+    double energyContentMwh() const override { return content_mwh_; }
+    double stateOfCharge() const override;
+
+    double charge(double offered_power_mw, double dt_hours) override;
+    double discharge(double requested_power_mw, double dt_hours) override;
+
+    void reset() override;
+
+    double totalChargedMwh() const override { return charged_mwh_; }
+    double totalDischargedMwh() const override { return discharged_mwh_; }
+    double fullEquivalentCycles() const override;
+
+    std::string description() const override;
+
+    /** Usable capacity: DoD * nameplate (MWh). */
+    double usableCapacityMwh() const;
+
+    /** Minimum allowed energy content (MWh). */
+    double minContentMwh() const;
+
+    const BatteryChemistry &chemistry() const { return chemistry_; }
+
+  private:
+    double capacity_mwh_;
+    BatteryChemistry chemistry_;
+    double initial_content_mwh_;
+    double content_mwh_;
+    double charged_mwh_;
+    double discharged_mwh_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_BATTERY_CLC_BATTERY_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Lossless, rate-unlimited battery. Serves as the upper-bound baseline
+ * when quantifying how much the C/L/C model's physical limits matter,
+ * and as a simple reference implementation of the BatteryModel API.
+ */
+
+#ifndef CARBONX_BATTERY_IDEAL_BATTERY_H
+#define CARBONX_BATTERY_IDEAL_BATTERY_H
+
+#include "battery/battery_model.h"
+
+namespace carbonx
+{
+
+/** Ideal storage: 100% efficient, unbounded power, full DoD. */
+class IdealBattery : public BatteryModel
+{
+  public:
+    /** @param capacity_mwh Nameplate (and usable) capacity. */
+    explicit IdealBattery(double capacity_mwh);
+
+    double capacityMwh() const override { return capacity_mwh_; }
+    double energyContentMwh() const override { return content_mwh_; }
+    double stateOfCharge() const override;
+
+    double charge(double offered_power_mw, double dt_hours) override;
+    double discharge(double requested_power_mw, double dt_hours) override;
+
+    void reset() override;
+
+    double totalChargedMwh() const override { return charged_mwh_; }
+    double totalDischargedMwh() const override { return discharged_mwh_; }
+    double fullEquivalentCycles() const override;
+
+    std::string description() const override { return "ideal battery"; }
+
+  private:
+    double capacity_mwh_;
+    double content_mwh_;
+    double charged_mwh_;
+    double discharged_mwh_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_BATTERY_IDEAL_BATTERY_H

@@ -1,0 +1,71 @@
+#include "embodied.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+EmbodiedCarbonModel::EmbodiedCarbonModel(
+    RenewableEmbodiedParams renewables, ServerSpec server_spec)
+    : renewable_params_(renewables), server_spec_(server_spec)
+{
+    require(renewables.wind_g_per_kwh >= 0.0 &&
+                renewables.solar_g_per_kwh >= 0.0,
+            "renewable embodied footprints must be >= 0");
+    require(renewables.wind_lifetime_years > 0.0 &&
+                renewables.solar_lifetime_years > 0.0,
+            "renewable lifetimes must be positive");
+}
+
+EmbodiedCarbonModel::EmbodiedCarbonModel()
+    : EmbodiedCarbonModel(RenewableEmbodiedParams{}, ServerSpec{})
+{
+}
+
+KilogramsCo2
+EmbodiedCarbonModel::windAnnual(double generated_mwh) const
+{
+    require(generated_mwh >= 0.0, "generation must be >= 0");
+    // g/kWh == kg/MWh.
+    return KilogramsCo2(renewable_params_.wind_g_per_kwh * generated_mwh);
+}
+
+KilogramsCo2
+EmbodiedCarbonModel::solarAnnual(double generated_mwh) const
+{
+    require(generated_mwh >= 0.0, "generation must be >= 0");
+    return KilogramsCo2(renewable_params_.solar_g_per_kwh * generated_mwh);
+}
+
+KilogramsCo2
+EmbodiedCarbonModel::batteryTotal(double capacity_mwh,
+                                  const BatteryChemistry &chem) const
+{
+    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    return KilogramsCo2(capacity_mwh * 1e3 * chem.embodied_kg_per_kwh);
+}
+
+KilogramsCo2
+EmbodiedCarbonModel::batteryAnnual(double capacity_mwh,
+                                   const BatteryChemistry &chem,
+                                   double cycles_per_day) const
+{
+    if (capacity_mwh <= 0.0)
+        return KilogramsCo2(0.0);
+    const double lifetime = chem.lifetimeYears(cycles_per_day);
+    return batteryTotal(capacity_mwh, chem) / lifetime;
+}
+
+KilogramsCo2
+EmbodiedCarbonModel::extraServersAnnual(double base_peak_power_mw,
+                                        double extra_fraction) const
+{
+    require(extra_fraction >= 0.0, "extra capacity must be >= 0");
+    if (extra_fraction <= 0.0 || base_peak_power_mw <= 0.0)
+        return KilogramsCo2(0.0);
+    const ServerFleet extra(base_peak_power_mw * extra_fraction,
+                            server_spec_);
+    return extra.embodiedCarbonPerYear();
+}
+
+} // namespace carbonx

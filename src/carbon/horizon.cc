@@ -1,0 +1,90 @@
+#include "horizon.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "datacenter/server_fleet.h"
+
+namespace carbonx
+{
+
+HorizonPlanner::HorizonPlanner(EmbodiedCarbonModel embodied,
+                               BatteryChemistry chemistry)
+    : embodied_(std::move(embodied)), chemistry_(std::move(chemistry))
+{
+}
+
+HorizonPlan
+HorizonPlanner::plan(const HorizonInputs &inputs,
+                     double horizon_years) const
+{
+    require(horizon_years >= 1.0,
+            "horizon must be at least one year");
+    require(inputs.operational_kg_per_year >= 0.0 &&
+                inputs.battery_cycles_per_year >= 0.0,
+            "horizon inputs must be non-negative");
+
+    const auto years = static_cast<size_t>(std::ceil(horizon_years));
+    HorizonPlan plan;
+    plan.years.resize(years);
+
+    // Asset lifetimes.
+    const double battery_life = inputs.battery_mwh > 0.0
+        ? chemistry_.lifetimeYears(inputs.battery_cycles_per_year /
+                                   365.0)
+        : 0.0;
+    const double server_life = embodied_.serverSpec().lifetime_years;
+
+    // Upfront purchase costs (pulses).
+    const double battery_pulse_kg = inputs.battery_mwh > 0.0
+        ? embodied_.batteryTotal(inputs.battery_mwh, chemistry_)
+              .value()
+        : 0.0;
+    double server_pulse_kg = 0.0;
+    if (inputs.extra_capacity > 0.0 &&
+        inputs.base_peak_power_mw > 0.0) {
+        const ServerFleet extra(
+            inputs.base_peak_power_mw * inputs.extra_capacity,
+            embodied_.serverSpec());
+        server_pulse_kg = extra.embodiedCarbon().value();
+    }
+
+    // Annual flows: operations plus generation-following renewable
+    // embodied carbon.
+    const double renewable_flow_kg =
+        embodied_.solarAnnual(inputs.solar_attributed_mwh).value() +
+        embodied_.windAnnual(inputs.wind_attributed_mwh).value();
+
+    double next_battery_purchase = 0.0;
+    double next_server_purchase = 0.0;
+    double cumulative = 0.0;
+    for (size_t y = 0; y < years; ++y) {
+        HorizonYear &row = plan.years[y];
+        row.year_index = static_cast<int>(y);
+        row.operational_kg = inputs.operational_kg_per_year;
+        row.embodied_kg = renewable_flow_kg;
+
+        const double year_start = static_cast<double>(y);
+        if (battery_pulse_kg > 0.0 &&
+            year_start >= next_battery_purchase - 1e-9) {
+            row.embodied_kg += battery_pulse_kg;
+            row.battery_replaced = y > 0;
+            plan.battery_replacements += y > 0 ? 1 : 0;
+            next_battery_purchase += battery_life;
+        }
+        if (server_pulse_kg > 0.0 &&
+            year_start >= next_server_purchase - 1e-9) {
+            row.embodied_kg += server_pulse_kg;
+            row.servers_replaced = y > 0;
+            plan.server_replacements += y > 0 ? 1 : 0;
+            next_server_purchase += server_life;
+        }
+
+        cumulative += row.operational_kg + row.embodied_kg;
+        row.cumulative_kg = cumulative;
+    }
+    plan.total_kg = cumulative;
+    return plan;
+}
+
+} // namespace carbonx

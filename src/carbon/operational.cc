@@ -1,0 +1,98 @@
+#include "operational.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+KilogramsCo2
+OperationalCarbonModel::gridEmissions(const TimeSeries &grid_power_mw,
+                                      const TimeSeries &intensity)
+{
+    require(grid_power_mw.year() == intensity.year(),
+            "grid power and intensity must cover the same year");
+    double kg = 0.0;
+    for (size_t h = 0; h < grid_power_mw.size(); ++h) {
+        // MW x 1 h = MWh; g/kWh == kg/MWh.
+        kg += grid_power_mw[h] * intensity[h];
+    }
+    return KilogramsCo2(kg);
+}
+
+TimeSeries
+OperationalCarbonModel::effectiveIntensity(const TimeSeries &dc_power_mw,
+                                           const TimeSeries &grid_power_mw,
+                                           const TimeSeries &intensity)
+{
+    require(dc_power_mw.year() == grid_power_mw.year() &&
+                dc_power_mw.year() == intensity.year(),
+            "series must cover the same year");
+    TimeSeries out(dc_power_mw.year());
+    for (size_t h = 0; h < out.size(); ++h) {
+        const double dc = dc_power_mw[h];
+        if (dc <= 0.0)
+            continue;
+        const double grid = std::min(grid_power_mw[h], dc);
+        out[h] = intensity[h] * grid / dc;
+    }
+    return out;
+}
+
+double
+NetZeroAccounting::matchingCoverage(const TimeSeries &dc_power_mw,
+                                    const TimeSeries &renewable_mw,
+                                    size_t window_hours)
+{
+    require(dc_power_mw.year() == renewable_mw.year(),
+            "series must cover the same year");
+    require(window_hours >= 1, "matching window must be >= 1 hour");
+
+    const size_t n = dc_power_mw.size();
+    double unmet = 0.0;
+    double total = 0.0;
+    for (size_t start = 0; start < n; start += window_hours) {
+        const size_t end = std::min(start + window_hours, n);
+        double demand = 0.0;
+        double supply = 0.0;
+        for (size_t h = start; h < end; ++h) {
+            demand += dc_power_mw[h];
+            supply += renewable_mw[h];
+        }
+        unmet += std::max(demand - supply, 0.0);
+        total += demand;
+    }
+    return total > 0.0 ? (1.0 - unmet / total) * 100.0 : 100.0;
+}
+
+NetZeroReport
+NetZeroAccounting::evaluate(const TimeSeries &dc_power_mw,
+                            const TimeSeries &renewable_mw,
+                            const TimeSeries &intensity)
+{
+    require(dc_power_mw.year() == renewable_mw.year() &&
+                dc_power_mw.year() == intensity.year(),
+            "series must cover the same year");
+
+    NetZeroReport report;
+    report.consumed_mwh = dc_power_mw.total();
+    report.credits_mwh = renewable_mw.total();
+    report.net_zero = report.credits_mwh >= report.consumed_mwh;
+
+    double unmet_weighted_kg = 0.0;
+    double unmet_mwh = 0.0;
+    for (size_t h = 0; h < dc_power_mw.size(); ++h) {
+        const double gap =
+            std::max(dc_power_mw[h] - renewable_mw[h], 0.0);
+        unmet_weighted_kg += gap * intensity[h];
+        unmet_mwh += gap;
+    }
+    report.hourly_emissions_kg = unmet_weighted_kg;
+    report.hourly_coverage_pct = report.consumed_mwh > 0.0
+        ? (1.0 - unmet_mwh / report.consumed_mwh) * 100.0
+        : 100.0;
+    return report;
+}
+
+} // namespace carbonx

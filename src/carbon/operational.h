@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Operational carbon accounting and the Net Zero vs 24/7 comparison
+ * (paper sections 3.2 and 5).
+ */
+
+#ifndef CARBONX_CARBON_OPERATIONAL_H
+#define CARBONX_CARBON_OPERATIONAL_H
+
+#include "common/units.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Operational (scope-2) carbon of datacenter energy consumption. */
+class OperationalCarbonModel
+{
+  public:
+    /**
+     * Emissions of energy drawn from the grid: per-hour grid draw
+     * weighted by the grid's hourly carbon intensity.
+     *
+     * @param grid_power_mw Hourly carbon-intensive grid draw (MW).
+     * @param intensity Hourly grid carbon intensity (g/kWh).
+     */
+    static KilogramsCo2 gridEmissions(const TimeSeries &grid_power_mw,
+                                      const TimeSeries &intensity);
+
+    /**
+     * The datacenter's effective hourly carbon intensity (g/kWh)
+     * when it consumes @p grid_power_mw from the grid and the rest of
+     * @p dc_power_mw from carbon-free sources.
+     */
+    static TimeSeries effectiveIntensity(const TimeSeries &dc_power_mw,
+                                         const TimeSeries &grid_power_mw,
+                                         const TimeSeries &intensity);
+};
+
+/** Annual renewable-energy-credit accounting (Net Zero matching). */
+struct NetZeroReport
+{
+    double consumed_mwh = 0.0;   ///< Annual datacenter consumption.
+    double credits_mwh = 0.0;    ///< RECs from renewable investments.
+    bool net_zero = false;       ///< credits >= consumption.
+    /** Hourly emissions that still occurred despite Net Zero (kg). */
+    double hourly_emissions_kg = 0.0;
+    /** Share of hours actually covered by renewable supply. */
+    double hourly_coverage_pct = 0.0;
+};
+
+/**
+ * Evaluates the Net Zero scenario: annual credits match consumption,
+ * but hourly emissions remain whenever renewable supply falls short
+ * of demand (the gap the 24/7 strategies close).
+ */
+class NetZeroAccounting
+{
+  public:
+    /**
+     * @param dc_power_mw Hourly datacenter demand (MW).
+     * @param renewable_mw Hourly owned-renewable generation (MW).
+     * @param intensity Hourly grid carbon intensity (g/kWh).
+     */
+    static NetZeroReport evaluate(const TimeSeries &dc_power_mw,
+                                  const TimeSeries &renewable_mw,
+                                  const TimeSeries &intensity);
+
+    /**
+     * Coverage under a credit-matching window: within each
+     * consecutive block of @p window_hours, renewable generation may
+     * offset consumption regardless of which hour it occurred in
+     * (the paper's "end of the month (or end of the year)" matching,
+     * generalized). window = 1 is the 24/7 hourly metric; window =
+     * hours-in-year is annual Net Zero.
+     *
+     * @return Percentage of demand energy covered by windowed credits.
+     */
+    static double matchingCoverage(const TimeSeries &dc_power_mw,
+                                   const TimeSeries &renewable_mw,
+                                   size_t window_hours);
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CARBON_OPERATIONAL_H

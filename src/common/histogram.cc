@@ -1,0 +1,112 @@
+#include "histogram.h"
+
+#include <cstdio>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "error.h"
+
+namespace carbonx
+{
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0), total_(0)
+{
+    require(hi > lo, "histogram range must be non-empty");
+    require(bins >= 1, "histogram needs at least one bin");
+}
+
+Histogram
+Histogram::fromData(std::span<const double> data, size_t bins)
+{
+    require(!data.empty(), "histogram from empty data");
+    auto [mn, mx] = std::minmax_element(data.begin(), data.end());
+    double lo = *mn;
+    double hi = *mx;
+    if (hi <= lo)
+        hi = lo + 1.0; // Degenerate constant data: one unit-wide bin.
+    Histogram h(lo, hi, bins);
+    h.addAll(data);
+    return h;
+}
+
+void
+Histogram::add(double x)
+{
+    long bin = static_cast<long>(std::floor((x - lo_) / width_));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+void
+Histogram::addAll(std::span<const double> data)
+{
+    for (double x : data)
+        add(x);
+}
+
+double
+Histogram::lowerEdge(size_t bin) const
+{
+    require(bin < counts_.size(), "histogram bin out of range");
+    return lo_ + width_ * static_cast<double>(bin);
+}
+
+double
+Histogram::upperEdge(size_t bin) const
+{
+    return lowerEdge(bin) + width_;
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    return lowerEdge(bin) + 0.5 * width_;
+}
+
+size_t
+Histogram::count(size_t bin) const
+{
+    require(bin < counts_.size(), "histogram bin out of range");
+    return counts_[bin];
+}
+
+double
+Histogram::frequency(size_t bin) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+size_t
+Histogram::modeBin() const
+{
+    return static_cast<size_t>(std::distance(
+        counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+std::string
+Histogram::toAscii(size_t max_width) const
+{
+    const size_t peak = counts_.empty()
+        ? 0
+        : *std::max_element(counts_.begin(), counts_.end());
+    std::ostringstream os;
+    for (size_t b = 0; b < counts_.size(); ++b) {
+        const size_t width = peak == 0
+            ? 0
+            : counts_[b] * max_width / peak;
+        char line[64];
+        std::snprintf(line, sizeof(line), "[%9.2f, %9.2f) %6zu ",
+                      lowerEdge(b), upperEdge(b), counts_[b]);
+        os << line << std::string(width, '#') << '\n';
+    }
+    return os.str();
+}
+
+} // namespace carbonx

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-bin histogram used for the paper's distribution figures:
+ * daily-sum generation histograms (Fig. 5) and battery charge-level
+ * distributions (Fig. 16).
+ */
+
+#ifndef CARBONX_COMMON_HISTOGRAM_H
+#define CARBONX_COMMON_HISTOGRAM_H
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace carbonx
+{
+
+/**
+ * Histogram over a fixed [lo, hi) range with equal-width bins.
+ * Samples outside the range are clamped into the first / last bin so
+ * that counts always sum to the number of observations.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed @p lo.
+     * @param bins Number of bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Convenience: build a histogram spanning the data's range. */
+    static Histogram fromData(std::span<const double> data, size_t bins);
+
+    /** Add a single observation. */
+    void add(double x);
+
+    /** Add many observations. */
+    void addAll(std::span<const double> data);
+
+    size_t numBins() const { return counts_.size(); }
+    double lowerEdge(size_t bin) const;
+    double upperEdge(size_t bin) const;
+    double binCenter(size_t bin) const;
+    size_t count(size_t bin) const;
+    size_t totalCount() const { return total_; }
+
+    /** Fraction of observations in @p bin; 0 when empty. */
+    double frequency(size_t bin) const;
+
+    /** Index of the most populated bin (first one on ties). */
+    size_t modeBin() const;
+
+    /**
+     * Render an ASCII bar chart, one row per bin, for the benchmark
+     * harness output.
+     *
+     * @param max_width Width in characters of the largest bar.
+     */
+    std::string toAscii(size_t max_width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<size_t> counts_;
+    size_t total_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_HISTOGRAM_H

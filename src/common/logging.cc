@@ -1,0 +1,49 @@
+#include "logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace carbonx
+{
+
+namespace
+{
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+inform(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Inform)
+        std::cerr << "info: " << msg << '\n';
+}
+
+void
+warn(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << '\n';
+}
+
+void
+debugLog(const std::string &msg)
+{
+    if (logLevel() >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << '\n';
+}
+
+} // namespace carbonx

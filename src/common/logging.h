@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lightweight status logging, modeled on gem5's inform/warn split.
+ * Messages go to stderr so that benchmark harness stdout stays a clean,
+ * parseable reproduction of the paper's tables and series.
+ */
+
+#ifndef CARBONX_COMMON_LOGGING_H
+#define CARBONX_COMMON_LOGGING_H
+
+#include <string>
+
+namespace carbonx
+{
+
+/** Verbosity levels; messages below the global level are suppressed. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the process-wide log level (default: Warn). */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide log level. */
+LogLevel logLevel();
+
+/** Status message for normal operation; no connotation of a problem. */
+void inform(const std::string &msg);
+
+/** Something may be wrong or approximated; execution continues. */
+void warn(const std::string &msg);
+
+/** Developer-facing trace output. */
+void debugLog(const std::string &msg);
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_LOGGING_H

@@ -1,0 +1,186 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "error.h"
+
+namespace carbonx
+{
+
+SummaryStats::SummaryStats()
+    : n_(0), mean_(0.0), m2_(0.0),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()), sum_(0.0)
+{
+}
+
+void
+SummaryStats::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+SummaryStats::merge(const SummaryStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    mean_ = (na * mean_ + nb * other.mean_) / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+SummaryStats::mean() const
+{
+    return n_ ? mean_ : 0.0;
+}
+
+double
+SummaryStats::variance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+SummaryStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+SummaryStats::min() const
+{
+    return n_ ? min_ : 0.0;
+}
+
+double
+SummaryStats::max() const
+{
+    return n_ ? max_ : 0.0;
+}
+
+double
+SummaryStats::cv() const
+{
+    const double m = mean();
+    return m != 0.0 ? stddev() / m : 0.0;
+}
+
+double
+percentile(std::span<const double> values, double p)
+{
+    require(!values.empty(), "percentile of empty sample");
+    require(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double
+mean(std::span<const double> values)
+{
+    if (values.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double v : values)
+        s += v;
+    return s / static_cast<double>(values.size());
+}
+
+double
+pearsonCorrelation(std::span<const double> x, std::span<const double> y)
+{
+    require(x.size() == y.size(), "correlation requires equal lengths");
+    if (x.size() < 2)
+        return 0.0;
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit
+linearFit(std::span<const double> x, std::span<const double> y)
+{
+    require(x.size() == y.size(), "linearFit requires equal lengths");
+    require(x.size() >= 2, "linearFit requires at least two points");
+    const double mx = mean(x);
+    const double my = mean(y);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    require(sxx != 0.0, "linearFit with constant x");
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+double
+meanOfTopK(std::span<const double> values, size_t k)
+{
+    require(k > 0 && k <= values.size(), "meanOfTopK: bad k");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::partial_sort(sorted.begin(), sorted.begin() + static_cast<long>(k),
+                      sorted.end(), std::greater<>());
+    double s = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        s += sorted[i];
+    return s / static_cast<double>(k);
+}
+
+double
+meanOfBottomK(std::span<const double> values, size_t k)
+{
+    require(k > 0 && k <= values.size(), "meanOfBottomK: bad k");
+    std::vector<double> sorted(values.begin(), values.end());
+    std::partial_sort(sorted.begin(), sorted.begin() + static_cast<long>(k),
+                      sorted.end());
+    double s = 0.0;
+    for (size_t i = 0; i < k; ++i)
+        s += sorted[i];
+    return s / static_cast<double>(k);
+}
+
+} // namespace carbonx

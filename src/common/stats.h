@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Summary statistics used across the framework: online accumulators,
+ * percentiles, and correlation. These back the per-figure analyses
+ * (daily-sum histograms, power/utilization correlation, charge-level
+ * distributions, ...).
+ */
+
+#ifndef CARBONX_COMMON_STATS_H
+#define CARBONX_COMMON_STATS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace carbonx
+{
+
+/**
+ * Online accumulator of count / mean / variance / min / max using
+ * Welford's algorithm, so it is numerically stable for long series.
+ */
+class SummaryStats
+{
+  public:
+    SummaryStats();
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const SummaryStats &other);
+
+    size_t count() const { return n_; }
+    double mean() const;
+    /** Unbiased sample variance; 0 if fewer than two samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+    /** Coefficient of variation (stddev / mean); 0 for zero mean. */
+    double cv() const;
+
+  private:
+    size_t n_;
+    double mean_;
+    double m2_;
+    double min_;
+    double max_;
+    double sum_;
+};
+
+/**
+ * Percentile of a sample using linear interpolation between order
+ * statistics (the "linear" / type-7 method).
+ *
+ * @param values Sample (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::span<const double> values, double p);
+
+/** Arithmetic mean of a span; 0 for an empty span. */
+double mean(std::span<const double> values);
+
+/** Pearson correlation coefficient; 0 if either side is constant. */
+double pearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/**
+ * Ordinary least-squares fit y = slope * x + intercept.
+ * Used e.g. for the Fig. 4 curtailment trendline and the Fig. 3
+ * power-vs-utilization linear model.
+ */
+struct LinearFit
+{
+    double slope;
+    double intercept;
+    double r2; ///< Coefficient of determination.
+};
+
+LinearFit linearFit(std::span<const double> x, std::span<const double> y);
+
+/** Mean of the top-k largest values; used for "best ten days" analyses. */
+double meanOfTopK(std::span<const double> values, size_t k);
+
+/** Mean of the k smallest values; used for supply-valley depth. */
+double meanOfBottomK(std::span<const double> values, size_t k);
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_STATS_H

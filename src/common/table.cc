@@ -1,0 +1,110 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "error.h"
+
+namespace carbonx
+{
+
+TextTable::TextTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    require(!columns_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == columns_.size(),
+            "table row width does not match header");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label,
+                  const std::vector<double> &values, int precision)
+{
+    require(values.size() + 1 == columns_.size(),
+            "table row width does not match header");
+    std::vector<std::string> cells;
+    cells.reserve(columns_.size());
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatFixed(v, precision));
+    addRow(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out = "|";
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += ' ';
+            out += row[c];
+            out += std::string(widths[c] - row[c].size(), ' ');
+            out += " |";
+        }
+        out += '\n';
+        return out;
+    };
+
+    std::string rule = "+";
+    for (size_t w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += '\n';
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << '\n';
+    os << rule << renderRow(columns_) << rule;
+    for (const auto &row : rows_)
+        os << renderRow(row);
+    os << rule;
+    return os.str();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    os << render();
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction_times_100, int precision)
+{
+    return formatFixed(fraction_times_100, precision) + "%";
+}
+
+std::string
+asciiBar(double value, double max_value, size_t max_width)
+{
+    if (max_value <= 0.0 || value <= 0.0)
+        return "";
+    const double frac = std::min(value / max_value, 1.0);
+    const size_t width =
+        static_cast<size_t>(frac * static_cast<double>(max_width) + 0.5);
+    return std::string(width, '#');
+}
+
+} // namespace carbonx

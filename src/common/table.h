@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fixed-width console table renderer. Every benchmark harness prints
+ * its regenerated paper table/figure through this class so the output
+ * is uniform and diffable.
+ */
+
+#ifndef CARBONX_COMMON_TABLE_H
+#define CARBONX_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace carbonx
+{
+
+/** Console table with a title, column headers, and aligned rows. */
+class TextTable
+{
+  public:
+    /**
+     * @param title Caption printed above the table.
+     * @param columns Column header names.
+     */
+    TextTable(std::string title, std::vector<std::string> columns);
+
+    /** Append a preformatted row; width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /**
+     * Append a row whose first cell is a label and remaining cells are
+     * numbers formatted with the given precision.
+     */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    /** Render with box-drawing dashes and pipes. */
+    std::string render() const;
+
+    /** Render directly to a stream. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision into a std::string. */
+std::string formatFixed(double v, int precision = 2);
+
+/** Format a percentage like "97.3%". */
+std::string formatPercent(double fraction_times_100, int precision = 1);
+
+/** Render a one-line horizontal ASCII bar of proportional width. */
+std::string asciiBar(double value, double max_value, size_t max_width = 40);
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_TABLE_H

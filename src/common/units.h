@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Strong unit types used throughout Carbon Explorer.
+ *
+ * All physical quantities in the framework are carried in explicit unit
+ * wrappers so that power (MW), energy (MWh), carbon mass (kg CO2eq) and
+ * carbon intensity (g CO2eq per kWh) can never be confused. The wrappers
+ * are zero-overhead: a single double with inline arithmetic.
+ *
+ * Cross-unit algebra implemented:
+ *   MegaWatts      * Hours            -> MegaWattHours
+ *   MegaWattHours  / Hours            -> MegaWatts
+ *   CarbonIntensity * MegaWattHours   -> KilogramsCo2
+ *     (g/kWh == kg/MWh, so the conversion factor is exactly 1)
+ */
+
+#ifndef CARBONX_COMMON_UNITS_H
+#define CARBONX_COMMON_UNITS_H
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace carbonx
+{
+
+/**
+ * CRTP base providing arithmetic for a double-backed unit wrapper.
+ *
+ * Derived types gain +, -, scalar *, scalar /, unary -, comparisons and
+ * same-unit division (which yields a dimensionless double).
+ */
+template <typename Derived>
+class Quantity
+{
+  public:
+    constexpr Quantity() : val_(0.0) {}
+    constexpr explicit Quantity(double v) : val_(v) {}
+
+    /** Raw numeric value in the unit's canonical scale. */
+    constexpr double value() const { return val_; }
+
+    constexpr Derived
+    operator+(Derived o) const
+    {
+        return Derived(val_ + o.val_);
+    }
+
+    constexpr Derived
+    operator-(Derived o) const
+    {
+        return Derived(val_ - o.val_);
+    }
+
+    constexpr Derived operator-() const { return Derived(-val_); }
+
+    constexpr Derived
+    operator*(double s) const
+    {
+        return Derived(val_ * s);
+    }
+
+    constexpr Derived
+    operator/(double s) const
+    {
+        return Derived(val_ / s);
+    }
+
+    /** Ratio of two quantities of the same unit is dimensionless. */
+    constexpr double
+    operator/(Derived o) const
+    {
+        return val_ / o.val_;
+    }
+
+    Derived &
+    operator+=(Derived o)
+    {
+        val_ += o.val_;
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator-=(Derived o)
+    {
+        val_ -= o.val_;
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator*=(double s)
+    {
+        val_ *= s;
+        return static_cast<Derived &>(*this);
+    }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+
+  protected:
+    double val_;
+};
+
+template <typename D>
+constexpr D
+operator*(double s, const Quantity<D> &q)
+{
+    return D(q.value() * s);
+}
+
+/** Elapsed time in hours. The simulator's native timestep is one hour. */
+class Hours : public Quantity<Hours>
+{
+  public:
+    using Quantity::Quantity;
+
+    /** Number of whole-and-fractional days. */
+    constexpr double days() const { return val_ / 24.0; }
+};
+
+/** Electric power in megawatts. */
+class MegaWatts : public Quantity<MegaWatts>
+{
+  public:
+    using Quantity::Quantity;
+
+    constexpr double kilowatts() const { return val_ * 1e3; }
+    constexpr double gigawatts() const { return val_ * 1e-3; }
+};
+
+/** Electric energy in megawatt-hours. */
+class MegaWattHours : public Quantity<MegaWattHours>
+{
+  public:
+    using Quantity::Quantity;
+
+    constexpr double kilowattHours() const { return val_ * 1e3; }
+    constexpr double gigawattHours() const { return val_ * 1e-3; }
+};
+
+/** Carbon mass in kilograms of CO2-equivalent. */
+class KilogramsCo2 : public Quantity<KilogramsCo2>
+{
+  public:
+    using Quantity::Quantity;
+
+    constexpr double metricTons() const { return val_ * 1e-3; }
+    constexpr double kilotons() const { return val_ * 1e-6; }
+
+    static constexpr KilogramsCo2
+    fromMetricTons(double tons)
+    {
+        return KilogramsCo2(tons * 1e3);
+    }
+};
+
+/**
+ * Carbon intensity of electricity in grams CO2eq per kilowatt-hour.
+ * This is the unit used in the paper's Table 2.
+ */
+class GramsPerKwh : public Quantity<GramsPerKwh>
+{
+  public:
+    using Quantity::Quantity;
+
+    /** g/kWh and kg/MWh are numerically identical. */
+    constexpr double kgPerMwh() const { return val_; }
+};
+
+/** Power integrated over time yields energy. */
+constexpr MegaWattHours
+operator*(MegaWatts p, Hours t)
+{
+    return MegaWattHours(p.value() * t.value());
+}
+
+constexpr MegaWattHours
+operator*(Hours t, MegaWatts p)
+{
+    return p * t;
+}
+
+/** Energy divided by time yields average power. */
+constexpr MegaWatts
+operator/(MegaWattHours e, Hours t)
+{
+    return MegaWatts(e.value() / t.value());
+}
+
+/** Energy divided by power yields duration. */
+constexpr Hours
+operator/(MegaWattHours e, MegaWatts p)
+{
+    return Hours(e.value() / p.value());
+}
+
+/**
+ * Carbon intensity applied to an amount of energy yields carbon mass.
+ * g/kWh * MWh = kg, with unit factor exactly 1.
+ */
+constexpr KilogramsCo2
+operator*(GramsPerKwh i, MegaWattHours e)
+{
+    return KilogramsCo2(i.value() * e.value());
+}
+
+constexpr KilogramsCo2
+operator*(MegaWattHours e, GramsPerKwh i)
+{
+    return i * e;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, MegaWatts p)
+{
+    return os << p.value() << " MW";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, MegaWattHours e)
+{
+    return os << e.value() << " MWh";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, Hours t)
+{
+    return os << t.value() << " h";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, KilogramsCo2 m)
+{
+    return os << m.value() << " kgCO2";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, GramsPerKwh i)
+{
+    return os << i.value() << " g/kWh";
+}
+
+namespace literals
+{
+
+constexpr MegaWatts operator""_MW(long double v)
+{
+    return MegaWatts(static_cast<double>(v));
+}
+
+constexpr MegaWatts operator""_MW(unsigned long long v)
+{
+    return MegaWatts(static_cast<double>(v));
+}
+
+constexpr MegaWattHours operator""_MWh(long double v)
+{
+    return MegaWattHours(static_cast<double>(v));
+}
+
+constexpr MegaWattHours operator""_MWh(unsigned long long v)
+{
+    return MegaWattHours(static_cast<double>(v));
+}
+
+constexpr Hours operator""_h(long double v)
+{
+    return Hours(static_cast<double>(v));
+}
+
+constexpr Hours operator""_h(unsigned long long v)
+{
+    return Hours(static_cast<double>(v));
+}
+
+constexpr GramsPerKwh operator""_gkwh(long double v)
+{
+    return GramsPerKwh(static_cast<double>(v));
+}
+
+constexpr GramsPerKwh operator""_gkwh(unsigned long long v)
+{
+    return GramsPerKwh(static_cast<double>(v));
+}
+
+} // namespace literals
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_UNITS_H

@@ -1,0 +1,135 @@
+#include "coordinate_descent.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace carbonx
+{
+
+namespace
+{
+
+constexpr double kGolden = 0.6180339887498949; // (sqrt(5) - 1) / 2.
+
+/** Accessor for one axis of a design point. */
+double &
+axisValue(DesignPoint &point, int axis)
+{
+    switch (axis) {
+      case 0:
+        return point.solar_mw;
+      case 1:
+        return point.wind_mw;
+      case 2:
+        return point.battery_mwh;
+      default:
+        return point.extra_capacity;
+    }
+}
+
+} // namespace
+
+CoordinateDescentOptimizer::CoordinateDescentOptimizer(
+    const CarbonExplorer &explorer, CoordinateDescentConfig config)
+    : explorer_(explorer), config_(config)
+{
+    require(config.max_sweeps >= 1, "need at least one sweep");
+    require(config.line_search_iters >= 4,
+            "need at least four line-search iterations");
+    require(config.restarts >= 1, "need at least one restart");
+}
+
+CoordinateDescentResult
+CoordinateDescentOptimizer::optimize(const DesignSpace &space,
+                                     Strategy strategy) const
+{
+    const std::array<AxisSpec, 4> axes = {
+        space.solar_mw, space.wind_mw, space.battery_mwh,
+        space.extra_capacity};
+    const std::array<bool, 4> active = {
+        true, true, strategyUsesBattery(strategy),
+        strategyUsesCas(strategy)};
+
+    CoordinateDescentResult result;
+    auto evaluate = [&](const DesignPoint &point) {
+        ++result.evaluations;
+        return explorer_.evaluate(point, strategy);
+    };
+
+    Rng rng(0xC0DE, "coordinate-descent");
+    bool have_best = false;
+
+    for (int restart = 0; restart < config_.restarts; ++restart) {
+        // Start at the space midpoint, jittered on later restarts.
+        DesignPoint point;
+        for (int a = 0; a < 4; ++a) {
+            if (!active[static_cast<size_t>(a)])
+                continue;
+            const AxisSpec &axis = axes[static_cast<size_t>(a)];
+            double v = 0.5 * (axis.min + axis.max);
+            if (restart > 0)
+                v = rng.uniform(axis.min, axis.max);
+            axisValue(point, a) = v;
+        }
+        Evaluation best_here = evaluate(point);
+
+        for (int sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+            const double before = best_here.totalKg();
+            for (int a = 0; a < 4; ++a) {
+                if (!active[static_cast<size_t>(a)])
+                    continue;
+                const AxisSpec &axis = axes[static_cast<size_t>(a)];
+                if (axis.max <= axis.min)
+                    continue;
+
+                // Golden-section search along this axis.
+                double lo = axis.min;
+                double hi = axis.max;
+                DesignPoint probe = best_here.point;
+                auto totalAt = [&](double v) {
+                    axisValue(probe, a) = v;
+                    const Evaluation e = evaluate(probe);
+                    if (e.totalKg() < best_here.totalKg())
+                        best_here = e;
+                    return e.totalKg();
+                };
+                double x1 = hi - kGolden * (hi - lo);
+                double x2 = lo + kGolden * (hi - lo);
+                double f1 = totalAt(x1);
+                double f2 = totalAt(x2);
+                for (int it = 0; it < config_.line_search_iters;
+                     ++it) {
+                    if (f1 <= f2) {
+                        hi = x2;
+                        x2 = x1;
+                        f2 = f1;
+                        x1 = hi - kGolden * (hi - lo);
+                        f1 = totalAt(x1);
+                    } else {
+                        lo = x1;
+                        x1 = x2;
+                        f1 = f2;
+                        x2 = lo + kGolden * (hi - lo);
+                        f2 = totalAt(x2);
+                    }
+                }
+            }
+            ++result.sweeps_used;
+            if (before - best_here.totalKg() < config_.tolerance_kg)
+                break;
+        }
+
+        if (!have_best ||
+            best_here.totalKg() < result.best.totalKg()) {
+            result.best = best_here;
+            have_best = true;
+        }
+    }
+    ensure(have_best, "coordinate descent evaluated nothing");
+    return result;
+}
+
+} // namespace carbonx

@@ -1,0 +1,97 @@
+#include "coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+CoverageAnalyzer::CoverageAnalyzer(const TimeSeries &dc_power,
+                                   const TimeSeries &solar_shape,
+                                   const TimeSeries &wind_shape)
+    : dc_power_(dc_power), solar_shape_(solar_shape),
+      wind_shape_(wind_shape), dc_avg_day_(dc_power.averageDayExpansion()),
+      dc_total_(dc_power.total())
+{
+    require(dc_power.year() == solar_shape.year() &&
+                dc_power.year() == wind_shape.year(),
+            "coverage series must cover the same year");
+    require(solar_shape.max() <= 1.0 + 1e-9 && solar_shape.min() >= 0.0,
+            "solar shape must be per-unit in [0, 1]");
+    require(wind_shape.max() <= 1.0 + 1e-9 && wind_shape.min() >= 0.0,
+            "wind shape must be per-unit in [0, 1]");
+    require(dc_total_ > 0.0, "datacenter load must be non-zero");
+}
+
+TimeSeries
+CoverageAnalyzer::supplyFor(double solar_mw, double wind_mw) const
+{
+    require(solar_mw >= 0.0 && wind_mw >= 0.0,
+            "investments must be >= 0");
+    return solar_shape_ * solar_mw + wind_shape_ * wind_mw;
+}
+
+double
+CoverageAnalyzer::coverage(double solar_mw, double wind_mw) const
+{
+    require(solar_mw >= 0.0 && wind_mw >= 0.0,
+            "investments must be >= 0");
+    double unmet = 0.0;
+    for (size_t h = 0; h < dc_power_.size(); ++h) {
+        const double supply =
+            solar_shape_[h] * solar_mw + wind_shape_[h] * wind_mw;
+        unmet += std::max(dc_power_[h] - supply, 0.0);
+    }
+    return (1.0 - unmet / dc_total_) * 100.0;
+}
+
+double
+CoverageAnalyzer::coverageAssumingAverageDay(double solar_mw,
+                                             double wind_mw) const
+{
+    // Replace both supply shapes and demand with their average-day
+    // expansions: this is the optimistic assumption of Fig. 8.
+    const TimeSeries solar_avg = solar_shape_.averageDayExpansion();
+    const TimeSeries wind_avg = wind_shape_.averageDayExpansion();
+    double unmet = 0.0;
+    for (size_t h = 0; h < dc_power_.size(); ++h) {
+        const double supply =
+            solar_avg[h] * solar_mw + wind_avg[h] * wind_mw;
+        unmet += std::max(dc_avg_day_[h] - supply, 0.0);
+    }
+    return (1.0 - unmet / dc_total_) * 100.0;
+}
+
+double
+CoverageAnalyzer::investmentScaleForCoverage(double solar_unit_mw,
+                                             double wind_unit_mw,
+                                             double target_pct,
+                                             double max_scale) const
+{
+    require(target_pct > 0.0 && target_pct <= 100.0,
+            "coverage target must be in (0, 100]");
+    require(solar_unit_mw >= 0.0 && wind_unit_mw >= 0.0 &&
+                solar_unit_mw + wind_unit_mw > 0.0,
+            "the investment ray must be non-trivial");
+
+    auto covAt = [&](double k) {
+        return coverage(k * solar_unit_mw, k * wind_unit_mw);
+    };
+    if (covAt(max_scale) < target_pct)
+        return -1.0;
+
+    double lo = 0.0;
+    double hi = max_scale;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (covAt(mid) >= target_pct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace carbonx

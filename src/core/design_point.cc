@@ -1,0 +1,50 @@
+#include "design_point.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::RenewablesOnly:
+        return "Renewables Only";
+      case Strategy::RenewableBattery:
+        return "Renewables + Battery";
+      case Strategy::RenewableCas:
+        return "Renewables + CAS";
+      case Strategy::RenewableBatteryCas:
+        return "Renewables + Battery + CAS";
+    }
+    throw InternalError("unknown strategy");
+}
+
+bool
+strategyUsesBattery(Strategy s)
+{
+    return s == Strategy::RenewableBattery ||
+           s == Strategy::RenewableBatteryCas;
+}
+
+bool
+strategyUsesCas(Strategy s)
+{
+    return s == Strategy::RenewableCas ||
+           s == Strategy::RenewableBatteryCas;
+}
+
+std::string
+DesignPoint::describe() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "S=%.0fMW,W=%.0fMW,B=%.0fMWh,X=%.0f%%", solar_mw,
+                  wind_mw, battery_mwh, extra_capacity * 100.0);
+    return buf;
+}
+
+} // namespace carbonx

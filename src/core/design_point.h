@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The design space's coordinates (paper section 5): investments in
+ * renewable generation, battery capacity, and extra server capacity,
+ * plus the four evaluation strategies.
+ */
+
+#ifndef CARBONX_CORE_DESIGN_POINT_H
+#define CARBONX_CORE_DESIGN_POINT_H
+
+#include <string>
+
+namespace carbonx
+{
+
+/** The four solution portfolios evaluated in section 5.2. */
+enum class Strategy
+{
+    RenewablesOnly,      ///< Wind/solar investment alone.
+    RenewableBattery,    ///< Renewables + on-site storage.
+    RenewableCas,        ///< Renewables + carbon-aware scheduling.
+    RenewableBatteryCas, ///< All three combined.
+};
+
+/** Human-readable strategy name. */
+std::string strategyName(Strategy s);
+
+/** True when the strategy deploys a battery. */
+bool strategyUsesBattery(Strategy s);
+
+/** True when the strategy uses carbon-aware scheduling. */
+bool strategyUsesCas(Strategy s);
+
+/** One candidate datacenter design. */
+struct DesignPoint
+{
+    double solar_mw = 0.0;       ///< Solar investment (nameplate MW).
+    double wind_mw = 0.0;        ///< Wind investment (nameplate MW).
+    double battery_mwh = 0.0;    ///< Battery capacity (MWh).
+    /** Extra server capacity as a fraction of the base fleet. */
+    double extra_capacity = 0.0;
+
+    /** Total renewable investment (MW). */
+    double renewableMw() const { return solar_mw + wind_mw; }
+
+    /** Short "S=..,W=..,B=..,X=.." summary for reports. */
+    std::string describe() const;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_DESIGN_POINT_H

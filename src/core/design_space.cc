@@ -1,0 +1,78 @@
+#include "design_space.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+std::vector<double>
+AxisSpec::samples() const
+{
+    require(steps >= 1, "axis needs at least one sample");
+    require(max >= min, "axis max must be >= min");
+    std::vector<double> out;
+    out.reserve(steps);
+    if (steps == 1) {
+        out.push_back(min);
+        return out;
+    }
+    const double step = (max - min) / static_cast<double>(steps - 1);
+    for (size_t i = 0; i < steps; ++i)
+        out.push_back(min + step * static_cast<double>(i));
+    return out;
+}
+
+DesignSpace
+DesignSpace::forDatacenter(double avg_dc_power_mw, double renewable_reach,
+                           size_t renewable_steps, size_t battery_steps,
+                           size_t extra_steps)
+{
+    require(avg_dc_power_mw > 0.0, "average DC power must be positive");
+    DesignSpace space;
+    space.solar_mw = {0.0, renewable_reach * avg_dc_power_mw,
+                      renewable_steps};
+    space.wind_mw = {0.0, renewable_reach * avg_dc_power_mw,
+                     renewable_steps};
+    space.battery_mwh = {0.0, 24.0 * avg_dc_power_mw, battery_steps};
+    space.extra_capacity = {0.0, 1.0, extra_steps};
+    return space;
+}
+
+std::vector<DesignPoint>
+DesignSpace::enumerate(Strategy strategy) const
+{
+    const std::vector<double> solars = solar_mw.samples();
+    const std::vector<double> winds = wind_mw.samples();
+    const std::vector<double> batteries = strategyUsesBattery(strategy)
+        ? battery_mwh.samples()
+        : std::vector<double>{0.0};
+    const std::vector<double> extras = strategyUsesCas(strategy)
+        ? extra_capacity.samples()
+        : std::vector<double>{0.0};
+
+    std::vector<DesignPoint> out;
+    out.reserve(solars.size() * winds.size() * batteries.size() *
+                extras.size());
+    for (double s : solars) {
+        for (double w : winds) {
+            for (double b : batteries) {
+                for (double x : extras)
+                    out.push_back(DesignPoint{s, w, b, x});
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+DesignSpace::sizeFor(Strategy strategy) const
+{
+    size_t n = solar_mw.steps * wind_mw.steps;
+    if (strategyUsesBattery(strategy))
+        n *= battery_mwh.steps;
+    if (strategyUsesCas(strategy))
+        n *= extra_capacity.steps;
+    return n;
+}
+
+} // namespace carbonx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bounded design space for the exhaustive search (paper section 5:
+ * "Carbon Explorer exhaustively searches the design space ...
+ * datacenter operators specify the bounds of the design space").
+ */
+
+#ifndef CARBONX_CORE_DESIGN_SPACE_H
+#define CARBONX_CORE_DESIGN_SPACE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/design_point.h"
+
+namespace carbonx
+{
+
+/** One linearly sampled axis of the design space. */
+struct AxisSpec
+{
+    double min = 0.0;
+    double max = 0.0;
+    size_t steps = 1; ///< Number of samples, inclusive of both ends.
+
+    /** The sampled values: linspace(min, max, steps). */
+    std::vector<double> samples() const;
+};
+
+/** The four-axis design space. */
+struct DesignSpace
+{
+    AxisSpec solar_mw;
+    AxisSpec wind_mw;
+    AxisSpec battery_mwh;
+    AxisSpec extra_capacity;
+
+    /**
+     * A sensible default space for a datacenter of the given average
+     * power: renewables up to @p renewable_reach x the average power,
+     * batteries up to 24 hours of compute, extra servers up to +100%.
+     */
+    static DesignSpace forDatacenter(double avg_dc_power_mw,
+                                     double renewable_reach = 8.0,
+                                     size_t renewable_steps = 9,
+                                     size_t battery_steps = 9,
+                                     size_t extra_steps = 5);
+
+    /**
+     * Enumerate every design point relevant to @p strategy. Axes a
+     * strategy does not use are collapsed to zero (e.g. the battery
+     * axis under RenewablesOnly), so the search never wastes
+     * evaluations on unused dimensions.
+     */
+    std::vector<DesignPoint> enumerate(Strategy strategy) const;
+
+    /** Number of points enumerate(strategy) will return. */
+    size_t sizeFor(Strategy strategy) const;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_DESIGN_SPACE_H

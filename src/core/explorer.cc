@@ -1,0 +1,377 @@
+#include "explorer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "battery/clc_battery.h"
+#include "carbon/operational.h"
+#include "common/error.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "grid/balancing_authority.h"
+
+namespace carbonx
+{
+
+namespace
+{
+
+/** Build the load trace for a config. */
+LoadTrace
+makeLoadTrace(const ExplorerConfig &config)
+{
+    LoadModelParams params = config.load_params;
+    params.avg_power_mw = config.avg_dc_power_mw;
+    const DatacenterLoadModel model(params);
+    return model.generate(config.year, config.seed);
+}
+
+/** Build the grid trace for a config. */
+GridTrace
+makeGridTrace(const ExplorerConfig &config)
+{
+    const auto &profile =
+        BalancingAuthorityRegistry::instance().lookup(config.ba_code);
+    const GridSynthesizer synth(profile, config.seed);
+    return synth.synthesize(config.year);
+}
+
+/** Wrap external traces in a GridTrace (mix/demand left empty). */
+GridTrace
+traceFromExternal(const ExternalTraces &traces)
+{
+    GridTrace trace(traces.dc_power.year());
+    trace.intensity = traces.intensity;
+    trace.solar_potential = traces.solar_shape;
+    trace.wind_potential = traces.wind_shape;
+    return trace;
+}
+
+/** Wrap an external load series in a LoadTrace. */
+LoadTrace
+loadFromExternal(const ExternalTraces &traces)
+{
+    LoadTrace trace(traces.dc_power.year());
+    trace.power = traces.dc_power;
+    trace.utilization = traces.dc_power.scaledToMax(1.0);
+    return trace;
+}
+
+} // namespace
+
+ExternalTraces
+ExternalTraces::fromCsv(const std::string &path, int year)
+{
+    const CsvTable csv = CsvTable::readFile(path);
+    const HourlyCalendar calendar(year);
+    require(csv.numRows() == calendar.hoursInYear(),
+            "trace CSV must have one row per hour of the year");
+    TimeSeries load(year, csv.numericColumn("dc_power_mw"));
+    TimeSeries solar(year, csv.numericColumn("solar_mw"));
+    TimeSeries wind(year, csv.numericColumn("wind_mw"));
+    TimeSeries intensity(year,
+                         csv.numericColumn("intensity_g_per_kwh"));
+    return ExternalTraces(std::move(load), solar.scaledToMax(1.0),
+                          wind.scaledToMax(1.0), std::move(intensity));
+}
+
+CarbonExplorer::CarbonExplorer(ExplorerConfig config)
+    : config_(std::move(config)), grid_trace_(makeGridTrace(config_)),
+      load_trace_(makeLoadTrace(config_)),
+      solar_shape_(grid_trace_.solar_potential.scaledToMax(1.0)),
+      wind_shape_(grid_trace_.wind_potential.scaledToMax(1.0)),
+      coverage_(load_trace_.power, solar_shape_, wind_shape_),
+      embodied_(config_.renewable_embodied, config_.server_spec),
+      peak_power_mw_(load_trace_.power.max())
+{
+    require(config_.flexible_ratio >= 0.0 && config_.flexible_ratio <= 1.0,
+            "flexible ratio must be in [0, 1]");
+}
+
+CarbonExplorer::CarbonExplorer(ExplorerConfig config,
+                               const ExternalTraces &traces)
+    : config_(std::move(config)), grid_trace_(traceFromExternal(traces)),
+      load_trace_(loadFromExternal(traces)),
+      solar_shape_(traces.solar_shape), wind_shape_(traces.wind_shape),
+      coverage_(load_trace_.power, solar_shape_, wind_shape_),
+      embodied_(config_.renewable_embodied, config_.server_spec),
+      peak_power_mw_(load_trace_.power.max())
+{
+    require(config_.flexible_ratio >= 0.0 && config_.flexible_ratio <= 1.0,
+            "flexible ratio must be in [0, 1]");
+    require(traces.dc_power.year() == traces.intensity.year() &&
+                traces.dc_power.year() == traces.solar_shape.year() &&
+                traces.dc_power.year() == traces.wind_shape.year(),
+            "external traces must cover the same year");
+}
+
+SimulationConfig
+CarbonExplorer::simulationConfig(const DesignPoint &point,
+                                 Strategy strategy,
+                                 BatteryModel *battery) const
+{
+    SimulationConfig sim;
+    sim.capacity_cap_mw =
+        peak_power_mw_ * (1.0 + (strategyUsesCas(strategy)
+                                     ? point.extra_capacity
+                                     : 0.0));
+    sim.flexible_ratio =
+        strategyUsesCas(strategy) ? config_.flexible_ratio : 0.0;
+    sim.slo_window_hours = config_.slo_window_hours;
+    sim.battery = strategyUsesBattery(strategy) ? battery : nullptr;
+    return sim;
+}
+
+Evaluation
+CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
+                               const SimulationResult &sim) const
+{
+    Evaluation eval;
+    eval.point = point;
+    eval.strategy = strategy;
+    eval.coverage_pct = sim.coverage_pct;
+    eval.operational_kg =
+        OperationalCarbonModel::gridEmissions(sim.grid_power,
+                                              grid_trace_.intensity)
+            .value();
+
+    // Renewable embodied carbon follows generated energy (LCA per-kWh
+    // footprints amortize manufacturing over lifetime generation).
+    // Under ConsumedEnergy attribution only the energy the DC used is
+    // charged (its PPA share, split pro-rata between solar and wind);
+    // under WholeFarm the full generation is charged.
+    const double solar_gen_mwh = solar_shape_.total() * point.solar_mw;
+    const double wind_gen_mwh = wind_shape_.total() * point.wind_mw;
+    double solar_attr = solar_gen_mwh;
+    double wind_attr = wind_gen_mwh;
+    if (config_.attribution == RenewableAttribution::ConsumedEnergy) {
+        const double total_gen = solar_gen_mwh + wind_gen_mwh;
+        const double used_fraction = total_gen > 0.0
+            ? std::min(sim.renewable_used_mwh / total_gen, 1.0)
+            : 0.0;
+        solar_attr *= used_fraction;
+        wind_attr *= used_fraction;
+    }
+    eval.embodied_solar_kg = embodied_.solarAnnual(solar_attr).value();
+    eval.embodied_wind_kg = embodied_.windAnnual(wind_attr).value();
+
+    if (strategyUsesBattery(strategy) && point.battery_mwh > 0.0) {
+        const double days =
+            static_cast<double>(load_trace_.power.calendar().daysInYear());
+        const double cycles_per_day = sim.battery_cycles / days;
+        eval.embodied_battery_kg =
+            embodied_
+                .batteryAnnual(point.battery_mwh, config_.chemistry,
+                               cycles_per_day)
+                .value();
+    }
+    if (strategyUsesCas(strategy)) {
+        eval.embodied_server_kg =
+            embodied_
+                .extraServersAnnual(peak_power_mw_, point.extra_capacity)
+                .value();
+    }
+
+    eval.battery_cycles = sim.battery_cycles;
+    eval.deferred_mwh = sim.deferred_mwh;
+    eval.renewable_excess_mwh = sim.renewable_excess_mwh;
+    return eval;
+}
+
+SimulationResult
+CarbonExplorer::simulate(const DesignPoint &point, Strategy strategy) const
+{
+    const TimeSeries supply =
+        coverage_.supplyFor(point.solar_mw, point.wind_mw);
+    const SimulationEngine engine(load_trace_.power, supply);
+
+    std::unique_ptr<ClcBattery> battery;
+    if (strategyUsesBattery(strategy) && point.battery_mwh > 0.0) {
+        battery = std::make_unique<ClcBattery>(point.battery_mwh,
+                                               config_.chemistry);
+    }
+    return engine.run(simulationConfig(point, strategy, battery.get()));
+}
+
+Evaluation
+CarbonExplorer::evaluate(const DesignPoint &point, Strategy strategy) const
+{
+    return evaluationFrom(point, strategy, simulate(point, strategy));
+}
+
+OptimizationResult
+CarbonExplorer::optimize(const DesignSpace &space, Strategy strategy) const
+{
+    OptimizationResult result;
+    result.evaluated.reserve(space.sizeFor(strategy));
+
+    const std::vector<double> solars = space.solar_mw.samples();
+    const std::vector<double> winds = space.wind_mw.samples();
+    const std::vector<double> batteries = strategyUsesBattery(strategy)
+        ? space.battery_mwh.samples()
+        : std::vector<double>{0.0};
+    const std::vector<double> extras = strategyUsesCas(strategy)
+        ? space.extra_capacity.samples()
+        : std::vector<double>{0.0};
+
+    bool have_best = false;
+    for (double s : solars) {
+        for (double w : winds) {
+            // One engine per renewable pair: battery/server axes
+            // reuse the same load/supply series.
+            const TimeSeries supply = coverage_.supplyFor(s, w);
+            const SimulationEngine engine(load_trace_.power, supply);
+            for (double b : batteries) {
+                std::unique_ptr<ClcBattery> battery;
+                if (strategyUsesBattery(strategy) && b > 0.0) {
+                    battery = std::make_unique<ClcBattery>(
+                        b, config_.chemistry);
+                }
+                for (double x : extras) {
+                    const DesignPoint point{s, w, b, x};
+                    const SimulationResult sim = engine.run(
+                        simulationConfig(point, strategy, battery.get()));
+                    Evaluation eval =
+                        evaluationFrom(point, strategy, sim);
+                    if (!have_best ||
+                        eval.totalKg() < result.best.totalKg()) {
+                        result.best = eval;
+                        have_best = true;
+                    }
+                    result.evaluated.push_back(std::move(eval));
+                }
+            }
+        }
+    }
+    ensure(have_best, "optimization evaluated no design points");
+    return result;
+}
+
+std::vector<Evaluation>
+OptimizationResult::paretoSet() const
+{
+    std::vector<ParetoPoint> points;
+    points.reserve(evaluated.size());
+    for (size_t i = 0; i < evaluated.size(); ++i) {
+        points.push_back(ParetoPoint{evaluated[i].embodiedKg(),
+                                     evaluated[i].operational_kg, i});
+    }
+    std::vector<Evaluation> out;
+    for (const auto &p : paretoFrontier(points))
+        out.push_back(evaluated[p.tag]);
+    return out;
+}
+
+OptimizationResult
+CarbonExplorer::optimizeRefined(const DesignSpace &space,
+                                Strategy strategy, int rounds) const
+{
+    require(rounds >= 0, "refinement rounds must be >= 0");
+    OptimizationResult result = optimize(space, strategy);
+
+    DesignSpace current = space;
+    for (int round = 0; round < rounds; ++round) {
+        // Zoom each axis onto [best - step, best + step], clamped to
+        // the original bounds; keep the sample counts.
+        auto zoom = [](const AxisSpec &orig, const AxisSpec &cur,
+                       double best) {
+            AxisSpec next = cur;
+            const double step = cur.steps > 1
+                ? (cur.max - cur.min) /
+                      static_cast<double>(cur.steps - 1)
+                : 0.0;
+            next.min = std::max(orig.min, best - step);
+            next.max = std::min(orig.max, best + step);
+            if (next.max <= next.min)
+                next.steps = 1;
+            return next;
+        };
+        const DesignPoint &best = result.best.point;
+        current.solar_mw =
+            zoom(space.solar_mw, current.solar_mw, best.solar_mw);
+        current.wind_mw =
+            zoom(space.wind_mw, current.wind_mw, best.wind_mw);
+        current.battery_mwh = zoom(space.battery_mwh,
+                                   current.battery_mwh,
+                                   best.battery_mwh);
+        current.extra_capacity = zoom(space.extra_capacity,
+                                      current.extra_capacity,
+                                      best.extra_capacity);
+
+        OptimizationResult pass = optimize(current, strategy);
+        if (pass.best.totalKg() < result.best.totalKg())
+            result.best = pass.best;
+        for (auto &e : pass.evaluated)
+            result.evaluated.push_back(std::move(e));
+    }
+    return result;
+}
+
+double
+CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
+                                          double target_pct,
+                                          double max_mwh) const
+{
+    if (max_mwh < 0.0)
+        max_mwh = 100.0 * config_.avg_dc_power_mw;
+
+    const TimeSeries supply = coverage_.supplyFor(solar_mw, wind_mw);
+    const SimulationEngine engine(load_trace_.power, supply);
+
+    auto coverageAt = [&](double mwh) {
+        if (mwh <= 0.0)
+            return engine.renewableOnlyCoverage();
+        ClcBattery battery(mwh, config_.chemistry);
+        SimulationConfig sim;
+        sim.capacity_cap_mw = peak_power_mw_;
+        sim.battery = &battery;
+        return engine.run(sim).coverage_pct;
+    };
+
+    if (coverageAt(max_mwh) < target_pct)
+        return -1.0;
+    double lo = 0.0;
+    double hi = max_mwh;
+    for (int iter = 0; iter < 50; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (coverageAt(mid) >= target_pct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+double
+CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
+                                                double wind_mw,
+                                                double target_pct,
+                                                double max_extra) const
+{
+    const TimeSeries supply = coverage_.supplyFor(solar_mw, wind_mw);
+    const SimulationEngine engine(load_trace_.power, supply);
+
+    auto coverageAt = [&](double extra) {
+        SimulationConfig sim;
+        sim.capacity_cap_mw = peak_power_mw_ * (1.0 + extra);
+        sim.flexible_ratio = config_.flexible_ratio;
+        sim.slo_window_hours = config_.slo_window_hours;
+        return engine.run(sim).coverage_pct;
+    };
+
+    if (coverageAt(max_extra) < target_pct)
+        return -1.0;
+    double lo = 0.0;
+    double hi = max_extra;
+    for (int iter = 0; iter < 50; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (coverageAt(mid) >= target_pct)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace carbonx

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * The CarbonExplorer facade: the framework of Fig. 13.
+ *
+ * Inputs: hourly datacenter power demand and hourly renewable supply
+ * shapes for a geographic region (synthesized by src/grid and
+ * src/datacenter), plus manufacturing footprints and lifetimes of
+ * solar panels, wind turbines, batteries, and servers.
+ *
+ * Output: carbon-optimal renewable investment amounts, battery
+ * capacity, and server capacity, found by exhaustively minimizing
+ * operational + embodied carbon over a user-bounded design space.
+ */
+
+#ifndef CARBONX_CORE_EXPLORER_H
+#define CARBONX_CORE_EXPLORER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "battery/chemistry.h"
+#include "carbon/embodied.h"
+#include "core/coverage.h"
+#include "core/design_point.h"
+#include "core/design_space.h"
+#include "core/pareto.h"
+#include "datacenter/load_model.h"
+#include "grid/grid_synthesizer.h"
+#include "scheduler/simulation_engine.h"
+
+namespace carbonx
+{
+
+/**
+ * How renewable-farm embodied carbon is attributed to the datacenter.
+ *
+ * The paper's life-cycle footprints (g CO2 per kWh generated) can be
+ * charged to the datacenter in two defensible ways:
+ *  - ConsumedEnergy: the DC carries the footprint of the renewable
+ *    energy it actually consumes (its PPA share); the farm's surplus
+ *    carries its own footprint to whoever absorbs it on the grid.
+ *    This reproduces the paper's behavior, where heavily oversized
+ *    farms and 100% 24/7 coverage can still be carbon-optimal.
+ *  - WholeFarm: the DC carries the footprint of everything its
+ *    contracted farms generate, surplus included. Conservative; makes
+ *    oversizing expensive and lowers the optimal coverage.
+ */
+enum class RenewableAttribution
+{
+    ConsumedEnergy,
+    WholeFarm,
+};
+
+/** Full configuration of one Carbon Explorer study. */
+struct ExplorerConfig
+{
+    /** Balancing authority powering the datacenter. */
+    std::string ba_code = "PACE";
+
+    /** Evaluation year (the paper uses 2020). */
+    int year = 2020;
+
+    /** Master seed for all synthetic traces. */
+    uint64_t seed = 2020;
+
+    /** Average datacenter power (MW). */
+    double avg_dc_power_mw = 30.0;
+
+    /**
+     * Flexible workload ratio for carbon-aware scheduling; the
+     * paper's holistic analysis uses 0.4.
+     */
+    double flexible_ratio = 0.4;
+
+    /** Completion SLO for deferred work (hours). */
+    double slo_window_hours = 24.0;
+
+    /** Battery chemistry for storage strategies. */
+    BatteryChemistry chemistry = BatteryChemistry::lithiumIronPhosphate();
+
+    /** Life-cycle footprints of wind/solar assets. */
+    RenewableEmbodiedParams renewable_embodied{};
+
+    /** Embodied-carbon attribution for renewable farms. */
+    RenewableAttribution attribution =
+        RenewableAttribution::ConsumedEnergy;
+
+    /** Server SKU for extra demand-response capacity. */
+    ServerSpec server_spec{};
+
+    /** Extra knobs of the demand model (avg power is overridden). */
+    LoadModelParams load_params{};
+};
+
+/** Carbon outcome of one (design point, strategy) evaluation. */
+struct Evaluation
+{
+    DesignPoint point;
+    Strategy strategy = Strategy::RenewablesOnly;
+
+    double coverage_pct = 0.0;
+
+    /** Annual operational carbon from grid draw (kg CO2eq). */
+    double operational_kg = 0.0;
+
+    /** Annual embodied attributions per asset class (kg CO2eq). */
+    double embodied_solar_kg = 0.0;
+    double embodied_wind_kg = 0.0;
+    double embodied_battery_kg = 0.0;
+    double embodied_server_kg = 0.0;
+
+    double battery_cycles = 0.0;       ///< Full-equivalent cycles/year.
+    double deferred_mwh = 0.0;         ///< Energy shifted by CAS.
+    double renewable_excess_mwh = 0.0; ///< Unused renewable supply.
+
+    double embodiedKg() const
+    {
+        return embodied_solar_kg + embodied_wind_kg +
+               embodied_battery_kg + embodied_server_kg;
+    }
+
+    double totalKg() const { return operational_kg + embodiedKg(); }
+};
+
+/** Outcome of an exhaustive search. */
+struct OptimizationResult
+{
+    Evaluation best;
+    std::vector<Evaluation> evaluated;
+
+    /** Pareto frontier of the evaluated set on (embodied, operational). */
+    std::vector<Evaluation> paretoSet() const;
+};
+
+/**
+ * User-supplied hourly traces, for running Carbon Explorer on real
+ * data (e.g. actual EIA grid-monitor exports and metered datacenter
+ * load) instead of the built-in synthetic models.
+ */
+struct ExternalTraces
+{
+    TimeSeries dc_power;    ///< Hourly datacenter demand (MW).
+    TimeSeries solar_shape; ///< Per-unit solar shape (max 1.0).
+    TimeSeries wind_shape;  ///< Per-unit wind shape (max 1.0).
+    TimeSeries intensity;   ///< Grid carbon intensity (g/kWh).
+
+    ExternalTraces(TimeSeries load, TimeSeries solar, TimeSeries wind,
+                   TimeSeries inten)
+        : dc_power(std::move(load)), solar_shape(std::move(solar)),
+          wind_shape(std::move(wind)), intensity(std::move(inten))
+    {
+    }
+
+    /**
+     * Load from a CSV with columns dc_power_mw, solar_mw, wind_mw,
+     * intensity_g_per_kwh (one row per hour of @p year; extra columns
+     * ignored). Solar/wind columns are rescaled to per-unit shapes.
+     */
+    static ExternalTraces fromCsv(const std::string &path, int year);
+};
+
+/** The design-space exploration facade. */
+class CarbonExplorer
+{
+  public:
+    explicit CarbonExplorer(ExplorerConfig config);
+
+    /**
+     * Construct from user-supplied traces instead of the synthetic
+     * grid/load models. The config still provides the embodied
+     * parameters, chemistry, flexibility and attribution; its
+     * ba_code / avg_dc_power_mw / seed are ignored.
+     */
+    CarbonExplorer(ExplorerConfig config, const ExternalTraces &traces);
+
+    /** Evaluate one candidate design under a strategy. */
+    Evaluation evaluate(const DesignPoint &point, Strategy strategy) const;
+
+    /**
+     * Full simulation detail (hourly series, battery SoC, backlog
+     * stats) for one candidate design; used by the illustration
+     * figures (11, 16).
+     */
+    SimulationResult simulate(const DesignPoint &point,
+                              Strategy strategy) const;
+
+    /** Exhaustive search: minimize total (op + embodied) carbon. */
+    OptimizationResult optimize(const DesignSpace &space,
+                                Strategy strategy) const;
+
+    /**
+     * Exhaustive search followed by @p rounds of local refinement:
+     * after each pass the space is zoomed onto the best point (one
+     * coarse step in every direction) and re-sampled, converging on
+     * the carbon optimum far faster than a uniformly fine grid.
+     * The returned evaluated set is the union of all passes.
+     */
+    OptimizationResult optimizeRefined(const DesignSpace &space,
+                                       Strategy strategy,
+                                       int rounds = 2) const;
+
+    /**
+     * Smallest battery (MWh) that reaches @p target_pct coverage for
+     * the given renewable investment, by bisection; negative when
+     * unreachable below @p max_mwh.
+     */
+    double minimumBatteryForCoverage(double solar_mw, double wind_mw,
+                                     double target_pct = 99.999,
+                                     double max_mwh = -1.0) const;
+
+    /**
+     * Smallest extra server fraction that reaches @p target_pct
+     * coverage with carbon-aware scheduling (no battery); negative
+     * when unreachable below @p max_extra.
+     */
+    double minimumExtraCapacityForCoverage(double solar_mw,
+                                           double wind_mw,
+                                           double target_pct = 99.999,
+                                           double max_extra = 4.0) const;
+
+    const ExplorerConfig &config() const { return config_; }
+    const GridTrace &gridTrace() const { return grid_trace_; }
+    const TimeSeries &dcPower() const { return load_trace_.power; }
+    const TimeSeries &gridIntensity() const { return grid_trace_.intensity; }
+    const CoverageAnalyzer &coverageAnalyzer() const { return coverage_; }
+    double dcPeakPowerMw() const { return peak_power_mw_; }
+
+  private:
+    SimulationConfig
+    simulationConfig(const DesignPoint &point, Strategy strategy,
+                     BatteryModel *battery) const;
+
+    Evaluation
+    evaluationFrom(const DesignPoint &point, Strategy strategy,
+                   const SimulationResult &sim) const;
+
+    ExplorerConfig config_;
+    GridTrace grid_trace_;
+    LoadTrace load_trace_;
+    TimeSeries solar_shape_;
+    TimeSeries wind_shape_;
+    CoverageAnalyzer coverage_;
+    EmbodiedCarbonModel embodied_;
+    double peak_power_mw_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_EXPLORER_H

@@ -1,0 +1,43 @@
+#include "pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace carbonx
+{
+
+bool
+dominates(const ParetoPoint &a, const ParetoPoint &b)
+{
+    return a.embodied_kg <= b.embodied_kg &&
+           a.operational_kg <= b.operational_kg &&
+           (a.embodied_kg < b.embodied_kg ||
+            a.operational_kg < b.operational_kg);
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(const std::vector<ParetoPoint> &points)
+{
+    // Sort by embodied ascending, operational ascending as tiebreak;
+    // then a single sweep keeps points with strictly decreasing
+    // operational carbon.
+    std::vector<ParetoPoint> sorted = points;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const ParetoPoint &a, const ParetoPoint &b) {
+                         if (a.embodied_kg != b.embodied_kg)
+                             return a.embodied_kg < b.embodied_kg;
+                         return a.operational_kg < b.operational_kg;
+                     });
+
+    std::vector<ParetoPoint> frontier;
+    double best_operational = std::numeric_limits<double>::infinity();
+    for (const auto &p : sorted) {
+        if (p.operational_kg < best_operational) {
+            frontier.push_back(p);
+            best_operational = p.operational_kg;
+        }
+    }
+    return frontier;
+}
+
+} // namespace carbonx

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Pareto-frontier extraction on the (embodied, operational) carbon
+ * plane (paper Fig. 14).
+ */
+
+#ifndef CARBONX_CORE_PARETO_H
+#define CARBONX_CORE_PARETO_H
+
+#include <cstddef>
+#include <vector>
+
+namespace carbonx
+{
+
+/** A candidate solution projected onto the two carbon axes. */
+struct ParetoPoint
+{
+    double embodied_kg;    ///< x-axis: embodied carbon.
+    double operational_kg; ///< y-axis: operational carbon.
+    size_t tag;            ///< Caller's index back into its own data.
+};
+
+/**
+ * Extract the Pareto frontier: points not dominated by any other
+ * (a dominates b when a is <= on both axes and < on at least one).
+ * The result is sorted by embodied carbon ascending, which makes the
+ * operational axis non-increasing along the frontier.
+ */
+std::vector<ParetoPoint>
+paretoFrontier(const std::vector<ParetoPoint> &points);
+
+/** True when @p a dominates @p b. */
+bool dominates(const ParetoPoint &a, const ParetoPoint &b);
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_PARETO_H

@@ -1,0 +1,60 @@
+#include "report.h"
+
+#include <ostream>
+
+#include "common/table.h"
+
+namespace carbonx
+{
+
+std::string
+summarizeEvaluation(const Evaluation &eval)
+{
+    return strategyName(eval.strategy) + " [" + eval.point.describe() +
+           "]: coverage " + formatPercent(eval.coverage_pct) +
+           ", operational " +
+           formatFixed(KilogramsCo2(eval.operational_kg).kilotons(), 2) +
+           " kt, embodied " +
+           formatFixed(KilogramsCo2(eval.embodiedKg()).kilotons(), 2) +
+           " kt, total " +
+           formatFixed(KilogramsCo2(eval.totalKg()).kilotons(), 2) + " kt";
+}
+
+void
+printEvaluationTable(std::ostream &os, const std::string &title,
+                     const std::vector<Evaluation> &evals)
+{
+    TextTable table(title,
+                    {"Strategy", "Design", "Coverage %", "Op ktCO2",
+                     "Emb ktCO2", "Total ktCO2"});
+    for (const auto &e : evals) {
+        table.addRow({strategyName(e.strategy), e.point.describe(),
+                      formatFixed(e.coverage_pct, 1),
+                      formatFixed(KilogramsCo2(e.operational_kg).kilotons(),
+                                  2),
+                      formatFixed(KilogramsCo2(e.embodiedKg()).kilotons(),
+                                  2),
+                      formatFixed(KilogramsCo2(e.totalKg()).kilotons(),
+                                  2)});
+    }
+    table.print(os);
+}
+
+void
+printParetoTable(std::ostream &os, const std::string &title,
+                 const std::vector<Evaluation> &frontier)
+{
+    TextTable table(title, {"Emb ktCO2", "Op ktCO2", "Coverage %",
+                            "Design"});
+    for (const auto &e : frontier) {
+        table.addRow({formatFixed(KilogramsCo2(e.embodiedKg()).kilotons(),
+                                  2),
+                      formatFixed(KilogramsCo2(e.operational_kg).kilotons(),
+                                  2),
+                      formatFixed(e.coverage_pct, 1),
+                      e.point.describe()});
+    }
+    table.print(os);
+}
+
+} // namespace carbonx

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Textual reporting of exploration results, shared by the example
+ * programs and benchmark harnesses.
+ */
+
+#ifndef CARBONX_CORE_REPORT_H
+#define CARBONX_CORE_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+
+namespace carbonx
+{
+
+/** One-line summary of an evaluation. */
+std::string summarizeEvaluation(const Evaluation &eval);
+
+/**
+ * Print a strategy-comparison table: one row per evaluation (coverage,
+ * operational, embodied, total carbon).
+ */
+void printEvaluationTable(std::ostream &os, const std::string &title,
+                          const std::vector<Evaluation> &evals);
+
+/** Print a Pareto frontier as (embodied, operational) rows. */
+void printParetoTable(std::ostream &os, const std::string &title,
+                      const std::vector<Evaluation> &frontier);
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_REPORT_H

@@ -1,0 +1,47 @@
+#include "robustness.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+RobustnessAnalysis::RobustnessAnalysis(ExplorerConfig base,
+                                       std::vector<uint64_t> seeds)
+    : base_(std::move(base)), seeds_(std::move(seeds))
+{
+    require(!seeds_.empty(), "robustness needs at least one seed");
+}
+
+std::vector<uint64_t>
+RobustnessAnalysis::sequentialSeeds(uint64_t base, size_t count)
+{
+    require(count >= 1, "need at least one seed");
+    std::vector<uint64_t> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(base + i);
+    return out;
+}
+
+RobustnessReport
+RobustnessAnalysis::evaluate(const DesignPoint &point,
+                             Strategy strategy) const
+{
+    RobustnessReport report;
+    report.point = point;
+    report.strategy = strategy;
+    report.years = seeds_.size();
+
+    for (uint64_t seed : seeds_) {
+        ExplorerConfig config = base_;
+        config.seed = seed;
+        const CarbonExplorer explorer(config);
+        const Evaluation eval = explorer.evaluate(point, strategy);
+        report.coverage_pct.add(eval.coverage_pct);
+        report.total_kg.add(eval.totalKg());
+        report.operational_kg.add(eval.operational_kg);
+    }
+    return report;
+}
+
+} // namespace carbonx

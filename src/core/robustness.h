@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Weather-robustness analysis of a chosen design.
+ *
+ * The paper optimizes against one year of data (2020). A design tuned
+ * to one weather year can disappoint in another: lulls land elsewhere,
+ * cloudy spells run longer. This module re-simulates a fixed design
+ * under many independent synthetic weather years (different seeds)
+ * and reports the distribution of coverage and total carbon — the
+ * design's robustness, and a guard against over-fitting the optimizer
+ * to a single trace.
+ */
+
+#ifndef CARBONX_CORE_ROBUSTNESS_H
+#define CARBONX_CORE_ROBUSTNESS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/explorer.h"
+
+namespace carbonx
+{
+
+/** Distribution of a design's outcomes across weather years. */
+struct RobustnessReport
+{
+    DesignPoint point;
+    Strategy strategy = Strategy::RenewablesOnly;
+    size_t years = 0;
+
+    SummaryStats coverage_pct;
+    SummaryStats total_kg;
+    SummaryStats operational_kg;
+
+    /** Worst-year coverage; the number a 24/7 pledge must survive. */
+    double worstCoverage() const { return coverage_pct.min(); }
+
+    /** Coverage spread (max - min) across weather years. */
+    double coverageSpread() const
+    {
+        return coverage_pct.max() - coverage_pct.min();
+    }
+};
+
+/** Re-simulates designs across independent weather seeds. */
+class RobustnessAnalysis
+{
+  public:
+    /**
+     * @param base Study configuration; its seed field is replaced by
+     *        each trial seed.
+     * @param seeds One synthetic weather year per seed.
+     */
+    RobustnessAnalysis(ExplorerConfig base,
+                       std::vector<uint64_t> seeds);
+
+    /** Convenience: seeds base+0 .. base+count-1. */
+    static std::vector<uint64_t> sequentialSeeds(uint64_t base,
+                                                 size_t count);
+
+    /** Evaluate a fixed design under every weather year. */
+    RobustnessReport evaluate(const DesignPoint &point,
+                              Strategy strategy) const;
+
+    const std::vector<uint64_t> &seeds() const { return seeds_; }
+
+  private:
+    ExplorerConfig base_;
+    std::vector<uint64_t> seeds_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_ROBUSTNESS_H

@@ -1,0 +1,93 @@
+#include "sensitivity.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+double
+SensitivityRow::totalSwingFraction() const
+{
+    const double lo = best_low.totalKg();
+    const double hi = best_high.totalKg();
+    const double base = std::min(lo, hi);
+    return base > 0.0 ? std::abs(hi - lo) / base : 0.0;
+}
+
+double
+SensitivityRow::coverageSwingPoints() const
+{
+    return std::abs(best_high.coverage_pct - best_low.coverage_pct);
+}
+
+SensitivityAnalysis::SensitivityAnalysis(ExplorerConfig base,
+                                         DesignSpace space,
+                                         Strategy strategy)
+    : base_(std::move(base)), space_(space), strategy_(strategy)
+{
+}
+
+std::vector<SensitivityParameter>
+SensitivityAnalysis::paperRanges()
+{
+    std::vector<SensitivityParameter> params;
+    params.push_back({"solar embodied (g/kWh)", 40.0, 70.0,
+                      [](ExplorerConfig &c, double v) {
+                          c.renewable_embodied.solar_g_per_kwh = v;
+                      }});
+    params.push_back({"wind embodied (g/kWh)", 10.0, 15.0,
+                      [](ExplorerConfig &c, double v) {
+                          c.renewable_embodied.wind_g_per_kwh = v;
+                      }});
+    params.push_back({"battery embodied (kg/kWh)", 74.0, 134.0,
+                      [](ExplorerConfig &c, double v) {
+                          c.chemistry.embodied_kg_per_kwh = v;
+                      }});
+    params.push_back({"server lifetime (years)", 3.0, 5.0,
+                      [](ExplorerConfig &c, double v) {
+                          c.server_spec.lifetime_years = v;
+                      }});
+    params.push_back({"flexible workload ratio", 0.2, 0.6,
+                      [](ExplorerConfig &c, double v) {
+                          c.flexible_ratio = v;
+                      }});
+    return params;
+}
+
+SensitivityRow
+SensitivityAnalysis::run(const SensitivityParameter &parameter) const
+{
+    require(static_cast<bool>(parameter.apply),
+            "sensitivity parameter has no apply function");
+
+    SensitivityRow row;
+    row.parameter = parameter.name;
+    row.low_value = parameter.low;
+    row.high_value = parameter.high;
+
+    ExplorerConfig low = base_;
+    parameter.apply(low, parameter.low);
+    row.best_low = CarbonExplorer(low)
+        .optimize(space_, strategy_).best;
+
+    ExplorerConfig high = base_;
+    parameter.apply(high, parameter.high);
+    row.best_high = CarbonExplorer(high)
+        .optimize(space_, strategy_).best;
+    return row;
+}
+
+std::vector<SensitivityRow>
+SensitivityAnalysis::runAll(
+    const std::vector<SensitivityParameter> &parameters) const
+{
+    std::vector<SensitivityRow> out;
+    out.reserve(parameters.size());
+    for (const auto &p : parameters)
+        out.push_back(run(p));
+    return out;
+}
+
+} // namespace carbonx

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parameter sensitivity analysis.
+ *
+ * Section 6: "Carbon Explorer emphasizes parameterized models because
+ * our understanding of carbon emissions in computing is still rapidly
+ * evolving ... Carbon Explorer sets parameters based on the best
+ * publicly available data and these parameters can be tuned as better
+ * data becomes available." This module quantifies how much each
+ * headline parameter matters: it re-optimizes the design at the low
+ * and high end of every published range (solar 40-70 g/kWh, wind
+ * 10-15 g/kWh, battery 74-134 kg/kWh, server lifetime 3-5 years,
+ * flexible ratio) and reports the swing in the optimal design and its
+ * total carbon.
+ */
+
+#ifndef CARBONX_CORE_SENSITIVITY_H
+#define CARBONX_CORE_SENSITIVITY_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/explorer.h"
+
+namespace carbonx
+{
+
+/** Outcome of perturbing one parameter across its published range. */
+struct SensitivityRow
+{
+    std::string parameter;  ///< e.g. "solar embodied g/kWh".
+    double low_value;       ///< Low end of the published range.
+    double high_value;      ///< High end.
+    Evaluation best_low;    ///< Re-optimized design at the low end.
+    Evaluation best_high;   ///< Re-optimized design at the high end.
+
+    /** Relative swing of the optimal total carbon across the range. */
+    double totalSwingFraction() const;
+
+    /** Absolute change in optimal coverage across the range. */
+    double coverageSwingPoints() const;
+};
+
+/** One named parameter perturbation. */
+struct SensitivityParameter
+{
+    std::string name;
+    double low;
+    double high;
+    /** Applies the value to a config copy. */
+    std::function<void(ExplorerConfig &, double)> apply;
+};
+
+/** Re-optimizes designs across published parameter ranges. */
+class SensitivityAnalysis
+{
+  public:
+    /**
+     * @param base Baseline study configuration.
+     * @param space Design space searched for every perturbation.
+     * @param strategy Strategy optimized for every perturbation.
+     */
+    SensitivityAnalysis(ExplorerConfig base, DesignSpace space,
+                        Strategy strategy);
+
+    /** The paper's published ranges, ready to run. */
+    static std::vector<SensitivityParameter> paperRanges();
+
+    /** Run one parameter's low/high perturbation. */
+    SensitivityRow run(const SensitivityParameter &parameter) const;
+
+    /** Run every parameter. */
+    std::vector<SensitivityRow>
+    runAll(const std::vector<SensitivityParameter> &parameters) const;
+
+  private:
+    ExplorerConfig base_;
+    DesignSpace space_;
+    Strategy strategy_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_CORE_SENSITIVITY_H

@@ -1,0 +1,96 @@
+#include "load_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace carbonx
+{
+
+DatacenterLoadModel::DatacenterLoadModel(const LoadModelParams &params)
+    : params_(params)
+{
+    require(params.avg_power_mw > 0.0, "average DC power must be positive");
+    require(params.util_mean > 0.0 && params.util_mean < 1.0,
+            "mean utilization must be in (0, 1)");
+    require(params.util_swing >= 0.0 &&
+                params.util_mean + 0.5 * params.util_swing <= 1.0,
+            "utilization swing exceeds capacity");
+    require(params.idle_power_fraction >= 0.0 &&
+                params.idle_power_fraction < 1.0,
+            "idle power fraction must be in [0, 1)");
+
+    // Power is linear in utilization, so mean power corresponds to
+    // mean utilization; solve for the provisioned peak.
+    const double frac_at_mean = params.idle_power_fraction +
+        (1.0 - params.idle_power_fraction) * params.util_mean;
+    peak_power_mw_ = params.avg_power_mw / frac_at_mean;
+}
+
+double
+DatacenterLoadModel::powerAtUtilization(double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    return peak_power_mw_ *
+        (params_.idle_power_fraction +
+         (1.0 - params_.idle_power_fraction) * u);
+}
+
+double
+DatacenterLoadModel::utilizationAtPower(double power_mw) const
+{
+    const double frac = power_mw / peak_power_mw_;
+    const double u = (frac - params_.idle_power_fraction) /
+        (1.0 - params_.idle_power_fraction);
+    return std::clamp(u, 0.0, 1.0);
+}
+
+double
+DatacenterLoadModel::peakPowerMw() const
+{
+    return peak_power_mw_;
+}
+
+double
+DatacenterLoadModel::idlePowerMw() const
+{
+    return peak_power_mw_ * params_.idle_power_fraction;
+}
+
+LoadTrace
+DatacenterLoadModel::generate(int year, uint64_t seed) const
+{
+    LoadTrace trace(year);
+    const HourlyCalendar &cal = trace.power.calendar();
+    Rng noise(seed, "dc-load");
+
+    // Autocorrelated utilization deviation (special events, organic
+    // traffic shifts) with a ~12h correlation time.
+    double dev = 0.0;
+    const double rho = std::exp(-1.0 / 12.0);
+    const double innovation =
+        params_.util_noise * std::sqrt(1.0 - rho * rho);
+
+    for (size_t h = 0; h < trace.power.size(); ++h) {
+        const double hour = static_cast<double>(h % 24);
+        const size_t day = h / 24;
+        const double diurnal = 0.5 * params_.util_swing *
+            std::cos(2.0 * std::numbers::pi *
+                     (hour - params_.peak_hour) / 24.0);
+        const int weekday = cal.weekdayOfDay(day);
+        const double weekend =
+            (weekday >= 5) ? -params_.weekend_dip * params_.util_mean : 0.0;
+        dev = rho * dev + noise.normal(0.0, innovation);
+
+        const double util = std::clamp(
+            params_.util_mean + diurnal + weekend + dev, 0.0, 1.0);
+        trace.utilization[h] = util;
+        trace.power[h] = powerAtUtilization(util);
+    }
+    return trace;
+}
+
+} // namespace carbonx

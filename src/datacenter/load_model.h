@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hyperscale datacenter load model (paper section 3.1).
+ *
+ * Substitutes for Meta's production power traces. CPU utilization
+ * follows a diurnal curve (user activity), a mild weekday/weekend
+ * effect, and autocorrelated noise; fleet power is an
+ * energy-proportional linear function of utilization with a high idle
+ * floor. Calibrated to the paper's reported facts:
+ *   - CPU utilization swings by about 20 percentage points diurnally,
+ *   - fleet power max-min swing is only ~4% (the idle floor dominates),
+ *   - power correlates strongly and linearly with utilization (Fig. 3).
+ */
+
+#ifndef CARBONX_DATACENTER_LOAD_MODEL_H
+#define CARBONX_DATACENTER_LOAD_MODEL_H
+
+#include <cstdint>
+
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Tunable parameters of the datacenter load model. */
+struct LoadModelParams
+{
+    /** Annual mean fleet power draw in MW. */
+    double avg_power_mw = 30.0;
+
+    /** Mean CPU utilization (fraction of fleet capacity). */
+    double util_mean = 0.55;
+
+    /**
+     * Peak-to-trough diurnal utilization swing (fraction). The paper
+     * reports ~0.20 for an average Meta datacenter.
+     */
+    double util_swing = 0.20;
+
+    /** Utilization drop on weekends (fraction of util_mean). */
+    double weekend_dip = 0.03;
+
+    /** Std-dev of autocorrelated utilization noise. */
+    double util_noise = 0.015;
+
+    /**
+     * Fleet power at zero utilization as a fraction of fleet power at
+     * full utilization. Includes server idle power plus facility
+     * overheads; a high floor is what compresses a 20-point CPU swing
+     * into a ~4% power swing at datacenter scale.
+     */
+    double idle_power_fraction = 0.80;
+
+    /** Hour of day (0-23) when utilization peaks. */
+    double peak_hour = 20.0;
+};
+
+/** A generated year of datacenter operation. */
+struct LoadTrace
+{
+    TimeSeries utilization; ///< CPU utilization fraction per hour.
+    TimeSeries power;       ///< Fleet power draw in MW per hour.
+
+    explicit LoadTrace(int year) : utilization(year), power(year) {}
+};
+
+/** Generates hourly utilization and power series for one year. */
+class DatacenterLoadModel
+{
+  public:
+    explicit DatacenterLoadModel(const LoadModelParams &params);
+
+    /**
+     * Fleet power (MW) for a utilization level, the linear
+     * energy-proportional model of Fig. 3 (right).
+     */
+    double powerAtUtilization(double utilization) const;
+
+    /** Inverse of powerAtUtilization, clamped to [0, 1]. */
+    double utilizationAtPower(double power_mw) const;
+
+    /** Fleet power at 100% utilization (MW); the provisioned peak. */
+    double peakPowerMw() const;
+
+    /** Fleet power at 0% utilization (MW). */
+    double idlePowerMw() const;
+
+    /** Generate a year of coupled utilization and power series. */
+    LoadTrace generate(int year, uint64_t seed) const;
+
+    const LoadModelParams &params() const { return params_; }
+
+  private:
+    LoadModelParams params_;
+    double peak_power_mw_; ///< Derived so the annual mean hits avg_power_mw.
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_DATACENTER_LOAD_MODEL_H

@@ -1,0 +1,53 @@
+#include "server_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+ServerFleet::ServerFleet(double peak_power_mw, const ServerSpec &spec)
+    : peak_power_mw_(peak_power_mw), spec_(spec)
+{
+    require(peak_power_mw > 0.0, "fleet peak power must be positive");
+    require(spec.tdp_watts > 0.0, "server TDP must be positive");
+    require(spec.idle_fraction >= 0.0 && spec.idle_fraction < 1.0,
+            "server idle fraction must be in [0, 1)");
+    require(spec.lifetime_years > 0.0, "server lifetime must be positive");
+    count_ = static_cast<size_t>(
+        std::ceil(peak_power_mw * 1e6 / spec.tdp_watts));
+}
+
+double
+ServerFleet::powerAtUtilization(double utilization) const
+{
+    const double u = std::clamp(utilization, 0.0, 1.0);
+    const double per_server_w = spec_.tdp_watts *
+        (spec_.idle_fraction + (1.0 - spec_.idle_fraction) * u);
+    return static_cast<double>(count_) * per_server_w * 1e-6;
+}
+
+KilogramsCo2
+ServerFleet::embodiedCarbon() const
+{
+    return KilogramsCo2(static_cast<double>(count_) *
+                        spec_.embodied_kg_co2 *
+                        spec_.infrastructure_multiplier);
+}
+
+KilogramsCo2
+ServerFleet::embodiedCarbonPerYear() const
+{
+    return embodiedCarbon() / spec_.lifetime_years;
+}
+
+ServerFleet
+ServerFleet::expandedBy(double extra_fraction) const
+{
+    require(extra_fraction >= 0.0, "capacity expansion must be >= 0");
+    return ServerFleet(peak_power_mw_ * (1.0 + extra_fraction), spec_);
+}
+
+} // namespace carbonx

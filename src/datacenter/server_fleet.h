@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Server fleet model: translates datacenter power into server counts
+ * and carries the per-server embodied footprint used when
+ * carbon-aware scheduling requires extra capacity (section 5.1).
+ */
+
+#ifndef CARBONX_DATACENTER_SERVER_FLEET_H
+#define CARBONX_DATACENTER_SERVER_FLEET_H
+
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace carbonx
+{
+
+/** Specification of one server SKU. */
+struct ServerSpec
+{
+    /** Thermal design power in watts (paper proxy: 85 W DL360). */
+    double tdp_watts = 85.0;
+
+    /** Idle power as a fraction of TDP (energy proportionality). */
+    double idle_fraction = 0.4;
+
+    /**
+     * Manufacturing footprint per server in kg CO2eq; the paper uses
+     * 744.5 kg (HPE ProLiant DL360 Gen10 life-cycle assessment).
+     */
+    double embodied_kg_co2 = 744.5;
+
+    /** Expected service lifetime in years (paper: 5). */
+    double lifetime_years = 5.0;
+
+    /**
+     * Surcharge multiplier for floor space and facility
+     * infrastructure when adding servers; the paper derives 1.16x
+     * from Meta's 2019 Scope 3 report (construction carbon is 16% of
+     * hardware carbon).
+     */
+    double infrastructure_multiplier = 1.16;
+};
+
+/**
+ * A homogeneous fleet sized to provide a given peak IT power.
+ * Datacenter-scale facility overheads (captured by the load model's
+ * idle floor) are out of scope here; this class deals with IT
+ * capacity and embodied carbon only.
+ */
+class ServerFleet
+{
+  public:
+    /**
+     * @param peak_power_mw IT power at 100% utilization.
+     * @param spec Server SKU populating the fleet.
+     */
+    ServerFleet(double peak_power_mw, const ServerSpec &spec);
+
+    /** Number of servers needed for the peak power. */
+    size_t serverCount() const { return count_; }
+
+    /** Fleet IT power (MW) at a utilization level in [0, 1]. */
+    double powerAtUtilization(double utilization) const;
+
+    /**
+     * Total embodied carbon of the fleet including the infrastructure
+     * surcharge (kg CO2eq).
+     */
+    KilogramsCo2 embodiedCarbon() const;
+
+    /**
+     * Embodied carbon amortized per year of service life
+     * (kg CO2eq / year).
+     */
+    KilogramsCo2 embodiedCarbonPerYear() const;
+
+    /**
+     * Fleet for a fractional capacity expansion: e.g. 0.25 adds 25%
+     * more servers for demand-response headroom.
+     */
+    ServerFleet expandedBy(double extra_fraction) const;
+
+    const ServerSpec &spec() const { return spec_; }
+    double peakPowerMw() const { return peak_power_mw_; }
+
+  private:
+    double peak_power_mw_;
+    ServerSpec spec_;
+    size_t count_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_DATACENTER_SERVER_FLEET_H

@@ -1,0 +1,87 @@
+#include "workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+namespace
+{
+
+/** SLO window used to represent "no SLO" tiers. */
+constexpr double kNoSloWindowHours = 168.0; // One week.
+
+} // namespace
+
+WorkloadMix::WorkloadMix(std::vector<WorkloadTier> tiers)
+    : tiers_(std::move(tiers))
+{
+    require(!tiers_.empty(), "workload mix needs at least one tier");
+    double total = 0.0;
+    for (const auto &t : tiers_) {
+        require(t.share >= 0.0, "tier share must be non-negative");
+        require(t.slo_window_hours >= 0.0,
+                "tier SLO window must be non-negative");
+        total += t.share;
+    }
+    require(std::abs(total - 1.0) < 1e-6, "tier shares must sum to 1");
+}
+
+WorkloadMix
+WorkloadMix::metaDataProcessing()
+{
+    return WorkloadMix({
+        {"Tier 1 (SLO +/-1h)", 1.0, 0.088},
+        {"Tier 2 (SLO +/-2h)", 2.0, 0.038},
+        {"Tier 3 (SLO +/-4h)", 4.0, 0.105},
+        {"Tier 4 (SLO daily)", 24.0, 0.712},
+        {"Tier 5 (no SLO)", kNoSloWindowHours, 0.057},
+    });
+}
+
+WorkloadMix
+WorkloadMix::simpleFlexible(double flexible_ratio)
+{
+    require(flexible_ratio >= 0.0 && flexible_ratio <= 1.0,
+            "flexible ratio must be in [0, 1]");
+    return WorkloadMix({
+        {"Inflexible", 0.0, 1.0 - flexible_ratio},
+        {"Flexible (daily SLO)", 24.0, flexible_ratio},
+    });
+}
+
+double
+WorkloadMix::flexibleShare(double window_hours) const
+{
+    double share = 0.0;
+    for (const auto &t : tiers_) {
+        if (t.slo_window_hours >= window_hours && t.slo_window_hours > 0.0)
+            share += t.share;
+    }
+    return share;
+}
+
+double
+WorkloadMix::averageSloWindowHours() const
+{
+    double avg = 0.0;
+    for (const auto &t : tiers_)
+        avg += t.share * std::min(t.slo_window_hours, kNoSloWindowHours);
+    return avg;
+}
+
+double
+WorkloadMix::shareWithSloAtLeast(double window_hours) const
+{
+    double share = 0.0;
+    for (const auto &t : tiers_) {
+        if (t.slo_window_hours >= window_hours)
+            share += t.share;
+    }
+    return share;
+}
+
+} // namespace carbonx

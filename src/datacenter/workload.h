@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload tiers and SLO-based flexibility (paper section 4.3 and
+ * Fig. 10).
+ *
+ * Hyperscale workloads are organized into tiers by service level
+ * objective. Tier-1 user-facing services are inflexible; batch / AI
+ * training / offline data processing tolerate hours to a day of
+ * delay. Fig. 10 gives the breakdown of data-processing workloads at
+ * Meta by completion-time SLO; Google reports ~40% of Borg jobs carry
+ * 24-hour SLOs, which is the paper's default flexible-workload ratio.
+ */
+
+#ifndef CARBONX_DATACENTER_WORKLOAD_H
+#define CARBONX_DATACENTER_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+namespace carbonx
+{
+
+/** One SLO tier of the datacenter's workload mix. */
+struct WorkloadTier
+{
+    std::string name;      ///< e.g. "Tier 1".
+    /**
+     * Completion-time shift window in hours: a job may move at most
+     * this many hours from its submission slot. 24 encodes a daily
+     * SLO; a very large value encodes "no SLO".
+     */
+    double slo_window_hours;
+    double share;          ///< Fraction of the workload in this tier.
+};
+
+/** A full workload mix; shares sum to 1. */
+class WorkloadMix
+{
+  public:
+    /** @param tiers Tier table; shares must sum to ~1. */
+    explicit WorkloadMix(std::vector<WorkloadTier> tiers);
+
+    /**
+     * Fig. 10's data-processing tier breakdown:
+     * Tier 1 +/-1h 8.8%, Tier 2 +/-2h 3.8%, Tier 3 +/-4h 10.5%,
+     * Tier 4 daily 71.2%, Tier 5 no SLO 5.7%.
+     */
+    static WorkloadMix metaDataProcessing();
+
+    /**
+     * A two-tier mix with the given fraction flexible within 24 hours
+     * and the rest inflexible; the paper's holistic analysis uses 40%.
+     */
+    static WorkloadMix simpleFlexible(double flexible_ratio);
+
+    const std::vector<WorkloadTier> &tiers() const { return tiers_; }
+
+    /** Fraction of work shiftable by at least @p window_hours. */
+    double flexibleShare(double window_hours) const;
+
+    /** Share-weighted average SLO window (hours), "no SLO" clamped. */
+    double averageSloWindowHours() const;
+
+    /**
+     * Fraction of workloads with SLO windows of 4 hours or more; the
+     * paper reports 87.4% for Meta's offline data processing.
+     */
+    double shareWithSloAtLeast(double window_hours) const;
+
+  private:
+    std::vector<WorkloadTier> tiers_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_DATACENTER_WORKLOAD_H

@@ -1,0 +1,178 @@
+#include "fleet.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "datacenter/load_model.h"
+#include "datacenter/site.h"
+#include "grid/balancing_authority.h"
+#include "grid/grid_synthesizer.h"
+
+namespace carbonx
+{
+
+FleetSimulator::FleetSimulator(const FleetConfig &config)
+    : config_(config)
+{
+    require(!config.sites.empty(), "fleet needs at least one site");
+    require(config.migratable_ratio >= 0.0 &&
+                config.migratable_ratio <= 1.0,
+            "migratable ratio must be in [0, 1]");
+
+    const auto &registry = BalancingAuthorityRegistry::instance();
+    for (const FleetSiteSpec &spec : config.sites) {
+        require(spec.avg_dc_power_mw > 0.0,
+                "site DC power must be positive: " + spec.name);
+        require(spec.capacity_headroom >= 0.0,
+                "site headroom must be >= 0: " + spec.name);
+
+        const auto &profile = registry.lookup(spec.ba_code);
+        const GridSynthesizer synth(profile, config.seed);
+        const GridTrace trace = synth.synthesize(config.year);
+
+        LoadModelParams load_params;
+        load_params.avg_power_mw = spec.avg_dc_power_mw;
+        const DatacenterLoadModel load_model(load_params);
+        // Per-site load substream so sites are not phase-locked.
+        const LoadTrace load_trace = load_model.generate(
+            config.year,
+            config.seed ^ SplitMix64::hashString(spec.name));
+
+        const TimeSeries supply =
+            trace.solar_potential.scaledToMax(1.0) * spec.solar_mw +
+            trace.wind_potential.scaledToMax(1.0) * spec.wind_mw;
+
+        FleetSite site(spec, load_trace.power, supply,
+                       trace.intensity);
+        site.capacity_cap_mw =
+            load_trace.power.max() * (1.0 + spec.capacity_headroom);
+        sites_.push_back(std::move(site));
+    }
+    hours_ = sites_.front().load.size();
+    for (const FleetSite &site : sites_) {
+        require(site.load.size() == hours_,
+                "all fleet sites must cover the same year");
+    }
+}
+
+FleetConfig
+FleetSimulator::metaFleet(double migratable_ratio)
+{
+    FleetConfig config;
+    config.migratable_ratio = migratable_ratio;
+    for (const Site &site : SiteRegistry::instance().all()) {
+        FleetSiteSpec spec;
+        spec.name = site.state;
+        spec.ba_code = site.ba_code;
+        spec.avg_dc_power_mw = site.avg_dc_power_mw;
+        spec.solar_mw = site.solar_invest_mw;
+        spec.wind_mw = site.wind_invest_mw;
+        config.sites.push_back(spec);
+    }
+    return config;
+}
+
+FleetResult
+FleetSimulator::aggregate(
+    const std::vector<std::vector<double>> &served) const
+{
+    FleetResult result;
+    result.sites.resize(sites_.size());
+    for (size_t i = 0; i < sites_.size(); ++i) {
+        const FleetSite &site = sites_[i];
+        FleetSiteResult &row = result.sites[i];
+        row.name = site.spec.name;
+        for (size_t h = 0; h < hours_; ++h) {
+            const double load = served[i][h];
+            const double grid =
+                std::max(load - site.supply[h], 0.0);
+            row.original_energy_mwh += site.load[h];
+            row.served_energy_mwh += load;
+            row.grid_energy_mwh += grid;
+            row.emissions_kg += grid * site.intensity[h];
+        }
+        result.total_load_mwh += row.original_energy_mwh;
+        result.total_grid_mwh += row.grid_energy_mwh;
+        result.total_emissions_kg += row.emissions_kg;
+    }
+    result.coverage_pct = result.total_load_mwh > 0.0
+        ? (1.0 - result.total_grid_mwh / result.total_load_mwh) * 100.0
+        : 100.0;
+    return result;
+}
+
+FleetResult
+FleetSimulator::runWithoutMigration() const
+{
+    std::vector<std::vector<double>> served(sites_.size());
+    for (size_t i = 0; i < sites_.size(); ++i) {
+        served[i].assign(sites_[i].load.values().begin(),
+                         sites_[i].load.values().end());
+    }
+    return aggregate(served);
+}
+
+FleetResult
+FleetSimulator::runWithMigration() const
+{
+    const double ratio = config_.migratable_ratio;
+    const size_t n = sites_.size();
+    std::vector<std::vector<double>> served(n,
+                                            std::vector<double>(hours_));
+    double migrated = 0.0;
+
+    std::vector<size_t> order(n);
+    for (size_t h = 0; h < hours_; ++h) {
+        // Fixed load stays home; the migratable share is pooled.
+        double pool = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double load = sites_[i].load[h];
+            served[i][h] = load * (1.0 - ratio);
+            pool += load * ratio;
+        }
+
+        // Pass 1: fill renewable-surplus slots, cleanest grid first
+        // (the tie-break matters only when surplus exceeds the pool).
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return sites_[a].intensity[h] <
+                                    sites_[b].intensity[h];
+                         });
+        for (size_t i : order) {
+            if (pool <= 0.0)
+                break;
+            const FleetSite &site = sites_[i];
+            const double green_room = std::min(
+                std::max(site.supply[h] - served[i][h], 0.0),
+                site.capacity_cap_mw - served[i][h]);
+            const double take = std::min(pool, green_room);
+            served[i][h] += take;
+            pool -= take;
+        }
+
+        // Pass 2: whatever is left runs on the cleanest grids.
+        for (size_t i : order) {
+            if (pool <= 0.0)
+                break;
+            const double room =
+                sites_[i].capacity_cap_mw - served[i][h];
+            const double take = std::min(pool, std::max(room, 0.0));
+            served[i][h] += take;
+            pool -= take;
+        }
+        ensure(pool <= 1e-6,
+               "fleet caps too tight to place migratable load");
+
+        for (size_t i = 0; i < n; ++i)
+            migrated += std::max(served[i][h] - sites_[i].load[h], 0.0);
+    }
+
+    FleetResult result = aggregate(served);
+    result.migrated_mwh = migrated;
+    return result;
+}
+
+} // namespace carbonx

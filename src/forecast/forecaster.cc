@@ -1,0 +1,191 @@
+#include "forecaster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+void
+PersistenceForecaster::fit(std::span<const double> history)
+{
+    require(!history.empty(), "persistence needs at least one sample");
+    last_ = history.back();
+    fitted_ = true;
+}
+
+std::vector<double>
+PersistenceForecaster::forecast(size_t horizon) const
+{
+    require(fitted_, "forecaster not fitted");
+    return std::vector<double>(horizon, last_);
+}
+
+SeasonalNaiveForecaster::SeasonalNaiveForecaster(size_t period_hours)
+    : period_(period_hours)
+{
+    require(period_hours >= 1, "season period must be >= 1 hour");
+}
+
+void
+SeasonalNaiveForecaster::fit(std::span<const double> history)
+{
+    require(history.size() >= period_,
+            "seasonal-naive needs at least one full period");
+    last_period_.assign(history.end() - static_cast<long>(period_),
+                        history.end());
+}
+
+std::vector<double>
+SeasonalNaiveForecaster::forecast(size_t horizon) const
+{
+    require(!last_period_.empty(), "forecaster not fitted");
+    std::vector<double> out(horizon);
+    for (size_t h = 0; h < horizon; ++h)
+        out[h] = last_period_[h % period_];
+    return out;
+}
+
+EwmaForecaster::EwmaForecaster(double alpha) : alpha_(alpha)
+{
+    require(alpha > 0.0 && alpha <= 1.0, "EWMA alpha must be in (0, 1]");
+}
+
+void
+EwmaForecaster::fit(std::span<const double> history)
+{
+    require(!history.empty(), "EWMA needs at least one sample");
+    level_ = history.front();
+    for (size_t i = 1; i < history.size(); ++i)
+        level_ = alpha_ * history[i] + (1.0 - alpha_) * level_;
+    fitted_ = true;
+}
+
+std::vector<double>
+EwmaForecaster::forecast(size_t horizon) const
+{
+    require(fitted_, "forecaster not fitted");
+    return std::vector<double>(horizon, level_);
+}
+
+HoltWintersForecaster::HoltWintersForecaster(double alpha, double beta,
+                                             double gamma,
+                                             size_t period_hours)
+    : alpha_(alpha), beta_(beta), gamma_(gamma), period_(period_hours)
+{
+    require(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    require(beta >= 0.0 && beta <= 1.0, "beta must be in [0, 1]");
+    require(gamma >= 0.0 && gamma <= 1.0, "gamma must be in [0, 1]");
+    require(period_hours >= 2, "season period must be >= 2 hours");
+}
+
+void
+HoltWintersForecaster::fit(std::span<const double> history)
+{
+    require(history.size() >= 2 * period_,
+            "Holt-Winters needs at least two full periods");
+
+    // Initialize level/trend from the first two period means and the
+    // seasonal indices from first-period deviations.
+    double mean1 = 0.0;
+    double mean2 = 0.0;
+    for (size_t i = 0; i < period_; ++i) {
+        mean1 += history[i];
+        mean2 += history[i + period_];
+    }
+    mean1 /= static_cast<double>(period_);
+    mean2 /= static_cast<double>(period_);
+
+    level_ = mean1;
+    trend_ = (mean2 - mean1) / static_cast<double>(period_);
+    season_.assign(period_, 0.0);
+    for (size_t i = 0; i < period_; ++i)
+        season_[i] = history[i] - mean1;
+
+    // Run the smoothing recursions over the rest of the history.
+    for (size_t t = period_; t < history.size(); ++t) {
+        const size_t s = t % period_;
+        const double value = history[t];
+        const double prev_level = level_;
+        level_ = alpha_ * (value - season_[s]) +
+                 (1.0 - alpha_) * (level_ + trend_);
+        trend_ = beta_ * (level_ - prev_level) +
+                 (1.0 - beta_) * trend_;
+        season_[s] = gamma_ * (value - level_) +
+                     (1.0 - gamma_) * season_[s];
+    }
+    fitted_ = true;
+}
+
+std::vector<double>
+HoltWintersForecaster::forecast(size_t horizon) const
+{
+    require(fitted_, "forecaster not fitted");
+    std::vector<double> out(horizon);
+    for (size_t h = 0; h < horizon; ++h) {
+        const size_t s = h % period_;
+        out[h] = level_ + trend_ * static_cast<double>(h + 1) +
+                 season_[s];
+    }
+    return out;
+}
+
+ForecastAccuracy
+forecastAccuracy(std::span<const double> actual,
+                 std::span<const double> predicted)
+{
+    require(actual.size() == predicted.size(),
+            "accuracy requires equal lengths");
+    require(!actual.empty(), "accuracy of empty forecast");
+
+    ForecastAccuracy acc;
+    acc.samples = actual.size();
+    double abs_sum = 0.0;
+    double sq_sum = 0.0;
+    double pct_sum = 0.0;
+    size_t pct_n = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        const double err = predicted[i] - actual[i];
+        abs_sum += std::abs(err);
+        sq_sum += err * err;
+        if (std::abs(actual[i]) > 1e-6) {
+            pct_sum += std::abs(err / actual[i]);
+            ++pct_n;
+        }
+    }
+    const double n = static_cast<double>(actual.size());
+    acc.mae = abs_sum / n;
+    acc.rmse = std::sqrt(sq_sum / n);
+    acc.mape = pct_n ? 100.0 * pct_sum / static_cast<double>(pct_n)
+                     : 0.0;
+    return acc;
+}
+
+TimeSeries
+rollingDayAheadForecast(Forecaster &forecaster, const TimeSeries &actual,
+                        size_t warmup_days)
+{
+    const size_t days = actual.calendar().daysInYear();
+    require(warmup_days >= 2 && warmup_days < days,
+            "warmup must be at least 2 days and shorter than the year");
+
+    TimeSeries out(actual.year());
+    const auto values = actual.values();
+
+    // Warmup region: pass actuals through.
+    for (size_t h = 0; h < warmup_days * 24; ++h)
+        out[h] = actual[h];
+
+    for (size_t day = warmup_days; day < days; ++day) {
+        const size_t end = day * 24;
+        forecaster.fit(values.subspan(0, end));
+        const std::vector<double> pred = forecaster.forecast(24);
+        for (size_t h = 0; h < 24; ++h)
+            out[end + h] = std::max(pred[h], 0.0);
+    }
+    return out;
+}
+
+} // namespace carbonx

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Time-series forecasting substrate.
+ *
+ * Section 6 of the paper notes that "time-series analysis accurately
+ * forecasts renewable supplies and datacenter demands for energy" and
+ * that a production carbon-aware scheduler would run on forecasts
+ * rather than the offline oracle used for design-space exploration.
+ * This module provides the forecasters needed to study that gap:
+ * persistence, seasonal-naive, exponential smoothing (EWMA), and
+ * Holt-Winters with additive trend and daily seasonality, plus
+ * accuracy metrics and a rolling day-ahead driver.
+ */
+
+#ifndef CARBONX_FORECAST_FORECASTER_H
+#define CARBONX_FORECAST_FORECASTER_H
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Abstract one-shot forecaster: fit on history, predict ahead. */
+class Forecaster
+{
+  public:
+    virtual ~Forecaster() = default;
+
+    /**
+     * Fit on an hourly history. Must be called before forecast().
+     *
+     * @param history Observed values, oldest first; length
+     *        requirements vary by model (seasonal models need at
+     *        least two full periods).
+     */
+    virtual void fit(std::span<const double> history) = 0;
+
+    /**
+     * Predict the next @p horizon hourly values after the fitted
+     * history.
+     */
+    virtual std::vector<double> forecast(size_t horizon) const = 0;
+
+    /** Human-readable model name. */
+    virtual std::string name() const = 0;
+};
+
+/** Repeats the last observed value. */
+class PersistenceForecaster : public Forecaster
+{
+  public:
+    void fit(std::span<const double> history) override;
+    std::vector<double> forecast(size_t horizon) const override;
+    std::string name() const override { return "persistence"; }
+
+  private:
+    double last_ = 0.0;
+    bool fitted_ = false;
+};
+
+/** Repeats the value observed one period (default: one day) ago. */
+class SeasonalNaiveForecaster : public Forecaster
+{
+  public:
+    explicit SeasonalNaiveForecaster(size_t period_hours = 24);
+
+    void fit(std::span<const double> history) override;
+    std::vector<double> forecast(size_t horizon) const override;
+    std::string name() const override { return "seasonal-naive"; }
+
+  private:
+    size_t period_;
+    std::vector<double> last_period_;
+};
+
+/** Exponentially weighted moving average (level-only smoothing). */
+class EwmaForecaster : public Forecaster
+{
+  public:
+    /** @param alpha Smoothing factor in (0, 1]. */
+    explicit EwmaForecaster(double alpha = 0.3);
+
+    void fit(std::span<const double> history) override;
+    std::vector<double> forecast(size_t horizon) const override;
+    std::string name() const override { return "ewma"; }
+
+  private:
+    double alpha_;
+    double level_ = 0.0;
+    bool fitted_ = false;
+};
+
+/**
+ * Holt-Winters additive triple exponential smoothing with a daily
+ * (24 h) season: level + trend + seasonal components. The classic
+ * model for diurnal series like solar generation, demand, and grid
+ * carbon intensity.
+ */
+class HoltWintersForecaster : public Forecaster
+{
+  public:
+    /**
+     * @param alpha Level smoothing in (0, 1].
+     * @param beta Trend smoothing in [0, 1].
+     * @param gamma Seasonal smoothing in [0, 1].
+     * @param period_hours Season length; default one day.
+     */
+    HoltWintersForecaster(double alpha = 0.35, double beta = 0.02,
+                          double gamma = 0.25,
+                          size_t period_hours = 24);
+
+    void fit(std::span<const double> history) override;
+    std::vector<double> forecast(size_t horizon) const override;
+    std::string name() const override { return "holt-winters"; }
+
+  private:
+    double alpha_;
+    double beta_;
+    double gamma_;
+    size_t period_;
+    double level_ = 0.0;
+    double trend_ = 0.0;
+    std::vector<double> season_;
+    bool fitted_ = false;
+};
+
+/** Pointwise accuracy of a forecast against actuals. */
+struct ForecastAccuracy
+{
+    double mae = 0.0;  ///< Mean absolute error.
+    double rmse = 0.0; ///< Root mean squared error.
+    /** Mean absolute percentage error over non-tiny actuals. */
+    double mape = 0.0;
+    size_t samples = 0;
+};
+
+/** Compute accuracy of @p predicted against @p actual. */
+ForecastAccuracy forecastAccuracy(std::span<const double> actual,
+                                  std::span<const double> predicted);
+
+/**
+ * Rolling day-ahead forecast of a year series: each midnight the
+ * forecaster is refit on everything observed so far and predicts the
+ * next 24 hours. The warmup days are filled with the actuals (no
+ * forecast possible yet).
+ *
+ * @param forecaster Model to drive; refit every day.
+ * @param actual The true year series.
+ * @param warmup_days Days of history before the first forecast.
+ * @return A year series of day-ahead predictions.
+ */
+TimeSeries rollingDayAheadForecast(Forecaster &forecaster,
+                                   const TimeSeries &actual,
+                                   size_t warmup_days = 28);
+
+} // namespace carbonx
+
+#endif // CARBONX_FORECAST_FORECASTER_H

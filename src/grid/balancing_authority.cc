@@ -1,0 +1,210 @@
+#include "balancing_authority.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+std::string
+renewableCharacterName(RenewableCharacter c)
+{
+    switch (c) {
+      case RenewableCharacter::MajorlyWind:
+        return "Majorly Wind";
+      case RenewableCharacter::MajorlySolar:
+        return "Majorly Solar";
+      case RenewableCharacter::Hybrid:
+        return "Hybrid";
+    }
+    throw InternalError("unknown renewable character");
+}
+
+double
+BalancingAuthorityProfile::windCapacityMw() const
+{
+    return capacity_mw[static_cast<size_t>(Fuel::Wind)];
+}
+
+double
+BalancingAuthorityProfile::solarCapacityMw() const
+{
+    return capacity_mw[static_cast<size_t>(Fuel::Solar)];
+}
+
+namespace
+{
+
+/** Helper assembling one profile from named arguments. */
+BalancingAuthorityProfile
+makeProfile(const std::string &code, const std::string &name,
+            RenewableCharacter character, double latitude_deg,
+            std::array<double, kNumFuels> capacity_mw,
+            GridDemandParams demand, WindModelParams wind,
+            SolarModelParams solar)
+{
+    BalancingAuthorityProfile p;
+    p.code = code;
+    p.name = name;
+    p.character = character;
+    p.latitude_deg = latitude_deg;
+    p.capacity_mw = capacity_mw;
+    p.demand = demand;
+    p.wind = wind;
+    p.wind.cut_in_ms = 3.0;
+    p.solar = solar;
+    p.solar.latitude_deg = latitude_deg;
+    return p;
+}
+
+WindModelParams
+windParams(double mean_speed, double corr_hours, double variability,
+           double weibull_shape = 2.0, double seasonal_peak_day = 95.0)
+{
+    WindModelParams w;
+    w.mean_speed_ms = mean_speed;
+    w.correlation_hours = corr_hours;
+    w.variability = variability;
+    w.weibull_shape = weibull_shape;
+    w.seasonal_peak_day = seasonal_peak_day;
+    w.sub_farms = 8;
+    return w;
+}
+
+SolarModelParams
+solarParams(double clearness, double sd = 0.18, double autocorr = 0.6,
+            double seasonal_amp = 0.1)
+{
+    SolarModelParams s;
+    s.mean_clearness = clearness;
+    s.clearness_stddev = sd;
+    s.clearness_autocorr = autocorr;
+    s.seasonal_clearness_amp = seasonal_amp;
+    // Deserts keep a higher overcast floor than marine climates.
+    s.min_clearness = clearness >= 0.7 ? 0.18 : 0.10;
+    return s;
+}
+
+/** Capacity array in Fuel enumerator order:
+ * {wind, solar, hydro, nuclear, gas, coal, oil, other} in MW. */
+using Caps = std::array<double, kNumFuels>;
+
+} // namespace
+
+BalancingAuthorityRegistry::BalancingAuthorityRegistry()
+{
+    using RC = RenewableCharacter;
+
+    // Wind-heavy plains grid serving Sarpy County, Nebraska. Steady
+    // wind with comparatively shallow supply valleys (a paper finding:
+    // NE/IA are among the best sites).
+    profiles_.push_back(makeProfile(
+        "SWPP", "Southwest Power Pool", RC::MajorlyWind, 41.2,
+        Caps{27000, 300, 3000, 2000, 30000, 25000, 1000, 2000},
+        GridDemandParams{50000, 22000, true},
+        windParams(9.2, 36, 0.75, 2.5), solarParams(0.68)));
+
+    // Pacific-northwest grid (Prineville, Oregon): wind-heavy
+    // renewables with extremely deep multi-day lulls; thermal units
+    // back the grid when the wind dies.
+    profiles_.push_back(makeProfile(
+        "BPAT", "Bonneville Power Administration", RC::MajorlyWind, 45.6,
+        Caps{2800, 50, 4000, 1000, 5000, 1000, 200, 500},
+        GridDemandParams{11000, 5500, false},
+        windParams(6.6, 84, 1.35, 1.8, 110.0),
+        solarParams(0.52, 0.20, 0.7)));
+
+    // Utah (Eagle Mountain): genuine wind+solar mix with steady wind.
+    profiles_.push_back(makeProfile(
+        "PACE", "PacifiCorp East", RC::Hybrid, 40.7,
+        Caps{3200, 1700, 1200, 0, 7000, 7000, 200, 500},
+        GridDemandParams{10500, 4800, true},
+        windParams(8.8, 36, 0.75, 2.5), solarParams(0.78, 0.13, 0.55,
+                                                    0.06)));
+
+    // New Mexico (Los Lunas): sunny hybrid grid.
+    profiles_.push_back(makeProfile(
+        "PNM", "Public Service Co. of New Mexico", RC::Hybrid, 34.8,
+        Caps{900, 700, 80, 0, 2000, 1700, 100, 200},
+        GridDemandParams{2200, 1000, true},
+        windParams(8.4, 40, 0.8, 2.4), solarParams(0.82, 0.11, 0.55,
+                                                   0.05)));
+
+    // Texas (Fort Worth): the largest US wind fleet plus fast-growing
+    // solar; hybrid with shallow valleys.
+    profiles_.push_back(makeProfile(
+        "ERCO", "Electric Reliability Council of Texas", RC::Hybrid, 31.0,
+        Caps{33000, 6000, 600, 5100, 55000, 13000, 500, 2000},
+        GridDemandParams{74000, 30000, true},
+        windParams(8.8, 40, 0.8, 2.4), solarParams(0.75, 0.14)));
+
+    // PJM interconnection (DeKalb IL, Henrico VA, New Albany OH).
+    profiles_.push_back(makeProfile(
+        "PJM", "PJM Interconnection", RC::Hybrid, 40.0,
+        Caps{11000, 6000, 3000, 33000, 80000, 50000, 2000, 4000},
+        GridDemandParams{150000, 65000, true},
+        windParams(7.6, 52, 1.0, 2.1), solarParams(0.60, 0.20, 0.65)));
+
+    // Duke Carolinas (Forest City, NC): effectively solar-only
+    // renewables, which caps 24/7 coverage near 50%.
+    profiles_.push_back(makeProfile(
+        "DUK", "Duke Energy Carolinas", RC::MajorlySolar, 35.3,
+        Caps{0, 4500, 3000, 4000, 16000, 9000, 500, 1000},
+        GridDemandParams{20000, 9000, true},
+        windParams(5.5, 48, 1.0), solarParams(0.68, 0.15, 0.55)));
+
+    // MISO (Altoona, Iowa): wind belt, steady supply.
+    profiles_.push_back(makeProfile(
+        "MISO", "Midcontinent ISO", RC::MajorlyWind, 41.6,
+        Caps{28000, 1500, 1500, 12000, 70000, 45000, 1500, 3000},
+        GridDemandParams{120000, 55000, true},
+        windParams(9.0, 38, 0.8, 2.4), solarParams(0.62)));
+
+    // Southern Company (Newton County, GA): solar-only renewables.
+    profiles_.push_back(makeProfile(
+        "SOCO", "Southern Company", RC::MajorlySolar, 33.4,
+        Caps{0, 3500, 2000, 8000, 25000, 12000, 1000, 2000},
+        GridDemandParams{35000, 15000, true},
+        windParams(5.2, 48, 1.0), solarParams(0.68, 0.16)));
+
+    // Tennessee Valley Authority (Gallatin TN, Huntsville AL).
+    profiles_.push_back(makeProfile(
+        "TVA", "Tennessee Valley Authority", RC::MajorlySolar, 35.5,
+        Caps{10, 1000, 5000, 8000, 12000, 7000, 500, 1000},
+        GridDemandParams{30000, 14000, true},
+        windParams(5.4, 48, 1.0), solarParams(0.66, 0.17)));
+}
+
+const BalancingAuthorityRegistry &
+BalancingAuthorityRegistry::instance()
+{
+    static const BalancingAuthorityRegistry registry;
+    return registry;
+}
+
+const BalancingAuthorityProfile &
+BalancingAuthorityRegistry::lookup(const std::string &code) const
+{
+    for (const auto &p : profiles_) {
+        if (p.code == code)
+            return p;
+    }
+    throw UserError("unknown balancing authority: " + code);
+}
+
+const std::vector<BalancingAuthorityProfile> &
+BalancingAuthorityRegistry::all() const
+{
+    return profiles_;
+}
+
+std::vector<std::string>
+BalancingAuthorityRegistry::codes() const
+{
+    std::vector<std::string> out;
+    out.reserve(profiles_.size());
+    for (const auto &p : profiles_)
+        out.push_back(p.code);
+    return out;
+}
+
+} // namespace carbonx

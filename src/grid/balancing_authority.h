@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Balancing-authority profiles for the ten grids that power Meta's US
+ * datacenters (the paper's Table 1 regions).
+ *
+ * Each profile carries the parameters our synthetic grid generator
+ * needs to stand in for that BA's EIA Hourly Grid Monitor feed:
+ * latitude, installed capacity per fuel, grid demand bounds, and the
+ * stochastic wind/solar resource parameters. Values are calibrated to
+ * reproduce the paper's qualitative classification — BPAT/MISO/SWPP
+ * majorly wind, DUK/SOCO/TVA majorly solar, ERCO/PACE/PJM/PNM mixed —
+ * and the relative supply-valley depths that drive its conclusions
+ * (e.g. Oregon's multi-day wind lulls, Nebraska/Iowa's steadier wind).
+ */
+
+#ifndef CARBONX_GRID_BALANCING_AUTHORITY_H
+#define CARBONX_GRID_BALANCING_AUTHORITY_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "grid/fuels.h"
+#include "grid/solar_model.h"
+#include "grid/wind_model.h"
+
+namespace carbonx
+{
+
+/** Dominant renewable character of a region (paper section 3.2). */
+enum class RenewableCharacter
+{
+    MajorlyWind,
+    MajorlySolar,
+    Hybrid,
+};
+
+/** Human-readable name of a RenewableCharacter. */
+std::string renewableCharacterName(RenewableCharacter c);
+
+/** Parameters of a grid's aggregate electricity demand. */
+struct GridDemandParams
+{
+    double peak_mw = 10000.0; ///< Annual peak demand.
+    double min_mw = 4500.0;   ///< Annual minimum demand.
+    /** True for summer-peaking grids (air conditioning load). */
+    bool summer_peaking = true;
+};
+
+/** Static description of one balancing authority. */
+struct BalancingAuthorityProfile
+{
+    std::string code;   ///< EIA code, e.g. "BPAT".
+    std::string name;   ///< Full name.
+    RenewableCharacter character;
+    double latitude_deg;
+
+    /** Installed grid capacity per fuel in MW (indexed by Fuel). */
+    std::array<double, kNumFuels> capacity_mw;
+
+    /**
+     * Must-run thermal floor in MW: generation that cannot be backed
+     * down (minimum stable thermal output, contracted imports). When
+     * renewable potential exceeds demand minus nuclear minus this
+     * floor, the excess is curtailed — the mechanism behind the
+     * paper's Fig. 4.
+     */
+    double min_thermal_mw = 0.0;
+
+    GridDemandParams demand;
+    WindModelParams wind;
+    SolarModelParams solar;
+
+    double windCapacityMw() const;
+    double solarCapacityMw() const;
+};
+
+/** Registry of the ten BA profiles used in the paper. */
+class BalancingAuthorityRegistry
+{
+  public:
+    /** The process-wide registry instance. */
+    static const BalancingAuthorityRegistry &instance();
+
+    /** Profile by EIA code. @throws UserError for unknown codes. */
+    const BalancingAuthorityProfile &lookup(const std::string &code) const;
+
+    /** All profiles, in Table 1 order. */
+    const std::vector<BalancingAuthorityProfile> &all() const;
+
+    /** All EIA codes. */
+    std::vector<std::string> codes() const;
+
+  private:
+    BalancingAuthorityRegistry();
+
+    std::vector<BalancingAuthorityProfile> profiles_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_BALANCING_AUTHORITY_H

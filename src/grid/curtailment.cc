@@ -1,0 +1,97 @@
+#include "curtailment.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "grid/grid_synthesizer.h"
+
+namespace carbonx
+{
+
+BalancingAuthorityProfile
+californiaProfile()
+{
+    BalancingAuthorityProfile p;
+    p.code = "CISO";
+    p.name = "California ISO";
+    p.character = RenewableCharacter::Hybrid;
+    p.latitude_deg = 36.8;
+    // {wind, solar, hydro, nuclear, gas, coal, oil, other} MW. Solar
+    // dominates, matching California's duck-curve oversupply.
+    p.capacity_mw = {8000, 20000, 9000, 2200, 40000, 0, 500, 3000};
+    // Minimum stable thermal output plus contracted imports: the
+    // midday floor that forces duck-curve curtailment.
+    p.min_thermal_mw = 5000;
+    p.demand = GridDemandParams{42000, 16000, true};
+    p.wind = WindModelParams{};
+    p.wind.mean_speed_ms = 7.0;
+    p.wind.correlation_hours = 44.0;
+    p.wind.variability = 1.0;
+    p.solar = SolarModelParams{};
+    p.solar.latitude_deg = p.latitude_deg;
+    p.solar.mean_clearness = 0.8;
+    p.solar.clearness_stddev = 0.12;
+    return p;
+}
+
+CurtailmentModel::CurtailmentModel(const BalancingAuthorityProfile &profile,
+                                   CurtailmentStudyParams params)
+    : profile_(profile), params_(params)
+{
+    require(params_.first_year <= params_.last_year,
+            "curtailment study has an empty year range");
+    require(params_.initial_scale > 0.0 && params_.annual_growth > 0.0,
+            "curtailment study scales must be positive");
+}
+
+std::vector<CurtailmentYear>
+CurtailmentModel::run() const
+{
+    std::vector<CurtailmentYear> out;
+    double scale = params_.initial_scale;
+    for (int year = params_.first_year; year <= params_.last_year; ++year) {
+        const GridSynthesizer synth(profile_, params_.seed);
+        const GridTrace trace = synth.synthesize(year, scale);
+
+        CurtailmentYear row;
+        row.year = year;
+        row.renewable_scale = scale;
+
+        const double wind_abs = trace.wind.total();
+        const double solar_abs = trace.solar.total();
+        const double total_gen = trace.mix.totalGeneration().total();
+        row.renewable_share =
+            total_gen > 0.0 ? (wind_abs + solar_abs) / total_gen : 0.0;
+
+        // Attribute hourly curtailment to wind and solar in proportion
+        // to their potential in that hour (the synthesizer curtails
+        // them pro-rata, so attribute pro-rata to the absorbed split).
+        double wind_cut = 0.0;
+        double solar_cut = 0.0;
+        for (size_t h = 0; h < trace.curtailed.size(); ++h) {
+            const double cut = trace.curtailed[h];
+            if (cut <= 0.0)
+                continue;
+            const double absorbed = trace.wind[h] + trace.solar[h];
+            const double wind_frac =
+                absorbed > 0.0 ? trace.wind[h] / absorbed : 0.0;
+            wind_cut += cut * wind_frac;
+            solar_cut += cut * (1.0 - wind_frac);
+        }
+
+        const double wind_pot = wind_abs + wind_cut;
+        const double solar_pot = solar_abs + solar_cut;
+        row.wind_curtail_frac = wind_pot > 0.0 ? wind_cut / wind_pot : 0.0;
+        row.solar_curtail_frac =
+            solar_pot > 0.0 ? solar_cut / solar_pot : 0.0;
+        const double pot = wind_pot + solar_pot;
+        row.total_curtail_frac =
+            pot > 0.0 ? (wind_cut + solar_cut) / pot : 0.0;
+
+        out.push_back(row);
+        scale *= params_.annual_growth;
+    }
+    return out;
+}
+
+} // namespace carbonx

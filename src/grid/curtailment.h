@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Historical curtailment study (the paper's Fig. 4).
+ *
+ * Models a California-style grid whose wind and solar fleet grows year
+ * over year while demand stays roughly flat. As renewable capacity
+ * rises, midday oversupply grows and an increasing fraction of
+ * renewable potential must be curtailed — the paper reports ~6% of
+ * renewable generation curtailed in the 2021 California grid, with a
+ * rising trendline from 2015.
+ */
+
+#ifndef CARBONX_GRID_CURTAILMENT_H
+#define CARBONX_GRID_CURTAILMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/balancing_authority.h"
+
+namespace carbonx
+{
+
+/** One historical year's curtailment outcome. */
+struct CurtailmentYear
+{
+    int year;
+    double renewable_scale;    ///< Fleet size relative to the base year.
+    double renewable_share;    ///< Wind+solar share of absorbed energy.
+    double solar_curtail_frac; ///< Curtailed / potential, solar.
+    double wind_curtail_frac;  ///< Curtailed / potential, wind.
+    double total_curtail_frac; ///< Curtailed / potential, combined.
+};
+
+/** Parameters of the year-over-year build-out study. */
+struct CurtailmentStudyParams
+{
+    int first_year = 2015;
+    int last_year = 2021;
+    /** Fleet multiplier in the first year (relative to the profile). */
+    double initial_scale = 0.45;
+    /** Annual multiplicative growth of the renewable fleet. */
+    double annual_growth = 1.22;
+    uint64_t seed = 2020;
+};
+
+/**
+ * Runs the build-out study on a balancing-authority profile and
+ * returns one row per year, suitable for the Fig. 4 trendline.
+ */
+class CurtailmentModel
+{
+  public:
+    CurtailmentModel(const BalancingAuthorityProfile &profile,
+                     CurtailmentStudyParams params);
+
+    /** Simulate every year of the study. */
+    std::vector<CurtailmentYear> run() const;
+
+  private:
+    BalancingAuthorityProfile profile_;
+    CurtailmentStudyParams params_;
+};
+
+/**
+ * A CAISO-like profile (not one of the paper's datacenter BAs): very
+ * large solar fleet, moderate wind, used by the Fig. 1 and Fig. 4
+ * reproductions.
+ */
+BalancingAuthorityProfile californiaProfile();
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_CURTAILMENT_H

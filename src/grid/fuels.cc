@@ -1,0 +1,70 @@
+#include "fuels.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+GramsPerKwh
+fuelIntensity(Fuel fuel)
+{
+    switch (fuel) {
+      case Fuel::Wind:
+        return GramsPerKwh(11.0);
+      case Fuel::Solar:
+        return GramsPerKwh(41.0);
+      case Fuel::Hydro:
+        return GramsPerKwh(24.0);
+      case Fuel::Nuclear:
+        return GramsPerKwh(12.0);
+      case Fuel::NaturalGas:
+        return GramsPerKwh(490.0);
+      case Fuel::Coal:
+        return GramsPerKwh(820.0);
+      case Fuel::Oil:
+        return GramsPerKwh(650.0);
+      case Fuel::Other:
+        return GramsPerKwh(230.0);
+    }
+    throw InternalError("unknown fuel");
+}
+
+std::string
+fuelName(Fuel fuel)
+{
+    switch (fuel) {
+      case Fuel::Wind:
+        return "Wind";
+      case Fuel::Solar:
+        return "Solar";
+      case Fuel::Hydro:
+        return "Water";
+      case Fuel::Nuclear:
+        return "Nuclear";
+      case Fuel::NaturalGas:
+        return "Natural Gas";
+      case Fuel::Coal:
+        return "Coal";
+      case Fuel::Oil:
+        return "Oil";
+      case Fuel::Other:
+        return "Other (Biofuels etc.)";
+    }
+    throw InternalError("unknown fuel");
+}
+
+bool
+isCarbonFree(Fuel fuel)
+{
+    switch (fuel) {
+      case Fuel::Wind:
+      case Fuel::Solar:
+      case Fuel::Hydro:
+      case Fuel::Nuclear:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace carbonx

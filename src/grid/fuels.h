@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fuel taxonomy and carbon intensities (the paper's Table 2).
+ */
+
+#ifndef CARBONX_GRID_FUELS_H
+#define CARBONX_GRID_FUELS_H
+
+#include <array>
+#include <string>
+
+#include "common/units.h"
+
+namespace carbonx
+{
+
+/** Electricity generation source categories tracked by the grid model. */
+enum class Fuel
+{
+    Wind = 0,
+    Solar,
+    Hydro,
+    Nuclear,
+    NaturalGas,
+    Coal,
+    Oil,
+    Other, ///< Biofuels and miscellaneous sources.
+};
+
+/** Number of Fuel enumerators; also the size of per-fuel arrays. */
+constexpr size_t kNumFuels = 8;
+
+/** All fuels in enumerator order, for iteration. */
+constexpr std::array<Fuel, kNumFuels> kAllFuels = {
+    Fuel::Wind,       Fuel::Solar, Fuel::Hydro, Fuel::Nuclear,
+    Fuel::NaturalGas, Fuel::Coal,  Fuel::Oil,   Fuel::Other,
+};
+
+/**
+ * Life-cycle carbon intensity of each source (Table 2):
+ * wind 11, solar 41, water 24, nuclear 12, gas 490, coal 820, oil 650,
+ * other/biofuels 230 gCO2eq/kWh.
+ */
+GramsPerKwh fuelIntensity(Fuel fuel);
+
+/** Human-readable fuel name. */
+std::string fuelName(Fuel fuel);
+
+/** True for sources counted as carbon-free/renewable by the paper. */
+bool isCarbonFree(Fuel fuel);
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_FUELS_H

@@ -1,0 +1,105 @@
+#include "generation_mix.h"
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+GenerationMix::GenerationMix(int year) : year_(year)
+{
+    per_fuel_.reserve(kNumFuels);
+    for (size_t i = 0; i < kNumFuels; ++i)
+        per_fuel_.emplace_back(year);
+}
+
+TimeSeries &
+GenerationMix::of(Fuel fuel)
+{
+    return per_fuel_[static_cast<size_t>(fuel)];
+}
+
+const TimeSeries &
+GenerationMix::of(Fuel fuel) const
+{
+    return per_fuel_[static_cast<size_t>(fuel)];
+}
+
+TimeSeries
+GenerationMix::totalGeneration() const
+{
+    TimeSeries out(year_);
+    for (const auto &series : per_fuel_)
+        out += series;
+    return out;
+}
+
+TimeSeries
+GenerationMix::renewableGeneration() const
+{
+    return of(Fuel::Wind) + of(Fuel::Solar);
+}
+
+TimeSeries
+GenerationMix::carbonFreeGeneration() const
+{
+    return of(Fuel::Wind) + of(Fuel::Solar) + of(Fuel::Hydro) +
+           of(Fuel::Nuclear);
+}
+
+TimeSeries
+GenerationMix::carbonIntensity() const
+{
+    TimeSeries out(year_);
+    const size_t hours = out.size();
+    for (size_t h = 0; h < hours; ++h) {
+        double total = 0.0;
+        double weighted = 0.0;
+        for (Fuel f : kAllFuels) {
+            const double gen = of(f)[h];
+            total += gen;
+            weighted += gen * fuelIntensity(f).value();
+        }
+        out[h] = total > 0.0 ? weighted / total : 0.0;
+    }
+    return out;
+}
+
+TimeSeries
+GenerationMix::marginalIntensity() const
+{
+    // Reverse merit order: the first of these with nonzero dispatch
+    // is the marginal unit.
+    constexpr std::array<Fuel, 8> reverse_merit = {
+        Fuel::Oil,     Fuel::Other,   Fuel::Coal,  Fuel::NaturalGas,
+        Fuel::Hydro,   Fuel::Nuclear, Fuel::Solar, Fuel::Wind,
+    };
+    TimeSeries out(year_);
+    for (size_t h = 0; h < out.size(); ++h) {
+        for (Fuel f : reverse_merit) {
+            if (of(f)[h] > 1e-9) {
+                out[h] = fuelIntensity(f).value();
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+double
+GenerationMix::annualEnergyMwh(Fuel fuel) const
+{
+    // Hourly MW samples: each sample contributes MW x 1 h.
+    return of(fuel).total();
+}
+
+double
+GenerationMix::renewableEnergyShare() const
+{
+    const double total = totalGeneration().total();
+    if (total <= 0.0)
+        return 0.0;
+    return (annualEnergyMwh(Fuel::Wind) + annualEnergyMwh(Fuel::Solar)) /
+           total;
+}
+
+} // namespace carbonx

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Per-fuel hourly generation and the grid's resulting carbon intensity.
+ */
+
+#ifndef CARBONX_GRID_GENERATION_MIX_H
+#define CARBONX_GRID_GENERATION_MIX_H
+
+#include <vector>
+
+#include "grid/fuels.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/**
+ * Hourly generation broken down by fuel, as a balancing authority
+ * would report it to the EIA grid monitor. Provides the derived
+ * quantities Carbon Explorer consumes: total generation, renewable
+ * share, and the demand-weighted average carbon intensity (g/kWh)
+ * that drives carbon-aware scheduling.
+ */
+class GenerationMix
+{
+  public:
+    /** Empty (all-zero) mix for @p year. */
+    explicit GenerationMix(int year);
+
+    int year() const { return year_; }
+
+    /** Mutable access to one fuel's hourly generation (MW). */
+    TimeSeries &of(Fuel fuel);
+
+    /** Read access to one fuel's hourly generation (MW). */
+    const TimeSeries &of(Fuel fuel) const;
+
+    /** Sum across fuels (MW). */
+    TimeSeries totalGeneration() const;
+
+    /** Wind + solar generation (MW). */
+    TimeSeries renewableGeneration() const;
+
+    /** Wind + solar + hydro + nuclear (MW). */
+    TimeSeries carbonFreeGeneration() const;
+
+    /**
+     * Generation-weighted average carbon intensity per hour (g/kWh).
+     * Hours with zero total generation report zero intensity.
+     */
+    TimeSeries carbonIntensity() const;
+
+    /**
+     * Marginal carbon intensity per hour (g/kWh): the intensity of
+     * the most expensive fuel actually dispatched, i.e. the unit that
+     * would ramp if demand changed by one MW. Uses the merit order
+     * oil > other > coal > gas > hydro > nuclear > renewables.
+     * Incremental datacenter load is served at this intensity, which
+     * is why marginal signals matter for demand response.
+     */
+    TimeSeries marginalIntensity() const;
+
+    /** Annual energy by fuel (MWh, assuming hourly samples). */
+    double annualEnergyMwh(Fuel fuel) const;
+
+    /** Fraction of annual energy that is wind + solar. */
+    double renewableEnergyShare() const;
+
+  private:
+    int year_;
+    std::vector<TimeSeries> per_fuel_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_GENERATION_MIX_H

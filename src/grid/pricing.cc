@@ -1,0 +1,73 @@
+#include "pricing.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+PriceModel::PriceModel(PriceModelParams params) : params_(params)
+{
+    require(params.scarcity_threshold > 0.0 &&
+                params.scarcity_threshold < 1.0,
+            "scarcity threshold must be in (0, 1)");
+    require(params.scarcity_cap_usd >= 0.0,
+            "scarcity cap must be >= 0");
+}
+
+TimeSeries
+PriceModel::price(const GridTrace &trace,
+                  const BalancingAuthorityProfile &profile) const
+{
+    TimeSeries out(trace.demand.year());
+
+    // Reverse merit order for finding the marginal unit.
+    constexpr std::array<Fuel, 8> reverse_merit = {
+        Fuel::Oil,   Fuel::Other,   Fuel::Coal,  Fuel::NaturalGas,
+        Fuel::Hydro, Fuel::Nuclear, Fuel::Solar, Fuel::Wind,
+    };
+
+    // Dispatchable thermal fleet size, for the scarcity adder.
+    const double thermal_cap =
+        profile.capacity_mw[static_cast<size_t>(Fuel::NaturalGas)] +
+        profile.capacity_mw[static_cast<size_t>(Fuel::Coal)] +
+        profile.capacity_mw[static_cast<size_t>(Fuel::Other)];
+
+    for (size_t h = 0; h < out.size(); ++h) {
+        // Oversupply hours clear at the curtailment price.
+        if (trace.curtailed[h] > 1e-6) {
+            out[h] = params_.curtailment_price_usd;
+            continue;
+        }
+
+        double marginal_cost = 0.0;
+        for (Fuel f : reverse_merit) {
+            if (trace.mix.of(f)[h] > 1e-9) {
+                marginal_cost = params_.marginal_cost_usd
+                    [static_cast<size_t>(f)];
+                break;
+            }
+        }
+
+        double scarcity = 0.0;
+        if (thermal_cap > 0.0) {
+            const double thermal_out =
+                trace.mix.of(Fuel::NaturalGas)[h] +
+                trace.mix.of(Fuel::Coal)[h] +
+                trace.mix.of(Fuel::Other)[h];
+            const double utilization = thermal_out / thermal_cap;
+            if (utilization > params_.scarcity_threshold) {
+                const double stress =
+                    (utilization - params_.scarcity_threshold) /
+                    (1.0 - params_.scarcity_threshold);
+                scarcity = params_.scarcity_cap_usd *
+                           std::min(stress, 1.0) * stress;
+            }
+        }
+        out[h] = marginal_cost + scarcity;
+    }
+    return out;
+}
+
+} // namespace carbonx

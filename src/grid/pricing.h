@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Wholesale electricity price model (paper section 3.2).
+ *
+ * "When supply exceeds demand, only generators with the lowest prices
+ * can supply energy to the grid. Prices can be zero or even negative
+ * because inputs to wind/solar farms are free and generators often
+ * receive government subsidies. As a result, grids may offer lower
+ * time-of-use energy prices and incentivize datacenters to defer
+ * computation to periods of abundant renewable energy."
+ *
+ * This model derives an hourly price from the dispatch: the marginal
+ * unit's fuel cost plus a scarcity adder when the fleet runs near its
+ * limit, and negative prices during curtailment. It lets the
+ * framework study how well *price* signals align with *carbon*
+ * signals for demand response.
+ */
+
+#ifndef CARBONX_GRID_PRICING_H
+#define CARBONX_GRID_PRICING_H
+
+#include "grid/grid_synthesizer.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Marginal-cost and scarcity parameters of the price model. */
+struct PriceModelParams
+{
+    /**
+     * Marginal cost by fuel in $/MWh (indexed by Fuel). Consistent
+     * with the dispatch merit order (gas before coal, as in the
+     * post-2019 US fleet where gas undercuts coal).
+     */
+    std::array<double, kNumFuels> marginal_cost_usd = {
+        0.0,   // Wind: fuel is free.
+        0.0,   // Solar.
+        8.0,   // Hydro.
+        12.0,  // Nuclear.
+        24.0,  // Natural gas.
+        33.0,  // Coal.
+        140.0, // Oil peakers.
+        45.0,  // Other.
+    };
+
+    /** Price during renewable curtailment (negative: oversupply). */
+    double curtailment_price_usd = -5.0;
+
+    /**
+     * Scarcity adder: price rises as dispatched thermal output
+     * approaches the installed fleet's limit, up to this cap.
+     */
+    double scarcity_cap_usd = 250.0;
+
+    /** Fleet utilization where the scarcity adder starts. */
+    double scarcity_threshold = 0.85;
+};
+
+/** Derives hourly wholesale prices from a synthesized grid trace. */
+class PriceModel
+{
+  public:
+    explicit PriceModel(PriceModelParams params = {});
+
+    /**
+     * Hourly price series ($/MWh) for a grid trace against its
+     * balancing-authority profile (for fleet capacities).
+     */
+    TimeSeries price(const GridTrace &trace,
+                     const BalancingAuthorityProfile &profile) const;
+
+    const PriceModelParams &params() const { return params_; }
+
+  private:
+    PriceModelParams params_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_PRICING_H

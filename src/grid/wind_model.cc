@@ -1,0 +1,107 @@
+#include "wind_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+WindResourceModel::WindResourceModel(const WindModelParams &params)
+    : params_(params)
+{
+    require(params.mean_speed_ms > 0.0, "mean wind speed must be positive");
+    require(params.weibull_shape > 0.0, "Weibull shape must be positive");
+    require(params.correlation_hours >= 1.0,
+            "wind correlation time must be at least one hour");
+    require(params.cut_in_ms < params.rated_ms &&
+                params.rated_ms < params.cut_out_ms,
+            "turbine speeds must satisfy cut-in < rated < cut-out");
+    require(params.sub_farms >= 1, "need at least one sub-farm");
+}
+
+double
+WindResourceModel::powerCurve(double speed_ms) const
+{
+    if (speed_ms < params_.cut_in_ms || speed_ms >= params_.cut_out_ms)
+        return 0.0;
+    if (speed_ms >= params_.rated_ms)
+        return 1.0;
+    // Cubic ramp in available kinetic power between cut-in and rated.
+    const double v3 = speed_ms * speed_ms * speed_ms;
+    const double vin3 =
+        params_.cut_in_ms * params_.cut_in_ms * params_.cut_in_ms;
+    const double vr3 = params_.rated_ms * params_.rated_ms * params_.rated_ms;
+    return (v3 - vin3) / (vr3 - vin3);
+}
+
+double
+WindResourceModel::latentToSpeed(double z, double scale) const
+{
+    // Probability-integral transform: z ~ N(0,1) -> u ~ U(0,1) ->
+    // Weibull(k, scale) quantile.
+    const double u =
+        std::clamp(0.5 * std::erfc(-z / std::numbers::sqrt2),
+                   1e-12, 1.0 - 1e-12);
+    return scale * std::pow(-std::log1p(-u), 1.0 / params_.weibull_shape);
+}
+
+TimeSeries
+WindResourceModel::generate(int year, uint64_t seed) const
+{
+    TimeSeries out(year);
+    const HourlyCalendar &cal = out.calendar();
+    Rng weather(seed, "wind-weather");
+    Rng spatial(seed, "wind-spatial");
+
+    const size_t hours = cal.hoursInYear();
+    const double days = static_cast<double>(cal.daysInYear());
+
+    // Weibull scale chosen so that the marginal mean speed equals
+    // mean_speed_ms: E[V] = scale * Gamma(1 + 1/k).
+    const double gamma_term =
+        std::tgamma(1.0 + 1.0 / params_.weibull_shape);
+    const double base_scale = params_.mean_speed_ms / gamma_term;
+
+    // AR(1) latent weather with the requested correlation time.
+    const double rho = std::exp(-1.0 / params_.correlation_hours);
+    const double innovation_sd =
+        params_.variability * std::sqrt(1.0 - rho * rho);
+
+    // Sub-farm offsets: persistent perturbations representing
+    // geographically spread farms seeing related but distinct weather.
+    const int farms = params_.sub_farms;
+    std::vector<double> farm_offset(static_cast<size_t>(farms));
+    for (auto &off : farm_offset)
+        off = spatial.normal(0.0, 0.5);
+
+    double z = 0.0;
+    for (size_t h = 0; h < hours; ++h) {
+        z = rho * z + weather.normal(0.0, innovation_sd);
+
+        const double day = static_cast<double>(h) / 24.0;
+        const double seasonal = 1.0 + params_.seasonal_amp *
+            std::cos(2.0 * std::numbers::pi *
+                     (day - params_.seasonal_peak_day) / days);
+        const double hour_of_day = static_cast<double>(h % 24);
+        const double diurnal = 1.0 + params_.diurnal_amp *
+            std::cos(2.0 * std::numbers::pi * (hour_of_day - 2.0) / 24.0);
+        const double scale = base_scale * seasonal * diurnal;
+
+        double power = 0.0;
+        for (int f = 0; f < farms; ++f) {
+            const double zf =
+                z + farm_offset[static_cast<size_t>(f)] +
+                spatial.normal(0.0, 0.18);
+            power += powerCurve(latentToSpeed(zf, scale));
+        }
+        out[h] = std::max(power / static_cast<double>(farms),
+                          params_.aggregate_floor);
+    }
+    return out;
+}
+
+} // namespace carbonx

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Synthetic wind generation model.
+ *
+ * Substitutes for the EIA Hourly Grid Monitor's wind traces. Wind
+ * speed is modeled as an Ornstein-Uhlenbeck (AR(1)) weather process in
+ * a latent Gaussian space, mapped through a probability-integral
+ * transform to a Weibull marginal (the classical wind-speed
+ * distribution), then pushed through a turbine power curve with
+ * cut-in / rated / cut-out speeds. Farm-level spatial diversity is
+ * captured by averaging several perturbed sub-farm speeds, which
+ * smooths the power curve's hard corners.
+ *
+ * The process's multi-day correlation time produces the weather
+ * systems that matter for Carbon Explorer: consecutive windless days
+ * (deep supply valleys) in regions like BPAT/Oregon, versus steadier
+ * wind in SWPP/Nebraska and MISO/Iowa.
+ */
+
+#ifndef CARBONX_GRID_WIND_MODEL_H
+#define CARBONX_GRID_WIND_MODEL_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Tunable parameters of the synthetic wind resource. */
+struct WindModelParams
+{
+    /** Mean wind speed (m/s) at hub height; sets the capacity factor. */
+    double mean_speed_ms = 7.5;
+
+    /** Weibull shape parameter; ~2 for typical sites. */
+    double weibull_shape = 2.0;
+
+    /**
+     * Correlation time of the latent weather process in hours. Larger
+     * values produce multi-day lulls and storms.
+     */
+    double correlation_hours = 48.0;
+
+    /**
+     * Std-dev of the latent process (in latent sigma units, nominally
+     * 1.0). Larger values deepen lulls and sharpen storms.
+     */
+    double variability = 1.0;
+
+    /** Seasonal amplitude of mean speed (fraction, peaks in spring). */
+    double seasonal_amp = 0.15;
+
+    /** Day of year (0-based) when the seasonal wind peaks. */
+    double seasonal_peak_day = 95.0;
+
+    /** Diurnal amplitude (fraction); many sites are windier at night. */
+    double diurnal_amp = 0.08;
+
+    /** Number of perturbed sub-farms averaged for spatial diversity. */
+    int sub_farms = 4;
+
+    /**
+     * Aggregate output floor (per-unit). A balancing authority's
+     * whole wind fleet, spread over hundreds of kilometers, almost
+     * never reports exactly zero; a small floor keeps deep lulls
+     * physical without materially changing their depth.
+     */
+    double aggregate_floor = 0.002;
+
+    /** Turbine cut-in speed (m/s). */
+    double cut_in_ms = 3.0;
+
+    /** Turbine rated speed (m/s). */
+    double rated_ms = 12.0;
+
+    /** Turbine cut-out speed (m/s). */
+    double cut_out_ms = 25.0;
+};
+
+/**
+ * Generates one year of per-unit wind farm output (fraction of
+ * nameplate capacity, in [0, 1]) at hourly resolution.
+ */
+class WindResourceModel
+{
+  public:
+    explicit WindResourceModel(const WindModelParams &params);
+
+    /**
+     * Turbine power curve: per-unit output for a wind speed.
+     * Cubic ramp between cut-in and rated, flat to cut-out, then 0.
+     */
+    double powerCurve(double speed_ms) const;
+
+    /**
+     * Generate a stochastic hourly trace for @p year.
+     *
+     * @param year Calendar year.
+     * @param seed Seed for the weather process.
+     * @return Per-unit series (multiply by nameplate MW for power).
+     */
+    TimeSeries generate(int year, uint64_t seed) const;
+
+    const WindModelParams &params() const { return params_; }
+
+  private:
+    /** Map a latent standard-normal value to a Weibull wind speed. */
+    double latentToSpeed(double z, double scale) const;
+
+    WindModelParams params_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_GRID_WIND_MODEL_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Greedy carbon-aware scheduling (paper section 4.3).
+ *
+ * The scheduler reshapes the datacenter's hourly power series by
+ * moving flexible load away from hours where a cost signal (grid
+ * carbon intensity, or renewable deficit) is high and into hours
+ * where it is low, subject to:
+ *   - Input constraint 1: P_DC(h) < P_DC_MAX (the capacity cap, which
+ *     includes any extra servers provisioned for demand response).
+ *   - Input constraint 2: only P_DC(h) * FWR (the flexible workload
+ *     ratio) may move.
+ * Scheduling is performed day by day, matching the paper's daily-SLO
+ * framing; a windowed variant restricts each hour's flexible load to
+ * land within +/- its SLO window.
+ */
+
+#ifndef CARBONX_SCHEDULER_GREEDY_SCHEDULER_H
+#define CARBONX_SCHEDULER_GREEDY_SCHEDULER_H
+
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Configuration of the greedy carbon-aware scheduler. */
+struct SchedulerConfig
+{
+    /** Maximum datacenter power after reshaping (P_DC_MAX), MW. */
+    double capacity_cap_mw = 0.0;
+
+    /** Fraction of each hour's load that may shift (FWR). */
+    double flexible_ratio = 0.4;
+
+    /**
+     * SLO window in hours. 24 reproduces the paper's daily greedy
+     * (load may move anywhere within its calendar day); smaller
+     * windows restrict movement to +/- window hours.
+     */
+    double slo_window_hours = 24.0;
+};
+
+/** Outcome of one scheduling pass. */
+struct ScheduleResult
+{
+    TimeSeries reshaped_power; ///< The new hourly power series (MW).
+    double moved_mwh = 0.0;    ///< Total energy relocated.
+    double peak_power_mw = 0.0; ///< Max of the reshaped series.
+
+    explicit ScheduleResult(int year) : reshaped_power(year) {}
+};
+
+/** Greedy carbon-aware scheduler. */
+class GreedyCarbonScheduler
+{
+  public:
+    explicit GreedyCarbonScheduler(SchedulerConfig config);
+
+    /**
+     * Reshape @p dc_power against @p cost_signal.
+     *
+     * For each calendar day the flexible share of every hour's load is
+     * pooled and re-placed into that day's hours in ascending cost
+     * order, never exceeding the capacity cap. Energy is conserved
+     * per day. With slo_window_hours < 24, pooling happens per hour
+     * and placement is restricted to the window around the origin.
+     *
+     * @param dc_power Hourly datacenter power (MW).
+     * @param cost_signal Hourly cost to minimize against; typically
+     *        grid carbon intensity (g/kWh) or renewable deficit (MW).
+     * @return Reshaped series plus bookkeeping.
+     */
+    ScheduleResult schedule(const TimeSeries &dc_power,
+                            const TimeSeries &cost_signal) const;
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    ScheduleResult scheduleDaily(const TimeSeries &dc_power,
+                                 const TimeSeries &cost_signal) const;
+    ScheduleResult scheduleWindowed(const TimeSeries &dc_power,
+                                    const TimeSeries &cost_signal) const;
+
+    SchedulerConfig config_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_SCHEDULER_GREEDY_SCHEDULER_H

@@ -1,0 +1,233 @@
+#include "simulation_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+SimulationEngine::SimulationEngine(const TimeSeries &dc_power,
+                                   const TimeSeries &renewable)
+    : dc_power_(dc_power), renewable_(renewable)
+{
+    require(dc_power.year() == renewable.year(),
+            "load and supply series must cover the same year");
+    require(dc_power.min() >= 0.0, "datacenter power must be >= 0");
+    require(renewable.min() >= 0.0, "renewable supply must be >= 0");
+}
+
+double
+SimulationEngine::renewableOnlyCoverage() const
+{
+    double unmet = 0.0;
+    double total = 0.0;
+    for (size_t h = 0; h < dc_power_.size(); ++h) {
+        unmet += std::max(dc_power_[h] - renewable_[h], 0.0);
+        total += dc_power_[h];
+    }
+    return total > 0.0 ? (1.0 - unmet / total) * 100.0 : 100.0;
+}
+
+namespace
+{
+
+/** One chunk of deferred work with its completion deadline. */
+struct BacklogEntry
+{
+    size_t deadline_hour;
+    double mwh;
+};
+
+} // namespace
+
+SimulationResult
+SimulationEngine::run(const SimulationConfig &config) const
+{
+    require(config.capacity_cap_mw >= dc_power_.max() - 1e-9,
+            "capacity cap below the load peak");
+    require(config.flexible_ratio >= 0.0 && config.flexible_ratio <= 1.0,
+            "flexible ratio must be in [0, 1]");
+    require(config.slo_window_hours >= 1.0,
+            "SLO window must be at least one hour");
+
+    SimulationResult result(dc_power_.year());
+    const size_t n = dc_power_.size();
+    const double cap = config.capacity_cap_mw;
+    const double fwr = config.flexible_ratio;
+    const auto window = static_cast<size_t>(config.slo_window_hours);
+    const double dt = 1.0; // Hourly steps.
+
+    const bool grid_charging =
+        config.grid_charge_policy ==
+        GridChargePolicy::BelowIntensityThreshold;
+    if (grid_charging) {
+        require(config.grid_intensity != nullptr,
+                "grid-charging policy requires an intensity series");
+        require(config.grid_intensity->year() == dc_power_.year(),
+                "intensity series must cover the simulated year");
+        require(config.grid_charge_threshold_gkwh >= 0.0,
+                "grid-charge threshold must be >= 0");
+    }
+
+    BatteryModel *battery = config.battery;
+    if (battery != nullptr)
+        battery->reset();
+
+    std::deque<BacklogEntry> backlog;
+    double backlog_mwh = 0.0;
+
+    for (size_t h = 0; h < n; ++h) {
+        const double load = dc_power_[h];
+        const double ren = renewable_[h];
+        const double fixed = load * (1.0 - fwr);
+        const double flex = load * fwr;
+
+        // Deadline-forced backlog must run now.
+        double forced = 0.0;
+        while (!backlog.empty() && backlog.front().deadline_hour <= h) {
+            forced += backlog.front().mwh;
+            backlog_mwh -= backlog.front().mwh;
+            backlog.pop_front();
+        }
+
+        // Mandatory work: inflexible load plus deadline-forced
+        // backlog, truncated at the physical capacity cap. Truncated
+        // deadline work is an SLO violation; it still runs, one cap-
+        // sized slice per hour, until drained.
+        double mandatory = fixed + forced;
+        if (mandatory > cap) {
+            const double overflow = mandatory - cap;
+            result.slo_violation_mwh += overflow * dt;
+            backlog.push_front({h + 1, overflow});
+            backlog_mwh += overflow;
+            mandatory = cap;
+        }
+
+        double served = mandatory;
+        double battery_out = 0.0;
+        double battery_in = 0.0;
+
+        if (ren >= served) {
+            // Surplus relative to mandatory work. Run everything
+            // available — current flexible work first, then backlog —
+            // on renewable power within the capacity cap, and charge
+            // the battery with what remains (section 5.2).
+            double surplus = ren - served;
+
+            const double flex_green =
+                std::min({flex, surplus, cap - served});
+            served += flex_green;
+            surplus -= flex_green;
+
+            // Flexible work that surplus could not cover competes for
+            // the battery like any other deficit (below). Compute the
+            // still-unserved flexible remainder first.
+            double flex_rest = flex - flex_green;
+
+            // Drain backlog, oldest first, on leftover surplus.
+            while (surplus > 1e-12 && served < cap && !backlog.empty()) {
+                auto &entry = backlog.front();
+                const double run =
+                    std::min({entry.mwh / dt, surplus, cap - served});
+                if (run <= 1e-12)
+                    break;
+                entry.mwh -= run * dt;
+                backlog_mwh -= run * dt;
+                served += run;
+                surplus -= run;
+                if (entry.mwh <= 1e-12)
+                    backlog.pop_front();
+            }
+
+            if (flex_rest > 0.0) {
+                // No surplus left for this flexible remainder: battery
+                // first, defer only what storage cannot cover. Work
+                // that does not fit under the capacity cap must defer
+                // regardless.
+                const double fits = std::min(flex_rest, cap - served);
+                double deficit = fits;
+                if (battery != nullptr && deficit > 0.0) {
+                    battery_out = battery->discharge(deficit, dt);
+                    deficit -= battery_out;
+                }
+                const double defer = (flex_rest - fits) + deficit;
+                if (defer > 0.0) {
+                    backlog.push_back({h + window, defer * dt});
+                    backlog_mwh += defer * dt;
+                    result.deferred_mwh += defer * dt;
+                }
+                served += flex_rest - defer;
+            }
+
+            if (battery != nullptr && surplus > 1e-12)
+                battery_in = battery->charge(surplus, dt);
+        } else {
+            // Deficit: renewables cannot even cover mandatory work.
+            // Battery first, then defer flexible work, then the grid.
+            // Flexible work beyond the capacity cap must defer.
+            const double flex_fits = std::min(flex, cap - served);
+            double deficit = served + flex_fits - ren;
+            if (battery != nullptr) {
+                battery_out = battery->discharge(deficit, dt);
+                deficit -= battery_out;
+            }
+            const double defer = (flex - flex_fits) +
+                (fwr > 0.0 ? std::min(flex_fits, deficit) : 0.0);
+            if (defer > 0.0) {
+                backlog.push_back({h + window, defer * dt});
+                backlog_mwh += defer * dt;
+                result.deferred_mwh += defer * dt;
+            }
+            served += flex - defer;
+        }
+
+        // Carbon-arbitrage extension: top the battery up from the
+        // grid whenever the grid is clean enough. This energy counts
+        // as grid draw (it is not carbon-free), so it trades coverage
+        // for lower operational carbon.
+        double grid_charge = 0.0;
+        if (grid_charging && battery != nullptr &&
+            (*config.grid_intensity)[h] <=
+                config.grid_charge_threshold_gkwh) {
+            grid_charge = battery->charge(
+                std::numeric_limits<double>::max(), dt);
+            battery_in += grid_charge;
+            result.grid_charge_mwh += grid_charge * dt;
+        }
+
+        const double green_used =
+            std::min(ren, served + (battery_in - grid_charge));
+        const double grid =
+            std::max(served - ren - battery_out, 0.0) + grid_charge;
+
+        result.served_power[h] = served;
+        result.grid_power[h] = grid;
+        result.battery_flow[h] = battery_in - battery_out;
+        result.battery_soc[h] =
+            battery != nullptr ? battery->stateOfCharge() : 0.0;
+
+        result.load_energy_mwh += load * dt;
+        result.served_energy_mwh += served * dt;
+        result.grid_energy_mwh += grid * dt;
+        result.renewable_used_mwh += green_used * dt;
+        result.renewable_excess_mwh +=
+            std::max(ren - green_used, 0.0) * dt;
+        result.max_backlog_mwh = std::max(result.max_backlog_mwh,
+                                          backlog_mwh);
+    }
+
+    result.residual_backlog_mwh = backlog_mwh;
+    result.peak_power_mw = result.served_power.max();
+    result.battery_cycles =
+        battery != nullptr ? battery->fullEquivalentCycles() : 0.0;
+    result.coverage_pct = result.load_energy_mwh > 0.0
+        ? (1.0 - result.grid_energy_mwh / result.load_energy_mwh) * 100.0
+        : 100.0;
+    return result;
+}
+
+} // namespace carbonx

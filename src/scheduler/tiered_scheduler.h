@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-tier carbon-aware scheduler.
+ *
+ * The paper's greedy scheduler treats flexibility as a single ratio
+ * with a daily SLO. Real fleets (Fig. 10) span five tiers with
+ * windows from +/-1 hour to effectively unconstrained. This extension
+ * schedules each tier against the cost signal under its own SLO
+ * window, sharing one capacity budget, so the contribution of every
+ * tier to carbon savings can be quantified.
+ */
+
+#ifndef CARBONX_SCHEDULER_TIERED_SCHEDULER_H
+#define CARBONX_SCHEDULER_TIERED_SCHEDULER_H
+
+#include <vector>
+
+#include "datacenter/workload.h"
+#include "scheduler/greedy_scheduler.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/** Per-tier outcome of a tiered scheduling pass. */
+struct TierOutcome
+{
+    std::string tier_name;
+    double slo_window_hours = 0.0;
+    double share = 0.0;
+    double moved_mwh = 0.0; ///< Energy this tier relocated.
+};
+
+/** Outcome of the full tiered pass. */
+struct TieredScheduleResult
+{
+    TimeSeries reshaped_power; ///< Combined reshaped series (MW).
+    std::vector<TierOutcome> tiers;
+    double moved_mwh = 0.0;
+    double peak_power_mw = 0.0;
+
+    explicit TieredScheduleResult(int year) : reshaped_power(year) {}
+};
+
+/** Scheduler that honors each workload tier's own SLO window. */
+class TieredScheduler
+{
+  public:
+    /**
+     * @param mix Workload tier table; shares must sum to 1. Tiers
+     *        with a zero window are pinned in place.
+     * @param capacity_cap_mw P_DC_MAX for the combined schedule.
+     */
+    TieredScheduler(WorkloadMix mix, double capacity_cap_mw);
+
+    /**
+     * Reshape @p dc_power against @p cost_signal, tier by tier.
+     * Tighter-windowed tiers schedule first (they have the fewest
+     * options); headroom accounting reserves space for yet-unmoved
+     * flexible load so the cap holds by construction and energy is
+     * conserved exactly.
+     */
+    TieredScheduleResult schedule(const TimeSeries &dc_power,
+                                  const TimeSeries &cost_signal) const;
+
+    const WorkloadMix &mix() const { return mix_; }
+
+  private:
+    WorkloadMix mix_;
+    double capacity_cap_mw_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_SCHEDULER_TIERED_SCHEDULER_H

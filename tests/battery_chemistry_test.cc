@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests of battery chemistry presets and the DoD -> cycle-life curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "battery/chemistry.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Chemistry, LfpPaperCycleLifePoints)
+{
+    // Section 5.1: 3000 cycles at 100% DoD, 4500 at 80%.
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_DOUBLE_EQ(lfp.cyclesAtDod(1.0), 3000.0);
+    EXPECT_DOUBLE_EQ(lfp.cyclesAtDod(0.8), 4500.0);
+    EXPECT_DOUBLE_EQ(lfp.cyclesAtDod(0.6), 10000.0);
+}
+
+TEST(Chemistry, EightyPercentDodExtendsCyclesByFiftyPercent)
+{
+    // "The lower DoD of 80% increases battery lifespan and the number
+    // of (dis)charge cycles by 50%."
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_NEAR(lfp.cyclesAtDod(0.8) / lfp.cyclesAtDod(1.0), 1.5, 1e-9);
+}
+
+TEST(Chemistry, CycleLifeInterpolatesLogLinearly)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    const double mid = lfp.cyclesAtDod(0.9);
+    EXPECT_GT(mid, 3000.0);
+    EXPECT_LT(mid, 4500.0);
+    // Log-linear: the geometric mean at the midpoint.
+    EXPECT_NEAR(mid, std::sqrt(3000.0 * 4500.0), 1.0);
+}
+
+TEST(Chemistry, CycleLifeClampsOutsideCurve)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_DOUBLE_EQ(lfp.cyclesAtDod(0.3), 10000.0);
+    EXPECT_THROW(lfp.cyclesAtDod(0.0), UserError);
+    EXPECT_THROW(lfp.cyclesAtDod(1.1), UserError);
+}
+
+TEST(Chemistry, LifetimeFromDailyCycling)
+{
+    BatteryChemistry lfp = BatteryChemistry::lithiumIronPhosphate();
+    lfp.calendar_life_years = 100.0; // Disable the calendar cap.
+    // One full cycle per day at 100% DoD: 3000 cycles / 365 = 8.2 y.
+    EXPECT_NEAR(lfp.lifetimeYears(1.0), 3000.0 / 365.0, 0.01);
+    // Half a cycle per day doubles it.
+    EXPECT_NEAR(lfp.lifetimeYears(0.5), 2.0 * 3000.0 / 365.0, 0.01);
+}
+
+TEST(Chemistry, CalendarLifeCapsLightCycling)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_DOUBLE_EQ(lfp.lifetimeYears(0.0), lfp.calendar_life_years);
+    EXPECT_DOUBLE_EQ(lfp.lifetimeYears(0.001), lfp.calendar_life_years);
+}
+
+TEST(Chemistry, EmbodiedFootprintsInPaperRange)
+{
+    // Paper: lithium-ion manufacturing is 74-134 kg CO2 per kWh.
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_GE(lfp.embodied_kg_per_kwh, 74.0);
+    EXPECT_LE(lfp.embodied_kg_per_kwh, 134.0);
+    // Sodium-ion is cited as lower-impact.
+    EXPECT_LT(BatteryChemistry::sodiumIon().embodied_kg_per_kwh,
+              lfp.embodied_kg_per_kwh);
+}
+
+TEST(Chemistry, PresetsAreDistinct)
+{
+    const auto lfp = BatteryChemistry::lithiumIronPhosphate();
+    const auto nmc = BatteryChemistry::nickelManganeseCobalt();
+    const auto na = BatteryChemistry::sodiumIon();
+    EXPECT_NE(lfp.name, nmc.name);
+    EXPECT_NE(lfp.name, na.name);
+    EXPECT_GT(lfp.cyclesAtDod(1.0), nmc.cyclesAtDod(1.0));
+}
+
+TEST(Chemistry, EmptyCurveThrows)
+{
+    BatteryChemistry c = BatteryChemistry::lithiumIronPhosphate();
+    c.cycle_life.clear();
+    EXPECT_THROW(c.cyclesAtDod(0.8), UserError);
+}
+
+} // namespace
+} // namespace carbonx

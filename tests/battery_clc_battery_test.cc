@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests of the C/L/C lithium-ion battery model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "battery/clc_battery.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+BatteryChemistry
+idealizedLfp()
+{
+    // LFP with lossless round trip, for exact-arithmetic tests.
+    BatteryChemistry c = BatteryChemistry::lithiumIronPhosphate();
+    c.charge_efficiency = 1.0;
+    c.discharge_efficiency = 1.0;
+    return c;
+}
+
+TEST(ClcBattery, StartsAtTheDodFloor)
+{
+    const ClcBattery full_window(100.0, idealizedLfp());
+    EXPECT_DOUBLE_EQ(full_window.energyContentMwh(), 0.0);
+
+    BatteryChemistry c = idealizedLfp();
+    c.depth_of_discharge = 0.8;
+    const ClcBattery windowed(100.0, c);
+    EXPECT_DOUBLE_EQ(windowed.energyContentMwh(), 20.0);
+    EXPECT_DOUBLE_EQ(windowed.minContentMwh(), 20.0);
+    EXPECT_DOUBLE_EQ(windowed.usableCapacityMwh(), 80.0);
+}
+
+TEST(ClcBattery, ChargeStoresEnergy)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    const double accepted = b.charge(30.0, 1.0);
+    EXPECT_DOUBLE_EQ(accepted, 30.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 30.0);
+    EXPECT_DOUBLE_EQ(b.totalChargedMwh(), 30.0);
+}
+
+TEST(ClcBattery, ChargeRespectsCRate)
+{
+    // 1C on a 100 MWh battery caps charging power at 100 MW.
+    ClcBattery b(100.0, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.charge(250.0, 0.5), 100.0);
+}
+
+TEST(ClcBattery, ChargeStopsAtCapacity)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    b.charge(90.0, 1.0);
+    const double accepted = b.charge(50.0, 1.0);
+    EXPECT_DOUBLE_EQ(accepted, 10.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 100.0);
+    EXPECT_DOUBLE_EQ(b.charge(10.0, 1.0), 0.0);
+}
+
+TEST(ClcBattery, DischargeDeliversStoredEnergy)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    b.charge(60.0, 1.0);
+    const double delivered = b.discharge(25.0, 1.0);
+    EXPECT_DOUBLE_EQ(delivered, 25.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 35.0);
+    EXPECT_DOUBLE_EQ(b.totalDischargedMwh(), 25.0);
+}
+
+TEST(ClcBattery, DischargeRespectsCRateAndContent)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    b.charge(100.0, 1.0);
+    // C-rate limit first.
+    EXPECT_DOUBLE_EQ(b.discharge(500.0, 0.25), 100.0);
+    // Then the remaining content limits.
+    EXPECT_DOUBLE_EQ(b.discharge(500.0, 1.0), 75.0);
+    EXPECT_DOUBLE_EQ(b.discharge(1.0, 1.0), 0.0);
+}
+
+TEST(ClcBattery, DischargeHonorsDodFloor)
+{
+    BatteryChemistry c = idealizedLfp();
+    c.depth_of_discharge = 0.8;
+    ClcBattery b(100.0, c, 1.0); // Start full.
+    const double delivered = b.discharge(200.0, 1.0);
+    EXPECT_DOUBLE_EQ(delivered, 80.0); // Only the window is usable.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 20.0);
+}
+
+TEST(ClcBattery, ChargingEfficiencyLosesEnergy)
+{
+    BatteryChemistry c = idealizedLfp();
+    c.charge_efficiency = 0.9;
+    ClcBattery b(100.0, c);
+    b.charge(10.0, 1.0); // 10 MWh at the terminal, 9 MWh stored.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 9.0);
+}
+
+TEST(ClcBattery, DischargingEfficiencyDrawsExtraContent)
+{
+    BatteryChemistry c = idealizedLfp();
+    c.discharge_efficiency = 0.9;
+    ClcBattery b(100.0, c);
+    b.charge(50.0, 1.0);
+    b.discharge(9.0, 1.0); // Delivers 9, draws 10 from content.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 40.0);
+}
+
+TEST(ClcBattery, RoundTripEfficiencyCompounds)
+{
+    // Default LFP: 0.95 each way -> ~90% round trip.
+    ClcBattery b(1000.0,
+                 BatteryChemistry::lithiumIronPhosphate());
+    const double in = b.charge(100.0, 1.0);
+    const double out = b.discharge(1000.0, 1.0);
+    EXPECT_NEAR(out / in, 0.95 * 0.95, 1e-9);
+}
+
+TEST(ClcBattery, StateOfChargeTracksContent)
+{
+    ClcBattery b(200.0, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.0);
+    b.charge(100.0, 1.0);
+    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.5);
+}
+
+TEST(ClcBattery, FullEquivalentCyclesFromThroughput)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    for (int i = 0; i < 3; ++i) {
+        b.charge(100.0, 1.0);
+        b.discharge(100.0, 1.0);
+    }
+    EXPECT_NEAR(b.fullEquivalentCycles(), 3.0, 1e-9);
+}
+
+TEST(ClcBattery, ResetRestoresInitialState)
+{
+    ClcBattery b(100.0, idealizedLfp(), 0.5);
+    b.charge(20.0, 1.0);
+    b.discharge(5.0, 1.0);
+    b.reset();
+    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 50.0);
+    EXPECT_DOUBLE_EQ(b.totalChargedMwh(), 0.0);
+    EXPECT_DOUBLE_EQ(b.totalDischargedMwh(), 0.0);
+    EXPECT_DOUBLE_EQ(b.fullEquivalentCycles(), 0.0);
+}
+
+TEST(ClcBattery, ZeroCapacityIsInert)
+{
+    ClcBattery b(0.0, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.charge(10.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.discharge(10.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.0);
+    EXPECT_DOUBLE_EQ(b.fullEquivalentCycles(), 0.0);
+}
+
+TEST(ClcBattery, SubHourlyStepsRespectPowerLimits)
+{
+    ClcBattery b(60.0, idealizedLfp());
+    // 1C = 60 MW; offering 100 MW for 1 minute accepts only 60 MW.
+    const double accepted = b.charge(100.0, 1.0 / 60.0);
+    EXPECT_DOUBLE_EQ(accepted, 60.0);
+    EXPECT_NEAR(b.energyContentMwh(), 1.0, 1e-12);
+}
+
+TEST(ClcBattery, RejectsInvalidArguments)
+{
+    ClcBattery b(100.0, idealizedLfp());
+    EXPECT_THROW(b.charge(-1.0, 1.0), UserError);
+    EXPECT_THROW(b.charge(1.0, 0.0), UserError);
+    EXPECT_THROW(b.discharge(-1.0, 1.0), UserError);
+    EXPECT_THROW(b.discharge(1.0, -1.0), UserError);
+    EXPECT_THROW(ClcBattery(-1.0, idealizedLfp()), UserError);
+    BatteryChemistry c = idealizedLfp();
+    c.depth_of_discharge = 0.0;
+    EXPECT_THROW(ClcBattery(10.0, c), UserError);
+}
+
+TEST(ClcBattery, DescriptionNamesChemistry)
+{
+    const ClcBattery b(10.0, BatteryChemistry::sodiumIon());
+    EXPECT_NE(b.description().find("Na-ion"), std::string::npos);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests of rainflow cycle counting and duty-aware battery lifetime.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "battery/battery_stats.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+double
+totalCount(const std::vector<RainflowCycle> &cycles, double depth,
+           double tol = 1e-9)
+{
+    double count = 0.0;
+    for (const auto &c : cycles) {
+        if (std::abs(c.depth - depth) < tol)
+            count += c.count;
+    }
+    return count;
+}
+
+TEST(Rainflow, EmptyAndConstantSeries)
+{
+    EXPECT_TRUE(rainflowCount(std::vector<double>{}).empty());
+    EXPECT_TRUE(rainflowCount(std::vector<double>{0.5}).empty());
+    EXPECT_TRUE(
+        rainflowCount(std::vector<double>(10, 0.5)).empty());
+}
+
+TEST(Rainflow, SingleRampIsOneHalfCycle)
+{
+    const std::vector<double> soc = {0.0, 0.25, 0.5, 0.75, 1.0};
+    const auto cycles = rainflowCount(soc);
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_DOUBLE_EQ(cycles[0].depth, 1.0);
+    EXPECT_DOUBLE_EQ(cycles[0].count, 0.5);
+}
+
+TEST(Rainflow, FullSwingUpDown)
+{
+    const std::vector<double> soc = {0.0, 1.0, 0.0};
+    const auto cycles = rainflowCount(soc);
+    double total = 0.0;
+    for (const auto &c : cycles) {
+        EXPECT_DOUBLE_EQ(c.depth, 1.0);
+        total += c.count;
+    }
+    EXPECT_DOUBLE_EQ(total, 1.0); // Two half cycles of depth 1.
+}
+
+TEST(Rainflow, RepeatedFullCyclesCountFully)
+{
+    std::vector<double> soc;
+    for (int i = 0; i < 10; ++i) {
+        soc.push_back(0.0);
+        soc.push_back(1.0);
+    }
+    soc.push_back(0.0);
+    const auto cycles = rainflowCount(soc);
+    double total = 0.0;
+    for (const auto &c : cycles) {
+        EXPECT_NEAR(c.depth, 1.0, 1e-12);
+        total += c.count;
+    }
+    EXPECT_NEAR(total, 10.0, 0.51); // ~10 cycles (residual halves).
+}
+
+TEST(Rainflow, SmallSwingInsideLargeOne)
+{
+    // Classic rainflow case: a small dip nested in a big swing is
+    // its own full cycle; the envelope remains.
+    const std::vector<double> soc = {0.0, 0.8, 0.5, 1.0, 0.0};
+    const auto cycles = rainflowCount(soc);
+    // Nested cycle of depth 0.3 counted as one full cycle.
+    EXPECT_NEAR(totalCount(cycles, 0.3), 1.0, 1e-9);
+    // Envelope of depth 1.0 as residual half cycles.
+    EXPECT_NEAR(totalCount(cycles, 1.0), 1.0, 1e-9);
+}
+
+TEST(Rainflow, DepthsNeverExceedSeriesRange)
+{
+    std::vector<double> soc;
+    for (int i = 0; i < 500; ++i) {
+        soc.push_back(0.5 +
+                      0.4 * std::sin(0.37 * i) * std::cos(0.11 * i));
+    }
+    for (const auto &c : rainflowCount(soc)) {
+        EXPECT_GE(c.depth, 0.0);
+        EXPECT_LE(c.depth, 0.81);
+        EXPECT_TRUE(c.count == 0.5 || c.count == 1.0);
+    }
+}
+
+TEST(MinersDamage, MatchesRatedLifeForUniformCycling)
+{
+    // 3000 full cycles at 100% DoD must consume exactly one life.
+    BatteryChemistry lfp = BatteryChemistry::lithiumIronPhosphate();
+    std::vector<RainflowCycle> cycles(3000,
+                                      RainflowCycle{1.0, 1.0});
+    EXPECT_NEAR(minersDamage(cycles, lfp), 1.0, 1e-9);
+}
+
+TEST(MinersDamage, ShallowCyclesDamageLess)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    const std::vector<RainflowCycle> deep = {{1.0, 1.0}};
+    const std::vector<RainflowCycle> shallow = {{0.6, 1.0}};
+    EXPECT_GT(minersDamage(deep, lfp), minersDamage(shallow, lfp));
+}
+
+TEST(MinersDamage, IgnoresTinyRipple)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    const std::vector<RainflowCycle> ripple = {{0.005, 1.0}};
+    EXPECT_DOUBLE_EQ(minersDamage(ripple, lfp), 0.0);
+    EXPECT_THROW(minersDamage(ripple, lfp, -1.0), UserError);
+}
+
+TEST(DamageLifetime, InverseOfAnnualDamage)
+{
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    EXPECT_NEAR(damageLifetimeYears(0.2, lfp), 5.0, 1e-9);
+    // Calendar cap binds for light duty.
+    EXPECT_DOUBLE_EQ(damageLifetimeYears(0.0, lfp),
+                     lfp.calendar_life_years);
+    EXPECT_DOUBLE_EQ(damageLifetimeYears(0.01, lfp),
+                     lfp.calendar_life_years);
+    EXPECT_THROW(damageLifetimeYears(-1.0, lfp), UserError);
+}
+
+TEST(SocDuty, SummaryOfBimodalDuty)
+{
+    // Daily full cycles: half the time full, half empty.
+    std::vector<double> soc;
+    for (int day = 0; day < 100; ++day) {
+        for (int h = 0; h < 12; ++h)
+            soc.push_back(1.0);
+        for (int h = 0; h < 12; ++h)
+            soc.push_back(0.0);
+    }
+    const SocDutySummary summary = summarizeSocDuty(soc);
+    EXPECT_NEAR(summary.mean_soc, 0.5, 1e-9);
+    EXPECT_NEAR(summary.fraction_full, 0.5, 1e-9);
+    EXPECT_NEAR(summary.fraction_empty, 0.5, 1e-9);
+    EXPECT_NEAR(summary.deepest_cycle, 1.0, 1e-12);
+    EXPECT_NEAR(summary.full_equivalent_cycles, 100.0, 1.0);
+}
+
+TEST(SocDuty, EmptySeries)
+{
+    const SocDutySummary summary =
+        summarizeSocDuty(std::vector<double>{});
+    EXPECT_DOUBLE_EQ(summary.mean_soc, 0.0);
+    EXPECT_EQ(summary.cycle_count, 0u);
+}
+
+TEST(SocDuty, MixedDutyDamageVsFecLifetime)
+{
+    // A duty of mostly shallow cycles: the rainflow/Miner estimate
+    // must predict a (weakly) longer life than naive FEC-at-100%-DoD,
+    // because shallow cycles are far less damaging.
+    BatteryChemistry lfp = BatteryChemistry::lithiumIronPhosphate();
+    lfp.calendar_life_years = 1000.0; // Disable the cap.
+    std::vector<double> soc;
+    for (int i = 0; i < 365; ++i) {
+        soc.push_back(0.3);
+        soc.push_back(0.9); // 0.6-deep daily cycles.
+    }
+    const auto cycles = rainflowCount(soc);
+    const double damage = minersDamage(cycles, lfp);
+    const double rainflow_years = damageLifetimeYears(damage, lfp);
+
+    // Naive estimate: FEC = sum(depth)/1.0 at the 100% DoD rating.
+    double fec = 0.0;
+    for (const auto &c : cycles)
+        fec += c.depth * c.count;
+    const double naive_years = lfp.cyclesAtDod(1.0) / fec;
+
+    EXPECT_GT(rainflow_years, naive_years);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of embodied carbon accounting (section 5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/embodied.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Embodied, RenewableAnnualFollowsGeneration)
+{
+    const EmbodiedCarbonModel model;
+    // Defaults: wind 12.5 g/kWh = 12.5 kg/MWh; solar 55 kg/MWh.
+    EXPECT_NEAR(model.windAnnual(1000.0).value(), 12500.0, 1e-6);
+    EXPECT_NEAR(model.solarAnnual(1000.0).value(), 55000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(model.windAnnual(0.0).value(), 0.0);
+}
+
+TEST(Embodied, SolarCostsMoreThanWindPerKwh)
+{
+    // The paper's core site-selection driver: wind 10-15 vs solar
+    // 40-70 g CO2 per kWh.
+    const EmbodiedCarbonModel model;
+    EXPECT_GT(model.solarAnnual(100.0).value(),
+              3.0 * model.windAnnual(100.0).value());
+}
+
+TEST(Embodied, BatteryTotalUsesChemistryFootprint)
+{
+    const EmbodiedCarbonModel model;
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    // 1 MWh = 1000 kWh x 104 kg/kWh.
+    EXPECT_NEAR(model.batteryTotal(1.0, lfp).value(), 104000.0, 1e-6);
+}
+
+TEST(Embodied, BatteryAnnualAmortizesOverLifetime)
+{
+    const EmbodiedCarbonModel model;
+    BatteryChemistry lfp = BatteryChemistry::lithiumIronPhosphate();
+    lfp.calendar_life_years = 100.0;
+    // One cycle/day at 100% DoD: lifetime = 3000/365 years.
+    const double annual =
+        model.batteryAnnual(1.0, lfp, 1.0).value();
+    EXPECT_NEAR(annual, 104000.0 / (3000.0 / 365.0), 1.0);
+}
+
+TEST(Embodied, LightlyCycledBatteryUsesCalendarLife)
+{
+    const EmbodiedCarbonModel model;
+    const BatteryChemistry lfp =
+        BatteryChemistry::lithiumIronPhosphate();
+    const double annual =
+        model.batteryAnnual(1.0, lfp, 0.0).value();
+    EXPECT_NEAR(annual, 104000.0 / lfp.calendar_life_years, 1e-6);
+}
+
+TEST(Embodied, ZeroBatteryIsFree)
+{
+    const EmbodiedCarbonModel model;
+    EXPECT_DOUBLE_EQ(
+        model.batteryAnnual(0.0,
+                            BatteryChemistry::lithiumIronPhosphate(),
+                            1.0)
+            .value(),
+        0.0);
+}
+
+TEST(Embodied, LowerDodRaisesAnnualCostForSameUsableCapacity)
+{
+    // Section 5.2: 80% DoD means a larger battery for the same usable
+    // energy; embodied carbon of the carbon-optimal config rises.
+    const EmbodiedCarbonModel model;
+    BatteryChemistry dod100 =
+        BatteryChemistry::lithiumIronPhosphate();
+    BatteryChemistry dod80 = dod100;
+    dod80.depth_of_discharge = 0.8;
+    const double usable = 80.0; // MWh usable target.
+    // Same usable capacity needs 100 MWh at 80% DoD vs 80 at 100%.
+    const double total100 =
+        model.batteryTotal(usable / 1.0, dod100).value();
+    const double total80 =
+        model.batteryTotal(usable / 0.8, dod80).value();
+    EXPECT_NEAR(total80 / total100, 1.25, 1e-9);
+    // But the 80% battery lives 50% longer, so annualized it is
+    // cheaper per year when cycled daily.
+    const double annual100 =
+        model.batteryAnnual(usable, dod100, 1.0).value();
+    const double annual80 =
+        model.batteryAnnual(usable / 0.8, dod80, 1.0).value();
+    EXPECT_LT(annual80, annual100);
+}
+
+TEST(Embodied, ExtraServersUsePaperProxy)
+{
+    const EmbodiedCarbonModel model;
+    // 25% extra capacity on a 1 MW fleet: 0.25 MW of 85 W servers.
+    const double annual =
+        model.extraServersAnnual(1.0, 0.25).value();
+    const double servers = std::ceil(0.25e6 / 85.0);
+    EXPECT_NEAR(annual, servers * 744.5 * 1.16 / 5.0, 1.0);
+    EXPECT_DOUBLE_EQ(model.extraServersAnnual(1.0, 0.0).value(), 0.0);
+}
+
+TEST(Embodied, RejectsInvalidInputs)
+{
+    const EmbodiedCarbonModel model;
+    EXPECT_THROW(model.windAnnual(-1.0), UserError);
+    EXPECT_THROW(model.solarAnnual(-1.0), UserError);
+    EXPECT_THROW(
+        model.batteryTotal(-1.0,
+                           BatteryChemistry::lithiumIronPhosphate()),
+        UserError);
+    EXPECT_THROW(model.extraServersAnnual(1.0, -0.1), UserError);
+    RenewableEmbodiedParams bad;
+    bad.wind_lifetime_years = 0.0;
+    EXPECT_THROW(EmbodiedCarbonModel(bad, ServerSpec{}), UserError);
+}
+
+} // namespace
+} // namespace carbonx

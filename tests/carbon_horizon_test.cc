@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the multi-year horizon planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbon/horizon.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+HorizonPlanner
+planner()
+{
+    return HorizonPlanner(EmbodiedCarbonModel{},
+                          BatteryChemistry::lithiumIronPhosphate());
+}
+
+HorizonInputs
+baseInputs()
+{
+    HorizonInputs in;
+    in.battery_mwh = 100.0;
+    in.extra_capacity = 0.25;
+    in.operational_kg_per_year = 1.0e6;
+    in.solar_attributed_mwh = 10000.0;
+    in.wind_attributed_mwh = 20000.0;
+    in.battery_cycles_per_year = 365.0; // Daily cycling.
+    in.base_peak_power_mw = 20.0;
+    return in;
+}
+
+TEST(Horizon, YearCountAndCumulativeMonotone)
+{
+    const HorizonPlan plan = planner().plan(baseInputs(), 15.0);
+    ASSERT_EQ(plan.years.size(), 15u);
+    double prev = 0.0;
+    for (const HorizonYear &y : plan.years) {
+        EXPECT_GT(y.cumulative_kg, prev);
+        prev = y.cumulative_kg;
+    }
+    EXPECT_DOUBLE_EQ(plan.total_kg, plan.years.back().cumulative_kg);
+    EXPECT_NEAR(plan.averagePerYearKg(), plan.total_kg / 15.0, 1e-9);
+}
+
+TEST(Horizon, DailyCycledBatteryIsReplacedOnSchedule)
+{
+    // Daily cycling at 100% DoD: lifetime = 3000/365 = 8.2 years.
+    // Over 15 years: purchases in year 0 and year 9 (first year-start
+    // at or after 8.2).
+    const HorizonPlan plan = planner().plan(baseInputs(), 15.0);
+    EXPECT_EQ(plan.battery_replacements, 1);
+    EXPECT_FALSE(plan.years[0].battery_replaced); // Initial purchase.
+    int replacement_year = -1;
+    for (const HorizonYear &y : plan.years) {
+        if (y.battery_replaced)
+            replacement_year = y.year_index;
+    }
+    EXPECT_EQ(replacement_year, 9);
+}
+
+TEST(Horizon, LightlyCycledBatteryLastsCalendarLife)
+{
+    HorizonInputs in = baseInputs();
+    in.battery_cycles_per_year = 10.0;
+    // Calendar life 15 y: a 15-year horizon sees no replacement.
+    const HorizonPlan plan = planner().plan(in, 15.0);
+    EXPECT_EQ(plan.battery_replacements, 0);
+    // A 20-year horizon sees exactly one.
+    const HorizonPlan longer = planner().plan(in, 20.0);
+    EXPECT_EQ(longer.battery_replacements, 1);
+}
+
+TEST(Horizon, ServersReplacedEveryFiveYears)
+{
+    // 5-year servers over 15 years: purchases at 0, 5, 10 -> 2
+    // replacements.
+    const HorizonPlan plan = planner().plan(baseInputs(), 15.0);
+    EXPECT_EQ(plan.server_replacements, 2);
+    EXPECT_TRUE(plan.years[5].servers_replaced);
+    EXPECT_TRUE(plan.years[10].servers_replaced);
+    EXPECT_FALSE(plan.years[7].servers_replaced);
+}
+
+TEST(Horizon, NoBatteryNoServerMeansFlowsOnly)
+{
+    HorizonInputs in = baseInputs();
+    in.battery_mwh = 0.0;
+    in.extra_capacity = 0.0;
+    const HorizonPlan plan = planner().plan(in, 10.0);
+    EXPECT_EQ(plan.battery_replacements, 0);
+    EXPECT_EQ(plan.server_replacements, 0);
+    // Every year identical: operations + renewable flow.
+    const double expected_flow =
+        EmbodiedCarbonModel{}.solarAnnual(10000.0).value() +
+        EmbodiedCarbonModel{}.windAnnual(20000.0).value();
+    for (const HorizonYear &y : plan.years) {
+        EXPECT_NEAR(y.embodied_kg, expected_flow, 1e-6);
+        EXPECT_DOUBLE_EQ(y.operational_kg, 1.0e6);
+    }
+}
+
+TEST(Horizon, TotalMatchesClosedForm)
+{
+    HorizonInputs in = baseInputs();
+    in.battery_mwh = 10.0;
+    in.extra_capacity = 0.0;
+    in.solar_attributed_mwh = 0.0;
+    in.wind_attributed_mwh = 0.0;
+    in.operational_kg_per_year = 500.0;
+    in.battery_cycles_per_year = 365.0;
+    const HorizonPlan plan = planner().plan(in, 15.0);
+    // Battery pulses at year 0 and year 9 (8.2-year life).
+    const double pulse = EmbodiedCarbonModel{}
+        .batteryTotal(10.0, BatteryChemistry::lithiumIronPhosphate())
+        .value();
+    EXPECT_NEAR(plan.total_kg, 15.0 * 500.0 + 2.0 * pulse, 1e-6);
+}
+
+TEST(Horizon, RejectsBadInputs)
+{
+    EXPECT_THROW(planner().plan(baseInputs(), 0.5), UserError);
+    HorizonInputs bad = baseInputs();
+    bad.operational_kg_per_year = -1.0;
+    EXPECT_THROW(planner().plan(bad, 10.0), UserError);
+}
+
+class HorizonSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(HorizonSweep, AveragePerYearStabilizesNearAmortizedRate)
+{
+    // As the horizon grows, the average annual footprint approaches
+    // operations + flows + pulses/lifetime.
+    const HorizonPlan plan =
+        planner().plan(baseInputs(), GetParam());
+    EXPECT_GT(plan.averagePerYearKg(), 1.0e6); // At least operations.
+    EXPECT_LT(plan.averagePerYearKg(), 1.0e8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep,
+                         testing::Values(5.0, 10.0, 15.0, 20.0, 30.0));
+
+} // namespace
+} // namespace carbonx

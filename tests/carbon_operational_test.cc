@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of operational carbon accounting and Net Zero vs 24/7.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbon/operational.h"
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+constexpr int kYear = 2021;
+
+TEST(Operational, GridEmissionsWeightedByIntensity)
+{
+    TimeSeries grid(kYear);
+    TimeSeries intensity(kYear);
+    grid[0] = 10.0;      // 10 MWh at...
+    intensity[0] = 490.0; // ...gas intensity.
+    grid[1] = 5.0;
+    intensity[1] = 820.0;
+    const KilogramsCo2 kg =
+        OperationalCarbonModel::gridEmissions(grid, intensity);
+    EXPECT_NEAR(kg.value(), 10.0 * 490.0 + 5.0 * 820.0, 1e-9);
+}
+
+TEST(Operational, ZeroGridDrawIsCarbonFree)
+{
+    const TimeSeries grid(kYear);
+    const TimeSeries intensity(kYear, 500.0);
+    EXPECT_DOUBLE_EQ(
+        OperationalCarbonModel::gridEmissions(grid, intensity).value(),
+        0.0);
+}
+
+TEST(Operational, EffectiveIntensityScalesWithGridShare)
+{
+    TimeSeries dc(kYear, 10.0);
+    TimeSeries grid(kYear, 5.0); // Half the energy from the grid.
+    TimeSeries intensity(kYear, 400.0);
+    const TimeSeries eff = OperationalCarbonModel::effectiveIntensity(
+        dc, grid, intensity);
+    EXPECT_NEAR(eff[0], 200.0, 1e-9);
+}
+
+TEST(Operational, EffectiveIntensityHandlesZeroLoad)
+{
+    TimeSeries dc(kYear);
+    TimeSeries grid(kYear, 1.0);
+    TimeSeries intensity(kYear, 400.0);
+    const TimeSeries eff = OperationalCarbonModel::effectiveIntensity(
+        dc, grid, intensity);
+    EXPECT_DOUBLE_EQ(eff[0], 0.0);
+}
+
+TEST(Operational, RejectsYearMismatch)
+{
+    const TimeSeries a(2020);
+    const TimeSeries b(2021);
+    EXPECT_THROW(OperationalCarbonModel::gridEmissions(a, b),
+                 UserError);
+}
+
+TEST(NetZero, CreditsMatchAnnualGeneration)
+{
+    const TimeSeries dc(kYear, 10.0);
+    const TimeSeries ren(kYear, 12.0);
+    const TimeSeries intensity(kYear, 400.0);
+    const NetZeroReport report =
+        NetZeroAccounting::evaluate(dc, ren, intensity);
+    EXPECT_TRUE(report.net_zero);
+    EXPECT_NEAR(report.credits_mwh, 12.0 * 8760.0, 1e-6);
+    EXPECT_NEAR(report.consumed_mwh, 10.0 * 8760.0, 1e-6);
+}
+
+TEST(NetZero, HourlyEmissionsPersistDespiteNetZero)
+{
+    // The paper's central observation: annual credits can exceed
+    // consumption while hourly emissions remain, because generation
+    // and consumption are misaligned in time.
+    TimeSeries dc(kYear, 10.0);
+    TimeSeries ren(kYear);
+    // Generate 24 MWh worth of credits per day, all at noon.
+    for (size_t h = 12; h < ren.size(); h += 24)
+        ren[h] = 300.0;
+    const TimeSeries intensity(kYear, 400.0);
+    const NetZeroReport report =
+        NetZeroAccounting::evaluate(dc, ren, intensity);
+    EXPECT_TRUE(report.net_zero);
+    EXPECT_GT(report.hourly_emissions_kg, 0.0);
+    // 23 of 24 hours uncovered.
+    EXPECT_NEAR(report.hourly_coverage_pct, 100.0 / 24.0, 0.01);
+}
+
+TEST(NetZero, FullHourlyMatchingHasNoEmissions)
+{
+    const TimeSeries dc(kYear, 10.0);
+    const TimeSeries ren(kYear, 10.0);
+    const TimeSeries intensity(kYear, 400.0);
+    const NetZeroReport report =
+        NetZeroAccounting::evaluate(dc, ren, intensity);
+    EXPECT_TRUE(report.net_zero);
+    EXPECT_DOUBLE_EQ(report.hourly_emissions_kg, 0.0);
+    EXPECT_DOUBLE_EQ(report.hourly_coverage_pct, 100.0);
+}
+
+TEST(NetZero, MatchingCoverageGranularity)
+{
+    // Demand flat 10; generation 240 all at noon: hourly matching
+    // covers 1/24 of energy, daily and coarser cover everything.
+    TimeSeries dc(kYear, 10.0);
+    TimeSeries ren(kYear);
+    for (size_t h = 12; h < ren.size(); h += 24)
+        ren[h] = 240.0;
+    EXPECT_NEAR(NetZeroAccounting::matchingCoverage(dc, ren, 1),
+                100.0 / 24.0, 0.01);
+    EXPECT_NEAR(NetZeroAccounting::matchingCoverage(dc, ren, 24),
+                100.0, 1e-9);
+    EXPECT_NEAR(
+        NetZeroAccounting::matchingCoverage(dc, ren, dc.size()),
+        100.0, 1e-9);
+}
+
+TEST(NetZero, MatchingCoverageIsMonotoneInWindow)
+{
+    TimeSeries dc(kYear, 10.0);
+    TimeSeries ren(kYear);
+    // Alternate famine/feast days.
+    for (size_t h = 0; h < ren.size(); ++h)
+        ren[h] = ((h / 24) % 2 == 0) ? 25.0 : 0.0;
+    double prev = -1.0;
+    for (size_t window : {size_t{1}, size_t{24}, size_t{48},
+                          size_t{168}, dc.size()}) {
+        const double c =
+            NetZeroAccounting::matchingCoverage(dc, ren, window);
+        EXPECT_GE(c, prev - 1e-9) << "window " << window;
+        prev = c;
+    }
+    // 48 h netting bridges the alternating days completely.
+    EXPECT_NEAR(NetZeroAccounting::matchingCoverage(dc, ren, 48),
+                100.0, 1e-9);
+}
+
+TEST(NetZero, MatchingCoverageValidation)
+{
+    TimeSeries dc(kYear, 10.0);
+    EXPECT_THROW(NetZeroAccounting::matchingCoverage(
+                     dc, TimeSeries(2020, 1.0), 24),
+                 UserError);
+    EXPECT_THROW(
+        NetZeroAccounting::matchingCoverage(dc, dc, 0), UserError);
+}
+
+TEST(NetZero, InsufficientCreditsNotNetZero)
+{
+    const TimeSeries dc(kYear, 10.0);
+    const TimeSeries ren(kYear, 9.0);
+    const TimeSeries intensity(kYear, 400.0);
+    const NetZeroReport report =
+        NetZeroAccounting::evaluate(dc, ren, intensity);
+    EXPECT_FALSE(report.net_zero);
+    EXPECT_NEAR(report.hourly_coverage_pct, 90.0, 1e-9);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the fixed-bin histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/histogram.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Histogram, BinEdgesAndCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.numBins(), 5u);
+    EXPECT_DOUBLE_EQ(h.lowerEdge(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(2), 5.0);
+    EXPECT_DOUBLE_EQ(h.lowerEdge(4), 8.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0); // bin 0
+    h.add(3.0); // bin 1
+    h.add(3.5); // bin 1
+    h.add(9.9); // bin 4
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 0u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    h.add(10.0); // Exactly the upper edge also clamps into the last bin.
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, FrequenciesSumToOne)
+{
+    Histogram h(0.0, 1.0, 4);
+    const std::vector<double> data = {0.1, 0.3, 0.6, 0.9, 0.95};
+    h.addAll(data);
+    double sum = 0.0;
+    for (size_t b = 0; b < h.numBins(); ++b)
+        sum += h.frequency(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, EmptyFrequenciesAreZero)
+{
+    Histogram h(0.0, 1.0, 3);
+    EXPECT_DOUBLE_EQ(h.frequency(0), 0.0);
+}
+
+TEST(Histogram, ModeBin)
+{
+    Histogram h(0.0, 3.0, 3);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    EXPECT_EQ(h.modeBin(), 1u);
+}
+
+TEST(Histogram, FromDataSpansRange)
+{
+    const std::vector<double> data = {2.0, 8.0, 5.0};
+    Histogram h = Histogram::fromData(data, 3);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_DOUBLE_EQ(h.lowerEdge(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.upperEdge(2), 8.0);
+}
+
+TEST(Histogram, FromConstantDataDoesNotDivideByZero)
+{
+    const std::vector<double> data = {4.0, 4.0, 4.0};
+    Histogram h = Histogram::fromData(data, 4);
+    EXPECT_EQ(h.totalCount(), 3u);
+    EXPECT_EQ(h.count(0), 3u);
+}
+
+TEST(Histogram, AsciiRenderingHasOneRowPerBin)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    const std::string art = h.toAscii(10);
+    size_t rows = 0;
+    for (char c : art) {
+        if (c == '\n')
+            ++rows;
+    }
+    EXPECT_EQ(rows, 2u);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 3), UserError);
+    EXPECT_THROW(Histogram(2.0, 1.0, 3), UserError);
+    const std::vector<double> empty;
+    EXPECT_THROW(Histogram::fromData(empty, 3), UserError);
+}
+
+TEST(Histogram, RejectsBinIndexOutOfRange)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_THROW(h.count(2), UserError);
+    EXPECT_THROW(h.lowerEdge(5), UserError);
+}
+
+} // namespace
+} // namespace carbonx

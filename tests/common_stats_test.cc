@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for summary statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(SummaryStats, EmptyAccumulator)
+{
+    SummaryStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(SummaryStats, BasicMoments)
+{
+    SummaryStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    // Sample variance of the classic example: 32 / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(SummaryStats, SingleValueHasZeroVariance)
+{
+    SummaryStats s;
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryStats, MergeEqualsSequential)
+{
+    SummaryStats all;
+    SummaryStats left;
+    SummaryStats right;
+    for (int i = 0; i < 100; ++i) {
+        const double x = 0.37 * i - 20.0 + (i % 7);
+        all.add(x);
+        (i < 40 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(SummaryStats, MergeWithEmptySides)
+{
+    SummaryStats a;
+    SummaryStats b;
+    a.add(1.0);
+    a.add(3.0);
+    SummaryStats a_copy = a;
+    a.merge(b); // Merging empty changes nothing.
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a_copy); // Merging into empty adopts the other side.
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(SummaryStats, CoefficientOfVariation)
+{
+    SummaryStats s;
+    s.add(10.0);
+    s.add(20.0);
+    EXPECT_NEAR(s.cv(), s.stddev() / 15.0, 1e-12);
+}
+
+TEST(Percentile, Endpoints)
+{
+    const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement)
+{
+    const std::vector<double> v = {42.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 13.0), 42.0);
+}
+
+TEST(Percentile, RejectsBadInput)
+{
+    const std::vector<double> empty;
+    const std::vector<double> v = {1.0};
+    EXPECT_THROW(percentile(empty, 50.0), UserError);
+    EXPECT_THROW(percentile(v, -1.0), UserError);
+    EXPECT_THROW(percentile(v, 101.0), UserError);
+}
+
+TEST(Mean, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(PearsonCorrelation, PerfectlyCorrelated)
+{
+    const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+    EXPECT_NEAR(pearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, PerfectlyAnticorrelated)
+{
+    const std::vector<double> x = {1.0, 2.0, 3.0};
+    const std::vector<double> y = {3.0, 2.0, 1.0};
+    EXPECT_NEAR(pearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, ConstantSideIsZero)
+{
+    const std::vector<double> x = {1.0, 1.0, 1.0};
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearsonCorrelation(x, y), 0.0);
+}
+
+TEST(PearsonCorrelation, RejectsMismatchedLengths)
+{
+    const std::vector<double> x = {1.0, 2.0};
+    const std::vector<double> y = {1.0};
+    EXPECT_THROW(pearsonCorrelation(x, y), UserError);
+}
+
+TEST(LinearFit, RecoversExactLine)
+{
+    const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+    const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+    const LinearFit fit = linearFit(x, y);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineHasPositiveSlope)
+{
+    std::vector<double> x;
+    std::vector<double> y;
+    for (int i = 0; i < 50; ++i) {
+        x.push_back(i);
+        y.push_back(0.5 * i + ((i % 3) - 1) * 0.2);
+    }
+    const LinearFit fit = linearFit(x, y);
+    EXPECT_NEAR(fit.slope, 0.5, 0.01);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFit, RejectsDegenerateInput)
+{
+    const std::vector<double> one = {1.0};
+    const std::vector<double> constant = {1.0, 1.0};
+    const std::vector<double> y2 = {1.0, 2.0};
+    EXPECT_THROW(linearFit(one, one), UserError);
+    EXPECT_THROW(linearFit(constant, y2), UserError);
+}
+
+TEST(TopBottomK, MeansOfExtremes)
+{
+    const std::vector<double> v = {5.0, 1.0, 9.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(meanOfTopK(v, 2), 8.0);    // 9, 7
+    EXPECT_DOUBLE_EQ(meanOfBottomK(v, 2), 2.0); // 1, 3
+    EXPECT_DOUBLE_EQ(meanOfTopK(v, 5), 5.0);
+}
+
+TEST(TopBottomK, RejectsBadK)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    EXPECT_THROW(meanOfTopK(v, 0), UserError);
+    EXPECT_THROW(meanOfTopK(v, 3), UserError);
+    EXPECT_THROW(meanOfBottomK(v, 0), UserError);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the console table renderer and format helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Demo", {"Region", "Coverage"});
+    t.addRow({"UT", "98.0"});
+    t.addRow({"OR", "61.0"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("Region"), std::string::npos);
+    EXPECT_NE(out.find("UT"), std::string::npos);
+    EXPECT_NE(out.find("61.0"), std::string::npos);
+}
+
+TEST(TextTable, LabelPlusNumericRow)
+{
+    TextTable t("", {"Site", "MW", "Pct"});
+    t.addRow("TX", {704.0, 96.125}, 1);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("704.0"), std::string::npos);
+    EXPECT_NE(out.find("96.1"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlign)
+{
+    TextTable t("", {"A", "B"});
+    t.addRow({"x", "yyyyyy"});
+    t.addRow({"zzzzzz", "y"});
+    const std::string out = t.render();
+    // Every line between rules has equal length.
+    std::istringstream is(out);
+    std::string line;
+    size_t expected = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (expected == 0)
+            expected = line.size();
+        EXPECT_EQ(line.size(), expected);
+    }
+}
+
+TEST(TextTable, RejectsMismatchedRows)
+{
+    TextTable t("", {"A", "B"});
+    EXPECT_THROW(t.addRow({"only"}), UserError);
+    EXPECT_THROW(t.addRow("label", {1.0, 2.0}), UserError);
+}
+
+TEST(TextTable, PrintWritesToStream)
+{
+    TextTable t("", {"A"});
+    t.addRow({"v"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Formatting, FixedAndPercent)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatPercent(97.26, 1), "97.3%");
+}
+
+TEST(Formatting, AsciiBarProportions)
+{
+    EXPECT_EQ(asciiBar(10.0, 10.0, 10).size(), 10u);
+    EXPECT_EQ(asciiBar(5.0, 10.0, 10).size(), 5u);
+    EXPECT_EQ(asciiBar(0.0, 10.0, 10).size(), 0u);
+    EXPECT_EQ(asciiBar(5.0, 0.0, 10).size(), 0u);
+    // Values above the max clamp to full width.
+    EXPECT_EQ(asciiBar(20.0, 10.0, 10).size(), 10u);
+}
+
+} // namespace
+} // namespace carbonx

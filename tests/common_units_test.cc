@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the strong unit types in common/units.h.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/units.h"
+
+namespace carbonx
+{
+namespace
+{
+
+using namespace carbonx::literals;
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    EXPECT_DOUBLE_EQ(MegaWatts().value(), 0.0);
+    EXPECT_DOUBLE_EQ(MegaWattHours().value(), 0.0);
+    EXPECT_DOUBLE_EQ(KilogramsCo2().value(), 0.0);
+}
+
+TEST(Units, AdditionAndSubtraction)
+{
+    const MegaWatts a(30.0);
+    const MegaWatts b(12.5);
+    EXPECT_DOUBLE_EQ((a + b).value(), 42.5);
+    EXPECT_DOUBLE_EQ((a - b).value(), 17.5);
+    EXPECT_DOUBLE_EQ((-b).value(), -12.5);
+}
+
+TEST(Units, ScalarScaling)
+{
+    const MegaWattHours e(10.0);
+    EXPECT_DOUBLE_EQ((e * 3.0).value(), 30.0);
+    EXPECT_DOUBLE_EQ((3.0 * e).value(), 30.0);
+    EXPECT_DOUBLE_EQ((e / 4.0).value(), 2.5);
+}
+
+TEST(Units, CompoundAssignment)
+{
+    MegaWatts p(5.0);
+    p += MegaWatts(2.0);
+    EXPECT_DOUBLE_EQ(p.value(), 7.0);
+    p -= MegaWatts(3.0);
+    EXPECT_DOUBLE_EQ(p.value(), 4.0);
+    p *= 2.5;
+    EXPECT_DOUBLE_EQ(p.value(), 10.0);
+}
+
+TEST(Units, SameUnitRatioIsDimensionless)
+{
+    EXPECT_DOUBLE_EQ(MegaWatts(50.0) / MegaWatts(20.0), 2.5);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy)
+{
+    const MegaWattHours e = MegaWatts(20.0) * Hours(2.0);
+    EXPECT_DOUBLE_EQ(e.value(), 40.0);
+    const MegaWattHours e2 = Hours(2.0) * MegaWatts(20.0);
+    EXPECT_DOUBLE_EQ(e2.value(), 40.0);
+}
+
+TEST(Units, EnergyOverTimeIsPower)
+{
+    EXPECT_DOUBLE_EQ((MegaWattHours(40.0) / Hours(2.0)).value(), 20.0);
+}
+
+TEST(Units, EnergyOverPowerIsDuration)
+{
+    // The paper reports battery sizes in "hours of compute": a 40 MWh
+    // battery on a 20 MW datacenter holds 2 hours.
+    EXPECT_DOUBLE_EQ((MegaWattHours(40.0) / MegaWatts(20.0)).value(), 2.0);
+}
+
+TEST(Units, IntensityTimesEnergyIsCarbonMass)
+{
+    // 490 g/kWh (natural gas) x 1 MWh = 490 kg.
+    const KilogramsCo2 kg = GramsPerKwh(490.0) * MegaWattHours(1.0);
+    EXPECT_DOUBLE_EQ(kg.value(), 490.0);
+    const KilogramsCo2 kg2 = MegaWattHours(2.0) * GramsPerKwh(11.0);
+    EXPECT_DOUBLE_EQ(kg2.value(), 22.0);
+}
+
+TEST(Units, UnitConversions)
+{
+    EXPECT_DOUBLE_EQ(MegaWatts(1.5).kilowatts(), 1500.0);
+    EXPECT_DOUBLE_EQ(MegaWatts(1500.0).gigawatts(), 1.5);
+    EXPECT_DOUBLE_EQ(MegaWattHours(2.0).kilowattHours(), 2000.0);
+    EXPECT_DOUBLE_EQ(KilogramsCo2(2500.0).metricTons(), 2.5);
+    EXPECT_DOUBLE_EQ(KilogramsCo2(3.0e6).kilotons(), 3.0);
+    EXPECT_DOUBLE_EQ(KilogramsCo2::fromMetricTons(2.0).value(), 2000.0);
+    EXPECT_DOUBLE_EQ(Hours(48.0).days(), 2.0);
+    EXPECT_DOUBLE_EQ(GramsPerKwh(820.0).kgPerMwh(), 820.0);
+}
+
+TEST(Units, Comparisons)
+{
+    EXPECT_LT(MegaWatts(1.0), MegaWatts(2.0));
+    EXPECT_GT(KilogramsCo2(5.0), KilogramsCo2(4.0));
+    EXPECT_EQ(Hours(3.0), Hours(3.0));
+    EXPECT_NE(GramsPerKwh(11.0), GramsPerKwh(41.0));
+}
+
+TEST(Units, Literals)
+{
+    EXPECT_DOUBLE_EQ((30_MW).value(), 30.0);
+    EXPECT_DOUBLE_EQ((1.5_MWh).value(), 1.5);
+    EXPECT_DOUBLE_EQ((24_h).value(), 24.0);
+    EXPECT_DOUBLE_EQ((11_gkwh).value(), 11.0);
+}
+
+TEST(Units, StreamOutput)
+{
+    std::ostringstream os;
+    os << MegaWatts(3.0) << "; " << MegaWattHours(4.0) << "; "
+       << Hours(5.0) << "; " << KilogramsCo2(6.0) << "; "
+       << GramsPerKwh(7.0);
+    EXPECT_EQ(os.str(), "3 MW; 4 MWh; 5 h; 6 kgCO2; 7 g/kWh");
+}
+
+} // namespace
+} // namespace carbonx

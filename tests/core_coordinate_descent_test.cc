@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests of the coordinate-descent optimizer, including equivalence
+ * with the exhaustive search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/coordinate_descent.h"
+
+namespace carbonx
+{
+namespace
+{
+
+const CarbonExplorer &
+explorer()
+{
+    static const CarbonExplorer instance([] {
+        ExplorerConfig cfg;
+        cfg.ba_code = "PACE";
+        cfg.avg_dc_power_mw = 19.0;
+        cfg.flexible_ratio = 0.4;
+        return cfg;
+    }());
+    return instance;
+}
+
+DesignSpace
+space()
+{
+    return DesignSpace::forDatacenter(19.0, 8.0, 7, 7, 5);
+}
+
+TEST(CoordinateDescent, MatchesOrBeatsExhaustiveSearch)
+{
+    for (Strategy s :
+         {Strategy::RenewablesOnly, Strategy::RenewableBattery}) {
+        const double exhaustive =
+            explorer().optimize(space(), s).best.totalKg();
+        const CoordinateDescentOptimizer cd(explorer());
+        const CoordinateDescentResult result =
+            cd.optimize(space(), s);
+        // Continuous line search can land between grid points, so it
+        // may do slightly better; it must never be much worse.
+        EXPECT_LE(result.best.totalKg(), exhaustive * 1.02)
+            << strategyName(s);
+    }
+}
+
+TEST(CoordinateDescent, UsesFarFewerEvaluationsThanExhaustive)
+{
+    const DesignSpace big =
+        DesignSpace::forDatacenter(19.0, 8.0, 15, 15, 9);
+    const CoordinateDescentOptimizer cd(explorer());
+    const CoordinateDescentResult result =
+        cd.optimize(big, Strategy::RenewableBatteryCas);
+    const size_t exhaustive_count =
+        big.sizeFor(Strategy::RenewableBatteryCas);
+    EXPECT_LT(result.evaluations, exhaustive_count / 10);
+    EXPECT_GT(result.best.coverage_pct, 50.0);
+}
+
+TEST(CoordinateDescent, PinsUnusedAxes)
+{
+    const CoordinateDescentOptimizer cd(explorer());
+    const CoordinateDescentResult ren =
+        cd.optimize(space(), Strategy::RenewablesOnly);
+    EXPECT_DOUBLE_EQ(ren.best.point.battery_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(ren.best.point.extra_capacity, 0.0);
+    const CoordinateDescentResult batt =
+        cd.optimize(space(), Strategy::RenewableBattery);
+    EXPECT_DOUBLE_EQ(batt.best.point.extra_capacity, 0.0);
+}
+
+TEST(CoordinateDescent, StaysWithinBounds)
+{
+    const DesignSpace s = space();
+    const CoordinateDescentOptimizer cd(explorer());
+    const CoordinateDescentResult result =
+        cd.optimize(s, Strategy::RenewableBatteryCas);
+    EXPECT_GE(result.best.point.solar_mw, s.solar_mw.min - 1e-9);
+    EXPECT_LE(result.best.point.solar_mw, s.solar_mw.max + 1e-9);
+    EXPECT_GE(result.best.point.battery_mwh,
+              s.battery_mwh.min - 1e-9);
+    EXPECT_LE(result.best.point.battery_mwh,
+              s.battery_mwh.max + 1e-9);
+    EXPECT_GE(result.best.point.extra_capacity,
+              s.extra_capacity.min - 1e-9);
+    EXPECT_LE(result.best.point.extra_capacity,
+              s.extra_capacity.max + 1e-9);
+}
+
+TEST(CoordinateDescent, DeterministicAcrossRuns)
+{
+    const CoordinateDescentOptimizer cd(explorer());
+    const double a =
+        cd.optimize(space(), Strategy::RenewableBattery).best.totalKg();
+    const double b =
+        cd.optimize(space(), Strategy::RenewableBattery).best.totalKg();
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CoordinateDescent, RejectsBadConfig)
+{
+    CoordinateDescentConfig cfg;
+    cfg.max_sweeps = 0;
+    EXPECT_THROW(CoordinateDescentOptimizer(explorer(), cfg),
+                 UserError);
+    cfg = CoordinateDescentConfig{};
+    cfg.line_search_iters = 1;
+    EXPECT_THROW(CoordinateDescentOptimizer(explorer(), cfg),
+                 UserError);
+    cfg = CoordinateDescentConfig{};
+    cfg.restarts = 0;
+    EXPECT_THROW(CoordinateDescentOptimizer(explorer(), cfg),
+                 UserError);
+}
+
+} // namespace
+} // namespace carbonx

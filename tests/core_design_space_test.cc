@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of design-space enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/design_space.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(AxisSpec, LinspaceSamples)
+{
+    const AxisSpec axis{0.0, 10.0, 5};
+    const auto s = axis.samples();
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_DOUBLE_EQ(s[0], 0.0);
+    EXPECT_DOUBLE_EQ(s[2], 5.0);
+    EXPECT_DOUBLE_EQ(s[4], 10.0);
+}
+
+TEST(AxisSpec, SingleStepYieldsMin)
+{
+    const AxisSpec axis{3.0, 9.0, 1};
+    const auto s = axis.samples();
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s[0], 3.0);
+}
+
+TEST(AxisSpec, RejectsBadSpecs)
+{
+    EXPECT_THROW((AxisSpec{0.0, 1.0, 0}).samples(), UserError);
+    EXPECT_THROW((AxisSpec{2.0, 1.0, 3}).samples(), UserError);
+}
+
+TEST(DesignSpace, StrategyCollapsesUnusedAxes)
+{
+    const DesignSpace space = DesignSpace::forDatacenter(10.0, 4.0, 3,
+                                                         4, 5);
+    EXPECT_EQ(space.enumerate(Strategy::RenewablesOnly).size(), 9u);
+    EXPECT_EQ(space.enumerate(Strategy::RenewableBattery).size(), 36u);
+    EXPECT_EQ(space.enumerate(Strategy::RenewableCas).size(), 45u);
+    EXPECT_EQ(space.enumerate(Strategy::RenewableBatteryCas).size(),
+              180u);
+}
+
+TEST(DesignSpace, SizeForMatchesEnumerate)
+{
+    const DesignSpace space = DesignSpace::forDatacenter(20.0);
+    for (Strategy s :
+         {Strategy::RenewablesOnly, Strategy::RenewableBattery,
+          Strategy::RenewableCas, Strategy::RenewableBatteryCas}) {
+        EXPECT_EQ(space.sizeFor(s), space.enumerate(s).size());
+    }
+}
+
+TEST(DesignSpace, UnusedAxesAreZeroInPoints)
+{
+    const DesignSpace space = DesignSpace::forDatacenter(10.0);
+    for (const auto &p : space.enumerate(Strategy::RenewablesOnly)) {
+        EXPECT_DOUBLE_EQ(p.battery_mwh, 0.0);
+        EXPECT_DOUBLE_EQ(p.extra_capacity, 0.0);
+    }
+    for (const auto &p : space.enumerate(Strategy::RenewableBattery))
+        EXPECT_DOUBLE_EQ(p.extra_capacity, 0.0);
+    for (const auto &p : space.enumerate(Strategy::RenewableCas))
+        EXPECT_DOUBLE_EQ(p.battery_mwh, 0.0);
+}
+
+TEST(DesignSpace, DefaultBoundsScaleWithDcSize)
+{
+    const DesignSpace space = DesignSpace::forDatacenter(30.0, 8.0);
+    EXPECT_DOUBLE_EQ(space.solar_mw.max, 240.0);
+    EXPECT_DOUBLE_EQ(space.wind_mw.max, 240.0);
+    EXPECT_DOUBLE_EQ(space.battery_mwh.max, 720.0);
+    EXPECT_DOUBLE_EQ(space.extra_capacity.max, 1.0);
+    EXPECT_THROW(DesignSpace::forDatacenter(0.0), UserError);
+}
+
+TEST(DesignPoint, Helpers)
+{
+    const DesignPoint p{10.0, 20.0, 30.0, 0.25};
+    EXPECT_DOUBLE_EQ(p.renewableMw(), 30.0);
+    const std::string desc = p.describe();
+    EXPECT_NE(desc.find("S=10"), std::string::npos);
+    EXPECT_NE(desc.find("X=25%"), std::string::npos);
+}
+
+TEST(Strategy, NamesAndFlags)
+{
+    EXPECT_EQ(strategyName(Strategy::RenewablesOnly),
+              "Renewables Only");
+    EXPECT_EQ(strategyName(Strategy::RenewableBatteryCas),
+              "Renewables + Battery + CAS");
+    EXPECT_FALSE(strategyUsesBattery(Strategy::RenewablesOnly));
+    EXPECT_TRUE(strategyUsesBattery(Strategy::RenewableBattery));
+    EXPECT_FALSE(strategyUsesCas(Strategy::RenewableBattery));
+    EXPECT_TRUE(strategyUsesCas(Strategy::RenewableCas));
+    EXPECT_TRUE(strategyUsesBattery(Strategy::RenewableBatteryCas));
+    EXPECT_TRUE(strategyUsesCas(Strategy::RenewableBatteryCas));
+}
+
+} // namespace
+} // namespace carbonx

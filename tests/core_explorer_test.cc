@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Integration tests of the CarbonExplorer facade: end-to-end runs
+ * asserting the paper's qualitative findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/explorer.h"
+
+namespace carbonx
+{
+namespace
+{
+
+ExplorerConfig
+utahConfig()
+{
+    ExplorerConfig cfg;
+    cfg.ba_code = "PACE";
+    cfg.avg_dc_power_mw = 19.0;
+    return cfg;
+}
+
+const CarbonExplorer &
+utahExplorer()
+{
+    static const CarbonExplorer explorer(utahConfig());
+    return explorer;
+}
+
+TEST(Explorer, ZeroDesignHasNoEmbodiedAndFullGridOperation)
+{
+    const Evaluation e = utahExplorer().evaluate(
+        DesignPoint{}, Strategy::RenewablesOnly);
+    EXPECT_NEAR(e.coverage_pct, 0.0, 1e-6);
+    EXPECT_DOUBLE_EQ(e.embodiedKg(), 0.0);
+    EXPECT_GT(e.operational_kg, 0.0);
+}
+
+TEST(Explorer, RenewablesReduceOperationalRaiseEmbodied)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const Evaluation zero =
+        ex.evaluate(DesignPoint{}, Strategy::RenewablesOnly);
+    const Evaluation invested = ex.evaluate(
+        DesignPoint{100.0, 50.0, 0.0, 0.0}, Strategy::RenewablesOnly);
+    EXPECT_LT(invested.operational_kg, zero.operational_kg);
+    EXPECT_GT(invested.embodiedKg(), 0.0);
+    EXPECT_GT(invested.coverage_pct, 50.0);
+}
+
+TEST(Explorer, BatteryImprovesCoverage)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const DesignPoint ren{100.0, 50.0, 0.0, 0.0};
+    const DesignPoint with_batt{100.0, 50.0, 200.0, 0.0};
+    const double cov_ren =
+        ex.evaluate(ren, Strategy::RenewablesOnly).coverage_pct;
+    const double cov_batt =
+        ex.evaluate(with_batt, Strategy::RenewableBattery).coverage_pct;
+    EXPECT_GT(cov_batt, cov_ren + 1.0);
+}
+
+TEST(Explorer, CasImprovesCoverage)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const DesignPoint p{100.0, 50.0, 0.0, 0.4};
+    const double cov_ren =
+        ex.evaluate(p, Strategy::RenewablesOnly).coverage_pct;
+    const double cov_cas =
+        ex.evaluate(p, Strategy::RenewableCas).coverage_pct;
+    EXPECT_GT(cov_cas, cov_ren);
+    // Extra servers show up as embodied carbon.
+    EXPECT_GT(ex.evaluate(p, Strategy::RenewableCas).embodied_server_kg,
+              0.0);
+}
+
+TEST(Explorer, BatteryOnlyCountedForBatteryStrategies)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const DesignPoint p{100.0, 50.0, 300.0, 0.5};
+    const Evaluation ren =
+        ex.evaluate(p, Strategy::RenewablesOnly);
+    EXPECT_DOUBLE_EQ(ren.embodied_battery_kg, 0.0);
+    EXPECT_DOUBLE_EQ(ren.embodied_server_kg, 0.0);
+    const Evaluation batt =
+        ex.evaluate(p, Strategy::RenewableBattery);
+    EXPECT_GT(batt.embodied_battery_kg, 0.0);
+    EXPECT_DOUBLE_EQ(batt.embodied_server_kg, 0.0);
+}
+
+TEST(Explorer, SimulateExposesHourlyDetail)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const SimulationResult sim = ex.simulate(
+        DesignPoint{100.0, 50.0, 100.0, 0.0},
+        Strategy::RenewableBattery);
+    EXPECT_EQ(sim.served_power.size(), 8784u);
+    EXPECT_GT(sim.battery_cycles, 0.0);
+    EXPECT_GE(sim.battery_soc.min(), -1e-9);
+}
+
+TEST(Explorer, OptimizeFindsMinimumTotal)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    DesignSpace space = DesignSpace::forDatacenter(19.0, 6.0, 4, 3, 2);
+    const OptimizationResult result =
+        ex.optimize(space, Strategy::RenewableBattery);
+    EXPECT_EQ(result.evaluated.size(),
+              space.sizeFor(Strategy::RenewableBattery));
+    for (const auto &e : result.evaluated)
+        EXPECT_GE(e.totalKg(), result.best.totalKg() - 1e-9);
+    // Doing nothing is never carbon-optimal in a dirty-grid region.
+    EXPECT_GT(result.best.point.renewableMw(), 0.0);
+}
+
+TEST(Explorer, ParetoSetIsNonDominatedAndCoversBest)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    DesignSpace space = DesignSpace::forDatacenter(19.0, 6.0, 4, 3, 2);
+    const OptimizationResult result =
+        ex.optimize(space, Strategy::RenewableBattery);
+    const auto frontier = result.paretoSet();
+    ASSERT_FALSE(frontier.empty());
+    for (size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].embodiedKg(),
+                  frontier[i - 1].embodiedKg());
+        EXPECT_LT(frontier[i].operational_kg,
+                  frontier[i - 1].operational_kg);
+    }
+}
+
+TEST(Explorer, MinimumBatterySearchIsConsistent)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const double mwh =
+        ex.minimumBatteryForCoverage(200.0, 100.0, 99.0);
+    ASSERT_GT(mwh, 0.0);
+    // Verify by direct simulation at and below the found size.
+    const double cov_at =
+        ex.evaluate(DesignPoint{200.0, 100.0, mwh, 0.0},
+                    Strategy::RenewableBattery)
+            .coverage_pct;
+    EXPECT_GE(cov_at, 99.0 - 0.01);
+    const double cov_below =
+        ex.evaluate(DesignPoint{200.0, 100.0, 0.5 * mwh, 0.0},
+                    Strategy::RenewableBattery)
+            .coverage_pct;
+    EXPECT_LT(cov_below, 99.0);
+}
+
+TEST(Explorer, MinimumExtraCapacitySearchIsConsistent)
+{
+    const CarbonExplorer &ex = utahExplorer();
+    const double extra =
+        ex.minimumExtraCapacityForCoverage(200.0, 100.0, 97.0);
+    if (extra >= 0.0) {
+        const double cov = ex.evaluate(
+            DesignPoint{200.0, 100.0, 0.0, extra},
+            Strategy::RenewableCas).coverage_pct;
+        EXPECT_GE(cov, 97.0 - 0.05);
+    } else {
+        // Unreachable even at the max: max extra capacity must fail.
+        const double cov = ex.evaluate(
+            DesignPoint{200.0, 100.0, 0.0, 4.0},
+            Strategy::RenewableCas).coverage_pct;
+        EXPECT_LT(cov, 97.0);
+    }
+}
+
+TEST(Explorer, SolarOnlyRegionCapsNearFifty)
+{
+    // NC (DUK) has no wind: even huge solar caps coverage near 50%.
+    ExplorerConfig cfg;
+    cfg.ba_code = "DUK";
+    cfg.avg_dc_power_mw = 51.0;
+    const CarbonExplorer ex(cfg);
+    const double cov = ex.coverageAnalyzer().coverage(50000.0, 0.0);
+    EXPECT_GT(cov, 40.0);
+    EXPECT_LT(cov, 60.0);
+    // And wind investment buys nothing on this grid.
+    EXPECT_NEAR(ex.coverageAnalyzer().coverage(0.0, 50000.0), 0.0,
+                1e-6);
+}
+
+TEST(Explorer, RejectsBadConfig)
+{
+    ExplorerConfig cfg;
+    cfg.ba_code = "NOPE";
+    EXPECT_THROW(CarbonExplorer{cfg}, UserError);
+    cfg = ExplorerConfig{};
+    cfg.flexible_ratio = 2.0;
+    EXPECT_THROW(CarbonExplorer{cfg}, UserError);
+}
+
+} // namespace
+} // namespace carbonx

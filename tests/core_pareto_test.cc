@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests of Pareto-frontier extraction on the carbon plane.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pareto.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Pareto, DominationRules)
+{
+    const ParetoPoint a{1.0, 1.0, 0};
+    const ParetoPoint b{2.0, 2.0, 1};
+    const ParetoPoint c{1.0, 2.0, 2};
+    const ParetoPoint d{1.0, 1.0, 3};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_TRUE(dominates(a, c));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, d)); // Equal points do not dominate.
+    // Trade-off points do not dominate each other.
+    const ParetoPoint e{0.5, 3.0, 4};
+    EXPECT_FALSE(dominates(a, e));
+    EXPECT_FALSE(dominates(e, a));
+}
+
+TEST(Pareto, ExtractsTheFrontier)
+{
+    const std::vector<ParetoPoint> points = {
+        {1.0, 10.0, 0}, // Frontier.
+        {2.0, 5.0, 1},  // Frontier.
+        {3.0, 5.0, 2},  // Dominated by 1.
+        {4.0, 1.0, 3},  // Frontier.
+        {5.0, 2.0, 4},  // Dominated by 3.
+    };
+    const auto frontier = paretoFrontier(points);
+    ASSERT_EQ(frontier.size(), 3u);
+    EXPECT_EQ(frontier[0].tag, 0u);
+    EXPECT_EQ(frontier[1].tag, 1u);
+    EXPECT_EQ(frontier[2].tag, 3u);
+}
+
+TEST(Pareto, FrontierIsSortedAndMonotone)
+{
+    Rng rng(5);
+    std::vector<ParetoPoint> points;
+    for (size_t i = 0; i < 500; ++i)
+        points.push_back({rng.uniform(0.0, 100.0),
+                          rng.uniform(0.0, 100.0), i});
+    const auto frontier = paretoFrontier(points);
+    ASSERT_FALSE(frontier.empty());
+    for (size_t i = 1; i < frontier.size(); ++i) {
+        EXPECT_GE(frontier[i].embodied_kg, frontier[i - 1].embodied_kg);
+        EXPECT_LT(frontier[i].operational_kg,
+                  frontier[i - 1].operational_kg);
+    }
+}
+
+TEST(Pareto, NoFrontierPointIsDominated)
+{
+    Rng rng(9);
+    std::vector<ParetoPoint> points;
+    for (size_t i = 0; i < 300; ++i)
+        points.push_back({rng.uniform(0.0, 10.0),
+                          rng.uniform(0.0, 10.0), i});
+    const auto frontier = paretoFrontier(points);
+    for (const auto &f : frontier) {
+        for (const auto &p : points)
+            EXPECT_FALSE(dominates(p, f));
+    }
+}
+
+TEST(Pareto, EveryNonFrontierPointIsDominated)
+{
+    Rng rng(13);
+    std::vector<ParetoPoint> points;
+    for (size_t i = 0; i < 300; ++i)
+        points.push_back({rng.uniform(0.0, 10.0),
+                          rng.uniform(0.0, 10.0), i});
+    const auto frontier = paretoFrontier(points);
+    std::vector<bool> on_frontier(points.size(), false);
+    for (const auto &f : frontier)
+        on_frontier[f.tag] = true;
+    for (const auto &p : points) {
+        if (on_frontier[p.tag])
+            continue;
+        bool dominated = false;
+        for (const auto &f : frontier) {
+            if (dominates(f, p)) {
+                dominated = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(dominated) << "tag " << p.tag;
+    }
+}
+
+TEST(Pareto, SinglePointIsItsOwnFrontier)
+{
+    const std::vector<ParetoPoint> one = {{3.0, 4.0, 7}};
+    const auto frontier = paretoFrontier(one);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].tag, 7u);
+}
+
+TEST(Pareto, EmptyInputEmptyOutput)
+{
+    EXPECT_TRUE(paretoFrontier({}).empty());
+}
+
+TEST(Pareto, DuplicatePointsKeepOne)
+{
+    const std::vector<ParetoPoint> points = {
+        {1.0, 1.0, 0}, {1.0, 1.0, 1}, {1.0, 1.0, 2}};
+    EXPECT_EQ(paretoFrontier(points).size(), 1u);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the weather-robustness analysis and the marginal-intensity
+ * API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/robustness.h"
+#include "grid/generation_mix.h"
+
+namespace carbonx
+{
+namespace
+{
+
+ExplorerConfig
+baseConfig()
+{
+    ExplorerConfig cfg;
+    cfg.ba_code = "PACE";
+    cfg.avg_dc_power_mw = 19.0;
+    return cfg;
+}
+
+TEST(Robustness, SequentialSeeds)
+{
+    const auto seeds = RobustnessAnalysis::sequentialSeeds(100, 4);
+    ASSERT_EQ(seeds.size(), 4u);
+    EXPECT_EQ(seeds.front(), 100u);
+    EXPECT_EQ(seeds.back(), 103u);
+    EXPECT_THROW(RobustnessAnalysis::sequentialSeeds(1, 0), UserError);
+}
+
+TEST(Robustness, ReportAggregatesAcrossYears)
+{
+    const RobustnessAnalysis analysis(
+        baseConfig(), RobustnessAnalysis::sequentialSeeds(2020, 4));
+    const DesignPoint point{100.0, 80.0, 100.0, 0.0};
+    const RobustnessReport report =
+        analysis.evaluate(point, Strategy::RenewableBattery);
+    EXPECT_EQ(report.years, 4u);
+    EXPECT_EQ(report.coverage_pct.count(), 4u);
+    EXPECT_GT(report.coverage_pct.mean(), 50.0);
+    EXPECT_LE(report.coverage_pct.max(), 100.0);
+    EXPECT_GE(report.worstCoverage(), 0.0);
+    EXPECT_GE(report.coverageSpread(), 0.0);
+    EXPECT_GT(report.total_kg.mean(), 0.0);
+}
+
+TEST(Robustness, DifferentWeatherYearsDiffer)
+{
+    const RobustnessAnalysis analysis(
+        baseConfig(), RobustnessAnalysis::sequentialSeeds(1, 5));
+    const DesignPoint point{100.0, 80.0, 0.0, 0.0};
+    const RobustnessReport report =
+        analysis.evaluate(point, Strategy::RenewablesOnly);
+    // Coverage must vary across independent weather years.
+    EXPECT_GT(report.coverageSpread(), 0.01);
+    // But not wildly: the design is the same.
+    EXPECT_LT(report.coverageSpread(), 30.0);
+}
+
+TEST(Robustness, SingleSeedMatchesDirectEvaluation)
+{
+    ExplorerConfig cfg = baseConfig();
+    cfg.seed = 777;
+    const CarbonExplorer explorer(cfg);
+    const DesignPoint point{120.0, 60.0, 50.0, 0.0};
+    const Evaluation direct =
+        explorer.evaluate(point, Strategy::RenewableBattery);
+
+    const RobustnessAnalysis analysis(baseConfig(), {777});
+    const RobustnessReport report =
+        analysis.evaluate(point, Strategy::RenewableBattery);
+    EXPECT_NEAR(report.coverage_pct.mean(), direct.coverage_pct,
+                1e-9);
+    EXPECT_NEAR(report.total_kg.mean(), direct.totalKg(), 1e-6);
+}
+
+TEST(Robustness, RejectsEmptySeeds)
+{
+    EXPECT_THROW(RobustnessAnalysis(baseConfig(), {}), UserError);
+}
+
+TEST(MarginalIntensity, PicksTheMostExpensiveDispatchedFuel)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 100.0;
+    mix.of(Fuel::NaturalGas)[0] = 50.0;
+    mix.of(Fuel::Coal)[1] = 10.0;
+    mix.of(Fuel::Nuclear)[2] = 10.0;
+    const TimeSeries marginal = mix.marginalIntensity();
+    EXPECT_DOUBLE_EQ(marginal[0], 490.0); // Gas on the margin.
+    EXPECT_DOUBLE_EQ(marginal[1], 820.0); // Coal.
+    EXPECT_DOUBLE_EQ(marginal[2], 12.0);  // Nuclear alone.
+    EXPECT_DOUBLE_EQ(marginal[3], 0.0);   // Nothing dispatched.
+}
+
+TEST(MarginalIntensity, NeverBelowAverageWhenThermalOnMargin)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 500.0;
+    mix.of(Fuel::NaturalGas)[0] = 100.0;
+    const double avg = mix.carbonIntensity()[0];
+    const double marginal = mix.marginalIntensity()[0];
+    EXPECT_GT(marginal, avg);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the datacenter load model against the paper's section 3.1
+ * facts: ~20-point CPU swing, ~4% power swing, linear power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "datacenter/load_model.h"
+
+namespace carbonx
+{
+namespace
+{
+
+LoadModelParams
+defaultParams()
+{
+    LoadModelParams p;
+    p.avg_power_mw = 30.0;
+    return p;
+}
+
+TEST(LoadModel, PowerIsLinearInUtilization)
+{
+    const DatacenterLoadModel model(defaultParams());
+    const double p0 = model.powerAtUtilization(0.0);
+    const double p50 = model.powerAtUtilization(0.5);
+    const double p100 = model.powerAtUtilization(1.0);
+    EXPECT_NEAR(p50, 0.5 * (p0 + p100), 1e-9);
+    EXPECT_DOUBLE_EQ(p0, model.idlePowerMw());
+    EXPECT_DOUBLE_EQ(p100, model.peakPowerMw());
+}
+
+TEST(LoadModel, UtilizationInversionRoundTrips)
+{
+    const DatacenterLoadModel model(defaultParams());
+    for (double u : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+        EXPECT_NEAR(model.utilizationAtPower(model.powerAtUtilization(u)),
+                    u, 1e-9);
+    }
+}
+
+TEST(LoadModel, UtilizationClamps)
+{
+    const DatacenterLoadModel model(defaultParams());
+    EXPECT_DOUBLE_EQ(model.powerAtUtilization(-0.5),
+                     model.powerAtUtilization(0.0));
+    EXPECT_DOUBLE_EQ(model.powerAtUtilization(1.5),
+                     model.powerAtUtilization(1.0));
+}
+
+TEST(LoadModel, AnnualMeanHitsTarget)
+{
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace trace = model.generate(2020, 3);
+    EXPECT_NEAR(trace.power.mean(), 30.0, 0.5);
+}
+
+TEST(LoadModel, CpuSwingIsAboutTwentyPoints)
+{
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace trace = model.generate(2020, 3);
+    const auto profile = trace.utilization.averageDayProfile();
+    double lo = 1.0;
+    double hi = 0.0;
+    for (double u : profile) {
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+    }
+    EXPECT_NEAR(hi - lo, 0.20, 0.05);
+}
+
+TEST(LoadModel, PowerSwingIsAboutFourPercent)
+{
+    // Section 3.1: "the difference between maximum and minimum energy
+    // demand is around 4%" at datacenter scale.
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace trace = model.generate(2020, 3);
+    const auto profile = trace.power.averageDayProfile();
+    double lo = 1e30;
+    double hi = 0.0;
+    for (double p : profile) {
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+    }
+    const double swing = (hi - lo) / hi;
+    EXPECT_GT(swing, 0.02);
+    EXPECT_LT(swing, 0.07);
+}
+
+TEST(LoadModel, PowerUtilizationCorrelationIsStrong)
+{
+    // Fig. 3 (right): hourly power correlates linearly with CPU
+    // utilization.
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace trace = model.generate(2020, 3);
+    std::vector<double> u(trace.utilization.values().begin(),
+                          trace.utilization.values().end());
+    std::vector<double> p(trace.power.values().begin(),
+                          trace.power.values().end());
+    EXPECT_GT(pearsonCorrelation(u, p), 0.999);
+}
+
+TEST(LoadModel, DiurnalPeakNearConfiguredHour)
+{
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace trace = model.generate(2020, 3);
+    const auto profile = trace.utilization.averageDayProfile();
+    size_t peak = 0;
+    for (size_t hour = 1; hour < 24; ++hour) {
+        if (profile[hour] > profile[peak])
+            peak = hour;
+    }
+    EXPECT_NEAR(static_cast<double>(peak), 20.0, 2.0);
+}
+
+TEST(LoadModel, WeekendsAreQuieter)
+{
+    LoadModelParams params = defaultParams();
+    params.weekend_dip = 0.05;
+    const DatacenterLoadModel model(params);
+    const LoadTrace trace = model.generate(2020, 3);
+    const HourlyCalendar &cal = trace.power.calendar();
+    SummaryStats weekday;
+    SummaryStats weekend;
+    for (size_t h = 0; h < trace.utilization.size(); ++h) {
+        if (cal.weekdayOfDay(h / 24) >= 5)
+            weekend.add(trace.utilization[h]);
+        else
+            weekday.add(trace.utilization[h]);
+    }
+    EXPECT_GT(weekday.mean(), weekend.mean());
+}
+
+TEST(LoadModel, IsDeterministic)
+{
+    const DatacenterLoadModel model(defaultParams());
+    const LoadTrace a = model.generate(2020, 9);
+    const LoadTrace b = model.generate(2020, 9);
+    for (size_t h = 0; h < a.power.size(); h += 111)
+        EXPECT_DOUBLE_EQ(a.power[h], b.power[h]);
+}
+
+TEST(LoadModel, RejectsBadParams)
+{
+    LoadModelParams p = defaultParams();
+    p.avg_power_mw = 0.0;
+    EXPECT_THROW(DatacenterLoadModel{p}, UserError);
+    p = defaultParams();
+    p.util_mean = 1.0;
+    EXPECT_THROW(DatacenterLoadModel{p}, UserError);
+    p = defaultParams();
+    p.util_mean = 0.95;
+    p.util_swing = 0.2; // 0.95 + 0.1 > 1.
+    EXPECT_THROW(DatacenterLoadModel{p}, UserError);
+    p = defaultParams();
+    p.idle_power_fraction = 1.0;
+    EXPECT_THROW(DatacenterLoadModel{p}, UserError);
+}
+
+class LoadSizeSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(LoadSizeSweep, MeanPowerScalesWithSize)
+{
+    LoadModelParams p = defaultParams();
+    p.avg_power_mw = GetParam();
+    const DatacenterLoadModel model(p);
+    const LoadTrace trace = model.generate(2020, 3);
+    EXPECT_NEAR(trace.power.mean(), GetParam(), 0.02 * GetParam());
+    EXPECT_GT(model.peakPowerMw(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LoadSizeSweep,
+                         testing::Values(19.0, 30.0, 51.0, 73.0));
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests of the server fleet model and its embodied carbon.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "datacenter/server_fleet.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(ServerFleet, CountFromPeakPower)
+{
+    // 1 MW at 85 W per server: ceil(1e6 / 85) = 11765 servers.
+    const ServerFleet fleet(1.0, ServerSpec{});
+    EXPECT_EQ(fleet.serverCount(), 11765u);
+}
+
+TEST(ServerFleet, PowerAtUtilizationBounds)
+{
+    ServerSpec spec;
+    spec.idle_fraction = 0.4;
+    const ServerFleet fleet(10.0, spec);
+    const double idle = fleet.powerAtUtilization(0.0);
+    const double full = fleet.powerAtUtilization(1.0);
+    EXPECT_NEAR(idle / full, 0.4, 1e-9);
+    EXPECT_NEAR(full, 10.0, 0.01); // Ceil rounding adds < 1 server.
+}
+
+TEST(ServerFleet, PowerClampsUtilization)
+{
+    const ServerFleet fleet(5.0, ServerSpec{});
+    EXPECT_DOUBLE_EQ(fleet.powerAtUtilization(2.0),
+                     fleet.powerAtUtilization(1.0));
+    EXPECT_DOUBLE_EQ(fleet.powerAtUtilization(-1.0),
+                     fleet.powerAtUtilization(0.0));
+}
+
+TEST(ServerFleet, EmbodiedCarbonUsesPaperNumbers)
+{
+    // One server's worth of fleet: 744.5 kg x 1.16 infrastructure.
+    ServerSpec spec;
+    spec.tdp_watts = 85.0;
+    const ServerFleet fleet(85.0 * 1e-6, spec); // Exactly one server.
+    EXPECT_EQ(fleet.serverCount(), 1u);
+    EXPECT_NEAR(fleet.embodiedCarbon().value(), 744.5 * 1.16, 1e-6);
+    // Amortized over the 5-year lifetime.
+    EXPECT_NEAR(fleet.embodiedCarbonPerYear().value(),
+                744.5 * 1.16 / 5.0, 1e-6);
+}
+
+TEST(ServerFleet, EmbodiedScalesWithCount)
+{
+    const ServerFleet small(1.0, ServerSpec{});
+    const ServerFleet big(2.0, ServerSpec{});
+    EXPECT_NEAR(big.embodiedCarbon().value(),
+                2.0 * small.embodiedCarbon().value(),
+                small.embodiedCarbon().value() * 1e-3);
+}
+
+TEST(ServerFleet, ExpansionAddsCapacity)
+{
+    const ServerFleet base(10.0, ServerSpec{});
+    const ServerFleet grown = base.expandedBy(0.25);
+    EXPECT_NEAR(grown.peakPowerMw(), 12.5, 1e-9);
+    EXPECT_GT(grown.serverCount(), base.serverCount());
+    const ServerFleet same = base.expandedBy(0.0);
+    EXPECT_EQ(same.serverCount(), base.serverCount());
+}
+
+TEST(ServerFleet, RejectsBadParams)
+{
+    EXPECT_THROW(ServerFleet(0.0, ServerSpec{}), UserError);
+    ServerSpec spec;
+    spec.tdp_watts = 0.0;
+    EXPECT_THROW(ServerFleet(1.0, spec), UserError);
+    spec = ServerSpec{};
+    spec.idle_fraction = 1.0;
+    EXPECT_THROW(ServerFleet(1.0, spec), UserError);
+    spec = ServerSpec{};
+    spec.lifetime_years = 0.0;
+    EXPECT_THROW(ServerFleet(1.0, spec), UserError);
+    const ServerFleet fleet(1.0, ServerSpec{});
+    EXPECT_THROW(fleet.expandedBy(-0.5), UserError);
+}
+
+} // namespace
+} // namespace carbonx

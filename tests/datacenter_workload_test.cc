@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests of workload tiers and SLO flexibility (Fig. 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "datacenter/workload.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(WorkloadMix, Fig10Breakdown)
+{
+    const WorkloadMix mix = WorkloadMix::metaDataProcessing();
+    ASSERT_EQ(mix.tiers().size(), 5u);
+    EXPECT_DOUBLE_EQ(mix.tiers()[0].share, 0.088);
+    EXPECT_DOUBLE_EQ(mix.tiers()[1].share, 0.038);
+    EXPECT_DOUBLE_EQ(mix.tiers()[2].share, 0.105);
+    EXPECT_DOUBLE_EQ(mix.tiers()[3].share, 0.712);
+    EXPECT_DOUBLE_EQ(mix.tiers()[4].share, 0.057);
+}
+
+TEST(WorkloadMix, PaperSloAtLeast4hIs874Percent)
+{
+    // Section 4.3: "about 87.4% of the workloads have SLOs that are
+    // greater than 4-hours" (tiers 3, 4 and 5).
+    const WorkloadMix mix = WorkloadMix::metaDataProcessing();
+    EXPECT_NEAR(mix.shareWithSloAtLeast(4.0), 0.874, 1e-9);
+}
+
+TEST(WorkloadMix, DailySloShareIsMajority)
+{
+    const WorkloadMix mix = WorkloadMix::metaDataProcessing();
+    // Tiers with a 24h-or-longer window: 71.2% + 5.7%.
+    EXPECT_NEAR(mix.flexibleShare(24.0), 0.769, 1e-9);
+}
+
+TEST(WorkloadMix, SimpleFlexibleTwoTier)
+{
+    const WorkloadMix mix = WorkloadMix::simpleFlexible(0.4);
+    ASSERT_EQ(mix.tiers().size(), 2u);
+    EXPECT_NEAR(mix.flexibleShare(24.0), 0.4, 1e-12);
+    EXPECT_NEAR(mix.flexibleShare(1.0), 0.4, 1e-12);
+}
+
+TEST(WorkloadMix, FlexibleShareIsMonotoneInWindow)
+{
+    const WorkloadMix mix = WorkloadMix::metaDataProcessing();
+    double prev = 1.1;
+    for (double w : {1.0, 2.0, 4.0, 24.0, 168.0}) {
+        const double share = mix.flexibleShare(w);
+        EXPECT_LE(share, prev);
+        prev = share;
+    }
+}
+
+TEST(WorkloadMix, AverageSloWindow)
+{
+    const WorkloadMix mix = WorkloadMix::simpleFlexible(0.5);
+    // Half at 0h, half at 24h.
+    EXPECT_NEAR(mix.averageSloWindowHours(), 12.0, 1e-12);
+}
+
+TEST(WorkloadMix, SharesMustSumToOne)
+{
+    EXPECT_THROW(WorkloadMix({{"A", 1.0, 0.5}, {"B", 2.0, 0.6}}),
+                 UserError);
+    EXPECT_THROW(WorkloadMix({{"A", 1.0, 0.9}}), UserError);
+}
+
+TEST(WorkloadMix, RejectsNegativeShares)
+{
+    EXPECT_THROW(WorkloadMix({{"A", 1.0, -0.1}, {"B", 2.0, 1.1}}),
+                 UserError);
+}
+
+TEST(WorkloadMix, RejectsEmptyAndBadRatio)
+{
+    EXPECT_THROW(WorkloadMix(std::vector<WorkloadTier>{}), UserError);
+    EXPECT_THROW(WorkloadMix::simpleFlexible(-0.1), UserError);
+    EXPECT_THROW(WorkloadMix::simpleFlexible(1.1), UserError);
+}
+
+} // namespace
+} // namespace carbonx

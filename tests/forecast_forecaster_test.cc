@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests of the time-series forecasting substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.h"
+#include "forecast/forecaster.h"
+
+namespace carbonx
+{
+namespace
+{
+
+/** Pure diurnal sine plus a constant offset, n days long. */
+std::vector<double>
+diurnalSeries(size_t days, double offset = 10.0, double amp = 3.0)
+{
+    std::vector<double> out(days * 24);
+    for (size_t h = 0; h < out.size(); ++h) {
+        out[h] = offset + amp *
+            std::sin(2.0 * std::numbers::pi *
+                     static_cast<double>(h % 24) / 24.0);
+    }
+    return out;
+}
+
+TEST(Persistence, RepeatsLastValue)
+{
+    PersistenceForecaster f;
+    const std::vector<double> history = {1.0, 2.0, 7.5};
+    f.fit(history);
+    const auto pred = f.forecast(4);
+    ASSERT_EQ(pred.size(), 4u);
+    for (double p : pred)
+        EXPECT_DOUBLE_EQ(p, 7.5);
+}
+
+TEST(Persistence, RejectsEmptyAndUnfitted)
+{
+    PersistenceForecaster f;
+    EXPECT_THROW(f.forecast(1), UserError);
+    EXPECT_THROW(f.fit(std::vector<double>{}), UserError);
+}
+
+TEST(SeasonalNaive, RepeatsLastPeriod)
+{
+    SeasonalNaiveForecaster f(24);
+    const auto history = diurnalSeries(3);
+    f.fit(history);
+    const auto pred = f.forecast(48);
+    for (size_t h = 0; h < 48; ++h)
+        EXPECT_NEAR(pred[h], history[history.size() - 24 + (h % 24)],
+                    1e-12);
+}
+
+TEST(SeasonalNaive, IsExactOnPurePeriodicSignal)
+{
+    SeasonalNaiveForecaster f(24);
+    const auto history = diurnalSeries(10);
+    f.fit(history);
+    const auto pred = f.forecast(24);
+    const auto truth = diurnalSeries(1);
+    const ForecastAccuracy acc = forecastAccuracy(truth, pred);
+    EXPECT_NEAR(acc.mae, 0.0, 1e-9);
+}
+
+TEST(SeasonalNaive, RejectsShortHistory)
+{
+    SeasonalNaiveForecaster f(24);
+    EXPECT_THROW(f.fit(std::vector<double>(10, 1.0)), UserError);
+    EXPECT_THROW(SeasonalNaiveForecaster(0), UserError);
+}
+
+TEST(Ewma, ConvergesToConstant)
+{
+    EwmaForecaster f(0.5);
+    f.fit(std::vector<double>(100, 4.2));
+    EXPECT_NEAR(f.forecast(1)[0], 4.2, 1e-9);
+}
+
+TEST(Ewma, TracksRecentLevelMoreThanOldLevel)
+{
+    EwmaForecaster f(0.3);
+    std::vector<double> history(50, 0.0);
+    history.insert(history.end(), 50, 10.0);
+    f.fit(history);
+    EXPECT_GT(f.forecast(1)[0], 9.0);
+}
+
+TEST(Ewma, RejectsBadAlpha)
+{
+    EXPECT_THROW(EwmaForecaster(0.0), UserError);
+    EXPECT_THROW(EwmaForecaster(1.5), UserError);
+}
+
+TEST(HoltWinters, LearnsDiurnalPattern)
+{
+    HoltWintersForecaster f;
+    const auto history = diurnalSeries(14);
+    f.fit(history);
+    const auto pred = f.forecast(24);
+    const auto truth = diurnalSeries(1);
+    const ForecastAccuracy acc = forecastAccuracy(truth, pred);
+    // Should essentially nail a noiseless periodic signal.
+    EXPECT_LT(acc.mae, 0.15);
+}
+
+TEST(HoltWinters, LearnsTrend)
+{
+    HoltWintersForecaster f(0.4, 0.3, 0.2, 24);
+    std::vector<double> history(14 * 24);
+    for (size_t h = 0; h < history.size(); ++h)
+        history[h] = 100.0 + 0.1 * static_cast<double>(h);
+    f.fit(history);
+    const auto pred = f.forecast(24);
+    // Continues climbing.
+    EXPECT_GT(pred[23], pred[0]);
+    EXPECT_NEAR(pred[0], 100.0 + 0.1 * 14.0 * 24.0, 3.0);
+}
+
+TEST(HoltWinters, BeatsPersistenceOnDiurnalSignal)
+{
+    const auto history = diurnalSeries(14);
+    const auto truth = diurnalSeries(1);
+
+    HoltWintersForecaster hw;
+    hw.fit(history);
+    PersistenceForecaster p;
+    p.fit(history);
+
+    const double hw_mae =
+        forecastAccuracy(truth, hw.forecast(24)).mae;
+    const double p_mae = forecastAccuracy(truth, p.forecast(24)).mae;
+    EXPECT_LT(hw_mae, p_mae);
+}
+
+TEST(HoltWinters, RejectsBadConfigAndShortHistory)
+{
+    EXPECT_THROW(HoltWintersForecaster(0.0, 0.1, 0.1, 24), UserError);
+    EXPECT_THROW(HoltWintersForecaster(0.5, 1.5, 0.1, 24), UserError);
+    EXPECT_THROW(HoltWintersForecaster(0.5, 0.1, 0.1, 1), UserError);
+    HoltWintersForecaster f;
+    EXPECT_THROW(f.fit(std::vector<double>(30, 1.0)), UserError);
+    EXPECT_THROW(f.forecast(1), UserError);
+}
+
+TEST(Accuracy, KnownErrors)
+{
+    const std::vector<double> actual = {1.0, 2.0, 4.0};
+    const std::vector<double> predicted = {1.0, 3.0, 2.0};
+    const ForecastAccuracy acc = forecastAccuracy(actual, predicted);
+    EXPECT_NEAR(acc.mae, (0.0 + 1.0 + 2.0) / 3.0, 1e-12);
+    EXPECT_NEAR(acc.rmse, std::sqrt((0.0 + 1.0 + 4.0) / 3.0), 1e-12);
+    EXPECT_NEAR(acc.mape, 100.0 * (0.0 + 0.5 + 0.5) / 3.0, 1e-9);
+    EXPECT_EQ(acc.samples, 3u);
+}
+
+TEST(Accuracy, RejectsBadInput)
+{
+    const std::vector<double> a = {1.0};
+    const std::vector<double> b = {1.0, 2.0};
+    EXPECT_THROW(forecastAccuracy(a, b), UserError);
+    EXPECT_THROW(
+        forecastAccuracy(std::vector<double>{}, std::vector<double>{}),
+        UserError);
+}
+
+TEST(RollingDayAhead, WarmupPassesActualsThrough)
+{
+    TimeSeries actual(2021, 5.0);
+    SeasonalNaiveForecaster f(24);
+    const TimeSeries pred = rollingDayAheadForecast(f, actual, 7);
+    for (size_t h = 0; h < 7 * 24; ++h)
+        EXPECT_DOUBLE_EQ(pred[h], 5.0);
+}
+
+TEST(RollingDayAhead, PerfectOnConstantSeries)
+{
+    TimeSeries actual(2021, 5.0);
+    SeasonalNaiveForecaster f(24);
+    const TimeSeries pred = rollingDayAheadForecast(f, actual, 7);
+    for (size_t h = 0; h < pred.size(); h += 37)
+        EXPECT_DOUBLE_EQ(pred[h], 5.0);
+}
+
+TEST(RollingDayAhead, NonNegativeEvenIfModelOvershoots)
+{
+    // A falling series can push trend-following models negative; the
+    // driver clamps at zero (power cannot be negative).
+    TimeSeries actual(2021);
+    for (size_t h = 0; h < actual.size(); ++h) {
+        actual[h] = std::max(
+            100.0 - 0.02 * static_cast<double>(h), 0.0);
+    }
+    HoltWintersForecaster f(0.4, 0.3, 0.2, 24);
+    const TimeSeries pred = rollingDayAheadForecast(f, actual, 7);
+    EXPECT_GE(pred.min(), 0.0);
+}
+
+TEST(RollingDayAhead, RejectsBadWarmup)
+{
+    TimeSeries actual(2021, 1.0);
+    SeasonalNaiveForecaster f(24);
+    EXPECT_THROW(rollingDayAheadForecast(f, actual, 1), UserError);
+    EXPECT_THROW(rollingDayAheadForecast(f, actual, 365), UserError);
+}
+
+class ForecasterComparison : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ForecasterComparison, SeasonalModelsBeatFlatModelsOnDiurnalData)
+{
+    // On strongly diurnal data (like solar or grid intensity), the
+    // seasonal models must outperform the flat ones day-ahead.
+    const auto history = diurnalSeries(21, 10.0 + GetParam(), 4.0);
+    std::vector<double> truth(history.end() - 24, history.end());
+    std::vector<double> train(history.begin(), history.end() - 24);
+
+    SeasonalNaiveForecaster sn(24);
+    sn.fit(train);
+    HoltWintersForecaster hw;
+    hw.fit(train);
+    EwmaForecaster ewma;
+    ewma.fit(train);
+
+    const double sn_mae = forecastAccuracy(truth, sn.forecast(24)).mae;
+    const double hw_mae = forecastAccuracy(truth, hw.forecast(24)).mae;
+    const double ewma_mae =
+        forecastAccuracy(truth, ewma.forecast(24)).mae;
+    EXPECT_LT(sn_mae, ewma_mae);
+    EXPECT_LT(hw_mae, ewma_mae);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, ForecasterComparison,
+                         testing::Values(0, 5, 20, 100));
+
+} // namespace
+} // namespace carbonx

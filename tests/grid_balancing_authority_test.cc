@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the balancing-authority registry (Table 1 regions).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "grid/balancing_authority.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(BaRegistry, HasTheTenPaperAuthorities)
+{
+    const auto &reg = BalancingAuthorityRegistry::instance();
+    EXPECT_EQ(reg.all().size(), 10u);
+    const std::set<std::string> expected = {
+        "SWPP", "BPAT", "PACE", "PNM", "ERCO",
+        "PJM",  "DUK",  "MISO", "SOCO", "TVA"};
+    std::set<std::string> actual;
+    for (const auto &code : reg.codes())
+        actual.insert(code);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(BaRegistry, LookupByCode)
+{
+    const auto &reg = BalancingAuthorityRegistry::instance();
+    EXPECT_EQ(reg.lookup("BPAT").name, "Bonneville Power Administration");
+    EXPECT_EQ(reg.lookup("ERCO").code, "ERCO");
+    EXPECT_THROW(reg.lookup("NOPE"), UserError);
+}
+
+TEST(BaRegistry, PaperCharacterClassification)
+{
+    // Section 3.2: three majorly wind, three majorly solar, four mixed.
+    const auto &reg = BalancingAuthorityRegistry::instance();
+    const auto charOf = [&](const std::string &code) {
+        return reg.lookup(code).character;
+    };
+    for (const auto &code : {"BPAT", "MISO", "SWPP"})
+        EXPECT_EQ(charOf(code), RenewableCharacter::MajorlyWind) << code;
+    for (const auto &code : {"DUK", "SOCO", "TVA"})
+        EXPECT_EQ(charOf(code), RenewableCharacter::MajorlySolar) << code;
+    for (const auto &code : {"ERCO", "PACE", "PJM", "PNM"})
+        EXPECT_EQ(charOf(code), RenewableCharacter::Hybrid) << code;
+}
+
+TEST(BaRegistry, CharacterMatchesInstalledCapacity)
+{
+    // Wind regions have more wind than solar capacity and vice versa.
+    for (const auto &ba : BalancingAuthorityRegistry::instance().all()) {
+        switch (ba.character) {
+          case RenewableCharacter::MajorlyWind:
+            EXPECT_GT(ba.windCapacityMw(), ba.solarCapacityMw())
+                << ba.code;
+            break;
+          case RenewableCharacter::MajorlySolar:
+            EXPECT_GT(ba.solarCapacityMw(), 10.0 * ba.windCapacityMw())
+                << ba.code;
+            break;
+          case RenewableCharacter::Hybrid:
+            EXPECT_GT(ba.windCapacityMw(), 0.0) << ba.code;
+            EXPECT_GT(ba.solarCapacityMw(), 0.0) << ba.code;
+            break;
+        }
+    }
+}
+
+TEST(BaRegistry, DemandBoundsAreSane)
+{
+    for (const auto &ba : BalancingAuthorityRegistry::instance().all()) {
+        EXPECT_GT(ba.demand.min_mw, 0.0) << ba.code;
+        EXPECT_GT(ba.demand.peak_mw, ba.demand.min_mw) << ba.code;
+    }
+}
+
+TEST(BaRegistry, LatitudesAreContinentalUs)
+{
+    for (const auto &ba : BalancingAuthorityRegistry::instance().all()) {
+        EXPECT_GT(ba.latitude_deg, 24.0) << ba.code;
+        EXPECT_LT(ba.latitude_deg, 50.0) << ba.code;
+        // Solar model gets the BA latitude.
+        EXPECT_DOUBLE_EQ(ba.solar.latitude_deg, ba.latitude_deg);
+    }
+}
+
+TEST(BaRegistry, OregonHasTheGustiestWind)
+{
+    // BPAT's day-to-day variability drives the paper's deepest supply
+    // valleys; its variability parameter must dominate.
+    const auto &reg = BalancingAuthorityRegistry::instance();
+    const double bpat = reg.lookup("BPAT").wind.variability;
+    for (const auto &ba : reg.all()) {
+        if (ba.code != "BPAT") {
+            EXPECT_GE(bpat, ba.wind.variability) << ba.code;
+        }
+    }
+}
+
+TEST(BaRegistry, CharacterNames)
+{
+    EXPECT_EQ(renewableCharacterName(RenewableCharacter::MajorlyWind),
+              "Majorly Wind");
+    EXPECT_EQ(renewableCharacterName(RenewableCharacter::MajorlySolar),
+              "Majorly Solar");
+    EXPECT_EQ(renewableCharacterName(RenewableCharacter::Hybrid),
+              "Hybrid");
+}
+
+} // namespace
+} // namespace carbonx

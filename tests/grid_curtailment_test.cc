@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests of the curtailment build-out study (the Fig. 4 mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "grid/curtailment.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(CaliforniaProfile, IsSolarHeavyHybrid)
+{
+    const BalancingAuthorityProfile ca = californiaProfile();
+    EXPECT_EQ(ca.code, "CISO");
+    EXPECT_GT(ca.solarCapacityMw(), ca.windCapacityMw());
+    EXPECT_GT(ca.windCapacityMw(), 0.0);
+}
+
+TEST(CurtailmentStudy, ProducesOneRowPerYear)
+{
+    CurtailmentStudyParams params;
+    params.first_year = 2015;
+    params.last_year = 2021;
+    const CurtailmentModel model(californiaProfile(), params);
+    const auto rows = model.run();
+    ASSERT_EQ(rows.size(), 7u);
+    EXPECT_EQ(rows.front().year, 2015);
+    EXPECT_EQ(rows.back().year, 2021);
+}
+
+TEST(CurtailmentStudy, FleetGrowsEveryYear)
+{
+    const CurtailmentModel model(californiaProfile(),
+                                 CurtailmentStudyParams{});
+    const auto rows = model.run();
+    for (size_t i = 1; i < rows.size(); ++i)
+        EXPECT_GT(rows[i].renewable_scale, rows[i - 1].renewable_scale);
+}
+
+TEST(CurtailmentStudy, CurtailmentTrendsUpward)
+{
+    // The paper's Fig. 4: curtailment rises as renewables grow. Check
+    // the endpoints rather than strict monotonicity (weather noise).
+    const CurtailmentModel model(californiaProfile(),
+                                 CurtailmentStudyParams{});
+    const auto rows = model.run();
+    EXPECT_GT(rows.back().total_curtail_frac,
+              rows.front().total_curtail_frac);
+    // And the final year reaches a few percent, like CAISO's ~6%.
+    EXPECT_GT(rows.back().total_curtail_frac, 0.01);
+    EXPECT_LT(rows.back().total_curtail_frac, 0.30);
+}
+
+TEST(CurtailmentStudy, RenewableShareGrows)
+{
+    const CurtailmentModel model(californiaProfile(),
+                                 CurtailmentStudyParams{});
+    const auto rows = model.run();
+    EXPECT_GT(rows.back().renewable_share, rows.front().renewable_share);
+}
+
+TEST(CurtailmentStudy, FractionsAreValid)
+{
+    const CurtailmentModel model(californiaProfile(),
+                                 CurtailmentStudyParams{});
+    for (const auto &row : model.run()) {
+        EXPECT_GE(row.total_curtail_frac, 0.0);
+        EXPECT_LE(row.total_curtail_frac, 1.0);
+        EXPECT_GE(row.solar_curtail_frac, 0.0);
+        EXPECT_LE(row.solar_curtail_frac, 1.0);
+        EXPECT_GE(row.wind_curtail_frac, 0.0);
+        EXPECT_LE(row.wind_curtail_frac, 1.0);
+        EXPECT_GE(row.renewable_share, 0.0);
+        EXPECT_LE(row.renewable_share, 1.0);
+    }
+}
+
+TEST(CurtailmentStudy, RejectsBadParams)
+{
+    CurtailmentStudyParams params;
+    params.first_year = 2021;
+    params.last_year = 2015;
+    EXPECT_THROW(CurtailmentModel(californiaProfile(), params),
+                 UserError);
+    params = CurtailmentStudyParams{};
+    params.initial_scale = 0.0;
+    EXPECT_THROW(CurtailmentModel(californiaProfile(), params),
+                 UserError);
+}
+
+} // namespace
+} // namespace carbonx

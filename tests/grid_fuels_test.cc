@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for the fuel taxonomy — must match the paper's Table 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grid/fuels.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Fuels, Table2CarbonIntensities)
+{
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Wind).value(), 11.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Solar).value(), 41.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Hydro).value(), 24.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Nuclear).value(), 12.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::NaturalGas).value(), 490.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Coal).value(), 820.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Oil).value(), 650.0);
+    EXPECT_DOUBLE_EQ(fuelIntensity(Fuel::Other).value(), 230.0);
+}
+
+TEST(Fuels, CoalIsTheDirtiestWindTheCleanest)
+{
+    for (Fuel f : kAllFuels) {
+        EXPECT_LE(fuelIntensity(f).value(),
+                  fuelIntensity(Fuel::Coal).value());
+        EXPECT_GE(fuelIntensity(f).value(),
+                  fuelIntensity(Fuel::Wind).value());
+    }
+}
+
+TEST(Fuels, CarbonFreeClassification)
+{
+    EXPECT_TRUE(isCarbonFree(Fuel::Wind));
+    EXPECT_TRUE(isCarbonFree(Fuel::Solar));
+    EXPECT_TRUE(isCarbonFree(Fuel::Hydro));
+    EXPECT_TRUE(isCarbonFree(Fuel::Nuclear));
+    EXPECT_FALSE(isCarbonFree(Fuel::NaturalGas));
+    EXPECT_FALSE(isCarbonFree(Fuel::Coal));
+    EXPECT_FALSE(isCarbonFree(Fuel::Oil));
+    EXPECT_FALSE(isCarbonFree(Fuel::Other));
+}
+
+TEST(Fuels, NamesAreDistinct)
+{
+    for (Fuel a : kAllFuels) {
+        for (Fuel b : kAllFuels) {
+            if (a != b) {
+                EXPECT_NE(fuelName(a), fuelName(b));
+            }
+        }
+    }
+}
+
+TEST(Fuels, EnumeratorListCoversAll)
+{
+    EXPECT_EQ(kAllFuels.size(), kNumFuels);
+}
+
+} // namespace
+} // namespace carbonx

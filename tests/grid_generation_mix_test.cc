@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for per-fuel generation and grid carbon intensity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "grid/generation_mix.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(GenerationMix, StartsEmpty)
+{
+    const GenerationMix mix(2020);
+    EXPECT_DOUBLE_EQ(mix.totalGeneration().total(), 0.0);
+    EXPECT_DOUBLE_EQ(mix.renewableEnergyShare(), 0.0);
+}
+
+TEST(GenerationMix, TotalSumsAcrossFuels)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 100.0;
+    mix.of(Fuel::Coal)[0] = 300.0;
+    mix.of(Fuel::Nuclear)[0] = 50.0;
+    EXPECT_DOUBLE_EQ(mix.totalGeneration()[0], 450.0);
+}
+
+TEST(GenerationMix, RenewableAndCarbonFreeSubsets)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 10.0;
+    mix.of(Fuel::Solar)[0] = 20.0;
+    mix.of(Fuel::Hydro)[0] = 30.0;
+    mix.of(Fuel::Nuclear)[0] = 40.0;
+    mix.of(Fuel::NaturalGas)[0] = 50.0;
+    EXPECT_DOUBLE_EQ(mix.renewableGeneration()[0], 30.0);
+    EXPECT_DOUBLE_EQ(mix.carbonFreeGeneration()[0], 100.0);
+}
+
+TEST(GenerationMix, IntensityIsGenerationWeighted)
+{
+    GenerationMix mix(2021);
+    // Half wind (11), half coal (820): expect the midpoint.
+    mix.of(Fuel::Wind)[0] = 100.0;
+    mix.of(Fuel::Coal)[0] = 100.0;
+    const TimeSeries intensity = mix.carbonIntensity();
+    EXPECT_NEAR(intensity[0], (11.0 + 820.0) / 2.0, 1e-9);
+}
+
+TEST(GenerationMix, PureFuelIntensityMatchesTable2)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::NaturalGas)[5] = 123.0;
+    EXPECT_DOUBLE_EQ(mix.carbonIntensity()[5], 490.0);
+}
+
+TEST(GenerationMix, ZeroGenerationHourHasZeroIntensity)
+{
+    const GenerationMix mix(2021);
+    EXPECT_DOUBLE_EQ(mix.carbonIntensity()[0], 0.0);
+}
+
+TEST(GenerationMix, AnnualEnergyPerFuel)
+{
+    GenerationMix mix(2021);
+    for (size_t h = 0; h < 100; ++h)
+        mix.of(Fuel::Solar)[h] = 2.0;
+    EXPECT_DOUBLE_EQ(mix.annualEnergyMwh(Fuel::Solar), 200.0);
+}
+
+TEST(GenerationMix, RenewableShare)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 30.0;
+    mix.of(Fuel::Coal)[0] = 70.0;
+    EXPECT_NEAR(mix.renewableEnergyShare(), 0.3, 1e-12);
+}
+
+TEST(GenerationMix, IntensityBoundedByFuelExtremes)
+{
+    GenerationMix mix(2021);
+    mix.of(Fuel::Wind)[0] = 5.0;
+    mix.of(Fuel::Oil)[0] = 7.0;
+    mix.of(Fuel::Hydro)[0] = 11.0;
+    const double i = mix.carbonIntensity()[0];
+    EXPECT_GE(i, 11.0);
+    EXPECT_LE(i, 820.0);
+}
+
+} // namespace
+} // namespace carbonx

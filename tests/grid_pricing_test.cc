@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests of the wholesale price model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "grid/balancing_authority.h"
+#include "grid/pricing.h"
+
+namespace carbonx
+{
+namespace
+{
+
+const BalancingAuthorityProfile &
+profile(const std::string &code)
+{
+    return BalancingAuthorityRegistry::instance().lookup(code);
+}
+
+GridTrace
+trace(const std::string &code, double scale = 1.0)
+{
+    return GridSynthesizer(profile(code), 2020)
+        .synthesize(2020, scale);
+}
+
+TEST(PriceModel, CurtailmentHoursClearNegative)
+{
+    // Scale renewables hard enough to force curtailment somewhere.
+    const GridTrace t = trace("ERCO", 3.0);
+    const PriceModel model;
+    const TimeSeries price = model.price(t, profile("ERCO"));
+    bool saw_negative = false;
+    for (size_t h = 0; h < price.size(); ++h) {
+        if (t.curtailed[h] > 1e-6) {
+            EXPECT_DOUBLE_EQ(price[h], -5.0);
+            saw_negative = true;
+        }
+    }
+    EXPECT_TRUE(saw_negative);
+}
+
+TEST(PriceModel, MarginalFuelSetsTheBasePrice)
+{
+    const GridTrace t = trace("PACE");
+    const PriceModel model;
+    const TimeSeries price = model.price(t, profile("PACE"));
+    for (size_t h = 0; h < price.size(); h += 57) {
+        if (t.curtailed[h] > 1e-6)
+            continue;
+        if (t.mix.of(Fuel::Oil)[h] > 1e-9) {
+            EXPECT_GE(price[h], 140.0);
+        } else if (t.mix.of(Fuel::Coal)[h] > 1e-9) {
+            EXPECT_GE(price[h], 30.0);
+        }
+    }
+}
+
+TEST(PriceModel, PricesCorrelateWithCarbonIntensity)
+{
+    // Section 3.2's premise: cheap hours tend to be green hours, so
+    // price-chasing demand response also chases carbon.
+    const GridTrace t = trace("PACE");
+    const PriceModel model;
+    const TimeSeries price = model.price(t, profile("PACE"));
+    std::vector<double> p(price.values().begin(),
+                          price.values().end());
+    std::vector<double> i(t.intensity.values().begin(),
+                          t.intensity.values().end());
+    EXPECT_GT(pearsonCorrelation(p, i), 0.35);
+}
+
+TEST(PriceModel, ScarcityRaisesTightHours)
+{
+    // With more renewables (scale 2) average prices must not rise.
+    const PriceModel model;
+    const double base =
+        model.price(trace("PACE", 1.0), profile("PACE")).mean();
+    const double rich =
+        model.price(trace("PACE", 2.0), profile("PACE")).mean();
+    EXPECT_LE(rich, base + 1e-9);
+}
+
+TEST(PriceModel, RejectsBadParams)
+{
+    PriceModelParams params;
+    params.scarcity_threshold = 1.0;
+    EXPECT_THROW(PriceModel{params}, UserError);
+    params = PriceModelParams{};
+    params.scarcity_cap_usd = -1.0;
+    EXPECT_THROW(PriceModel{params}, UserError);
+}
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the synthetic solar resource model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "grid/solar_model.h"
+
+namespace carbonx
+{
+namespace
+{
+
+SolarModelParams
+defaultParams()
+{
+    SolarModelParams p;
+    p.latitude_deg = 40.0;
+    return p;
+}
+
+TEST(SolarModel, NightOutputIsZero)
+{
+    const SolarResourceModel model(defaultParams());
+    EXPECT_DOUBLE_EQ(model.clearSkyOutput(172, 0, 365), 0.0);
+    EXPECT_DOUBLE_EQ(model.clearSkyOutput(172, 23, 365), 0.0);
+    EXPECT_DOUBLE_EQ(model.clearSkyOutput(0, 2, 365), 0.0);
+}
+
+TEST(SolarModel, NoonOutputPeaksAndStaysInRange)
+{
+    const SolarResourceModel model(defaultParams());
+    const double noon_summer = model.clearSkyOutput(172, 12, 365);
+    const double morning_summer = model.clearSkyOutput(172, 7, 365);
+    EXPECT_GT(noon_summer, 0.5);
+    EXPECT_LE(noon_summer, 1.0);
+    EXPECT_GT(noon_summer, morning_summer);
+}
+
+TEST(SolarModel, SummerDaysAreLongerThanWinterDays)
+{
+    const SolarResourceModel model(defaultParams());
+    auto dayHours = [&](size_t day) {
+        int lit = 0;
+        for (int hour = 0; hour < 24; ++hour) {
+            if (model.clearSkyOutput(day, hour, 365) > 0.0)
+                ++lit;
+        }
+        return lit;
+    };
+    EXPECT_GT(dayHours(172), dayHours(355)); // Late June vs late Dec.
+}
+
+TEST(SolarModel, WinterNoonIsWeakerThanSummerNoon)
+{
+    const SolarResourceModel model(defaultParams());
+    EXPECT_GT(model.clearSkyOutput(172, 12, 365),
+              model.clearSkyOutput(355, 12, 365));
+}
+
+TEST(SolarModel, HigherLatitudeHasWeakerWinterSun)
+{
+    SolarModelParams north = defaultParams();
+    north.latitude_deg = 46.0;
+    SolarModelParams south = defaultParams();
+    south.latitude_deg = 31.0;
+    const SolarResourceModel model_n(north);
+    const SolarResourceModel model_s(south);
+    EXPECT_LT(model_n.clearSkyOutput(355, 12, 365),
+              model_s.clearSkyOutput(355, 12, 365));
+}
+
+TEST(SolarModel, GeneratedSeriesIsDeterministic)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries a = model.generate(2020, 99);
+    const TimeSeries b = model.generate(2020, 99);
+    for (size_t h = 0; h < a.size(); h += 101)
+        EXPECT_DOUBLE_EQ(a[h], b[h]);
+}
+
+TEST(SolarModel, DifferentSeedsGiveDifferentWeather)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries a = model.generate(2020, 1);
+    const TimeSeries b = model.generate(2020, 2);
+    double diff = 0.0;
+    for (size_t h = 0; h < a.size(); ++h)
+        diff += std::abs(a[h] - b[h]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(SolarModel, OutputStaysPerUnit)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries ts = model.generate(2020, 7);
+    EXPECT_GE(ts.min(), 0.0);
+    EXPECT_LE(ts.max(), 1.0);
+}
+
+TEST(SolarModel, NightsAreDarkInGeneratedSeries)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries ts = model.generate(2021, 7);
+    // Hour 2 of every day must be dark at latitude 40.
+    for (size_t day = 0; day < 365; day += 13)
+        EXPECT_DOUBLE_EQ(ts[day * 24 + 2], 0.0);
+}
+
+TEST(SolarModel, CapacityFactorIsPlausible)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries ts = model.generate(2020, 7);
+    const double cf = ts.mean();
+    EXPECT_GT(cf, 0.08);
+    EXPECT_LT(cf, 0.35);
+}
+
+TEST(SolarModel, CloudierParamsLowerOutput)
+{
+    SolarModelParams sunny = defaultParams();
+    sunny.mean_clearness = 0.85;
+    SolarModelParams cloudy = defaultParams();
+    cloudy.mean_clearness = 0.45;
+    const TimeSeries a = SolarResourceModel(sunny).generate(2020, 5);
+    const TimeSeries b = SolarResourceModel(cloudy).generate(2020, 5);
+    EXPECT_GT(a.total(), b.total());
+}
+
+TEST(SolarModel, DiurnalProfilePeaksNearNoon)
+{
+    const SolarResourceModel model(defaultParams());
+    const TimeSeries ts = model.generate(2020, 11);
+    const auto profile = ts.averageDayProfile();
+    size_t peak_hour = 0;
+    for (size_t hour = 1; hour < 24; ++hour) {
+        if (profile[hour] > profile[peak_hour])
+            peak_hour = hour;
+    }
+    EXPECT_GE(peak_hour, 10u);
+    EXPECT_LE(peak_hour, 14u);
+}
+
+TEST(SolarModel, RejectsBadParams)
+{
+    SolarModelParams p = defaultParams();
+    p.latitude_deg = 80.0;
+    EXPECT_THROW(SolarResourceModel{p}, UserError);
+    p = defaultParams();
+    p.mean_clearness = 0.0;
+    EXPECT_THROW(SolarResourceModel{p}, UserError);
+    p = defaultParams();
+    p.clearness_autocorr = 1.0;
+    EXPECT_THROW(SolarResourceModel{p}, UserError);
+}
+
+class SolarLatitudeSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(SolarLatitudeSweep, AnnualEnergyDecreasesTowardPoles)
+{
+    SolarModelParams p = defaultParams();
+    p.latitude_deg = GetParam();
+    const SolarResourceModel model(p);
+    // Clear-sky annual energy at this latitude.
+    double annual = 0.0;
+    for (size_t day = 0; day < 365; day += 5) {
+        for (int hour = 0; hour < 24; ++hour)
+            annual += model.clearSkyOutput(day, hour, 365);
+    }
+    // Compare against a 5-degree-higher latitude.
+    SolarModelParams hi = p;
+    hi.latitude_deg = GetParam() + 5.0;
+    const SolarResourceModel model_hi(hi);
+    double annual_hi = 0.0;
+    for (size_t day = 0; day < 365; day += 5) {
+        for (int hour = 0; hour < 24; ++hour)
+            annual_hi += model_hi.clearSkyOutput(day, hour, 365);
+    }
+    EXPECT_GT(annual, annual_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Latitudes, SolarLatitudeSweep,
+                         testing::Values(25.0, 31.0, 35.0, 40.0, 45.0));
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the synthetic wind resource model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "grid/wind_model.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(WindPowerCurve, RegionsOfTheCurve)
+{
+    const WindResourceModel model(WindModelParams{});
+    EXPECT_DOUBLE_EQ(model.powerCurve(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(model.powerCurve(2.9), 0.0);  // Below cut-in.
+    EXPECT_GT(model.powerCurve(6.0), 0.0);          // Ramping.
+    EXPECT_LT(model.powerCurve(6.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.powerCurve(12.0), 1.0);  // Rated.
+    EXPECT_DOUBLE_EQ(model.powerCurve(20.0), 1.0);  // Still rated.
+    EXPECT_DOUBLE_EQ(model.powerCurve(25.0), 0.0);  // Cut-out.
+    EXPECT_DOUBLE_EQ(model.powerCurve(30.0), 0.0);
+}
+
+TEST(WindPowerCurve, CubicRampIsMonotonic)
+{
+    const WindResourceModel model(WindModelParams{});
+    double prev = 0.0;
+    for (double v = 3.0; v <= 12.0; v += 0.5) {
+        const double p = model.powerCurve(v);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(WindPowerCurve, MatchesCubicFormula)
+{
+    WindModelParams params;
+    const WindResourceModel model(params);
+    const double v = 8.0;
+    const double vin3 = std::pow(params.cut_in_ms, 3);
+    const double vr3 = std::pow(params.rated_ms, 3);
+    const double expected = (std::pow(v, 3) - vin3) / (vr3 - vin3);
+    EXPECT_NEAR(model.powerCurve(v), expected, 1e-12);
+}
+
+TEST(WindModel, GeneratedSeriesIsDeterministic)
+{
+    const WindResourceModel model(WindModelParams{});
+    const TimeSeries a = model.generate(2020, 5);
+    const TimeSeries b = model.generate(2020, 5);
+    for (size_t h = 0; h < a.size(); h += 97)
+        EXPECT_DOUBLE_EQ(a[h], b[h]);
+}
+
+TEST(WindModel, OutputStaysPerUnit)
+{
+    const WindResourceModel model(WindModelParams{});
+    const TimeSeries ts = model.generate(2020, 5);
+    EXPECT_GE(ts.min(), 0.0);
+    EXPECT_LE(ts.max(), 1.0);
+}
+
+TEST(WindModel, CapacityFactorIsPlausible)
+{
+    const TimeSeries ts = WindResourceModel(WindModelParams{})
+        .generate(2020, 5);
+    EXPECT_GT(ts.mean(), 0.15);
+    EXPECT_LT(ts.mean(), 0.65);
+}
+
+TEST(WindModel, WindierSiteHasHigherCapacityFactor)
+{
+    WindModelParams calm;
+    calm.mean_speed_ms = 6.0;
+    WindModelParams windy;
+    windy.mean_speed_ms = 9.5;
+    const double cf_calm =
+        WindResourceModel(calm).generate(2020, 5).mean();
+    const double cf_windy =
+        WindResourceModel(windy).generate(2020, 5).mean();
+    EXPECT_GT(cf_windy, cf_calm);
+}
+
+TEST(WindModel, HigherVariabilityDeepensDailyFluctuations)
+{
+    WindModelParams steady;
+    steady.variability = 0.6;
+    WindModelParams gusty;
+    gusty.variability = 1.4;
+    auto dailyCv = [](const TimeSeries &ts) {
+        const auto sums = ts.dailySums();
+        SummaryStats s;
+        for (double d : sums)
+            s.add(d);
+        return s.cv();
+    };
+    EXPECT_GT(dailyCv(WindResourceModel(gusty).generate(2020, 5)),
+              dailyCv(WindResourceModel(steady).generate(2020, 5)));
+}
+
+TEST(WindModel, LongerCorrelationMakesLongerLulls)
+{
+    auto longestLull = [](const TimeSeries &ts) {
+        size_t run = 0;
+        size_t best = 0;
+        for (size_t h = 0; h < ts.size(); ++h) {
+            run = ts[h] < 0.1 ? run + 1 : 0;
+            best = std::max(best, run);
+        }
+        return best;
+    };
+    WindModelParams fast;
+    fast.correlation_hours = 8.0;
+    WindModelParams slow;
+    slow.correlation_hours = 96.0;
+    EXPECT_GT(longestLull(WindResourceModel(slow).generate(2020, 5)),
+              longestLull(WindResourceModel(fast).generate(2020, 5)));
+}
+
+TEST(WindModel, SubFarmAveragingSmoothsOutput)
+{
+    WindModelParams single;
+    single.sub_farms = 1;
+    WindModelParams many;
+    many.sub_farms = 12;
+    const double sd1 =
+        WindResourceModel(single).generate(2020, 5).summary().stddev();
+    const double sd12 =
+        WindResourceModel(many).generate(2020, 5).summary().stddev();
+    EXPECT_GT(sd1, sd12);
+}
+
+TEST(WindModel, RejectsBadParams)
+{
+    WindModelParams p;
+    p.mean_speed_ms = 0.0;
+    EXPECT_THROW(WindResourceModel{p}, UserError);
+    p = WindModelParams{};
+    p.rated_ms = p.cut_in_ms;
+    EXPECT_THROW(WindResourceModel{p}, UserError);
+    p = WindModelParams{};
+    p.cut_out_ms = p.rated_ms;
+    EXPECT_THROW(WindResourceModel{p}, UserError);
+    p = WindModelParams{};
+    p.sub_farms = 0;
+    EXPECT_THROW(WindResourceModel{p}, UserError);
+    p = WindModelParams{};
+    p.correlation_hours = 0.5;
+    EXPECT_THROW(WindResourceModel{p}, UserError);
+}
+
+class WindSeedSweep : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(WindSeedSweep, StatisticsAreStableAcrossSeeds)
+{
+    // Whatever the seed, the generated year keeps physical statistics:
+    // per-unit range, a plausible capacity factor, and nonzero
+    // variability.
+    const WindResourceModel model(WindModelParams{});
+    const TimeSeries ts = model.generate(2020, GetParam());
+    EXPECT_GE(ts.min(), 0.0);
+    EXPECT_LE(ts.max(), 1.0);
+    EXPECT_GT(ts.mean(), 0.1);
+    EXPECT_LT(ts.mean(), 0.7);
+    EXPECT_GT(ts.summary().stddev(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindSeedSweep,
+                         testing::Values(1u, 2u, 3u, 42u, 2020u, 999u));
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Integration tests of the carbonx CLI binary: every subcommand must
+ * run, exit cleanly, and print its expected table. Tests skip when
+ * the binary is not at the expected build location (e.g. when the
+ * test binary is run standalone from another directory).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace
+{
+
+constexpr const char *kCliPath = "../tools/carbonx";
+
+/** Run a CLI command line, capturing stdout+stderr and exit code. */
+struct CliRun
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+CliRun
+runCli(const std::string &args)
+{
+    CliRun result;
+    const std::string command =
+        std::string(kCliPath) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        result.output += buffer.data();
+    const int status = pclose(pipe);
+    result.exit_code = WEXITSTATUS(status);
+    return result;
+}
+
+bool
+cliAvailable()
+{
+    FILE *f = std::fopen(kCliPath, "rb");
+    if (f == nullptr)
+        return false;
+    std::fclose(f);
+    return true;
+}
+
+#define REQUIRE_CLI()                                                 \
+    do {                                                              \
+        if (!cliAvailable())                                          \
+            GTEST_SKIP() << "carbonx CLI not found at " << kCliPath;  \
+    } while (0)
+
+TEST(Cli, NoArgsPrintsUsage)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("");
+    EXPECT_EQ(run.exit_code, 2);
+    EXPECT_NE(run.output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("frobnicate");
+    EXPECT_EQ(run.exit_code, 2);
+    EXPECT_NE(run.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, SitesListsThirteen)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("sites");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("Prineville, Oregon"),
+              std::string::npos);
+    EXPECT_NE(run.output.find("Huntsville, Alabama"),
+              std::string::npos);
+}
+
+TEST(Cli, RegionsListsBalancingAuthorities)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("regions");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("ERCO"), std::string::npos);
+    EXPECT_NE(run.output.find("Majorly Solar"), std::string::npos);
+}
+
+TEST(Cli, CoverageReportsPercentage)
+{
+    REQUIRE_CLI();
+    const CliRun run =
+        runCli("coverage --ba PACE --dc 19 --solar 694 --wind 239");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("Hourly 24/7 coverage:"),
+              std::string::npos);
+}
+
+TEST(Cli, BatteryFindsASize)
+{
+    REQUIRE_CLI();
+    const CliRun run =
+        runCli("battery --ba PACE --dc 19 --solar 694 --wind 239");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("hours of compute"), std::string::npos);
+}
+
+TEST(Cli, ScheduleReportsSavings)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("schedule --ba PACE --dc 19");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("saved"), std::string::npos);
+}
+
+TEST(Cli, BadFlagValueFailsGracefully)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("coverage --ba PACE --dc notanumber");
+    EXPECT_EQ(run.exit_code, 1);
+    EXPECT_NE(run.output.find("carbonx:"), std::string::npos);
+}
+
+TEST(Cli, UnknownRegionFailsGracefully)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("coverage --ba NOPE --dc 19");
+    EXPECT_EQ(run.exit_code, 1);
+    EXPECT_NE(run.output.find("unknown balancing authority"),
+              std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests of the greedy carbon-aware scheduler (section 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "scheduler/greedy_scheduler.h"
+
+namespace carbonx
+{
+namespace
+{
+
+/** A flat 10 MW load for a short test year. */
+TimeSeries
+flatLoad(double mw = 10.0)
+{
+    return TimeSeries(2021, mw);
+}
+
+/** A cost signal that is expensive at night, cheap at midday. */
+TimeSeries
+middayCheapSignal()
+{
+    TimeSeries cost(2021);
+    for (size_t h = 0; h < cost.size(); ++h) {
+        const double hour = static_cast<double>(h % 24);
+        cost[h] = 500.0 - 300.0 *
+            std::exp(-0.5 * std::pow((hour - 12.0) / 3.0, 2.0));
+    }
+    return cost;
+}
+
+TEST(GreedyScheduler, ConservesEnergyPerDay)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 20.0;
+    cfg.flexible_ratio = 0.4;
+    const GreedyCarbonScheduler sched(cfg);
+    const TimeSeries load = flatLoad();
+    const ScheduleResult result =
+        sched.schedule(load, middayCheapSignal());
+    const auto before = load.dailySums();
+    const auto after = result.reshaped_power.dailySums();
+    for (size_t d = 0; d < before.size(); ++d)
+        EXPECT_NEAR(after[d], before[d], 1e-6) << "day " << d;
+}
+
+TEST(GreedyScheduler, RespectsCapacityCap)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 14.0;
+    cfg.flexible_ratio = 1.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const ScheduleResult result =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    EXPECT_LE(result.reshaped_power.max(), 14.0 + 1e-9);
+    EXPECT_LE(result.peak_power_mw, 14.0 + 1e-9);
+}
+
+TEST(GreedyScheduler, MovesLoadTowardCheapHours)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    cfg.flexible_ratio = 0.4;
+    const GreedyCarbonScheduler sched(cfg);
+    const TimeSeries cost = middayCheapSignal();
+    const ScheduleResult result = sched.schedule(flatLoad(), cost);
+    // Weighted cost must decrease.
+    double before = 0.0;
+    double after = 0.0;
+    const TimeSeries load = flatLoad();
+    for (size_t h = 0; h < load.size(); ++h) {
+        before += load[h] * cost[h];
+        after += result.reshaped_power[h] * cost[h];
+    }
+    EXPECT_LT(after, before);
+    // Midday (cheap) gains load; night (expensive) loses it.
+    const auto profile = result.reshaped_power.averageDayProfile();
+    EXPECT_GT(profile[12], profile[2]);
+}
+
+TEST(GreedyScheduler, ZeroFlexibilityChangesNothing)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    cfg.flexible_ratio = 0.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const TimeSeries load = flatLoad();
+    const ScheduleResult result =
+        sched.schedule(load, middayCheapSignal());
+    for (size_t h = 0; h < load.size(); h += 101)
+        EXPECT_DOUBLE_EQ(result.reshaped_power[h], load[h]);
+    EXPECT_DOUBLE_EQ(result.moved_mwh, 0.0);
+}
+
+TEST(GreedyScheduler, FullFlexibilityPacksCheapestHours)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 240.0; // One hour could hold the whole day.
+    cfg.flexible_ratio = 1.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const ScheduleResult result =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    // Everything lands on the single cheapest hour of each day.
+    const auto profile = result.reshaped_power.averageDayProfile();
+    EXPECT_NEAR(profile[12], 240.0, 1.0);
+    EXPECT_NEAR(profile[2], 0.0, 1e-9);
+}
+
+TEST(GreedyScheduler, MovedEnergyIsReported)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    cfg.flexible_ratio = 0.5;
+    const GreedyCarbonScheduler sched(cfg);
+    const ScheduleResult result =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    EXPECT_GT(result.moved_mwh, 0.0);
+    // Cannot move more than the flexible share of the year's energy.
+    EXPECT_LE(result.moved_mwh, 0.5 * flatLoad().total() + 1e-6);
+}
+
+TEST(GreedyScheduler, WindowedVariantRespectsWindow)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    cfg.flexible_ratio = 1.0;
+    cfg.slo_window_hours = 2.0;
+    const GreedyCarbonScheduler sched(cfg);
+    // Cost spike on a single hour; load may only flee 2 hours away.
+    TimeSeries cost(2021, 100.0);
+    cost[500] = 1000.0;
+    const ScheduleResult result = sched.schedule(flatLoad(), cost);
+    // Load from hour 500 went somewhere within [498, 502].
+    double nearby = 0.0;
+    for (size_t h = 498; h <= 502; ++h)
+        nearby += result.reshaped_power[h];
+    EXPECT_NEAR(nearby, 50.0, 1e-6); // Energy stays in the window.
+    EXPECT_LT(result.reshaped_power[500], 10.0);
+}
+
+TEST(GreedyScheduler, WindowedVariantConservesTotalEnergy)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 25.0;
+    cfg.flexible_ratio = 0.6;
+    cfg.slo_window_hours = 4.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const TimeSeries load = flatLoad();
+    const ScheduleResult result =
+        sched.schedule(load, middayCheapSignal());
+    EXPECT_NEAR(result.reshaped_power.total(), load.total(), 1e-5);
+    EXPECT_LE(result.reshaped_power.max(), 25.0 + 1e-9);
+}
+
+TEST(GreedyScheduler, WindowedReducesWeightedCost)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 25.0;
+    cfg.flexible_ratio = 0.6;
+    cfg.slo_window_hours = 6.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const TimeSeries load = flatLoad();
+    const TimeSeries cost = middayCheapSignal();
+    const ScheduleResult result = sched.schedule(load, cost);
+    double before = 0.0;
+    double after = 0.0;
+    for (size_t h = 0; h < load.size(); ++h) {
+        before += load[h] * cost[h];
+        after += result.reshaped_power[h] * cost[h];
+    }
+    EXPECT_LT(after, before);
+}
+
+TEST(GreedyScheduler, TightCapLimitsShifting)
+{
+    // With the cap barely above the load, almost nothing can move in,
+    // so the reshaped series stays close to the original.
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 10.5;
+    cfg.flexible_ratio = 1.0;
+    const GreedyCarbonScheduler sched(cfg);
+    const ScheduleResult result =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    EXPECT_LE(result.reshaped_power.max(), 10.5 + 1e-9);
+    // At most 0.5 MW of headroom per cheap hour can be gained.
+    EXPECT_LT(result.moved_mwh, 0.5 * 24.0 * 366.0);
+}
+
+TEST(GreedyScheduler, RejectsInvalidConfigs)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 0.0;
+    EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
+    cfg = SchedulerConfig{};
+    cfg.capacity_cap_mw = 10.0;
+    cfg.flexible_ratio = 1.5;
+    EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
+    cfg = SchedulerConfig{};
+    cfg.capacity_cap_mw = 10.0;
+    cfg.slo_window_hours = 0.5;
+    EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
+}
+
+TEST(GreedyScheduler, RejectsLoadAboveCap)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 5.0;
+    const GreedyCarbonScheduler sched(cfg);
+    EXPECT_THROW(sched.schedule(flatLoad(10.0), middayCheapSignal()),
+                 UserError);
+}
+
+TEST(GreedyScheduler, RejectsYearMismatch)
+{
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    const GreedyCarbonScheduler sched(cfg);
+    EXPECT_THROW(sched.schedule(flatLoad(), TimeSeries(2020, 1.0)),
+                 UserError);
+}
+
+class FlexRatioSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(FlexRatioSweep, MoreFlexibilityNeverHurts)
+{
+    // Weighted cost after scheduling is non-increasing in FWR.
+    const TimeSeries load = flatLoad();
+    const TimeSeries cost = middayCheapSignal();
+    auto weightedCost = [&](double fwr) {
+        SchedulerConfig cfg;
+        cfg.capacity_cap_mw = 40.0;
+        cfg.flexible_ratio = fwr;
+        const ScheduleResult r =
+            GreedyCarbonScheduler(cfg).schedule(load, cost);
+        double total = 0.0;
+        for (size_t h = 0; h < load.size(); ++h)
+            total += r.reshaped_power[h] * cost[h];
+        return total;
+    };
+    const double fwr = GetParam();
+    EXPECT_LE(weightedCost(fwr), weightedCost(fwr * 0.5) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, FlexRatioSweep,
+                         testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+} // namespace
+} // namespace carbonx

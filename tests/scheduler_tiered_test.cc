@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the multi-tier SLO-aware scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "scheduler/tiered_scheduler.h"
+
+namespace carbonx
+{
+namespace
+{
+
+constexpr int kYear = 2021;
+
+TimeSeries
+flatLoad(double mw = 10.0)
+{
+    return TimeSeries(kYear, mw);
+}
+
+TimeSeries
+middayCheapSignal()
+{
+    TimeSeries cost(kYear);
+    for (size_t h = 0; h < cost.size(); ++h) {
+        const double hour = static_cast<double>(h % 24);
+        cost[h] = 500.0 - 300.0 *
+            std::exp(-0.5 * std::pow((hour - 12.0) / 3.0, 2.0));
+    }
+    return cost;
+}
+
+TEST(TieredScheduler, ConservesEnergyExactly)
+{
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                30.0);
+    const TimeSeries load = flatLoad();
+    const TieredScheduleResult r =
+        sched.schedule(load, middayCheapSignal());
+    EXPECT_NEAR(r.reshaped_power.total(), load.total(),
+                1e-6 * load.total());
+}
+
+TEST(TieredScheduler, RespectsCapacityCap)
+{
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                14.0);
+    const TieredScheduleResult r =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    EXPECT_LE(r.peak_power_mw, 14.0 + 1e-9);
+}
+
+TEST(TieredScheduler, ReportsPerTierMovement)
+{
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                30.0);
+    const TieredScheduleResult r =
+        sched.schedule(flatLoad(), middayCheapSignal());
+    ASSERT_EQ(r.tiers.size(), 5u);
+    double total_moved = 0.0;
+    for (const TierOutcome &t : r.tiers) {
+        EXPECT_GE(t.moved_mwh, 0.0) << t.tier_name;
+        total_moved += t.moved_mwh;
+    }
+    EXPECT_NEAR(total_moved, r.moved_mwh, 1e-9);
+    EXPECT_GT(r.moved_mwh, 0.0);
+}
+
+TEST(TieredScheduler, WiderWindowsMoveMoreEnergyPerShare)
+{
+    // A single cheap hour per day: tight-windowed tiers can only
+    // reach it from adjacent hours, daily tiers from the whole day.
+    TimeSeries spiky(kYear, 500.0);
+    for (size_t h = 12; h < spiky.size(); h += 24)
+        spiky[h] = 100.0;
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                40.0);
+    const TieredScheduleResult r = sched.schedule(flatLoad(), spiky);
+    // Tier 4 (daily SLO, 71.2%) must move much more than Tier 1
+    // (+/-1h, 8.8%) even after normalizing by share.
+    const TierOutcome *t1 = nullptr;
+    const TierOutcome *t4 = nullptr;
+    for (const TierOutcome &t : r.tiers) {
+        if (t.slo_window_hours == 1.0)
+            t1 = &t;
+        if (t.slo_window_hours == 24.0)
+            t4 = &t;
+    }
+    ASSERT_NE(t1, nullptr);
+    ASSERT_NE(t4, nullptr);
+    EXPECT_GT(t4->moved_mwh / t4->share, t1->moved_mwh / t1->share);
+}
+
+TEST(TieredScheduler, AllPinnedMixChangesNothing)
+{
+    const WorkloadMix pinned({{"Pinned", 0.0, 1.0}});
+    const TieredScheduler sched(pinned, 30.0);
+    const TimeSeries load = flatLoad();
+    const TieredScheduleResult r =
+        sched.schedule(load, middayCheapSignal());
+    for (size_t h = 0; h < load.size(); h += 131)
+        EXPECT_DOUBLE_EQ(r.reshaped_power[h], load[h]);
+    EXPECT_DOUBLE_EQ(r.moved_mwh, 0.0);
+}
+
+TEST(TieredScheduler, ReducesWeightedCost)
+{
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                30.0);
+    const TimeSeries load = flatLoad();
+    const TimeSeries cost = middayCheapSignal();
+    const TieredScheduleResult r = sched.schedule(load, cost);
+    double before = 0.0;
+    double after = 0.0;
+    for (size_t h = 0; h < load.size(); ++h) {
+        before += load[h] * cost[h];
+        after += r.reshaped_power[h] * cost[h];
+    }
+    EXPECT_LT(after, before);
+}
+
+TEST(TieredScheduler, MatchesSingleTierGreedyInTheLimit)
+{
+    // A mix with one 100%-share windowed tier must reduce cost at
+    // least as much as the windowed GreedyCarbonScheduler at the same
+    // window (they implement the same pull model).
+    const WorkloadMix single({{"All", 8.0, 1.0}});
+    const TieredScheduler tiered(single, 30.0);
+    SchedulerConfig cfg;
+    cfg.capacity_cap_mw = 30.0;
+    cfg.flexible_ratio = 1.0;
+    cfg.slo_window_hours = 8.0;
+    const GreedyCarbonScheduler greedy(cfg);
+
+    const TimeSeries load = flatLoad();
+    const TimeSeries cost = middayCheapSignal();
+    const auto tiered_result = tiered.schedule(load, cost);
+    const auto greedy_result = greedy.schedule(load, cost);
+
+    auto weighted = [&](const TimeSeries &power) {
+        double sum = 0.0;
+        for (size_t h = 0; h < power.size(); ++h)
+            sum += power[h] * cost[h];
+        return sum;
+    };
+    EXPECT_NEAR(weighted(tiered_result.reshaped_power),
+                weighted(greedy_result.reshaped_power),
+                1e-6 * weighted(greedy_result.reshaped_power));
+}
+
+TEST(TieredScheduler, RejectsBadInputs)
+{
+    EXPECT_THROW(TieredScheduler(WorkloadMix::metaDataProcessing(),
+                                 0.0),
+                 UserError);
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                5.0);
+    EXPECT_THROW(sched.schedule(flatLoad(10.0), middayCheapSignal()),
+                 UserError);
+    const TieredScheduler ok(WorkloadMix::metaDataProcessing(), 30.0);
+    EXPECT_THROW(ok.schedule(flatLoad(), TimeSeries(2020, 1.0)),
+                 UserError);
+}
+
+class TierCapSweep : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(TierCapSweep, InvariantsHoldAtEveryCap)
+{
+    const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
+                                GetParam());
+    const TimeSeries load = flatLoad();
+    const TieredScheduleResult r =
+        sched.schedule(load, middayCheapSignal());
+    EXPECT_LE(r.peak_power_mw, GetParam() + 1e-9);
+    EXPECT_NEAR(r.reshaped_power.total(), load.total(),
+                1e-6 * load.total());
+    EXPECT_GE(r.reshaped_power.min(), -1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, TierCapSweep,
+                         testing::Values(10.5, 12.0, 15.0, 20.0, 40.0));
+
+} // namespace
+} // namespace carbonx

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests of the CLI flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arg_parser.h"
+
+namespace carbonx::tools
+{
+namespace
+{
+
+/** Build an ArgParser from a braced list of C-string arguments. */
+ArgParser
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "carbonx");
+    return ArgParser(static_cast<int>(args.size()),
+                     const_cast<char **>(args.data()));
+}
+
+TEST(ArgParser, PositionalsAndFlags)
+{
+    const ArgParser p =
+        parse({"optimize", "--ba", "PACE", "--dc", "19"});
+    ASSERT_EQ(p.positionals().size(), 1u);
+    EXPECT_EQ(p.positionals()[0], "optimize");
+    EXPECT_EQ(p.getString("ba", ""), "PACE");
+    EXPECT_DOUBLE_EQ(p.getDouble("dc", 0.0), 19.0);
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    const ArgParser p = parse({"coverage", "--solar=123.5",
+                               "--ba=ERCO"});
+    EXPECT_DOUBLE_EQ(p.getDouble("solar", 0.0), 123.5);
+    EXPECT_EQ(p.getString("ba", ""), "ERCO");
+}
+
+TEST(ArgParser, DefaultsApplyWhenAbsent)
+{
+    const ArgParser p = parse({"sites"});
+    EXPECT_EQ(p.getString("ba", "PACE"), "PACE");
+    EXPECT_DOUBLE_EQ(p.getDouble("dc", 19.0), 19.0);
+    EXPECT_FALSE(p.has("ba"));
+}
+
+TEST(ArgParser, BareFlagIsBooleanTrue)
+{
+    const ArgParser p = parse({"optimize", "--verbose"});
+    EXPECT_TRUE(p.getBool("verbose"));
+    EXPECT_FALSE(p.getBool("quiet"));
+    EXPECT_EQ(p.getString("verbose", ""), "true");
+}
+
+TEST(ArgParser, BooleanFalseValues)
+{
+    const ArgParser p = parse({"x", "--a=false", "--b=0", "--c=yes"});
+    EXPECT_FALSE(p.getBool("a", true));
+    EXPECT_FALSE(p.getBool("b", true));
+    EXPECT_TRUE(p.getBool("c", false));
+}
+
+TEST(ArgParser, TrailingBareFlagBeforeAnotherFlag)
+{
+    const ArgParser p = parse({"x", "--dry-run", "--ba", "DUK"});
+    EXPECT_TRUE(p.getBool("dry-run"));
+    EXPECT_EQ(p.getString("ba", ""), "DUK");
+}
+
+TEST(ArgParser, NonNumericValueThrows)
+{
+    const ArgParser p = parse({"x", "--dc", "abc"});
+    EXPECT_THROW(p.getDouble("dc", 0.0), carbonx::UserError);
+}
+
+TEST(ArgParser, MultiplePositionals)
+{
+    const ArgParser p = parse({"a", "b", "--k", "v", "c"});
+    ASSERT_EQ(p.positionals().size(), 3u);
+    EXPECT_EQ(p.positionals()[2], "c");
+}
+
+TEST(ArgParser, LaterFlagWins)
+{
+    const ArgParser p = parse({"x", "--ba", "PACE", "--ba", "DUK"});
+    EXPECT_EQ(p.getString("ba", ""), "DUK");
+}
+
+} // namespace
+} // namespace carbonx::tools

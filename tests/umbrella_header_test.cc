@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compilation test of the umbrella header: everything public must be
+ * reachable through a single include, and the core types must be
+ * usable together.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbonx.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Umbrella, CoreTypesComposable)
+{
+    using namespace carbonx::literals;
+    const MegaWattHours e = 19_MW * 2_h;
+    EXPECT_DOUBLE_EQ(e.value(), 38.0);
+
+    const WorkloadMix mix = WorkloadMix::simpleFlexible(0.4);
+    EXPECT_NEAR(mix.flexibleShare(24.0), 0.4, 1e-12);
+
+    ClcBattery battery(10.0, BatteryChemistry::lithiumIronPhosphate());
+    EXPECT_DOUBLE_EQ(battery.capacityMwh(), 10.0);
+
+    const DesignPoint point{10.0, 20.0, 30.0, 0.1};
+    EXPECT_DOUBLE_EQ(point.renewableMw(), 30.0);
+
+    EXPECT_EQ(SiteRegistry::instance().all().size(), 13u);
+    EXPECT_EQ(BalancingAuthorityRegistry::instance().all().size(),
+              10u);
+}
+
+TEST(Umbrella, ErrorHierarchyVisible)
+{
+    EXPECT_THROW(require(false, "nope"), UserError);
+    try {
+        throw InternalError("boom");
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("internal error"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace carbonx

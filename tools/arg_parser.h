@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the carbonx CLI. Supports
+ * --flag value and --flag=value forms, typed lookups with defaults,
+ * and collects positional arguments.
+ */
+
+#ifndef CARBONX_TOOLS_ARG_PARSER_H
+#define CARBONX_TOOLS_ARG_PARSER_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace carbonx::tools
+{
+
+/** Parsed command line: positionals plus --key value flags. */
+class ArgParser
+{
+  public:
+    ArgParser(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const auto eq = arg.find('=');
+                if (eq != std::string::npos) {
+                    flags_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+                } else if (i + 1 < argc &&
+                           std::string(argv[i + 1]).rfind("--", 0) !=
+                               0) {
+                    flags_[arg.substr(2)] = argv[++i];
+                } else {
+                    flags_[arg.substr(2)] = "true";
+                }
+            } else {
+                positionals_.push_back(std::move(arg));
+            }
+        }
+    }
+
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return flags_.count(key) > 0;
+    }
+
+    std::string
+    getString(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = flags_.find(key);
+        return it != flags_.end() ? it->second : fallback;
+    }
+
+    double
+    getDouble(const std::string &key, double fallback) const
+    {
+        const auto it = flags_.find(key);
+        if (it == flags_.end())
+            return fallback;
+        try {
+            return std::stod(it->second);
+        } catch (const std::exception &) {
+            throw UserError("flag --" + key +
+                            " expects a number, got '" + it->second +
+                            "'");
+        }
+    }
+
+    bool
+    getBool(const std::string &key, bool fallback = false) const
+    {
+        const auto it = flags_.find(key);
+        if (it == flags_.end())
+            return fallback;
+        return it->second != "false" && it->second != "0";
+    }
+
+  private:
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace carbonx::tools
+
+#endif // CARBONX_TOOLS_ARG_PARSER_H

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * carbonx — command-line front end for the Carbon Explorer framework.
+ *
+ * Subcommands:
+ *   sites                          List the Table 1 datacenter sites.
+ *   regions                        List balancing-authority profiles.
+ *   coverage  --ba --dc --solar --wind
+ *                                  Renewable coverage of an investment.
+ *   optimize  --ba --dc [--strategy ren|batt|cas|all|combined]
+ *                                  Carbon-optimal design search.
+ *   battery   --ba --dc --solar --wind [--target 99.99]
+ *                                  Minimum battery for a coverage goal.
+ *   schedule  --ba --dc [--flex 0.4] [--cap-mult 1.3]
+ *                                  Carbon-aware scheduling savings.
+ *   fleet     [--flex 0.4]         Geographic migration across the
+ *                                  thirteen-site Meta fleet.
+ *
+ * Common flags: --seed N, --year Y.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "arg_parser.h"
+#include "carbon/operational.h"
+#include "common/table.h"
+#include "core/explorer.h"
+#include "core/report.h"
+#include "datacenter/site.h"
+#include "fleet/fleet.h"
+#include "grid/balancing_authority.h"
+#include "scheduler/greedy_scheduler.h"
+
+namespace
+{
+
+using namespace carbonx;
+using carbonx::tools::ArgParser;
+
+ExplorerConfig
+configFrom(const ArgParser &args)
+{
+    ExplorerConfig config;
+    config.ba_code = args.getString("ba", "PACE");
+    config.avg_dc_power_mw = args.getDouble("dc", 19.0);
+    config.flexible_ratio = args.getDouble("flex", 0.4);
+    config.year = static_cast<int>(args.getDouble("year", 2020));
+    config.seed =
+        static_cast<uint64_t>(args.getDouble("seed", 2020));
+    return config;
+}
+
+int
+cmdSites()
+{
+    TextTable table("Datacenter sites (paper Table 1)",
+                    {"#", "Location", "State", "BA", "Solar MW",
+                     "Wind MW", "Avg DC MW"});
+    for (const Site &s : SiteRegistry::instance().all()) {
+        table.addRow({std::to_string(s.index), s.location, s.state,
+                      s.ba_code, formatFixed(s.solar_invest_mw, 0),
+                      formatFixed(s.wind_invest_mw, 0),
+                      formatFixed(s.avg_dc_power_mw, 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRegions()
+{
+    TextTable table("Balancing authorities",
+                    {"Code", "Name", "Character", "Latitude",
+                     "Wind cap MW", "Solar cap MW"});
+    for (const auto &ba : BalancingAuthorityRegistry::instance().all()) {
+        table.addRow({ba.code, ba.name,
+                      renewableCharacterName(ba.character),
+                      formatFixed(ba.latitude_deg, 1),
+                      formatFixed(ba.windCapacityMw(), 0),
+                      formatFixed(ba.solarCapacityMw(), 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCoverage(const ArgParser &args)
+{
+    const ExplorerConfig config = configFrom(args);
+    const double solar = args.getDouble("solar", 0.0);
+    const double wind = args.getDouble("wind", 0.0);
+    const CarbonExplorer explorer(config);
+    const auto &cov = explorer.coverageAnalyzer();
+
+    std::cout << "Region " << config.ba_code << ", DC "
+              << config.avg_dc_power_mw << " MW avg\n"
+              << "Investment: solar " << solar << " MW, wind " << wind
+              << " MW\n"
+              << "Hourly 24/7 coverage: "
+              << formatPercent(cov.coverage(solar, wind)) << '\n'
+              << "Under average-day assumption (optimistic): "
+              << formatPercent(
+                     cov.coverageAssumingAverageDay(solar, wind))
+              << '\n';
+    return 0;
+}
+
+Strategy
+parseStrategy(const std::string &name)
+{
+    if (name == "ren")
+        return Strategy::RenewablesOnly;
+    if (name == "batt")
+        return Strategy::RenewableBattery;
+    if (name == "cas")
+        return Strategy::RenewableCas;
+    if (name == "combined")
+        return Strategy::RenewableBatteryCas;
+    throw UserError("unknown strategy '" + name +
+                    "' (ren|batt|cas|combined|all)");
+}
+
+int
+cmdOptimize(const ArgParser &args)
+{
+    const ExplorerConfig config = configFrom(args);
+    const CarbonExplorer explorer(config);
+    const double reach = args.getDouble("reach", 10.0);
+    const DesignSpace space = DesignSpace::forDatacenter(
+        config.avg_dc_power_mw, reach, 7, 7, 3);
+
+    const std::string which = args.getString("strategy", "all");
+    std::vector<Strategy> strategies;
+    if (which == "all") {
+        strategies = {Strategy::RenewablesOnly,
+                      Strategy::RenewableBattery,
+                      Strategy::RenewableCas,
+                      Strategy::RenewableBatteryCas};
+    } else {
+        strategies = {parseStrategy(which)};
+    }
+
+    std::vector<Evaluation> bests;
+    for (Strategy s : strategies)
+        bests.push_back(explorer.optimizeRefined(space, s).best);
+    printEvaluationTable(std::cout,
+                         "Carbon-optimal designs (" + config.ba_code +
+                             ", " +
+                             formatFixed(config.avg_dc_power_mw, 0) +
+                             " MW)",
+                         bests);
+    return 0;
+}
+
+int
+cmdBattery(const ArgParser &args)
+{
+    const ExplorerConfig config = configFrom(args);
+    const CarbonExplorer explorer(config);
+    const double solar = args.getDouble("solar", 0.0);
+    const double wind = args.getDouble("wind", 0.0);
+    const double target = args.getDouble("target", 99.99);
+
+    const double mwh = explorer.minimumBatteryForCoverage(
+        solar, wind, target, 400.0 * config.avg_dc_power_mw);
+    if (mwh < 0.0) {
+        std::cout << "Target " << target
+                  << "% unreachable with any battery up to "
+                  << 400.0 * config.avg_dc_power_mw
+                  << " MWh at this investment — add renewables or "
+                     "scheduling.\n";
+        return 1;
+    }
+    std::cout << "Minimum battery for " << target
+              << "% coverage: " << formatFixed(mwh, 1) << " MWh ("
+              << formatFixed(mwh / config.avg_dc_power_mw, 1)
+              << " hours of compute)\n";
+    return 0;
+}
+
+int
+cmdSchedule(const ArgParser &args)
+{
+    const ExplorerConfig config = configFrom(args);
+    const CarbonExplorer explorer(config);
+    const TimeSeries &load = explorer.dcPower();
+    const TimeSeries &intensity = explorer.gridIntensity();
+
+    SchedulerConfig sched;
+    sched.capacity_cap_mw = explorer.dcPeakPowerMw() *
+                            args.getDouble("cap-mult", 1.3);
+    sched.flexible_ratio = config.flexible_ratio;
+    const ScheduleResult result =
+        GreedyCarbonScheduler(sched).schedule(load, intensity);
+
+    const double before =
+        OperationalCarbonModel::gridEmissions(load, intensity).value();
+    const double after = OperationalCarbonModel::gridEmissions(
+                             result.reshaped_power, intensity)
+                             .value();
+    std::cout << "Carbon-aware scheduling on " << config.ba_code
+              << " (flex " << formatPercent(100.0 *
+                                            sched.flexible_ratio, 0)
+              << ", cap " << formatFixed(sched.capacity_cap_mw, 1)
+              << " MW)\n"
+              << "Moved " << formatFixed(result.moved_mwh, 0)
+              << " MWh; emissions "
+              << formatFixed(KilogramsCo2(before).kilotons(), 2)
+              << " -> "
+              << formatFixed(KilogramsCo2(after).kilotons(), 2)
+              << " ktCO2 ("
+              << formatPercent(100.0 * (before - after) / before)
+              << " saved)\n";
+    return 0;
+}
+
+int
+cmdFleet(const ArgParser &args)
+{
+    const double flex = args.getDouble("flex", 0.4);
+    const FleetSimulator fleet(FleetSimulator::metaFleet(flex));
+    const FleetResult base = fleet.runWithoutMigration();
+    const FleetResult migrated = fleet.runWithMigration();
+    std::cout << "Meta fleet (13 sites), migratable ratio "
+              << formatPercent(100.0 * flex, 0) << "\n"
+              << "Coverage: " << formatFixed(base.coverage_pct, 2)
+              << "% -> " << formatFixed(migrated.coverage_pct, 2)
+              << "%\nEmissions: "
+              << formatFixed(
+                     KilogramsCo2(base.total_emissions_kg).kilotons(),
+                     1)
+              << " -> "
+              << formatFixed(KilogramsCo2(migrated.total_emissions_kg)
+                                 .kilotons(),
+                             1)
+              << " ktCO2\nMigrated energy: "
+              << formatFixed(migrated.migrated_mwh / 1e3, 1)
+              << " GWh\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout <<
+        "carbonx — Carbon Explorer CLI\n"
+        "usage: carbonx <command> [flags]\n\n"
+        "commands:\n"
+        "  sites                              list Table 1 sites\n"
+        "  regions                            list balancing "
+        "authorities\n"
+        "  coverage --ba PACE --dc 19 --solar 100 --wind 50\n"
+        "  optimize --ba PACE --dc 19 [--strategy all|ren|batt|cas|"
+        "combined] [--reach 10]\n"
+        "  battery  --ba PACE --dc 19 --solar 100 --wind 50 "
+        "[--target 99.99]\n"
+        "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
+        "  fleet    [--flex 0.4]\n\n"
+        "common flags: --seed N --year Y\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using carbonx::tools::ArgParser;
+    const ArgParser args(argc, argv);
+    if (args.positionals().empty()) {
+        usage();
+        return 2;
+    }
+    const std::string &command = args.positionals().front();
+    try {
+        if (command == "sites")
+            return cmdSites();
+        if (command == "regions")
+            return cmdRegions();
+        if (command == "coverage")
+            return cmdCoverage(args);
+        if (command == "optimize")
+            return cmdOptimize(args);
+        if (command == "battery")
+            return cmdBattery(args);
+        if (command == "schedule")
+            return cmdSchedule(args);
+        if (command == "fleet")
+            return cmdFleet(args);
+        std::cerr << "unknown command: " << command << "\n\n";
+        usage();
+        return 2;
+    } catch (const carbonx::Error &e) {
+        std::cerr << "carbonx: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "battery/clc_battery.h"
+#include "obs/metrics.h"
 #include "core/coordinate_descent.h"
 #include "core/explorer.h"
 #include "grid/balancing_authority.h"
@@ -178,4 +181,18 @@ BENCHMARK(BM_BatteryYearOfHourlySteps);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can end with a dump of the
+// metrics registry: phase-level counts (simulation runs, battery
+// steps, design points) land next to every wall-clock trajectory.
+// The table goes to stderr to keep the benchmark's stdout/JSON clean.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    carbonx::obs::MetricsRegistry::instance().writeText(std::cerr);
+    return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace carbonx
 {
@@ -37,6 +38,21 @@ ClcBattery::ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
     content_mwh_ = initial_content_mwh_;
 }
 
+ClcBattery::~ClcBattery()
+{
+    if (charge_calls_ == 0 && discharge_calls_ == 0)
+        return;
+    static auto &c_charge = obs::counter("battery.charge_calls");
+    static auto &c_discharge = obs::counter("battery.discharge_calls");
+    static auto &g_charged = obs::gauge("battery.charged_mwh_total");
+    static auto &g_discharged =
+        obs::gauge("battery.discharged_mwh_total");
+    c_charge.increment(charge_calls_);
+    c_discharge.increment(discharge_calls_);
+    g_charged.add(lifetime_charged_mwh_ + charged_mwh_);
+    g_discharged.add(lifetime_discharged_mwh_ + discharged_mwh_);
+}
+
 double
 ClcBattery::stateOfCharge() const
 {
@@ -60,6 +76,7 @@ ClcBattery::charge(double offered_power_mw, double dt_hours)
 {
     require(offered_power_mw >= 0.0, "charge power must be >= 0");
     require(dt_hours > 0.0, "timestep must be positive");
+    ++charge_calls_;
     if (capacity_mwh_ <= 0.0 || offered_power_mw <= 0.0)
         return 0.0;
 
@@ -84,6 +101,7 @@ ClcBattery::discharge(double requested_power_mw, double dt_hours)
 {
     require(requested_power_mw >= 0.0, "discharge power must be >= 0");
     require(dt_hours > 0.0, "timestep must be positive");
+    ++discharge_calls_;
     if (capacity_mwh_ <= 0.0 || requested_power_mw <= 0.0)
         return 0.0;
 
@@ -109,6 +127,8 @@ void
 ClcBattery::reset()
 {
     content_mwh_ = initial_content_mwh_;
+    lifetime_charged_mwh_ += charged_mwh_;
+    lifetime_discharged_mwh_ += discharged_mwh_;
     charged_mwh_ = 0.0;
     discharged_mwh_ = 0.0;
 }

@@ -18,6 +18,8 @@
 #ifndef CARBONX_BATTERY_CLC_BATTERY_H
 #define CARBONX_BATTERY_CLC_BATTERY_H
 
+#include <cstdint>
+
 #include "battery/battery_model.h"
 #include "battery/chemistry.h"
 
@@ -36,6 +38,9 @@ class ClcBattery : public BatteryModel
      */
     ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
                double initial_soc = -1.0);
+
+    /** Flushes this instance's step counts to the metrics registry. */
+    ~ClcBattery() override;
 
     double capacityMwh() const override { return capacity_mwh_; }
     double energyContentMwh() const override { return content_mwh_; }
@@ -60,6 +65,12 @@ class ClcBattery : public BatteryModel
 
     const BatteryChemistry &chemistry() const { return chemistry_; }
 
+    /** charge() calls over this instance's lifetime (incl. resets). */
+    uint64_t chargeCalls() const { return charge_calls_; }
+
+    /** discharge() calls over this instance's lifetime. */
+    uint64_t dischargeCalls() const { return discharge_calls_; }
+
   private:
     double capacity_mwh_;
     BatteryChemistry chemistry_;
@@ -67,6 +78,14 @@ class ClcBattery : public BatteryModel
     double content_mwh_;
     double charged_mwh_;
     double discharged_mwh_;
+
+    // Step accounting is kept in plain members (the battery is not
+    // shared across threads) and flushed to the process-wide metrics
+    // registry once, in the destructor, so the per-step cost is nil.
+    uint64_t charge_calls_ = 0;
+    uint64_t discharge_calls_ = 0;
+    double lifetime_charged_mwh_ = 0.0;
+    double lifetime_discharged_mwh_ = 0.0;
 };
 
 } // namespace carbonx

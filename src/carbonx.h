@@ -18,6 +18,11 @@
 #include "common/table.h"
 #include "common/units.h"
 
+// Observability: metrics, tracing, sweep progress.
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
+
 // Time series.
 #include "timeseries/calendar.h"
 #include "timeseries/timeseries.h"

@@ -2,6 +2,9 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+
+#include "error.h"
 
 namespace carbonx
 {
@@ -10,6 +13,18 @@ namespace
 {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Serializes sink writes so concurrent messages (e.g. from a future
+// parallel sweep) never interleave mid-line.
+std::mutex g_sink_mutex;
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    const std::string line = std::string(prefix) + msg + '\n';
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::cerr << line;
+}
 
 } // namespace
 
@@ -25,25 +40,40 @@ logLevel()
     return g_level.load(std::memory_order_relaxed);
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "silent")
+        return LogLevel::Silent;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "info" || name == "inform")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    throw UserError("unknown log level '" + name +
+                    "' (silent|warn|info|debug)");
+}
+
 void
 inform(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Inform)
-        std::cerr << "info: " << msg << '\n';
+        emit("info: ", msg);
 }
 
 void
 warn(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << '\n';
+        emit("warn: ", msg);
 }
 
 void
 debugLog(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Debug)
-        std::cerr << "debug: " << msg << '\n';
+        emit("debug: ", msg);
 }
 
 } // namespace carbonx

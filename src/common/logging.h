@@ -2,7 +2,9 @@
  * @file
  * Lightweight status logging, modeled on gem5's inform/warn split.
  * Messages go to stderr so that benchmark harness stdout stays a clean,
- * parseable reproduction of the paper's tables and series.
+ * parseable reproduction of the paper's tables and series. The level
+ * is atomic and sink writes are serialized, so logging is safe from
+ * concurrent sweep threads.
  */
 
 #ifndef CARBONX_COMMON_LOGGING_H
@@ -27,6 +29,12 @@ void setLogLevel(LogLevel level);
 
 /** Current process-wide log level. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name (silent|warn|info|debug); throws UserError on
+ * anything else. "inform" is accepted as an alias of "info".
+ */
+LogLevel parseLogLevel(const std::string &name);
 
 /** Status message for normal operation; no connotation of a problem. */
 void inform(const std::string &msg);

@@ -1,6 +1,7 @@
 #include "explorer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -9,7 +10,10 @@
 #include "common/error.h"
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/table.h"
 #include "grid/balancing_authority.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carbonx
 {
@@ -63,6 +67,9 @@ loadFromExternal(const ExternalTraces &traces)
 ExternalTraces
 ExternalTraces::fromCsv(const std::string &path, int year)
 {
+    CARBONX_SPAN("explorer/load_external_traces");
+    inform("loading external traces from " + path +
+           "; solar/wind columns are rescaled to per-unit shapes");
     const CsvTable csv = CsvTable::readFile(path);
     const HourlyCalendar calendar(year);
     require(csv.numRows() == calendar.hoursInYear(),
@@ -147,6 +154,13 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
     double wind_attr = wind_gen_mwh;
     if (config_.attribution == RenewableAttribution::ConsumedEnergy) {
         const double total_gen = solar_gen_mwh + wind_gen_mwh;
+        if (total_gen > 0.0 &&
+            sim.renewable_used_mwh > total_gen * (1.0 + 1e-9)) {
+            warn("renewable energy used exceeds farm generation (" +
+                 formatFixed(sim.renewable_used_mwh, 1) + " > " +
+                 formatFixed(total_gen, 1) +
+                 " MWh); clamping attribution to the whole farm");
+        }
         const double used_fraction = total_gen > 0.0
             ? std::min(sim.renewable_used_mwh / total_gen, 1.0)
             : 0.0;
@@ -182,6 +196,8 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
 SimulationResult
 CarbonExplorer::simulate(const DesignPoint &point, Strategy strategy) const
 {
+    CARBONX_SPAN("explorer/simulate");
+    obs::counter("explorer.simulations").increment();
     const TimeSeries supply =
         coverage_.supplyFor(point.solar_mw, point.wind_mw);
     const SimulationEngine engine(load_trace_.power, supply);
@@ -197,12 +213,27 @@ CarbonExplorer::simulate(const DesignPoint &point, Strategy strategy) const
 Evaluation
 CarbonExplorer::evaluate(const DesignPoint &point, Strategy strategy) const
 {
+    CARBONX_SPAN("explorer/evaluate");
+    obs::counter("explorer.evaluations").increment();
     return evaluationFrom(point, strategy, simulate(point, strategy));
 }
 
 OptimizationResult
 CarbonExplorer::optimize(const DesignSpace &space, Strategy strategy) const
 {
+    return optimizePass(space, strategy, 0);
+}
+
+OptimizationResult
+CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
+                             int pass) const
+{
+    CARBONX_SPAN("explorer/optimize");
+    static auto &c_passes = obs::counter("explorer.optimize_passes");
+    static auto &c_points = obs::counter("explorer.points_evaluated");
+    static auto &h_point = obs::latency("explorer.point_eval_us");
+    c_passes.increment();
+
     OptimizationResult result;
     result.evaluated.reserve(space.sizeFor(strategy));
 
@@ -214,6 +245,11 @@ CarbonExplorer::optimize(const DesignSpace &space, Strategy strategy) const
     const std::vector<double> extras = strategyUsesCas(strategy)
         ? space.extra_capacity.samples()
         : std::vector<double>{0.0};
+
+    obs::SweepProgress progress;
+    progress.pass = pass;
+    progress.points_total = space.sizeFor(strategy);
+    const auto sweep_start = std::chrono::steady_clock::now();
 
     bool have_best = false;
     for (double s : solars) {
@@ -230,16 +266,37 @@ CarbonExplorer::optimize(const DesignSpace &space, Strategy strategy) const
                 }
                 for (double x : extras) {
                     const DesignPoint point{s, w, b, x};
-                    const SimulationResult sim = engine.run(
-                        simulationConfig(point, strategy, battery.get()));
-                    Evaluation eval =
-                        evaluationFrom(point, strategy, sim);
+                    Evaluation eval;
+                    {
+                        CARBONX_SPAN("explorer/evaluate_point");
+                        const obs::LatencyTimer timer(h_point);
+                        const SimulationResult sim = engine.run(
+                            simulationConfig(point, strategy,
+                                             battery.get()));
+                        eval = evaluationFrom(point, strategy, sim);
+                    }
+                    c_points.increment();
                     if (!have_best ||
                         eval.totalKg() < result.best.totalKg()) {
                         result.best = eval;
                         have_best = true;
                     }
                     result.evaluated.push_back(std::move(eval));
+
+                    if (progress_) {
+                        ++progress.points_done;
+                        progress.best_total_kg = result.best.totalKg();
+                        const std::chrono::duration<double> elapsed =
+                            std::chrono::steady_clock::now() -
+                            sweep_start;
+                        progress.elapsed_seconds = elapsed.count();
+                        const double mean_s = progress.elapsed_seconds /
+                            static_cast<double>(progress.points_done);
+                        progress.eta_seconds = mean_s *
+                            static_cast<double>(progress.points_total -
+                                                progress.points_done);
+                        progress_(progress);
+                    }
                 }
             }
         }
@@ -268,7 +325,8 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
                                 Strategy strategy, int rounds) const
 {
     require(rounds >= 0, "refinement rounds must be >= 0");
-    OptimizationResult result = optimize(space, strategy);
+    CARBONX_SPAN("explorer/optimize_refined");
+    OptimizationResult result = optimizePass(space, strategy, 0);
 
     DesignSpace current = space;
     for (int round = 0; round < rounds; ++round) {
@@ -299,9 +357,15 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
                                       current.extra_capacity,
                                       best.extra_capacity);
 
-        OptimizationResult pass = optimize(current, strategy);
-        if (pass.best.totalKg() < result.best.totalKg())
+        OptimizationResult pass =
+            optimizePass(current, strategy, round + 1);
+        obs::counter("explorer.refine_rounds").increment();
+        if (pass.best.totalKg() < result.best.totalKg()) {
+            inform("refinement round " + std::to_string(round + 1) +
+                   " improved best total carbon to " +
+                   formatFixed(pass.best.totalKg(), 0) + " kg");
             result.best = pass.best;
+        }
         for (auto &e : pass.evaluated)
             result.evaluated.push_back(std::move(e));
     }
@@ -313,6 +377,7 @@ CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
                                           double target_pct,
                                           double max_mwh) const
 {
+    CARBONX_SPAN("explorer/min_battery_bisect");
     if (max_mwh < 0.0)
         max_mwh = 100.0 * config_.avg_dc_power_mw;
 
@@ -329,8 +394,12 @@ CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
         return engine.run(sim).coverage_pct;
     };
 
-    if (coverageAt(max_mwh) < target_pct)
+    if (coverageAt(max_mwh) < target_pct) {
+        warn("coverage target " + formatFixed(target_pct, 3) +
+             "% unreachable with batteries up to " +
+             formatFixed(max_mwh, 0) + " MWh; returning -1");
         return -1.0;
+    }
     double lo = 0.0;
     double hi = max_mwh;
     for (int iter = 0; iter < 50; ++iter) {
@@ -349,6 +418,7 @@ CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
                                                 double target_pct,
                                                 double max_extra) const
 {
+    CARBONX_SPAN("explorer/min_extra_capacity_bisect");
     const TimeSeries supply = coverage_.supplyFor(solar_mw, wind_mw);
     const SimulationEngine engine(load_trace_.power, supply);
 
@@ -360,8 +430,12 @@ CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
         return engine.run(sim).coverage_pct;
     };
 
-    if (coverageAt(max_extra) < target_pct)
+    if (coverageAt(max_extra) < target_pct) {
+        warn("coverage target " + formatFixed(target_pct, 3) +
+             "% unreachable with extra capacity up to " +
+             formatFixed(100.0 * max_extra, 0) + "%; returning -1");
         return -1.0;
+    }
     double lo = 0.0;
     double hi = max_extra;
     for (int iter = 0; iter < 50; ++iter) {

@@ -27,6 +27,7 @@
 #include "core/pareto.h"
 #include "datacenter/load_model.h"
 #include "grid/grid_synthesizer.h"
+#include "obs/progress.h"
 #include "scheduler/simulation_engine.h"
 
 namespace carbonx
@@ -219,6 +220,17 @@ class CarbonExplorer
                                            double target_pct = 99.999,
                                            double max_extra = 4.0) const;
 
+    /**
+     * Observe sweep progress: @p callback fires after every design
+     * point an optimize()/optimizeRefined() pass evaluates. Pass an
+     * empty function to detach. The callback must not throw; it runs
+     * on the sweeping thread.
+     */
+    void setProgressCallback(obs::ProgressCallback callback)
+    {
+        progress_ = std::move(callback);
+    }
+
     const ExplorerConfig &config() const { return config_; }
     const GridTrace &gridTrace() const { return grid_trace_; }
     const TimeSeries &dcPower() const { return load_trace_.power; }
@@ -227,6 +239,10 @@ class CarbonExplorer
     double dcPeakPowerMw() const { return peak_power_mw_; }
 
   private:
+    /** One exhaustive pass; @p pass tags progress reports. */
+    OptimizationResult optimizePass(const DesignSpace &space,
+                                    Strategy strategy, int pass) const;
+
     SimulationConfig
     simulationConfig(const DesignPoint &point, Strategy strategy,
                      BatteryModel *battery) const;
@@ -243,6 +259,7 @@ class CarbonExplorer
     CoverageAnalyzer coverage_;
     EmbodiedCarbonModel embodied_;
     double peak_power_mw_;
+    obs::ProgressCallback progress_;
 };
 
 } // namespace carbonx

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <string>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carbonx
 {
@@ -29,6 +33,7 @@ GridSynthesizer::GridSynthesizer(const BalancingAuthorityProfile &profile,
 TimeSeries
 GridSynthesizer::synthesizeDemand(int year) const
 {
+    CARBONX_SPAN("grid/synthesize_demand");
     TimeSeries out(year);
     const HourlyCalendar &cal = out.calendar();
     Rng noise(seed_, "grid-demand");
@@ -53,6 +58,7 @@ GridSynthesizer::synthesizeDemand(int year) const
     const double rho = std::exp(-1.0 / 36.0);
     const double innovation = noise_sd * std::sqrt(1.0 - rho * rho);
 
+    size_t floored_hours = 0;
     for (size_t h = 0; h < out.size(); ++h) {
         const double day = static_cast<double>(h) / 24.0;
         const double hour = static_cast<double>(h % 24);
@@ -63,7 +69,14 @@ GridSynthesizer::synthesizeDemand(int year) const
             std::cos(2.0 * std::numbers::pi * (hour - 18.0) / 24.0);
         dev = rho * dev + noise.normal(0.0, innovation);
         const double value = mid * (1.0 + seasonal + diurnal + dev);
+        if (value < 0.25 * d.min_mw)
+            ++floored_hours;
         out[h] = std::max(value, 0.25 * d.min_mw);
+    }
+    if (floored_hours > 0) {
+        warn("grid demand for " + profile_.code + " floored at 25% of "
+             "minimum in " + std::to_string(floored_hours) +
+             " hours; the noise process drifted unusually low");
     }
     return out;
 }
@@ -73,6 +86,12 @@ GridSynthesizer::synthesize(int year, double renewable_scale) const
 {
     require(renewable_scale >= 0.0,
             "renewable scale must be non-negative");
+
+    CARBONX_SPAN("grid/synthesize");
+    static auto &c_calls = obs::counter("grid.synthesize_calls");
+    static auto &h_synth = obs::latency("grid.synthesize_us");
+    const obs::LatencyTimer timer(h_synth);
+    c_calls.increment();
 
     GridTrace trace(year);
     trace.demand = synthesizeDemand(year);
@@ -88,6 +107,7 @@ GridSynthesizer::synthesize(int year, double renewable_scale) const
     const double wind_cap = cap(Fuel::Wind) * renewable_scale;
     const double solar_cap = cap(Fuel::Solar) * renewable_scale;
 
+    size_t peaker_hours = 0;
     for (size_t h = 0; h < trace.demand.size(); ++h) {
         const double demand = trace.demand[h];
         double remaining = demand;
@@ -135,7 +155,15 @@ GridSynthesizer::synthesize(int year, double renewable_scale) const
         remaining -= other;
 
         // Oil peakers balance whatever is left so load is always met.
+        if (remaining > 0.0)
+            ++peaker_hours;
         trace.mix.of(Fuel::Oil)[h] = std::max(remaining, 0.0);
+    }
+
+    if (peaker_hours > 0) {
+        inform("dispatch stack for " + profile_.code +
+               " exhausted in " + std::to_string(peaker_hours) +
+               " hours; oil peakers balanced the residual demand");
     }
 
     trace.intensity = trace.mix.carbonIntensity();

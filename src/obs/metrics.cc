@@ -1,0 +1,302 @@
+#include "metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace carbonx::obs
+{
+
+namespace
+{
+
+// Log10(us) range of the latency bins: 1 us .. 10 s. Samples outside
+// clamp into the edge bins (Histogram semantics); min/max stay exact.
+constexpr double kLogLoUs = 0.0;
+constexpr double kLogHiUs = 7.0;
+constexpr size_t kLogBins = 28;
+
+/** Escape a string for embedding in a JSON double-quoted literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Render a double as JSON (finite; shortest round-trippable-ish). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(15);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : log_bins_(kLogLoUs, kLogHiUs, kLogBins)
+{
+}
+
+void
+LatencyHistogram::record(double us)
+{
+    us = std::max(us, 0.0);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    log_bins_.add(std::log10(std::max(us, 1e-3)));
+    if (count_ == 0 || us < min_us_)
+        min_us_ = us;
+    if (count_ == 0 || us > max_us_)
+        max_us_ = us;
+    sum_us_ += us;
+    ++count_;
+}
+
+uint64_t
+LatencyHistogram::count() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+LatencyHistogram::totalUs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sum_us_;
+}
+
+double
+LatencyHistogram::minUs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return min_us_;
+}
+
+double
+LatencyHistogram::maxUs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_us_;
+}
+
+double
+LatencyHistogram::meanUs() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
+}
+
+std::vector<LatencyHistogram::Bin>
+LatencyHistogram::bins() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Bin> out;
+    for (size_t b = 0; b < log_bins_.numBins(); ++b) {
+        if (log_bins_.count(b) == 0)
+            continue;
+        out.push_back(Bin{std::pow(10.0, log_bins_.lowerEdge(b)),
+                          std::pow(10.0, log_bins_.upperEdge(b)),
+                          log_bins_.count(b)});
+    }
+    return out;
+}
+
+void
+LatencyHistogram::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    log_bins_ = Histogram(kLogLoUs, kLogHiUs, kLogBins);
+    count_ = 0;
+    sum_us_ = 0.0;
+    min_us_ = 0.0;
+    max_us_ = 0.0;
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked on purpose so instrument references stay valid in static
+    // destructors (e.g. batteries flushing counts at program exit).
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return gauges_[name];
+}
+
+LatencyHistogram &
+MetricsRegistry::latency(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return latencies_[name];
+}
+
+void
+MetricsRegistry::writeText(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TextTable table("Metrics registry",
+                    {"Kind", "Name", "Count/Value", "Mean us", "Min us",
+                     "Max us"});
+    for (const auto &[name, c] : counters_) {
+        table.addRow({"counter", name, std::to_string(c.value()), "-",
+                      "-", "-"});
+    }
+    for (const auto &[name, g] : gauges_) {
+        table.addRow({"gauge", name, formatFixed(g.value(), 3), "-",
+                      "-", "-"});
+    }
+    for (const auto &[name, h] : latencies_) {
+        table.addRow({"latency", name, std::to_string(h.count()),
+                      formatFixed(h.meanUs(), 1),
+                      formatFixed(h.minUs(), 1),
+                      formatFixed(h.maxUs(), 1)});
+    }
+    table.print(os);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": " << jsonNumber(g.value());
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"latencies\": {";
+    first = true;
+    for (const auto &[name, h] : latencies_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count()
+           << ", \"total_us\": " << jsonNumber(h.totalUs())
+           << ", \"min_us\": " << jsonNumber(h.minUs())
+           << ", \"max_us\": " << jsonNumber(h.maxUs())
+           << ", \"mean_us\": " << jsonNumber(h.meanUs())
+           << ", \"bins\": [";
+        bool first_bin = true;
+        for (const auto &bin : h.bins()) {
+            os << (first_bin ? "" : ", ") << "{\"lo_us\": "
+               << jsonNumber(bin.lo_us) << ", \"hi_us\": "
+               << jsonNumber(bin.hi_us) << ", \"count\": " << bin.count
+               << "}";
+            first_bin = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os << "kind,name,field,value\n";
+    for (const auto &[name, c] : counters_)
+        os << "counter," << name << ",value," << c.value() << '\n';
+    for (const auto &[name, g] : gauges_)
+        os << "gauge," << name << ",value," << jsonNumber(g.value())
+           << '\n';
+    for (const auto &[name, h] : latencies_) {
+        os << "latency," << name << ",count," << h.count() << '\n'
+           << "latency," << name << ",total_us,"
+           << jsonNumber(h.totalUs()) << '\n'
+           << "latency," << name << ",min_us," << jsonNumber(h.minUs())
+           << '\n'
+           << "latency," << name << ",max_us," << jsonNumber(h.maxUs())
+           << '\n'
+           << "latency," << name << ",mean_us,"
+           << jsonNumber(h.meanUs()) << '\n';
+    }
+}
+
+void
+MetricsRegistry::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open metrics output file: " + path);
+    if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0)
+        writeJson(out);
+    else if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        writeCsv(out);
+    else
+        writeText(out);
+    require(out.good(), "failed writing metrics output file: " + path);
+}
+
+void
+MetricsRegistry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, g] : gauges_)
+        g.reset();
+    for (auto &[name, h] : latencies_)
+        h.reset();
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && latencies_.empty();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return MetricsRegistry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return MetricsRegistry::instance().gauge(name);
+}
+
+LatencyHistogram &
+latency(const std::string &name)
+{
+    return MetricsRegistry::instance().latency(name);
+}
+
+} // namespace carbonx::obs

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep progress reporting for the design-space search. The explorer
+ * invokes a user-supplied callback after every evaluated design point
+ * so front ends (the CLI, notebooks, dashboards) can render progress
+ * without the library choosing a presentation.
+ */
+
+#ifndef CARBONX_OBS_PROGRESS_H
+#define CARBONX_OBS_PROGRESS_H
+
+#include <cstddef>
+#include <functional>
+
+namespace carbonx::obs
+{
+
+/** Snapshot of one exhaustive-search pass, sent after each point. */
+struct SweepProgress
+{
+    /** Refinement pass: 0 is the initial coarse sweep. */
+    int pass = 0;
+
+    /** Design points evaluated so far in this pass. */
+    size_t points_done = 0;
+
+    /** Design points this pass will evaluate in total. */
+    size_t points_total = 0;
+
+    /** Lowest total (operational + embodied) carbon so far (kg). */
+    double best_total_kg = 0.0;
+
+    /** Wall time since the pass started (seconds). */
+    double elapsed_seconds = 0.0;
+
+    /**
+     * Remaining wall time extrapolated from the mean per-point cost;
+     * negative while unknown (no point finished yet).
+     */
+    double eta_seconds = -1.0;
+
+    double fractionDone() const
+    {
+        return points_total > 0
+            ? static_cast<double>(points_done) /
+                  static_cast<double>(points_total)
+            : 0.0;
+    }
+};
+
+/** Invoked after every evaluated point; must not throw. */
+using ProgressCallback = std::function<void(const SweepProgress &)>;
+
+} // namespace carbonx::obs
+
+#endif // CARBONX_OBS_PROGRESS_H

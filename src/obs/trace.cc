@@ -1,0 +1,134 @@
+#include "trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "common/error.h"
+
+namespace carbonx::obs
+{
+
+namespace
+{
+
+/** One open span on the calling thread. */
+struct OpenSpan
+{
+    const char *name;
+    uint64_t start_us;
+};
+
+thread_local std::vector<OpenSpan> t_stack;
+
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+/** Escape a span name for a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+SpanTracer &
+SpanTracer::instance()
+{
+    // Leaked so spans in static destructors never touch a dead tracer.
+    static SpanTracer *tracer = new SpanTracer();
+    return *tracer;
+}
+
+uint64_t
+SpanTracer::nowUs() const
+{
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - epoch_);
+    return static_cast<uint64_t>(ns.count() / 1000);
+}
+
+void
+SpanTracer::beginSpan(const char *name)
+{
+    t_stack.push_back(OpenSpan{name, nowUs()});
+}
+
+void
+SpanTracer::endSpan()
+{
+    ensure(!t_stack.empty(), "endSpan without a matching beginSpan");
+    const OpenSpan open = t_stack.back();
+    t_stack.pop_back();
+    const uint64_t end_us = nowUs();
+    Event event;
+    event.name = open.name;
+    event.ts_us = open.start_us;
+    event.dur_us = end_us > open.start_us ? end_us - open.start_us : 0;
+    event.tid = threadId();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+size_t
+SpanTracer::eventCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+size_t
+SpanTracer::openSpanDepth() const
+{
+    return t_stack.size();
+}
+
+void
+SpanTracer::writeChromeTrace(std::ostream &os) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : events_) {
+        os << (first ? "" : ",") << "\n  {\"name\": \""
+           << jsonEscape(e.name)
+           << "\", \"cat\": \"carbonx\", \"ph\": \"X\", \"ts\": "
+           << e.ts_us << ", \"dur\": " << e.dur_us
+           << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+        first = false;
+    }
+    os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+void
+SpanTracer::writeChromeTraceFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open trace output file: " + path);
+    writeChromeTrace(out);
+    require(out.good(), "failed writing trace output file: " + path);
+}
+
+void
+SpanTracer::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+} // namespace carbonx::obs

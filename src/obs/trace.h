@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Scoped span tracing with Chrome trace_event JSON export.
+ *
+ * Usage:
+ *
+ *     void CarbonExplorer::evaluate(...) {
+ *         CARBONX_SPAN("explorer/evaluate");
+ *         ...
+ *     }
+ *
+ * Spans form a parent/child hierarchy through lexical nesting on each
+ * thread; the exported file loads directly in chrome://tracing or
+ * https://ui.perfetto.dev. The tracer is disabled by default and a
+ * disabled span costs one relaxed atomic load — cheap enough to leave
+ * in release hot paths.
+ */
+
+#ifndef CARBONX_OBS_TRACE_H
+#define CARBONX_OBS_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace carbonx::obs
+{
+
+/** Process-wide collector of completed spans. */
+class SpanTracer
+{
+  public:
+    static SpanTracer &instance();
+
+    /** Enable/disable collection; disabling keeps recorded spans. */
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Open a span on the calling thread. Must be paired with
+     * endSpan() on the same thread; prefer CARBONX_SPAN, which
+     * guarantees the pairing.
+     */
+    void beginSpan(const char *name);
+
+    /** Close the innermost open span of the calling thread. */
+    void endSpan();
+
+    /** Completed spans recorded so far. */
+    size_t eventCount() const;
+
+    /** Depth of the calling thread's open-span stack. */
+    size_t openSpanDepth() const;
+
+    /** Chrome trace_event JSON ("X" complete events). */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** Write the Chrome trace JSON to @p path. */
+    void writeChromeTraceFile(const std::string &path) const;
+
+    /** Drop all recorded spans. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        std::string name;
+        uint64_t ts_us = 0;  ///< Start, relative to tracer epoch.
+        uint64_t dur_us = 0; ///< Wall duration.
+        uint32_t tid = 0;    ///< Small per-thread id.
+    };
+
+    SpanTracer();
+
+    uint64_t nowUs() const;
+
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+};
+
+/**
+ * RAII span: opens on construction when tracing is enabled, closes on
+ * destruction. Captures the enabled state at construction so that
+ * toggling mid-span cannot unbalance the stack.
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * @param name Span label; a string literal (the pointer must stay
+     *        valid until the span closes).
+     * @param condition Extra gate; the span records only when tracing
+     *        is enabled and this is true.
+     */
+    explicit ScopedSpan(const char *name, bool condition = true)
+        : active_(condition && SpanTracer::instance().enabled())
+    {
+        if (active_)
+            SpanTracer::instance().beginSpan(name);
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (active_)
+            SpanTracer::instance().endSpan();
+    }
+
+  private:
+    bool active_;
+};
+
+#define CARBONX_SPAN_CONCAT2(a, b) a##b
+#define CARBONX_SPAN_CONCAT(a, b) CARBONX_SPAN_CONCAT2(a, b)
+
+/** Trace the enclosing scope as one span named @p name. */
+#define CARBONX_SPAN(...)                                             \
+    ::carbonx::obs::ScopedSpan CARBONX_SPAN_CONCAT(carbonx_span_,     \
+                                                   __LINE__)(__VA_ARGS__)
+
+} // namespace carbonx::obs
+
+#endif // CARBONX_OBS_TRACE_H

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carbonx
 {
@@ -30,9 +32,18 @@ GreedyCarbonScheduler::schedule(const TimeSeries &dc_power,
     require(dc_power.max() <= config_.capacity_cap_mw + 1e-9,
             "existing load already exceeds the capacity cap");
 
-    if (config_.slo_window_hours >= 24.0)
-        return scheduleDaily(dc_power, cost_signal);
-    return scheduleWindowed(dc_power, cost_signal);
+    CARBONX_SPAN("scheduler/greedy");
+    static auto &c_runs = obs::counter("scheduler.greedy_runs");
+    static auto &g_moved = obs::gauge("scheduler.moved_mwh_total");
+    static auto &h_run = obs::latency("scheduler.greedy_us");
+    const obs::LatencyTimer timer(h_run);
+    c_runs.increment();
+
+    ScheduleResult result = config_.slo_window_hours >= 24.0
+        ? scheduleDaily(dc_power, cost_signal)
+        : scheduleWindowed(dc_power, cost_signal);
+    g_moved.add(result.moved_mwh);
+    return result;
 }
 
 ScheduleResult

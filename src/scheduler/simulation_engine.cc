@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carbonx
 {
@@ -47,6 +49,12 @@ struct BacklogEntry
 SimulationResult
 SimulationEngine::run(const SimulationConfig &config) const
 {
+    CARBONX_SPAN("sim/run");
+    static auto &c_runs = obs::counter("sim.runs");
+    static auto &c_hours = obs::counter("sim.hours_simulated");
+    static auto &h_run = obs::latency("sim.run_us");
+    const obs::LatencyTimer run_timer(h_run);
+
     require(config.capacity_cap_mw >= dc_power_.max() - 1e-9,
             "capacity cap below the load peak");
     require(config.flexible_ratio >= 0.0 && config.flexible_ratio <= 1.0,
@@ -79,6 +87,11 @@ SimulationEngine::run(const SimulationConfig &config) const
 
     std::deque<BacklogEntry> backlog;
     double backlog_mwh = 0.0;
+
+    // The battery-stepping portion of the hourly loop gets its own
+    // nested span so traces attribute storage cost separately.
+    CARBONX_SPAN("sim/hourly_loop");
+    CARBONX_SPAN("battery/clc_step_loop", battery != nullptr);
 
     for (size_t h = 0; h < n; ++h) {
         const double load = dc_power_[h];
@@ -219,6 +232,9 @@ SimulationEngine::run(const SimulationConfig &config) const
         result.max_backlog_mwh = std::max(result.max_backlog_mwh,
                                           backlog_mwh);
     }
+
+    c_runs.increment();
+    c_hours.increment(n);
 
     result.residual_backlog_mwh = backlog_mwh;
     result.peak_power_mw = result.served_power.max();

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace carbonx
 {
@@ -22,6 +24,9 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
             "power and cost series must cover the same year");
     require(dc_power.max() <= capacity_cap_mw_ + 1e-9,
             "existing load already exceeds the capacity cap");
+
+    CARBONX_SPAN("scheduler/tiered");
+    obs::counter("scheduler.tiered_runs").increment();
 
     const size_t n = dc_power.size();
     TieredScheduleResult result(dc_power.year());

@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 namespace
@@ -39,6 +41,51 @@ runCli(const std::string &args)
     const int status = pclose(pipe);
     result.exit_code = WEXITSTATUS(status);
     return result;
+}
+
+/** Like CliRun, but with stdout and stderr captured separately. */
+struct CliRunSplit
+{
+    int exit_code = -1;
+    std::string out;
+    std::string err;
+};
+
+CliRunSplit
+runCliSplit(const std::string &args)
+{
+    CliRunSplit result;
+    const std::string err_path =
+        ::testing::UnitTest::GetInstance()
+            ->current_test_info()
+            ->name() +
+        std::string(".stderr.txt");
+    const std::string command =
+        std::string(kCliPath) + " " + args + " 2>" + err_path;
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        result.out += buffer.data();
+    const int status = pclose(pipe);
+    result.exit_code = WEXITSTATUS(status);
+
+    std::ifstream err_file(err_path);
+    std::ostringstream err;
+    err << err_file.rdbuf();
+    result.err = err.str();
+    std::remove(err_path.c_str());
+    return result;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
 }
 
 bool
@@ -135,6 +182,70 @@ TEST(Cli, UnknownRegionFailsGracefully)
     EXPECT_EQ(run.exit_code, 1);
     EXPECT_NE(run.output.find("unknown balancing authority"),
               std::string::npos);
+}
+
+TEST(Cli, OptimizeProgressRendersOnStderrOnly)
+{
+    REQUIRE_CLI();
+    const CliRunSplit run = runCliSplit(
+        "optimize --ba PACE --dc 19 --strategy ren --progress");
+    EXPECT_EQ(run.exit_code, 0);
+
+    // Progress lines go to stderr with counts, best-so-far, and ETA.
+    EXPECT_NE(run.err.find("progress: pass 0"), std::string::npos);
+    EXPECT_NE(run.err.find("points, best"), std::string::npos);
+    EXPECT_NE(run.err.find("tCO2, eta"), std::string::npos);
+
+    // stdout stays a clean parseable table, untouched by progress.
+    EXPECT_NE(run.out.find("Carbon-optimal designs"),
+              std::string::npos);
+    EXPECT_EQ(run.out.find("progress:"), std::string::npos);
+}
+
+TEST(Cli, OptimizeWritesMetricsAndTraceFiles)
+{
+    REQUIRE_CLI();
+    const std::string metrics_path = "cli_obs_metrics.json";
+    const std::string trace_path = "cli_obs_trace.json";
+    const CliRunSplit run = runCliSplit(
+        "optimize --ba PACE --dc 19 --strategy ren --metrics-out " +
+        metrics_path + " --trace-out " + trace_path);
+    EXPECT_EQ(run.exit_code, 0);
+
+    const std::string metrics = readFile(metrics_path);
+    EXPECT_NE(metrics.find("\"explorer.points_evaluated\""),
+              std::string::npos);
+    EXPECT_NE(metrics.find("\"sim.runs\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"explorer.point_eval_us\""),
+              std::string::npos);
+
+    const std::string trace = readFile(trace_path);
+    EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(trace.find("explorer/optimize"), std::string::npos);
+    EXPECT_NE(trace.find("explorer/evaluate_point"),
+              std::string::npos);
+    EXPECT_NE(trace.find("grid/synthesize"), std::string::npos);
+    EXPECT_NE(trace.find("sim/run"), std::string::npos);
+
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+TEST(Cli, BadLogLevelFailsGracefully)
+{
+    REQUIRE_CLI();
+    const CliRun run = runCli("sites --log-level loud");
+    EXPECT_EQ(run.exit_code, 1);
+    EXPECT_NE(run.output.find("unknown log level"), std::string::npos);
+}
+
+TEST(Cli, FractionalSeedIsRejected)
+{
+    REQUIRE_CLI();
+    const CliRun run =
+        runCli("coverage --ba PACE --dc 19 --seed 2020.5");
+    EXPECT_EQ(run.exit_code, 1);
+    EXPECT_NE(run.output.find("--seed"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the metrics registry: counter/gauge/latency semantics,
+ * text/JSON/CSV dumps, and thread-safety of concurrent increments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace carbonx::obs
+{
+namespace
+{
+
+/**
+ * Extract the numeric token following "\"<key>\": " in a JSON dump.
+ * Minimal on purpose — our writer emits one key per line.
+ */
+double
+jsonNumberAfter(const std::string &json, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const size_t pos = json.find(needle);
+    EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::stod(json.substr(pos + needle.size()));
+}
+
+TEST(Metrics, CounterIncrementsMonotonically)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.increment(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd)
+{
+    Gauge g;
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(1.25);
+    g.add(-0.75);
+    EXPECT_DOUBLE_EQ(g.value(), 3.0);
+    g.set(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(Metrics, LatencyHistogramTracksExactSummary)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanUs(), 0.0);
+
+    h.record(10.0);
+    h.record(100.0);
+    h.record(1000.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.totalUs(), 1110.0);
+    EXPECT_DOUBLE_EQ(h.minUs(), 10.0);
+    EXPECT_DOUBLE_EQ(h.maxUs(), 1000.0);
+    EXPECT_DOUBLE_EQ(h.meanUs(), 370.0);
+
+    // Three decades apart -> three distinct non-empty bins.
+    const auto bins = h.bins();
+    ASSERT_EQ(bins.size(), 3u);
+    uint64_t total = 0;
+    for (const auto &bin : bins) {
+        EXPECT_LT(bin.lo_us, bin.hi_us);
+        total += bin.count;
+    }
+    EXPECT_EQ(total, 3u);
+}
+
+TEST(Metrics, LatencyHistogramClampsOutliersIntoEdgeBins)
+{
+    LatencyHistogram h;
+    h.record(0.0);    // Below the 1 us bin floor.
+    h.record(1e9);    // Above the 10 s bin ceiling (1000 s).
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.minUs(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxUs(), 1e9);
+    uint64_t total = 0;
+    for (const auto &bin : h.bins())
+        total += bin.count;
+    EXPECT_EQ(total, 2u);
+}
+
+TEST(Metrics, RegistryReturnsStableNamedInstruments)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+
+    Counter &a = registry.counter("test.stable");
+    a.increment(7);
+    Counter &b = registry.counter("test.stable");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 7u);
+
+    // reset() zeroes in place; the reference must stay usable.
+    registry.reset();
+    EXPECT_EQ(a.value(), 0u);
+    a.increment();
+    EXPECT_EQ(registry.counter("test.stable").value(), 1u);
+}
+
+TEST(Metrics, JsonDumpRoundTripsValues)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.json_counter").increment(123);
+    registry.gauge("test.json_gauge").set(45.5);
+    registry.latency("test.json_latency").record(250.0);
+    registry.latency("test.json_latency").record(750.0);
+
+    std::ostringstream os;
+    registry.writeJson(os);
+    const std::string json = os.str();
+
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json, "test.json_counter"), 123.0);
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json, "test.json_gauge"), 45.5);
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json, "count"), 2.0);
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json, "total_us"), 1000.0);
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json, "mean_us"), 500.0);
+
+    // Structural sanity: one object, balanced braces and brackets.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Metrics, TextAndCsvDumpsContainEveryInstrument)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.dump_counter").increment(5);
+    registry.gauge("test.dump_gauge").set(1.5);
+    registry.latency("test.dump_latency").record(10.0);
+
+    std::ostringstream text;
+    registry.writeText(text);
+    EXPECT_NE(text.str().find("test.dump_counter"), std::string::npos);
+    EXPECT_NE(text.str().find("test.dump_gauge"), std::string::npos);
+    EXPECT_NE(text.str().find("test.dump_latency"), std::string::npos);
+
+    std::ostringstream csv;
+    registry.writeCsv(csv);
+    EXPECT_NE(csv.str().find("kind,name,field,value"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("counter,test.dump_counter,value,5"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("latency,test.dump_latency,count,1"),
+              std::string::npos);
+}
+
+TEST(Metrics, ConcurrentIncrementsLoseNothing)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            // Mix lookups and updates so registration races are
+            // exercised too, not just the atomic adds.
+            auto &c = registry.counter("test.concurrent_counter");
+            auto &g = registry.gauge("test.concurrent_gauge");
+            auto &h = registry.latency("test.concurrent_latency");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.increment();
+                g.add(0.5);
+                if (i % 100 == 0)
+                    h.record(static_cast<double>(i % 1000) + 1.0);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(registry.counter("test.concurrent_counter").value(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(registry.gauge("test.concurrent_gauge").value(),
+                     0.5 * kThreads * kPerThread);
+    EXPECT_EQ(registry.latency("test.concurrent_latency").count(),
+              static_cast<uint64_t>(kThreads) * (kPerThread / 100));
+}
+
+} // namespace
+} // namespace carbonx::obs

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the span tracer: disabled-by-default no-op behaviour, span
+ * nesting, and the Chrome trace_event JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace carbonx::obs
+{
+namespace
+{
+
+/** One parsed "X" event from the Chrome trace JSON. */
+struct ParsedEvent
+{
+    std::string name;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    uint64_t end() const { return ts + dur; }
+};
+
+uint64_t
+numberAfter(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\": ";
+    const size_t pos = line.find(needle);
+    EXPECT_NE(pos, std::string::npos) << "missing " << key << " in "
+                                      << line;
+    if (pos == std::string::npos)
+        return 0;
+    return std::stoull(line.substr(pos + needle.size()));
+}
+
+/** Parse the one-event-per-line JSON our writer emits. */
+std::vector<ParsedEvent>
+parseTrace(const std::string &json)
+{
+    std::vector<ParsedEvent> events;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const size_t name_pos = line.find("{\"name\": \"");
+        if (name_pos == std::string::npos)
+            continue;
+        ParsedEvent e;
+        const size_t name_start = name_pos + 10;
+        e.name = line.substr(name_start,
+                             line.find('"', name_start) - name_start);
+        e.ts = numberAfter(line, "ts");
+        e.dur = numberAfter(line, "dur");
+        events.push_back(std::move(e));
+    }
+    return events;
+}
+
+/** Fresh tracer state for every test; registries are process-wide. */
+class Trace : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        SpanTracer::instance().setEnabled(false);
+        SpanTracer::instance().clear();
+    }
+
+    void TearDown() override
+    {
+        SpanTracer::instance().setEnabled(false);
+        SpanTracer::instance().clear();
+    }
+};
+
+TEST_F(Trace, DisabledTracerRecordsNothing)
+{
+    auto &tracer = SpanTracer::instance();
+    ASSERT_FALSE(tracer.enabled());
+    {
+        CARBONX_SPAN("test/disabled_outer");
+        CARBONX_SPAN("test/disabled_inner");
+        EXPECT_EQ(tracer.openSpanDepth(), 0u);
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    EXPECT_TRUE(parseTrace(os.str()).empty());
+}
+
+TEST_F(Trace, ConditionGateSuppressesSpan)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        ScopedSpan skipped("test/condition_false", false);
+        ScopedSpan taken("test/condition_true", true);
+        EXPECT_EQ(tracer.openSpanDepth(), 1u);
+    }
+    ASSERT_EQ(tracer.eventCount(), 1u);
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    EXPECT_NE(os.str().find("test/condition_true"), std::string::npos);
+    EXPECT_EQ(os.str().find("test/condition_false"), std::string::npos);
+}
+
+TEST_F(Trace, NestedSpansAreContainedInTheirParent)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        CARBONX_SPAN("test/outer");
+        {
+            CARBONX_SPAN("test/middle");
+            {
+                CARBONX_SPAN("test/inner");
+                EXPECT_EQ(tracer.openSpanDepth(), 3u);
+            }
+        }
+    }
+    EXPECT_EQ(tracer.openSpanDepth(), 0u);
+    ASSERT_EQ(tracer.eventCount(), 3u);
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    auto events = parseTrace(os.str());
+    ASSERT_EQ(events.size(), 3u);
+
+    const auto byName = [&](const std::string &name) {
+        const auto it =
+            std::find_if(events.begin(), events.end(),
+                         [&](const ParsedEvent &e) {
+                             return e.name == name;
+                         });
+        EXPECT_NE(it, events.end()) << "missing span " << name;
+        return *it;
+    };
+    const ParsedEvent outer = byName("test/outer");
+    const ParsedEvent middle = byName("test/middle");
+    const ParsedEvent inner = byName("test/inner");
+
+    // Chrome infers hierarchy from containment: each child interval
+    // must lie within its parent's [ts, ts + dur].
+    EXPECT_LE(outer.ts, middle.ts);
+    EXPECT_LE(middle.end(), outer.end());
+    EXPECT_LE(middle.ts, inner.ts);
+    EXPECT_LE(inner.end(), middle.end());
+}
+
+TEST_F(Trace, ChromeTraceJsonIsWellFormed)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        CARBONX_SPAN("test/json \"quoted\"");
+    }
+    {
+        CARBONX_SPAN("test/json_second");
+    }
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"carbonx\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+    // Quotes in span names must be escaped.
+    EXPECT_NE(json.find("test/json \\\"quoted\\\""), std::string::npos);
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    // Exactly two events -> exactly one separating comma between them.
+    EXPECT_EQ(parseTrace(json).size(), 2u);
+}
+
+TEST_F(Trace, DisablingMidSpanStillClosesIt)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        CARBONX_SPAN("test/toggled");
+        tracer.setEnabled(false);
+    }
+    // The span captured "enabled" at construction, so it must close
+    // cleanly and still record its event.
+    EXPECT_EQ(tracer.openSpanDepth(), 0u);
+    EXPECT_EQ(tracer.eventCount(), 1u);
+}
+
+TEST_F(Trace, ThreadsGetDistinctSpanStacks)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&tracer] {
+            CARBONX_SPAN("test/thread_outer");
+            CARBONX_SPAN("test/thread_inner");
+            EXPECT_EQ(tracer.openSpanDepth(), 2u);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(tracer.openSpanDepth(), 0u);
+    EXPECT_EQ(tracer.eventCount(), 2u * kThreads);
+}
+
+TEST_F(Trace, ClearDropsRecordedEvents)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    {
+        CARBONX_SPAN("test/cleared");
+    }
+    ASSERT_EQ(tracer.eventCount(), 1u);
+    tracer.clear();
+    EXPECT_EQ(tracer.eventCount(), 0u);
+}
+
+} // namespace
+} // namespace carbonx::obs

@@ -91,5 +91,47 @@ TEST(ArgParser, LaterFlagWins)
     EXPECT_EQ(p.getString("ba", ""), "DUK");
 }
 
+TEST(ArgParser, GetIntParsesExactIntegers)
+{
+    const ArgParser p = parse({"x", "--year", "2021", "--offset=-7"});
+    EXPECT_EQ(p.getInt("year", 2020), 2021);
+    EXPECT_EQ(p.getInt("offset", 0), -7);
+    EXPECT_EQ(p.getInt("absent", 42), 42);
+}
+
+TEST(ArgParser, GetIntRejectsNonIntegerValues)
+{
+    const ArgParser p = parse({"x", "--a", "2020.5", "--b", "12abc",
+                               "--c", "abc", "--d=" });
+    EXPECT_THROW(p.getInt("a", 0), carbonx::UserError);
+    EXPECT_THROW(p.getInt("b", 0), carbonx::UserError);
+    EXPECT_THROW(p.getInt("c", 0), carbonx::UserError);
+    EXPECT_THROW(p.getInt("d", 0), carbonx::UserError);
+}
+
+TEST(ArgParser, GetUint64KeepsFullSixtyFourBitPrecision)
+{
+    // 2^53 + 1 and friends are exactly the seeds a double round-trip
+    // silently corrupts.
+    const ArgParser p =
+        parse({"x", "--seed", "9007199254740993",
+               "--max=18446744073709551615"});
+    EXPECT_EQ(p.getUint64("seed", 0), 9007199254740993ull);
+    EXPECT_EQ(p.getUint64("max", 0), 18446744073709551615ull);
+    EXPECT_EQ(p.getUint64("absent", 7), 7u);
+}
+
+TEST(ArgParser, GetUint64RejectsNegativeAndMalformedValues)
+{
+    const ArgParser p = parse({"x", "--a", "-1", "--b", "1.5",
+                               "--c", "seed", "--d",
+                               "99999999999999999999"});
+    EXPECT_THROW(p.getUint64("a", 0), carbonx::UserError);
+    EXPECT_THROW(p.getUint64("b", 0), carbonx::UserError);
+    EXPECT_THROW(p.getUint64("c", 0), carbonx::UserError);
+    // Larger than 2^64 - 1: out_of_range must surface as UserError too.
+    EXPECT_THROW(p.getUint64("d", 0), carbonx::UserError);
+}
+
 } // namespace
 } // namespace carbonx::tools

@@ -8,6 +8,7 @@
 #ifndef CARBONX_TOOLS_ARG_PARSER_H
 #define CARBONX_TOOLS_ARG_PARSER_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -71,6 +72,56 @@ class ArgParser
             throw UserError("flag --" + key +
                             " expects a number, got '" + it->second +
                             "'");
+        }
+    }
+
+    /**
+     * Integer flag; rejects values with a fractional part or trailing
+     * garbage, which getDouble-plus-cast would silently accept.
+     */
+    long long
+    getInt(const std::string &key, long long fallback) const
+    {
+        const auto it = flags_.find(key);
+        if (it == flags_.end())
+            return fallback;
+        try {
+            size_t used = 0;
+            const long long value = std::stoll(it->second, &used);
+            if (used != it->second.size())
+                throw std::invalid_argument(it->second);
+            return value;
+        } catch (const std::exception &) {
+            throw UserError("flag --" + key +
+                            " expects an integer, got '" + it->second +
+                            "'");
+        }
+    }
+
+    /**
+     * Unsigned 64-bit flag (e.g. RNG seeds): preserves every bit a
+     * user passes, unlike a double round-trip, which loses precision
+     * past 2^53.
+     */
+    uint64_t
+    getUint64(const std::string &key, uint64_t fallback) const
+    {
+        const auto it = flags_.find(key);
+        if (it == flags_.end())
+            return fallback;
+        try {
+            size_t used = 0;
+            if (!it->second.empty() && it->second.front() == '-')
+                throw std::invalid_argument(it->second);
+            const unsigned long long value =
+                std::stoull(it->second, &used);
+            if (used != it->second.size())
+                throw std::invalid_argument(it->second);
+            return static_cast<uint64_t>(value);
+        } catch (const std::exception &) {
+            throw UserError("flag --" + key +
+                            " expects an unsigned integer, got '" +
+                            it->second + "'");
         }
     }
 

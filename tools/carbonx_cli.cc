@@ -16,20 +16,25 @@
  *   fleet     [--flex 0.4]         Geographic migration across the
  *                                  thirteen-site Meta fleet.
  *
- * Common flags: --seed N, --year Y.
+ * Common flags: --seed N, --year Y, --log-level L,
+ * --metrics-out PATH, --trace-out PATH.
  */
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 
 #include "arg_parser.h"
 #include "carbon/operational.h"
+#include "common/logging.h"
 #include "common/table.h"
 #include "core/explorer.h"
 #include "core/report.h"
 #include "datacenter/site.h"
 #include "fleet/fleet.h"
 #include "grid/balancing_authority.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scheduler/greedy_scheduler.h"
 
 namespace
@@ -45,10 +50,33 @@ configFrom(const ArgParser &args)
     config.ba_code = args.getString("ba", "PACE");
     config.avg_dc_power_mw = args.getDouble("dc", 19.0);
     config.flexible_ratio = args.getDouble("flex", 0.4);
-    config.year = static_cast<int>(args.getDouble("year", 2020));
-    config.seed =
-        static_cast<uint64_t>(args.getDouble("seed", 2020));
+    config.year = static_cast<int>(args.getInt("year", 2020));
+    config.seed = args.getUint64("seed", 2020);
     return config;
+}
+
+/**
+ * Apply the common observability flags: set the log level and enable
+ * span collection when a trace output was requested.
+ */
+void
+applyObsFlags(const ArgParser &args)
+{
+    setLogLevel(parseLogLevel(args.getString("log-level", "warn")));
+    if (!args.getString("trace-out", "").empty())
+        obs::SpanTracer::instance().setEnabled(true);
+}
+
+/** Write --metrics-out / --trace-out files when requested. */
+void
+writeObsOutputs(const ArgParser &args)
+{
+    const std::string metrics_path = args.getString("metrics-out", "");
+    if (!metrics_path.empty())
+        obs::MetricsRegistry::instance().writeFile(metrics_path);
+    const std::string trace_path = args.getString("trace-out", "");
+    if (!trace_path.empty())
+        obs::SpanTracer::instance().writeChromeTraceFile(trace_path);
 }
 
 int
@@ -125,7 +153,26 @@ int
 cmdOptimize(const ArgParser &args)
 {
     const ExplorerConfig config = configFrom(args);
-    const CarbonExplorer explorer(config);
+    CarbonExplorer explorer(config);
+    if (args.getBool("progress")) {
+        // Throttled stderr rendering: ~10 lines per pass plus the
+        // final one, so stdout stays a clean parseable table.
+        explorer.setProgressCallback([](const obs::SweepProgress &p) {
+            const size_t step =
+                std::max<size_t>(p.points_total / 10, 1);
+            if (p.points_done % step != 0 &&
+                p.points_done != p.points_total) {
+                return;
+            }
+            std::cerr << "progress: pass " << p.pass << ' '
+                      << p.points_done << '/' << p.points_total
+                      << " points, best "
+                      << formatFixed(p.best_total_kg / 1e3, 1)
+                      << " tCO2, eta "
+                      << formatFixed(std::max(p.eta_seconds, 0.0), 1)
+                      << "s\n";
+        });
+    }
     const double reach = args.getDouble("reach", 10.0);
     const DesignSpace space = DesignSpace::forDatacenter(
         config.avg_dc_power_mw, reach, 7, 7, 3);
@@ -252,12 +299,17 @@ usage()
         "authorities\n"
         "  coverage --ba PACE --dc 19 --solar 100 --wind 50\n"
         "  optimize --ba PACE --dc 19 [--strategy all|ren|batt|cas|"
-        "combined] [--reach 10]\n"
+        "combined] [--reach 10] [--progress]\n"
         "  battery  --ba PACE --dc 19 --solar 100 --wind 50 "
         "[--target 99.99]\n"
         "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
         "  fleet    [--flex 0.4]\n\n"
-        "common flags: --seed N --year Y\n";
+        "common flags: --seed N --year Y\n"
+        "              --log-level silent|warn|info|debug\n"
+        "              --metrics-out PATH   dump the metrics registry "
+        "(.json/.csv/text)\n"
+        "              --trace-out PATH     write a chrome://tracing "
+        "span trace\n";
 }
 
 } // namespace
@@ -272,24 +324,30 @@ main(int argc, char **argv)
         return 2;
     }
     const std::string &command = args.positionals().front();
+    int rc = 2;
     try {
+        applyObsFlags(args);
         if (command == "sites")
-            return cmdSites();
-        if (command == "regions")
-            return cmdRegions();
-        if (command == "coverage")
-            return cmdCoverage(args);
-        if (command == "optimize")
-            return cmdOptimize(args);
-        if (command == "battery")
-            return cmdBattery(args);
-        if (command == "schedule")
-            return cmdSchedule(args);
-        if (command == "fleet")
-            return cmdFleet(args);
-        std::cerr << "unknown command: " << command << "\n\n";
-        usage();
-        return 2;
+            rc = cmdSites();
+        else if (command == "regions")
+            rc = cmdRegions();
+        else if (command == "coverage")
+            rc = cmdCoverage(args);
+        else if (command == "optimize")
+            rc = cmdOptimize(args);
+        else if (command == "battery")
+            rc = cmdBattery(args);
+        else if (command == "schedule")
+            rc = cmdSchedule(args);
+        else if (command == "fleet")
+            rc = cmdFleet(args);
+        else {
+            std::cerr << "unknown command: " << command << "\n\n";
+            usage();
+            return 2;
+        }
+        writeObsOutputs(args);
+        return rc;
     } catch (const carbonx::Error &e) {
         std::cerr << "carbonx: " << e.what() << '\n';
         return 1;

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "battery/clc_battery.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "core/coordinate_descent.h"
 #include "core/explorer.h"
@@ -143,6 +144,33 @@ BM_OptimizeRenewablesOnly(benchmark::State &state)
     }
 }
 BENCHMARK(BM_OptimizeRenewablesOnly);
+
+// The Fig. 15 full-factorial sweep at 1 and N worker threads; the
+// ratio of the two rows is the parallel speedup of optimize().
+void
+BM_OptimizeSweep(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    setThreadCount(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        OptimizationResult r =
+            ex.optimize(space, Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.best.totalKg());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            space.sizeFor(Strategy::RenewableBatteryCas)));
+    setThreadCount(0);
+}
+BENCHMARK(BM_OptimizeSweep)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(static_cast<int>(hardwareThreads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CoordinateDescentCombined(benchmark::State &state)

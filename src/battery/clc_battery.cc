@@ -124,6 +124,20 @@ ClcBattery::discharge(double requested_power_mw, double dt_hours)
 }
 
 void
+ClcBattery::setCapacity(double capacity_mwh)
+{
+    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    lifetime_charged_mwh_ += charged_mwh_;
+    lifetime_discharged_mwh_ += discharged_mwh_;
+    charged_mwh_ = 0.0;
+    discharged_mwh_ = 0.0;
+    capacity_mwh_ = capacity_mwh;
+    const double min_soc = 1.0 - chemistry_.depth_of_discharge;
+    initial_content_mwh_ = capacity_mwh_ * min_soc;
+    content_mwh_ = initial_content_mwh_;
+}
+
+void
 ClcBattery::reset()
 {
     content_mwh_ = initial_content_mwh_;

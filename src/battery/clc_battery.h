@@ -51,6 +51,16 @@ class ClcBattery : public BatteryModel
 
     void reset() override;
 
+    /**
+     * Re-purpose this instance as a freshly constructed battery of
+     * @p capacity_mwh (chemistry unchanged, SoC back at the default
+     * empty end of the DoD window). Finished throughput folds into
+     * the lifetime totals exactly like reset(), so the design-space
+     * sweep can reuse one instance per worker instead of allocating
+     * a battery per sampled capacity.
+     */
+    void setCapacity(double capacity_mwh);
+
     double totalChargedMwh() const override { return charged_mwh_; }
     double totalDischargedMwh() const override { return discharged_mwh_; }
     double fullEquivalentCycles() const override;

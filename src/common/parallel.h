@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Process-wide parallel-for substrate for the design-space sweeps.
+ *
+ * The thread pool is lazily started on the first parallelFor() that
+ * can use more than one thread, and sized by (in priority order) the
+ * setThreadCount() override (the CLI's --threads flag), the
+ * CARBONX_THREADS environment variable, and hardwareThreads().
+ *
+ * parallelFor(begin, end, chunk, fn) dispatches chunk-sized index
+ * blocks dynamically: the calling thread participates as worker 0 and
+ * pool threads as workers 1..N-1, so fn may keep per-worker scratch
+ * indexed by the worker id it receives. The first exception a body
+ * throws cancels the remaining chunks and is rethrown on the calling
+ * thread. Nested parallelFor calls (a body that itself calls
+ * parallelFor) run inline on the calling worker, so composed sweeps
+ * cannot deadlock the pool.
+ *
+ * Scheduling never affects results as long as bodies write only to
+ * their own index's output slot: the (index -> work) mapping is fixed,
+ * only the (index -> thread) assignment varies run to run.
+ */
+
+#ifndef CARBONX_COMMON_PARALLEL_H
+#define CARBONX_COMMON_PARALLEL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace carbonx
+{
+
+/** Hardware concurrency with a floor of one. */
+size_t hardwareThreads();
+
+/**
+ * Override the sweep thread count process-wide; 0 restores the
+ * automatic choice (CARBONX_THREADS, then hardwareThreads()). The
+ * pool resizes lazily at the next parallelFor(). Not safe to call
+ * concurrently with a running parallelFor().
+ */
+void setThreadCount(size_t n);
+
+/** The thread count the next parallelFor() will use (>= 1). */
+size_t threadCount();
+
+/**
+ * Run fn(index, worker) for every index in [begin, end), dispatching
+ * dynamically in blocks of @p chunk indices. Blocks until every index
+ * completed or a body threw (the first exception is rethrown here,
+ * after in-flight chunks drain). Runs inline when threadCount() is 1,
+ * when the range fits one chunk, or when called from inside another
+ * parallelFor body.
+ *
+ * @param chunk Indices per dispatch; clamped to >= 1. Pick it so one
+ *        chunk is >> the dispatch cost (one atomic fetch_add) but
+ *        small enough to balance uneven per-index work.
+ * @param fn Body; receives the index and the executing worker id in
+ *        [0, threadCount()). Worker 0 is the calling thread.
+ */
+void parallelFor(size_t begin, size_t end, size_t chunk,
+                 const std::function<void(size_t, size_t)> &fn);
+
+/** Index-only convenience overload of parallelFor. */
+void parallelFor(size_t begin, size_t end, size_t chunk,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * The lazily started, process-wide worker pool behind parallelFor().
+ * One job runs at a time; concurrent top-level parallelFor calls from
+ * different threads serialize on the job lock.
+ */
+class ThreadPool
+{
+  public:
+    static ThreadPool &instance();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** See the free function parallelFor for the contract. */
+    void run(size_t begin, size_t end, size_t chunk,
+             const std::function<void(size_t, size_t)> &fn);
+
+    /** Pool threads currently alive (excludes calling threads). */
+    size_t workerThreads() const;
+
+  private:
+    ThreadPool() = default;
+    ~ThreadPool();
+
+    void ensureWorkersLocked(size_t want,
+                             std::unique_lock<std::mutex> &lock);
+    void stopWorkersLocked(std::unique_lock<std::mutex> &lock);
+    void workerMain(size_t worker_id);
+    void workChunks(size_t worker_id) noexcept;
+
+    /** Serializes whole jobs (one parallelFor at a time). */
+    std::mutex job_mutex_;
+
+    /** Guards all fields below plus the condition variables. */
+    mutable std::mutex state_mutex_;
+    std::condition_variable cv_start_;
+    std::condition_variable cv_done_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+    uint64_t generation_ = 0;
+    size_t active_workers_ = 0;
+    std::exception_ptr error_;
+
+    /** Current job; valid while active_workers_ > 0 or running. */
+    const std::function<void(size_t, size_t)> *body_ = nullptr;
+    std::atomic<size_t> next_{0};
+    size_t end_ = 0;
+    size_t chunk_ = 1;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_PARALLEL_H

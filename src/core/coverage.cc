@@ -13,6 +13,8 @@ CoverageAnalyzer::CoverageAnalyzer(const TimeSeries &dc_power,
                                    const TimeSeries &wind_shape)
     : dc_power_(dc_power), solar_shape_(solar_shape),
       wind_shape_(wind_shape), dc_avg_day_(dc_power.averageDayExpansion()),
+      solar_avg_day_(solar_shape.averageDayExpansion()),
+      wind_avg_day_(wind_shape.averageDayExpansion()),
       dc_total_(dc_power.total())
 {
     require(dc_power.year() == solar_shape.year() &&
@@ -31,6 +33,21 @@ CoverageAnalyzer::supplyFor(double solar_mw, double wind_mw) const
     require(solar_mw >= 0.0 && wind_mw >= 0.0,
             "investments must be >= 0");
     return solar_shape_ * solar_mw + wind_shape_ * wind_mw;
+}
+
+void
+CoverageAnalyzer::supplyFor(double solar_mw, double wind_mw,
+                            TimeSeries &out) const
+{
+    require(solar_mw >= 0.0 && wind_mw >= 0.0,
+            "investments must be >= 0");
+    require(out.year() == dc_power_.year() &&
+                out.size() == dc_power_.size(),
+            "supply buffer must cover the analyzer's year");
+    // Same evaluation order as shape * s + shape * w above, so both
+    // overloads round identically.
+    for (size_t h = 0; h < out.size(); ++h)
+        out[h] = solar_shape_[h] * solar_mw + wind_shape_[h] * wind_mw;
 }
 
 double
@@ -52,9 +69,11 @@ CoverageAnalyzer::coverageAssumingAverageDay(double solar_mw,
                                              double wind_mw) const
 {
     // Replace both supply shapes and demand with their average-day
-    // expansions: this is the optimistic assumption of Fig. 8.
-    const TimeSeries solar_avg = solar_shape_.averageDayExpansion();
-    const TimeSeries wind_avg = wind_shape_.averageDayExpansion();
+    // expansions: this is the optimistic assumption of Fig. 8. The
+    // expansions only depend on the shapes, so they are cached at
+    // construction instead of being recomputed per call.
+    const TimeSeries &solar_avg = solar_avg_day_;
+    const TimeSeries &wind_avg = wind_avg_day_;
     double unmet = 0.0;
     for (size_t h = 0; h < dc_power_.size(); ++h) {
         const double supply =

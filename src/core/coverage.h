@@ -41,6 +41,15 @@ class CoverageAnalyzer
     /** Hourly renewable supply for an investment pair (MW). */
     TimeSeries supplyFor(double solar_mw, double wind_mw) const;
 
+    /**
+     * Allocation-free variant: writes the supply into @p out, which
+     * must already cover the analyzer's year. Produces bit-identical
+     * values to the allocating overload, so the parallel sweep can
+     * reuse one buffer per worker.
+     */
+    void supplyFor(double solar_mw, double wind_mw,
+                   TimeSeries &out) const;
+
     /** Coverage percentage for an investment pair. */
     double coverage(double solar_mw, double wind_mw) const;
 
@@ -77,6 +86,8 @@ class CoverageAnalyzer
     TimeSeries solar_shape_;
     TimeSeries wind_shape_;
     TimeSeries dc_avg_day_;
+    TimeSeries solar_avg_day_;
+    TimeSeries wind_avg_day_;
     double dc_total_;
 };
 

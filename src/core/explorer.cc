@@ -10,6 +10,7 @@
 #include "common/error.h"
 #include "common/csv.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "grid/balancing_authority.h"
 #include "obs/metrics.h"
@@ -79,6 +80,17 @@ ExternalTraces::fromCsv(const std::string &path, int year)
     TimeSeries wind(year, csv.numericColumn("wind_mw"));
     TimeSeries intensity(year,
                          csv.numericColumn("intensity_g_per_kwh"));
+    // Dead generation columns are almost always an export bug (wrong
+    // units, empty join), so reject them here with the column name
+    // instead of letting scaledToMax produce a cryptic error. A region
+    // that really lacks a resource can construct ExternalTraces
+    // directly with an all-zero shape.
+    require(solar.max() > 0.0,
+            "trace CSV column solar_mw has no positive values; cannot "
+            "derive a per-unit solar shape from " + path);
+    require(wind.max() > 0.0,
+            "trace CSV column wind_mw has no positive values; cannot "
+            "derive a per-unit wind shape from " + path);
     return ExternalTraces(std::move(load), solar.scaledToMax(1.0),
                           wind.scaledToMax(1.0), std::move(intensity));
 }
@@ -86,8 +98,8 @@ ExternalTraces::fromCsv(const std::string &path, int year)
 CarbonExplorer::CarbonExplorer(ExplorerConfig config)
     : config_(std::move(config)), grid_trace_(makeGridTrace(config_)),
       load_trace_(makeLoadTrace(config_)),
-      solar_shape_(grid_trace_.solar_potential.scaledToMax(1.0)),
-      wind_shape_(grid_trace_.wind_potential.scaledToMax(1.0)),
+      solar_shape_(perUnitShape(grid_trace_.solar_potential)),
+      wind_shape_(perUnitShape(grid_trace_.wind_potential)),
       coverage_(load_trace_.power, solar_shape_, wind_shape_),
       embodied_(config_.renewable_embodied, config_.server_spec),
       peak_power_mw_(load_trace_.power.max())
@@ -224,6 +236,27 @@ CarbonExplorer::optimize(const DesignSpace &space, Strategy strategy) const
     return optimizePass(space, strategy, 0);
 }
 
+namespace
+{
+
+/**
+ * Per-worker scratch for the design-space sweep: one renewable-supply
+ * buffer, one simulation result, one deferral queue, and one battery
+ * instance, all reused across every point the worker evaluates so the
+ * inner (battery, extra-capacity) loop allocates nothing.
+ */
+struct SweepWorkspace
+{
+    TimeSeries supply;
+    SimulationResult sim;
+    SimulationScratch scratch;
+    std::unique_ptr<ClcBattery> battery;
+
+    explicit SweepWorkspace(int year) : supply(year), sim(year) {}
+};
+
+} // namespace
+
 OptimizationResult
 CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
                              int pass) const
@@ -232,10 +265,9 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
     static auto &c_passes = obs::counter("explorer.optimize_passes");
     static auto &c_points = obs::counter("explorer.points_evaluated");
     static auto &h_point = obs::latency("explorer.point_eval_us");
+    static auto &g_threads = obs::gauge("sweep.threads");
+    static auto &g_pps = obs::gauge("sweep.points_per_sec");
     c_passes.increment();
-
-    OptimizationResult result;
-    result.evaluated.reserve(space.sizeFor(strategy));
 
     const std::vector<double> solars = space.solar_mw.samples();
     const std::vector<double> winds = space.wind_mw.samples();
@@ -246,62 +278,91 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
         ? space.extra_capacity.samples()
         : std::vector<double>{0.0};
 
-    obs::SweepProgress progress;
-    progress.pass = pass;
-    progress.points_total = space.sizeFor(strategy);
+    // The (solar, wind) outer product shards across the thread pool;
+    // each worker sweeps the battery/extra axes of its pairs locally.
+    // Workers write into pre-sized slots (pair index x inner size), so
+    // the merged `evaluated` ordering matches the serial quadruple
+    // loop exactly regardless of scheduling.
+    const size_t pairs = solars.size() * winds.size();
+    const size_t inner = batteries.size() * extras.size();
+    const size_t total = pairs * inner;
+    ensure(total > 0, "optimization evaluated no design points");
+
+    OptimizationResult result;
+    result.evaluated.resize(total);
+
+    // One workspace per possible worker id (the caller is id 0, pool
+    // workers are 1..N-1), so no two workers ever share scratch.
+    const size_t worker_ids = std::max<size_t>(threadCount(), 1);
+    g_threads.set(static_cast<double>(
+        std::min(worker_ids, std::max<size_t>(pairs, 1))));
+
+    const int year = load_trace_.power.year();
+    std::vector<SweepWorkspace> workspaces;
+    workspaces.reserve(worker_ids);
+    for (size_t i = 0; i < worker_ids; ++i)
+        workspaces.emplace_back(year);
+
+    obs::SweepProgressEmitter emitter(progress_, pass, total,
+                                      progress_updates_);
     const auto sweep_start = std::chrono::steady_clock::now();
 
-    bool have_best = false;
-    for (double s : solars) {
-        for (double w : winds) {
-            // One engine per renewable pair: battery/server axes
-            // reuse the same load/supply series.
-            const TimeSeries supply = coverage_.supplyFor(s, w);
-            const SimulationEngine engine(load_trace_.power, supply);
-            for (double b : batteries) {
-                std::unique_ptr<ClcBattery> battery;
-                if (strategyUsesBattery(strategy) && b > 0.0) {
-                    battery = std::make_unique<ClcBattery>(
-                        b, config_.chemistry);
-                }
-                for (double x : extras) {
-                    const DesignPoint point{s, w, b, x};
-                    Evaluation eval;
-                    {
-                        CARBONX_SPAN("explorer/evaluate_point");
-                        const obs::LatencyTimer timer(h_point);
-                        const SimulationResult sim = engine.run(
-                            simulationConfig(point, strategy,
-                                             battery.get()));
-                        eval = evaluationFrom(point, strategy, sim);
-                    }
-                    c_points.increment();
-                    if (!have_best ||
-                        eval.totalKg() < result.best.totalKg()) {
-                        result.best = eval;
-                        have_best = true;
-                    }
-                    result.evaluated.push_back(std::move(eval));
+    parallelFor(0, pairs, 1, [&](size_t p, size_t worker) {
+        SweepWorkspace &ws = workspaces[worker];
+        const double s = solars[p / winds.size()];
+        const double w = winds[p % winds.size()];
 
-                    if (progress_) {
-                        ++progress.points_done;
-                        progress.best_total_kg = result.best.totalKg();
-                        const std::chrono::duration<double> elapsed =
-                            std::chrono::steady_clock::now() -
-                            sweep_start;
-                        progress.elapsed_seconds = elapsed.count();
-                        const double mean_s = progress.elapsed_seconds /
-                            static_cast<double>(progress.points_done);
-                        progress.eta_seconds = mean_s *
-                            static_cast<double>(progress.points_total -
-                                                progress.points_done);
-                        progress_(progress);
-                    }
+        // One engine per renewable pair: battery/server axes reuse
+        // the same load/supply series.
+        coverage_.supplyFor(s, w, ws.supply);
+        const SimulationEngine engine(load_trace_.power, ws.supply);
+
+        const auto pair_start = std::chrono::steady_clock::now();
+        size_t slot = p * inner;
+        for (double b : batteries) {
+            ClcBattery *battery = nullptr;
+            if (strategyUsesBattery(strategy) && b > 0.0) {
+                if (ws.battery == nullptr) {
+                    ws.battery = std::make_unique<ClcBattery>(
+                        b, config_.chemistry);
+                } else {
+                    ws.battery->setCapacity(b);
                 }
+                battery = ws.battery.get();
+            }
+            for (double x : extras) {
+                const DesignPoint point{s, w, b, x};
+                CARBONX_SPAN("explorer/evaluate_point");
+                engine.run(simulationConfig(point, strategy, battery),
+                           ws.sim, ws.scratch);
+                Evaluation eval =
+                    evaluationFrom(point, strategy, ws.sim);
+                emitter.add(eval.totalKg());
+                result.evaluated[slot++] = std::move(eval);
             }
         }
+        // Point latency is sampled once per pair (mean over the inner
+        // axes) — one clock read and one histogram lock instead of one
+        // per design point.
+        const std::chrono::duration<double, std::micro> pair_us =
+            std::chrono::steady_clock::now() - pair_start;
+        h_point.record(pair_us.count() / static_cast<double>(inner));
+        c_points.increment(inner);
+    });
+
+    // In-order scan with strict < reproduces the serial tie-break:
+    // among equal totals the first-evaluated point wins.
+    result.best = result.evaluated.front();
+    for (const Evaluation &eval : result.evaluated) {
+        if (eval.totalKg() < result.best.totalKg())
+            result.best = eval;
     }
-    ensure(have_best, "optimization evaluated no design points");
+
+    const std::chrono::duration<double> sweep_s =
+        std::chrono::steady_clock::now() - sweep_start;
+    if (sweep_s.count() > 0.0) {
+        g_pps.set(static_cast<double>(total) / sweep_s.count());
+    }
     return result;
 }
 

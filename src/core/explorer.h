@@ -186,7 +186,12 @@ class CarbonExplorer
     SimulationResult simulate(const DesignPoint &point,
                               Strategy strategy) const;
 
-    /** Exhaustive search: minimize total (op + embodied) carbon. */
+    /**
+     * Exhaustive search: minimize total (op + embodied) carbon. The
+     * (solar, wind) grid is sharded across the process thread pool
+     * (see common/parallel.h); results are deterministic — `best` and
+     * the order of `evaluated` are bit-identical at any thread count.
+     */
     OptimizationResult optimize(const DesignSpace &space,
                                 Strategy strategy) const;
 
@@ -221,14 +226,19 @@ class CarbonExplorer
                                            double max_extra = 4.0) const;
 
     /**
-     * Observe sweep progress: @p callback fires after every design
-     * point an optimize()/optimizeRefined() pass evaluates. Pass an
-     * empty function to detach. The callback must not throw; it runs
-     * on the sweeping thread.
+     * Observe sweep progress: @p callback fires on throttled
+     * milestones of each optimize()/optimizeRefined() pass — at most
+     * @p max_updates_per_pass times plus the final point. Pass an
+     * empty function to detach. The sweep runs on a thread pool, so
+     * the callback may fire from any worker thread; invocations are
+     * serialized and points_done is monotone across them. The
+     * callback must not throw.
      */
-    void setProgressCallback(obs::ProgressCallback callback)
+    void setProgressCallback(obs::ProgressCallback callback,
+                             size_t max_updates_per_pass = 100)
     {
         progress_ = std::move(callback);
+        progress_updates_ = max_updates_per_pass;
     }
 
     const ExplorerConfig &config() const { return config_; }
@@ -260,6 +270,7 @@ class CarbonExplorer
     EmbodiedCarbonModel embodied_;
     double peak_power_mw_;
     obs::ProgressCallback progress_;
+    size_t progress_updates_ = 100;
 };
 
 } // namespace carbonx

@@ -1,6 +1,7 @@
 #include "robustness.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace carbonx
 {
@@ -32,11 +33,17 @@ RobustnessAnalysis::evaluate(const DesignPoint &point,
     report.strategy = strategy;
     report.years = seeds_.size();
 
-    for (uint64_t seed : seeds_) {
+    // Seeds are independent simulated years; evaluate them across the
+    // pool, then fold into the summary stats sequentially in seed
+    // order so the report is identical at any thread count.
+    std::vector<Evaluation> evals(seeds_.size());
+    parallelFor(0, seeds_.size(), 1, [&](size_t i) {
         ExplorerConfig config = base_;
-        config.seed = seed;
+        config.seed = seeds_[i];
         const CarbonExplorer explorer(config);
-        const Evaluation eval = explorer.evaluate(point, strategy);
+        evals[i] = explorer.evaluate(point, strategy);
+    });
+    for (const Evaluation &eval : evals) {
         report.coverage_pct.add(eval.coverage_pct);
         report.total_kg.add(eval.totalKg());
         report.operational_kg.add(eval.operational_kg);

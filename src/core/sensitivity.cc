@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace carbonx
 {
@@ -83,10 +84,14 @@ std::vector<SensitivityRow>
 SensitivityAnalysis::runAll(
     const std::vector<SensitivityParameter> &parameters) const
 {
-    std::vector<SensitivityRow> out;
-    out.reserve(parameters.size());
-    for (const auto &p : parameters)
-        out.push_back(run(p));
+    // Rows are independent (each builds its own explorers), so they
+    // fan out across the pool; the pre-sized output keeps the row
+    // order identical to the input order. Each row's own sweeps then
+    // run inline — nested parallelFor serializes — so the pool is not
+    // oversubscribed.
+    std::vector<SensitivityRow> out(parameters.size());
+    parallelFor(0, parameters.size(), 1,
+                [&](size_t i) { out[i] = run(parameters[i]); });
     return out;
 }
 

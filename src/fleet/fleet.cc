@@ -41,8 +41,8 @@ FleetSimulator::FleetSimulator(const FleetConfig &config)
             config.seed ^ SplitMix64::hashString(spec.name));
 
         const TimeSeries supply =
-            trace.solar_potential.scaledToMax(1.0) * spec.solar_mw +
-            trace.wind_potential.scaledToMax(1.0) * spec.wind_mw;
+            perUnitShape(trace.solar_potential) * spec.solar_mw +
+            perUnitShape(trace.wind_potential) * spec.wind_mw;
 
         FleetSite site(spec, load_trace.power, supply,
                        trace.intensity);

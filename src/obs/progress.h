@@ -1,21 +1,28 @@
 /**
  * @file
  * Sweep progress reporting for the design-space search. The explorer
- * invokes a user-supplied callback after every evaluated design point
- * so front ends (the CLI, notebooks, dashboards) can render progress
- * without the library choosing a presentation.
+ * feeds every evaluated point into a SweepProgressEmitter, which
+ * invokes a user-supplied callback on throttled milestones so front
+ * ends (the CLI, notebooks, dashboards) can render progress without
+ * the library choosing a presentation — and without the sweep paying
+ * a clock read per design point.
  */
 
 #ifndef CARBONX_OBS_PROGRESS_H
 #define CARBONX_OBS_PROGRESS_H
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
+#include <limits>
+#include <mutex>
 
 namespace carbonx::obs
 {
 
-/** Snapshot of one exhaustive-search pass, sent after each point. */
+/** Snapshot of one exhaustive-search pass, sent on each milestone. */
 struct SweepProgress
 {
     /** Refinement pass: 0 is the initial coarse sweep. */
@@ -48,8 +55,101 @@ struct SweepProgress
     }
 };
 
-/** Invoked after every evaluated point; must not throw. */
+/**
+ * Invoked on throttled sweep milestones (at most max_updates per pass,
+ * plus the final point); must not throw. The sweep may run on a
+ * thread pool, so the callback can fire from any worker thread; calls
+ * are serialized and points_done is monotone across them.
+ */
 using ProgressCallback = std::function<void(const SweepProgress &)>;
+
+/**
+ * Aggregates per-point completions from concurrently sweeping workers
+ * and fires the callback on milestone crossings only. Cost per point
+ * when a callback is attached: one atomic increment plus a lock-free
+ * running-minimum update; elapsed time and the ETA are computed only
+ * when the callback actually fires. Without a callback, add() is a
+ * no-op.
+ */
+class SweepProgressEmitter
+{
+  public:
+    /**
+     * @param callback The observer; may be empty (emitter inert).
+     *        Borrowed — must outlive the emitter.
+     * @param pass Refinement pass tag forwarded to the snapshots.
+     * @param points_total Points the pass will evaluate.
+     * @param max_updates Upper bound on callback invocations for the
+     *        pass (the final point always reports).
+     */
+    SweepProgressEmitter(const ProgressCallback &callback, int pass,
+                         size_t points_total, size_t max_updates = 100)
+        : callback_(callback), pass_(pass), total_(points_total),
+          // Ceiling division: floor would emit more than max_updates
+          // milestones whenever max_updates does not divide the total.
+          stride_(std::max<size_t>(
+              max_updates > 0
+                  ? (points_total + max_updates - 1) / max_updates
+                  : points_total,
+              1)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    SweepProgressEmitter(const SweepProgressEmitter &) = delete;
+    SweepProgressEmitter &operator=(const SweepProgressEmitter &) = delete;
+
+    /** Record one completed point and its total carbon (kg). */
+    void add(double point_total_kg)
+    {
+        if (!callback_)
+            return;
+        double best = best_kg_.load(std::memory_order_relaxed);
+        while (point_total_kg < best &&
+               !best_kg_.compare_exchange_weak(
+                   best, point_total_kg, std::memory_order_relaxed)) {
+        }
+        const size_t done =
+            done_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (done % stride_ == 0 || done == total_)
+            emit(done);
+    }
+
+  private:
+    void emit(size_t done)
+    {
+        const std::lock_guard<std::mutex> lock(emit_mutex_);
+        // Workers can cross distinct milestones out of order; keep
+        // the reported series monotone by dropping stale ones.
+        if (done <= last_emitted_)
+            return;
+        last_emitted_ = done;
+
+        SweepProgress progress;
+        progress.pass = pass_;
+        progress.points_done = done;
+        progress.points_total = total_;
+        progress.best_total_kg = best_kg_.load(std::memory_order_relaxed);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start_;
+        progress.elapsed_seconds = elapsed.count();
+        const double mean_s =
+            progress.elapsed_seconds / static_cast<double>(done);
+        progress.eta_seconds =
+            mean_s * static_cast<double>(total_ - done);
+        callback_(progress);
+    }
+
+    const ProgressCallback &callback_;
+    const int pass_;
+    const size_t total_;
+    const size_t stride_;
+    const std::chrono::steady_clock::time_point start_;
+    std::atomic<double> best_kg_{std::numeric_limits<double>::infinity()};
+    std::atomic<size_t> done_{0};
+    std::mutex emit_mutex_;
+    size_t last_emitted_ = 0;
+};
 
 } // namespace carbonx::obs
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "common/error.h"
@@ -34,20 +33,61 @@ SimulationEngine::renewableOnlyCoverage() const
     return total > 0.0 ? (1.0 - unmet / total) * 100.0 : 100.0;
 }
 
-namespace
+void
+SimulationResult::resetFor(int year)
 {
-
-/** One chunk of deferred work with its completion deadline. */
-struct BacklogEntry
-{
-    size_t deadline_hour;
-    double mwh;
-};
-
-} // namespace
+    if (served_power.year() != year) {
+        served_power = TimeSeries(year);
+        grid_power = TimeSeries(year);
+        battery_soc = TimeSeries(year);
+        battery_flow = TimeSeries(year);
+    } else {
+        for (size_t h = 0; h < served_power.size(); ++h) {
+            served_power[h] = 0.0;
+            grid_power[h] = 0.0;
+            battery_soc[h] = 0.0;
+            battery_flow[h] = 0.0;
+        }
+    }
+    load_energy_mwh = 0.0;
+    served_energy_mwh = 0.0;
+    grid_energy_mwh = 0.0;
+    renewable_used_mwh = 0.0;
+    renewable_excess_mwh = 0.0;
+    deferred_mwh = 0.0;
+    max_backlog_mwh = 0.0;
+    residual_backlog_mwh = 0.0;
+    slo_violation_mwh = 0.0;
+    peak_power_mw = 0.0;
+    battery_cycles = 0.0;
+    grid_charge_mwh = 0.0;
+    coverage_pct = 0.0;
+}
 
 SimulationResult
 SimulationEngine::run(const SimulationConfig &config) const
+{
+    // Freshly constructed result/scratch are already zeroed; skip the
+    // resetFor() pass the reusing overload needs.
+    SimulationResult result(dc_power_.year());
+    SimulationScratch scratch;
+    runImpl(config, result, scratch);
+    return result;
+}
+
+void
+SimulationEngine::run(const SimulationConfig &config,
+                      SimulationResult &result,
+                      SimulationScratch &scratch) const
+{
+    result.resetFor(dc_power_.year());
+    runImpl(config, result, scratch);
+}
+
+void
+SimulationEngine::runImpl(const SimulationConfig &config,
+                          SimulationResult &result,
+                          SimulationScratch &scratch) const
 {
     CARBONX_SPAN("sim/run");
     static auto &c_runs = obs::counter("sim.runs");
@@ -62,7 +102,6 @@ SimulationEngine::run(const SimulationConfig &config) const
     require(config.slo_window_hours >= 1.0,
             "SLO window must be at least one hour");
 
-    SimulationResult result(dc_power_.year());
     const size_t n = dc_power_.size();
     const double cap = config.capacity_cap_mw;
     const double fwr = config.flexible_ratio;
@@ -85,7 +124,8 @@ SimulationEngine::run(const SimulationConfig &config) const
     if (battery != nullptr)
         battery->reset();
 
-    std::deque<BacklogEntry> backlog;
+    SimulationScratch &backlog = scratch;
+    backlog.clear();
     double backlog_mwh = 0.0;
 
     // The battery-stepping portion of the hourly loop gets its own
@@ -104,7 +144,7 @@ SimulationEngine::run(const SimulationConfig &config) const
         while (!backlog.empty() && backlog.front().deadline_hour <= h) {
             forced += backlog.front().mwh;
             backlog_mwh -= backlog.front().mwh;
-            backlog.pop_front();
+            backlog.popFront();
         }
 
         // Mandatory work: inflexible load plus deadline-forced
@@ -115,7 +155,7 @@ SimulationEngine::run(const SimulationConfig &config) const
         if (mandatory > cap) {
             const double overflow = mandatory - cap;
             result.slo_violation_mwh += overflow * dt;
-            backlog.push_front({h + 1, overflow});
+            backlog.pushFront({h + 1, overflow});
             backlog_mwh += overflow;
             mandatory = cap;
         }
@@ -153,7 +193,7 @@ SimulationEngine::run(const SimulationConfig &config) const
                 served += run;
                 surplus -= run;
                 if (entry.mwh <= 1e-12)
-                    backlog.pop_front();
+                    backlog.popFront();
             }
 
             if (flex_rest > 0.0) {
@@ -169,7 +209,7 @@ SimulationEngine::run(const SimulationConfig &config) const
                 }
                 const double defer = (flex_rest - fits) + deficit;
                 if (defer > 0.0) {
-                    backlog.push_back({h + window, defer * dt});
+                    backlog.pushBack({h + window, defer * dt});
                     backlog_mwh += defer * dt;
                     result.deferred_mwh += defer * dt;
                 }
@@ -191,7 +231,7 @@ SimulationEngine::run(const SimulationConfig &config) const
             const double defer = (flex - flex_fits) +
                 (fwr > 0.0 ? std::min(flex_fits, deficit) : 0.0);
             if (defer > 0.0) {
-                backlog.push_back({h + window, defer * dt});
+                backlog.pushBack({h + window, defer * dt});
                 backlog_mwh += defer * dt;
                 result.deferred_mwh += defer * dt;
             }
@@ -243,7 +283,6 @@ SimulationEngine::run(const SimulationConfig &config) const
     result.coverage_pct = result.load_energy_mwh > 0.0
         ? (1.0 - result.grid_energy_mwh / result.load_energy_mwh) * 100.0
         : 100.0;
-    return result;
 }
 
 } // namespace carbonx

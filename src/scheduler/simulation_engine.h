@@ -20,6 +20,7 @@
 #define CARBONX_SCHEDULER_SIMULATION_ENGINE_H
 
 #include <memory>
+#include <vector>
 
 #include "battery/battery_model.h"
 #include "timeseries/timeseries.h"
@@ -110,6 +111,56 @@ struct SimulationResult
           battery_flow(year)
     {
     }
+
+    /**
+     * Return the result to its freshly constructed state for @p year,
+     * reusing the series storage when the year matches. Lets sweep
+     * workers recycle one result object across thousands of runs
+     * instead of allocating four year-long series per design point.
+     */
+    void resetFor(int year);
+};
+
+/**
+ * Reusable deferred-work queue for SimulationEngine::run. A plain
+ * vector with a head index stands in for std::deque: popFront is an
+ * index bump, pushFront reuses the popped prefix when one exists, and
+ * clear() keeps the capacity, so a worker that owns one scratch does
+ * no queue allocation after its first simulated year.
+ */
+struct SimulationScratch
+{
+    /** One chunk of deferred work with its completion deadline. */
+    struct Entry
+    {
+        size_t deadline_hour;
+        double mwh;
+    };
+
+    std::vector<Entry> entries;
+    size_t head = 0;
+
+    void clear()
+    {
+        entries.clear();
+        head = 0;
+    }
+    bool empty() const { return head == entries.size(); }
+    Entry &front() { return entries[head]; }
+    const Entry &front() const { return entries[head]; }
+    void popFront()
+    {
+        if (++head == entries.size())
+            clear();
+    }
+    void pushBack(const Entry &e) { entries.push_back(e); }
+    void pushFront(const Entry &e)
+    {
+        if (head > 0)
+            entries[--head] = e;
+        else
+            entries.insert(entries.begin(), e);
+    }
 };
 
 /**
@@ -130,6 +181,15 @@ class SimulationEngine
     SimulationResult run(const SimulationConfig &config) const;
 
     /**
+     * Allocation-free variant for hot sweep loops: writes into a
+     * caller-owned @p result (reset internally) and reuses @p scratch
+     * for the deferral queue. Produces bit-identical numbers to the
+     * allocating overload.
+     */
+    void run(const SimulationConfig &config, SimulationResult &result,
+             SimulationScratch &scratch) const;
+
+    /**
      * Renewable coverage with no battery and no scheduling — the
      * closed-form metric of section 4.1.
      */
@@ -139,6 +199,11 @@ class SimulationEngine
     const TimeSeries &renewable() const { return renewable_; }
 
   private:
+    /** Shared body; expects @p result and @p scratch already reset. */
+    void runImpl(const SimulationConfig &config,
+                 SimulationResult &result,
+                 SimulationScratch &scratch) const;
+
     TimeSeries dc_power_;
     TimeSeries renewable_;
 };

@@ -164,9 +164,25 @@ TimeSeries::scaledToMax(double new_max) const
 {
     require(new_max >= 0.0, "scaledToMax requires a non-negative target");
     const double cur_max = max();
-    if (cur_max <= 0.0)
+    if (cur_max <= 0.0) {
+        // An all-zero (or non-positive) series cannot be stretched to
+        // a positive maximum; silently returning zeros used to mask
+        // dead input columns until results looked subtly wrong.
+        require(new_max == 0.0,
+                "scaledToMax: series has no positive values; cannot "
+                "rescale it to a positive maximum (use perUnitShape() "
+                "for possibly-absent renewable shapes)");
         return TimeSeries(year(), 0.0);
+    }
     return *this * (new_max / cur_max);
+}
+
+TimeSeries
+perUnitShape(const TimeSeries &series)
+{
+    if (series.max() <= 0.0)
+        return TimeSeries(series.year(), 0.0);
+    return series.scaledToMax(1.0);
 }
 
 TimeSeries

@@ -93,7 +93,11 @@ class TimeSeries
     /**
      * Rescale so the annual maximum equals @p new_max (the paper's
      * renewable-investment scaling: grid shape x desired capacity).
-     * A zero series stays zero.
+     * Throws UserError when the series has no positive value and
+     * @p new_max is positive — there is no scale that gets an all-zero
+     * series to a positive maximum, and silently returning zeros hides
+     * dead input columns. Use the free perUnitShape() helper for
+     * shapes that may legitimately be absent.
      */
     TimeSeries scaledToMax(double new_max) const;
 
@@ -137,6 +141,15 @@ class TimeSeries
     HourlyCalendar calendar_;
     std::vector<double> values_;
 };
+
+/**
+ * Per-unit shape of a renewable potential series: scaledToMax(1.0)
+ * when the series has any generation, an all-zero series when the
+ * resource is absent from the grid (e.g. a wind-free region). This is
+ * the tolerant counterpart to TimeSeries::scaledToMax, which treats an
+ * all-zero input as an error.
+ */
+TimeSeries perUnitShape(const TimeSeries &series);
 
 } // namespace carbonx
 

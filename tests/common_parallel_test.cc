@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests of the parallelFor substrate: full index coverage at any
+ * thread count and chunk size, worker-id bounds, exception
+ * propagation with cancellation, nested calls running inline, and
+ * the thread-count resolution order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace carbonx
+{
+namespace
+{
+
+/** RAII guard restoring the automatic thread count. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(size_t n) { setThreadCount(n); }
+    ~ThreadCountGuard() { setThreadCount(0); }
+};
+
+TEST(Parallel, HardwareThreadsIsAtLeastOne)
+{
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(Parallel, ThreadCountHonorsOverride)
+{
+    const ThreadCountGuard guard(3);
+    EXPECT_EQ(threadCount(), 3u);
+}
+
+TEST(Parallel, ThreadCountRestoredToAutomatic)
+{
+    {
+        const ThreadCountGuard guard(2);
+    }
+    EXPECT_GE(threadCount(), 1u);
+}
+
+TEST(Parallel, EmptyRangeRunsNothing)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, 1, [&](size_t) { calls.fetch_add(1); });
+    parallelFor(7, 3, 1, [&](size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, EveryIndexRunsExactlyOnce)
+{
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+        const ThreadCountGuard guard(threads);
+        for (size_t chunk : {size_t{1}, size_t{3}, size_t{100}}) {
+            const size_t n = 137;
+            std::vector<std::atomic<int>> hits(n);
+            parallelFor(0, n, chunk,
+                        [&](size_t i) { hits[i].fetch_add(1); });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "index " << i << " threads " << threads
+                    << " chunk " << chunk;
+        }
+    }
+}
+
+TEST(Parallel, WorkerIdsAreInRange)
+{
+    const size_t threads = 4;
+    const ThreadCountGuard guard(threads);
+    std::atomic<size_t> max_worker{0};
+    parallelFor(0, 200, 1, [&](size_t, size_t worker) {
+        size_t seen = max_worker.load();
+        while (worker > seen &&
+               !max_worker.compare_exchange_weak(seen, worker)) {
+        }
+    });
+    EXPECT_LT(max_worker.load(), threads);
+}
+
+TEST(Parallel, SingleThreadUsesWorkerZeroOnly)
+{
+    const ThreadCountGuard guard(1);
+    std::set<size_t> workers;
+    parallelFor(0, 20, 1,
+                [&](size_t, size_t worker) { workers.insert(worker); });
+    EXPECT_EQ(workers, std::set<size_t>{0});
+}
+
+TEST(Parallel, ExceptionPropagatesToCaller)
+{
+    const ThreadCountGuard guard(4);
+    EXPECT_THROW(parallelFor(0, 100, 1,
+                             [&](size_t i) {
+                                 if (i == 42)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(Parallel, ExceptionCancelsRemainingChunks)
+{
+    const ThreadCountGuard guard(2);
+    std::atomic<int> ran{0};
+    try {
+        parallelFor(0, 100000, 1, [&](size_t i) {
+            if (i == 0)
+                throw std::runtime_error("early");
+            ran.fetch_add(1);
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &) {
+    }
+    // Some in-flight work may drain, but the bulk must be skipped.
+    EXPECT_LT(ran.load(), 100000 - 1);
+}
+
+TEST(Parallel, PoolRecoversAfterException)
+{
+    const ThreadCountGuard guard(4);
+    EXPECT_THROW(
+        parallelFor(0, 50, 1,
+                    [](size_t) { throw std::runtime_error("x"); }),
+        std::runtime_error);
+    std::atomic<int> ok{0};
+    parallelFor(0, 50, 1, [&](size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 50);
+}
+
+TEST(Parallel, NestedCallsRunInline)
+{
+    const ThreadCountGuard guard(4);
+    std::atomic<int> inner_total{0};
+    // A nested parallelFor must not deadlock and must still cover its
+    // range; the inner worker id is always 0 (inline execution).
+    parallelFor(0, 8, 1, [&](size_t, size_t) {
+        parallelFor(0, 10, 1, [&](size_t, size_t inner_worker) {
+            EXPECT_EQ(inner_worker, 0u);
+            inner_total.fetch_add(1);
+        });
+    });
+    EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(Parallel, ReusableAcrossManyJobs)
+{
+    const ThreadCountGuard guard(4);
+    for (int job = 0; job < 20; ++job) {
+        std::atomic<int> sum{0};
+        parallelFor(0, 64, 4,
+                    [&](size_t i) { sum.fetch_add(static_cast<int>(i)); });
+        EXPECT_EQ(sum.load(), 64 * 63 / 2);
+    }
+}
+
+TEST(Parallel, ChunkLargerThanRangeRunsInline)
+{
+    const ThreadCountGuard guard(8);
+    std::set<size_t> workers;
+    parallelFor(0, 5, 100,
+                [&](size_t, size_t worker) { workers.insert(worker); });
+    EXPECT_EQ(workers, std::set<size_t>{0});
+}
+
+} // namespace
+} // namespace carbonx

@@ -136,6 +136,29 @@ TEST(ExternalTraces, CsvValidation)
     EXPECT_THROW(ExternalTraces::fromCsv(path, kYear), UserError);
 }
 
+TEST(ExternalTraces, CsvRejectsDeadRenewableColumn)
+{
+    // An all-zero solar_mw column (e.g. a unit mix-up or a truncated
+    // export) used to scale into a silent all-zero shape; it must now
+    // be reported as an input error instead.
+    const std::string path =
+        testing::TempDir() + "/carbonx_dead_solar.csv";
+    CsvTable csv({"dc_power_mw", "solar_mw", "wind_mw",
+                  "intensity_g_per_kwh"});
+    const HourlyCalendar cal(kYear);
+    for (size_t h = 0; h < cal.hoursInYear(); ++h)
+        csv.addNumericRow({25.0, 0.0, 5.0 + (h % 3), 400.0});
+    csv.writeFile(path);
+    try {
+        ExternalTraces::fromCsv(path, kYear);
+        FAIL() << "expected a UserError for the dead solar column";
+    } catch (const UserError &e) {
+        EXPECT_NE(std::string(e.what()).find("solar_mw"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
 TEST(ExternalTraces, SyntheticExportFeedsBackIdentically)
 {
     // The bridge between modes: synthesize, export as an external

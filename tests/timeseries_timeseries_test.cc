@@ -117,11 +117,27 @@ TEST(TimeSeries, ScaledToMax)
     EXPECT_DOUBLE_EQ(scaled.max(), 100.0);
 }
 
-TEST(TimeSeries, ScaledToMaxOfZeroSeriesIsZero)
+TEST(TimeSeries, ScaledToMaxOfZeroSeriesThrows)
+{
+    // No scale can stretch an all-zero series to a positive maximum;
+    // returning zeros silently used to hide dead input columns.
+    const TimeSeries zero(2021);
+    EXPECT_THROW(zero.scaledToMax(100.0), UserError);
+    // Target zero stays well-defined.
+    EXPECT_DOUBLE_EQ(zero.scaledToMax(0.0).total(), 0.0);
+}
+
+TEST(TimeSeries, PerUnitShapeToleratesAbsentResource)
 {
     const TimeSeries zero(2021);
-    const TimeSeries scaled = zero.scaledToMax(100.0);
-    EXPECT_DOUBLE_EQ(scaled.total(), 0.0);
+    EXPECT_DOUBLE_EQ(perUnitShape(zero).total(), 0.0);
+
+    TimeSeries ts(2021);
+    ts[0] = 4.0;
+    ts[1] = 2.0;
+    const TimeSeries shape = perUnitShape(ts);
+    EXPECT_DOUBLE_EQ(shape[0], 1.0);
+    EXPECT_DOUBLE_EQ(shape[1], 0.5);
 }
 
 TEST(TimeSeries, ScaledToMean)

@@ -27,6 +27,7 @@
 #include "arg_parser.h"
 #include "carbon/operational.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/explorer.h"
 #include "core/report.h"
@@ -56,13 +57,16 @@ configFrom(const ArgParser &args)
 }
 
 /**
- * Apply the common observability flags: set the log level and enable
- * span collection when a trace output was requested.
+ * Apply the common observability flags: set the log level, the sweep
+ * thread count, and enable span collection when a trace output was
+ * requested.
  */
 void
 applyObsFlags(const ArgParser &args)
 {
     setLogLevel(parseLogLevel(args.getString("log-level", "warn")));
+    // 0 = auto (CARBONX_THREADS env, else hardware concurrency).
+    setThreadCount(static_cast<size_t>(args.getUint64("threads", 0)));
     if (!args.getString("trace-out", "").empty())
         obs::SpanTracer::instance().setEnabled(true);
 }
@@ -155,23 +159,21 @@ cmdOptimize(const ArgParser &args)
     const ExplorerConfig config = configFrom(args);
     CarbonExplorer explorer(config);
     if (args.getBool("progress")) {
-        // Throttled stderr rendering: ~10 lines per pass plus the
-        // final one, so stdout stays a clean parseable table.
-        explorer.setProgressCallback([](const obs::SweepProgress &p) {
-            const size_t step =
-                std::max<size_t>(p.points_total / 10, 1);
-            if (p.points_done % step != 0 &&
-                p.points_done != p.points_total) {
-                return;
-            }
-            std::cerr << "progress: pass " << p.pass << ' '
-                      << p.points_done << '/' << p.points_total
-                      << " points, best "
-                      << formatFixed(p.best_total_kg / 1e3, 1)
-                      << " tCO2, eta "
-                      << formatFixed(std::max(p.eta_seconds, 0.0), 1)
-                      << "s\n";
-        });
+        // ~10 stderr lines per pass plus the final one (throttling is
+        // done by the sweep's emitter), so stdout stays a clean
+        // parseable table.
+        explorer.setProgressCallback(
+            [](const obs::SweepProgress &p) {
+                std::cerr << "progress: pass " << p.pass << ' '
+                          << p.points_done << '/' << p.points_total
+                          << " points, best "
+                          << formatFixed(p.best_total_kg / 1e3, 1)
+                          << " tCO2, eta "
+                          << formatFixed(std::max(p.eta_seconds, 0.0),
+                                         1)
+                          << "s\n";
+            },
+            10);
     }
     const double reach = args.getDouble("reach", 10.0);
     const DesignSpace space = DesignSpace::forDatacenter(
@@ -305,6 +307,8 @@ usage()
         "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
         "  fleet    [--flex 0.4]\n\n"
         "common flags: --seed N --year Y\n"
+        "              --threads N          sweep worker threads "
+        "(0 = auto; CARBONX_THREADS env also honored)\n"
         "              --log-level silent|warn|info|debug\n"
         "              --metrics-out PATH   dump the metrics registry "
         "(.json/.csv/text)\n"

@@ -30,13 +30,13 @@ main()
     for (const char *ba : {"PACE", "DUK", "SWPP"}) {
         ExplorerConfig config;
         config.ba_code = ba;
-        config.avg_dc_power_mw = 30.0;
+        config.avg_dc_power_mw = MegaWatts(30.0);
         const CarbonExplorer explorer(config);
         const DesignSpace space =
             DesignSpace::forDatacenter(30.0, 10.0, 6, 6, 1);
         const Evaluation best =
             explorer.optimize(space, Strategy::RenewableBattery).best;
-        if (best.point.battery_mwh <= 0.0)
+        if (best.point.battery_mwh.value() <= 0.0)
             continue;
 
         const SimulationResult sim =
@@ -62,7 +62,7 @@ main()
 
         table.addRow(
             {std::string(ba),
-             formatFixed(best.point.battery_mwh, 0),
+             formatFixed(best.point.battery_mwh.value(), 0),
              formatFixed(sim.battery_cycles, 1),
              formatFixed(fec_life, 1), formatFixed(damage, 3),
              formatFixed(rainflow_life, 1),

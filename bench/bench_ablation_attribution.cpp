@@ -35,7 +35,7 @@ main()
               RenewableAttribution::WholeFarm}) {
             ExplorerConfig config;
             config.ba_code = site.ba_code;
-            config.avg_dc_power_mw = site.avg_dc_power_mw;
+            config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
             config.attribution = attribution;
             const CarbonExplorer explorer(config);
             const DesignSpace space = DesignSpace::forDatacenter(

@@ -24,12 +24,12 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
-    const double dc = config.avg_dc_power_mw;
+    const double dc = config.avg_dc_power_mw.value();
 
     const TimeSeries supply =
-        explorer.coverageAnalyzer().supplyFor(4.0 * dc, 4.0 * dc);
+        explorer.coverageAnalyzer().supplyFor(MegaWatts(4.0 * dc), MegaWatts(4.0 * dc));
     const SimulationEngine engine(explorer.dcPower(), supply);
 
     TextTable table("Coverage vs battery size, by battery model",
@@ -39,20 +39,21 @@ main()
     for (double hours : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
         const double mwh = hours * dc;
 
-        IdealBattery ideal(mwh);
+        IdealBattery ideal{MegaWattHours(mwh)};
         SimulationConfig cfg;
-        cfg.capacity_cap_mw = explorer.dcPeakPowerMw();
+        cfg.capacity_cap_mw = MegaWatts(explorer.dcPeakPowerMw());
         cfg.battery = &ideal;
         const double cov_ideal = engine.run(cfg).coverage_pct;
 
-        ClcBattery clc(mwh, BatteryChemistry::lithiumIronPhosphate());
+        ClcBattery clc(MegaWattHours(mwh),
+                       BatteryChemistry::lithiumIronPhosphate());
         cfg.battery = &clc;
         const double cov_clc = engine.run(cfg).coverage_pct;
 
         BatteryChemistry dod80 =
             BatteryChemistry::lithiumIronPhosphate();
         dod80.depth_of_discharge = 0.8;
-        ClcBattery clc80(mwh, dod80);
+        ClcBattery clc80(MegaWattHours(mwh), dod80);
         cfg.battery = &clc80;
         const double cov_80 = engine.run(cfg).coverage_pct;
 
@@ -70,13 +71,13 @@ main()
         double hi = 200.0 * dc;
         auto coverageAt = [&](double mwh) {
             SimulationConfig cfg;
-            cfg.capacity_cap_mw = explorer.dcPeakPowerMw();
+            cfg.capacity_cap_mw = MegaWatts(explorer.dcPeakPowerMw());
             if (ideal_model) {
-                IdealBattery b(mwh);
+                IdealBattery b{MegaWattHours(mwh)};
                 cfg.battery = &b;
                 return engine.run(cfg).coverage_pct;
             }
-            ClcBattery b(mwh,
+            ClcBattery b(MegaWattHours(mwh),
                          BatteryChemistry::lithiumIronPhosphate());
             cfg.battery = &b;
             return engine.run(cfg).coverage_pct;

@@ -28,14 +28,14 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries &intensity = explorer.gridIntensity();
 
     SchedulerConfig sched_cfg;
-    sched_cfg.capacity_cap_mw = 1.3 * explorer.dcPeakPowerMw();
-    sched_cfg.flexible_ratio = 0.4;
+    sched_cfg.capacity_cap_mw = MegaWatts(1.3 * explorer.dcPeakPowerMw());
+    sched_cfg.flexible_ratio = Fraction(0.4);
     const GreedyCarbonScheduler scheduler(sched_cfg);
 
     const double base_kg =

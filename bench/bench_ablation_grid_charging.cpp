@@ -24,13 +24,13 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
-    const double dc = config.avg_dc_power_mw;
+    const double dc = config.avg_dc_power_mw.value();
     const TimeSeries &intensity = explorer.gridIntensity();
 
     const TimeSeries supply =
-        explorer.coverageAnalyzer().supplyFor(3.0 * dc, 3.0 * dc);
+        explorer.coverageAnalyzer().supplyFor(MegaWatts(3.0 * dc), MegaWatts(3.0 * dc));
     const SimulationEngine engine(explorer.dcPower(), supply);
 
     TextTable table("Arbitrage threshold sweep (8 h LFP battery)",
@@ -39,15 +39,15 @@ main()
     double kg_never = 0.0;
     double best_kg = 1e30;
     for (double threshold : {0.0, 150.0, 200.0, 250.0, 300.0, 400.0}) {
-        ClcBattery battery(8.0 * dc,
+        ClcBattery battery(MegaWattHours(8.0 * dc),
                            BatteryChemistry::lithiumIronPhosphate());
         SimulationConfig cfg;
-        cfg.capacity_cap_mw = explorer.dcPeakPowerMw();
+        cfg.capacity_cap_mw = MegaWatts(explorer.dcPeakPowerMw());
         cfg.battery = &battery;
         if (threshold > 0.0) {
             cfg.grid_charge_policy =
                 GridChargePolicy::BelowIntensityThreshold;
-            cfg.grid_charge_threshold_gkwh = threshold;
+            cfg.grid_charge_threshold_gkwh = GramsPerKwh(threshold);
             cfg.grid_intensity = &intensity;
         }
         const SimulationResult r = engine.run(cfg);
@@ -59,7 +59,7 @@ main()
         best_kg = std::min(best_kg, kg);
         table.addRow({threshold == 0.0 ? "never (paper)"
                                        : formatFixed(threshold, 0),
-                      formatFixed(r.grid_charge_mwh, 0),
+                      formatFixed(r.grid_charge_mwh.value(), 0),
                       formatFixed(r.coverage_pct, 2),
                       formatFixed(KilogramsCo2(kg).kilotons(), 3),
                       formatFixed(r.battery_cycles, 0)});

@@ -23,7 +23,7 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries average = explorer.gridIntensity();
@@ -31,8 +31,8 @@ main()
         explorer.gridTrace().mix.marginalIntensity();
 
     SchedulerConfig sched;
-    sched.capacity_cap_mw = 1.3 * explorer.dcPeakPowerMw();
-    sched.flexible_ratio = 0.4;
+    sched.capacity_cap_mw = MegaWatts(1.3 * explorer.dcPeakPowerMw());
+    sched.flexible_ratio = Fraction(0.4);
     const GreedyCarbonScheduler scheduler(sched);
 
     // Score both schedules under both accounting bases.

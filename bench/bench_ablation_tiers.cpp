@@ -23,11 +23,11 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries &intensity = explorer.gridIntensity();
-    const double cap = 1.3 * explorer.dcPeakPowerMw();
+    const double cap = 1.3 * explorer.dcPeakPowerMw().value();
 
     const double base_kg =
         OperationalCarbonModel::gridEmissions(load, intensity).value();
@@ -43,8 +43,8 @@ main()
     bool monotone = true;
     for (double fwr : {0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0}) {
         SchedulerConfig cfg;
-        cfg.capacity_cap_mw = cap;
-        cfg.flexible_ratio = fwr;
+        cfg.capacity_cap_mw = MegaWatts(cap);
+        cfg.flexible_ratio = Fraction(fwr);
         const ScheduleResult r =
             GreedyCarbonScheduler(cfg).schedule(load, intensity);
         const double saving =
@@ -54,7 +54,7 @@ main()
             monotone = false;
         prev_saving = saving;
         sweep.addRow({formatPercent(100.0 * fwr, 0),
-                      formatFixed(r.moved_mwh, 0),
+                      formatFixed(r.moved_mwh.value(), 0),
                       formatFixed(saving, 2)});
     }
     sweep.print(std::cout);
@@ -62,7 +62,7 @@ main()
     // 2. Tier-aware scheduling with the Fig. 10 mix, against two
     //    single-ratio approximations.
     const WorkloadMix fig10 = WorkloadMix::metaDataProcessing();
-    const TieredScheduler tiered(fig10, cap);
+    const TieredScheduler tiered(fig10, MegaWatts(cap));
     const auto tiered_result = tiered.schedule(load, intensity);
     const double tiered_saving =
         100.0 * (base_kg - emissionsOf(tiered_result.reshaped_power)) /
@@ -70,8 +70,8 @@ main()
 
     auto singleRatioSaving = [&](double fwr) {
         SchedulerConfig cfg;
-        cfg.capacity_cap_mw = cap;
-        cfg.flexible_ratio = fwr;
+        cfg.capacity_cap_mw = MegaWatts(cap);
+        cfg.flexible_ratio = Fraction(fwr);
         const ScheduleResult r =
             GreedyCarbonScheduler(cfg).schedule(load, intensity);
         return 100.0 * (base_kg - emissionsOf(r.reshaped_power)) /
@@ -82,7 +82,7 @@ main()
     // Upper bound with matching window semantics: one tier, 100%
     // share, the widest window any Fig. 10 tier enjoys.
     const TieredScheduler all_flex(
-        WorkloadMix({{"All", 168.0, 1.0}}), cap);
+        WorkloadMix({{"All", 168.0, 1.0}}), MegaWatts(cap));
     const auto all_flex_result = all_flex.schedule(load, intensity);
     const double all_flex_saving =
         100.0 *
@@ -103,7 +103,7 @@ main()
     std::cout << "\nPer-tier contribution (tiered run):\n";
     for (const TierOutcome &t : tiered_result.tiers) {
         std::cout << "  " << t.tier_name << ": moved "
-                  << formatFixed(t.moved_mwh, 0) << " MWh\n";
+                  << formatFixed(t.moved_mwh.value(), 0) << " MWh\n";
     }
 
     bench::shapeCheck(monotone,

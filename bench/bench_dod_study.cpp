@@ -40,7 +40,7 @@ main()
         for (double dod : {1.0, 0.8, 0.6}) {
             ExplorerConfig config;
             config.ba_code = site.ba_code;
-            config.avg_dc_power_mw = site.avg_dc_power_mw;
+            config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
             config.chemistry =
                 BatteryChemistry::lithiumIronPhosphate();
             config.chemistry.depth_of_discharge = dod;
@@ -51,11 +51,11 @@ main()
                 explorer.optimize(space, Strategy::RenewableBattery)
                     .best;
             if (dod == 1.0) {
-                total_at_100 = best.totalKg();
+                total_at_100 = best.totalKg().value();
                 outcome.cycles_at_100 = best.battery_cycles;
             }
             const double delta_pct =
-                100.0 * (best.totalKg() - total_at_100) /
+                100.0 * (best.totalKg().value() - total_at_100) /
                 total_at_100;
             if (dod == 0.8)
                 outcome.delta80_pct = delta_pct;
@@ -63,10 +63,10 @@ main()
                 outcome.delta60_pct = delta_pct;
             table.addRow(
                 {std::string(state), formatFixed(100.0 * dod, 0),
-                 formatFixed(best.point.battery_mwh, 0),
+                 formatFixed(best.point.battery_mwh.value(), 0),
                  formatFixed(best.battery_cycles, 0),
                  formatFixed(best.coverage_pct, 1),
-                 formatFixed(KilogramsCo2(best.totalKg()).kilotons(),
+                 formatFixed(best.totalKg().kilotons(),
                              2),
                  dod == 1.0 ? "-"
                             : formatFixed(delta_pct, 1) + "%"});

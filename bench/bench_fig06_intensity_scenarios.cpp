@@ -21,7 +21,7 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
+    config.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer explorer(config);
 
     const TimeSeries &load = explorer.dcPower();
@@ -34,12 +34,12 @@ main()
     double hi = 1e6;
     for (int i = 0; i < 60; ++i) {
         const double mid = 0.5 * (lo + hi);
-        if (cov.supplyFor(0.6 * mid, 0.4 * mid).total() >= load.total())
+        if (cov.supplyFor(MegaWatts(0.6 * mid), MegaWatts(0.4 * mid)).total() >= load.total())
             hi = mid;
         else
             lo = mid;
     }
-    const TimeSeries supply = cov.supplyFor(0.6 * hi, 0.4 * hi);
+    const TimeSeries supply = cov.supplyFor(MegaWatts(0.6 * hi), MegaWatts(0.4 * hi));
     TimeSeries net_zero_grid_draw(load.year());
     for (size_t h = 0; h < load.size(); ++h)
         net_zero_grid_draw[h] = std::max(load[h] - supply[h], 0.0);

@@ -31,7 +31,7 @@ printSurface(const std::string &state)
     const Site &site = SiteRegistry::instance().byState(state);
     ExplorerConfig config;
     config.ba_code = site.ba_code;
-    config.avg_dc_power_mw = site.avg_dc_power_mw;
+    config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
     const CarbonExplorer explorer(config);
     const auto &cov = explorer.coverageAnalyzer();
 
@@ -48,7 +48,7 @@ printSurface(const std::string &state)
         std::vector<std::string> row = {formatFixed(4.0 * w * unit, 0)};
         for (int s = 0; s <= 5; ++s) {
             row.push_back(formatFixed(
-                cov.coverage(4.0 * s * unit, 4.0 * w * unit), 1));
+                cov.coverage(MegaWatts(4.0 * s * unit), MegaWatts(4.0 * w * unit)), 1));
         }
         table.addRow(row);
     }
@@ -56,9 +56,9 @@ printSurface(const std::string &state)
 
     SurfaceSummary out;
     out.at_meta =
-        cov.coverage(site.solar_invest_mw, site.wind_invest_mw);
-    out.solar_only_max = cov.coverage(40.0 * unit, 0.0);
-    out.full_corner = cov.coverage(20.0 * unit, 20.0 * unit);
+        cov.coverage(MegaWatts(site.solar_invest_mw), MegaWatts(site.wind_invest_mw));
+    out.solar_only_max = cov.coverage(MegaWatts(40.0 * unit), MegaWatts(0.0));
+    out.full_corner = cov.coverage(MegaWatts(20.0 * unit), MegaWatts(20.0 * unit));
     std::cout << "Meta's investment (S=" << site.solar_invest_mw
               << ", W=" << site.wind_invest_mw
               << " MW) covers: " << formatPercent(out.at_meta) << '\n';

@@ -23,7 +23,7 @@ main()
     const Site &site = SiteRegistry::instance().byState("OR");
     ExplorerConfig config;
     config.ba_code = site.ba_code;
-    config.avg_dc_power_mw = site.avg_dc_power_mw;
+    config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
     const CarbonExplorer explorer(config);
     const auto &cov = explorer.coverageAnalyzer();
 
@@ -37,24 +37,24 @@ main()
     for (double scale :
          {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0,
           12800.0, 25600.0, 51200.0}) {
-        const double real = cov.coverage(su * scale, wu * scale);
+        const double real = cov.coverage(MegaWatts(su * scale), MegaWatts(wu * scale));
         const double avg =
-            cov.coverageAssumingAverageDay(su * scale, wu * scale);
+            cov.coverageAssumingAverageDay(MegaWatts(su * scale), MegaWatts(wu * scale));
         table.addRow({formatFixed(scale, 0), formatFixed(real, 2),
                       formatFixed(avg, 2), asciiBar(real, 100.0, 30)});
     }
     table.print(std::cout);
 
-    const double k95 = cov.investmentScaleForCoverage(su, wu, 95.0,
+    const double k95 = cov.investmentScaleForCoverage(MegaWatts(su), MegaWatts(wu), 95.0,
                                                       1e6);
-    const double k999 = cov.investmentScaleForCoverage(su, wu, 99.9,
+    const double k999 = cov.investmentScaleForCoverage(MegaWatts(su), MegaWatts(wu), 99.9,
                                                        1e6);
     // Average-day scale for 99.9%.
     double lo = 0.0;
     double hi = 1e6;
     for (int i = 0; i < 60; ++i) {
         const double mid = 0.5 * (lo + hi);
-        if (cov.coverageAssumingAverageDay(su * mid, wu * mid) >= 99.9)
+        if (cov.coverageAssumingAverageDay(MegaWatts(su * mid), MegaWatts(wu * mid)) >= 99.9)
             hi = mid;
         else
             lo = mid;

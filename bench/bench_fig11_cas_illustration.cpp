@@ -23,14 +23,14 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 16.0;
+    config.avg_dc_power_mw = MegaWatts(16.0);
     const CarbonExplorer explorer(config);
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries &intensity = explorer.gridIntensity();
 
     SchedulerConfig sched_cfg;
-    sched_cfg.capacity_cap_mw = 17.6;
-    sched_cfg.flexible_ratio = 0.10;
+    sched_cfg.capacity_cap_mw = MegaWatts(17.6);
+    sched_cfg.flexible_ratio = Fraction(0.10);
     const GreedyCarbonScheduler scheduler(sched_cfg);
     const ScheduleResult result = scheduler.schedule(load, intensity);
 
@@ -54,18 +54,18 @@ main()
                              result.reshaped_power, intensity)
                              .value();
     std::cout << "\nPeak reshaped power: "
-              << formatFixed(result.peak_power_mw, 2)
+              << formatFixed(result.peak_power_mw.value(), 2)
               << " MW (cap 17.6)\nEnergy shifted over the year: "
-              << formatFixed(result.moved_mwh, 0)
+              << formatFixed(result.moved_mwh.value(), 0)
               << " MWh\nAnnual grid-mix emissions: "
               << formatFixed(KilogramsCo2(before).kilotons(), 1)
               << " -> " << formatFixed(KilogramsCo2(after).kilotons(), 1)
               << " ktCO2\n";
 
-    bench::shapeCheck(result.peak_power_mw <= 17.6 + 1e-9,
+    bench::shapeCheck(result.peak_power_mw.value() <= 17.6 + 1e-9,
                       "capacity constraint respected");
     bench::shapeCheck(after < before, "scheduling reduces emissions");
-    bench::shapeCheck(result.moved_mwh > 0.0,
+    bench::shapeCheck(result.moved_mwh.value() > 0.0,
                       "flexible load actually moves");
     return 0;
 }

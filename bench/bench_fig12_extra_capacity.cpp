@@ -23,8 +23,8 @@ main()
     const Site &ut = SiteRegistry::instance().byState("UT");
     ExplorerConfig config;
     config.ba_code = ut.ba_code;
-    config.avg_dc_power_mw = ut.avg_dc_power_mw;
-    config.flexible_ratio = 1.0; // Fig. 12 assumes all flexible.
+    config.avg_dc_power_mw = MegaWatts(ut.avg_dc_power_mw);
+    config.flexible_ratio = Fraction(1.0); // Fig. 12 assumes all flexible.
     const CarbonExplorer explorer(config);
     const double dc = ut.avg_dc_power_mw;
 
@@ -39,8 +39,11 @@ main()
         std::vector<std::string> row = {formatFixed(8.0 * w, 0) + "x"};
         for (int s = 1; s <= 6; ++s) {
             const double extra =
-                explorer.minimumExtraCapacityForCoverage(
-                    8.0 * s * dc, 8.0 * w * dc, 99.9, 4.0);
+                explorer
+                    .minimumExtraCapacityForCoverage(
+                        MegaWatts(8.0 * s * dc),
+                        MegaWatts(8.0 * w * dc), 99.9, Fraction(4.0))
+                    .value();
             if (extra < 0.0) {
                 row.push_back(">400");
                 any_unreachable = true;

@@ -21,21 +21,21 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
-    config.flexible_ratio = 0.4;
+    config.avg_dc_power_mw = MegaWatts(19.0);
+    config.flexible_ratio = Fraction(0.4);
     const CarbonExplorer explorer(config);
 
     std::cout << "Inputs:\n  demand: "
               << formatFixed(explorer.dcPower().mean(), 1)
-              << " MW avg / " << formatFixed(explorer.dcPeakPowerMw(), 1)
+              << " MW avg / " << formatFixed(explorer.dcPeakPowerMw().value(), 1)
               << " MW peak hourly series ("
               << explorer.dcPower().size() << " hours)\n  supply: "
               << config.ba_code << " wind+solar shapes, grid intensity "
               << formatFixed(explorer.gridIntensity().mean(), 0)
               << " g/kWh mean\n  embodied: solar "
-              << config.renewable_embodied.solar_g_per_kwh
+              << config.renewable_embodied.solar_g_per_kwh.value()
               << " g/kWh, wind "
-              << config.renewable_embodied.wind_g_per_kwh
+              << config.renewable_embodied.wind_g_per_kwh.value()
               << " g/kWh, battery "
               << config.chemistry.embodied_kg_per_kwh
               << " kg/kWh, server "
@@ -43,7 +43,8 @@ main()
               << config.server_spec.infrastructure_multiplier << "\n\n";
 
     const DesignSpace space =
-        DesignSpace::forDatacenter(config.avg_dc_power_mw, 8.0, 7, 7,
+        DesignSpace::forDatacenter(config.avg_dc_power_mw.value(), 8.0,
+                                   7, 7,
                                    5);
     const OptimizationResult result =
         explorer.optimize(space, Strategy::RenewableBatteryCas);
@@ -52,11 +53,11 @@ main()
               << result.evaluated.size() << " evaluated points):\n  "
               << summarizeEvaluation(result.best) << '\n';
     const Evaluation &b = result.best;
-    std::cout << "  solar " << formatFixed(b.point.solar_mw, 0)
-              << " MW, wind " << formatFixed(b.point.wind_mw, 0)
-              << " MW, battery " << formatFixed(b.point.battery_mwh, 0)
+    std::cout << "  solar " << formatFixed(b.point.solar_mw.value(), 0)
+              << " MW, wind " << formatFixed(b.point.wind_mw.value(), 0)
+              << " MW, battery " << formatFixed(b.point.battery_mwh.value(), 0)
               << " MWh, extra servers "
-              << formatPercent(100.0 * b.point.extra_capacity, 0)
+              << formatPercent(b.point.extra_capacity.percent(), 0)
               << "\n\n";
 
     const Evaluation nothing =

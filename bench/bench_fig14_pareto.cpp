@@ -25,8 +25,8 @@ analyzeSite(const std::string &state)
     const Site &site = SiteRegistry::instance().byState(state);
     ExplorerConfig config;
     config.ba_code = site.ba_code;
-    config.avg_dc_power_mw = site.avg_dc_power_mw;
-    config.flexible_ratio = 0.4;
+    config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
+    config.flexible_ratio = Fraction(0.4);
     const CarbonExplorer explorer(config);
 
     std::cout << "\n--- " << site.location << " (" << site.ba_code
@@ -65,7 +65,8 @@ analyzeSite(const std::string &state)
 
     // The zero-operational end of the frontier must use a battery.
     const Evaluation &greenest = frontier.back();
-    const bool battery_at_zero_end = greenest.point.battery_mwh > 0.0;
+    const bool battery_at_zero_end =
+        greenest.point.battery_mwh.value() > 0.0;
     std::cout << "Lowest-operational point: "
               << summarizeEvaluation(greenest) << "\n";
     return battery_at_zero_end;

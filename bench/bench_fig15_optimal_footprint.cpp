@@ -56,8 +56,8 @@ main()
     for (const Site &site : SiteRegistry::instance().all()) {
         ExplorerConfig config;
         config.ba_code = site.ba_code;
-        config.avg_dc_power_mw = site.avg_dc_power_mw;
-        config.flexible_ratio = 0.4;
+        config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
+        config.flexible_ratio = Fraction(0.4);
         const CarbonExplorer explorer(config);
         const DesignSpace space = DesignSpace::forDatacenter(
             site.avg_dc_power_mw, 12.0, 7, 7, 3);
@@ -69,7 +69,7 @@ main()
         auto cellFor = [&](Strategy s) {
             const Evaluation &e = best.at(s);
             const double per_mw =
-                e.totalKg() / 1000.0 / site.avg_dc_power_mw;
+                e.totalKg().value() / 1000.0 / site.avg_dc_power_mw;
             const std::string annotation = e.coverage_pct >= 99.95
                 ? "*"
                 : " (" + formatFixed(e.coverage_pct, 0) + "%)";

@@ -22,8 +22,8 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
-    config.flexible_ratio = 0.4;
+    config.avg_dc_power_mw = MegaWatts(19.0);
+    config.flexible_ratio = Fraction(0.4);
     const CarbonExplorer explorer(config);
 
     // Find the carbon-optimal battery design, then inspect its SoC.

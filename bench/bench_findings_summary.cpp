@@ -35,8 +35,8 @@ main()
     for (const Site &site : SiteRegistry::instance().all()) {
         ExplorerConfig config;
         config.ba_code = site.ba_code;
-        config.avg_dc_power_mw = site.avg_dc_power_mw;
-        config.flexible_ratio = 0.4;
+        config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
+        config.flexible_ratio = Fraction(0.4);
         const CarbonExplorer explorer(config);
         const DesignSpace space = DesignSpace::forDatacenter(
             site.avg_dc_power_mw, 10.0, 6, 6, 3);
@@ -60,7 +60,8 @@ main()
         cut_min = std::min(cut_min, cut);
         cut_max = std::max(cut_max, cut);
 
-        const double per_mw = combo.totalKg() / site.avg_dc_power_mw;
+        const double per_mw =
+            combo.totalKg().value() / site.avg_dc_power_mw;
         if (per_mw < best_total) {
             best_total = per_mw;
             best_site = site.state;

@@ -23,8 +23,8 @@ main()
 
     ExplorerConfig config;
     config.ba_code = "PACE";
-    config.avg_dc_power_mw = 19.0;
-    config.flexible_ratio = 0.4;
+    config.avg_dc_power_mw = MegaWatts(19.0);
+    config.flexible_ratio = Fraction(0.4);
     const CarbonExplorer explorer(config);
 
     const DesignSpace space =
@@ -36,15 +36,17 @@ main()
         explorer.simulate(best.point, Strategy::RenewableBatteryCas);
 
     HorizonInputs inputs;
-    inputs.battery_mwh = best.point.battery_mwh;
+    inputs.battery_mwh = MegaWattHours(best.point.battery_mwh);
     inputs.extra_capacity = best.point.extra_capacity;
     inputs.operational_kg_per_year = best.operational_kg;
     // Recover the attributed generation from the evaluation's
     // embodied flows.
-    inputs.solar_attributed_mwh = best.embodied_solar_kg /
-        config.renewable_embodied.solar_g_per_kwh;
-    inputs.wind_attributed_mwh = best.embodied_wind_kg /
-        config.renewable_embodied.wind_g_per_kwh;
+    inputs.solar_attributed_mwh = MegaWattHours(
+        best.embodied_solar_kg.value() /
+        config.renewable_embodied.solar_g_per_kwh.value());
+    inputs.wind_attributed_mwh = MegaWattHours(
+        best.embodied_wind_kg.value() /
+        config.renewable_embodied.wind_g_per_kwh.value());
     inputs.battery_cycles_per_year = sim.battery_cycles;
     inputs.base_peak_power_mw = explorer.dcPeakPowerMw();
 
@@ -69,9 +71,9 @@ main()
             events += " servers replaced";
         table.addRow(
             {std::to_string(y.year_index),
-             formatFixed(KilogramsCo2(y.operational_kg).kilotons(), 2),
+             formatFixed(KilogramsCo2(y.operational_kg.value()).kilotons(), 2),
              formatFixed(KilogramsCo2(y.embodied_kg).kilotons(), 2),
-             formatFixed(KilogramsCo2(y.cumulative_kg).kilotons(), 2),
+             formatFixed(KilogramsCo2(y.cumulative_kg.value()).kilotons(), 2),
              events});
     }
     table.print(std::cout);
@@ -87,10 +89,11 @@ main()
               << " server replacement(s)\n";
 
     bench::shapeCheck(plan.server_replacements >= 1 ||
-                          best.point.extra_capacity == 0.0,
+                          best.point.extra_capacity.value() == 0.0,
                       "5-year servers are replaced within a 15-year "
                       "facility life");
-    bench::shapeCheck(plan.total_kg > 14.0 * best.operational_kg,
+    bench::shapeCheck(plan.total_kg.value() >
+                          14.0 * best.operational_kg.value(),
                       "lifetime totals dominate any single year");
     return 0;
 }

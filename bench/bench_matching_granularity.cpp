@@ -34,7 +34,7 @@ main()
         const Site &site = SiteRegistry::instance().byState(state);
         ExplorerConfig config;
         config.ba_code = site.ba_code;
-        config.avg_dc_power_mw = site.avg_dc_power_mw;
+        config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
         const CarbonExplorer explorer(config);
         const TimeSeries &load = explorer.dcPower();
 
@@ -44,13 +44,13 @@ main()
         double hi = 1e6;
         for (int i = 0; i < 60; ++i) {
             const double mid = 0.5 * (lo + hi);
-            if (cov.supplyFor(0.5 * mid, 0.5 * mid).total() >=
+            if (cov.supplyFor(MegaWatts(0.5 * mid), MegaWatts(0.5 * mid)).total() >=
                 load.total())
                 hi = mid;
             else
                 lo = mid;
         }
-        const TimeSeries supply = cov.supplyFor(0.5 * hi, 0.5 * hi);
+        const TimeSeries supply = cov.supplyFor(MegaWatts(0.5 * hi), MegaWatts(0.5 * hi));
 
         std::vector<double> values;
         double prev = -1.0;

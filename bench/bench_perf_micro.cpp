@@ -30,8 +30,8 @@ sharedExplorer()
     static const CarbonExplorer explorer([] {
         ExplorerConfig config;
         config.ba_code = "PACE";
-        config.avg_dc_power_mw = 19.0;
-        config.flexible_ratio = 0.4;
+        config.avg_dc_power_mw = MegaWatts(19.0);
+        config.flexible_ratio = Fraction(0.4);
         return config;
     }());
     return explorer;
@@ -56,7 +56,7 @@ BM_CoverageEvaluation(benchmark::State &state)
     const auto &cov = sharedExplorer().coverageAnalyzer();
     double solar = 50.0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(cov.coverage(solar, 80.0));
+        benchmark::DoNotOptimize(cov.coverage(MegaWatts(solar), MegaWatts(80.0)));
         solar += 0.001; // Defeat caching.
     }
 }
@@ -67,10 +67,10 @@ BM_SimulationYearNoBattery(benchmark::State &state)
 {
     const CarbonExplorer &ex = sharedExplorer();
     const TimeSeries supply =
-        ex.coverageAnalyzer().supplyFor(80.0, 80.0);
+        ex.coverageAnalyzer().supplyFor(MegaWatts(80.0), MegaWatts(80.0));
     const SimulationEngine engine(ex.dcPower(), supply);
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = ex.dcPeakPowerMw();
+    cfg.capacity_cap_mw = MegaWatts(ex.dcPeakPowerMw());
     for (auto _ : state) {
         SimulationResult r = engine.run(cfg);
         benchmark::DoNotOptimize(r.coverage_pct);
@@ -83,13 +83,13 @@ BM_SimulationYearBatteryCas(benchmark::State &state)
 {
     const CarbonExplorer &ex = sharedExplorer();
     const TimeSeries supply =
-        ex.coverageAnalyzer().supplyFor(80.0, 80.0);
+        ex.coverageAnalyzer().supplyFor(MegaWatts(80.0), MegaWatts(80.0));
     const SimulationEngine engine(ex.dcPower(), supply);
-    ClcBattery battery(150.0,
+    ClcBattery battery(MegaWattHours(150.0),
                        BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 1.5 * ex.dcPeakPowerMw();
-    cfg.flexible_ratio = 0.4;
+    cfg.capacity_cap_mw = MegaWatts(1.5 * ex.dcPeakPowerMw());
+    cfg.flexible_ratio = Fraction(0.4);
     cfg.battery = &battery;
     for (auto _ : state) {
         SimulationResult r = engine.run(cfg);
@@ -103,13 +103,13 @@ BM_GreedySchedulerYear(benchmark::State &state)
 {
     const CarbonExplorer &ex = sharedExplorer();
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 1.2 * ex.dcPeakPowerMw();
-    cfg.flexible_ratio = 0.4;
+    cfg.capacity_cap_mw = MegaWatts(1.2 * ex.dcPeakPowerMw());
+    cfg.flexible_ratio = Fraction(0.4);
     const GreedyCarbonScheduler scheduler(cfg);
     for (auto _ : state) {
         ScheduleResult r =
             scheduler.schedule(ex.dcPower(), ex.gridIntensity());
-        benchmark::DoNotOptimize(r.moved_mwh);
+        benchmark::DoNotOptimize(r.moved_mwh.value());
     }
 }
 BENCHMARK(BM_GreedySchedulerYear);
@@ -119,14 +119,14 @@ BM_WindowedSchedulerYear(benchmark::State &state)
 {
     const CarbonExplorer &ex = sharedExplorer();
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 1.2 * ex.dcPeakPowerMw();
-    cfg.flexible_ratio = 0.4;
-    cfg.slo_window_hours = 8.0;
+    cfg.capacity_cap_mw = MegaWatts(1.2 * ex.dcPeakPowerMw());
+    cfg.flexible_ratio = Fraction(0.4);
+    cfg.slo_window_hours = Hours(8.0);
     const GreedyCarbonScheduler scheduler(cfg);
     for (auto _ : state) {
         ScheduleResult r =
             scheduler.schedule(ex.dcPower(), ex.gridIntensity());
-        benchmark::DoNotOptimize(r.moved_mwh);
+        benchmark::DoNotOptimize(r.moved_mwh.value());
     }
 }
 BENCHMARK(BM_WindowedSchedulerYear);
@@ -192,15 +192,15 @@ BENCHMARK(BM_CoordinateDescentCombined);
 void
 BM_BatteryYearOfHourlySteps(benchmark::State &state)
 {
-    ClcBattery battery(100.0,
+    ClcBattery battery(MegaWattHours(100.0),
                        BatteryChemistry::lithiumIronPhosphate());
     for (auto _ : state) {
         battery.reset();
         for (int h = 0; h < 8784; ++h) {
             if (h % 2 == 0)
-                battery.charge(60.0, 1.0);
+                battery.charge(MegaWatts(60.0), Hours(1.0));
             else
-                battery.discharge(60.0, 1.0);
+                battery.discharge(MegaWatts(60.0), Hours(1.0));
         }
         benchmark::DoNotOptimize(battery.fullEquivalentCycles());
     }

@@ -21,7 +21,7 @@ main()
 
     ExplorerConfig base;
     base.ba_code = "PACE";
-    base.avg_dc_power_mw = 19.0;
+    base.avg_dc_power_mw = MegaWatts(19.0);
     const DesignSpace space =
         DesignSpace::forDatacenter(19.0, 8.0, 6, 6, 3);
     const SensitivityAnalysis analysis(

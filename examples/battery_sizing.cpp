@@ -20,8 +20,8 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "PACE";
-    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 19.0;
-    const double dc = config.avg_dc_power_mw;
+    config.avg_dc_power_mw = MegaWatts(argc > 2 ? std::atof(argv[2]) : 19.0);
+    const double dc = config.avg_dc_power_mw.value();
 
     std::cout << "Battery sizing for a " << dc << " MW datacenter on "
               << config.ba_code << "\n\n";
@@ -38,9 +38,13 @@ main(int argc, char **argv)
         const double solar = 0.5 * reach * dc;
         const double wind = 0.5 * reach * dc;
         const double cov =
-            explorer.coverageAnalyzer().coverage(solar, wind);
-        const double mwh = explorer.minimumBatteryForCoverage(
-            solar, wind, 99.99, 200.0 * dc);
+            explorer.coverageAnalyzer().coverage(MegaWatts(solar), MegaWatts(wind));
+        const double mwh =
+            explorer
+                .minimumBatteryForCoverage(MegaWatts(solar),
+                                           MegaWatts(wind), 99.99,
+                                           MegaWattHours(200.0 * dc))
+                .value();
         sizing.addRow(
             {formatFixed(reach, 0), formatFixed(solar, 0),
              formatFixed(wind, 0), formatFixed(cov, 1),
@@ -50,7 +54,8 @@ main(int argc, char **argv)
     sizing.print(std::cout);
 
     // Chemistry comparison at a fixed design point.
-    const DesignPoint point{3.0 * dc, 3.0 * dc, 8.0 * dc, 0.0};
+    const DesignPoint point{MegaWatts(3.0 * dc), MegaWatts(3.0 * dc),
+                            MegaWattHours(8.0 * dc), Fraction(0.0)};
     TextTable chem_table(
         "\nChemistry comparison at " + point.describe(),
         {"Chemistry", "Coverage %", "Cycles/yr", "Embodied ktCO2/yr",
@@ -67,7 +72,7 @@ main(int argc, char **argv)
         chem_table.addRow(
             {chem.name, formatFixed(e.coverage_pct, 1),
              formatFixed(e.battery_cycles, 0),
-             formatFixed(KilogramsCo2(e.embodied_battery_kg).kilotons(),
+             formatFixed(KilogramsCo2(e.embodied_battery_kg.value()).kilotons(),
                          3),
              formatFixed(KilogramsCo2(e.totalKg()).kilotons(), 3)});
     }

@@ -21,15 +21,15 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "PACE";
-    config.avg_dc_power_mw = 16.0; // ~17.6 MW cap like Fig. 11.
+    config.avg_dc_power_mw = MegaWatts(16.0); // ~17.6 MW cap like Fig. 11.
     const CarbonExplorer explorer(config);
 
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries &intensity = explorer.gridIntensity();
 
     SchedulerConfig sched_cfg;
-    sched_cfg.capacity_cap_mw = 17.6;   // Fig. 11's assumed cap.
-    sched_cfg.flexible_ratio = 0.10;    // Fig. 11: 10% flexible.
+    sched_cfg.capacity_cap_mw = MegaWatts(17.6);   // Fig. 11's assumed cap.
+    sched_cfg.flexible_ratio = Fraction(0.10);    // Fig. 11: 10% flexible.
     const GreedyCarbonScheduler scheduler(sched_cfg);
     const ScheduleResult result = scheduler.schedule(load, intensity);
 
@@ -65,8 +65,8 @@ main(int argc, char **argv)
               << formatPercent(100.0 * (before_kg - after_kg) /
                                before_kg)
               << " saved)\n  energy moved: "
-              << formatFixed(result.moved_mwh, 0) << " MWh, peak "
-              << formatFixed(result.peak_power_mw, 2) << " MW (cap "
-              << formatFixed(sched_cfg.capacity_cap_mw, 1) << ")\n";
+              << formatFixed(result.moved_mwh.value(), 0) << " MWh, peak "
+              << formatFixed(result.peak_power_mw.value(), 2) << " MW (cap "
+              << formatFixed(sched_cfg.capacity_cap_mw.value(), 1) << ")\n";
     return 0;
 }

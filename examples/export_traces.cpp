@@ -24,8 +24,8 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = ba;
-    config.avg_dc_power_mw = 19.0;
-    config.flexible_ratio = 0.4;
+    config.avg_dc_power_mw = MegaWatts(19.0);
+    config.flexible_ratio = Fraction(0.4);
     const CarbonExplorer explorer(config);
     const GridTrace &grid = explorer.gridTrace();
     const TimeSeries &load = explorer.dcPower();
@@ -56,8 +56,9 @@ main(int argc, char **argv)
     load_csv.writeFile(load_path);
 
     // 3. A combined-strategy simulation at a representative design.
-    const double dc = config.avg_dc_power_mw;
-    const DesignPoint point{4.0 * dc, 4.0 * dc, 8.0 * dc, 0.25};
+    const double dc = config.avg_dc_power_mw.value();
+    const DesignPoint point{MegaWatts(4.0 * dc), MegaWatts(4.0 * dc),
+                            MegaWattHours(8.0 * dc), Fraction(0.25)};
     const SimulationResult sim =
         explorer.simulate(point, Strategy::RenewableBatteryCas);
     CsvTable sim_csv({"hour", "served_mw", "grid_mw", "battery_soc",
@@ -78,7 +79,7 @@ main(int argc, char **argv)
               << sim_path << " (" << sim_csv.numRows() << " rows)\n"
               << "Design simulated: " << point.describe()
               << ", coverage "
-              << (1.0 - sim.grid_energy_mwh / sim.load_energy_mwh) *
+              << (1.0 - sim.grid_energy_mwh.value() / sim.load_energy_mwh.value()) *
                      100.0
               << "%\n";
     return 0;

@@ -29,9 +29,9 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "ERCO";
-    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 60.0;
-    config.flexible_ratio = 0.4;
-    const double dc = config.avg_dc_power_mw;
+    config.avg_dc_power_mw = MegaWatts(argc > 2 ? std::atof(argv[2]) : 60.0);
+    config.flexible_ratio = Fraction(0.4);
+    const double dc = config.avg_dc_power_mw.value();
 
     std::cout << "=== Full design study: " << config.ba_code << ", "
               << dc << " MW datacenter ===\n\n";
@@ -41,8 +41,7 @@ main(int argc, char **argv)
     std::cout << "[1] Grid: mean intensity "
               << formatFixed(explorer.gridIntensity().mean(), 0)
               << " g/kWh; coverage at 6x 50/50 renewables: "
-              << formatPercent(explorer.coverageAnalyzer().coverage(
-                     3.0 * dc, 3.0 * dc))
+              << formatPercent(explorer.coverageAnalyzer().coverage(MegaWatts(3.0 * dc), MegaWatts(3.0 * dc)))
               << "\n\n";
 
     // 2. Design-space search.
@@ -107,10 +106,12 @@ main(int argc, char **argv)
     inputs.battery_mwh = best.point.battery_mwh;
     inputs.extra_capacity = best.point.extra_capacity;
     inputs.operational_kg_per_year = best.operational_kg;
-    inputs.solar_attributed_mwh = best.embodied_solar_kg /
-        config.renewable_embodied.solar_g_per_kwh;
-    inputs.wind_attributed_mwh = best.embodied_wind_kg /
-        config.renewable_embodied.wind_g_per_kwh;
+    inputs.solar_attributed_mwh = MegaWattHours(
+        best.embodied_solar_kg.value() /
+        config.renewable_embodied.solar_g_per_kwh.value());
+    inputs.wind_attributed_mwh = MegaWattHours(
+        best.embodied_wind_kg.value() /
+        config.renewable_embodied.wind_g_per_kwh.value());
     inputs.battery_cycles_per_year = sim.battery_cycles;
     inputs.base_peak_power_mw = explorer.dcPeakPowerMw();
     const HorizonPlanner planner(

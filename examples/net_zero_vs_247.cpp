@@ -23,7 +23,7 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "DUK";
-    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 51.0;
+    config.avg_dc_power_mw = MegaWatts(argc > 2 ? std::atof(argv[2]) : 51.0);
     const CarbonExplorer explorer(config);
 
     const TimeSeries &load = explorer.dcPower();
@@ -36,14 +36,14 @@ main(int argc, char **argv)
     double hi = 1e6;
     for (int i = 0; i < 60; ++i) {
         const double mid = 0.5 * (lo + hi);
-        if (cov.supplyFor(0.7 * mid, 0.3 * mid).total() >= load.total())
+        if (cov.supplyFor(MegaWatts(0.7 * mid), MegaWatts(0.3 * mid)).total() >= load.total())
             hi = mid;
         else
             lo = mid;
     }
     const double solar_mw = 0.7 * hi;
     const double wind_mw = 0.3 * hi;
-    const TimeSeries supply = cov.supplyFor(solar_mw, wind_mw);
+    const TimeSeries supply = cov.supplyFor(MegaWatts(solar_mw), MegaWatts(wind_mw));
 
     const NetZeroReport report =
         NetZeroAccounting::evaluate(load, supply, intensity);
@@ -51,22 +51,27 @@ main(int argc, char **argv)
     TextTable table("Net Zero accounting at " + config.ba_code,
                     {"Metric", "Value"});
     table.addRow({"Annual consumption",
-                  formatFixed(report.consumed_mwh / 1e3, 1) + " GWh"});
+                  formatFixed(report.consumed_mwh.value() / 1e3, 1) + " GWh"});
     table.addRow({"Annual REC credits",
-                  formatFixed(report.credits_mwh / 1e3, 1) + " GWh"});
+                  formatFixed(report.credits_mwh.value() / 1e3, 1) + " GWh"});
     table.addRow({"Net Zero achieved", report.net_zero ? "yes" : "no"});
     table.addRow({"Hourly 24/7 coverage",
                   formatPercent(report.hourly_coverage_pct)});
     table.addRow({"Residual hourly emissions",
-                  formatFixed(KilogramsCo2(report.hourly_emissions_kg)
+                  formatFixed(KilogramsCo2(report.hourly_emissions_kg.value())
                                   .kilotons(),
                               1) +
                       " ktCO2/yr"});
     table.print(std::cout);
 
     // What does actually closing the hourly gap take?
-    const double battery_mwh = explorer.minimumBatteryForCoverage(
-        solar_mw, wind_mw, 99.99, 400.0 * config.avg_dc_power_mw);
+    const double battery_mwh =
+        explorer
+            .minimumBatteryForCoverage(
+                MegaWatts(solar_mw), MegaWatts(wind_mw), 99.99,
+                MegaWattHours(400.0 *
+                              config.avg_dc_power_mw.value()))
+            .value();
     std::cout << "\nClosing the hourly gap at this investment level "
               << "requires ";
     if (battery_mwh < 0.0) {
@@ -74,7 +79,8 @@ main(int argc, char **argv)
                      "renewables or scheduling are needed too.\n";
     } else {
         std::cout << formatFixed(battery_mwh, 0) << " MWh of battery ("
-                  << formatFixed(battery_mwh / config.avg_dc_power_mw,
+                  << formatFixed(battery_mwh /
+                                     config.avg_dc_power_mw.value(),
                                  1)
                   << " hours of compute).\n";
     }

@@ -23,8 +23,8 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "PACE";
-    config.avg_dc_power_mw = argc > 2 ? std::atof(argv[2]) : 19.0;
-    config.flexible_ratio = 0.4; // Paper's realistic flexible share.
+    config.avg_dc_power_mw = MegaWatts(argc > 2 ? std::atof(argv[2]) : 19.0);
+    config.flexible_ratio = Fraction(0.4); // Paper's realistic flexible share.
 
     std::cout << "Carbon Explorer quickstart\n"
               << "  region: " << config.ba_code << ", datacenter: "
@@ -41,15 +41,15 @@ main(int argc, char **argv)
 
     // 2. Coverage from a first renewable guess: 6x the DC's average
     //    power, split between solar and wind.
-    const double guess = 6.0 * config.avg_dc_power_mw;
-    const double cov = explorer.coverageAnalyzer().coverage(
-        0.5 * guess, 0.5 * guess);
+    const double guess = 6.0 * config.avg_dc_power_mw.value();
+    const double cov = explorer.coverageAnalyzer().coverage(MegaWatts(0.5 * guess), MegaWatts(0.5 * guess));
     std::cout << "Coverage with " << guess << " MW of 50/50 "
               << "renewables: " << formatPercent(cov) << "\n\n";
 
     // 3. Optimize each strategy over the default design space.
     const DesignSpace space =
-        DesignSpace::forDatacenter(config.avg_dc_power_mw, 8.0, 7, 7, 5);
+        DesignSpace::forDatacenter(config.avg_dc_power_mw.value(), 8.0, 7,
+                                   7, 5);
     std::vector<Evaluation> bests;
     for (Strategy strategy :
          {Strategy::RenewablesOnly, Strategy::RenewableBattery,

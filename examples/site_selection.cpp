@@ -34,7 +34,7 @@ main()
     for (const Site &site : SiteRegistry::instance().all()) {
         ExplorerConfig config;
         config.ba_code = site.ba_code;
-        config.avg_dc_power_mw = site.avg_dc_power_mw;
+        config.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
         const CarbonExplorer explorer(config);
 
         const DesignSpace space = DesignSpace::forDatacenter(
@@ -47,7 +47,7 @@ main()
         rows.push_back(Row{
             site, renewableCharacterName(profile.character),
             result.best.coverage_pct,
-            result.best.totalKg() / site.avg_dc_power_mw});
+            result.best.totalKg().value() / site.avg_dc_power_mw});
     }
 
     std::sort(rows.begin(), rows.end(),

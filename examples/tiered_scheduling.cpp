@@ -21,14 +21,14 @@ main(int argc, char **argv)
 
     ExplorerConfig config;
     config.ba_code = argc > 1 ? argv[1] : "ERCO";
-    config.avg_dc_power_mw = 30.0;
+    config.avg_dc_power_mw = MegaWatts(30.0);
     const CarbonExplorer explorer(config);
     const TimeSeries &load = explorer.dcPower();
     const TimeSeries &intensity = explorer.gridIntensity();
 
     const WorkloadMix mix = WorkloadMix::metaDataProcessing();
-    const double cap = 1.25 * explorer.dcPeakPowerMw();
-    const TieredScheduler scheduler(mix, cap);
+    const double cap = 1.25 * explorer.dcPeakPowerMw().value();
+    const TieredScheduler scheduler(mix, MegaWatts(cap));
     const TieredScheduleResult result =
         scheduler.schedule(load, intensity);
 
@@ -46,20 +46,20 @@ main(int argc, char **argv)
                      "MWh moved per share-point"});
     for (const TierOutcome &t : result.tiers) {
         table.addRow({t.tier_name,
-                      formatFixed(t.slo_window_hours, 0),
-                      formatFixed(100.0 * t.share, 1),
-                      formatFixed(t.moved_mwh, 0),
-                      t.share > 0.0
-                          ? formatFixed(t.moved_mwh /
-                                            (100.0 * t.share),
+                      formatFixed(t.slo_window_hours.value(), 0),
+                      formatFixed(t.share.percent(), 1),
+                      formatFixed(t.moved_mwh.value(), 0),
+                      t.share.value() > 0.0
+                          ? formatFixed(t.moved_mwh.value() /
+                                            t.share.percent(),
                                         0)
                           : "-"});
     }
     table.print(std::cout);
 
     std::cout << "\nTotal energy moved: "
-              << formatFixed(result.moved_mwh, 0) << " MWh, peak "
-              << formatFixed(result.peak_power_mw, 2)
+              << formatFixed(result.moved_mwh.value(), 0) << " MWh, peak "
+              << formatFixed(result.peak_power_mw.value(), 2)
               << " MW\nAnnual grid-mix emissions: "
               << formatFixed(KilogramsCo2(before).kilotons(), 1)
               << " -> " << formatFixed(KilogramsCo2(after).kilotons(), 1)

@@ -9,8 +9,10 @@
  * power from discharge(); implementations decide how much they accept
  * or deliver given their physical limits.
  *
- * Power convention: both calls use AC-terminal power in MW — what the
+ * Power convention: both calls use AC-terminal power — what the
  * grid/datacenter sees. Conversion losses happen inside the model.
+ * All quantities are carried in the strong unit types of
+ * common/units.h; the raw-double boundary ends at this interface.
  */
 
 #ifndef CARBONX_BATTERY_BATTERY_MODEL_H
@@ -18,6 +20,8 @@
 
 #include <memory>
 #include <string>
+
+#include "common/units.h"
 
 namespace carbonx
 {
@@ -28,44 +32,43 @@ class BatteryModel
   public:
     virtual ~BatteryModel() = default;
 
-    /** Nameplate energy capacity in MWh. */
-    virtual double capacityMwh() const = 0;
+    /** Nameplate energy capacity. */
+    virtual MegaWattHours capacityMwh() const = 0;
 
-    /** Current stored energy in MWh. */
-    virtual double energyContentMwh() const = 0;
+    /** Current stored energy. */
+    virtual MegaWattHours energyContentMwh() const = 0;
 
     /** State of charge in [0, 1]: content / capacity. */
-    virtual double stateOfCharge() const = 0;
+    virtual Fraction stateOfCharge() const = 0;
 
     /**
      * Offer charging power for a timestep.
      *
-     * @param offered_power_mw AC power available for charging (>= 0).
-     * @param dt_hours Timestep length in hours.
+     * @param offered_power AC power available for charging (>= 0).
+     * @param dt Timestep length.
      * @return AC power actually drawn (<= offered), limited by C-rate
      *         and remaining headroom.
      */
-    virtual double charge(double offered_power_mw, double dt_hours) = 0;
+    virtual MegaWatts charge(MegaWatts offered_power, Hours dt) = 0;
 
     /**
      * Request discharging power for a timestep.
      *
-     * @param requested_power_mw AC power needed (>= 0).
-     * @param dt_hours Timestep length in hours.
+     * @param requested_power AC power needed (>= 0).
+     * @param dt Timestep length.
      * @return AC power actually delivered (<= requested), limited by
      *         C-rate and usable stored energy.
      */
-    virtual double discharge(double requested_power_mw,
-                             double dt_hours) = 0;
+    virtual MegaWatts discharge(MegaWatts requested_power, Hours dt) = 0;
 
     /** Restore the initial state and clear throughput counters. */
     virtual void reset() = 0;
 
-    /** Total AC energy absorbed while charging (MWh since reset). */
-    virtual double totalChargedMwh() const = 0;
+    /** Total AC energy absorbed while charging (since reset). */
+    virtual MegaWattHours totalChargedMwh() const = 0;
 
-    /** Total AC energy delivered while discharging (MWh since reset). */
-    virtual double totalDischargedMwh() const = 0;
+    /** Total AC energy delivered while discharging (since reset). */
+    virtual MegaWattHours totalDischargedMwh() const = 0;
 
     /**
      * Full-equivalent cycles since reset: discharged energy divided by

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/units.h"
+
 namespace carbonx
 {
 
@@ -63,6 +65,16 @@ struct BatteryChemistry
 
     /** Calendar life cap in years regardless of cycling. */
     double calendar_life_years = 15.0;
+
+    /**
+     * The manufacturing footprint as a strongly typed per-MWh
+     * intensity, ready for the units.h algebra (intensity * capacity
+     * = mass).
+     */
+    KgCo2PerMwh embodiedIntensity() const
+    {
+        return KgCo2PerMwh::fromPerKwh(embodied_kg_per_kwh);
+    }
 
     /**
      * Rated cycles at a DoD, log-linearly interpolated between curve

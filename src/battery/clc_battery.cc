@@ -4,17 +4,18 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 #include "obs/metrics.h"
 
 namespace carbonx
 {
 
-ClcBattery::ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
+ClcBattery::ClcBattery(MegaWattHours capacity, BatteryChemistry chemistry,
                        double initial_soc)
-    : capacity_mwh_(capacity_mwh), chemistry_(std::move(chemistry)),
+    : capacity_mwh_(capacity), chemistry_(std::move(chemistry)),
       charged_mwh_(0.0), discharged_mwh_(0.0)
 {
-    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    require(capacity.value() >= 0.0, "battery capacity must be >= 0");
     require(chemistry_.charge_efficiency > 0.0 &&
                 chemistry_.charge_efficiency <= 1.0,
             "charge efficiency must be in (0, 1]");
@@ -32,9 +33,11 @@ ClcBattery::ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
     double soc = initial_soc;
     if (soc < 0.0)
         soc = min_soc; // Default: start at the empty end of the window.
-    require(soc >= min_soc - 1e-9 && soc <= 1.0 + 1e-9,
+    require(soc >= min_soc - kUnitIntervalSlack &&
+                soc <= 1.0 + kUnitIntervalSlack,
             "initial SoC outside the DoD window");
-    initial_content_mwh_ = capacity_mwh_ * std::clamp(soc, min_soc, 1.0);
+    initial_content_mwh_ =
+        capacity_mwh_ * std::clamp(soc, min_soc, 1.0);
     content_mwh_ = initial_content_mwh_;
 }
 
@@ -49,89 +52,95 @@ ClcBattery::~ClcBattery()
         obs::gauge("battery.discharged_mwh_total");
     c_charge.increment(charge_calls_);
     c_discharge.increment(discharge_calls_);
-    g_charged.add(lifetime_charged_mwh_ + charged_mwh_);
-    g_discharged.add(lifetime_discharged_mwh_ + discharged_mwh_);
+    g_charged.add((lifetime_charged_mwh_ + charged_mwh_).value());
+    g_discharged.add((lifetime_discharged_mwh_ + discharged_mwh_).value());
 }
 
-double
+Fraction
 ClcBattery::stateOfCharge() const
 {
-    return capacity_mwh_ > 0.0 ? content_mwh_ / capacity_mwh_ : 0.0;
+    return Fraction(capacity_mwh_.value() > 0.0
+                        ? content_mwh_ / capacity_mwh_
+                        : 0.0);
 }
 
-double
+MegaWattHours
 ClcBattery::usableCapacityMwh() const
 {
     return capacity_mwh_ * chemistry_.depth_of_discharge;
 }
 
-double
+MegaWattHours
 ClcBattery::minContentMwh() const
 {
     return capacity_mwh_ * (1.0 - chemistry_.depth_of_discharge);
 }
 
-double
-ClcBattery::charge(double offered_power_mw, double dt_hours)
+MegaWatts
+ClcBattery::charge(MegaWatts offered_power, Hours dt)
 {
-    require(offered_power_mw >= 0.0, "charge power must be >= 0");
-    require(dt_hours > 0.0, "timestep must be positive");
+    require(offered_power.value() >= 0.0, "charge power must be >= 0");
+    require(dt.value() > 0.0, "timestep must be positive");
     ++charge_calls_;
-    if (capacity_mwh_ <= 0.0 || offered_power_mw <= 0.0)
-        return 0.0;
+    if (capacity_mwh_.value() <= 0.0 || offered_power.value() <= 0.0)
+        return MegaWatts(0.0);
 
     // C-rate power cap (applied at the AC terminal, per the C/L/C
     // model's linear charging limit).
-    const double rate_cap = chemistry_.max_charge_c_rate * capacity_mwh_;
+    const MegaWatts rate_cap(chemistry_.max_charge_c_rate *
+                             capacity_mwh_.value());
     // Headroom cap: cannot exceed nameplate content after losses.
-    const double headroom = std::max(capacity_mwh_ - content_mwh_, 0.0);
-    const double headroom_cap =
-        headroom / (chemistry_.charge_efficiency * dt_hours);
+    const MegaWattHours headroom =
+        max(capacity_mwh_ - content_mwh_, MegaWattHours(0.0));
+    const MegaWatts headroom_cap(
+        headroom.value() / (chemistry_.charge_efficiency * dt.value()));
 
-    const double accepted =
-        std::min({offered_power_mw, rate_cap, headroom_cap});
-    content_mwh_ += accepted * dt_hours * chemistry_.charge_efficiency;
-    content_mwh_ = std::min(content_mwh_, capacity_mwh_);
-    charged_mwh_ += accepted * dt_hours;
+    const MegaWatts accepted =
+        min(min(offered_power, rate_cap), headroom_cap);
+    content_mwh_ += MegaWattHours(accepted.value() * dt.value() *
+                                  chemistry_.charge_efficiency);
+    content_mwh_ = min(content_mwh_, capacity_mwh_);
+    charged_mwh_ += accepted * dt;
     return accepted;
 }
 
-double
-ClcBattery::discharge(double requested_power_mw, double dt_hours)
+MegaWatts
+ClcBattery::discharge(MegaWatts requested_power, Hours dt)
 {
-    require(requested_power_mw >= 0.0, "discharge power must be >= 0");
-    require(dt_hours > 0.0, "timestep must be positive");
+    require(requested_power.value() >= 0.0,
+            "discharge power must be >= 0");
+    require(dt.value() > 0.0, "timestep must be positive");
     ++discharge_calls_;
-    if (capacity_mwh_ <= 0.0 || requested_power_mw <= 0.0)
-        return 0.0;
+    if (capacity_mwh_.value() <= 0.0 || requested_power.value() <= 0.0)
+        return MegaWatts(0.0);
 
-    const double rate_cap =
-        chemistry_.max_discharge_c_rate * capacity_mwh_;
+    const MegaWatts rate_cap(chemistry_.max_discharge_c_rate *
+                             capacity_mwh_.value());
     // Usable stored energy above the DoD floor, delivered at the AC
     // terminal after discharge losses.
-    const double available =
-        std::max(content_mwh_ - minContentMwh(), 0.0);
-    const double content_cap =
-        available * chemistry_.discharge_efficiency / dt_hours;
+    const MegaWattHours available =
+        max(content_mwh_ - minContentMwh(), MegaWattHours(0.0));
+    const MegaWatts content_cap(
+        available.value() * chemistry_.discharge_efficiency / dt.value());
 
-    const double delivered =
-        std::min({requested_power_mw, rate_cap, content_cap});
-    content_mwh_ -=
-        delivered * dt_hours / chemistry_.discharge_efficiency;
-    content_mwh_ = std::max(content_mwh_, minContentMwh());
-    discharged_mwh_ += delivered * dt_hours;
+    const MegaWatts delivered =
+        min(min(requested_power, rate_cap), content_cap);
+    content_mwh_ -= MegaWattHours(delivered.value() * dt.value() /
+                                  chemistry_.discharge_efficiency);
+    content_mwh_ = max(content_mwh_, minContentMwh());
+    discharged_mwh_ += delivered * dt;
     return delivered;
 }
 
 void
-ClcBattery::setCapacity(double capacity_mwh)
+ClcBattery::setCapacity(MegaWattHours capacity)
 {
-    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    require(capacity.value() >= 0.0, "battery capacity must be >= 0");
     lifetime_charged_mwh_ += charged_mwh_;
     lifetime_discharged_mwh_ += discharged_mwh_;
-    charged_mwh_ = 0.0;
-    discharged_mwh_ = 0.0;
-    capacity_mwh_ = capacity_mwh;
+    charged_mwh_ = MegaWattHours(0.0);
+    discharged_mwh_ = MegaWattHours(0.0);
+    capacity_mwh_ = capacity;
     const double min_soc = 1.0 - chemistry_.depth_of_discharge;
     initial_content_mwh_ = capacity_mwh_ * min_soc;
     content_mwh_ = initial_content_mwh_;
@@ -143,15 +152,15 @@ ClcBattery::reset()
     content_mwh_ = initial_content_mwh_;
     lifetime_charged_mwh_ += charged_mwh_;
     lifetime_discharged_mwh_ += discharged_mwh_;
-    charged_mwh_ = 0.0;
-    discharged_mwh_ = 0.0;
+    charged_mwh_ = MegaWattHours(0.0);
+    discharged_mwh_ = MegaWattHours(0.0);
 }
 
 double
 ClcBattery::fullEquivalentCycles() const
 {
-    const double usable = usableCapacityMwh();
-    return usable > 0.0 ? discharged_mwh_ / usable : 0.0;
+    const MegaWattHours usable = usableCapacityMwh();
+    return usable.value() > 0.0 ? discharged_mwh_ / usable : 0.0;
 }
 
 std::string

@@ -31,47 +31,52 @@ class ClcBattery : public BatteryModel
 {
   public:
     /**
-     * @param capacity_mwh Nameplate capacity; must be >= 0 (a zero
+     * @param capacity Nameplate capacity; must be >= 0 (a zero
      *        capacity battery is valid and accepts/delivers nothing).
      * @param chemistry Chemistry parameter set.
-     * @param initial_soc Initial state of charge in [min SoC, 1].
+     * @param initial_soc Initial state of charge in [min SoC, 1];
+     *        negative selects the default (the empty end of the DoD
+     *        window).
      */
-    ClcBattery(double capacity_mwh, BatteryChemistry chemistry,
+    ClcBattery(MegaWattHours capacity, BatteryChemistry chemistry,
                double initial_soc = -1.0);
 
     /** Flushes this instance's step counts to the metrics registry. */
     ~ClcBattery() override;
 
-    double capacityMwh() const override { return capacity_mwh_; }
-    double energyContentMwh() const override { return content_mwh_; }
-    double stateOfCharge() const override;
+    MegaWattHours capacityMwh() const override { return capacity_mwh_; }
+    MegaWattHours energyContentMwh() const override { return content_mwh_; }
+    Fraction stateOfCharge() const override;
 
-    double charge(double offered_power_mw, double dt_hours) override;
-    double discharge(double requested_power_mw, double dt_hours) override;
+    MegaWatts charge(MegaWatts offered_power, Hours dt) override;
+    MegaWatts discharge(MegaWatts requested_power, Hours dt) override;
 
     void reset() override;
 
     /**
      * Re-purpose this instance as a freshly constructed battery of
-     * @p capacity_mwh (chemistry unchanged, SoC back at the default
+     * @p capacity (chemistry unchanged, SoC back at the default
      * empty end of the DoD window). Finished throughput folds into
      * the lifetime totals exactly like reset(), so the design-space
      * sweep can reuse one instance per worker instead of allocating
      * a battery per sampled capacity.
      */
-    void setCapacity(double capacity_mwh);
+    void setCapacity(MegaWattHours capacity);
 
-    double totalChargedMwh() const override { return charged_mwh_; }
-    double totalDischargedMwh() const override { return discharged_mwh_; }
+    MegaWattHours totalChargedMwh() const override { return charged_mwh_; }
+    MegaWattHours totalDischargedMwh() const override
+    {
+        return discharged_mwh_;
+    }
     double fullEquivalentCycles() const override;
 
     std::string description() const override;
 
-    /** Usable capacity: DoD * nameplate (MWh). */
-    double usableCapacityMwh() const;
+    /** Usable capacity: DoD * nameplate. */
+    MegaWattHours usableCapacityMwh() const;
 
-    /** Minimum allowed energy content (MWh). */
-    double minContentMwh() const;
+    /** Minimum allowed energy content. */
+    MegaWattHours minContentMwh() const;
 
     const BatteryChemistry &chemistry() const { return chemistry_; }
 
@@ -82,20 +87,20 @@ class ClcBattery : public BatteryModel
     uint64_t dischargeCalls() const { return discharge_calls_; }
 
   private:
-    double capacity_mwh_;
+    MegaWattHours capacity_mwh_;
     BatteryChemistry chemistry_;
-    double initial_content_mwh_;
-    double content_mwh_;
-    double charged_mwh_;
-    double discharged_mwh_;
+    MegaWattHours initial_content_mwh_;
+    MegaWattHours content_mwh_;
+    MegaWattHours charged_mwh_;
+    MegaWattHours discharged_mwh_;
 
     // Step accounting is kept in plain members (the battery is not
     // shared across threads) and flushed to the process-wide metrics
     // registry once, in the destructor, so the per-step cost is nil.
     uint64_t charge_calls_ = 0;
     uint64_t discharge_calls_ = 0;
-    double lifetime_charged_mwh_ = 0.0;
-    double lifetime_discharged_mwh_ = 0.0;
+    MegaWattHours lifetime_charged_mwh_;
+    MegaWattHours lifetime_discharged_mwh_;
 };
 
 } // namespace carbonx

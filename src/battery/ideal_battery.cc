@@ -1,62 +1,66 @@
 #include "ideal_battery.h"
 
-#include <algorithm>
-
 #include "common/error.h"
 
 namespace carbonx
 {
 
-IdealBattery::IdealBattery(double capacity_mwh)
-    : capacity_mwh_(capacity_mwh), content_mwh_(0.0), charged_mwh_(0.0),
+IdealBattery::IdealBattery(MegaWattHours capacity)
+    : capacity_mwh_(capacity), content_mwh_(0.0), charged_mwh_(0.0),
       discharged_mwh_(0.0)
 {
-    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
+    require(capacity.value() >= 0.0, "battery capacity must be >= 0");
 }
 
-double
+Fraction
 IdealBattery::stateOfCharge() const
 {
-    return capacity_mwh_ > 0.0 ? content_mwh_ / capacity_mwh_ : 0.0;
+    return Fraction(capacity_mwh_.value() > 0.0
+                        ? content_mwh_ / capacity_mwh_
+                        : 0.0);
 }
 
-double
-IdealBattery::charge(double offered_power_mw, double dt_hours)
+MegaWatts
+IdealBattery::charge(MegaWatts offered_power, Hours dt)
 {
-    require(offered_power_mw >= 0.0, "charge power must be >= 0");
-    require(dt_hours > 0.0, "timestep must be positive");
-    const double headroom_cap =
-        std::max(capacity_mwh_ - content_mwh_, 0.0) / dt_hours;
-    const double accepted = std::min(offered_power_mw, headroom_cap);
-    content_mwh_ += accepted * dt_hours;
-    charged_mwh_ += accepted * dt_hours;
+    require(offered_power.value() >= 0.0, "charge power must be >= 0");
+    require(dt.value() > 0.0, "timestep must be positive");
+    const MegaWatts headroom_cap =
+        max(capacity_mwh_ - content_mwh_, MegaWattHours(0.0)) / dt;
+    const MegaWatts accepted = min(offered_power, headroom_cap);
+    content_mwh_ += accepted * dt;
+    charged_mwh_ += accepted * dt;
     return accepted;
 }
 
-double
-IdealBattery::discharge(double requested_power_mw, double dt_hours)
+MegaWatts
+IdealBattery::discharge(MegaWatts requested_power, Hours dt)
 {
-    require(requested_power_mw >= 0.0, "discharge power must be >= 0");
-    require(dt_hours > 0.0, "timestep must be positive");
-    const double content_cap = std::max(content_mwh_, 0.0) / dt_hours;
-    const double delivered = std::min(requested_power_mw, content_cap);
-    content_mwh_ -= delivered * dt_hours;
-    discharged_mwh_ += delivered * dt_hours;
+    require(requested_power.value() >= 0.0,
+            "discharge power must be >= 0");
+    require(dt.value() > 0.0, "timestep must be positive");
+    const MegaWatts content_cap =
+        max(content_mwh_, MegaWattHours(0.0)) / dt;
+    const MegaWatts delivered = min(requested_power, content_cap);
+    content_mwh_ -= delivered * dt;
+    discharged_mwh_ += delivered * dt;
     return delivered;
 }
 
 void
 IdealBattery::reset()
 {
-    content_mwh_ = 0.0;
-    charged_mwh_ = 0.0;
-    discharged_mwh_ = 0.0;
+    content_mwh_ = MegaWattHours(0.0);
+    charged_mwh_ = MegaWattHours(0.0);
+    discharged_mwh_ = MegaWattHours(0.0);
 }
 
 double
 IdealBattery::fullEquivalentCycles() const
 {
-    return capacity_mwh_ > 0.0 ? discharged_mwh_ / capacity_mwh_ : 0.0;
+    return capacity_mwh_.value() > 0.0
+        ? discharged_mwh_ / capacity_mwh_
+        : 0.0;
 }
 
 } // namespace carbonx

@@ -17,29 +17,32 @@ namespace carbonx
 class IdealBattery : public BatteryModel
 {
   public:
-    /** @param capacity_mwh Nameplate (and usable) capacity. */
-    explicit IdealBattery(double capacity_mwh);
+    /** @param capacity Nameplate (and usable) capacity. */
+    explicit IdealBattery(MegaWattHours capacity);
 
-    double capacityMwh() const override { return capacity_mwh_; }
-    double energyContentMwh() const override { return content_mwh_; }
-    double stateOfCharge() const override;
+    MegaWattHours capacityMwh() const override { return capacity_mwh_; }
+    MegaWattHours energyContentMwh() const override { return content_mwh_; }
+    Fraction stateOfCharge() const override;
 
-    double charge(double offered_power_mw, double dt_hours) override;
-    double discharge(double requested_power_mw, double dt_hours) override;
+    MegaWatts charge(MegaWatts offered_power, Hours dt) override;
+    MegaWatts discharge(MegaWatts requested_power, Hours dt) override;
 
     void reset() override;
 
-    double totalChargedMwh() const override { return charged_mwh_; }
-    double totalDischargedMwh() const override { return discharged_mwh_; }
+    MegaWattHours totalChargedMwh() const override { return charged_mwh_; }
+    MegaWattHours totalDischargedMwh() const override
+    {
+        return discharged_mwh_;
+    }
     double fullEquivalentCycles() const override;
 
     std::string description() const override { return "ideal battery"; }
 
   private:
-    double capacity_mwh_;
-    double content_mwh_;
-    double charged_mwh_;
-    double discharged_mwh_;
+    MegaWattHours capacity_mwh_;
+    MegaWattHours content_mwh_;
+    MegaWattHours charged_mwh_;
+    MegaWattHours discharged_mwh_;
 };
 
 } // namespace carbonx

@@ -9,8 +9,8 @@ EmbodiedCarbonModel::EmbodiedCarbonModel(
     RenewableEmbodiedParams renewables, ServerSpec server_spec)
     : renewable_params_(renewables), server_spec_(server_spec)
 {
-    require(renewables.wind_g_per_kwh >= 0.0 &&
-                renewables.solar_g_per_kwh >= 0.0,
+    require(renewables.wind_g_per_kwh.value() >= 0.0 &&
+                renewables.solar_g_per_kwh.value() >= 0.0,
             "renewable embodied footprints must be >= 0");
     require(renewables.wind_lifetime_years > 0.0 &&
                 renewables.solar_lifetime_years > 0.0,
@@ -23,48 +23,49 @@ EmbodiedCarbonModel::EmbodiedCarbonModel()
 }
 
 KilogramsCo2
-EmbodiedCarbonModel::windAnnual(double generated_mwh) const
+EmbodiedCarbonModel::windAnnual(MegaWattHours generated_mwh) const
 {
-    require(generated_mwh >= 0.0, "generation must be >= 0");
-    // g/kWh == kg/MWh.
-    return KilogramsCo2(renewable_params_.wind_g_per_kwh * generated_mwh);
+    require(generated_mwh.value() >= 0.0, "generation must be >= 0");
+    // g/kWh == kg/MWh; the cross-unit operator carries the identity.
+    return renewable_params_.wind_g_per_kwh * generated_mwh;
 }
 
 KilogramsCo2
-EmbodiedCarbonModel::solarAnnual(double generated_mwh) const
+EmbodiedCarbonModel::solarAnnual(MegaWattHours generated_mwh) const
 {
-    require(generated_mwh >= 0.0, "generation must be >= 0");
-    return KilogramsCo2(renewable_params_.solar_g_per_kwh * generated_mwh);
+    require(generated_mwh.value() >= 0.0, "generation must be >= 0");
+    return renewable_params_.solar_g_per_kwh * generated_mwh;
 }
 
 KilogramsCo2
-EmbodiedCarbonModel::batteryTotal(double capacity_mwh,
+EmbodiedCarbonModel::batteryTotal(MegaWattHours capacity_mwh,
                                   const BatteryChemistry &chem) const
 {
-    require(capacity_mwh >= 0.0, "battery capacity must be >= 0");
-    return KilogramsCo2(capacity_mwh * 1e3 * chem.embodied_kg_per_kwh);
+    require(capacity_mwh.value() >= 0.0, "battery capacity must be >= 0");
+    return chem.embodiedIntensity() * capacity_mwh;
 }
 
 KilogramsCo2
-EmbodiedCarbonModel::batteryAnnual(double capacity_mwh,
+EmbodiedCarbonModel::batteryAnnual(MegaWattHours capacity_mwh,
                                    const BatteryChemistry &chem,
                                    double cycles_per_day) const
 {
-    if (capacity_mwh <= 0.0)
+    if (capacity_mwh.value() <= 0.0)
         return KilogramsCo2(0.0);
     const double lifetime = chem.lifetimeYears(cycles_per_day);
     return batteryTotal(capacity_mwh, chem) / lifetime;
 }
 
 KilogramsCo2
-EmbodiedCarbonModel::extraServersAnnual(double base_peak_power_mw,
-                                        double extra_fraction) const
+EmbodiedCarbonModel::extraServersAnnual(MegaWatts base_peak_power_mw,
+                                        Fraction extra_fraction) const
 {
-    require(extra_fraction >= 0.0, "extra capacity must be >= 0");
-    if (extra_fraction <= 0.0 || base_peak_power_mw <= 0.0)
+    require(extra_fraction.value() >= 0.0, "extra capacity must be >= 0");
+    if (extra_fraction.value() <= 0.0 || base_peak_power_mw.value() <= 0.0)
         return KilogramsCo2(0.0);
-    const ServerFleet extra(base_peak_power_mw * extra_fraction,
-                            server_spec_);
+    const ServerFleet extra(
+        base_peak_power_mw.value() * extra_fraction.value(),
+        server_spec_);
     return extra.embodiedCarbonPerYear();
 }
 

@@ -27,10 +27,10 @@ namespace carbonx
 struct RenewableEmbodiedParams
 {
     /** Wind LCA footprint per kWh generated (paper: 10-15). */
-    double wind_g_per_kwh = 12.5;
+    GramsPerKwh wind_g_per_kwh{12.5};
 
     /** Solar LCA footprint per kWh generated (paper: 40-70). */
-    double solar_g_per_kwh = 55.0;
+    GramsPerKwh solar_g_per_kwh{55.0};
 
     /** Wind turbine lifetime in years (paper: 20). */
     double wind_lifetime_years = 20.0;
@@ -60,16 +60,16 @@ class EmbodiedCarbonModel
      * amortize manufacturing over lifetime generation, so the annual
      * attribution is footprint x annual generation.
      */
-    KilogramsCo2 windAnnual(double generated_mwh) const;
+    KilogramsCo2 windAnnual(MegaWattHours generated_mwh) const;
 
     /** Annual embodied attribution of solar assets. */
-    KilogramsCo2 solarAnnual(double generated_mwh) const;
+    KilogramsCo2 solarAnnual(MegaWattHours generated_mwh) const;
 
     /**
      * Total manufacturing footprint of a battery (kg CO2eq) of the
      * given capacity and chemistry.
      */
-    KilogramsCo2 batteryTotal(double capacity_mwh,
+    KilogramsCo2 batteryTotal(MegaWattHours capacity_mwh,
                               const BatteryChemistry &chem) const;
 
     /**
@@ -78,7 +78,7 @@ class EmbodiedCarbonModel
      * that duty (cycle life at the chemistry's DoD, capped by
      * calendar life).
      */
-    KilogramsCo2 batteryAnnual(double capacity_mwh,
+    KilogramsCo2 batteryAnnual(MegaWattHours capacity_mwh,
                                const BatteryChemistry &chem,
                                double cycles_per_day) const;
 
@@ -87,8 +87,8 @@ class EmbodiedCarbonModel
      * demand response: a fleet expansion of @p extra_fraction over a
      * base fleet sized for @p base_peak_power_mw.
      */
-    KilogramsCo2 extraServersAnnual(double base_peak_power_mw,
-                                    double extra_fraction) const;
+    KilogramsCo2 extraServersAnnual(MegaWatts base_peak_power_mw,
+                                    Fraction extra_fraction) const;
 
     const RenewableEmbodiedParams &renewables() const
     {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 #include "datacenter/server_fleet.h"
 
 namespace carbonx
@@ -20,7 +21,7 @@ HorizonPlanner::plan(const HorizonInputs &inputs,
 {
     require(horizon_years >= 1.0,
             "horizon must be at least one year");
-    require(inputs.operational_kg_per_year >= 0.0 &&
+    require(inputs.operational_kg_per_year.value() >= 0.0 &&
                 inputs.battery_cycles_per_year >= 0.0,
             "horizon inputs must be non-negative");
 
@@ -29,23 +30,23 @@ HorizonPlanner::plan(const HorizonInputs &inputs,
     plan.years.resize(years);
 
     // Asset lifetimes.
-    const double battery_life = inputs.battery_mwh > 0.0
+    const double battery_life = inputs.battery_mwh.value() > 0.0
         ? chemistry_.lifetimeYears(inputs.battery_cycles_per_year /
                                    365.0)
         : 0.0;
     const double server_life = embodied_.serverSpec().lifetime_years;
 
     // Upfront purchase costs (pulses).
-    const double battery_pulse_kg = inputs.battery_mwh > 0.0
+    const double battery_pulse_kg = inputs.battery_mwh.value() > 0.0
         ? embodied_.batteryTotal(inputs.battery_mwh, chemistry_)
               .value()
         : 0.0;
     double server_pulse_kg = 0.0;
-    if (inputs.extra_capacity > 0.0 &&
-        inputs.base_peak_power_mw > 0.0) {
-        const ServerFleet extra(
-            inputs.base_peak_power_mw * inputs.extra_capacity,
-            embodied_.serverSpec());
+    if (inputs.extra_capacity.value() > 0.0 &&
+        inputs.base_peak_power_mw.value() > 0.0) {
+        const ServerFleet extra(inputs.base_peak_power_mw.value() *
+                                    inputs.extra_capacity.value(),
+                                embodied_.serverSpec());
         server_pulse_kg = extra.embodiedCarbon().value();
     }
 
@@ -54,6 +55,8 @@ HorizonPlanner::plan(const HorizonInputs &inputs,
     const double renewable_flow_kg =
         embodied_.solarAnnual(inputs.solar_attributed_mwh).value() +
         embodied_.windAnnual(inputs.wind_attributed_mwh).value();
+    const double operational_kg =
+        inputs.operational_kg_per_year.value();
 
     double next_battery_purchase = 0.0;
     double next_server_purchase = 0.0;
@@ -61,29 +64,31 @@ HorizonPlanner::plan(const HorizonInputs &inputs,
     for (size_t y = 0; y < years; ++y) {
         HorizonYear &row = plan.years[y];
         row.year_index = static_cast<int>(y);
-        row.operational_kg = inputs.operational_kg_per_year;
-        row.embodied_kg = renewable_flow_kg;
+        double row_operational_kg = operational_kg;
+        double row_embodied_kg = renewable_flow_kg;
 
         const double year_start = static_cast<double>(y);
         if (battery_pulse_kg > 0.0 &&
-            year_start >= next_battery_purchase - 1e-9) {
-            row.embodied_kg += battery_pulse_kg;
+            year_start >= next_battery_purchase - kScheduleSlackYears) {
+            row_embodied_kg += battery_pulse_kg;
             row.battery_replaced = y > 0;
             plan.battery_replacements += y > 0 ? 1 : 0;
             next_battery_purchase += battery_life;
         }
         if (server_pulse_kg > 0.0 &&
-            year_start >= next_server_purchase - 1e-9) {
-            row.embodied_kg += server_pulse_kg;
+            year_start >= next_server_purchase - kScheduleSlackYears) {
+            row_embodied_kg += server_pulse_kg;
             row.servers_replaced = y > 0;
             plan.server_replacements += y > 0 ? 1 : 0;
             next_server_purchase += server_life;
         }
 
-        cumulative += row.operational_kg + row.embodied_kg;
-        row.cumulative_kg = cumulative;
+        cumulative += row_operational_kg + row_embodied_kg;
+        row.operational_kg = KilogramsCo2(row_operational_kg);
+        row.embodied_kg = KilogramsCo2(row_embodied_kg);
+        row.cumulative_kg = KilogramsCo2(cumulative);
     }
-    plan.total_kg = cumulative;
+    plan.total_kg = KilogramsCo2(cumulative);
     return plan;
 }
 

@@ -27,33 +27,33 @@ namespace carbonx
 /** Inputs the planner needs about the evaluated design-year. */
 struct HorizonInputs
 {
-    /** Battery nameplate capacity of the design (MWh). */
-    double battery_mwh = 0.0;
+    /** Battery nameplate capacity of the design. */
+    MegaWattHours battery_mwh;
 
     /** Extra server capacity as a fraction of the base fleet. */
-    double extra_capacity = 0.0;
+    Fraction extra_capacity;
 
-    /** Operational carbon of the representative year (kg). */
-    double operational_kg_per_year = 0.0;
+    /** Operational carbon of the representative year. */
+    KilogramsCo2 operational_kg_per_year;
 
-    /** Annual solar / wind generation attributed to the DC (MWh). */
-    double solar_attributed_mwh = 0.0;
-    double wind_attributed_mwh = 0.0;
+    /** Annual solar / wind generation attributed to the DC. */
+    MegaWattHours solar_attributed_mwh;
+    MegaWattHours wind_attributed_mwh;
 
     /** Battery full-equivalent cycles in the representative year. */
     double battery_cycles_per_year = 0.0;
 
-    /** Base fleet peak power (MW), for extra-server sizing. */
-    double base_peak_power_mw = 0.0;
+    /** Base fleet peak power, for extra-server sizing. */
+    MegaWatts base_peak_power_mw;
 };
 
 /** One year of the horizon. */
 struct HorizonYear
 {
     int year_index = 0;          ///< 0-based facility year.
-    double operational_kg = 0.0;
-    double embodied_kg = 0.0;    ///< Pulses land in purchase years.
-    double cumulative_kg = 0.0;
+    KilogramsCo2 operational_kg;
+    KilogramsCo2 embodied_kg;    ///< Pulses land in purchase years.
+    KilogramsCo2 cumulative_kg;
     bool battery_replaced = false;
     bool servers_replaced = false;
     bool solar_replaced = false;
@@ -64,15 +64,15 @@ struct HorizonYear
 struct HorizonPlan
 {
     std::vector<HorizonYear> years;
-    double total_kg = 0.0;
+    KilogramsCo2 total_kg;
     int battery_replacements = 0;
     int server_replacements = 0;
 
-    /** Average footprint per year over the horizon (kg). */
-    double averagePerYearKg() const
+    /** Average footprint per year over the horizon. */
+    KilogramsCo2 averagePerYearKg() const
     {
         return years.empty()
-            ? 0.0
+            ? KilogramsCo2(0.0)
             : total_kg / static_cast<double>(years.size());
     }
 };

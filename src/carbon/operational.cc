@@ -76,11 +76,12 @@ NetZeroAccounting::evaluate(const TimeSeries &dc_power_mw,
             "series must cover the same year");
 
     NetZeroReport report;
-    report.consumed_mwh = dc_power_mw.total();
-    report.credits_mwh = renewable_mw.total();
+    report.consumed_mwh = MegaWattHours(dc_power_mw.total());
+    report.credits_mwh = MegaWattHours(renewable_mw.total());
     report.net_zero = report.credits_mwh >= report.consumed_mwh;
 
     double unmet_weighted_kg = 0.0;
+    // carbonx-lint: allow(raw-unit-double) hot-loop accumulator
     double unmet_mwh = 0.0;
     for (size_t h = 0; h < dc_power_mw.size(); ++h) {
         const double gap =
@@ -88,9 +89,9 @@ NetZeroAccounting::evaluate(const TimeSeries &dc_power_mw,
         unmet_weighted_kg += gap * intensity[h];
         unmet_mwh += gap;
     }
-    report.hourly_emissions_kg = unmet_weighted_kg;
-    report.hourly_coverage_pct = report.consumed_mwh > 0.0
-        ? (1.0 - unmet_mwh / report.consumed_mwh) * 100.0
+    report.hourly_emissions_kg = KilogramsCo2(unmet_weighted_kg);
+    report.hourly_coverage_pct = report.consumed_mwh.value() > 0.0
+        ? (1.0 - unmet_mwh / report.consumed_mwh.value()) * 100.0
         : 100.0;
     return report;
 }

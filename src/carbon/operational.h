@@ -40,11 +40,11 @@ class OperationalCarbonModel
 /** Annual renewable-energy-credit accounting (Net Zero matching). */
 struct NetZeroReport
 {
-    double consumed_mwh = 0.0;   ///< Annual datacenter consumption.
-    double credits_mwh = 0.0;    ///< RECs from renewable investments.
-    bool net_zero = false;       ///< credits >= consumption.
-    /** Hourly emissions that still occurred despite Net Zero (kg). */
-    double hourly_emissions_kg = 0.0;
+    MegaWattHours consumed_mwh; ///< Annual datacenter consumption.
+    MegaWattHours credits_mwh;  ///< RECs from renewable investments.
+    bool net_zero = false;      ///< credits >= consumption.
+    /** Hourly emissions that still occurred despite Net Zero. */
+    KilogramsCo2 hourly_emissions_kg;
     /** Share of hours actually covered by renewable supply. */
     double hourly_coverage_pct = 0.0;
 };

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Named numeric slacks shared across the framework.
+ *
+ * Feasibility checks on floating-point aggregates (a load peak vs a
+ * capacity cap, a state of charge vs the DoD window) need a small
+ * tolerance to absorb rounding in the upstream arithmetic. Every such
+ * tolerance lives here under one name so the magnitude is chosen once,
+ * the intent is documented once, and carbonx-lint can ban stray
+ * tolerance literals everywhere else.
+ */
+
+#ifndef CARBONX_COMMON_TOLERANCES_H
+#define CARBONX_COMMON_TOLERANCES_H
+
+namespace carbonx
+{
+
+/**
+ * Slack (in MW) when checking that a load peak fits under a capacity
+ * cap. Caps are typically derived from the very peak being checked
+ * (peak x headroom factors), so the comparison must tolerate one ULP
+ * of drift from that multiply.
+ */
+inline constexpr double kCapacityCapSlackMw = 1e-9;
+
+/**
+ * Slack for [0, 1]-bounded quantities (states of charge, per-unit
+ * generation shapes) and other normalized comparisons that arrive
+ * through floating-point division.
+ */
+inline constexpr double kUnitIntervalSlack = 1e-9;
+
+/**
+ * Slack (in years) when comparing asset-replacement schedules against
+ * year boundaries in the horizon planner.
+ */
+inline constexpr double kScheduleSlackYears = 1e-9;
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_TOLERANCES_H

@@ -12,6 +12,12 @@
  *   MegaWattHours  / Hours            -> MegaWatts
  *   CarbonIntensity * MegaWattHours   -> KilogramsCo2
  *     (g/kWh == kg/MWh, so the conversion factor is exactly 1)
+ *   KgCo2PerMw     * MegaWatts        -> KilogramsCo2
+ *   KgCo2PerMwh    * MegaWattHours    -> KilogramsCo2
+ *   KilogramsCo2   / MegaWatts        -> KgCo2PerMw
+ *   KilogramsCo2   / MegaWattHours    -> KgCo2PerMwh
+ *   Fraction       * MegaWatts        -> MegaWatts
+ *   Fraction       * MegaWattHours    -> MegaWattHours
  */
 
 #ifndef CARBONX_COMMON_UNITS_H
@@ -94,6 +100,13 @@ class Quantity
         return static_cast<Derived &>(*this);
     }
 
+    Derived &
+    operator/=(double s)
+    {
+        val_ /= s;
+        return static_cast<Derived &>(*this);
+    }
+
     constexpr auto operator<=>(const Quantity &) const = default;
 
   protected:
@@ -105,6 +118,30 @@ constexpr D
 operator*(double s, const Quantity<D> &q)
 {
     return D(q.value() * s);
+}
+
+/** Magnitude of a quantity, unit preserved. */
+template <typename D>
+constexpr D
+fabs(const Quantity<D> &q)
+{
+    return D(q.value() < 0.0 ? -q.value() : q.value());
+}
+
+/** Smaller of two same-unit quantities. */
+template <typename D>
+constexpr D
+min(const Quantity<D> &a, const Quantity<D> &b)
+{
+    return D(a.value() < b.value() ? a.value() : b.value());
+}
+
+/** Larger of two same-unit quantities. */
+template <typename D>
+constexpr D
+max(const Quantity<D> &a, const Quantity<D> &b)
+{
+    return D(a.value() < b.value() ? b.value() : a.value());
 }
 
 /** Elapsed time in hours. The simulator's native timestep is one hour. */
@@ -166,6 +203,61 @@ class GramsPerKwh : public Quantity<GramsPerKwh>
     constexpr double kgPerMwh() const { return val_; }
 };
 
+/**
+ * Dimensionless ratio in canonical [0, 1] scale: state of charge,
+ * conversion efficiency, flexible-workload share, extra-capacity
+ * fraction. Carrying it as a distinct type keeps ratios from being
+ * mistaken for physical magnitudes (and vice versa).
+ */
+class Fraction : public Quantity<Fraction>
+{
+  public:
+    using Quantity::Quantity;
+
+    /** The ratio expressed as a percentage. */
+    constexpr double percent() const { return val_ * 100.0; }
+
+    /** The remaining share: 1 - this. */
+    constexpr Fraction complement() const { return Fraction(1.0 - val_); }
+
+    static constexpr Fraction
+    fromPercent(double pct)
+    {
+        return Fraction(pct / 100.0);
+    }
+};
+
+/**
+ * Embodied-carbon intensity per unit of power capacity (kg CO2eq per
+ * nameplate MW) — e.g. the manufacturing footprint of servers sized
+ * for a given peak power.
+ */
+class KgCo2PerMw : public Quantity<KgCo2PerMw>
+{
+  public:
+    using Quantity::Quantity;
+};
+
+/**
+ * Embodied-carbon intensity per unit of energy capacity (kg CO2eq per
+ * MWh) — e.g. battery manufacturing footprint per nameplate MWh.
+ */
+class KgCo2PerMwh : public Quantity<KgCo2PerMwh>
+{
+  public:
+    using Quantity::Quantity;
+
+    /** The same intensity expressed per kWh (the paper's unit). */
+    constexpr double perKwh() const { return val_ * 1e-3; }
+
+    /** Build from a per-kWh figure (e.g. 104 kg CO2eq / kWh). */
+    static constexpr KgCo2PerMwh
+    fromPerKwh(double kg_per_kwh)
+    {
+        return KgCo2PerMwh(kg_per_kwh * 1e3);
+    }
+};
+
 /** Power integrated over time yields energy. */
 constexpr MegaWattHours
 operator*(MegaWatts p, Hours t)
@@ -209,6 +301,72 @@ operator*(MegaWattHours e, GramsPerKwh i)
     return i * e;
 }
 
+/** Per-power embodied intensity applied to a capacity yields mass. */
+constexpr KilogramsCo2
+operator*(KgCo2PerMw i, MegaWatts p)
+{
+    return KilogramsCo2(i.value() * p.value());
+}
+
+constexpr KilogramsCo2
+operator*(MegaWatts p, KgCo2PerMw i)
+{
+    return i * p;
+}
+
+/** Per-energy embodied intensity applied to a capacity yields mass. */
+constexpr KilogramsCo2
+operator*(KgCo2PerMwh i, MegaWattHours e)
+{
+    return KilogramsCo2(i.value() * e.value());
+}
+
+constexpr KilogramsCo2
+operator*(MegaWattHours e, KgCo2PerMwh i)
+{
+    return i * e;
+}
+
+/** Mass spread over a power capacity yields a per-power intensity. */
+constexpr KgCo2PerMw
+operator/(KilogramsCo2 m, MegaWatts p)
+{
+    return KgCo2PerMw(m.value() / p.value());
+}
+
+/** Mass spread over an energy capacity yields a per-energy intensity. */
+constexpr KgCo2PerMwh
+operator/(KilogramsCo2 m, MegaWattHours e)
+{
+    return KgCo2PerMwh(m.value() / e.value());
+}
+
+/** A share of a power magnitude is a power magnitude. */
+constexpr MegaWatts
+operator*(Fraction f, MegaWatts p)
+{
+    return MegaWatts(f.value() * p.value());
+}
+
+constexpr MegaWatts
+operator*(MegaWatts p, Fraction f)
+{
+    return f * p;
+}
+
+/** A share of an energy magnitude is an energy magnitude. */
+constexpr MegaWattHours
+operator*(Fraction f, MegaWattHours e)
+{
+    return MegaWattHours(f.value() * e.value());
+}
+
+constexpr MegaWattHours
+operator*(MegaWattHours e, Fraction f)
+{
+    return f * e;
+}
+
 inline std::ostream &
 operator<<(std::ostream &os, MegaWatts p)
 {
@@ -237,6 +395,24 @@ inline std::ostream &
 operator<<(std::ostream &os, GramsPerKwh i)
 {
     return os << i.value() << " g/kWh";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, Fraction f)
+{
+    return os << f.percent() << " %";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, KgCo2PerMw i)
+{
+    return os << i.value() << " kgCO2/MW";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, KgCo2PerMwh i)
+{
+    return os << i.value() << " kgCO2/MWh";
 }
 
 namespace literals

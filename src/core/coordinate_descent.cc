@@ -14,19 +14,23 @@ namespace
 
 constexpr double kGolden = 0.6180339887498949; // (sqrt(5) - 1) / 2.
 
-/** Accessor for one axis of a design point. */
-double &
-axisValue(DesignPoint &point, int axis)
+/** Write one axis of a design point from its raw axis coordinate. */
+void
+setAxisValue(DesignPoint &point, int axis, double v)
 {
     switch (axis) {
       case 0:
-        return point.solar_mw;
+        point.solar_mw = MegaWatts(v);
+        break;
       case 1:
-        return point.wind_mw;
+        point.wind_mw = MegaWatts(v);
+        break;
       case 2:
-        return point.battery_mwh;
+        point.battery_mwh = MegaWattHours(v);
+        break;
       default:
-        return point.extra_capacity;
+        point.extra_capacity = Fraction(v);
+        break;
     }
 }
 
@@ -72,12 +76,12 @@ CoordinateDescentOptimizer::optimize(const DesignSpace &space,
             double v = 0.5 * (axis.min + axis.max);
             if (restart > 0)
                 v = rng.uniform(axis.min, axis.max);
-            axisValue(point, a) = v;
+            setAxisValue(point, a, v);
         }
         Evaluation best_here = evaluate(point);
 
         for (int sweep = 0; sweep < config_.max_sweeps; ++sweep) {
-            const double before = best_here.totalKg();
+            const double before = best_here.totalKg().value();
             for (int a = 0; a < 4; ++a) {
                 if (!active[static_cast<size_t>(a)])
                     continue;
@@ -90,11 +94,11 @@ CoordinateDescentOptimizer::optimize(const DesignSpace &space,
                 double hi = axis.max;
                 DesignPoint probe = best_here.point;
                 auto totalAt = [&](double v) {
-                    axisValue(probe, a) = v;
+                    setAxisValue(probe, a, v);
                     const Evaluation e = evaluate(probe);
                     if (e.totalKg() < best_here.totalKg())
                         best_here = e;
-                    return e.totalKg();
+                    return e.totalKg().value();
                 };
                 double x1 = hi - kGolden * (hi - lo);
                 double x2 = lo + kGolden * (hi - lo);
@@ -118,7 +122,8 @@ CoordinateDescentOptimizer::optimize(const DesignSpace &space,
                 }
             }
             ++result.sweeps_used;
-            if (before - best_here.totalKg() < config_.tolerance_kg)
+            if (before - best_here.totalKg().value() <
+                config_.tolerance_kg)
                 break;
         }
 

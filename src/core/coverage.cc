@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 
 namespace carbonx
 {
@@ -20,53 +21,58 @@ CoverageAnalyzer::CoverageAnalyzer(const TimeSeries &dc_power,
     require(dc_power.year() == solar_shape.year() &&
                 dc_power.year() == wind_shape.year(),
             "coverage series must cover the same year");
-    require(solar_shape.max() <= 1.0 + 1e-9 && solar_shape.min() >= 0.0,
+    require(solar_shape.max() <= 1.0 + kUnitIntervalSlack &&
+                solar_shape.min() >= 0.0,
             "solar shape must be per-unit in [0, 1]");
-    require(wind_shape.max() <= 1.0 + 1e-9 && wind_shape.min() >= 0.0,
+    require(wind_shape.max() <= 1.0 + kUnitIntervalSlack &&
+                wind_shape.min() >= 0.0,
             "wind shape must be per-unit in [0, 1]");
     require(dc_total_ > 0.0, "datacenter load must be non-zero");
 }
 
 TimeSeries
-CoverageAnalyzer::supplyFor(double solar_mw, double wind_mw) const
+CoverageAnalyzer::supplyFor(MegaWatts solar_mw, MegaWatts wind_mw) const
 {
-    require(solar_mw >= 0.0 && wind_mw >= 0.0,
+    require(solar_mw.value() >= 0.0 && wind_mw.value() >= 0.0,
             "investments must be >= 0");
-    return solar_shape_ * solar_mw + wind_shape_ * wind_mw;
+    return solar_shape_ * solar_mw.value() +
+           wind_shape_ * wind_mw.value();
 }
 
 void
-CoverageAnalyzer::supplyFor(double solar_mw, double wind_mw,
+CoverageAnalyzer::supplyFor(MegaWatts solar_mw, MegaWatts wind_mw,
                             TimeSeries &out) const
 {
-    require(solar_mw >= 0.0 && wind_mw >= 0.0,
-            "investments must be >= 0");
+    const double solar = solar_mw.value();
+    const double wind = wind_mw.value();
+    require(solar >= 0.0 && wind >= 0.0, "investments must be >= 0");
     require(out.year() == dc_power_.year() &&
                 out.size() == dc_power_.size(),
             "supply buffer must cover the analyzer's year");
     // Same evaluation order as shape * s + shape * w above, so both
     // overloads round identically.
     for (size_t h = 0; h < out.size(); ++h)
-        out[h] = solar_shape_[h] * solar_mw + wind_shape_[h] * wind_mw;
+        out[h] = solar_shape_[h] * solar + wind_shape_[h] * wind;
 }
 
 double
-CoverageAnalyzer::coverage(double solar_mw, double wind_mw) const
+CoverageAnalyzer::coverage(MegaWatts solar_mw, MegaWatts wind_mw) const
 {
-    require(solar_mw >= 0.0 && wind_mw >= 0.0,
-            "investments must be >= 0");
+    const double solar = solar_mw.value();
+    const double wind = wind_mw.value();
+    require(solar >= 0.0 && wind >= 0.0, "investments must be >= 0");
     double unmet = 0.0;
     for (size_t h = 0; h < dc_power_.size(); ++h) {
         const double supply =
-            solar_shape_[h] * solar_mw + wind_shape_[h] * wind_mw;
+            solar_shape_[h] * solar + wind_shape_[h] * wind;
         unmet += std::max(dc_power_[h] - supply, 0.0);
     }
     return (1.0 - unmet / dc_total_) * 100.0;
 }
 
 double
-CoverageAnalyzer::coverageAssumingAverageDay(double solar_mw,
-                                             double wind_mw) const
+CoverageAnalyzer::coverageAssumingAverageDay(MegaWatts solar_mw,
+                                             MegaWatts wind_mw) const
 {
     // Replace both supply shapes and demand with their average-day
     // expansions: this is the optimistic assumption of Fig. 8. The
@@ -74,25 +80,28 @@ CoverageAnalyzer::coverageAssumingAverageDay(double solar_mw,
     // construction instead of being recomputed per call.
     const TimeSeries &solar_avg = solar_avg_day_;
     const TimeSeries &wind_avg = wind_avg_day_;
+    const double solar = solar_mw.value();
+    const double wind = wind_mw.value();
     double unmet = 0.0;
     for (size_t h = 0; h < dc_power_.size(); ++h) {
         const double supply =
-            solar_avg[h] * solar_mw + wind_avg[h] * wind_mw;
+            solar_avg[h] * solar + wind_avg[h] * wind;
         unmet += std::max(dc_avg_day_[h] - supply, 0.0);
     }
     return (1.0 - unmet / dc_total_) * 100.0;
 }
 
 double
-CoverageAnalyzer::investmentScaleForCoverage(double solar_unit_mw,
-                                             double wind_unit_mw,
+CoverageAnalyzer::investmentScaleForCoverage(MegaWatts solar_unit_mw,
+                                             MegaWatts wind_unit_mw,
                                              double target_pct,
                                              double max_scale) const
 {
     require(target_pct > 0.0 && target_pct <= 100.0,
             "coverage target must be in (0, 100]");
-    require(solar_unit_mw >= 0.0 && wind_unit_mw >= 0.0 &&
-                solar_unit_mw + wind_unit_mw > 0.0,
+    require(solar_unit_mw.value() >= 0.0 &&
+                wind_unit_mw.value() >= 0.0 &&
+                (solar_unit_mw + wind_unit_mw).value() > 0.0,
             "the investment ray must be non-trivial");
 
     auto covAt = [&](double k) {

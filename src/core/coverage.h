@@ -17,6 +17,7 @@
 #ifndef CARBONX_CORE_COVERAGE_H
 #define CARBONX_CORE_COVERAGE_H
 
+#include "common/units.h"
 #include "core/design_point.h"
 #include "timeseries/timeseries.h"
 
@@ -39,7 +40,7 @@ class CoverageAnalyzer
                      const TimeSeries &wind_shape);
 
     /** Hourly renewable supply for an investment pair (MW). */
-    TimeSeries supplyFor(double solar_mw, double wind_mw) const;
+    TimeSeries supplyFor(MegaWatts solar_mw, MegaWatts wind_mw) const;
 
     /**
      * Allocation-free variant: writes the supply into @p out, which
@@ -47,18 +48,18 @@ class CoverageAnalyzer
      * values to the allocating overload, so the parallel sweep can
      * reuse one buffer per worker.
      */
-    void supplyFor(double solar_mw, double wind_mw,
+    void supplyFor(MegaWatts solar_mw, MegaWatts wind_mw,
                    TimeSeries &out) const;
 
     /** Coverage percentage for an investment pair. */
-    double coverage(double solar_mw, double wind_mw) const;
+    double coverage(MegaWatts solar_mw, MegaWatts wind_mw) const;
 
     /**
      * Coverage under the naive "every day is the average day"
      * assumption that Fig. 8 debunks.
      */
-    double coverageAssumingAverageDay(double solar_mw,
-                                      double wind_mw) const;
+    double coverageAssumingAverageDay(MegaWatts solar_mw,
+                                      MegaWatts wind_mw) const;
 
     /**
      * Smallest uniform scale k such that coverage(k*s, k*w) reaches
@@ -72,8 +73,8 @@ class CoverageAnalyzer
      *         unreachable even at max_scale (e.g. >50% with solar
      *         only).
      */
-    double investmentScaleForCoverage(double solar_unit_mw,
-                                      double wind_unit_mw,
+    double investmentScaleForCoverage(MegaWatts solar_unit_mw,
+                                      MegaWatts wind_unit_mw,
                                       double target_pct,
                                       double max_scale = 1e4) const;
 

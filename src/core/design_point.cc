@@ -42,8 +42,9 @@ DesignPoint::describe() const
 {
     char buf[96];
     std::snprintf(buf, sizeof(buf),
-                  "S=%.0fMW,W=%.0fMW,B=%.0fMWh,X=%.0f%%", solar_mw,
-                  wind_mw, battery_mwh, extra_capacity * 100.0);
+                  "S=%.0fMW,W=%.0fMW,B=%.0fMWh,X=%.0f%%",
+                  solar_mw.value(), wind_mw.value(),
+                  battery_mwh.value(), extra_capacity.percent());
     return buf;
 }
 

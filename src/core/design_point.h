@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "common/units.h"
+
 namespace carbonx
 {
 
@@ -34,14 +36,14 @@ bool strategyUsesCas(Strategy s);
 /** One candidate datacenter design. */
 struct DesignPoint
 {
-    double solar_mw = 0.0;       ///< Solar investment (nameplate MW).
-    double wind_mw = 0.0;        ///< Wind investment (nameplate MW).
-    double battery_mwh = 0.0;    ///< Battery capacity (MWh).
+    MegaWatts solar_mw;        ///< Solar investment (nameplate).
+    MegaWatts wind_mw;         ///< Wind investment (nameplate).
+    MegaWattHours battery_mwh; ///< Battery capacity.
     /** Extra server capacity as a fraction of the base fleet. */
-    double extra_capacity = 0.0;
+    Fraction extra_capacity;
 
-    /** Total renewable investment (MW). */
-    double renewableMw() const { return solar_mw + wind_mw; }
+    /** Total renewable investment. */
+    MegaWatts renewableMw() const { return solar_mw + wind_mw; }
 
     /** Short "S=..,W=..,B=..,X=.." summary for reports. */
     std::string describe() const;

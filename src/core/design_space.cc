@@ -23,6 +23,7 @@ AxisSpec::samples() const
 }
 
 DesignSpace
+// carbonx-lint: allow(raw-unit-double) axis-spec builder boundary
 DesignSpace::forDatacenter(double avg_dc_power_mw, double renewable_reach,
                            size_t renewable_steps, size_t battery_steps,
                            size_t extra_steps)
@@ -57,7 +58,10 @@ DesignSpace::enumerate(Strategy strategy) const
         for (double w : winds) {
             for (double b : batteries) {
                 for (double x : extras)
-                    out.push_back(DesignPoint{s, w, b, x});
+                    out.push_back(DesignPoint{MegaWatts(s),
+                                              MegaWatts(w),
+                                              MegaWattHours(b),
+                                              Fraction(x)});
             }
         }
     }

@@ -40,6 +40,7 @@ struct DesignSpace
      * power: renewables up to @p renewable_reach x the average power,
      * batteries up to 24 hours of compute, extra servers up to +100%.
      */
+    // carbonx-lint: allow(raw-unit-double) axis-spec builder boundary
     static DesignSpace forDatacenter(double avg_dc_power_mw,
                                      double renewable_reach = 8.0,
                                      size_t renewable_steps = 9,

@@ -9,6 +9,7 @@
 #include "carbon/operational.h"
 #include "common/error.h"
 #include "common/csv.h"
+#include "common/tolerances.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/table.h"
@@ -27,7 +28,7 @@ LoadTrace
 makeLoadTrace(const ExplorerConfig &config)
 {
     LoadModelParams params = config.load_params;
-    params.avg_power_mw = config.avg_dc_power_mw;
+    params.avg_power_mw = config.avg_dc_power_mw.value();
     const DatacenterLoadModel model(params);
     return model.generate(config.year, config.seed);
 }
@@ -104,7 +105,8 @@ CarbonExplorer::CarbonExplorer(ExplorerConfig config)
       embodied_(config_.renewable_embodied, config_.server_spec),
       peak_power_mw_(load_trace_.power.max())
 {
-    require(config_.flexible_ratio >= 0.0 && config_.flexible_ratio <= 1.0,
+    require(config_.flexible_ratio.value() >= 0.0 &&
+                config_.flexible_ratio.value() <= 1.0,
             "flexible ratio must be in [0, 1]");
 }
 
@@ -117,7 +119,8 @@ CarbonExplorer::CarbonExplorer(ExplorerConfig config,
       embodied_(config_.renewable_embodied, config_.server_spec),
       peak_power_mw_(load_trace_.power.max())
 {
-    require(config_.flexible_ratio >= 0.0 && config_.flexible_ratio <= 1.0,
+    require(config_.flexible_ratio.value() >= 0.0 &&
+                config_.flexible_ratio.value() <= 1.0,
             "flexible ratio must be in [0, 1]");
     require(traces.dc_power.year() == traces.intensity.year() &&
                 traces.dc_power.year() == traces.solar_shape.year() &&
@@ -131,12 +134,14 @@ CarbonExplorer::simulationConfig(const DesignPoint &point,
                                  BatteryModel *battery) const
 {
     SimulationConfig sim;
-    sim.capacity_cap_mw =
-        peak_power_mw_ * (1.0 + (strategyUsesCas(strategy)
-                                     ? point.extra_capacity
-                                     : 0.0));
-    sim.flexible_ratio =
-        strategyUsesCas(strategy) ? config_.flexible_ratio : 0.0;
+    sim.capacity_cap_mw = MegaWatts(
+        peak_power_mw_.value() * (1.0 + (strategyUsesCas(strategy)
+                                             ? point.extra_capacity
+                                                   .value()
+                                             : 0.0)));
+    sim.flexible_ratio = strategyUsesCas(strategy)
+        ? config_.flexible_ratio
+        : Fraction(0.0);
     sim.slo_window_hours = config_.slo_window_hours;
     sim.battery = strategyUsesBattery(strategy) ? battery : nullptr;
     return sim;
@@ -150,53 +155,53 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
     eval.point = point;
     eval.strategy = strategy;
     eval.coverage_pct = sim.coverage_pct;
-    eval.operational_kg =
-        OperationalCarbonModel::gridEmissions(sim.grid_power,
-                                              grid_trace_.intensity)
-            .value();
+    eval.operational_kg = OperationalCarbonModel::gridEmissions(
+        sim.grid_power, grid_trace_.intensity);
 
     // Renewable embodied carbon follows generated energy (LCA per-kWh
     // footprints amortize manufacturing over lifetime generation).
     // Under ConsumedEnergy attribution only the energy the DC used is
     // charged (its PPA share, split pro-rata between solar and wind);
     // under WholeFarm the full generation is charged.
-    const double solar_gen_mwh = solar_shape_.total() * point.solar_mw;
-    const double wind_gen_mwh = wind_shape_.total() * point.wind_mw;
-    double solar_attr = solar_gen_mwh;
-    double wind_attr = wind_gen_mwh;
+    const MegaWattHours solar_gen_mwh(
+        solar_shape_.total() * point.solar_mw.value());
+    const MegaWattHours wind_gen_mwh(
+        wind_shape_.total() * point.wind_mw.value());
+    double solar_attr = solar_gen_mwh.value();
+    double wind_attr = wind_gen_mwh.value();
     if (config_.attribution == RenewableAttribution::ConsumedEnergy) {
-        const double total_gen = solar_gen_mwh + wind_gen_mwh;
+        const double total_gen =
+            solar_gen_mwh.value() + wind_gen_mwh.value();
         if (total_gen > 0.0 &&
-            sim.renewable_used_mwh > total_gen * (1.0 + 1e-9)) {
+            sim.renewable_used_mwh.value() >
+                total_gen * (1.0 + kUnitIntervalSlack)) {
             warn("renewable energy used exceeds farm generation (" +
-                 formatFixed(sim.renewable_used_mwh, 1) + " > " +
-                 formatFixed(total_gen, 1) +
+                 formatFixed(sim.renewable_used_mwh.value(), 1) +
+                 " > " + formatFixed(total_gen, 1) +
                  " MWh); clamping attribution to the whole farm");
         }
         const double used_fraction = total_gen > 0.0
-            ? std::min(sim.renewable_used_mwh / total_gen, 1.0)
+            ? std::min(sim.renewable_used_mwh.value() / total_gen, 1.0)
             : 0.0;
         solar_attr *= used_fraction;
         wind_attr *= used_fraction;
     }
-    eval.embodied_solar_kg = embodied_.solarAnnual(solar_attr).value();
-    eval.embodied_wind_kg = embodied_.windAnnual(wind_attr).value();
+    eval.embodied_solar_kg =
+        embodied_.solarAnnual(MegaWattHours(solar_attr));
+    eval.embodied_wind_kg =
+        embodied_.windAnnual(MegaWattHours(wind_attr));
 
-    if (strategyUsesBattery(strategy) && point.battery_mwh > 0.0) {
+    if (strategyUsesBattery(strategy) &&
+        point.battery_mwh.value() > 0.0) {
         const double days =
             static_cast<double>(load_trace_.power.calendar().daysInYear());
         const double cycles_per_day = sim.battery_cycles / days;
-        eval.embodied_battery_kg =
-            embodied_
-                .batteryAnnual(point.battery_mwh, config_.chemistry,
-                               cycles_per_day)
-                .value();
+        eval.embodied_battery_kg = embodied_.batteryAnnual(
+            point.battery_mwh, config_.chemistry, cycles_per_day);
     }
     if (strategyUsesCas(strategy)) {
-        eval.embodied_server_kg =
-            embodied_
-                .extraServersAnnual(peak_power_mw_, point.extra_capacity)
-                .value();
+        eval.embodied_server_kg = embodied_.extraServersAnnual(
+            peak_power_mw_, point.extra_capacity);
     }
 
     eval.battery_cycles = sim.battery_cycles;
@@ -215,7 +220,8 @@ CarbonExplorer::simulate(const DesignPoint &point, Strategy strategy) const
     const SimulationEngine engine(load_trace_.power, supply);
 
     std::unique_ptr<ClcBattery> battery;
-    if (strategyUsesBattery(strategy) && point.battery_mwh > 0.0) {
+    if (strategyUsesBattery(strategy) &&
+        point.battery_mwh.value() > 0.0) {
         battery = std::make_unique<ClcBattery>(point.battery_mwh,
                                                config_.chemistry);
     }
@@ -314,7 +320,7 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
 
         // One engine per renewable pair: battery/server axes reuse
         // the same load/supply series.
-        coverage_.supplyFor(s, w, ws.supply);
+        coverage_.supplyFor(MegaWatts(s), MegaWatts(w), ws.supply);
         const SimulationEngine engine(load_trace_.power, ws.supply);
 
         const auto pair_start = std::chrono::steady_clock::now();
@@ -324,20 +330,22 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
             if (strategyUsesBattery(strategy) && b > 0.0) {
                 if (ws.battery == nullptr) {
                     ws.battery = std::make_unique<ClcBattery>(
-                        b, config_.chemistry);
+                        MegaWattHours(b), config_.chemistry);
                 } else {
-                    ws.battery->setCapacity(b);
+                    ws.battery->setCapacity(MegaWattHours(b));
                 }
                 battery = ws.battery.get();
             }
             for (double x : extras) {
-                const DesignPoint point{s, w, b, x};
+                const DesignPoint point{MegaWatts(s), MegaWatts(w),
+                                        MegaWattHours(b),
+                                        Fraction(x)};
                 CARBONX_SPAN("explorer/evaluate_point");
                 engine.run(simulationConfig(point, strategy, battery),
                            ws.sim, ws.scratch);
                 Evaluation eval =
                     evaluationFrom(point, strategy, ws.sim);
-                emitter.add(eval.totalKg());
+                emitter.add(eval.totalKg().value());
                 result.evaluated[slot++] = std::move(eval);
             }
         }
@@ -372,8 +380,9 @@ OptimizationResult::paretoSet() const
     std::vector<ParetoPoint> points;
     points.reserve(evaluated.size());
     for (size_t i = 0; i < evaluated.size(); ++i) {
-        points.push_back(ParetoPoint{evaluated[i].embodiedKg(),
-                                     evaluated[i].operational_kg, i});
+        points.push_back(
+            ParetoPoint{evaluated[i].embodiedKg(),
+                        evaluated[i].operational_kg, i});
     }
     std::vector<Evaluation> out;
     for (const auto &p : paretoFrontier(points))
@@ -407,16 +416,16 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
             return next;
         };
         const DesignPoint &best = result.best.point;
-        current.solar_mw =
-            zoom(space.solar_mw, current.solar_mw, best.solar_mw);
-        current.wind_mw =
-            zoom(space.wind_mw, current.wind_mw, best.wind_mw);
+        current.solar_mw = zoom(space.solar_mw, current.solar_mw,
+                                best.solar_mw.value());
+        current.wind_mw = zoom(space.wind_mw, current.wind_mw,
+                               best.wind_mw.value());
         current.battery_mwh = zoom(space.battery_mwh,
                                    current.battery_mwh,
-                                   best.battery_mwh);
+                                   best.battery_mwh.value());
         current.extra_capacity = zoom(space.extra_capacity,
                                       current.extra_capacity,
-                                      best.extra_capacity);
+                                      best.extra_capacity.value());
 
         OptimizationResult pass =
             optimizePass(current, strategy, round + 1);
@@ -424,7 +433,8 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
         if (pass.best.totalKg() < result.best.totalKg()) {
             inform("refinement round " + std::to_string(round + 1) +
                    " improved best total carbon to " +
-                   formatFixed(pass.best.totalKg(), 0) + " kg");
+                   formatFixed(pass.best.totalKg().value(), 0) +
+                   " kg");
             result.best = pass.best;
         }
         for (auto &e : pass.evaluated)
@@ -433,14 +443,15 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
     return result;
 }
 
-double
-CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
+MegaWattHours
+CarbonExplorer::minimumBatteryForCoverage(MegaWatts solar_mw,
+                                          MegaWatts wind_mw,
                                           double target_pct,
-                                          double max_mwh) const
+                                          MegaWattHours max_mwh) const
 {
     CARBONX_SPAN("explorer/min_battery_bisect");
-    if (max_mwh < 0.0)
-        max_mwh = 100.0 * config_.avg_dc_power_mw;
+    if (max_mwh.value() < 0.0)
+        max_mwh = MegaWattHours(100.0 * config_.avg_dc_power_mw.value());
 
     const TimeSeries supply = coverage_.supplyFor(solar_mw, wind_mw);
     const SimulationEngine engine(load_trace_.power, supply);
@@ -448,21 +459,21 @@ CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
     auto coverageAt = [&](double mwh) {
         if (mwh <= 0.0)
             return engine.renewableOnlyCoverage();
-        ClcBattery battery(mwh, config_.chemistry);
+        ClcBattery battery(MegaWattHours(mwh), config_.chemistry);
         SimulationConfig sim;
         sim.capacity_cap_mw = peak_power_mw_;
         sim.battery = &battery;
         return engine.run(sim).coverage_pct;
     };
 
-    if (coverageAt(max_mwh) < target_pct) {
+    if (coverageAt(max_mwh.value()) < target_pct) {
         warn("coverage target " + formatFixed(target_pct, 3) +
              "% unreachable with batteries up to " +
-             formatFixed(max_mwh, 0) + " MWh; returning -1");
-        return -1.0;
+             formatFixed(max_mwh.value(), 0) + " MWh; returning -1");
+        return MegaWattHours(-1.0);
     }
     double lo = 0.0;
-    double hi = max_mwh;
+    double hi = max_mwh.value();
     for (int iter = 0; iter < 50; ++iter) {
         const double mid = 0.5 * (lo + hi);
         if (coverageAt(mid) >= target_pct)
@@ -470,14 +481,14 @@ CarbonExplorer::minimumBatteryForCoverage(double solar_mw, double wind_mw,
         else
             lo = mid;
     }
-    return hi;
+    return MegaWattHours(hi);
 }
 
-double
-CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
-                                                double wind_mw,
+Fraction
+CarbonExplorer::minimumExtraCapacityForCoverage(MegaWatts solar_mw,
+                                                MegaWatts wind_mw,
                                                 double target_pct,
-                                                double max_extra) const
+                                                Fraction max_extra) const
 {
     CARBONX_SPAN("explorer/min_extra_capacity_bisect");
     const TimeSeries supply = coverage_.supplyFor(solar_mw, wind_mw);
@@ -485,20 +496,21 @@ CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
 
     auto coverageAt = [&](double extra) {
         SimulationConfig sim;
-        sim.capacity_cap_mw = peak_power_mw_ * (1.0 + extra);
+        sim.capacity_cap_mw =
+            MegaWatts(peak_power_mw_.value() * (1.0 + extra));
         sim.flexible_ratio = config_.flexible_ratio;
         sim.slo_window_hours = config_.slo_window_hours;
         return engine.run(sim).coverage_pct;
     };
 
-    if (coverageAt(max_extra) < target_pct) {
+    if (coverageAt(max_extra.value()) < target_pct) {
         warn("coverage target " + formatFixed(target_pct, 3) +
              "% unreachable with extra capacity up to " +
-             formatFixed(100.0 * max_extra, 0) + "%; returning -1");
-        return -1.0;
+             formatFixed(max_extra.percent(), 0) + "%; returning -1");
+        return Fraction(-1.0);
     }
     double lo = 0.0;
-    double hi = max_extra;
+    double hi = max_extra.value();
     for (int iter = 0; iter < 50; ++iter) {
         const double mid = 0.5 * (lo + hi);
         if (coverageAt(mid) >= target_pct)
@@ -506,7 +518,7 @@ CarbonExplorer::minimumExtraCapacityForCoverage(double solar_mw,
         else
             lo = mid;
     }
-    return hi;
+    return Fraction(hi);
 }
 
 } // namespace carbonx

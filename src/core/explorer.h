@@ -65,17 +65,17 @@ struct ExplorerConfig
     /** Master seed for all synthetic traces. */
     uint64_t seed = 2020;
 
-    /** Average datacenter power (MW). */
-    double avg_dc_power_mw = 30.0;
+    /** Average datacenter power. */
+    MegaWatts avg_dc_power_mw{30.0};
 
     /**
      * Flexible workload ratio for carbon-aware scheduling; the
      * paper's holistic analysis uses 0.4.
      */
-    double flexible_ratio = 0.4;
+    Fraction flexible_ratio{0.4};
 
-    /** Completion SLO for deferred work (hours). */
-    double slo_window_hours = 24.0;
+    /** Completion SLO for deferred work. */
+    Hours slo_window_hours{24.0};
 
     /** Battery chemistry for storage strategies. */
     BatteryChemistry chemistry = BatteryChemistry::lithiumIronPhosphate();
@@ -102,26 +102,29 @@ struct Evaluation
 
     double coverage_pct = 0.0;
 
-    /** Annual operational carbon from grid draw (kg CO2eq). */
-    double operational_kg = 0.0;
+    /** Annual operational carbon from grid draw. */
+    KilogramsCo2 operational_kg;
 
-    /** Annual embodied attributions per asset class (kg CO2eq). */
-    double embodied_solar_kg = 0.0;
-    double embodied_wind_kg = 0.0;
-    double embodied_battery_kg = 0.0;
-    double embodied_server_kg = 0.0;
+    /** Annual embodied attributions per asset class. */
+    KilogramsCo2 embodied_solar_kg;
+    KilogramsCo2 embodied_wind_kg;
+    KilogramsCo2 embodied_battery_kg;
+    KilogramsCo2 embodied_server_kg;
 
-    double battery_cycles = 0.0;       ///< Full-equivalent cycles/year.
-    double deferred_mwh = 0.0;         ///< Energy shifted by CAS.
-    double renewable_excess_mwh = 0.0; ///< Unused renewable supply.
+    double battery_cycles = 0.0;      ///< Full-equivalent cycles/year.
+    MegaWattHours deferred_mwh;       ///< Energy shifted by CAS.
+    MegaWattHours renewable_excess_mwh; ///< Unused renewable supply.
 
-    double embodiedKg() const
+    KilogramsCo2 embodiedKg() const
     {
         return embodied_solar_kg + embodied_wind_kg +
                embodied_battery_kg + embodied_server_kg;
     }
 
-    double totalKg() const { return operational_kg + embodiedKg(); }
+    KilogramsCo2 totalKg() const
+    {
+        return operational_kg + embodiedKg();
+    }
 };
 
 /** Outcome of an exhaustive search. */
@@ -207,23 +210,26 @@ class CarbonExplorer
                                        int rounds = 2) const;
 
     /**
-     * Smallest battery (MWh) that reaches @p target_pct coverage for
-     * the given renewable investment, by bisection; negative when
-     * unreachable below @p max_mwh.
+     * Smallest battery that reaches @p target_pct coverage for the
+     * given renewable investment, by bisection; negative when
+     * unreachable below @p max_mwh (a negative @p max_mwh asks for
+     * the default bound of 100 average-power hours).
      */
-    double minimumBatteryForCoverage(double solar_mw, double wind_mw,
-                                     double target_pct = 99.999,
-                                     double max_mwh = -1.0) const;
+    MegaWattHours
+    minimumBatteryForCoverage(MegaWatts solar_mw, MegaWatts wind_mw,
+                              double target_pct = 99.999,
+                              MegaWattHours max_mwh =
+                                  MegaWattHours(-1.0)) const;
 
     /**
      * Smallest extra server fraction that reaches @p target_pct
      * coverage with carbon-aware scheduling (no battery); negative
      * when unreachable below @p max_extra.
      */
-    double minimumExtraCapacityForCoverage(double solar_mw,
-                                           double wind_mw,
-                                           double target_pct = 99.999,
-                                           double max_extra = 4.0) const;
+    Fraction minimumExtraCapacityForCoverage(
+        MegaWatts solar_mw, MegaWatts wind_mw,
+        double target_pct = 99.999,
+        Fraction max_extra = Fraction(4.0)) const;
 
     /**
      * Observe sweep progress: @p callback fires on throttled
@@ -246,7 +252,7 @@ class CarbonExplorer
     const TimeSeries &dcPower() const { return load_trace_.power; }
     const TimeSeries &gridIntensity() const { return grid_trace_.intensity; }
     const CoverageAnalyzer &coverageAnalyzer() const { return coverage_; }
-    double dcPeakPowerMw() const { return peak_power_mw_; }
+    MegaWatts dcPeakPowerMw() const { return peak_power_mw_; }
 
   private:
     /** One exhaustive pass; @p pass tags progress reports. */
@@ -268,7 +274,7 @@ class CarbonExplorer
     TimeSeries wind_shape_;
     CoverageAnalyzer coverage_;
     EmbodiedCarbonModel embodied_;
-    double peak_power_mw_;
+    MegaWatts peak_power_mw_;
     obs::ProgressCallback progress_;
     size_t progress_updates_ = 100;
 };

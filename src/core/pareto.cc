@@ -30,7 +30,8 @@ paretoFrontier(const std::vector<ParetoPoint> &points)
                      });
 
     std::vector<ParetoPoint> frontier;
-    double best_operational = std::numeric_limits<double>::infinity();
+    KilogramsCo2 best_operational(
+        std::numeric_limits<double>::infinity());
     for (const auto &p : sorted) {
         if (p.operational_kg < best_operational) {
             frontier.push_back(p);

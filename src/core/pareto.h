@@ -10,14 +10,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/units.h"
+
 namespace carbonx
 {
 
 /** A candidate solution projected onto the two carbon axes. */
 struct ParetoPoint
 {
-    double embodied_kg;    ///< x-axis: embodied carbon.
-    double operational_kg; ///< y-axis: operational carbon.
+    KilogramsCo2 embodied_kg;    ///< x-axis: embodied carbon.
+    KilogramsCo2 operational_kg; ///< y-axis: operational carbon.
     size_t tag;            ///< Caller's index back into its own data.
 };
 

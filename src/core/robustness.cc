@@ -45,8 +45,8 @@ RobustnessAnalysis::evaluate(const DesignPoint &point,
     });
     for (const Evaluation &eval : evals) {
         report.coverage_pct.add(eval.coverage_pct);
-        report.total_kg.add(eval.totalKg());
-        report.operational_kg.add(eval.operational_kg);
+        report.total_kg.add(eval.totalKg().value());
+        report.operational_kg.add(eval.operational_kg.value());
     }
     return report;
 }

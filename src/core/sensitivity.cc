@@ -11,8 +11,8 @@ namespace carbonx
 double
 SensitivityRow::totalSwingFraction() const
 {
-    const double lo = best_low.totalKg();
-    const double hi = best_high.totalKg();
+    const double lo = best_low.totalKg().value();
+    const double hi = best_high.totalKg().value();
     const double base = std::min(lo, hi);
     return base > 0.0 ? std::abs(hi - lo) / base : 0.0;
 }
@@ -36,11 +36,13 @@ SensitivityAnalysis::paperRanges()
     std::vector<SensitivityParameter> params;
     params.push_back({"solar embodied (g/kWh)", 40.0, 70.0,
                       [](ExplorerConfig &c, double v) {
-                          c.renewable_embodied.solar_g_per_kwh = v;
+                          c.renewable_embodied.solar_g_per_kwh =
+                              GramsPerKwh(v);
                       }});
     params.push_back({"wind embodied (g/kWh)", 10.0, 15.0,
                       [](ExplorerConfig &c, double v) {
-                          c.renewable_embodied.wind_g_per_kwh = v;
+                          c.renewable_embodied.wind_g_per_kwh =
+                              GramsPerKwh(v);
                       }});
     params.push_back({"battery embodied (kg/kWh)", 74.0, 134.0,
                       [](ExplorerConfig &c, double v) {
@@ -52,7 +54,7 @@ SensitivityAnalysis::paperRanges()
                       }});
     params.push_back({"flexible workload ratio", 0.2, 0.6,
                       [](ExplorerConfig &c, double v) {
-                          c.flexible_ratio = v;
+                          c.flexible_ratio = Fraction(v);
                       }});
     return params;
 }

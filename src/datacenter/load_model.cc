@@ -75,11 +75,11 @@ DatacenterLoadModel::generate(int year, uint64_t seed) const
         params_.util_noise * std::sqrt(1.0 - rho * rho);
 
     for (size_t h = 0; h < trace.power.size(); ++h) {
-        const double hour = static_cast<double>(h % 24);
-        const size_t day = h / 24;
+        const double hour = static_cast<double>(h % kHoursPerDay);
+        const size_t day = h / kHoursPerDay;
         const double diurnal = 0.5 * params_.util_swing *
             std::cos(2.0 * std::numbers::pi *
-                     (hour - params_.peak_hour) / 24.0);
+                     (hour - params_.peak_hour) / kHoursPerDayF);
         const int weekday = cal.weekdayOfDay(day);
         const double weekend =
             (weekday >= 5) ? -params_.weekend_dip * params_.util_mean : 0.0;

@@ -175,11 +175,11 @@ rollingDayAheadForecast(Forecaster &forecaster, const TimeSeries &actual,
     const auto values = actual.values();
 
     // Warmup region: pass actuals through.
-    for (size_t h = 0; h < warmup_days * 24; ++h)
+    for (size_t h = 0; h < warmup_days * kHoursPerDay; ++h)
         out[h] = actual[h];
 
     for (size_t day = warmup_days; day < days; ++day) {
-        const size_t end = day * 24;
+        const size_t end = day * kHoursPerDay;
         forecaster.fit(values.subspan(0, end));
         const std::vector<double> pred = forecaster.forecast(24);
         for (size_t h = 0; h < 24; ++h)

@@ -60,13 +60,13 @@ GridSynthesizer::synthesizeDemand(int year) const
 
     size_t floored_hours = 0;
     for (size_t h = 0; h < out.size(); ++h) {
-        const double day = static_cast<double>(h) / 24.0;
-        const double hour = static_cast<double>(h % 24);
+        const double day = static_cast<double>(h) / kHoursPerDayF;
+        const double hour = static_cast<double>(h % kHoursPerDay);
         const double seasonal = seasonal_amp *
             std::cos(2.0 * std::numbers::pi * (day - peak_day) / days);
         // Demand troughs near 4am and peaks in the early evening.
         const double diurnal = diurnal_amp *
-            std::cos(2.0 * std::numbers::pi * (hour - 18.0) / 24.0);
+            std::cos(2.0 * std::numbers::pi * (hour - 18.0) / kHoursPerDayF);
         dev = rho * dev + noise.normal(0.0, innovation);
         const double value = mid * (1.0 + seasonal + diurnal + dev);
         if (value < 0.25 * d.min_mw)

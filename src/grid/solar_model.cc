@@ -92,7 +92,7 @@ SolarResourceModel::generate(int year, uint64_t seed) const
                 1.0 + noise.normal(0.0, params_.intra_hour_noise);
             const double value =
                 std::clamp(clear_sky * clearness * jitter, 0.0, 1.0);
-            out[day * 24 + static_cast<size_t>(hour)] = value;
+            out[day * kHoursPerDay + static_cast<size_t>(hour)] = value;
         }
     }
     return out;

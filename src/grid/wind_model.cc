@@ -82,13 +82,14 @@ WindResourceModel::generate(int year, uint64_t seed) const
     for (size_t h = 0; h < hours; ++h) {
         z = rho * z + weather.normal(0.0, innovation_sd);
 
-        const double day = static_cast<double>(h) / 24.0;
+        const double day = static_cast<double>(h) / kHoursPerDayF;
         const double seasonal = 1.0 + params_.seasonal_amp *
             std::cos(2.0 * std::numbers::pi *
                      (day - params_.seasonal_peak_day) / days);
-        const double hour_of_day = static_cast<double>(h % 24);
+        const double hour_of_day = static_cast<double>(h % kHoursPerDay);
         const double diurnal = 1.0 + params_.diurnal_amp *
-            std::cos(2.0 * std::numbers::pi * (hour_of_day - 2.0) / 24.0);
+            std::cos(2.0 * std::numbers::pi * (hour_of_day - 2.0) /
+                     kHoursPerDayF);
         const double scale = base_scale * seasonal * diurnal;
 
         double power = 0.0;

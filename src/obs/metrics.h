@@ -128,9 +128,9 @@ class LatencyTimer
 
     ~LatencyTimer()
     {
-        const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - start_);
-        hist_.record(static_cast<double>(ns.count()) / 1e3);
+        const std::chrono::duration<double, std::micro> us =
+            std::chrono::steady_clock::now() - start_;
+        hist_.record(us.count());
     }
 
   private:

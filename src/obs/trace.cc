@@ -58,9 +58,9 @@ SpanTracer::instance()
 uint64_t
 SpanTracer::nowUs() const
 {
-    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - epoch_);
-    return static_cast<uint64_t>(ns.count() / 1000);
+    return static_cast<uint64_t>(us.count());
 }
 
 void

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -15,11 +16,12 @@ namespace carbonx
 GreedyCarbonScheduler::GreedyCarbonScheduler(SchedulerConfig config)
     : config_(config)
 {
-    require(config_.capacity_cap_mw > 0.0,
+    require(config_.capacity_cap_mw.value() > 0.0,
             "scheduler capacity cap must be positive");
-    require(config_.flexible_ratio >= 0.0 && config_.flexible_ratio <= 1.0,
+    require(config_.flexible_ratio.value() >= 0.0 &&
+                config_.flexible_ratio.value() <= 1.0,
             "flexible ratio must be in [0, 1]");
-    require(config_.slo_window_hours >= 1.0,
+    require(config_.slo_window_hours.value() >= 1.0,
             "SLO window must be at least one hour");
 }
 
@@ -29,7 +31,8 @@ GreedyCarbonScheduler::schedule(const TimeSeries &dc_power,
 {
     require(dc_power.year() == cost_signal.year(),
             "power and cost series must cover the same year");
-    require(dc_power.max() <= config_.capacity_cap_mw + 1e-9,
+    require(dc_power.max() <=
+                config_.capacity_cap_mw.value() + kCapacityCapSlackMw,
             "existing load already exceeds the capacity cap");
 
     CARBONX_SPAN("scheduler/greedy");
@@ -39,10 +42,10 @@ GreedyCarbonScheduler::schedule(const TimeSeries &dc_power,
     const obs::LatencyTimer timer(h_run);
     c_runs.increment();
 
-    ScheduleResult result = config_.slo_window_hours >= 24.0
+    ScheduleResult result = config_.slo_window_hours.value() >= 24.0
         ? scheduleDaily(dc_power, cost_signal)
         : scheduleWindowed(dc_power, cost_signal);
-    g_moved.add(result.moved_mwh);
+    g_moved.add(result.moved_mwh.value());
     return result;
 }
 
@@ -52,11 +55,11 @@ GreedyCarbonScheduler::scheduleDaily(const TimeSeries &dc_power,
 {
     ScheduleResult result(dc_power.year());
     const size_t days = dc_power.calendar().daysInYear();
-    const double cap = config_.capacity_cap_mw;
-    const double fwr = config_.flexible_ratio;
+    const double cap = config_.capacity_cap_mw.value();
+    const double fwr = config_.flexible_ratio.value();
 
     for (size_t day = 0; day < days; ++day) {
-        const size_t base = day * 24;
+        const size_t base = day * kHoursPerDay;
 
         // Pool the day's flexible energy; the rest stays in place.
         double movable = 0.0;
@@ -96,8 +99,8 @@ GreedyCarbonScheduler::scheduleDaily(const TimeSeries &dc_power,
     double moved = 0.0;
     for (size_t h = 0; h < dc_power.size(); ++h)
         moved += std::abs(result.reshaped_power[h] - dc_power[h]);
-    result.moved_mwh = 0.5 * moved;
-    result.peak_power_mw = result.reshaped_power.max();
+    result.moved_mwh = MegaWattHours(0.5 * moved);
+    result.peak_power_mw = MegaWatts(result.reshaped_power.max());
     return result;
 }
 
@@ -107,9 +110,10 @@ GreedyCarbonScheduler::scheduleWindowed(const TimeSeries &dc_power,
 {
     ScheduleResult result(dc_power.year());
     const size_t n = dc_power.size();
-    const double cap = config_.capacity_cap_mw;
-    const double fwr = config_.flexible_ratio;
-    const long window = static_cast<long>(config_.slo_window_hours);
+    const double cap = config_.capacity_cap_mw.value();
+    const double fwr = config_.flexible_ratio.value();
+    const long window =
+        static_cast<long>(config_.slo_window_hours.value());
 
     // Pull model: each destination hour, visited in ascending cost
     // order, attracts flexible load from strictly more expensive
@@ -161,13 +165,13 @@ GreedyCarbonScheduler::scheduleWindowed(const TimeSeries &dc_power,
             flex[o] -= pull;
             placed[dest] += pull;
             headroom -= pull;
-            result.moved_mwh += pull;
+            result.moved_mwh += MegaWattHours(pull);
         }
     }
 
     for (size_t h = 0; h < n; ++h)
         result.reshaped_power[h] = fixed[h] + flex[h] + placed[h];
-    result.peak_power_mw = result.reshaped_power.max();
+    result.peak_power_mw = MegaWatts(result.reshaped_power.max());
     return result;
 }
 

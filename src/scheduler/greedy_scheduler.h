@@ -18,6 +18,7 @@
 #ifndef CARBONX_SCHEDULER_GREEDY_SCHEDULER_H
 #define CARBONX_SCHEDULER_GREEDY_SCHEDULER_H
 
+#include "common/units.h"
 #include "timeseries/timeseries.h"
 
 namespace carbonx
@@ -26,26 +27,26 @@ namespace carbonx
 /** Configuration of the greedy carbon-aware scheduler. */
 struct SchedulerConfig
 {
-    /** Maximum datacenter power after reshaping (P_DC_MAX), MW. */
-    double capacity_cap_mw = 0.0;
+    /** Maximum datacenter power after reshaping (P_DC_MAX). */
+    MegaWatts capacity_cap_mw{0.0};
 
     /** Fraction of each hour's load that may shift (FWR). */
-    double flexible_ratio = 0.4;
+    Fraction flexible_ratio{0.4};
 
     /**
-     * SLO window in hours. 24 reproduces the paper's daily greedy
-     * (load may move anywhere within its calendar day); smaller
-     * windows restrict movement to +/- window hours.
+     * SLO window. 24 h reproduces the paper's daily greedy (load may
+     * move anywhere within its calendar day); smaller windows
+     * restrict movement to +/- window hours.
      */
-    double slo_window_hours = 24.0;
+    Hours slo_window_hours{24.0};
 };
 
 /** Outcome of one scheduling pass. */
 struct ScheduleResult
 {
-    TimeSeries reshaped_power; ///< The new hourly power series (MW).
-    double moved_mwh = 0.0;    ///< Total energy relocated.
-    double peak_power_mw = 0.0; ///< Max of the reshaped series.
+    TimeSeries reshaped_power;  ///< The new hourly power series (MW).
+    MegaWattHours moved_mwh;    ///< Total energy relocated.
+    MegaWatts peak_power_mw;    ///< Max of the reshaped series.
 
     explicit ScheduleResult(int year) : reshaped_power(year) {}
 };

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -49,18 +50,18 @@ SimulationResult::resetFor(int year)
             battery_flow[h] = 0.0;
         }
     }
-    load_energy_mwh = 0.0;
-    served_energy_mwh = 0.0;
-    grid_energy_mwh = 0.0;
-    renewable_used_mwh = 0.0;
-    renewable_excess_mwh = 0.0;
-    deferred_mwh = 0.0;
-    max_backlog_mwh = 0.0;
-    residual_backlog_mwh = 0.0;
-    slo_violation_mwh = 0.0;
-    peak_power_mw = 0.0;
+    load_energy_mwh = MegaWattHours(0.0);
+    served_energy_mwh = MegaWattHours(0.0);
+    grid_energy_mwh = MegaWattHours(0.0);
+    renewable_used_mwh = MegaWattHours(0.0);
+    renewable_excess_mwh = MegaWattHours(0.0);
+    deferred_mwh = MegaWattHours(0.0);
+    max_backlog_mwh = MegaWattHours(0.0);
+    residual_backlog_mwh = MegaWattHours(0.0);
+    slo_violation_mwh = MegaWattHours(0.0);
+    peak_power_mw = MegaWatts(0.0);
     battery_cycles = 0.0;
-    grid_charge_mwh = 0.0;
+    grid_charge_mwh = MegaWattHours(0.0);
     coverage_pct = 0.0;
 }
 
@@ -95,18 +96,25 @@ SimulationEngine::runImpl(const SimulationConfig &config,
     static auto &h_run = obs::latency("sim.run_us");
     const obs::LatencyTimer run_timer(h_run);
 
-    require(config.capacity_cap_mw >= dc_power_.max() - 1e-9,
+    require(config.capacity_cap_mw.value() >=
+                dc_power_.max() - kCapacityCapSlackMw,
             "capacity cap below the load peak");
-    require(config.flexible_ratio >= 0.0 && config.flexible_ratio <= 1.0,
+    require(config.flexible_ratio.value() >= 0.0 &&
+                config.flexible_ratio.value() <= 1.0,
             "flexible ratio must be in [0, 1]");
-    require(config.slo_window_hours >= 1.0,
+    require(config.slo_window_hours.value() >= 1.0,
             "SLO window must be at least one hour");
 
+    // The hourly loop below runs on raw doubles unwrapped once here:
+    // the unit types are a single double, so this is free, and the
+    // arithmetic stays bit-identical to the pre-units engine.
     const size_t n = dc_power_.size();
-    const double cap = config.capacity_cap_mw;
-    const double fwr = config.flexible_ratio;
-    const auto window = static_cast<size_t>(config.slo_window_hours);
+    const double cap = config.capacity_cap_mw.value();
+    const double fwr = config.flexible_ratio.value();
+    const auto window =
+        static_cast<size_t>(config.slo_window_hours.value());
     const double dt = 1.0; // Hourly steps.
+    const Hours dt_h(dt);
 
     const bool grid_charging =
         config.grid_charge_policy ==
@@ -116,7 +124,7 @@ SimulationEngine::runImpl(const SimulationConfig &config,
                 "grid-charging policy requires an intensity series");
         require(config.grid_intensity->year() == dc_power_.year(),
                 "intensity series must cover the simulated year");
-        require(config.grid_charge_threshold_gkwh >= 0.0,
+        require(config.grid_charge_threshold_gkwh.value() >= 0.0,
                 "grid-charge threshold must be >= 0");
     }
 
@@ -126,6 +134,7 @@ SimulationEngine::runImpl(const SimulationConfig &config,
 
     SimulationScratch &backlog = scratch;
     backlog.clear();
+    // carbonx-lint: allow(raw-unit-double) hot-loop accumulator
     double backlog_mwh = 0.0;
 
     // The battery-stepping portion of the hourly loop gets its own
@@ -142,8 +151,8 @@ SimulationEngine::runImpl(const SimulationConfig &config,
         // Deadline-forced backlog must run now.
         double forced = 0.0;
         while (!backlog.empty() && backlog.front().deadline_hour <= h) {
-            forced += backlog.front().mwh;
-            backlog_mwh -= backlog.front().mwh;
+            forced += backlog.front().mwh.value();
+            backlog_mwh -= backlog.front().mwh.value();
             backlog.popFront();
         }
 
@@ -154,8 +163,8 @@ SimulationEngine::runImpl(const SimulationConfig &config,
         double mandatory = fixed + forced;
         if (mandatory > cap) {
             const double overflow = mandatory - cap;
-            result.slo_violation_mwh += overflow * dt;
-            backlog.pushFront({h + 1, overflow});
+            result.slo_violation_mwh += MegaWattHours(overflow * dt);
+            backlog.pushFront({h + 1, MegaWattHours(overflow)});
             backlog_mwh += overflow;
             mandatory = cap;
         }
@@ -184,15 +193,15 @@ SimulationEngine::runImpl(const SimulationConfig &config,
             // Drain backlog, oldest first, on leftover surplus.
             while (surplus > 1e-12 && served < cap && !backlog.empty()) {
                 auto &entry = backlog.front();
-                const double run =
-                    std::min({entry.mwh / dt, surplus, cap - served});
+                const double run = std::min(
+                    {entry.mwh.value() / dt, surplus, cap - served});
                 if (run <= 1e-12)
                     break;
-                entry.mwh -= run * dt;
+                entry.mwh -= MegaWattHours(run * dt);
                 backlog_mwh -= run * dt;
                 served += run;
                 surplus -= run;
-                if (entry.mwh <= 1e-12)
+                if (entry.mwh.value() <= 1e-12)
                     backlog.popFront();
             }
 
@@ -204,20 +213,24 @@ SimulationEngine::runImpl(const SimulationConfig &config,
                 const double fits = std::min(flex_rest, cap - served);
                 double deficit = fits;
                 if (battery != nullptr && deficit > 0.0) {
-                    battery_out = battery->discharge(deficit, dt);
+                    battery_out =
+                        battery->discharge(MegaWatts(deficit), dt_h)
+                            .value();
                     deficit -= battery_out;
                 }
                 const double defer = (flex_rest - fits) + deficit;
                 if (defer > 0.0) {
-                    backlog.pushBack({h + window, defer * dt});
+                    backlog.pushBack(
+                        {h + window, MegaWattHours(defer * dt)});
                     backlog_mwh += defer * dt;
-                    result.deferred_mwh += defer * dt;
+                    result.deferred_mwh += MegaWattHours(defer * dt);
                 }
                 served += flex_rest - defer;
             }
 
             if (battery != nullptr && surplus > 1e-12)
-                battery_in = battery->charge(surplus, dt);
+                battery_in =
+                    battery->charge(MegaWatts(surplus), dt_h).value();
         } else {
             // Deficit: renewables cannot even cover mandatory work.
             // Battery first, then defer flexible work, then the grid.
@@ -225,15 +238,16 @@ SimulationEngine::runImpl(const SimulationConfig &config,
             const double flex_fits = std::min(flex, cap - served);
             double deficit = served + flex_fits - ren;
             if (battery != nullptr) {
-                battery_out = battery->discharge(deficit, dt);
+                battery_out =
+                    battery->discharge(MegaWatts(deficit), dt_h).value();
                 deficit -= battery_out;
             }
             const double defer = (flex - flex_fits) +
                 (fwr > 0.0 ? std::min(flex_fits, deficit) : 0.0);
             if (defer > 0.0) {
-                backlog.pushBack({h + window, defer * dt});
+                backlog.pushBack({h + window, MegaWattHours(defer * dt)});
                 backlog_mwh += defer * dt;
-                result.deferred_mwh += defer * dt;
+                result.deferred_mwh += MegaWattHours(defer * dt);
             }
             served += flex - defer;
         }
@@ -245,11 +259,15 @@ SimulationEngine::runImpl(const SimulationConfig &config,
         double grid_charge = 0.0;
         if (grid_charging && battery != nullptr &&
             (*config.grid_intensity)[h] <=
-                config.grid_charge_threshold_gkwh) {
-            grid_charge = battery->charge(
-                std::numeric_limits<double>::max(), dt);
+                config.grid_charge_threshold_gkwh.value()) {
+            grid_charge =
+                battery
+                    ->charge(
+                        MegaWatts(std::numeric_limits<double>::max()),
+                        dt_h)
+                    .value();
             battery_in += grid_charge;
-            result.grid_charge_mwh += grid_charge * dt;
+            result.grid_charge_mwh += MegaWattHours(grid_charge * dt);
         }
 
         const double green_used =
@@ -261,26 +279,26 @@ SimulationEngine::runImpl(const SimulationConfig &config,
         result.grid_power[h] = grid;
         result.battery_flow[h] = battery_in - battery_out;
         result.battery_soc[h] =
-            battery != nullptr ? battery->stateOfCharge() : 0.0;
+            battery != nullptr ? battery->stateOfCharge().value() : 0.0;
 
-        result.load_energy_mwh += load * dt;
-        result.served_energy_mwh += served * dt;
-        result.grid_energy_mwh += grid * dt;
-        result.renewable_used_mwh += green_used * dt;
+        result.load_energy_mwh += MegaWattHours(load * dt);
+        result.served_energy_mwh += MegaWattHours(served * dt);
+        result.grid_energy_mwh += MegaWattHours(grid * dt);
+        result.renewable_used_mwh += MegaWattHours(green_used * dt);
         result.renewable_excess_mwh +=
-            std::max(ren - green_used, 0.0) * dt;
-        result.max_backlog_mwh = std::max(result.max_backlog_mwh,
-                                          backlog_mwh);
+            MegaWattHours(std::max(ren - green_used, 0.0) * dt);
+        result.max_backlog_mwh =
+            max(result.max_backlog_mwh, MegaWattHours(backlog_mwh));
     }
 
     c_runs.increment();
     c_hours.increment(n);
 
-    result.residual_backlog_mwh = backlog_mwh;
-    result.peak_power_mw = result.served_power.max();
+    result.residual_backlog_mwh = MegaWattHours(backlog_mwh);
+    result.peak_power_mw = MegaWatts(result.served_power.max());
     result.battery_cycles =
         battery != nullptr ? battery->fullEquivalentCycles() : 0.0;
-    result.coverage_pct = result.load_energy_mwh > 0.0
+    result.coverage_pct = result.load_energy_mwh.value() > 0.0
         ? (1.0 - result.grid_energy_mwh / result.load_energy_mwh) * 100.0
         : 100.0;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "battery/battery_model.h"
+#include "common/units.h"
 #include "timeseries/timeseries.h"
 
 namespace carbonx
@@ -46,17 +47,17 @@ enum class GridChargePolicy
 struct SimulationConfig
 {
     /**
-     * Datacenter power capacity P_DC_MAX in MW, including any extra
+     * Datacenter power capacity P_DC_MAX, including any extra
      * servers provisioned for demand response. Must be at least the
      * load series peak.
      */
-    double capacity_cap_mw = 0.0;
+    MegaWatts capacity_cap_mw{0.0};
 
     /** Flexible workload ratio; 0 disables carbon-aware deferral. */
-    double flexible_ratio = 0.0;
+    Fraction flexible_ratio{0.0};
 
-    /** Deferred work must complete within this many hours. */
-    double slo_window_hours = 24.0;
+    /** Deferred work must complete within this window. */
+    Hours slo_window_hours{24.0};
 
     /**
      * Battery attached to the datacenter; may be null for the
@@ -68,8 +69,8 @@ struct SimulationConfig
     /** Grid-charging policy; Never reproduces the paper. */
     GridChargePolicy grid_charge_policy = GridChargePolicy::Never;
 
-    /** Intensity threshold (g/kWh) for BelowIntensityThreshold. */
-    double grid_charge_threshold_gkwh = 0.0;
+    /** Intensity threshold for BelowIntensityThreshold. */
+    GramsPerKwh grid_charge_threshold_gkwh{0.0};
 
     /**
      * Hourly grid carbon intensity (g/kWh); required when the
@@ -86,19 +87,19 @@ struct SimulationResult
     TimeSeries battery_soc;    ///< State of charge at hour end.
     TimeSeries battery_flow;   ///< +MW charging, -MW discharging.
 
-    double load_energy_mwh = 0.0;      ///< Original demand energy.
-    double served_energy_mwh = 0.0;    ///< Energy actually served.
-    double grid_energy_mwh = 0.0;      ///< Energy drawn from the grid.
-    double renewable_used_mwh = 0.0;   ///< Renewable energy consumed.
-    double renewable_excess_mwh = 0.0; ///< Renewable supply left unused.
-    double deferred_mwh = 0.0;         ///< Total energy ever deferred.
-    double max_backlog_mwh = 0.0;      ///< Peak deferred-work backlog.
-    double residual_backlog_mwh = 0.0; ///< Backlog left at year end.
-    double slo_violation_mwh = 0.0;    ///< Deadline work beyond the cap.
-    double peak_power_mw = 0.0;        ///< Max served power.
-    double battery_cycles = 0.0;       ///< Full-equivalent cycles used.
+    MegaWattHours load_energy_mwh;      ///< Original demand energy.
+    MegaWattHours served_energy_mwh;    ///< Energy actually served.
+    MegaWattHours grid_energy_mwh;      ///< Energy drawn from the grid.
+    MegaWattHours renewable_used_mwh;   ///< Renewable energy consumed.
+    MegaWattHours renewable_excess_mwh; ///< Renewable supply left unused.
+    MegaWattHours deferred_mwh;         ///< Total energy ever deferred.
+    MegaWattHours max_backlog_mwh;      ///< Peak deferred-work backlog.
+    MegaWattHours residual_backlog_mwh; ///< Backlog left at year end.
+    MegaWattHours slo_violation_mwh;    ///< Deadline work beyond the cap.
+    MegaWatts peak_power_mw;            ///< Max served power.
+    double battery_cycles = 0.0;        ///< Full-equivalent cycles used.
     /** Grid energy used to charge the battery (arbitrage extension). */
-    double grid_charge_mwh = 0.0;
+    MegaWattHours grid_charge_mwh;
 
     /**
      * Renewable coverage percentage (section 4.1): share of demand
@@ -134,7 +135,7 @@ struct SimulationScratch
     struct Entry
     {
         size_t deadline_hour;
-        double mwh;
+        MegaWattHours mwh;
     };
 
     std::vector<Entry> entries;

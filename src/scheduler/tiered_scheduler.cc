@@ -4,16 +4,17 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/tolerances.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace carbonx
 {
 
-TieredScheduler::TieredScheduler(WorkloadMix mix, double capacity_cap_mw)
-    : mix_(std::move(mix)), capacity_cap_mw_(capacity_cap_mw)
+TieredScheduler::TieredScheduler(WorkloadMix mix, MegaWatts capacity_cap)
+    : mix_(std::move(mix)), capacity_cap_mw_(capacity_cap)
 {
-    require(capacity_cap_mw > 0.0, "capacity cap must be positive");
+    require(capacity_cap.value() > 0.0, "capacity cap must be positive");
 }
 
 TieredScheduleResult
@@ -22,13 +23,15 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
 {
     require(dc_power.year() == cost_signal.year(),
             "power and cost series must cover the same year");
-    require(dc_power.max() <= capacity_cap_mw_ + 1e-9,
+    require(dc_power.max() <=
+                capacity_cap_mw_.value() + kCapacityCapSlackMw,
             "existing load already exceeds the capacity cap");
 
     CARBONX_SPAN("scheduler/tiered");
     obs::counter("scheduler.tiered_runs").increment();
 
     const size_t n = dc_power.size();
+    const double cap = capacity_cap_mw_.value();
     TieredScheduleResult result(dc_power.year());
 
     // Tiers sorted by window ascending: the most constrained tiers
@@ -65,8 +68,8 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
     for (const WorkloadTier &tier : tiers) {
         TierOutcome outcome;
         outcome.tier_name = tier.name;
-        outcome.slo_window_hours = tier.slo_window_hours;
-        outcome.share = tier.share;
+        outcome.slo_window_hours = Hours(tier.slo_window_hours);
+        outcome.share = Fraction(tier.share);
         if (tier.slo_window_hours <= 0.0 || tier.share <= 0.0) {
             result.tiers.push_back(outcome);
             continue;
@@ -83,9 +86,8 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
         for (size_t dest : order) {
             // Reserve room for this hour's own unmoved flex and for
             // all later tiers' flex.
-            double headroom = capacity_cap_mw_ - occupancy[dest] -
-                              placed[dest] - flex[dest] -
-                              pending[dest];
+            double headroom = cap - occupancy[dest] - placed[dest] -
+                              flex[dest] - pending[dest];
             if (headroom <= 0.0)
                 continue;
 
@@ -116,7 +118,7 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
                 flex[o] -= pull;
                 placed[dest] += pull;
                 headroom -= pull;
-                outcome.moved_mwh += pull;
+                outcome.moved_mwh += MegaWattHours(pull);
             }
         }
 
@@ -128,7 +130,7 @@ TieredScheduler::schedule(const TimeSeries &dc_power,
 
     for (size_t h = 0; h < n; ++h)
         result.reshaped_power[h] = occupancy[h];
-    result.peak_power_mw = result.reshaped_power.max();
+    result.peak_power_mw = MegaWatts(result.reshaped_power.max());
     ensure(std::abs(result.reshaped_power.total() - dc_power.total()) <
                1e-5 * std::max(dc_power.total(), 1.0),
            "tiered scheduling failed to conserve energy");

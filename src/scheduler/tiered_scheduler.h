@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "common/units.h"
 #include "datacenter/workload.h"
 #include "scheduler/greedy_scheduler.h"
 #include "timeseries/timeseries.h"
@@ -26,9 +27,9 @@ namespace carbonx
 struct TierOutcome
 {
     std::string tier_name;
-    double slo_window_hours = 0.0;
-    double share = 0.0;
-    double moved_mwh = 0.0; ///< Energy this tier relocated.
+    Hours slo_window_hours{0.0};
+    Fraction share{0.0};
+    MegaWattHours moved_mwh; ///< Energy this tier relocated.
 };
 
 /** Outcome of the full tiered pass. */
@@ -36,8 +37,8 @@ struct TieredScheduleResult
 {
     TimeSeries reshaped_power; ///< Combined reshaped series (MW).
     std::vector<TierOutcome> tiers;
-    double moved_mwh = 0.0;
-    double peak_power_mw = 0.0;
+    MegaWattHours moved_mwh;
+    MegaWatts peak_power_mw;
 
     explicit TieredScheduleResult(int year) : reshaped_power(year) {}
 };
@@ -49,9 +50,9 @@ class TieredScheduler
     /**
      * @param mix Workload tier table; shares must sum to 1. Tiers
      *        with a zero window are pinned in place.
-     * @param capacity_cap_mw P_DC_MAX for the combined schedule.
+     * @param capacity_cap P_DC_MAX for the combined schedule.
      */
-    TieredScheduler(WorkloadMix mix, double capacity_cap_mw);
+    TieredScheduler(WorkloadMix mix, MegaWatts capacity_cap);
 
     /**
      * Reshape @p dc_power against @p cost_signal, tier by tier.
@@ -67,7 +68,7 @@ class TieredScheduler
 
   private:
     WorkloadMix mix_;
-    double capacity_cap_mw_;
+    MegaWatts capacity_cap_mw_;
 };
 
 } // namespace carbonx

@@ -64,9 +64,9 @@ HourlyCalendar::instantAt(size_t hour_of_year) const
     require(hour_of_year < hoursInYear(), "hour index beyond year end");
     CalendarInstant out;
     out.year = year_;
-    const size_t day = hour_of_year / 24;
+    const size_t day = hour_of_year / kHoursPerDay;
     out.day_of_year = static_cast<int>(day);
-    out.hour_of_day = static_cast<int>(hour_of_year % 24);
+    out.hour_of_day = static_cast<int>(hour_of_year % kHoursPerDay);
     int month = 1;
     while (month < 12 && month_start_day_[static_cast<size_t>(month)] <= day)
         ++month;
@@ -87,21 +87,21 @@ HourlyCalendar::hourIndex(int month, int day_of_month, int hour_of_day) const
     require(hour_of_day >= 0 && hour_of_day < 24, "hour must be in 0..23");
     const size_t day = month_start_day_[static_cast<size_t>(month - 1)] +
                        static_cast<size_t>(day_of_month - 1);
-    return day * 24 + static_cast<size_t>(hour_of_day);
+    return day * kHoursPerDay + static_cast<size_t>(hour_of_day);
 }
 
 size_t
 HourlyCalendar::dayOfYear(size_t hour_of_year) const
 {
     require(hour_of_year < hoursInYear(), "hour index beyond year end");
-    return hour_of_year / 24;
+    return hour_of_year / kHoursPerDay;
 }
 
 int
 HourlyCalendar::hourOfDay(size_t hour_of_year) const
 {
     require(hour_of_year < hoursInYear(), "hour index beyond year end");
-    return static_cast<int>(hour_of_year % 24);
+    return static_cast<int>(hour_of_year % kHoursPerDay);
 }
 
 int

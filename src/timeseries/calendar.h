@@ -19,6 +19,12 @@
 namespace carbonx
 {
 
+/** Hours per civil day — the day/hour unit conversion factor. */
+inline constexpr size_t kHoursPerDay = 24;
+
+/** Floating-point variant for day/hour phase arithmetic. */
+inline constexpr double kHoursPerDayF = 24.0;
+
 /** Calendar date resolved from an hour-of-year index. */
 struct CalendarInstant
 {
@@ -44,7 +50,7 @@ class HourlyCalendar
     size_t daysInYear() const { return leap_ ? 366 : 365; }
 
     /** 8760 or 8784. */
-    size_t hoursInYear() const { return daysInYear() * 24; }
+    size_t hoursInYear() const { return daysInYear() * kHoursPerDay; }
 
     /** Days in a month (1..12) of this year. */
     size_t daysInMonth(int month) const;

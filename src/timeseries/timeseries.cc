@@ -201,7 +201,7 @@ TimeSeries::dailySums() const
     const size_t days = calendar_.daysInYear();
     std::vector<double> out(days, 0.0);
     for (size_t h = 0; h < values_.size(); ++h)
-        out[h / 24] += values_[h];
+        out[h / kHoursPerDay] += values_[h];
     return out;
 }
 
@@ -210,7 +210,7 @@ TimeSeries::dailyMeans() const
 {
     std::vector<double> out = dailySums();
     for (double &v : out)
-        v /= 24.0;
+        v /= kHoursPerDayF;
     return out;
 }
 
@@ -219,7 +219,7 @@ TimeSeries::averageDayProfile() const
 {
     std::array<double, 24> sums{};
     for (size_t h = 0; h < values_.size(); ++h)
-        sums[h % 24] += values_[h];
+        sums[h % kHoursPerDay] += values_[h];
     const double days = static_cast<double>(calendar_.daysInYear());
     for (double &v : sums)
         v /= days;
@@ -232,7 +232,7 @@ TimeSeries::averageDayExpansion() const
     const auto profile = averageDayProfile();
     TimeSeries out(year());
     for (size_t h = 0; h < out.size(); ++h)
-        out.values_[h] = profile[h % 24];
+        out.values_[h] = profile[h % kHoursPerDay];
     return out;
 }
 

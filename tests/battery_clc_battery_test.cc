@@ -13,6 +13,8 @@ namespace carbonx
 namespace
 {
 
+using namespace literals;
+
 BatteryChemistry
 idealizedLfp()
 {
@@ -25,167 +27,168 @@ idealizedLfp()
 
 TEST(ClcBattery, StartsAtTheDodFloor)
 {
-    const ClcBattery full_window(100.0, idealizedLfp());
-    EXPECT_DOUBLE_EQ(full_window.energyContentMwh(), 0.0);
+    const ClcBattery full_window(100.0_MWh, idealizedLfp());
+    EXPECT_DOUBLE_EQ(full_window.energyContentMwh().value(), 0.0);
 
     BatteryChemistry c = idealizedLfp();
     c.depth_of_discharge = 0.8;
-    const ClcBattery windowed(100.0, c);
-    EXPECT_DOUBLE_EQ(windowed.energyContentMwh(), 20.0);
-    EXPECT_DOUBLE_EQ(windowed.minContentMwh(), 20.0);
-    EXPECT_DOUBLE_EQ(windowed.usableCapacityMwh(), 80.0);
+    const ClcBattery windowed(100.0_MWh, c);
+    EXPECT_DOUBLE_EQ(windowed.energyContentMwh().value(), 20.0);
+    EXPECT_DOUBLE_EQ(windowed.minContentMwh().value(), 20.0);
+    EXPECT_DOUBLE_EQ(windowed.usableCapacityMwh().value(), 80.0);
 }
 
 TEST(ClcBattery, ChargeStoresEnergy)
 {
-    ClcBattery b(100.0, idealizedLfp());
-    const double accepted = b.charge(30.0, 1.0);
-    EXPECT_DOUBLE_EQ(accepted, 30.0);
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 30.0);
-    EXPECT_DOUBLE_EQ(b.totalChargedMwh(), 30.0);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    const MegaWatts accepted = b.charge(30.0_MW, 1.0_h);
+    EXPECT_DOUBLE_EQ(accepted.value(), 30.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 30.0);
+    EXPECT_DOUBLE_EQ(b.totalChargedMwh().value(), 30.0);
 }
 
 TEST(ClcBattery, ChargeRespectsCRate)
 {
     // 1C on a 100 MWh battery caps charging power at 100 MW.
-    ClcBattery b(100.0, idealizedLfp());
-    EXPECT_DOUBLE_EQ(b.charge(250.0, 0.5), 100.0);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.charge(250.0_MW, 0.5_h).value(), 100.0);
 }
 
 TEST(ClcBattery, ChargeStopsAtCapacity)
 {
-    ClcBattery b(100.0, idealizedLfp());
-    b.charge(90.0, 1.0);
-    const double accepted = b.charge(50.0, 1.0);
-    EXPECT_DOUBLE_EQ(accepted, 10.0);
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 100.0);
-    EXPECT_DOUBLE_EQ(b.charge(10.0, 1.0), 0.0);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    b.charge(90.0_MW, 1.0_h);
+    const MegaWatts accepted = b.charge(50.0_MW, 1.0_h);
+    EXPECT_DOUBLE_EQ(accepted.value(), 10.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 100.0);
+    EXPECT_DOUBLE_EQ(b.charge(10.0_MW, 1.0_h).value(), 0.0);
 }
 
 TEST(ClcBattery, DischargeDeliversStoredEnergy)
 {
-    ClcBattery b(100.0, idealizedLfp());
-    b.charge(60.0, 1.0);
-    const double delivered = b.discharge(25.0, 1.0);
-    EXPECT_DOUBLE_EQ(delivered, 25.0);
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 35.0);
-    EXPECT_DOUBLE_EQ(b.totalDischargedMwh(), 25.0);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    b.charge(60.0_MW, 1.0_h);
+    const MegaWatts delivered = b.discharge(25.0_MW, 1.0_h);
+    EXPECT_DOUBLE_EQ(delivered.value(), 25.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 35.0);
+    EXPECT_DOUBLE_EQ(b.totalDischargedMwh().value(), 25.0);
 }
 
 TEST(ClcBattery, DischargeRespectsCRateAndContent)
 {
-    ClcBattery b(100.0, idealizedLfp());
-    b.charge(100.0, 1.0);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    b.charge(100.0_MW, 1.0_h);
     // C-rate limit first.
-    EXPECT_DOUBLE_EQ(b.discharge(500.0, 0.25), 100.0);
+    EXPECT_DOUBLE_EQ(b.discharge(500.0_MW, 0.25_h).value(), 100.0);
     // Then the remaining content limits.
-    EXPECT_DOUBLE_EQ(b.discharge(500.0, 1.0), 75.0);
-    EXPECT_DOUBLE_EQ(b.discharge(1.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(b.discharge(500.0_MW, 1.0_h).value(), 75.0);
+    EXPECT_DOUBLE_EQ(b.discharge(1.0_MW, 1.0_h).value(), 0.0);
 }
 
 TEST(ClcBattery, DischargeHonorsDodFloor)
 {
     BatteryChemistry c = idealizedLfp();
     c.depth_of_discharge = 0.8;
-    ClcBattery b(100.0, c, 1.0); // Start full.
-    const double delivered = b.discharge(200.0, 1.0);
-    EXPECT_DOUBLE_EQ(delivered, 80.0); // Only the window is usable.
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 20.0);
+    ClcBattery b(100.0_MWh, c, 1.0); // Start full.
+    const MegaWatts delivered = b.discharge(200.0_MW, 1.0_h);
+    EXPECT_DOUBLE_EQ(delivered.value(), 80.0); // Only the window.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 20.0);
 }
 
 TEST(ClcBattery, ChargingEfficiencyLosesEnergy)
 {
     BatteryChemistry c = idealizedLfp();
     c.charge_efficiency = 0.9;
-    ClcBattery b(100.0, c);
-    b.charge(10.0, 1.0); // 10 MWh at the terminal, 9 MWh stored.
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 9.0);
+    ClcBattery b(100.0_MWh, c);
+    b.charge(10.0_MW, 1.0_h); // 10 MWh at the terminal, 9 stored.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 9.0);
 }
 
 TEST(ClcBattery, DischargingEfficiencyDrawsExtraContent)
 {
     BatteryChemistry c = idealizedLfp();
     c.discharge_efficiency = 0.9;
-    ClcBattery b(100.0, c);
-    b.charge(50.0, 1.0);
-    b.discharge(9.0, 1.0); // Delivers 9, draws 10 from content.
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 40.0);
+    ClcBattery b(100.0_MWh, c);
+    b.charge(50.0_MW, 1.0_h);
+    b.discharge(9.0_MW, 1.0_h); // Delivers 9, draws 10 from content.
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 40.0);
 }
 
 TEST(ClcBattery, RoundTripEfficiencyCompounds)
 {
     // Default LFP: 0.95 each way -> ~90% round trip.
-    ClcBattery b(1000.0,
+    ClcBattery b(1000.0_MWh,
                  BatteryChemistry::lithiumIronPhosphate());
-    const double in = b.charge(100.0, 1.0);
-    const double out = b.discharge(1000.0, 1.0);
-    EXPECT_NEAR(out / in, 0.95 * 0.95, 1e-9);
+    const MegaWatts in = b.charge(100.0_MW, 1.0_h);
+    const MegaWatts out = b.discharge(1000.0_MW, 1.0_h);
+    EXPECT_NEAR(out.value() / in.value(), 0.95 * 0.95, 1e-9);
 }
 
 TEST(ClcBattery, StateOfChargeTracksContent)
 {
-    ClcBattery b(200.0, idealizedLfp());
-    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.0);
-    b.charge(100.0, 1.0);
-    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.5);
+    ClcBattery b(200.0_MWh, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.stateOfCharge().value(), 0.0);
+    b.charge(100.0_MW, 1.0_h);
+    EXPECT_DOUBLE_EQ(b.stateOfCharge().value(), 0.5);
 }
 
 TEST(ClcBattery, FullEquivalentCyclesFromThroughput)
 {
-    ClcBattery b(100.0, idealizedLfp());
+    ClcBattery b(100.0_MWh, idealizedLfp());
     for (int i = 0; i < 3; ++i) {
-        b.charge(100.0, 1.0);
-        b.discharge(100.0, 1.0);
+        b.charge(100.0_MW, 1.0_h);
+        b.discharge(100.0_MW, 1.0_h);
     }
     EXPECT_NEAR(b.fullEquivalentCycles(), 3.0, 1e-9);
 }
 
 TEST(ClcBattery, ResetRestoresInitialState)
 {
-    ClcBattery b(100.0, idealizedLfp(), 0.5);
-    b.charge(20.0, 1.0);
-    b.discharge(5.0, 1.0);
+    ClcBattery b(100.0_MWh, idealizedLfp(), 0.5);
+    b.charge(20.0_MW, 1.0_h);
+    b.discharge(5.0_MW, 1.0_h);
     b.reset();
-    EXPECT_DOUBLE_EQ(b.energyContentMwh(), 50.0);
-    EXPECT_DOUBLE_EQ(b.totalChargedMwh(), 0.0);
-    EXPECT_DOUBLE_EQ(b.totalDischargedMwh(), 0.0);
+    EXPECT_DOUBLE_EQ(b.energyContentMwh().value(), 50.0);
+    EXPECT_DOUBLE_EQ(b.totalChargedMwh().value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.totalDischargedMwh().value(), 0.0);
     EXPECT_DOUBLE_EQ(b.fullEquivalentCycles(), 0.0);
 }
 
 TEST(ClcBattery, ZeroCapacityIsInert)
 {
-    ClcBattery b(0.0, idealizedLfp());
-    EXPECT_DOUBLE_EQ(b.charge(10.0, 1.0), 0.0);
-    EXPECT_DOUBLE_EQ(b.discharge(10.0, 1.0), 0.0);
-    EXPECT_DOUBLE_EQ(b.stateOfCharge(), 0.0);
+    ClcBattery b(0.0_MWh, idealizedLfp());
+    EXPECT_DOUBLE_EQ(b.charge(10.0_MW, 1.0_h).value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.discharge(10.0_MW, 1.0_h).value(), 0.0);
+    EXPECT_DOUBLE_EQ(b.stateOfCharge().value(), 0.0);
     EXPECT_DOUBLE_EQ(b.fullEquivalentCycles(), 0.0);
 }
 
 TEST(ClcBattery, SubHourlyStepsRespectPowerLimits)
 {
-    ClcBattery b(60.0, idealizedLfp());
+    ClcBattery b(60.0_MWh, idealizedLfp());
     // 1C = 60 MW; offering 100 MW for 1 minute accepts only 60 MW.
-    const double accepted = b.charge(100.0, 1.0 / 60.0);
-    EXPECT_DOUBLE_EQ(accepted, 60.0);
-    EXPECT_NEAR(b.energyContentMwh(), 1.0, 1e-12);
+    const MegaWatts accepted = b.charge(100.0_MW, Hours(1.0 / 60.0));
+    EXPECT_DOUBLE_EQ(accepted.value(), 60.0);
+    EXPECT_NEAR(b.energyContentMwh().value(), 1.0, 1e-12);
 }
 
 TEST(ClcBattery, RejectsInvalidArguments)
 {
-    ClcBattery b(100.0, idealizedLfp());
-    EXPECT_THROW(b.charge(-1.0, 1.0), UserError);
-    EXPECT_THROW(b.charge(1.0, 0.0), UserError);
-    EXPECT_THROW(b.discharge(-1.0, 1.0), UserError);
-    EXPECT_THROW(b.discharge(1.0, -1.0), UserError);
-    EXPECT_THROW(ClcBattery(-1.0, idealizedLfp()), UserError);
+    ClcBattery b(100.0_MWh, idealizedLfp());
+    EXPECT_THROW(b.charge(MegaWatts(-1.0), 1.0_h), UserError);
+    EXPECT_THROW(b.charge(1.0_MW, 0.0_h), UserError);
+    EXPECT_THROW(b.discharge(MegaWatts(-1.0), 1.0_h), UserError);
+    EXPECT_THROW(b.discharge(1.0_MW, Hours(-1.0)), UserError);
+    EXPECT_THROW(ClcBattery(MegaWattHours(-1.0), idealizedLfp()),
+                 UserError);
     BatteryChemistry c = idealizedLfp();
     c.depth_of_discharge = 0.0;
-    EXPECT_THROW(ClcBattery(10.0, c), UserError);
+    EXPECT_THROW(ClcBattery(10.0_MWh, c), UserError);
 }
 
 TEST(ClcBattery, DescriptionNamesChemistry)
 {
-    const ClcBattery b(10.0, BatteryChemistry::sodiumIon());
+    const ClcBattery b(10.0_MWh, BatteryChemistry::sodiumIon());
     EXPECT_NE(b.description().find("Na-ion"), std::string::npos);
 }
 

@@ -35,7 +35,7 @@ clcCase(const std::string &name, BatteryChemistry chem, double cap)
     return BatteryCase{
         name, cap,
         [chem](double c) {
-            return std::make_unique<ClcBattery>(c, chem);
+            return std::make_unique<ClcBattery>(MegaWattHours(c), chem);
         }};
 }
 
@@ -54,7 +54,9 @@ allCases()
     cases.push_back(clcCase("LFPDoD80", dod80, 120.0));
     cases.push_back(BatteryCase{
         "Ideal", 60.0,
-        [](double c) { return std::make_unique<IdealBattery>(c); }});
+        [](double c) {
+            return std::make_unique<IdealBattery>(MegaWattHours(c));
+        }});
     return cases;
 }
 
@@ -79,36 +81,38 @@ TEST_P(BatteryPropertyTest, InvariantsUnderRandomActions)
 
     double accepted_total = 0.0;
     double delivered_total = 0.0;
-    const double initial_content = battery->energyContentMwh();
+    const double initial_content = battery->energyContentMwh().value();
 
     for (int step = 0; step < 2000; ++step) {
         const double dt = rng.uniform(0.1, 2.0);
         const double power = rng.uniform(0.0, 3.0 * bc.capacity_mwh);
         double moved = 0.0;
         if (rng.bernoulli(0.5)) {
-            moved = battery->charge(power, dt);
+            moved = battery->charge(MegaWatts(power), Hours(dt)).value();
             EXPECT_LE(moved, power + 1e-9);
             accepted_total += moved * dt;
         } else {
-            moved = battery->discharge(power, dt);
+            moved = battery->discharge(MegaWatts(power), Hours(dt)).value();
             EXPECT_LE(moved, power + 1e-9);
             delivered_total += moved * dt;
         }
         EXPECT_GE(moved, 0.0);
 
         // Content stays inside [0, capacity] at all times.
-        const double content = battery->energyContentMwh();
+        const double content = battery->energyContentMwh().value();
         EXPECT_GE(content, -1e-9);
         EXPECT_LE(content, bc.capacity_mwh + 1e-9);
 
         // SoC is consistent with content.
-        EXPECT_NEAR(battery->stateOfCharge(),
+        EXPECT_NEAR(battery->stateOfCharge().value(),
                     content / bc.capacity_mwh, 1e-9);
     }
 
     // Throughput counters match what the loop observed.
-    EXPECT_NEAR(battery->totalChargedMwh(), accepted_total, 1e-6);
-    EXPECT_NEAR(battery->totalDischargedMwh(), delivered_total, 1e-6);
+    EXPECT_NEAR(battery->totalChargedMwh().value(), accepted_total,
+                1e-6);
+    EXPECT_NEAR(battery->totalDischargedMwh().value(),
+                delivered_total, 1e-6);
 
     // Energy conservation: you can never extract more than you put in
     // plus what was initially stored (efficiency only loses energy).
@@ -117,8 +121,9 @@ TEST_P(BatteryPropertyTest, InvariantsUnderRandomActions)
 
     // Reset restores the initial state exactly.
     battery->reset();
-    EXPECT_NEAR(battery->energyContentMwh(), initial_content, 1e-12);
-    EXPECT_DOUBLE_EQ(battery->totalChargedMwh(), 0.0);
+    EXPECT_NEAR(battery->energyContentMwh().value(), initial_content,
+                1e-12);
+    EXPECT_DOUBLE_EQ(battery->totalChargedMwh().value(), 0.0);
 }
 
 TEST_P(BatteryPropertyTest, IdenticalSequencesAreDeterministic)
@@ -133,12 +138,16 @@ TEST_P(BatteryPropertyTest, IdenticalSequencesAreDeterministic)
         const double p_b = rng_b.uniform(0.0, bc.capacity_mwh);
         ASSERT_DOUBLE_EQ(p_a, p_b);
         if (step % 2 == 0)
-            EXPECT_DOUBLE_EQ(a->charge(p_a, 1.0), b->charge(p_b, 1.0));
+            EXPECT_DOUBLE_EQ(
+                a->charge(MegaWatts(p_a), Hours(1.0)).value(),
+                b->charge(MegaWatts(p_b), Hours(1.0)).value());
         else
-            EXPECT_DOUBLE_EQ(a->discharge(p_a, 1.0),
-                             b->discharge(p_b, 1.0));
+            EXPECT_DOUBLE_EQ(
+                a->discharge(MegaWatts(p_a), Hours(1.0)).value(),
+                b->discharge(MegaWatts(p_b), Hours(1.0)).value());
     }
-    EXPECT_DOUBLE_EQ(a->energyContentMwh(), b->energyContentMwh());
+    EXPECT_DOUBLE_EQ(a->energyContentMwh().value(),
+                     b->energyContentMwh().value());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -155,19 +164,21 @@ TEST(BatteryComparison, IdealDominatesClcOnTheSameSchedule)
 {
     // For the same offered/requested schedule, the lossless unbounded
     // model always moves at least as much energy as the C/L/C model.
-    ClcBattery clc(50.0, BatteryChemistry::lithiumIronPhosphate());
-    IdealBattery ideal(50.0);
+    ClcBattery clc(MegaWattHours(50.0),
+                   BatteryChemistry::lithiumIronPhosphate());
+    IdealBattery ideal(MegaWattHours(50.0));
     Rng rng(77);
     double clc_out = 0.0;
     double ideal_out = 0.0;
     for (int step = 0; step < 1000; ++step) {
         const double p = rng.uniform(0.0, 120.0);
         if (rng.bernoulli(0.5)) {
-            clc.charge(p, 1.0);
-            ideal.charge(p, 1.0);
+            clc.charge(MegaWatts(p), Hours(1.0));
+            ideal.charge(MegaWatts(p), Hours(1.0));
         } else {
-            clc_out += clc.discharge(p, 1.0);
-            ideal_out += ideal.discharge(p, 1.0);
+            clc_out += clc.discharge(MegaWatts(p), Hours(1.0)).value();
+            ideal_out +=
+                ideal.discharge(MegaWatts(p), Hours(1.0)).value();
         }
     }
     EXPECT_GE(ideal_out, clc_out);

@@ -9,19 +9,22 @@
 
 #include "carbon/embodied.h"
 #include "common/error.h"
+#include "common/units.h"
 
 namespace carbonx
 {
 namespace
 {
 
+using namespace literals;
+
 TEST(Embodied, RenewableAnnualFollowsGeneration)
 {
     const EmbodiedCarbonModel model;
     // Defaults: wind 12.5 g/kWh = 12.5 kg/MWh; solar 55 kg/MWh.
-    EXPECT_NEAR(model.windAnnual(1000.0).value(), 12500.0, 1e-6);
-    EXPECT_NEAR(model.solarAnnual(1000.0).value(), 55000.0, 1e-6);
-    EXPECT_DOUBLE_EQ(model.windAnnual(0.0).value(), 0.0);
+    EXPECT_NEAR(model.windAnnual(1000.0_MWh).value(), 12500.0, 1e-6);
+    EXPECT_NEAR(model.solarAnnual(1000.0_MWh).value(), 55000.0, 1e-6);
+    EXPECT_DOUBLE_EQ(model.windAnnual(0.0_MWh).value(), 0.0);
 }
 
 TEST(Embodied, SolarCostsMoreThanWindPerKwh)
@@ -29,8 +32,8 @@ TEST(Embodied, SolarCostsMoreThanWindPerKwh)
     // The paper's core site-selection driver: wind 10-15 vs solar
     // 40-70 g CO2 per kWh.
     const EmbodiedCarbonModel model;
-    EXPECT_GT(model.solarAnnual(100.0).value(),
-              3.0 * model.windAnnual(100.0).value());
+    EXPECT_GT(model.solarAnnual(100.0_MWh).value(),
+              3.0 * model.windAnnual(100.0_MWh).value());
 }
 
 TEST(Embodied, BatteryTotalUsesChemistryFootprint)
@@ -39,7 +42,7 @@ TEST(Embodied, BatteryTotalUsesChemistryFootprint)
     const BatteryChemistry lfp =
         BatteryChemistry::lithiumIronPhosphate();
     // 1 MWh = 1000 kWh x 104 kg/kWh.
-    EXPECT_NEAR(model.batteryTotal(1.0, lfp).value(), 104000.0, 1e-6);
+    EXPECT_NEAR(model.batteryTotal(1.0_MWh, lfp).value(), 104000.0, 1e-6);
 }
 
 TEST(Embodied, BatteryAnnualAmortizesOverLifetime)
@@ -49,7 +52,7 @@ TEST(Embodied, BatteryAnnualAmortizesOverLifetime)
     lfp.calendar_life_years = 100.0;
     // One cycle/day at 100% DoD: lifetime = 3000/365 years.
     const double annual =
-        model.batteryAnnual(1.0, lfp, 1.0).value();
+        model.batteryAnnual(1.0_MWh, lfp, 1.0).value();
     EXPECT_NEAR(annual, 104000.0 / (3000.0 / 365.0), 1.0);
 }
 
@@ -59,7 +62,7 @@ TEST(Embodied, LightlyCycledBatteryUsesCalendarLife)
     const BatteryChemistry lfp =
         BatteryChemistry::lithiumIronPhosphate();
     const double annual =
-        model.batteryAnnual(1.0, lfp, 0.0).value();
+        model.batteryAnnual(1.0_MWh, lfp, 0.0).value();
     EXPECT_NEAR(annual, 104000.0 / lfp.calendar_life_years, 1e-6);
 }
 
@@ -67,7 +70,7 @@ TEST(Embodied, ZeroBatteryIsFree)
 {
     const EmbodiedCarbonModel model;
     EXPECT_DOUBLE_EQ(
-        model.batteryAnnual(0.0,
+        model.batteryAnnual(0.0_MWh,
                             BatteryChemistry::lithiumIronPhosphate(),
                             1.0)
             .value(),
@@ -86,16 +89,16 @@ TEST(Embodied, LowerDodRaisesAnnualCostForSameUsableCapacity)
     const double usable = 80.0; // MWh usable target.
     // Same usable capacity needs 100 MWh at 80% DoD vs 80 at 100%.
     const double total100 =
-        model.batteryTotal(usable / 1.0, dod100).value();
+        model.batteryTotal(MegaWattHours(usable / 1.0), dod100).value();
     const double total80 =
-        model.batteryTotal(usable / 0.8, dod80).value();
+        model.batteryTotal(MegaWattHours(usable / 0.8), dod80).value();
     EXPECT_NEAR(total80 / total100, 1.25, 1e-9);
     // But the 80% battery lives 50% longer, so annualized it is
     // cheaper per year when cycled daily.
     const double annual100 =
-        model.batteryAnnual(usable, dod100, 1.0).value();
+        model.batteryAnnual(MegaWattHours(usable), dod100, 1.0).value();
     const double annual80 =
-        model.batteryAnnual(usable / 0.8, dod80, 1.0).value();
+        model.batteryAnnual(MegaWattHours(usable / 0.8), dod80, 1.0).value();
     EXPECT_LT(annual80, annual100);
 }
 
@@ -104,22 +107,22 @@ TEST(Embodied, ExtraServersUsePaperProxy)
     const EmbodiedCarbonModel model;
     // 25% extra capacity on a 1 MW fleet: 0.25 MW of 85 W servers.
     const double annual =
-        model.extraServersAnnual(1.0, 0.25).value();
+        model.extraServersAnnual(1.0_MW, Fraction(0.25)).value();
     const double servers = std::ceil(0.25e6 / 85.0);
     EXPECT_NEAR(annual, servers * 744.5 * 1.16 / 5.0, 1.0);
-    EXPECT_DOUBLE_EQ(model.extraServersAnnual(1.0, 0.0).value(), 0.0);
+    EXPECT_DOUBLE_EQ(model.extraServersAnnual(1.0_MW, Fraction(0.0)).value(), 0.0);
 }
 
 TEST(Embodied, RejectsInvalidInputs)
 {
     const EmbodiedCarbonModel model;
-    EXPECT_THROW(model.windAnnual(-1.0), UserError);
-    EXPECT_THROW(model.solarAnnual(-1.0), UserError);
+    EXPECT_THROW(model.windAnnual(MegaWattHours(-1.0)), UserError);
+    EXPECT_THROW(model.solarAnnual(MegaWattHours(-1.0)), UserError);
     EXPECT_THROW(
-        model.batteryTotal(-1.0,
+        model.batteryTotal(MegaWattHours(-1.0),
                            BatteryChemistry::lithiumIronPhosphate()),
         UserError);
-    EXPECT_THROW(model.extraServersAnnual(1.0, -0.1), UserError);
+    EXPECT_THROW(model.extraServersAnnual(1.0_MW, Fraction(-0.1)), UserError);
     RenewableEmbodiedParams bad;
     bad.wind_lifetime_years = 0.0;
     EXPECT_THROW(EmbodiedCarbonModel(bad, ServerSpec{}), UserError);

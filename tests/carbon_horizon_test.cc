@@ -24,13 +24,13 @@ HorizonInputs
 baseInputs()
 {
     HorizonInputs in;
-    in.battery_mwh = 100.0;
-    in.extra_capacity = 0.25;
-    in.operational_kg_per_year = 1.0e6;
-    in.solar_attributed_mwh = 10000.0;
-    in.wind_attributed_mwh = 20000.0;
+    in.battery_mwh = MegaWattHours(100.0);
+    in.extra_capacity = Fraction(0.25);
+    in.operational_kg_per_year = KilogramsCo2(1.0e6);
+    in.solar_attributed_mwh = MegaWattHours(10000.0);
+    in.wind_attributed_mwh = MegaWattHours(20000.0);
     in.battery_cycles_per_year = 365.0; // Daily cycling.
-    in.base_peak_power_mw = 20.0;
+    in.base_peak_power_mw = MegaWatts(20.0);
     return in;
 }
 
@@ -40,11 +40,13 @@ TEST(Horizon, YearCountAndCumulativeMonotone)
     ASSERT_EQ(plan.years.size(), 15u);
     double prev = 0.0;
     for (const HorizonYear &y : plan.years) {
-        EXPECT_GT(y.cumulative_kg, prev);
-        prev = y.cumulative_kg;
+        EXPECT_GT(y.cumulative_kg.value(), prev);
+        prev = y.cumulative_kg.value();
     }
-    EXPECT_DOUBLE_EQ(plan.total_kg, plan.years.back().cumulative_kg);
-    EXPECT_NEAR(plan.averagePerYearKg(), plan.total_kg / 15.0, 1e-9);
+    EXPECT_DOUBLE_EQ(plan.total_kg.value(),
+                     plan.years.back().cumulative_kg.value());
+    EXPECT_NEAR(plan.averagePerYearKg().value(),
+                plan.total_kg.value() / 15.0, 1e-9);
 }
 
 TEST(Horizon, DailyCycledBatteryIsReplacedOnSchedule)
@@ -89,43 +91,45 @@ TEST(Horizon, ServersReplacedEveryFiveYears)
 TEST(Horizon, NoBatteryNoServerMeansFlowsOnly)
 {
     HorizonInputs in = baseInputs();
-    in.battery_mwh = 0.0;
-    in.extra_capacity = 0.0;
+    in.battery_mwh = MegaWattHours(0.0);
+    in.extra_capacity = Fraction(0.0);
     const HorizonPlan plan = planner().plan(in, 10.0);
     EXPECT_EQ(plan.battery_replacements, 0);
     EXPECT_EQ(plan.server_replacements, 0);
     // Every year identical: operations + renewable flow.
     const double expected_flow =
-        EmbodiedCarbonModel{}.solarAnnual(10000.0).value() +
-        EmbodiedCarbonModel{}.windAnnual(20000.0).value();
+        EmbodiedCarbonModel{}.solarAnnual(MegaWattHours(10000.0)).value() +
+        EmbodiedCarbonModel{}.windAnnual(MegaWattHours(20000.0)).value();
     for (const HorizonYear &y : plan.years) {
-        EXPECT_NEAR(y.embodied_kg, expected_flow, 1e-6);
-        EXPECT_DOUBLE_EQ(y.operational_kg, 1.0e6);
+        EXPECT_NEAR(y.embodied_kg.value(), expected_flow, 1e-6);
+        EXPECT_DOUBLE_EQ(y.operational_kg.value(), 1.0e6);
     }
 }
 
 TEST(Horizon, TotalMatchesClosedForm)
 {
     HorizonInputs in = baseInputs();
-    in.battery_mwh = 10.0;
-    in.extra_capacity = 0.0;
-    in.solar_attributed_mwh = 0.0;
-    in.wind_attributed_mwh = 0.0;
-    in.operational_kg_per_year = 500.0;
+    in.battery_mwh = MegaWattHours(10.0);
+    in.extra_capacity = Fraction(0.0);
+    in.solar_attributed_mwh = MegaWattHours(0.0);
+    in.wind_attributed_mwh = MegaWattHours(0.0);
+    in.operational_kg_per_year = KilogramsCo2(500.0);
     in.battery_cycles_per_year = 365.0;
     const HorizonPlan plan = planner().plan(in, 15.0);
     // Battery pulses at year 0 and year 9 (8.2-year life).
     const double pulse = EmbodiedCarbonModel{}
-        .batteryTotal(10.0, BatteryChemistry::lithiumIronPhosphate())
+        .batteryTotal(MegaWattHours(10.0),
+                      BatteryChemistry::lithiumIronPhosphate())
         .value();
-    EXPECT_NEAR(plan.total_kg, 15.0 * 500.0 + 2.0 * pulse, 1e-6);
+    EXPECT_NEAR(plan.total_kg.value(), 15.0 * 500.0 + 2.0 * pulse,
+                1e-6);
 }
 
 TEST(Horizon, RejectsBadInputs)
 {
     EXPECT_THROW(planner().plan(baseInputs(), 0.5), UserError);
     HorizonInputs bad = baseInputs();
-    bad.operational_kg_per_year = -1.0;
+    bad.operational_kg_per_year = KilogramsCo2(-1.0);
     EXPECT_THROW(planner().plan(bad, 10.0), UserError);
 }
 
@@ -139,8 +143,9 @@ TEST_P(HorizonSweep, AveragePerYearStabilizesNearAmortizedRate)
     // operations + flows + pulses/lifetime.
     const HorizonPlan plan =
         planner().plan(baseInputs(), GetParam());
-    EXPECT_GT(plan.averagePerYearKg(), 1.0e6); // At least operations.
-    EXPECT_LT(plan.averagePerYearKg(), 1.0e8);
+    EXPECT_GT(plan.averagePerYearKg().value(),
+              1.0e6); // At least operations.
+    EXPECT_LT(plan.averagePerYearKg().value(), 1.0e8);
 }
 
 INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep,

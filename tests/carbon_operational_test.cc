@@ -73,8 +73,8 @@ TEST(NetZero, CreditsMatchAnnualGeneration)
     const NetZeroReport report =
         NetZeroAccounting::evaluate(dc, ren, intensity);
     EXPECT_TRUE(report.net_zero);
-    EXPECT_NEAR(report.credits_mwh, 12.0 * 8760.0, 1e-6);
-    EXPECT_NEAR(report.consumed_mwh, 10.0 * 8760.0, 1e-6);
+    EXPECT_NEAR(report.credits_mwh.value(), 12.0 * 8760.0, 1e-6);
+    EXPECT_NEAR(report.consumed_mwh.value(), 10.0 * 8760.0, 1e-6);
 }
 
 TEST(NetZero, HourlyEmissionsPersistDespiteNetZero)
@@ -91,7 +91,7 @@ TEST(NetZero, HourlyEmissionsPersistDespiteNetZero)
     const NetZeroReport report =
         NetZeroAccounting::evaluate(dc, ren, intensity);
     EXPECT_TRUE(report.net_zero);
-    EXPECT_GT(report.hourly_emissions_kg, 0.0);
+    EXPECT_GT(report.hourly_emissions_kg.value(), 0.0);
     // 23 of 24 hours uncovered.
     EXPECT_NEAR(report.hourly_coverage_pct, 100.0 / 24.0, 0.01);
 }
@@ -104,7 +104,7 @@ TEST(NetZero, FullHourlyMatchingHasNoEmissions)
     const NetZeroReport report =
         NetZeroAccounting::evaluate(dc, ren, intensity);
     EXPECT_TRUE(report.net_zero);
-    EXPECT_DOUBLE_EQ(report.hourly_emissions_kg, 0.0);
+    EXPECT_DOUBLE_EQ(report.hourly_emissions_kg.value(), 0.0);
     EXPECT_DOUBLE_EQ(report.hourly_coverage_pct, 100.0);
 }
 

@@ -122,5 +122,78 @@ TEST(Units, StreamOutput)
     EXPECT_EQ(os.str(), "3 MW; 4 MWh; 5 h; 6 kgCO2; 7 g/kWh");
 }
 
+TEST(Units, IntensityStreamOutput)
+{
+    std::ostringstream os;
+    os << Fraction(0.25) << "; " << KgCo2PerMw(8.0) << "; "
+       << KgCo2PerMwh(9.0);
+    EXPECT_EQ(os.str(), "25 %; 8 kgCO2/MW; 9 kgCO2/MWh");
+}
+
+TEST(Units, DivideAssign)
+{
+    MegaWattHours e(10.0);
+    e /= 4.0;
+    EXPECT_DOUBLE_EQ(e.value(), 2.5);
+    KilogramsCo2 kg(9.0);
+    kg /= 3.0;
+    EXPECT_DOUBLE_EQ(kg.value(), 3.0);
+}
+
+TEST(Units, FabsMinMaxHelpers)
+{
+    EXPECT_DOUBLE_EQ(fabs(MegaWatts(-3.0)).value(), 3.0);
+    EXPECT_DOUBLE_EQ(fabs(MegaWatts(3.0)).value(), 3.0);
+    EXPECT_DOUBLE_EQ(min(Hours(2.0), Hours(5.0)).value(), 2.0);
+    EXPECT_DOUBLE_EQ(max(Hours(2.0), Hours(5.0)).value(), 5.0);
+    EXPECT_DOUBLE_EQ(
+        min(KilogramsCo2(1.0), KilogramsCo2(-1.0)).value(), -1.0);
+}
+
+TEST(Units, FractionAccessors)
+{
+    const Fraction f(0.4);
+    EXPECT_DOUBLE_EQ(f.percent(), 40.0);
+    EXPECT_DOUBLE_EQ(f.complement().value(), 0.6);
+    EXPECT_DOUBLE_EQ(Fraction::fromPercent(25.0).value(), 0.25);
+    // Fractions above 1 are legal: extra-capacity axes use them.
+    EXPECT_DOUBLE_EQ(Fraction(4.0).percent(), 400.0);
+}
+
+TEST(Units, FractionScalesPowerAndEnergy)
+{
+    EXPECT_DOUBLE_EQ((Fraction(0.5) * MegaWatts(30.0)).value(), 15.0);
+    EXPECT_DOUBLE_EQ((MegaWatts(30.0) * Fraction(0.5)).value(), 15.0);
+    EXPECT_DOUBLE_EQ((Fraction(0.25) * MegaWattHours(8.0)).value(),
+                     2.0);
+    EXPECT_DOUBLE_EQ((MegaWattHours(8.0) * Fraction(0.25)).value(),
+                     2.0);
+}
+
+TEST(Units, CarbonIntensityAlgebra)
+{
+    // Embodied rates: kg per MW of capacity, kg per MWh of energy.
+    const KilogramsCo2 per_cap = KgCo2PerMw(120.0) * MegaWatts(2.0);
+    EXPECT_DOUBLE_EQ(per_cap.value(), 240.0);
+    EXPECT_DOUBLE_EQ((MegaWatts(2.0) * KgCo2PerMw(120.0)).value(),
+                     240.0);
+    const KilogramsCo2 per_energy =
+        KgCo2PerMwh(30.0) * MegaWattHours(3.0);
+    EXPECT_DOUBLE_EQ(per_energy.value(), 90.0);
+    EXPECT_DOUBLE_EQ((MegaWattHours(3.0) * KgCo2PerMwh(30.0)).value(),
+                     90.0);
+    // And back: dividing mass by the base recovers the rate.
+    EXPECT_DOUBLE_EQ(
+        (KilogramsCo2(240.0) / MegaWatts(2.0)).value(), 120.0);
+    EXPECT_DOUBLE_EQ(
+        (KilogramsCo2(90.0) / MegaWattHours(3.0)).value(), 30.0);
+}
+
+TEST(Units, FromPerKwhScalesByThousand)
+{
+    // 0.041 kg/kWh (solar LCA) == 41 kg/MWh.
+    EXPECT_DOUBLE_EQ(KgCo2PerMwh::fromPerKwh(0.041).value(), 41.0);
+}
+
 } // namespace
 } // namespace carbonx

@@ -20,8 +20,8 @@ explorer()
     static const CarbonExplorer instance([] {
         ExplorerConfig cfg;
         cfg.ba_code = "PACE";
-        cfg.avg_dc_power_mw = 19.0;
-        cfg.flexible_ratio = 0.4;
+        cfg.avg_dc_power_mw = MegaWatts(19.0);
+        cfg.flexible_ratio = Fraction(0.4);
         return cfg;
     }());
     return instance;
@@ -38,13 +38,13 @@ TEST(CoordinateDescent, MatchesOrBeatsExhaustiveSearch)
     for (Strategy s :
          {Strategy::RenewablesOnly, Strategy::RenewableBattery}) {
         const double exhaustive =
-            explorer().optimize(space(), s).best.totalKg();
+            explorer().optimize(space(), s).best.totalKg().value();
         const CoordinateDescentOptimizer cd(explorer());
         const CoordinateDescentResult result =
             cd.optimize(space(), s);
         // Continuous line search can land between grid points, so it
         // may do slightly better; it must never be much worse.
-        EXPECT_LE(result.best.totalKg(), exhaustive * 1.02)
+        EXPECT_LE(result.best.totalKg().value(), exhaustive * 1.02)
             << strategyName(s);
     }
 }
@@ -67,11 +67,11 @@ TEST(CoordinateDescent, PinsUnusedAxes)
     const CoordinateDescentOptimizer cd(explorer());
     const CoordinateDescentResult ren =
         cd.optimize(space(), Strategy::RenewablesOnly);
-    EXPECT_DOUBLE_EQ(ren.best.point.battery_mwh, 0.0);
-    EXPECT_DOUBLE_EQ(ren.best.point.extra_capacity, 0.0);
+    EXPECT_DOUBLE_EQ(ren.best.point.battery_mwh.value(), 0.0);
+    EXPECT_DOUBLE_EQ(ren.best.point.extra_capacity.value(), 0.0);
     const CoordinateDescentResult batt =
         cd.optimize(space(), Strategy::RenewableBattery);
-    EXPECT_DOUBLE_EQ(batt.best.point.extra_capacity, 0.0);
+    EXPECT_DOUBLE_EQ(batt.best.point.extra_capacity.value(), 0.0);
 }
 
 TEST(CoordinateDescent, StaysWithinBounds)
@@ -80,15 +80,17 @@ TEST(CoordinateDescent, StaysWithinBounds)
     const CoordinateDescentOptimizer cd(explorer());
     const CoordinateDescentResult result =
         cd.optimize(s, Strategy::RenewableBatteryCas);
-    EXPECT_GE(result.best.point.solar_mw, s.solar_mw.min - 1e-9);
-    EXPECT_LE(result.best.point.solar_mw, s.solar_mw.max + 1e-9);
-    EXPECT_GE(result.best.point.battery_mwh,
+    EXPECT_GE(result.best.point.solar_mw.value(),
+              s.solar_mw.min - 1e-9);
+    EXPECT_LE(result.best.point.solar_mw.value(),
+              s.solar_mw.max + 1e-9);
+    EXPECT_GE(result.best.point.battery_mwh.value(),
               s.battery_mwh.min - 1e-9);
-    EXPECT_LE(result.best.point.battery_mwh,
+    EXPECT_LE(result.best.point.battery_mwh.value(),
               s.battery_mwh.max + 1e-9);
-    EXPECT_GE(result.best.point.extra_capacity,
+    EXPECT_GE(result.best.point.extra_capacity.value(),
               s.extra_capacity.min - 1e-9);
-    EXPECT_LE(result.best.point.extra_capacity,
+    EXPECT_LE(result.best.point.extra_capacity.value(),
               s.extra_capacity.max + 1e-9);
 }
 
@@ -96,9 +98,13 @@ TEST(CoordinateDescent, DeterministicAcrossRuns)
 {
     const CoordinateDescentOptimizer cd(explorer());
     const double a =
-        cd.optimize(space(), Strategy::RenewableBattery).best.totalKg();
+        cd.optimize(space(), Strategy::RenewableBattery)
+            .best.totalKg()
+            .value();
     const double b =
-        cd.optimize(space(), Strategy::RenewableBattery).best.totalKg();
+        cd.optimize(space(), Strategy::RenewableBattery)
+            .best.totalKg()
+            .value();
     EXPECT_DOUBLE_EQ(a, b);
 }
 

@@ -61,7 +61,7 @@ TEST_P(CoverageProperty, BoundsAndMonotonicity)
 
     double prev = -1.0;
     for (double mw : {0.0, 10.0, 50.0, 200.0, 1000.0, 10000.0}) {
-        const double c = cov.coverage(mw, mw);
+        const double c = cov.coverage(MegaWatts(mw), MegaWatts(mw));
         EXPECT_GE(c, 0.0);
         EXPECT_LE(c, 100.0);
         EXPECT_GE(c, prev - 1e-9) << "at " << mw << " MW";
@@ -81,9 +81,9 @@ TEST_P(CoverageProperty, AgreesWithSimulationEngine)
 
     const double solar_mw = rng.uniform(0.0, 300.0);
     const double wind_mw = rng.uniform(0.0, 300.0);
-    const TimeSeries supply = cov.supplyFor(solar_mw, wind_mw);
+    const TimeSeries supply = cov.supplyFor(MegaWatts(solar_mw), MegaWatts(wind_mw));
     const SimulationEngine engine(load, supply);
-    EXPECT_NEAR(cov.coverage(solar_mw, wind_mw),
+    EXPECT_NEAR(cov.coverage(MegaWatts(solar_mw), MegaWatts(wind_mw)),
                 engine.renewableOnlyCoverage(), 1e-9);
 }
 
@@ -99,8 +99,8 @@ TEST_P(CoverageProperty, SupplySuperposition)
     const double s2 = rng.uniform(0.0, 100.0);
     const double w2 = rng.uniform(0.0, 100.0);
     const TimeSeries sum =
-        cov.supplyFor(s1, w1) + cov.supplyFor(s2, w2);
-    const TimeSeries combined = cov.supplyFor(s1 + s2, w1 + w2);
+        cov.supplyFor(MegaWatts(s1), MegaWatts(w1)) + cov.supplyFor(MegaWatts(s2), MegaWatts(w2));
+    const TimeSeries combined = cov.supplyFor(MegaWatts(s1 + s2), MegaWatts(w1 + w2));
     for (size_t h = 0; h < sum.size(); h += 307)
         EXPECT_NEAR(sum[h], combined[h], 1e-9);
 }
@@ -109,7 +109,7 @@ TEST_P(CoverageProperty, CoverageIsSuperadditiveInMixing)
 {
     // Complementary sources: covering with a mix is at least as good
     // as the coverage-weighted intuition suggests — concretely,
-    // coverage(s, w) >= max(coverage(s, 0), coverage(0, w)) when the
+    // coverage(MegaWatts(s), MegaWatts(w)) >= max(coverage(MegaWatts(s), MegaWatts(0)), coverage(MegaWatts(0), MegaWatts(w))) when the
     // capacities are additive on top of each other.
     Rng rng(GetParam() + 3000);
     const TimeSeries load = randomLoad(rng);
@@ -117,9 +117,9 @@ TEST_P(CoverageProperty, CoverageIsSuperadditiveInMixing)
                                randomShape(rng, false));
     const double s = rng.uniform(10.0, 200.0);
     const double w = rng.uniform(10.0, 200.0);
-    const double mixed = cov.coverage(s, w);
-    EXPECT_GE(mixed, cov.coverage(s, 0.0) - 1e-9);
-    EXPECT_GE(mixed, cov.coverage(0.0, w) - 1e-9);
+    const double mixed = cov.coverage(MegaWatts(s), MegaWatts(w));
+    EXPECT_GE(mixed, cov.coverage(MegaWatts(s), MegaWatts(0.0)) - 1e-9);
+    EXPECT_GE(mixed, cov.coverage(MegaWatts(0.0), MegaWatts(w)) - 1e-9);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CoverageProperty,

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/units.h"
 #include "core/coverage.h"
 
 namespace carbonx
 {
 namespace
 {
+
+using namespace literals;
 
 constexpr int kYear = 2021;
 
@@ -51,22 +54,22 @@ analyzer()
 
 TEST(Coverage, ZeroInvestmentZeroCoverage)
 {
-    EXPECT_NEAR(analyzer().coverage(0.0, 0.0), 0.0, 1e-9);
+    EXPECT_NEAR(analyzer().coverage(0.0_MW, 0.0_MW), 0.0, 1e-9);
 }
 
 TEST(Coverage, SolarOnlyCapsNearDaylightFraction)
 {
     // 10 daylight hours of 24: even infinite solar -> ~41.7%.
     const CoverageAnalyzer cov = analyzer();
-    EXPECT_NEAR(cov.coverage(1e6, 0.0), 100.0 * 10.0 / 24.0, 1e-6);
+    EXPECT_NEAR(cov.coverage(MegaWatts(1e6), 0.0_MW), 100.0 * 10.0 / 24.0, 1e-6);
     // And it saturates: 10x more buys nothing.
-    EXPECT_NEAR(cov.coverage(1e7, 0.0), cov.coverage(1e6, 0.0), 1e-9);
+    EXPECT_NEAR(cov.coverage(MegaWatts(1e7), 0.0_MW), cov.coverage(MegaWatts(1e6), 0.0_MW), 1e-9);
 }
 
 TEST(Coverage, ExactSupplyGivesExactCoverage)
 {
     // 20 MW of solar shape covers the 10 MW load for 10 of 24 hours.
-    const double c = analyzer().coverage(20.0, 0.0);
+    const double c = analyzer().coverage(20.0_MW, 0.0_MW);
     EXPECT_NEAR(c, 100.0 * 10.0 / 24.0, 1e-9);
 }
 
@@ -75,7 +78,7 @@ TEST(Coverage, MonotoneInInvestment)
     const CoverageAnalyzer cov = analyzer();
     double prev = -1.0;
     for (double mw : {0.0, 5.0, 10.0, 20.0, 40.0, 80.0}) {
-        const double c = cov.coverage(mw, mw);
+        const double c = cov.coverage(MegaWatts(mw), MegaWatts(mw));
         EXPECT_GE(c, prev - 1e-9);
         prev = c;
     }
@@ -84,7 +87,7 @@ TEST(Coverage, MonotoneInInvestment)
 TEST(Coverage, SupplyForIsLinearCombination)
 {
     const CoverageAnalyzer cov = analyzer();
-    const TimeSeries supply = cov.supplyFor(10.0, 20.0);
+    const TimeSeries supply = cov.supplyFor(10.0_MW, 20.0_MW);
     for (size_t h = 0; h < supply.size(); h += 177) {
         EXPECT_NEAR(supply[h],
                     10.0 * solarShape()[h] + 20.0 * windShape()[h],
@@ -96,8 +99,8 @@ TEST(Coverage, MixBeatsSingleSourceForSameCapacity)
 {
     // Complementarity: solar covers days, wind covers nights.
     const CoverageAnalyzer cov = analyzer();
-    const double mixed = cov.coverage(20.0, 20.0);
-    const double solar_only = cov.coverage(40.0, 0.0);
+    const double mixed = cov.coverage(20.0_MW, 20.0_MW);
+    const double solar_only = cov.coverage(40.0_MW, 0.0_MW);
     EXPECT_GT(mixed, solar_only);
 }
 
@@ -106,26 +109,26 @@ TEST(Coverage, AverageDayAssumptionIsOptimistic)
     // Fig. 8: with every day averaged, the calm every-4th-day wind
     // valleys vanish and coverage looks better.
     const CoverageAnalyzer cov = analyzer();
-    const double real = cov.coverage(0.0, 25.0);
-    const double avg = cov.coverageAssumingAverageDay(0.0, 25.0);
+    const double real = cov.coverage(0.0_MW, 25.0_MW);
+    const double avg = cov.coverageAssumingAverageDay(0.0_MW, 25.0_MW);
     EXPECT_GT(avg, real);
 }
 
 TEST(Coverage, InvestmentScaleForCoverageBisection)
 {
     const CoverageAnalyzer cov = analyzer();
-    const double k = cov.investmentScaleForCoverage(1.0, 1.0, 50.0);
+    const double k = cov.investmentScaleForCoverage(1.0_MW, 1.0_MW, 50.0);
     ASSERT_GT(k, 0.0);
-    EXPECT_NEAR(cov.coverage(k, k), 50.0, 0.1);
+    EXPECT_NEAR(cov.coverage(MegaWatts(k), MegaWatts(k)), 50.0, 0.1);
     // A slightly smaller scale is below target.
-    EXPECT_LT(cov.coverage(0.95 * k, 0.95 * k), 50.0);
+    EXPECT_LT(cov.coverage(MegaWatts(0.95 * k), MegaWatts(0.95 * k)), 50.0);
 }
 
 TEST(Coverage, UnreachableTargetReturnsNegative)
 {
     // Solar alone cannot reach 90%.
     const CoverageAnalyzer cov = analyzer();
-    EXPECT_LT(cov.investmentScaleForCoverage(1.0, 0.0, 90.0), 0.0);
+    EXPECT_LT(cov.investmentScaleForCoverage(1.0_MW, 0.0_MW, 90.0), 0.0);
 }
 
 TEST(Coverage, LongTailRequiresDisproportionateInvestment)
@@ -134,8 +137,8 @@ TEST(Coverage, LongTailRequiresDisproportionateInvestment)
     // costs multiples of everything before. With the calm-day wind
     // shape, 99% needs far more than ~2x the 75% investment.
     const CoverageAnalyzer cov = analyzer();
-    const double k75 = cov.investmentScaleForCoverage(1.0, 1.0, 75.0);
-    const double k99 = cov.investmentScaleForCoverage(1.0, 1.0, 99.0,
+    const double k75 = cov.investmentScaleForCoverage(1.0_MW, 1.0_MW, 75.0);
+    const double k99 = cov.investmentScaleForCoverage(1.0_MW, 1.0_MW, 99.0,
                                                       1e6);
     ASSERT_GT(k75, 0.0);
     ASSERT_GT(k99, 0.0);
@@ -145,11 +148,11 @@ TEST(Coverage, LongTailRequiresDisproportionateInvestment)
 TEST(Coverage, RejectsInvalidInputs)
 {
     const CoverageAnalyzer cov = analyzer();
-    EXPECT_THROW(cov.coverage(-1.0, 0.0), UserError);
-    EXPECT_THROW(cov.supplyFor(0.0, -1.0), UserError);
-    EXPECT_THROW(cov.investmentScaleForCoverage(0.0, 0.0, 50.0),
+    EXPECT_THROW(cov.coverage(MegaWatts(-1.0), 0.0_MW), UserError);
+    EXPECT_THROW(cov.supplyFor(0.0_MW, MegaWatts(-1.0)), UserError);
+    EXPECT_THROW(cov.investmentScaleForCoverage(0.0_MW, 0.0_MW, 50.0),
                  UserError);
-    EXPECT_THROW(cov.investmentScaleForCoverage(1.0, 1.0, 0.0),
+    EXPECT_THROW(cov.investmentScaleForCoverage(1.0_MW, 1.0_MW, 0.0),
                  UserError);
     // Shapes must be per-unit.
     TimeSeries bad(kYear, 2.0);

@@ -62,13 +62,13 @@ TEST(DesignSpace, UnusedAxesAreZeroInPoints)
 {
     const DesignSpace space = DesignSpace::forDatacenter(10.0);
     for (const auto &p : space.enumerate(Strategy::RenewablesOnly)) {
-        EXPECT_DOUBLE_EQ(p.battery_mwh, 0.0);
-        EXPECT_DOUBLE_EQ(p.extra_capacity, 0.0);
+        EXPECT_DOUBLE_EQ(p.battery_mwh.value(), 0.0);
+        EXPECT_DOUBLE_EQ(p.extra_capacity.value(), 0.0);
     }
     for (const auto &p : space.enumerate(Strategy::RenewableBattery))
-        EXPECT_DOUBLE_EQ(p.extra_capacity, 0.0);
+        EXPECT_DOUBLE_EQ(p.extra_capacity.value(), 0.0);
     for (const auto &p : space.enumerate(Strategy::RenewableCas))
-        EXPECT_DOUBLE_EQ(p.battery_mwh, 0.0);
+        EXPECT_DOUBLE_EQ(p.battery_mwh.value(), 0.0);
 }
 
 TEST(DesignSpace, DefaultBoundsScaleWithDcSize)
@@ -83,8 +83,9 @@ TEST(DesignSpace, DefaultBoundsScaleWithDcSize)
 
 TEST(DesignPoint, Helpers)
 {
-    const DesignPoint p{10.0, 20.0, 30.0, 0.25};
-    EXPECT_DOUBLE_EQ(p.renewableMw(), 30.0);
+    const DesignPoint p{MegaWatts(10.0), MegaWatts(20.0),
+                        MegaWattHours(30.0), Fraction(0.25)};
+    EXPECT_DOUBLE_EQ(p.renewableMw().value(), 30.0);
     const std::string desc = p.describe();
     EXPECT_NE(desc.find("S=10"), std::string::npos);
     EXPECT_NE(desc.find("X=25%"), std::string::npos);

@@ -34,8 +34,8 @@ utahConfig()
 {
     ExplorerConfig cfg;
     cfg.ba_code = "PACE";
-    cfg.avg_dc_power_mw = 19.0;
-    cfg.flexible_ratio = 0.4;
+    cfg.avg_dc_power_mw = MegaWatts(19.0);
+    cfg.flexible_ratio = Fraction(0.4);
     return cfg;
 }
 
@@ -61,14 +61,14 @@ expectEvalIdentical(const Evaluation &a, const Evaluation &b)
     EXPECT_EQ(a.point.extra_capacity, b.point.extra_capacity);
     EXPECT_EQ(a.strategy, b.strategy);
     EXPECT_EQ(a.coverage_pct, b.coverage_pct);
-    EXPECT_EQ(a.operational_kg, b.operational_kg);
-    EXPECT_EQ(a.embodied_solar_kg, b.embodied_solar_kg);
-    EXPECT_EQ(a.embodied_wind_kg, b.embodied_wind_kg);
-    EXPECT_EQ(a.embodied_battery_kg, b.embodied_battery_kg);
-    EXPECT_EQ(a.embodied_server_kg, b.embodied_server_kg);
+    EXPECT_EQ(a.operational_kg.value(), b.operational_kg.value());
+    EXPECT_EQ(a.embodied_solar_kg.value(), b.embodied_solar_kg.value());
+    EXPECT_EQ(a.embodied_wind_kg.value(), b.embodied_wind_kg.value());
+    EXPECT_EQ(a.embodied_battery_kg.value(), b.embodied_battery_kg.value());
+    EXPECT_EQ(a.embodied_server_kg.value(), b.embodied_server_kg.value());
     EXPECT_EQ(a.battery_cycles, b.battery_cycles);
-    EXPECT_EQ(a.deferred_mwh, b.deferred_mwh);
-    EXPECT_EQ(a.renewable_excess_mwh, b.renewable_excess_mwh);
+    EXPECT_EQ(a.deferred_mwh.value(), b.deferred_mwh.value());
+    EXPECT_EQ(a.renewable_excess_mwh.value(), b.renewable_excess_mwh.value());
 }
 
 void
@@ -122,9 +122,9 @@ TEST(ParallelSweep, OptimizeRefinedBitIdenticalAcrossThreadCounts)
 TEST(ParallelSweep, SupplyBufferOverloadMatchesAllocating)
 {
     const CoverageAnalyzer &cov = utahExplorer().coverageAnalyzer();
-    const TimeSeries fresh = cov.supplyFor(123.0, 45.0);
+    const TimeSeries fresh = cov.supplyFor(MegaWatts(123.0), MegaWatts(45.0));
     TimeSeries buffer(fresh.year(), 99.0); // Pre-filled with garbage.
-    cov.supplyFor(123.0, 45.0, buffer);
+    cov.supplyFor(MegaWatts(123.0), MegaWatts(45.0), buffer);
     for (size_t h = 0; h < fresh.size(); ++h)
         ASSERT_EQ(fresh[h], buffer[h]) << "hour " << h;
 }
@@ -132,16 +132,16 @@ TEST(ParallelSweep, SupplyBufferOverloadMatchesAllocating)
 TEST(ParallelSweep, RunIntoReusedResultMatchesAllocating)
 {
     const CarbonExplorer &ex = utahExplorer();
-    const TimeSeries supply = ex.coverageAnalyzer().supplyFor(80.0, 40.0);
+    const TimeSeries supply = ex.coverageAnalyzer().supplyFor(MegaWatts(80.0), MegaWatts(40.0));
     const SimulationEngine engine(ex.dcPower(), supply);
 
     SimulationConfig with_cas;
-    with_cas.capacity_cap_mw = ex.dcPeakPowerMw() * 1.2;
-    with_cas.flexible_ratio = 0.4;
+    with_cas.capacity_cap_mw = MegaWatts(ex.dcPeakPowerMw() * 1.2);
+    with_cas.flexible_ratio = Fraction(0.4);
 
-    ClcBattery battery(150.0, BatteryChemistry::lithiumIronPhosphate());
+    ClcBattery battery(MegaWattHours(150.0), BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig with_batt;
-    with_batt.capacity_cap_mw = ex.dcPeakPowerMw();
+    with_batt.capacity_cap_mw = MegaWatts(ex.dcPeakPowerMw());
     with_batt.battery = &battery;
 
     // One reused result/scratch across two different configs: the
@@ -151,18 +151,18 @@ TEST(ParallelSweep, RunIntoReusedResultMatchesAllocating)
     for (const SimulationConfig *config : {&with_cas, &with_batt}) {
         const SimulationResult fresh = engine.run(*config);
         engine.run(*config, reused, scratch);
-        EXPECT_EQ(fresh.load_energy_mwh, reused.load_energy_mwh);
-        EXPECT_EQ(fresh.served_energy_mwh, reused.served_energy_mwh);
-        EXPECT_EQ(fresh.grid_energy_mwh, reused.grid_energy_mwh);
-        EXPECT_EQ(fresh.renewable_used_mwh, reused.renewable_used_mwh);
-        EXPECT_EQ(fresh.renewable_excess_mwh,
-                  reused.renewable_excess_mwh);
-        EXPECT_EQ(fresh.deferred_mwh, reused.deferred_mwh);
-        EXPECT_EQ(fresh.max_backlog_mwh, reused.max_backlog_mwh);
-        EXPECT_EQ(fresh.residual_backlog_mwh,
-                  reused.residual_backlog_mwh);
-        EXPECT_EQ(fresh.slo_violation_mwh, reused.slo_violation_mwh);
-        EXPECT_EQ(fresh.peak_power_mw, reused.peak_power_mw);
+        EXPECT_EQ(fresh.load_energy_mwh.value(), reused.load_energy_mwh.value());
+        EXPECT_EQ(fresh.served_energy_mwh.value(), reused.served_energy_mwh.value());
+        EXPECT_EQ(fresh.grid_energy_mwh.value(), reused.grid_energy_mwh.value());
+        EXPECT_EQ(fresh.renewable_used_mwh.value(), reused.renewable_used_mwh.value());
+        EXPECT_EQ(fresh.renewable_excess_mwh.value(),
+                  reused.renewable_excess_mwh.value());
+        EXPECT_EQ(fresh.deferred_mwh.value(), reused.deferred_mwh.value());
+        EXPECT_EQ(fresh.max_backlog_mwh.value(), reused.max_backlog_mwh.value());
+        EXPECT_EQ(fresh.residual_backlog_mwh.value(),
+                  reused.residual_backlog_mwh.value());
+        EXPECT_EQ(fresh.slo_violation_mwh.value(), reused.slo_violation_mwh.value());
+        EXPECT_EQ(fresh.peak_power_mw.value(), reused.peak_power_mw.value());
         EXPECT_EQ(fresh.battery_cycles, reused.battery_cycles);
         EXPECT_EQ(fresh.coverage_pct, reused.coverage_pct);
         for (size_t h = 0; h < fresh.served_power.size(); ++h) {
@@ -178,16 +178,18 @@ TEST(ParallelSweep, SetCapacityMatchesFreshBattery)
 {
     const BatteryChemistry chem =
         BatteryChemistry::lithiumIronPhosphate();
-    ClcBattery reused(50.0, chem);
+    ClcBattery reused(MegaWattHours(50.0), chem);
     // Dirty the state, then re-purpose as a 120 MWh battery.
-    reused.charge(20.0, 1.0);
-    reused.discharge(5.0, 1.0);
-    reused.setCapacity(120.0);
+    reused.charge(MegaWatts(20.0), Hours(1.0));
+    reused.discharge(MegaWatts(5.0), Hours(1.0));
+    reused.setCapacity(MegaWattHours(120.0));
 
-    const ClcBattery fresh(120.0, chem);
-    EXPECT_EQ(reused.capacityMwh(), fresh.capacityMwh());
-    EXPECT_EQ(reused.energyContentMwh(), fresh.energyContentMwh());
-    EXPECT_EQ(reused.stateOfCharge(), fresh.stateOfCharge());
+    const ClcBattery fresh(MegaWattHours(120.0), chem);
+    EXPECT_EQ(reused.capacityMwh().value(), fresh.capacityMwh().value());
+    EXPECT_EQ(reused.energyContentMwh().value(),
+              fresh.energyContentMwh().value());
+    EXPECT_EQ(reused.stateOfCharge().value(),
+              fresh.stateOfCharge().value());
     EXPECT_EQ(reused.totalChargedMwh(), fresh.totalChargedMwh());
     EXPECT_EQ(reused.totalDischargedMwh(), fresh.totalDischargedMwh());
 }

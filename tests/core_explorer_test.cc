@@ -19,7 +19,7 @@ utahConfig()
 {
     ExplorerConfig cfg;
     cfg.ba_code = "PACE";
-    cfg.avg_dc_power_mw = 19.0;
+    cfg.avg_dc_power_mw = MegaWatts(19.0);
     return cfg;
 }
 
@@ -35,8 +35,8 @@ TEST(Explorer, ZeroDesignHasNoEmbodiedAndFullGridOperation)
     const Evaluation e = utahExplorer().evaluate(
         DesignPoint{}, Strategy::RenewablesOnly);
     EXPECT_NEAR(e.coverage_pct, 0.0, 1e-6);
-    EXPECT_DOUBLE_EQ(e.embodiedKg(), 0.0);
-    EXPECT_GT(e.operational_kg, 0.0);
+    EXPECT_DOUBLE_EQ(e.embodiedKg().value(), 0.0);
+    EXPECT_GT(e.operational_kg.value(), 0.0);
 }
 
 TEST(Explorer, RenewablesReduceOperationalRaiseEmbodied)
@@ -45,17 +45,19 @@ TEST(Explorer, RenewablesReduceOperationalRaiseEmbodied)
     const Evaluation zero =
         ex.evaluate(DesignPoint{}, Strategy::RenewablesOnly);
     const Evaluation invested = ex.evaluate(
-        DesignPoint{100.0, 50.0, 0.0, 0.0}, Strategy::RenewablesOnly);
-    EXPECT_LT(invested.operational_kg, zero.operational_kg);
-    EXPECT_GT(invested.embodiedKg(), 0.0);
+        DesignPoint{MegaWatts(100.0), MegaWatts(50.0), MegaWattHours(0.0), Fraction(0.0)}, Strategy::RenewablesOnly);
+    EXPECT_LT(invested.operational_kg.value(), zero.operational_kg.value());
+    EXPECT_GT(invested.embodiedKg().value(), 0.0);
     EXPECT_GT(invested.coverage_pct, 50.0);
 }
 
 TEST(Explorer, BatteryImprovesCoverage)
 {
     const CarbonExplorer &ex = utahExplorer();
-    const DesignPoint ren{100.0, 50.0, 0.0, 0.0};
-    const DesignPoint with_batt{100.0, 50.0, 200.0, 0.0};
+    const DesignPoint ren{MegaWatts(100.0), MegaWatts(50.0),
+                          MegaWattHours(0.0), Fraction(0.0)};
+    const DesignPoint with_batt{MegaWatts(100.0), MegaWatts(50.0),
+                                MegaWattHours(200.0), Fraction(0.0)};
     const double cov_ren =
         ex.evaluate(ren, Strategy::RenewablesOnly).coverage_pct;
     const double cov_batt =
@@ -66,36 +68,38 @@ TEST(Explorer, BatteryImprovesCoverage)
 TEST(Explorer, CasImprovesCoverage)
 {
     const CarbonExplorer &ex = utahExplorer();
-    const DesignPoint p{100.0, 50.0, 0.0, 0.4};
+    const DesignPoint p{MegaWatts(100.0), MegaWatts(50.0),
+                        MegaWattHours(0.0), Fraction(0.4)};
     const double cov_ren =
         ex.evaluate(p, Strategy::RenewablesOnly).coverage_pct;
     const double cov_cas =
         ex.evaluate(p, Strategy::RenewableCas).coverage_pct;
     EXPECT_GT(cov_cas, cov_ren);
     // Extra servers show up as embodied carbon.
-    EXPECT_GT(ex.evaluate(p, Strategy::RenewableCas).embodied_server_kg,
+    EXPECT_GT(ex.evaluate(p, Strategy::RenewableCas).embodied_server_kg.value(),
               0.0);
 }
 
 TEST(Explorer, BatteryOnlyCountedForBatteryStrategies)
 {
     const CarbonExplorer &ex = utahExplorer();
-    const DesignPoint p{100.0, 50.0, 300.0, 0.5};
+    const DesignPoint p{MegaWatts(100.0), MegaWatts(50.0),
+                        MegaWattHours(300.0), Fraction(0.5)};
     const Evaluation ren =
         ex.evaluate(p, Strategy::RenewablesOnly);
-    EXPECT_DOUBLE_EQ(ren.embodied_battery_kg, 0.0);
-    EXPECT_DOUBLE_EQ(ren.embodied_server_kg, 0.0);
+    EXPECT_DOUBLE_EQ(ren.embodied_battery_kg.value(), 0.0);
+    EXPECT_DOUBLE_EQ(ren.embodied_server_kg.value(), 0.0);
     const Evaluation batt =
         ex.evaluate(p, Strategy::RenewableBattery);
-    EXPECT_GT(batt.embodied_battery_kg, 0.0);
-    EXPECT_DOUBLE_EQ(batt.embodied_server_kg, 0.0);
+    EXPECT_GT(batt.embodied_battery_kg.value(), 0.0);
+    EXPECT_DOUBLE_EQ(batt.embodied_server_kg.value(), 0.0);
 }
 
 TEST(Explorer, SimulateExposesHourlyDetail)
 {
     const CarbonExplorer &ex = utahExplorer();
     const SimulationResult sim = ex.simulate(
-        DesignPoint{100.0, 50.0, 100.0, 0.0},
+        DesignPoint{MegaWatts(100.0), MegaWatts(50.0), MegaWattHours(100.0), Fraction(0.0)},
         Strategy::RenewableBattery);
     EXPECT_EQ(sim.served_power.size(), 8784u);
     EXPECT_GT(sim.battery_cycles, 0.0);
@@ -111,9 +115,10 @@ TEST(Explorer, OptimizeFindsMinimumTotal)
     EXPECT_EQ(result.evaluated.size(),
               space.sizeFor(Strategy::RenewableBattery));
     for (const auto &e : result.evaluated)
-        EXPECT_GE(e.totalKg(), result.best.totalKg() - 1e-9);
+        EXPECT_GE(e.totalKg().value(),
+                  result.best.totalKg().value() - 1e-9);
     // Doing nothing is never carbon-optimal in a dirty-grid region.
-    EXPECT_GT(result.best.point.renewableMw(), 0.0);
+    EXPECT_GT(result.best.point.renewableMw().value(), 0.0);
 }
 
 TEST(Explorer, ParetoSetIsNonDominatedAndCoversBest)
@@ -125,10 +130,10 @@ TEST(Explorer, ParetoSetIsNonDominatedAndCoversBest)
     const auto frontier = result.paretoSet();
     ASSERT_FALSE(frontier.empty());
     for (size_t i = 1; i < frontier.size(); ++i) {
-        EXPECT_GE(frontier[i].embodiedKg(),
-                  frontier[i - 1].embodiedKg());
-        EXPECT_LT(frontier[i].operational_kg,
-                  frontier[i - 1].operational_kg);
+        EXPECT_GE(frontier[i].embodiedKg().value(),
+                  frontier[i - 1].embodiedKg().value());
+        EXPECT_LT(frontier[i].operational_kg.value(),
+                  frontier[i - 1].operational_kg.value());
     }
 }
 
@@ -136,16 +141,18 @@ TEST(Explorer, MinimumBatterySearchIsConsistent)
 {
     const CarbonExplorer &ex = utahExplorer();
     const double mwh =
-        ex.minimumBatteryForCoverage(200.0, 100.0, 99.0);
+        ex.minimumBatteryForCoverage(MegaWatts(200.0), MegaWatts(100.0),
+                                     99.0)
+            .value();
     ASSERT_GT(mwh, 0.0);
     // Verify by direct simulation at and below the found size.
     const double cov_at =
-        ex.evaluate(DesignPoint{200.0, 100.0, mwh, 0.0},
+        ex.evaluate(DesignPoint{MegaWatts(200.0), MegaWatts(100.0), MegaWattHours(mwh), Fraction(0.0)},
                     Strategy::RenewableBattery)
             .coverage_pct;
     EXPECT_GE(cov_at, 99.0 - 0.01);
     const double cov_below =
-        ex.evaluate(DesignPoint{200.0, 100.0, 0.5 * mwh, 0.0},
+        ex.evaluate(DesignPoint{MegaWatts(200.0), MegaWatts(100.0), MegaWattHours(0.5 * mwh), Fraction(0.0)},
                     Strategy::RenewableBattery)
             .coverage_pct;
     EXPECT_LT(cov_below, 99.0);
@@ -155,16 +162,18 @@ TEST(Explorer, MinimumExtraCapacitySearchIsConsistent)
 {
     const CarbonExplorer &ex = utahExplorer();
     const double extra =
-        ex.minimumExtraCapacityForCoverage(200.0, 100.0, 97.0);
+        ex.minimumExtraCapacityForCoverage(MegaWatts(200.0),
+                                           MegaWatts(100.0), 97.0)
+            .value();
     if (extra >= 0.0) {
         const double cov = ex.evaluate(
-            DesignPoint{200.0, 100.0, 0.0, extra},
+            DesignPoint{MegaWatts(200.0), MegaWatts(100.0), MegaWattHours(0.0), Fraction(extra)},
             Strategy::RenewableCas).coverage_pct;
         EXPECT_GE(cov, 97.0 - 0.05);
     } else {
         // Unreachable even at the max: max extra capacity must fail.
         const double cov = ex.evaluate(
-            DesignPoint{200.0, 100.0, 0.0, 4.0},
+            DesignPoint{MegaWatts(200.0), MegaWatts(100.0), MegaWattHours(0.0), Fraction(4.0)},
             Strategy::RenewableCas).coverage_pct;
         EXPECT_LT(cov, 97.0);
     }
@@ -175,13 +184,16 @@ TEST(Explorer, SolarOnlyRegionCapsNearFifty)
     // NC (DUK) has no wind: even huge solar caps coverage near 50%.
     ExplorerConfig cfg;
     cfg.ba_code = "DUK";
-    cfg.avg_dc_power_mw = 51.0;
+    cfg.avg_dc_power_mw = MegaWatts(51.0);
     const CarbonExplorer ex(cfg);
-    const double cov = ex.coverageAnalyzer().coverage(50000.0, 0.0);
+    const double cov = ex.coverageAnalyzer().coverage(MegaWatts(50000.0),
+                                                      MegaWatts(0.0));
     EXPECT_GT(cov, 40.0);
     EXPECT_LT(cov, 60.0);
     // And wind investment buys nothing on this grid.
-    EXPECT_NEAR(ex.coverageAnalyzer().coverage(0.0, 50000.0), 0.0,
+    EXPECT_NEAR(ex.coverageAnalyzer().coverage(MegaWatts(0.0),
+                                               MegaWatts(50000.0)),
+                0.0,
                 1e-6);
 }
 
@@ -191,7 +203,7 @@ TEST(Explorer, RejectsBadConfig)
     cfg.ba_code = "NOPE";
     EXPECT_THROW(CarbonExplorer{cfg}, UserError);
     cfg = ExplorerConfig{};
-    cfg.flexible_ratio = 2.0;
+    cfg.flexible_ratio = Fraction(2.0);
     EXPECT_THROW(CarbonExplorer{cfg}, UserError);
 }
 

@@ -44,7 +44,7 @@ ExplorerConfig
 baseConfig()
 {
     ExplorerConfig cfg;
-    cfg.flexible_ratio = 0.4;
+    cfg.flexible_ratio = Fraction(0.4);
     return cfg;
 }
 
@@ -56,7 +56,7 @@ TEST(ExternalTraces, ExplorerUsesProvidedSeries)
     EXPECT_DOUBLE_EQ(explorer.gridIntensity()[0], 400.0);
     EXPECT_DOUBLE_EQ(explorer.gridIntensity()[12], 150.0);
     // 20 MW of solar shape covers the day hours exactly.
-    EXPECT_NEAR(explorer.coverageAnalyzer().coverage(20.0, 0.0),
+    EXPECT_NEAR(explorer.coverageAnalyzer().coverage(MegaWatts(20.0), MegaWatts(0.0)),
                 100.0 * 10.0 / 24.0, 1e-9);
 }
 
@@ -64,11 +64,11 @@ TEST(ExternalTraces, EvaluationWorksEndToEnd)
 {
     const CarbonExplorer explorer(baseConfig(), syntheticTraces());
     const Evaluation e = explorer.evaluate(
-        DesignPoint{10.0, 10.0, 20.0, 0.0},
+        DesignPoint{MegaWatts(10.0), MegaWatts(10.0), MegaWattHours(20.0), Fraction(0.0)},
         Strategy::RenewableBattery);
     EXPECT_GT(e.coverage_pct, 50.0);
-    EXPECT_GT(e.operational_kg, 0.0);
-    EXPECT_GT(e.embodiedKg(), 0.0);
+    EXPECT_GT(e.operational_kg.value(), 0.0);
+    EXPECT_GT(e.embodiedKg().value(), 0.0);
 }
 
 TEST(ExternalTraces, RejectsMismatchedYears)
@@ -118,7 +118,7 @@ TEST(ExternalTraces, CsvRoundTrip)
     EXPECT_DOUBLE_EQ(traces.dc_power.mean(), 25.0);
 
     const CarbonExplorer explorer(baseConfig(), traces);
-    const double cov = explorer.coverageAnalyzer().coverage(0.0, 50.0);
+    const double cov = explorer.coverageAnalyzer().coverage(MegaWatts(0.0), MegaWatts(50.0));
     EXPECT_GT(cov, 99.0); // 50 MW of near-flat wind covers 25 MW.
 }
 
@@ -165,7 +165,7 @@ TEST(ExternalTraces, SyntheticExportFeedsBackIdentically)
     // CSV, reload, and check coverage agrees with the original.
     ExplorerConfig cfg;
     cfg.ba_code = "PACE";
-    cfg.avg_dc_power_mw = 19.0;
+    cfg.avg_dc_power_mw = MegaWatts(19.0);
     const CarbonExplorer original(cfg);
 
     const std::string path =
@@ -186,8 +186,8 @@ TEST(ExternalTraces, SyntheticExportFeedsBackIdentically)
     const CarbonExplorer reloaded(cfg, traces);
     for (double solar : {100.0, 300.0}) {
         EXPECT_NEAR(
-            reloaded.coverageAnalyzer().coverage(solar, 100.0),
-            original.coverageAnalyzer().coverage(solar, 100.0), 0.01);
+            reloaded.coverageAnalyzer().coverage(MegaWatts(solar), MegaWatts(100.0)),
+            original.coverageAnalyzer().coverage(MegaWatts(solar), MegaWatts(100.0)), 0.01);
     }
 }
 

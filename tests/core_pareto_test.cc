@@ -15,16 +15,16 @@ namespace
 
 TEST(Pareto, DominationRules)
 {
-    const ParetoPoint a{1.0, 1.0, 0};
-    const ParetoPoint b{2.0, 2.0, 1};
-    const ParetoPoint c{1.0, 2.0, 2};
-    const ParetoPoint d{1.0, 1.0, 3};
+    const ParetoPoint a{KilogramsCo2(1.0), KilogramsCo2(1.0), 0};
+    const ParetoPoint b{KilogramsCo2(2.0), KilogramsCo2(2.0), 1};
+    const ParetoPoint c{KilogramsCo2(1.0), KilogramsCo2(2.0), 2};
+    const ParetoPoint d{KilogramsCo2(1.0), KilogramsCo2(1.0), 3};
     EXPECT_TRUE(dominates(a, b));
     EXPECT_TRUE(dominates(a, c));
     EXPECT_FALSE(dominates(b, a));
     EXPECT_FALSE(dominates(a, d)); // Equal points do not dominate.
     // Trade-off points do not dominate each other.
-    const ParetoPoint e{0.5, 3.0, 4};
+    const ParetoPoint e{KilogramsCo2(0.5), KilogramsCo2(3.0), 4};
     EXPECT_FALSE(dominates(a, e));
     EXPECT_FALSE(dominates(e, a));
 }
@@ -32,11 +32,11 @@ TEST(Pareto, DominationRules)
 TEST(Pareto, ExtractsTheFrontier)
 {
     const std::vector<ParetoPoint> points = {
-        {1.0, 10.0, 0}, // Frontier.
-        {2.0, 5.0, 1},  // Frontier.
-        {3.0, 5.0, 2},  // Dominated by 1.
-        {4.0, 1.0, 3},  // Frontier.
-        {5.0, 2.0, 4},  // Dominated by 3.
+        {KilogramsCo2(1.0), KilogramsCo2(10.0), 0}, // Frontier.
+        {KilogramsCo2(2.0), KilogramsCo2(5.0), 1}, // Frontier.
+        {KilogramsCo2(3.0), KilogramsCo2(5.0), 2}, // Dominated by 1.
+        {KilogramsCo2(4.0), KilogramsCo2(1.0), 3}, // Frontier.
+        {KilogramsCo2(5.0), KilogramsCo2(2.0), 4}, // Dominated by 3.
     };
     const auto frontier = paretoFrontier(points);
     ASSERT_EQ(frontier.size(), 3u);
@@ -50,12 +50,13 @@ TEST(Pareto, FrontierIsSortedAndMonotone)
     Rng rng(5);
     std::vector<ParetoPoint> points;
     for (size_t i = 0; i < 500; ++i)
-        points.push_back({rng.uniform(0.0, 100.0),
-                          rng.uniform(0.0, 100.0), i});
+        points.push_back({KilogramsCo2(rng.uniform(0.0, 100.0)),
+                          KilogramsCo2(rng.uniform(0.0, 100.0)), i});
     const auto frontier = paretoFrontier(points);
     ASSERT_FALSE(frontier.empty());
     for (size_t i = 1; i < frontier.size(); ++i) {
-        EXPECT_GE(frontier[i].embodied_kg, frontier[i - 1].embodied_kg);
+        EXPECT_GE(frontier[i].embodied_kg,
+                  frontier[i - 1].embodied_kg);
         EXPECT_LT(frontier[i].operational_kg,
                   frontier[i - 1].operational_kg);
     }
@@ -66,8 +67,8 @@ TEST(Pareto, NoFrontierPointIsDominated)
     Rng rng(9);
     std::vector<ParetoPoint> points;
     for (size_t i = 0; i < 300; ++i)
-        points.push_back({rng.uniform(0.0, 10.0),
-                          rng.uniform(0.0, 10.0), i});
+        points.push_back({KilogramsCo2(rng.uniform(0.0, 10.0)),
+                          KilogramsCo2(rng.uniform(0.0, 10.0)), i});
     const auto frontier = paretoFrontier(points);
     for (const auto &f : frontier) {
         for (const auto &p : points)
@@ -80,8 +81,8 @@ TEST(Pareto, EveryNonFrontierPointIsDominated)
     Rng rng(13);
     std::vector<ParetoPoint> points;
     for (size_t i = 0; i < 300; ++i)
-        points.push_back({rng.uniform(0.0, 10.0),
-                          rng.uniform(0.0, 10.0), i});
+        points.push_back({KilogramsCo2(rng.uniform(0.0, 10.0)),
+                          KilogramsCo2(rng.uniform(0.0, 10.0)), i});
     const auto frontier = paretoFrontier(points);
     std::vector<bool> on_frontier(points.size(), false);
     for (const auto &f : frontier)
@@ -102,7 +103,7 @@ TEST(Pareto, EveryNonFrontierPointIsDominated)
 
 TEST(Pareto, SinglePointIsItsOwnFrontier)
 {
-    const std::vector<ParetoPoint> one = {{3.0, 4.0, 7}};
+    const std::vector<ParetoPoint> one = {{KilogramsCo2(3.0), KilogramsCo2(4.0), 7}};
     const auto frontier = paretoFrontier(one);
     ASSERT_EQ(frontier.size(), 1u);
     EXPECT_EQ(frontier[0].tag, 7u);
@@ -116,7 +117,9 @@ TEST(Pareto, EmptyInputEmptyOutput)
 TEST(Pareto, DuplicatePointsKeepOne)
 {
     const std::vector<ParetoPoint> points = {
-        {1.0, 1.0, 0}, {1.0, 1.0, 1}, {1.0, 1.0, 2}};
+        {KilogramsCo2(1.0), KilogramsCo2(1.0), 0},
+        {KilogramsCo2(1.0), KilogramsCo2(1.0), 1},
+        {KilogramsCo2(1.0), KilogramsCo2(1.0), 2}};
     EXPECT_EQ(paretoFrontier(points).size(), 1u);
 }
 

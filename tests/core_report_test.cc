@@ -19,22 +19,22 @@ Evaluation
 sampleEvaluation()
 {
     Evaluation e;
-    e.point = DesignPoint{100.0, 50.0, 200.0, 0.25};
+    e.point = DesignPoint{MegaWatts(100.0), MegaWatts(50.0), MegaWattHours(200.0), Fraction(0.25)};
     e.strategy = Strategy::RenewableBatteryCas;
     e.coverage_pct = 97.5;
-    e.operational_kg = 2.0e6;
-    e.embodied_solar_kg = 1.0e6;
-    e.embodied_wind_kg = 0.5e6;
-    e.embodied_battery_kg = 0.75e6;
-    e.embodied_server_kg = 0.25e6;
+    e.operational_kg = KilogramsCo2(2.0e6);
+    e.embodied_solar_kg = KilogramsCo2(1.0e6);
+    e.embodied_wind_kg = KilogramsCo2(0.5e6);
+    e.embodied_battery_kg = KilogramsCo2(0.75e6);
+    e.embodied_server_kg = KilogramsCo2(0.25e6);
     return e;
 }
 
 TEST(Report, EvaluationTotals)
 {
     const Evaluation e = sampleEvaluation();
-    EXPECT_DOUBLE_EQ(e.embodiedKg(), 2.5e6);
-    EXPECT_DOUBLE_EQ(e.totalKg(), 4.5e6);
+    EXPECT_DOUBLE_EQ(e.embodiedKg().value(), 2.5e6);
+    EXPECT_DOUBLE_EQ(e.totalKg().value(), 4.5e6);
 }
 
 TEST(Report, SummaryNamesEverything)

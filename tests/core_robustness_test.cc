@@ -20,7 +20,7 @@ baseConfig()
 {
     ExplorerConfig cfg;
     cfg.ba_code = "PACE";
-    cfg.avg_dc_power_mw = 19.0;
+    cfg.avg_dc_power_mw = MegaWatts(19.0);
     return cfg;
 }
 
@@ -37,7 +37,8 @@ TEST(Robustness, ReportAggregatesAcrossYears)
 {
     const RobustnessAnalysis analysis(
         baseConfig(), RobustnessAnalysis::sequentialSeeds(2020, 4));
-    const DesignPoint point{100.0, 80.0, 100.0, 0.0};
+    const DesignPoint point{MegaWatts(100.0), MegaWatts(80.0),
+                            MegaWattHours(100.0), Fraction(0.0)};
     const RobustnessReport report =
         analysis.evaluate(point, Strategy::RenewableBattery);
     EXPECT_EQ(report.years, 4u);
@@ -53,7 +54,8 @@ TEST(Robustness, DifferentWeatherYearsDiffer)
 {
     const RobustnessAnalysis analysis(
         baseConfig(), RobustnessAnalysis::sequentialSeeds(1, 5));
-    const DesignPoint point{100.0, 80.0, 0.0, 0.0};
+    const DesignPoint point{MegaWatts(100.0), MegaWatts(80.0),
+                            MegaWattHours(0.0), Fraction(0.0)};
     const RobustnessReport report =
         analysis.evaluate(point, Strategy::RenewablesOnly);
     // Coverage must vary across independent weather years.
@@ -67,7 +69,8 @@ TEST(Robustness, SingleSeedMatchesDirectEvaluation)
     ExplorerConfig cfg = baseConfig();
     cfg.seed = 777;
     const CarbonExplorer explorer(cfg);
-    const DesignPoint point{120.0, 60.0, 50.0, 0.0};
+    const DesignPoint point{MegaWatts(120.0), MegaWatts(60.0),
+                            MegaWattHours(50.0), Fraction(0.0)};
     const Evaluation direct =
         explorer.evaluate(point, Strategy::RenewableBattery);
 
@@ -76,7 +79,8 @@ TEST(Robustness, SingleSeedMatchesDirectEvaluation)
         analysis.evaluate(point, Strategy::RenewableBattery);
     EXPECT_NEAR(report.coverage_pct.mean(), direct.coverage_pct,
                 1e-9);
-    EXPECT_NEAR(report.total_kg.mean(), direct.totalKg(), 1e-6);
+    EXPECT_NEAR(report.total_kg.mean(), direct.totalKg().value(),
+                1e-6);
 }
 
 TEST(Robustness, RejectsEmptySeeds)

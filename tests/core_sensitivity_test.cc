@@ -19,7 +19,7 @@ baseConfig()
 {
     ExplorerConfig cfg;
     cfg.ba_code = "PACE";
-    cfg.avg_dc_power_mw = 19.0;
+    cfg.avg_dc_power_mw = MegaWatts(19.0);
     return cfg;
 }
 
@@ -48,22 +48,23 @@ TEST(Sensitivity, BatteryFootprintShiftsTheOptimum)
     const SensitivityRow row = analysis.run(params[2]);
     EXPECT_EQ(row.parameter, "battery embodied (kg/kWh)");
     // Cheaper batteries can only make the optimum (weakly) better.
-    EXPECT_LE(row.best_low.totalKg(), row.best_high.totalKg() + 1e-6);
+    EXPECT_LE(row.best_low.totalKg().value(),
+              row.best_high.totalKg().value() + 1e-6);
 }
 
 TEST(Sensitivity, SolarFootprintMattersInASolarRegion)
 {
     ExplorerConfig cfg = baseConfig();
     cfg.ba_code = "DUK"; // Solar-only region.
-    cfg.avg_dc_power_mw = 51.0;
+    cfg.avg_dc_power_mw = MegaWatts(51.0);
     const SensitivityAnalysis analysis(
         cfg, DesignSpace::forDatacenter(51.0, 6.0, 4, 3, 2),
         Strategy::RenewableBattery);
     const auto params = SensitivityAnalysis::paperRanges();
     const SensitivityRow solar = analysis.run(params[0]);
     EXPECT_GT(solar.totalSwingFraction(), 0.0);
-    EXPECT_LE(solar.best_low.totalKg(),
-              solar.best_high.totalKg() + 1e-6);
+    EXPECT_LE(solar.best_low.totalKg().value(),
+              solar.best_high.totalKg().value() + 1e-6);
 }
 
 TEST(Sensitivity, RunAllProducesOneRowPerParameter)
@@ -94,10 +95,10 @@ TEST(RefinedOptimizer, NeverWorseThanCoarseSearch)
     const DesignSpace space = smallSpace();
     for (Strategy s :
          {Strategy::RenewablesOnly, Strategy::RenewableBattery}) {
-        const double coarse = explorer.optimize(space, s)
-            .best.totalKg();
+        const double coarse =
+            explorer.optimize(space, s).best.totalKg().value();
         const double refined =
-            explorer.optimizeRefined(space, s, 2).best.totalKg();
+            explorer.optimizeRefined(space, s, 2).best.totalKg().value();
         EXPECT_LE(refined, coarse + 1e-9) << strategyName(s);
     }
 }
@@ -108,10 +109,12 @@ TEST(RefinedOptimizer, ZeroRoundsEqualsCoarse)
     const DesignSpace space = smallSpace();
     const double coarse =
         explorer.optimize(space, Strategy::RenewableBattery)
-            .best.totalKg();
+            .best.totalKg()
+            .value();
     const double zero = explorer
         .optimizeRefined(space, Strategy::RenewableBattery, 0)
-        .best.totalKg();
+        .best.totalKg()
+        .value();
     EXPECT_DOUBLE_EQ(coarse, zero);
 }
 
@@ -122,13 +125,15 @@ TEST(RefinedOptimizer, StaysWithinOriginalBounds)
     const OptimizationResult result = explorer.optimizeRefined(
         space, Strategy::RenewableBatteryCas, 3);
     for (const auto &e : result.evaluated) {
-        EXPECT_GE(e.point.solar_mw, space.solar_mw.min - 1e-9);
-        EXPECT_LE(e.point.solar_mw, space.solar_mw.max + 1e-9);
-        EXPECT_GE(e.point.battery_mwh, space.battery_mwh.min - 1e-9);
-        EXPECT_LE(e.point.battery_mwh, space.battery_mwh.max + 1e-9);
-        EXPECT_GE(e.point.extra_capacity,
+        EXPECT_GE(e.point.solar_mw.value(), space.solar_mw.min - 1e-9);
+        EXPECT_LE(e.point.solar_mw.value(), space.solar_mw.max + 1e-9);
+        EXPECT_GE(e.point.battery_mwh.value(),
+                  space.battery_mwh.min - 1e-9);
+        EXPECT_LE(e.point.battery_mwh.value(),
+                  space.battery_mwh.max + 1e-9);
+        EXPECT_GE(e.point.extra_capacity.value(),
                   space.extra_capacity.min - 1e-9);
-        EXPECT_LE(e.point.extra_capacity,
+        EXPECT_LE(e.point.extra_capacity.value(),
                   space.extra_capacity.max + 1e-9);
     }
     EXPECT_THROW(
@@ -144,15 +149,17 @@ TEST(Attribution, WholeFarmChargesMoreEmbodiedThanConsumed)
     whole.attribution = RenewableAttribution::WholeFarm;
 
     // A heavily oversized farm: most generation is surplus.
-    const DesignPoint big{300.0, 300.0, 0.0, 0.0};
+    const DesignPoint big{MegaWatts(300.0), MegaWatts(300.0),
+                          MegaWattHours(0.0), Fraction(0.0)};
     const Evaluation e_consumed = CarbonExplorer(consumed)
         .evaluate(big, Strategy::RenewablesOnly);
     const Evaluation e_whole = CarbonExplorer(whole)
         .evaluate(big, Strategy::RenewablesOnly);
-    EXPECT_GT(e_whole.embodiedKg(), 2.0 * e_consumed.embodiedKg());
+    EXPECT_GT(e_whole.embodiedKg().value(),
+              2.0 * e_consumed.embodiedKg().value());
     // Operational carbon is identical: attribution only moves
     // embodied accounting.
-    EXPECT_NEAR(e_whole.operational_kg, e_consumed.operational_kg,
+    EXPECT_NEAR(e_whole.operational_kg.value(), e_consumed.operational_kg.value(),
                 1e-6);
 }
 

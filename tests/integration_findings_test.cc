@@ -24,7 +24,7 @@ explorerFor(const std::string &state)
     const Site &site = SiteRegistry::instance().byState(state);
     ExplorerConfig cfg;
     cfg.ba_code = site.ba_code;
-    cfg.avg_dc_power_mw = site.avg_dc_power_mw;
+    cfg.avg_dc_power_mw = MegaWatts(site.avg_dc_power_mw);
     return CarbonExplorer(cfg);
 }
 
@@ -34,10 +34,12 @@ TEST(Findings, RenewablesOnlyHasDiminishingReturns)
     // from 95% to 99.9% than from 0% to 95%" (wind-heavy region).
     const CarbonExplorer ex = explorerFor("OR");
     const auto &cov = ex.coverageAnalyzer();
-    const double k95 = cov.investmentScaleForCoverage(0.2, 0.8, 95.0,
-                                                      1e5);
-    const double k999 = cov.investmentScaleForCoverage(0.2, 0.8, 99.9,
-                                                       1e5);
+    const double k95 = cov.investmentScaleForCoverage(MegaWatts(0.2),
+                                                      MegaWatts(0.8),
+                                                      95.0, 1e5);
+    const double k999 = cov.investmentScaleForCoverage(MegaWatts(0.2),
+                                                       MegaWatts(0.8),
+                                                       99.9, 1e5);
     ASSERT_GT(k95, 0.0);
     ASSERT_GT(k999, 0.0);
     // Paper: >5x on EIA data. Our synthetic lull tail is milder, so
@@ -54,13 +56,15 @@ TEST(Findings, AverageDayAssumptionUnderestimatesByALot)
     const CarbonExplorer ex = explorerFor("OR");
     const auto &cov = ex.coverageAnalyzer();
     const double k_real =
-        cov.investmentScaleForCoverage(0.2, 0.8, 99.0, 1e5);
+        cov.investmentScaleForCoverage(MegaWatts(0.2), MegaWatts(0.8),
+                                       99.0, 1e5);
     // Find the average-day scale by bisection on the analyzer.
     double lo = 0.0;
     double hi = 1e5;
     for (int i = 0; i < 50; ++i) {
         const double mid = 0.5 * (lo + hi);
-        if (cov.coverageAssumingAverageDay(0.2 * mid, 0.8 * mid) >=
+        if (cov.coverageAssumingAverageDay(MegaWatts(0.2 * mid),
+                                           MegaWatts(0.8 * mid)) >=
             99.0)
             hi = mid;
         else
@@ -75,8 +79,11 @@ TEST(Findings, BatteriesUnlockNearFullCoverage)
     // "Batteries permit datacenters to reach 100% coverage" given a
     // hybrid region and sufficient renewables.
     const CarbonExplorer ex = explorerFor("UT");
-    const double mwh = ex.minimumBatteryForCoverage(
-        300.0, 150.0, 99.99, 2000.0);
+    const double mwh =
+        ex.minimumBatteryForCoverage(MegaWatts(300.0),
+                                     MegaWatts(150.0), 99.99,
+                                     MegaWattHours(2000.0))
+            .value();
     ASSERT_GT(mwh, 0.0);
     // A few hours to a day of compute, not weeks.
     EXPECT_LT(mwh / 19.0, 30.0);
@@ -86,7 +93,8 @@ TEST(Findings, SchedulingIncreasesCoverageAFewPercent)
 {
     // "Demand response increases coverage by 1%-22%" at 40% flexible.
     const CarbonExplorer ex = explorerFor("UT");
-    const DesignPoint p{150.0, 80.0, 0.0, 0.5};
+    const DesignPoint p{MegaWatts(150.0), MegaWatts(80.0),
+                        MegaWattHours(0.0), Fraction(0.5)};
     const double base =
         ex.evaluate(p, Strategy::RenewablesOnly).coverage_pct;
     const double cas =
@@ -107,7 +115,7 @@ TEST(Findings, CombinedSolutionDominatesInTotalCarbon)
     for (Strategy s :
          {Strategy::RenewablesOnly, Strategy::RenewableBattery,
           Strategy::RenewableCas, Strategy::RenewableBatteryCas}) {
-        best_total[s] = ex.optimize(space, s).best.totalKg();
+        best_total[s] = ex.optimize(space, s).best.totalKg().value();
     }
     // Adding a battery strictly helps vs renewables alone.
     EXPECT_LT(best_total[Strategy::RenewableBattery],
@@ -130,10 +138,12 @@ TEST(Findings, WindRegionsBeatSolarRegionsOnTotalCarbon)
         DesignSpace::forDatacenter(51.0, 6.0, 4, 4, 1);
     const double ne = explorerFor("NE")
         .optimize(space_ne, Strategy::RenewableBattery)
-        .best.totalKg() / 55.0;
+        .best.totalKg()
+        .value() / 55.0;
     const double nc = explorerFor("NC")
         .optimize(space_nc, Strategy::RenewableBattery)
-        .best.totalKg() / 51.0;
+        .best.totalKg()
+        .value() / 51.0;
     EXPECT_LT(ne, nc);
 }
 
@@ -144,9 +154,9 @@ TEST(Findings, NetZeroIsNotHourlyCarbonFree)
     const CarbonExplorer ex = explorerFor("NC");
     const auto &cov = ex.coverageAnalyzer();
     // Invest enough solar for annual Net Zero.
-    const TimeSeries solar_supply = cov.supplyFor(2000.0, 0.0);
+    const TimeSeries solar_supply = cov.supplyFor(MegaWatts(2000.0), MegaWatts(0.0));
     ASSERT_GT(solar_supply.total(), ex.dcPower().total());
-    const double hourly = cov.coverage(2000.0, 0.0);
+    const double hourly = cov.coverage(MegaWatts(2000.0), MegaWatts(0.0));
     EXPECT_LT(hourly, 60.0);
 }
 

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Deliberately broken header used by the
+ * tools.carbonx_lint_detects_seeded_violations ctest (WILL_FAIL) to
+ * prove carbonx-lint exits nonzero when the tree regresses. Every
+ * construct below violates one rule; the file also (intentionally)
+ * lacks an include guard. Never include this from real code.
+ */
+
+namespace carbonx_lint_fixture
+{
+
+inline double
+seededViolations()
+{
+    double supply_mw = 19.0;    // raw-unit-double
+    double demand_mwh = 456.0;  // raw-unit-double
+    supply_mw = demand_mwh;     // unit-suffix-mismatch
+    const double daily = demand_mwh / 24.0; // magic-conversion
+    const double grams = supply_mw * 1000;  // magic-conversion
+    return daily + grams;
+}
+
+} // namespace carbonx_lint_fixture

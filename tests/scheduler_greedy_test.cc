@@ -39,8 +39,8 @@ middayCheapSignal()
 TEST(GreedyScheduler, ConservesEnergyPerDay)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 20.0;
-    cfg.flexible_ratio = 0.4;
+    cfg.capacity_cap_mw = MegaWatts(20.0);
+    cfg.flexible_ratio = Fraction(0.4);
     const GreedyCarbonScheduler sched(cfg);
     const TimeSeries load = flatLoad();
     const ScheduleResult result =
@@ -54,20 +54,20 @@ TEST(GreedyScheduler, ConservesEnergyPerDay)
 TEST(GreedyScheduler, RespectsCapacityCap)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 14.0;
-    cfg.flexible_ratio = 1.0;
+    cfg.capacity_cap_mw = MegaWatts(14.0);
+    cfg.flexible_ratio = Fraction(1.0);
     const GreedyCarbonScheduler sched(cfg);
     const ScheduleResult result =
         sched.schedule(flatLoad(), middayCheapSignal());
     EXPECT_LE(result.reshaped_power.max(), 14.0 + 1e-9);
-    EXPECT_LE(result.peak_power_mw, 14.0 + 1e-9);
+    EXPECT_LE(result.peak_power_mw.value(), 14.0 + 1e-9);
 }
 
 TEST(GreedyScheduler, MovesLoadTowardCheapHours)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
-    cfg.flexible_ratio = 0.4;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
+    cfg.flexible_ratio = Fraction(0.4);
     const GreedyCarbonScheduler sched(cfg);
     const TimeSeries cost = middayCheapSignal();
     const ScheduleResult result = sched.schedule(flatLoad(), cost);
@@ -88,22 +88,22 @@ TEST(GreedyScheduler, MovesLoadTowardCheapHours)
 TEST(GreedyScheduler, ZeroFlexibilityChangesNothing)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
-    cfg.flexible_ratio = 0.0;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
+    cfg.flexible_ratio = Fraction(0.0);
     const GreedyCarbonScheduler sched(cfg);
     const TimeSeries load = flatLoad();
     const ScheduleResult result =
         sched.schedule(load, middayCheapSignal());
     for (size_t h = 0; h < load.size(); h += 101)
         EXPECT_DOUBLE_EQ(result.reshaped_power[h], load[h]);
-    EXPECT_DOUBLE_EQ(result.moved_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(result.moved_mwh.value(), 0.0);
 }
 
 TEST(GreedyScheduler, FullFlexibilityPacksCheapestHours)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 240.0; // One hour could hold the whole day.
-    cfg.flexible_ratio = 1.0;
+    cfg.capacity_cap_mw = MegaWatts(240.0); // One hour could hold the whole day.
+    cfg.flexible_ratio = Fraction(1.0);
     const GreedyCarbonScheduler sched(cfg);
     const ScheduleResult result =
         sched.schedule(flatLoad(), middayCheapSignal());
@@ -116,22 +116,22 @@ TEST(GreedyScheduler, FullFlexibilityPacksCheapestHours)
 TEST(GreedyScheduler, MovedEnergyIsReported)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
-    cfg.flexible_ratio = 0.5;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
+    cfg.flexible_ratio = Fraction(0.5);
     const GreedyCarbonScheduler sched(cfg);
     const ScheduleResult result =
         sched.schedule(flatLoad(), middayCheapSignal());
-    EXPECT_GT(result.moved_mwh, 0.0);
+    EXPECT_GT(result.moved_mwh.value(), 0.0);
     // Cannot move more than the flexible share of the year's energy.
-    EXPECT_LE(result.moved_mwh, 0.5 * flatLoad().total() + 1e-6);
+    EXPECT_LE(result.moved_mwh.value(), 0.5 * flatLoad().total() + 1e-6);
 }
 
 TEST(GreedyScheduler, WindowedVariantRespectsWindow)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
-    cfg.flexible_ratio = 1.0;
-    cfg.slo_window_hours = 2.0;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
+    cfg.flexible_ratio = Fraction(1.0);
+    cfg.slo_window_hours = Hours(2.0);
     const GreedyCarbonScheduler sched(cfg);
     // Cost spike on a single hour; load may only flee 2 hours away.
     TimeSeries cost(2021, 100.0);
@@ -148,9 +148,9 @@ TEST(GreedyScheduler, WindowedVariantRespectsWindow)
 TEST(GreedyScheduler, WindowedVariantConservesTotalEnergy)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 25.0;
-    cfg.flexible_ratio = 0.6;
-    cfg.slo_window_hours = 4.0;
+    cfg.capacity_cap_mw = MegaWatts(25.0);
+    cfg.flexible_ratio = Fraction(0.6);
+    cfg.slo_window_hours = Hours(4.0);
     const GreedyCarbonScheduler sched(cfg);
     const TimeSeries load = flatLoad();
     const ScheduleResult result =
@@ -162,9 +162,9 @@ TEST(GreedyScheduler, WindowedVariantConservesTotalEnergy)
 TEST(GreedyScheduler, WindowedReducesWeightedCost)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 25.0;
-    cfg.flexible_ratio = 0.6;
-    cfg.slo_window_hours = 6.0;
+    cfg.capacity_cap_mw = MegaWatts(25.0);
+    cfg.flexible_ratio = Fraction(0.6);
+    cfg.slo_window_hours = Hours(6.0);
     const GreedyCarbonScheduler sched(cfg);
     const TimeSeries load = flatLoad();
     const TimeSeries cost = middayCheapSignal();
@@ -183,35 +183,35 @@ TEST(GreedyScheduler, TightCapLimitsShifting)
     // With the cap barely above the load, almost nothing can move in,
     // so the reshaped series stays close to the original.
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 10.5;
-    cfg.flexible_ratio = 1.0;
+    cfg.capacity_cap_mw = MegaWatts(10.5);
+    cfg.flexible_ratio = Fraction(1.0);
     const GreedyCarbonScheduler sched(cfg);
     const ScheduleResult result =
         sched.schedule(flatLoad(), middayCheapSignal());
     EXPECT_LE(result.reshaped_power.max(), 10.5 + 1e-9);
     // At most 0.5 MW of headroom per cheap hour can be gained.
-    EXPECT_LT(result.moved_mwh, 0.5 * 24.0 * 366.0);
+    EXPECT_LT(result.moved_mwh.value(), 0.5 * 24.0 * 366.0);
 }
 
 TEST(GreedyScheduler, RejectsInvalidConfigs)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 0.0;
+    cfg.capacity_cap_mw = MegaWatts(0.0);
     EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
     cfg = SchedulerConfig{};
-    cfg.capacity_cap_mw = 10.0;
-    cfg.flexible_ratio = 1.5;
+    cfg.capacity_cap_mw = MegaWatts(10.0);
+    cfg.flexible_ratio = Fraction(1.5);
     EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
     cfg = SchedulerConfig{};
-    cfg.capacity_cap_mw = 10.0;
-    cfg.slo_window_hours = 0.5;
+    cfg.capacity_cap_mw = MegaWatts(10.0);
+    cfg.slo_window_hours = Hours(0.5);
     EXPECT_THROW(GreedyCarbonScheduler{cfg}, UserError);
 }
 
 TEST(GreedyScheduler, RejectsLoadAboveCap)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 5.0;
+    cfg.capacity_cap_mw = MegaWatts(5.0);
     const GreedyCarbonScheduler sched(cfg);
     EXPECT_THROW(sched.schedule(flatLoad(10.0), middayCheapSignal()),
                  UserError);
@@ -220,7 +220,7 @@ TEST(GreedyScheduler, RejectsLoadAboveCap)
 TEST(GreedyScheduler, RejectsYearMismatch)
 {
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
     const GreedyCarbonScheduler sched(cfg);
     EXPECT_THROW(sched.schedule(flatLoad(), TimeSeries(2020, 1.0)),
                  UserError);
@@ -237,8 +237,8 @@ TEST_P(FlexRatioSweep, MoreFlexibilityNeverHurts)
     const TimeSeries cost = middayCheapSignal();
     auto weightedCost = [&](double fwr) {
         SchedulerConfig cfg;
-        cfg.capacity_cap_mw = 40.0;
-        cfg.flexible_ratio = fwr;
+        cfg.capacity_cap_mw = MegaWatts(40.0);
+        cfg.flexible_ratio = Fraction(fwr);
         const ScheduleResult r =
             GreedyCarbonScheduler(cfg).schedule(load, cost);
         double total = 0.0;

@@ -40,30 +40,30 @@ dayNightIntensity()
 
 TEST(GridCharging, NeverPolicyDrawsNoChargeEnergy)
 {
-    IdealBattery battery(100.0);
+    IdealBattery battery(MegaWattHours(100.0));
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 20.0;
+    cfg.capacity_cap_mw = MegaWatts(20.0);
     cfg.battery = &battery;
     const SimulationResult r = engine.run(cfg);
-    EXPECT_DOUBLE_EQ(r.grid_charge_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(r.grid_charge_mwh.value(), 0.0);
 }
 
 TEST(GridCharging, ThresholdPolicyChargesOnCleanHours)
 {
-    IdealBattery battery(50.0);
+    IdealBattery battery(MegaWattHours(50.0));
     const TimeSeries intensity = dayNightIntensity();
     // No renewables at all: only grid-charging can move energy.
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 20.0;
+    cfg.capacity_cap_mw = MegaWatts(20.0);
     cfg.battery = &battery;
     cfg.grid_charge_policy =
         GridChargePolicy::BelowIntensityThreshold;
-    cfg.grid_charge_threshold_gkwh = 200.0;
+    cfg.grid_charge_threshold_gkwh = GramsPerKwh(200.0);
     cfg.grid_intensity = &intensity;
     const SimulationResult r = engine.run(cfg);
-    EXPECT_GT(r.grid_charge_mwh, 0.0);
+    EXPECT_GT(r.grid_charge_mwh.value(), 0.0);
     EXPECT_GT(r.battery_cycles, 100.0); // Cycles most days.
 }
 
@@ -76,16 +76,16 @@ TEST(GridCharging, ArbitrageReducesOperationalCarbon)
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
 
     SimulationConfig plain;
-    plain.capacity_cap_mw = 20.0;
+    plain.capacity_cap_mw = MegaWatts(20.0);
     const SimulationResult base = engine.run(plain);
 
-    ClcBattery battery(120.0,
+    ClcBattery battery(MegaWattHours(120.0),
                        BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig arb = plain;
     arb.battery = &battery;
     arb.grid_charge_policy =
         GridChargePolicy::BelowIntensityThreshold;
-    arb.grid_charge_threshold_gkwh = 200.0;
+    arb.grid_charge_threshold_gkwh = GramsPerKwh(200.0);
     arb.grid_intensity = &intensity;
     const SimulationResult with_arb = engine.run(arb);
 
@@ -100,35 +100,35 @@ TEST(GridCharging, ArbitrageReducesOperationalCarbon)
     EXPECT_LT(arb_kg, base_kg);
 
     // But total grid energy goes up (losses + stored energy).
-    EXPECT_GT(with_arb.grid_energy_mwh, base.grid_energy_mwh);
+    EXPECT_GT(with_arb.grid_energy_mwh.value(), base.grid_energy_mwh.value());
 }
 
 TEST(GridCharging, ChargeEnergyCountsAsGridDraw)
 {
-    IdealBattery battery(50.0);
+    IdealBattery battery(MegaWattHours(50.0));
     const TimeSeries intensity = dayNightIntensity();
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 20.0;
+    cfg.capacity_cap_mw = MegaWatts(20.0);
     cfg.battery = &battery;
     cfg.grid_charge_policy =
         GridChargePolicy::BelowIntensityThreshold;
-    cfg.grid_charge_threshold_gkwh = 200.0;
+    cfg.grid_charge_threshold_gkwh = GramsPerKwh(200.0);
     cfg.grid_intensity = &intensity;
     const SimulationResult r = engine.run(cfg);
     // The charge energy is drawn from the grid, and with a lossless
     // battery every stored MWh later displaces a grid MWh, so the
     // total grid energy equals the load exactly — but the draw has
     // moved into the clean hours.
-    EXPECT_GT(r.grid_charge_mwh, 0.0);
-    EXPECT_NEAR(r.grid_energy_mwh, r.load_energy_mwh, 1e-6);
+    EXPECT_GT(r.grid_charge_mwh.value(), 0.0);
+    EXPECT_NEAR(r.grid_energy_mwh.value(), r.load_energy_mwh.value(), 1e-6);
     // At least the charged energy was billed during clean hours.
     double clean_grid_mwh = 0.0;
     for (size_t h = 0; h < r.grid_power.size(); ++h) {
         if (intensity[h] <= 200.0)
             clean_grid_mwh += r.grid_power[h];
     }
-    EXPECT_GE(clean_grid_mwh + 1e-6, r.grid_charge_mwh);
+    EXPECT_GE(clean_grid_mwh + 1e-6, r.grid_charge_mwh.value());
 }
 
 TEST(GridCharging, HighThresholdChargesMoreThanLowThreshold)
@@ -136,15 +136,15 @@ TEST(GridCharging, HighThresholdChargesMoreThanLowThreshold)
     const TimeSeries intensity = dayNightIntensity();
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
     auto chargeAt = [&](double threshold) {
-        IdealBattery battery(50.0);
+        IdealBattery battery(MegaWattHours(50.0));
         SimulationConfig cfg;
-        cfg.capacity_cap_mw = 20.0;
+        cfg.capacity_cap_mw = MegaWatts(20.0);
         cfg.battery = &battery;
         cfg.grid_charge_policy =
             GridChargePolicy::BelowIntensityThreshold;
-        cfg.grid_charge_threshold_gkwh = threshold;
+        cfg.grid_charge_threshold_gkwh = GramsPerKwh(threshold);
         cfg.grid_intensity = &intensity;
-        return engine.run(cfg).grid_charge_mwh;
+        return engine.run(cfg).grid_charge_mwh.value();
     };
     EXPECT_DOUBLE_EQ(chargeAt(50.0), 0.0);   // Nothing qualifies.
     EXPECT_GT(chargeAt(800.0), chargeAt(200.0) - 1e-9);
@@ -153,10 +153,10 @@ TEST(GridCharging, HighThresholdChargesMoreThanLowThreshold)
 
 TEST(GridCharging, RequiresIntensitySeries)
 {
-    IdealBattery battery(50.0);
+    IdealBattery battery(MegaWattHours(50.0));
     const SimulationEngine engine(flatLoad(), TimeSeries(kYear));
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 20.0;
+    cfg.capacity_cap_mw = MegaWatts(20.0);
     cfg.battery = &battery;
     cfg.grid_charge_policy =
         GridChargePolicy::BelowIntensityThreshold;

@@ -65,23 +65,24 @@ TEST_P(EngineProperty, InvariantsHold)
     const TimeSeries supply = randomSupply(rng);
     const SimulationEngine engine(load, supply);
 
-    ClcBattery battery(battery_hours * load.mean(),
+    ClcBattery battery(MegaWattHours(battery_hours * load.mean()),
                        BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = load.max() * 1.4;
-    cfg.flexible_ratio = fwr;
+    cfg.capacity_cap_mw = MegaWatts(load.max() * 1.4);
+    cfg.flexible_ratio = Fraction(fwr);
     cfg.battery = battery_hours > 0.0 ? &battery : nullptr;
     const SimulationResult r = engine.run(cfg);
 
     // 1. Capacity cap respected everywhere.
-    EXPECT_LE(r.peak_power_mw, cfg.capacity_cap_mw + 1e-9);
+    EXPECT_LE(r.peak_power_mw.value(),
+              cfg.capacity_cap_mw.value() + 1e-9);
 
     // 2. Work conservation: served + residual backlog = demand.
-    EXPECT_NEAR(r.served_energy_mwh + r.residual_backlog_mwh,
-                r.load_energy_mwh, 1e-6 * r.load_energy_mwh + 1e-6);
+    EXPECT_NEAR(r.served_energy_mwh.value() + r.residual_backlog_mwh.value(),
+                r.load_energy_mwh.value(), 1e-6 * r.load_energy_mwh.value() + 1e-6);
 
     // 3. No SLO violations at generous caps.
-    EXPECT_DOUBLE_EQ(r.slo_violation_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(r.slo_violation_mwh.value(), 0.0);
 
     // 4. Hourly power balance: grid >= served - supply - discharge,
     //    and never negative.
@@ -95,13 +96,13 @@ TEST_P(EngineProperty, InvariantsHold)
 
     // 5. Energy conservation overall: renewables used + grid + battery
     //    net discharge covers everything served.
-    EXPECT_LE(r.renewable_used_mwh,
+    EXPECT_LE(r.renewable_used_mwh.value(),
               supply.total() + 1e-6);
-    EXPECT_GE(r.grid_energy_mwh, -1e-9);
+    EXPECT_GE(r.grid_energy_mwh.value(), -1e-9);
 
     // 6. Coverage consistent with energies.
     EXPECT_NEAR(r.coverage_pct,
-                (1.0 - r.grid_energy_mwh / r.load_energy_mwh) * 100.0,
+                (1.0 - r.grid_energy_mwh.value() / r.load_energy_mwh.value()) * 100.0,
                 1e-9);
 
     // 7. SoC bounded.
@@ -118,11 +119,12 @@ TEST_P(EngineProperty, BatteryNeverHurtsCoverage)
     const SimulationEngine engine(load, supply);
 
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = load.max() * 1.4;
-    cfg.flexible_ratio = fwr;
+    cfg.capacity_cap_mw = MegaWatts(load.max() * 1.4);
+    cfg.flexible_ratio = Fraction(fwr);
     const double cov_plain = engine.run(cfg).coverage_pct;
 
-    ClcBattery battery(std::max(battery_hours, 1.0) * load.mean(),
+    ClcBattery battery(
+        MegaWattHours(std::max(battery_hours, 1.0) * load.mean()),
                        BatteryChemistry::lithiumIronPhosphate());
     cfg.battery = &battery;
     const double cov_batt = engine.run(cfg).coverage_pct;
@@ -141,16 +143,16 @@ TEST(EngineDeterminism, SameInputsSameOutputs)
     const TimeSeries load = randomLoad(rng);
     const TimeSeries supply = randomSupply(rng);
     const SimulationEngine engine(load, supply);
-    ClcBattery b1(100.0, BatteryChemistry::lithiumIronPhosphate());
-    ClcBattery b2(100.0, BatteryChemistry::lithiumIronPhosphate());
+    ClcBattery b1(MegaWattHours(100.0), BatteryChemistry::lithiumIronPhosphate());
+    ClcBattery b2(MegaWattHours(100.0), BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = load.max() * 1.5;
-    cfg.flexible_ratio = 0.4;
+    cfg.capacity_cap_mw = MegaWatts(load.max() * 1.5);
+    cfg.flexible_ratio = Fraction(0.4);
     cfg.battery = &b1;
     const SimulationResult a = engine.run(cfg);
     cfg.battery = &b2;
     const SimulationResult b = engine.run(cfg);
-    EXPECT_DOUBLE_EQ(a.grid_energy_mwh, b.grid_energy_mwh);
+    EXPECT_DOUBLE_EQ(a.grid_energy_mwh.value(), b.grid_energy_mwh.value());
     EXPECT_DOUBLE_EQ(a.coverage_pct, b.coverage_pct);
     for (size_t h = 0; h < load.size(); h += 301)
         EXPECT_DOUBLE_EQ(a.served_power[h], b.served_power[h]);

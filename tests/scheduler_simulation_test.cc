@@ -45,7 +45,7 @@ SimulationConfig
 baseConfig()
 {
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 40.0;
+    cfg.capacity_cap_mw = MegaWatts(40.0);
     return cfg;
 }
 
@@ -66,7 +66,7 @@ TEST(SimulationEngine, ZeroSupplyMeansZeroCoverage)
     EXPECT_NEAR(engine.renewableOnlyCoverage(), 0.0, 1e-9);
     const SimulationResult r = engine.run(baseConfig());
     EXPECT_NEAR(r.coverage_pct, 0.0, 1e-9);
-    EXPECT_NEAR(r.grid_energy_mwh, r.load_energy_mwh, 1e-6);
+    EXPECT_NEAR(r.grid_energy_mwh.value(), r.load_energy_mwh.value(), 1e-6);
 }
 
 TEST(SimulationEngine, AbundantSupplyMeansFullCoverage)
@@ -75,8 +75,8 @@ TEST(SimulationEngine, AbundantSupplyMeansFullCoverage)
                                   TimeSeries(kYear, 100.0));
     const SimulationResult r = engine.run(baseConfig());
     EXPECT_NEAR(r.coverage_pct, 100.0, 1e-9);
-    EXPECT_NEAR(r.grid_energy_mwh, 0.0, 1e-9);
-    EXPECT_GT(r.renewable_excess_mwh, 0.0);
+    EXPECT_NEAR(r.grid_energy_mwh.value(), 0.0, 1e-9);
+    EXPECT_GT(r.renewable_excess_mwh.value(), 0.0);
 }
 
 TEST(SimulationEngine, BatteryBridgesNights)
@@ -84,7 +84,7 @@ TEST(SimulationEngine, BatteryBridgesNights)
     // Day supply delivers 300 MWh over 10 hours against 240 MWh of
     // daily demand; a large ideal battery shifts the 60 MWh surplus
     // into the 14 night hours (140 MWh needed) -> partial bridging.
-    IdealBattery battery(500.0);
+    IdealBattery battery(MegaWattHours(500.0));
     SimulationConfig cfg = baseConfig();
     cfg.battery = &battery;
     const SimulationEngine engine(flatLoad(), daySupply());
@@ -98,7 +98,7 @@ TEST(SimulationEngine, BigEnoughSupplyAndBatteryReach100)
 {
     // 60 MW for 10 daytime hours = 600 MWh/day vs 240 MWh demand;
     // battery holds a full night comfortably.
-    IdealBattery battery(200.0);
+    IdealBattery battery(MegaWattHours(200.0));
     SimulationConfig cfg = baseConfig();
     cfg.battery = &battery;
     const SimulationEngine engine(flatLoad(), daySupply(60.0));
@@ -108,8 +108,8 @@ TEST(SimulationEngine, BigEnoughSupplyAndBatteryReach100)
 
 TEST(SimulationEngine, ClcLossesReduceCoverageVsIdeal)
 {
-    ClcBattery clc(200.0, BatteryChemistry::lithiumIronPhosphate());
-    IdealBattery ideal(200.0);
+    ClcBattery clc(MegaWattHours(200.0), BatteryChemistry::lithiumIronPhosphate());
+    IdealBattery ideal(MegaWattHours(200.0));
     const SimulationEngine engine(flatLoad(), daySupply(35.0));
     SimulationConfig cfg = baseConfig();
     cfg.battery = &clc;
@@ -122,36 +122,36 @@ TEST(SimulationEngine, ClcLossesReduceCoverageVsIdeal)
 TEST(SimulationEngine, CasShiftsFlexibleLoadIntoTheDay)
 {
     SimulationConfig cfg = baseConfig();
-    cfg.flexible_ratio = 0.4;
+    cfg.flexible_ratio = Fraction(0.4);
     const SimulationEngine engine(flatLoad(), daySupply());
     const SimulationResult r = engine.run(cfg);
     EXPECT_GT(r.coverage_pct, engine.renewableOnlyCoverage() + 5.0);
-    EXPECT_GT(r.deferred_mwh, 0.0);
+    EXPECT_GT(r.deferred_mwh.value(), 0.0);
     // Total work conserved up to the residual backlog at year end.
-    EXPECT_NEAR(r.served_energy_mwh + r.residual_backlog_mwh,
-                r.load_energy_mwh, 1.0);
+    EXPECT_NEAR(r.served_energy_mwh.value() + r.residual_backlog_mwh.value(),
+                r.load_energy_mwh.value(), 1.0);
 }
 
 TEST(SimulationEngine, DeferredWorkMeetsItsDeadline)
 {
     SimulationConfig cfg = baseConfig();
-    cfg.flexible_ratio = 0.4;
-    cfg.slo_window_hours = 24.0;
+    cfg.flexible_ratio = Fraction(0.4);
+    cfg.slo_window_hours = Hours(24.0);
     const SimulationEngine engine(flatLoad(), daySupply());
     const SimulationResult r = engine.run(cfg);
-    EXPECT_DOUBLE_EQ(r.slo_violation_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(r.slo_violation_mwh.value(), 0.0);
     // Backlog never exceeds one day of deferrable work.
-    EXPECT_LE(r.max_backlog_mwh, 0.4 * 10.0 * 24.0 + 1e-6);
+    EXPECT_LE(r.max_backlog_mwh.value(), 0.4 * 10.0 * 24.0 + 1e-6);
 }
 
 TEST(SimulationEngine, ServedPowerRespectsCapacityCap)
 {
     SimulationConfig cfg = baseConfig();
-    cfg.capacity_cap_mw = 12.0;
-    cfg.flexible_ratio = 1.0;
+    cfg.capacity_cap_mw = MegaWatts(12.0);
+    cfg.flexible_ratio = Fraction(1.0);
     const SimulationEngine engine(flatLoad(), daySupply());
     const SimulationResult r = engine.run(cfg);
-    EXPECT_LE(r.peak_power_mw, 12.0 + 1e-9);
+    EXPECT_LE(r.peak_power_mw.value(), 12.0 + 1e-9);
 }
 
 TEST(SimulationEngine, CombinedBeatsEitherAlone)
@@ -159,17 +159,17 @@ TEST(SimulationEngine, CombinedBeatsEitherAlone)
     const SimulationEngine engine(flatLoad(), daySupply(25.0));
 
     SimulationConfig cas_only = baseConfig();
-    cas_only.flexible_ratio = 0.4;
+    cas_only.flexible_ratio = Fraction(0.4);
     const double cov_cas = engine.run(cas_only).coverage_pct;
 
-    ClcBattery b1(80.0, BatteryChemistry::lithiumIronPhosphate());
+    ClcBattery b1(MegaWattHours(80.0), BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig batt_only = baseConfig();
     batt_only.battery = &b1;
     const double cov_batt = engine.run(batt_only).coverage_pct;
 
-    ClcBattery b2(80.0, BatteryChemistry::lithiumIronPhosphate());
+    ClcBattery b2(MegaWattHours(80.0), BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig both = baseConfig();
-    both.flexible_ratio = 0.4;
+    both.flexible_ratio = Fraction(0.4);
     both.battery = &b2;
     const double cov_both = engine.run(both).coverage_pct;
 
@@ -182,14 +182,14 @@ TEST(SimulationEngine, BatteryDischargesBeforeDeferral)
 {
     // Section 5.2 priority: with a large battery, flexible work rides
     // through deficits on stored energy instead of being deferred.
-    IdealBattery battery(10000.0);
+    IdealBattery battery(MegaWattHours(10000.0));
     // Pre-charge by an initial abundant day is not possible through
     // the public API, so use a supply with a huge first week.
     TimeSeries supply = daySupply(30.0);
     for (size_t h = 0; h < 7 * 24; ++h)
         supply[h] = 100.0;
     SimulationConfig cfg = baseConfig();
-    cfg.flexible_ratio = 0.4;
+    cfg.flexible_ratio = Fraction(0.4);
     cfg.battery = &battery;
     const SimulationEngine engine(flatLoad(), supply);
     const SimulationResult r = engine.run(cfg);
@@ -197,7 +197,7 @@ TEST(SimulationEngine, BatteryDischargesBeforeDeferral)
     SimulationConfig no_batt = cfg;
     no_batt.battery = nullptr;
     const SimulationResult r2 = engine.run(no_batt);
-    EXPECT_LT(r.deferred_mwh, r2.deferred_mwh);
+    EXPECT_LT(r.deferred_mwh.value(), r2.deferred_mwh.value());
 }
 
 TEST(SimulationEngine, GridPowerIsTheResidual)
@@ -213,7 +213,7 @@ TEST(SimulationEngine, GridPowerIsTheResidual)
 
 TEST(SimulationEngine, SocSeriesStaysInRange)
 {
-    ClcBattery battery(100.0,
+    ClcBattery battery(MegaWattHours(100.0),
                        BatteryChemistry::lithiumIronPhosphate());
     SimulationConfig cfg = baseConfig();
     cfg.battery = &battery;
@@ -227,13 +227,13 @@ TEST(SimulationEngine, RejectsInvalidConfigs)
 {
     const SimulationEngine engine(flatLoad(), daySupply());
     SimulationConfig cfg;
-    cfg.capacity_cap_mw = 5.0; // Below the 10 MW load peak.
+    cfg.capacity_cap_mw = MegaWatts(5.0); // Below the 10 MW load peak.
     EXPECT_THROW(engine.run(cfg), UserError);
     cfg = baseConfig();
-    cfg.flexible_ratio = -0.1;
+    cfg.flexible_ratio = Fraction(-0.1);
     EXPECT_THROW(engine.run(cfg), UserError);
     cfg = baseConfig();
-    cfg.slo_window_hours = 0.0;
+    cfg.slo_window_hours = Hours(0.0);
     EXPECT_THROW(engine.run(cfg), UserError);
 }
 
@@ -252,14 +252,15 @@ class SloWindowSweep : public testing::TestWithParam<double>
 TEST_P(SloWindowSweep, NoSloViolationsAtAnyWindow)
 {
     SimulationConfig cfg = baseConfig();
-    cfg.flexible_ratio = 0.4;
-    cfg.slo_window_hours = GetParam();
+    cfg.flexible_ratio = Fraction(0.4);
+    cfg.slo_window_hours = Hours(GetParam());
     const SimulationEngine engine(flatLoad(), daySupply());
     const SimulationResult r = engine.run(cfg);
-    EXPECT_DOUBLE_EQ(r.slo_violation_mwh, 0.0);
-    EXPECT_LE(r.peak_power_mw, cfg.capacity_cap_mw + 1e-9);
-    EXPECT_NEAR(r.served_energy_mwh + r.residual_backlog_mwh,
-                r.load_energy_mwh, 1.0);
+    EXPECT_DOUBLE_EQ(r.slo_violation_mwh.value(), 0.0);
+    EXPECT_LE(r.peak_power_mw.value(),
+              cfg.capacity_cap_mw.value() + 1e-9);
+    EXPECT_NEAR(r.served_energy_mwh.value() + r.residual_backlog_mwh.value(),
+                r.load_energy_mwh.value(), 1.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, SloWindowSweep,

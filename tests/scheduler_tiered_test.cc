@@ -39,7 +39,7 @@ middayCheapSignal()
 TEST(TieredScheduler, ConservesEnergyExactly)
 {
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                30.0);
+                                MegaWatts(30.0));
     const TimeSeries load = flatLoad();
     const TieredScheduleResult r =
         sched.schedule(load, middayCheapSignal());
@@ -50,26 +50,26 @@ TEST(TieredScheduler, ConservesEnergyExactly)
 TEST(TieredScheduler, RespectsCapacityCap)
 {
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                14.0);
+                                MegaWatts(14.0));
     const TieredScheduleResult r =
         sched.schedule(flatLoad(), middayCheapSignal());
-    EXPECT_LE(r.peak_power_mw, 14.0 + 1e-9);
+    EXPECT_LE(r.peak_power_mw.value(), 14.0 + 1e-9);
 }
 
 TEST(TieredScheduler, ReportsPerTierMovement)
 {
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                30.0);
+                                MegaWatts(30.0));
     const TieredScheduleResult r =
         sched.schedule(flatLoad(), middayCheapSignal());
     ASSERT_EQ(r.tiers.size(), 5u);
     double total_moved = 0.0;
     for (const TierOutcome &t : r.tiers) {
-        EXPECT_GE(t.moved_mwh, 0.0) << t.tier_name;
-        total_moved += t.moved_mwh;
+        EXPECT_GE(t.moved_mwh.value(), 0.0) << t.tier_name;
+        total_moved += t.moved_mwh.value();
     }
-    EXPECT_NEAR(total_moved, r.moved_mwh, 1e-9);
-    EXPECT_GT(r.moved_mwh, 0.0);
+    EXPECT_NEAR(total_moved, r.moved_mwh.value(), 1e-9);
+    EXPECT_GT(r.moved_mwh.value(), 0.0);
 }
 
 TEST(TieredScheduler, WiderWindowsMoveMoreEnergyPerShare)
@@ -80,39 +80,40 @@ TEST(TieredScheduler, WiderWindowsMoveMoreEnergyPerShare)
     for (size_t h = 12; h < spiky.size(); h += 24)
         spiky[h] = 100.0;
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                40.0);
+                                MegaWatts(40.0));
     const TieredScheduleResult r = sched.schedule(flatLoad(), spiky);
     // Tier 4 (daily SLO, 71.2%) must move much more than Tier 1
     // (+/-1h, 8.8%) even after normalizing by share.
     const TierOutcome *t1 = nullptr;
     const TierOutcome *t4 = nullptr;
     for (const TierOutcome &t : r.tiers) {
-        if (t.slo_window_hours == 1.0)
+        if (t.slo_window_hours.value() == 1.0)
             t1 = &t;
-        if (t.slo_window_hours == 24.0)
+        if (t.slo_window_hours.value() == 24.0)
             t4 = &t;
     }
     ASSERT_NE(t1, nullptr);
     ASSERT_NE(t4, nullptr);
-    EXPECT_GT(t4->moved_mwh / t4->share, t1->moved_mwh / t1->share);
+    EXPECT_GT(t4->moved_mwh.value() / t4->share.value(),
+              t1->moved_mwh.value() / t1->share.value());
 }
 
 TEST(TieredScheduler, AllPinnedMixChangesNothing)
 {
     const WorkloadMix pinned({{"Pinned", 0.0, 1.0}});
-    const TieredScheduler sched(pinned, 30.0);
+    const TieredScheduler sched(pinned, MegaWatts(30.0));
     const TimeSeries load = flatLoad();
     const TieredScheduleResult r =
         sched.schedule(load, middayCheapSignal());
     for (size_t h = 0; h < load.size(); h += 131)
         EXPECT_DOUBLE_EQ(r.reshaped_power[h], load[h]);
-    EXPECT_DOUBLE_EQ(r.moved_mwh, 0.0);
+    EXPECT_DOUBLE_EQ(r.moved_mwh.value(), 0.0);
 }
 
 TEST(TieredScheduler, ReducesWeightedCost)
 {
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                30.0);
+                                MegaWatts(30.0));
     const TimeSeries load = flatLoad();
     const TimeSeries cost = middayCheapSignal();
     const TieredScheduleResult r = sched.schedule(load, cost);
@@ -131,11 +132,11 @@ TEST(TieredScheduler, MatchesSingleTierGreedyInTheLimit)
     // least as much as the windowed GreedyCarbonScheduler at the same
     // window (they implement the same pull model).
     const WorkloadMix single({{"All", 8.0, 1.0}});
-    const TieredScheduler tiered(single, 30.0);
+    const TieredScheduler tiered(single, MegaWatts(30.0));
     SchedulerConfig cfg;
-    cfg.capacity_cap_mw = 30.0;
-    cfg.flexible_ratio = 1.0;
-    cfg.slo_window_hours = 8.0;
+    cfg.capacity_cap_mw = MegaWatts(30.0);
+    cfg.flexible_ratio = Fraction(1.0);
+    cfg.slo_window_hours = Hours(8.0);
     const GreedyCarbonScheduler greedy(cfg);
 
     const TimeSeries load = flatLoad();
@@ -157,13 +158,14 @@ TEST(TieredScheduler, MatchesSingleTierGreedyInTheLimit)
 TEST(TieredScheduler, RejectsBadInputs)
 {
     EXPECT_THROW(TieredScheduler(WorkloadMix::metaDataProcessing(),
-                                 0.0),
+                                 MegaWatts(0.0)),
                  UserError);
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                5.0);
+                                MegaWatts(5.0));
     EXPECT_THROW(sched.schedule(flatLoad(10.0), middayCheapSignal()),
                  UserError);
-    const TieredScheduler ok(WorkloadMix::metaDataProcessing(), 30.0);
+    const TieredScheduler ok(WorkloadMix::metaDataProcessing(),
+                             MegaWatts(30.0));
     EXPECT_THROW(ok.schedule(flatLoad(), TimeSeries(2020, 1.0)),
                  UserError);
 }
@@ -175,11 +177,11 @@ class TierCapSweep : public testing::TestWithParam<double>
 TEST_P(TierCapSweep, InvariantsHoldAtEveryCap)
 {
     const TieredScheduler sched(WorkloadMix::metaDataProcessing(),
-                                GetParam());
+                                MegaWatts(GetParam()));
     const TimeSeries load = flatLoad();
     const TieredScheduleResult r =
         sched.schedule(load, middayCheapSignal());
-    EXPECT_LE(r.peak_power_mw, GetParam() + 1e-9);
+    EXPECT_LE(r.peak_power_mw.value(), GetParam() + 1e-9);
     EXPECT_NEAR(r.reshaped_power.total(), load.total(),
                 1e-6 * load.total());
     EXPECT_GE(r.reshaped_power.min(), -1e-12);

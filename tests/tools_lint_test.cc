@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the carbonx-lint rule engine (tools/lint_rules.h):
+ * comment/string stripping, path classification, each rule's
+ * positive and negative cases, and the allow() suppression escape
+ * hatch.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace carbonx
+{
+namespace
+{
+
+using lint::Diagnostic;
+using lint::classify;
+using lint::lintSource;
+using lint::stripCommentsAndStrings;
+
+size_t
+countRule(const std::vector<Diagnostic> &diags, const char *rule)
+{
+    return static_cast<size_t>(
+        std::count_if(diags.begin(), diags.end(),
+                      [&](const Diagnostic &d) { return d.rule == rule; }));
+}
+
+const char *const kGuard =
+    "#ifndef CARBONX_X_H\n#define CARBONX_X_H\n";
+
+TEST(LintStrip, RemovesCommentsAndStringsKeepsLines)
+{
+    const std::string src =
+        "int a; // double supply_mw\n"
+        "/* double x_mwh = 1.0;\n"
+        "   still comment */ int b;\n"
+        "const char *s = \"x / 24.0\";\n";
+    const std::string out = stripCommentsAndStrings(src);
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+    EXPECT_EQ(out.find("supply_mw"), std::string::npos);
+    EXPECT_EQ(out.find("x_mwh"), std::string::npos);
+    EXPECT_EQ(out.find("24.0"), std::string::npos);
+    EXPECT_NE(out.find("int a;"), std::string::npos);
+    EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(LintClassify, BoundaryAndConversionHomes)
+{
+    EXPECT_TRUE(classify("src/grid/grid_synthesizer.cc").unit_boundary);
+    EXPECT_TRUE(classify("src/fleet/fleet_optimizer.h").unit_boundary);
+    EXPECT_TRUE(classify("tools/carbonx_cli.cc").unit_boundary);
+    EXPECT_FALSE(classify("src/core/explorer.cc").unit_boundary);
+    EXPECT_FALSE(classify("src/battery/clc_battery.cc").unit_boundary);
+    EXPECT_TRUE(classify("src/common/units.h").conversion_home);
+    EXPECT_TRUE(classify("src/timeseries/calendar.cc").conversion_home);
+    EXPECT_FALSE(classify("src/timeseries/timeseries.cc").conversion_home);
+    EXPECT_TRUE(classify("src/core/pareto.h").is_header);
+    EXPECT_FALSE(classify("src/core/pareto.cc").is_header);
+}
+
+TEST(LintRawUnitDouble, FlagsSuffixedDoubles)
+{
+    const std::string src = std::string(kGuard) +
+                            "double supply_mw = 0.0;\n"
+                            "const double cap_mwh = 1.0;\n"
+                            "double intensity_gkwh;\n"
+                            "double total_kgco2;\n"
+                            "#endif\n";
+    const auto diags = lintSource("src/core/x.h", src);
+    EXPECT_EQ(countRule(diags, lint::kRuleRawUnitDouble), 4u);
+    EXPECT_EQ(diags[0].line, 3u);
+    EXPECT_NE(diags[0].message.find("supply_mw"), std::string::npos);
+}
+
+TEST(LintRawUnitDouble, IgnoresBoundaryLayersAndCleanNames)
+{
+    const std::string src = "double supply_mw = 0.0;\n";
+    EXPECT_TRUE(lintSource("src/grid/x.cc", src).empty());
+    EXPECT_TRUE(lintSource("src/fleet/x.cc", src).empty());
+    // No unit suffix, or suffix not terminal: not flagged.
+    const auto diags = lintSource(
+        "src/core/x.cc",
+        "double ratio = 0.0;\ndouble mwh_total_count = 1.0;\n");
+    EXPECT_EQ(countRule(diags, lint::kRuleRawUnitDouble), 0u);
+}
+
+TEST(LintSuffixMismatch, FlagsCrossUnitAssignment)
+{
+    const auto diags = lintSource("src/core/x.cc",
+                                  "supply_mw = demand_mwh;\n"
+                                  "a.total_kgco2 = b.rate_gkwh;\n");
+    EXPECT_EQ(countRule(diags, lint::kRuleSuffixMismatch), 2u);
+}
+
+TEST(LintSuffixMismatch, AllowsMatchingOrUnsuffixed)
+{
+    const auto diags =
+        lintSource("src/core/x.cc",
+                   "supply_mw = demand_mw;\n"
+                   "total = demand_mwh;\n"
+                   "eval.deferred_mwh = sim.deferred_mwh;\n"
+                   "if (a_mw == b_mwh) {}\n");
+    EXPECT_EQ(countRule(diags, lint::kRuleSuffixMismatch), 0u);
+}
+
+TEST(LintMagicConversion, FlagsConversionConstants)
+{
+    const auto diags = lintSource("src/core/x.cc",
+                                  "double d = h / 24.0;\n"
+                                  "double e = g * 1000;\n"
+                                  "double f = g * 1e3;\n"
+                                  "size_t day = h % 24;\n");
+    EXPECT_EQ(countRule(diags, lint::kRuleMagicConversion), 4u);
+}
+
+TEST(LintMagicConversion, AllowsHomesAndPlainNumbers)
+{
+    const std::string src = "double d = h / 24.0;\n";
+    EXPECT_TRUE(lintSource("src/common/units.h",
+                           std::string(kGuard) + src + "#endif\n")
+                    .empty());
+    EXPECT_TRUE(
+        lintSource("src/timeseries/calendar.cc", src).empty());
+    // 24 as a value (not a divisor/multiplier) is domain data.
+    const auto diags = lintSource("src/core/x.cc",
+                                  "Hours window{24.0};\n"
+                                  "double reach = 24.0 * avg;\n"
+                                  "double big = x / 2400.0;\n");
+    EXPECT_EQ(countRule(diags, lint::kRuleMagicConversion), 0u);
+}
+
+TEST(LintHeaderGuard, RequiresRepoIdiom)
+{
+    EXPECT_EQ(countRule(lintSource("src/core/x.h", "int a;\n"),
+                        lint::kRuleHeaderGuard),
+              1u);
+    // Mismatched #define does not count as a guard.
+    EXPECT_EQ(countRule(lintSource("src/core/x.h",
+                                   "#ifndef CARBONX_A_H\n"
+                                   "#define CARBONX_B_H\n"
+                                   "#endif\n"),
+                        lint::kRuleHeaderGuard),
+              1u);
+    EXPECT_EQ(countRule(lintSource("src/core/x.h",
+                                   std::string(kGuard) + "#endif\n"),
+                        lint::kRuleHeaderGuard),
+              0u);
+    // Not a header: rule does not apply.
+    EXPECT_EQ(countRule(lintSource("src/core/x.cc", "int a;\n"),
+                        lint::kRuleHeaderGuard),
+              0u);
+}
+
+TEST(LintSuppression, AllowCoversLineAndNextLine)
+{
+    const auto same_line = lintSource(
+        "src/core/x.cc",
+        "double supply_mw = 0.0; // carbonx-lint: allow(raw-unit-double)\n");
+    EXPECT_TRUE(same_line.empty());
+
+    const auto line_above = lintSource(
+        "src/core/x.cc",
+        "// carbonx-lint: allow(raw-unit-double) boundary note\n"
+        "double supply_mw = 0.0;\n");
+    EXPECT_TRUE(line_above.empty());
+
+    const auto all_rules = lintSource(
+        "src/core/x.cc",
+        "// carbonx-lint: allow(all)\n"
+        "double supply_mw = demand_mwh / 24.0;\n");
+    EXPECT_TRUE(all_rules.empty());
+
+    // Wrong rule name suppresses nothing.
+    const auto wrong = lintSource(
+        "src/core/x.cc",
+        "double supply_mw = 0.0; // carbonx-lint: allow(magic-conversion)\n");
+    EXPECT_EQ(countRule(wrong, lint::kRuleRawUnitDouble), 1u);
+
+    // Two lines below the marker is out of scope again.
+    const auto too_far = lintSource(
+        "src/core/x.cc",
+        "// carbonx-lint: allow(raw-unit-double)\n"
+        "int unrelated;\n"
+        "double supply_mw = 0.0;\n");
+    EXPECT_EQ(countRule(too_far, lint::kRuleRawUnitDouble), 1u);
+}
+
+TEST(LintDiagnostic, FormatIsFileLineRuleMessage)
+{
+    const Diagnostic d{"src/core/x.cc", 7, "magic-conversion", "boom"};
+    EXPECT_EQ(d.format(), "src/core/x.cc:7: [magic-conversion] boom");
+}
+
+} // namespace
+} // namespace carbonx

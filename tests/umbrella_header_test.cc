@@ -23,11 +23,12 @@ TEST(Umbrella, CoreTypesComposable)
     const WorkloadMix mix = WorkloadMix::simpleFlexible(0.4);
     EXPECT_NEAR(mix.flexibleShare(24.0), 0.4, 1e-12);
 
-    ClcBattery battery(10.0, BatteryChemistry::lithiumIronPhosphate());
-    EXPECT_DOUBLE_EQ(battery.capacityMwh(), 10.0);
+    ClcBattery battery(MegaWattHours(10.0), BatteryChemistry::lithiumIronPhosphate());
+    EXPECT_DOUBLE_EQ(battery.capacityMwh().value(), 10.0);
 
-    const DesignPoint point{10.0, 20.0, 30.0, 0.1};
-    EXPECT_DOUBLE_EQ(point.renewableMw(), 30.0);
+    const DesignPoint point{MegaWatts(10.0), MegaWatts(20.0),
+                            MegaWattHours(30.0), Fraction(0.1)};
+    EXPECT_DOUBLE_EQ(point.renewableMw().value(), 30.0);
 
     EXPECT_EQ(SiteRegistry::instance().all().size(), 13u);
     EXPECT_EQ(BalancingAuthorityRegistry::instance().all().size(),

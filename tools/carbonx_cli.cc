@@ -49,8 +49,8 @@ configFrom(const ArgParser &args)
 {
     ExplorerConfig config;
     config.ba_code = args.getString("ba", "PACE");
-    config.avg_dc_power_mw = args.getDouble("dc", 19.0);
-    config.flexible_ratio = args.getDouble("flex", 0.4);
+    config.avg_dc_power_mw = MegaWatts(args.getDouble("dc", 19.0));
+    config.flexible_ratio = Fraction(args.getDouble("flex", 0.4));
     config.year = static_cast<int>(args.getInt("year", 2020));
     config.seed = args.getUint64("seed", 2020);
     return config;
@@ -126,14 +126,14 @@ cmdCoverage(const ArgParser &args)
     const auto &cov = explorer.coverageAnalyzer();
 
     std::cout << "Region " << config.ba_code << ", DC "
-              << config.avg_dc_power_mw << " MW avg\n"
+              << config.avg_dc_power_mw << " avg\n"
               << "Investment: solar " << solar << " MW, wind " << wind
               << " MW\n"
               << "Hourly 24/7 coverage: "
-              << formatPercent(cov.coverage(solar, wind)) << '\n'
+              << formatPercent(cov.coverage(MegaWatts(solar), MegaWatts(wind))) << '\n'
               << "Under average-day assumption (optimistic): "
               << formatPercent(
-                     cov.coverageAssumingAverageDay(solar, wind))
+                     cov.coverageAssumingAverageDay(MegaWatts(solar), MegaWatts(wind)))
               << '\n';
     return 0;
 }
@@ -167,6 +167,7 @@ cmdOptimize(const ArgParser &args)
                 std::cerr << "progress: pass " << p.pass << ' '
                           << p.points_done << '/' << p.points_total
                           << " points, best "
+                          // carbonx-lint: allow(magic-conversion) kg->t display
                           << formatFixed(p.best_total_kg / 1e3, 1)
                           << " tCO2, eta "
                           << formatFixed(std::max(p.eta_seconds, 0.0),
@@ -177,7 +178,7 @@ cmdOptimize(const ArgParser &args)
     }
     const double reach = args.getDouble("reach", 10.0);
     const DesignSpace space = DesignSpace::forDatacenter(
-        config.avg_dc_power_mw, reach, 7, 7, 3);
+        config.avg_dc_power_mw.value(), reach, 7, 7, 3);
 
     const std::string which = args.getString("strategy", "all");
     std::vector<Strategy> strategies;
@@ -196,7 +197,7 @@ cmdOptimize(const ArgParser &args)
     printEvaluationTable(std::cout,
                          "Carbon-optimal designs (" + config.ba_code +
                              ", " +
-                             formatFixed(config.avg_dc_power_mw, 0) +
+                             formatFixed(config.avg_dc_power_mw.value(), 0) +
                              " MW)",
                          bests);
     return 0;
@@ -211,19 +212,23 @@ cmdBattery(const ArgParser &args)
     const double wind = args.getDouble("wind", 0.0);
     const double target = args.getDouble("target", 99.99);
 
-    const double mwh = explorer.minimumBatteryForCoverage(
-        solar, wind, target, 400.0 * config.avg_dc_power_mw);
+    const double mwh =
+        explorer
+            .minimumBatteryForCoverage(
+                MegaWatts(solar), MegaWatts(wind), target,
+                MegaWattHours(400.0 * config.avg_dc_power_mw.value()))
+            .value();
     if (mwh < 0.0) {
         std::cout << "Target " << target
                   << "% unreachable with any battery up to "
-                  << 400.0 * config.avg_dc_power_mw
+                  << 400.0 * config.avg_dc_power_mw.value()
                   << " MWh at this investment — add renewables or "
                      "scheduling.\n";
         return 1;
     }
     std::cout << "Minimum battery for " << target
               << "% coverage: " << formatFixed(mwh, 1) << " MWh ("
-              << formatFixed(mwh / config.avg_dc_power_mw, 1)
+              << formatFixed(mwh / config.avg_dc_power_mw.value(), 1)
               << " hours of compute)\n";
     return 0;
 }
@@ -239,7 +244,7 @@ cmdSchedule(const ArgParser &args)
     SchedulerConfig sched;
     sched.capacity_cap_mw = explorer.dcPeakPowerMw() *
                             args.getDouble("cap-mult", 1.3);
-    sched.flexible_ratio = config.flexible_ratio;
+    sched.flexible_ratio = Fraction(config.flexible_ratio);
     const ScheduleResult result =
         GreedyCarbonScheduler(sched).schedule(load, intensity);
 
@@ -249,11 +254,11 @@ cmdSchedule(const ArgParser &args)
                              result.reshaped_power, intensity)
                              .value();
     std::cout << "Carbon-aware scheduling on " << config.ba_code
-              << " (flex " << formatPercent(100.0 *
-                                            sched.flexible_ratio, 0)
-              << ", cap " << formatFixed(sched.capacity_cap_mw, 1)
+              << " (flex " << formatPercent(
+                     sched.flexible_ratio.percent(), 0)
+              << ", cap " << formatFixed(sched.capacity_cap_mw.value(), 1)
               << " MW)\n"
-              << "Moved " << formatFixed(result.moved_mwh, 0)
+              << "Moved " << formatFixed(result.moved_mwh.value(), 0)
               << " MWh; emissions "
               << formatFixed(KilogramsCo2(before).kilotons(), 2)
               << " -> "
@@ -284,6 +289,7 @@ cmdFleet(const ArgParser &args)
                                  .kilotons(),
                              1)
               << " ktCO2\nMigrated energy: "
+              // carbonx-lint: allow(magic-conversion) MWh->GWh display
               << formatFixed(migrated.migrated_mwh / 1e3, 1)
               << " GWh\n";
     return 0;

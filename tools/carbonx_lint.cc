@@ -1,0 +1,115 @@
+/**
+ * @file
+ * carbonx-lint driver: walks the given files or directories, runs the
+ * dimensional-analysis rules from lint_rules.h over every C++ source,
+ * prints file:line diagnostics, and exits nonzero when anything is
+ * flagged — suitable as a ctest and as a CI gate.
+ *
+ * Usage:  carbonx_lint PATH [PATH...]
+ *
+ * Directories are walked recursively for *.h, *.cc, and *.cpp files.
+ * Policy is derived from each file's path (see lint::classify): the
+ * data-boundary layers may hold raw unit-suffixed doubles, units.h
+ * and the calendar own the conversion constants, and everything else
+ * must use the strong types. Individual sites are waived with a
+ * `// carbonx-lint: allow(rule)` comment on or above the line.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/** Use forward slashes so classify() substrings match on any host. */
+std::string
+genericPath(const fs::path &p)
+{
+    return p.generic_string();
+}
+
+std::vector<std::string>
+collectFiles(const std::vector<std::string> &roots, std::ostream &err)
+{
+    std::vector<std::string> files;
+    for (const std::string &root : roots) {
+        const fs::path p(root);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (fs::recursive_directory_iterator it(p, ec), end;
+                 !ec && it != end; it.increment(ec)) {
+                if (it->is_regular_file(ec) && isSourceFile(it->path()))
+                    files.push_back(genericPath(it->path()));
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(genericPath(p));
+        } else {
+            err << "carbonx-lint: cannot read " << root << "\n";
+        }
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots(argv + 1, argv + argc);
+    if (roots.empty()) {
+        std::cerr << "usage: carbonx_lint PATH [PATH...]\n"
+                  << "Lints C++ sources for unit-discipline "
+                     "violations; exits 1 when any are found.\n";
+        return 2;
+    }
+
+    const std::vector<std::string> files =
+        collectFiles(roots, std::cerr);
+    if (files.empty()) {
+        std::cerr << "carbonx-lint: no C++ sources found\n";
+        return 2;
+    }
+
+    size_t total = 0;
+    for (const std::string &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            std::cerr << "carbonx-lint: cannot open " << file << "\n";
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const auto diags =
+            carbonx::lint::lintSource(file, buf.str());
+        for (const auto &d : diags)
+            std::cout << d.format() << "\n";
+        total += diags.size();
+    }
+
+    if (total > 0) {
+        std::cout << "carbonx-lint: " << total << " finding"
+                  << (total == 1 ? "" : "s") << " in " << files.size()
+                  << " files\n";
+        return 1;
+    }
+    std::cout << "carbonx-lint: clean (" << files.size()
+              << " files)\n";
+    return 0;
+}

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * carbonx-lint: dimensional-analysis lint rules for the Carbon
+ * Explorer tree.
+ *
+ * The strong unit types in common/units.h make mixed-unit arithmetic
+ * a compile error, but only where they are used. This header-only
+ * engine closes the gap textually: it flags raw `double` declarations
+ * that smuggle a unit in their identifier suffix, assignments between
+ * identifiers whose suffixes disagree, magic unit-conversion
+ * constants outside the two homes for such conversions (units.h and
+ * the calendar), and headers missing the repo's include-guard
+ * convention.
+ *
+ * Diagnostics carry file:line so editors and CI can jump straight to
+ * the site. A `// carbonx-lint: allow(rule[, rule...])` comment (or
+ * `allow(all)`) suppresses matching diagnostics on its own line and
+ * the line immediately below, for the few deliberate boundary
+ * crossings (hot-path accumulators, CLI display math).
+ *
+ * Kept header-only and dependency-free so both the standalone
+ * carbonx_lint binary and the unit tests share one implementation.
+ */
+
+#ifndef CARBONX_TOOLS_LINT_RULES_H
+#define CARBONX_TOOLS_LINT_RULES_H
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace carbonx
+{
+namespace lint
+{
+
+/** One finding, addressed for editor/CI consumption. */
+struct Diagnostic
+{
+    std::string file;
+    size_t line = 0; ///< 1-based.
+    std::string rule;
+    std::string message;
+
+    std::string format() const
+    {
+        std::ostringstream os;
+        os << file << ':' << line << ": [" << rule << "] " << message;
+        return os.str();
+    }
+};
+
+/** Rule names, shared by checks and suppression comments. */
+inline const char *kRuleRawUnitDouble = "raw-unit-double";
+inline const char *kRuleSuffixMismatch = "unit-suffix-mismatch";
+inline const char *kRuleMagicConversion = "magic-conversion";
+inline const char *kRuleHeaderGuard = "header-guard";
+
+/** Per-file policy derived from its path. */
+struct FileKind
+{
+    /**
+     * Boundary layers (CSV ingest, grid/datacenter/fleet/forecast
+     * data structs, CLI parsing) exchange raw doubles with the
+     * outside world by design; unit-suffixed doubles are allowed.
+     */
+    bool unit_boundary = false;
+    /** units.h and the calendar own the conversion constants. */
+    bool conversion_home = false;
+    /** Header files must carry a CARBONX_*_H include guard. */
+    bool is_header = false;
+};
+
+namespace detail
+{
+
+inline bool
+contains(const std::string &haystack, const char *needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+inline bool
+endsWith(const std::string &s, const char *suffix)
+{
+    const std::string suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+} // namespace detail
+
+/** Derive the lint policy for @p path (substring-based, / separators). */
+inline FileKind
+classify(const std::string &path)
+{
+    FileKind kind;
+    kind.is_header = detail::endsWith(path, ".h");
+    kind.unit_boundary = detail::contains(path, "src/grid/") ||
+                         detail::contains(path, "src/datacenter/") ||
+                         detail::contains(path, "src/fleet/") ||
+                         detail::contains(path, "src/forecast/") ||
+                         detail::contains(path, "src/common/csv") ||
+                         detail::contains(path, "tools/carbonx_cli") ||
+                         detail::contains(path, "tools/arg_parser");
+    kind.conversion_home =
+        detail::contains(path, "common/units.h") ||
+        detail::contains(path, "timeseries/calendar.");
+    return kind;
+}
+
+/**
+ * Replace the contents of comments, string literals, and character
+ * literals with spaces, preserving every newline so line numbers
+ * survive. Keeps the scanner from tripping over unit suffixes in
+ * prose or "24/7" in a doc comment.
+ */
+inline std::string
+stripCommentsAndStrings(const std::string &src)
+{
+    std::string out = src;
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char
+    };
+    State state = State::Code;
+    for (size_t i = 0; i < src.size(); ++i) {
+        const char c = src[i];
+        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+        switch (state) {
+        case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out[i] = out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                state = State::String;
+            } else if (c == '\'') {
+                state = State::Char;
+            }
+            break;
+        case State::LineComment:
+            if (c == '\n')
+                state = State::Code;
+            else
+                out[i] = ' ';
+            break;
+        case State::BlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = out[i + 1] = ' ';
+                state = State::Code;
+                ++i;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case State::String:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        case State::Char:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+namespace detail
+{
+
+inline std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    lines.push_back(current);
+    return lines;
+}
+
+/**
+ * Suppressions from `carbonx-lint: allow(...)` comments, scanned on
+ * the RAW source (the marker lives inside a comment). Maps 1-based
+ * line number -> set of rule names ("all" matches every rule).
+ */
+inline std::map<size_t, std::set<std::string>>
+collectSuppressions(const std::vector<std::string> &raw_lines)
+{
+    static const std::regex marker(
+        R"(carbonx-lint:\s*allow\(([^)]*)\))");
+    std::map<size_t, std::set<std::string>> out;
+    for (size_t i = 0; i < raw_lines.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(raw_lines[i], m, marker))
+            continue;
+        std::set<std::string> rules;
+        std::string item;
+        std::istringstream list(m[1].str());
+        while (std::getline(list, item, ',')) {
+            const size_t a = item.find_first_not_of(" \t");
+            const size_t b = item.find_last_not_of(" \t");
+            if (a != std::string::npos)
+                rules.insert(item.substr(a, b - a + 1));
+        }
+        out[i + 1] = rules;
+    }
+    return out;
+}
+
+inline bool
+isSuppressed(const std::map<size_t, std::set<std::string>> &allows,
+             size_t line, const std::string &rule)
+{
+    // A marker covers its own line and the line directly below it.
+    for (const size_t at : {line, line > 1 ? line - 1 : line}) {
+        const auto it = allows.find(at);
+        if (it == allows.end())
+            continue;
+        if (it->second.count("all") || it->second.count(rule))
+            return true;
+    }
+    return false;
+}
+
+/** Longest recognized unit suffix of an identifier, or "". */
+inline std::string
+unitSuffix(const std::string &identifier)
+{
+    // Last component of a member chain: a.b->c_mwh scans as c_mwh.
+    size_t start = identifier.find_last_of(".>");
+    const std::string leaf = start == std::string::npos
+                                 ? identifier
+                                 : identifier.substr(start + 1);
+    static const std::vector<const char *> suffixes = {
+        "_mwh", "_mw", "_gkwh", "_kgco2"};
+    for (const char *s : suffixes)
+        if (endsWith(leaf, s))
+            return s;
+    return "";
+}
+
+} // namespace detail
+
+/**
+ * Lint one translation unit.
+ *
+ * @param path   Path reported in diagnostics and used by classify().
+ * @param source Full file contents.
+ * @param kind   Policy, normally classify(path).
+ */
+inline std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &source,
+           const FileKind &kind)
+{
+    std::vector<Diagnostic> diags;
+    const std::vector<std::string> raw_lines =
+        detail::splitLines(source);
+    const auto allows = detail::collectSuppressions(raw_lines);
+    const std::vector<std::string> lines =
+        detail::splitLines(stripCommentsAndStrings(source));
+
+    const auto report = [&](size_t line, const char *rule,
+                            const std::string &message) {
+        if (!detail::isSuppressed(allows, line, rule))
+            diags.push_back(Diagnostic{path, line, rule, message});
+    };
+
+    // Rule 1: raw double declarations with a unit-suffixed name.
+    static const std::regex raw_double(
+        R"(\bdouble\s+(?:const\s+)?([A-Za-z_]\w*_(?:mwh?|gkwh|kgco2))\b)");
+    // Rule 2: assignment between identifiers with clashing suffixes.
+    static const std::regex assign(
+        R"(([A-Za-z_][\w.\->]*)\s*=(?![=])\s*([A-Za-z_][\w.\->]*)\s*[;,)])");
+    // Rule 3: magic unit-conversion constants. `/ 24` and `% 24` are
+    // hour<->day conversions; the 1000/1e3 family converts kWh-based
+    // intensities or displays MWh as GWh.
+    static const std::regex magic(
+        R"([*/%]=?\s*(?:1000(?:\.0*)?|1e3|24(?:\.0*)?)(?![\w.]))");
+
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        const size_t lineno = i + 1;
+
+        if (!kind.unit_boundary) {
+            for (std::sregex_iterator it(line.begin(), line.end(),
+                                         raw_double),
+                 end;
+                 it != end; ++it) {
+                report(lineno, kRuleRawUnitDouble,
+                       "raw double '" + (*it)[1].str() +
+                           "' carries a unit suffix; use the strong "
+                           "type from common/units.h");
+            }
+        }
+
+        for (std::sregex_iterator it(line.begin(), line.end(), assign),
+             end;
+             it != end; ++it) {
+            const std::string lhs = detail::unitSuffix((*it)[1].str());
+            const std::string rhs = detail::unitSuffix((*it)[2].str());
+            if (!lhs.empty() && !rhs.empty() && lhs != rhs) {
+                report(lineno, kRuleSuffixMismatch,
+                       "assigning '" + (*it)[2].str() + "' (" + rhs +
+                           ") to '" + (*it)[1].str() + "' (" + lhs +
+                           "); units disagree");
+            }
+        }
+
+        if (!kind.conversion_home && std::regex_search(line, magic)) {
+            report(lineno, kRuleMagicConversion,
+                   "magic unit-conversion constant; use kHoursPerDay "
+                   "(timeseries/calendar.h) or a units.h conversion");
+        }
+    }
+
+    // Rule 4: headers must use the repo's CARBONX_*_H guard idiom.
+    if (kind.is_header) {
+        static const std::regex ifndef(R"(^\s*#\s*ifndef\s+(CARBONX_\w+)\b)");
+        static const std::regex define(R"(^\s*#\s*define\s+(CARBONX_\w+)\b)");
+        bool guarded = false;
+        std::string macro;
+        for (size_t i = 0; i < lines.size(); ++i) {
+            std::smatch m;
+            if (macro.empty()) {
+                if (std::regex_search(lines[i], m, ifndef))
+                    macro = m[1].str();
+            } else if (std::regex_search(lines[i], m, define)) {
+                guarded = m[1].str() == macro;
+                break;
+            } else if (lines[i].find_first_not_of(" \t") !=
+                       std::string::npos) {
+                break; // something between #ifndef and #define
+            }
+        }
+        if (!guarded) {
+            report(1, kRuleHeaderGuard,
+                   "header lacks a CARBONX_*_H include guard "
+                   "(#ifndef/#define pair)");
+        }
+    }
+
+    return diags;
+}
+
+/** Convenience overload: classify from the path. */
+inline std::vector<Diagnostic>
+lintSource(const std::string &path, const std::string &source)
+{
+    return lintSource(path, source, classify(path));
+}
+
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_LINT_RULES_H

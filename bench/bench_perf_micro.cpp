@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "battery/clc_battery.h"
 #include "common/parallel.h"
@@ -97,6 +100,38 @@ BM_SimulationYearBatteryCas(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SimulationYearBatteryCas);
+
+// The flight-recorder zero-overhead contract, measured: the same
+// battery+CAS year with recording off must match the plain
+// BM_SimulationYearBatteryCas row (the off path adds one null check
+// per hour), and the recorder-on row bounds the opt-in cost of
+// `carbonx explain`.
+void
+BM_SimulateRecorded(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const TimeSeries supply =
+        ex.coverageAnalyzer().supplyFor(MegaWatts(80.0), MegaWatts(80.0));
+    const SimulationEngine engine(ex.dcPower(), supply);
+    ClcBattery battery(MegaWattHours(150.0),
+                       BatteryChemistry::lithiumIronPhosphate());
+    SimulationConfig cfg;
+    cfg.capacity_cap_mw = MegaWatts(1.5 * ex.dcPeakPowerMw());
+    cfg.flexible_ratio = Fraction(0.4);
+    cfg.battery = &battery;
+    cfg.grid_intensity = &ex.gridIntensity();
+    obs::FlightRecorder recorder;
+    if (state.range(0) != 0)
+        cfg.recorder = &recorder;
+    for (auto _ : state) {
+        SimulationResult r = engine.run(cfg);
+        benchmark::DoNotOptimize(r.coverage_pct);
+    }
+}
+BENCHMARK(BM_SimulateRecorded)
+    ->ArgNames({"recorder"})
+    ->Arg(0)
+    ->Arg(1);
 
 void
 BM_GreedySchedulerYear(benchmark::State &state)
@@ -207,6 +242,53 @@ BM_BatteryYearOfHourlySteps(benchmark::State &state)
 }
 BENCHMARK(BM_BatteryYearOfHourlySteps);
 
+// Harness-level guard on the recorder's zero-overhead contract:
+// median wall time of the battery+CAS year with a null recorder
+// pointer must stay within noise of the identical run without the
+// recorder member touched at all. Medians of repeated ~ms runs are
+// stable enough for a generous 25% fence; a real regression (a
+// recording branch leaking into the disabled path) shows up as 2x+.
+bool
+recorderOffWithinNoise()
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const TimeSeries supply =
+        ex.coverageAnalyzer().supplyFor(MegaWatts(80.0), MegaWatts(80.0));
+    const SimulationEngine engine(ex.dcPower(), supply);
+    ClcBattery battery(MegaWattHours(150.0),
+                       BatteryChemistry::lithiumIronPhosphate());
+    SimulationConfig baseline;
+    baseline.capacity_cap_mw = MegaWatts(1.5 * ex.dcPeakPowerMw());
+    baseline.flexible_ratio = Fraction(0.4);
+    baseline.battery = &battery;
+    SimulationConfig recorder_off = baseline;
+    recorder_off.grid_intensity = &ex.gridIntensity();
+    recorder_off.recorder = nullptr;
+
+    const auto median_us = [&](const SimulationConfig &cfg) {
+        std::vector<double> samples;
+        for (int i = 0; i < 9; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            SimulationResult r = engine.run(cfg);
+            benchmark::DoNotOptimize(r.coverage_pct);
+            const std::chrono::duration<double, std::micro> us =
+                std::chrono::steady_clock::now() - start;
+            samples.push_back(us.count());
+        }
+        std::sort(samples.begin(), samples.end());
+        return samples[samples.size() / 2];
+    };
+
+    median_us(baseline); // Warm the caches before timing either path.
+    const double base_us = median_us(baseline);
+    const double off_us = median_us(recorder_off);
+    const bool ok = off_us <= base_us * 1.25;
+    std::cerr << "recorder-off overhead check: baseline "
+              << base_us << " us, recorder-off " << off_us << " us ("
+              << (ok ? "within noise" : "REGRESSION") << ")\n";
+    return ok;
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the run can end with a dump of the
@@ -221,6 +303,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    const bool recorder_ok = recorderOffWithinNoise();
     carbonx::obs::MetricsRegistry::instance().writeText(std::cerr);
-    return 0;
+    return recorder_ok ? 0 : 1;
 }

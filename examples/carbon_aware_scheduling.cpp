@@ -40,13 +40,16 @@ main(int argc, char **argv)
     const size_t start = 31 * 24; // A February window.
     for (size_t h = start; h < start + 72; ++h) {
         const double delta = result.reshaped_power[h] - load[h];
+        std::string shift;
+        if (delta > 0.05 || delta < -0.05) {
+            shift = formatFixed(delta, 2);
+            if (delta > 0.05)
+                shift.insert(shift.begin(), '+');
+        }
         days.addRow({std::to_string(h - start),
                      formatFixed(intensity[h], 0),
                      formatFixed(load[h], 2),
-                     formatFixed(result.reshaped_power[h], 2),
-                     delta > 0.05   ? "+" + formatFixed(delta, 2)
-                     : delta < -0.05 ? formatFixed(delta, 2)
-                                     : ""});
+                     formatFixed(result.reshaped_power[h], 2), shift});
     }
     days.print(std::cout);
 

@@ -37,6 +37,31 @@ inline constexpr double kUnitIntervalSlack = 1e-9;
  */
 inline constexpr double kScheduleSlackYears = 1e-9;
 
+/**
+ * Slack (in MW) for the flight-recorder audit's hourly energy-balance
+ * and curtailment checks. The engine derives each hour's flows from a
+ * handful of adds and min/max clamps, so the residual is a few ULPs of
+ * the megawatt-scale operands; 1e-6 MW (one watt) absorbs that while
+ * still catching any real accounting bug.
+ */
+inline constexpr double kAuditEnergyBalanceSlackMw = 1e-6;
+
+/**
+ * Slack (in MWh) for the audit's stored-energy bounds and
+ * backlog-conservation checks, where values accumulate over up to a
+ * year of hourly adds and subtracts.
+ */
+inline constexpr double kAuditEnergySlackMwh = 1e-6;
+
+/**
+ * Slack (in kg CO2) for the audit's carbon reconciliation. The
+ * recorder stores the engine's own per-hour product, so the in-order
+ * sum is bit-identical to the reported total and the gap should be
+ * exactly zero; the slack exists only to keep the check's shape
+ * uniform with the others.
+ */
+inline constexpr double kAuditCarbonSlackKg = 1e-9;
+
 } // namespace carbonx
 
 #endif // CARBONX_COMMON_TOLERANCES_H

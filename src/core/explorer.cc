@@ -144,6 +144,11 @@ CarbonExplorer::simulationConfig(const DesignPoint &point,
         : Fraction(0.0);
     sim.slo_window_hours = config_.slo_window_hours;
     sim.battery = strategyUsesBattery(strategy) ? battery : nullptr;
+    // Always hand the engine the intensity series: unused unless a
+    // recorder or a grid-charging policy is attached, and having it
+    // here means explain() recordings get the carbon column filled
+    // with no per-call-site plumbing.
+    sim.grid_intensity = &grid_trace_.intensity;
     return sim;
 }
 
@@ -234,6 +239,40 @@ CarbonExplorer::evaluate(const DesignPoint &point, Strategy strategy) const
     CARBONX_SPAN("explorer/evaluate");
     obs::counter("explorer.evaluations").increment();
     return evaluationFrom(point, strategy, simulate(point, strategy));
+}
+
+ExplainResult
+CarbonExplorer::explain(const DesignPoint &point, Strategy strategy) const
+{
+    CARBONX_SPAN("explorer/explain");
+    obs::counter("explorer.explains").increment();
+
+    ExplainResult out{Evaluation{},
+                      SimulationResult(load_trace_.power.year()),
+                      obs::FlightRecorder{}};
+    const TimeSeries supply =
+        coverage_.supplyFor(point.solar_mw, point.wind_mw);
+    const SimulationEngine engine(load_trace_.power, supply);
+
+    std::unique_ptr<ClcBattery> battery;
+    if (strategyUsesBattery(strategy) &&
+        point.battery_mwh.value() > 0.0) {
+        battery = std::make_unique<ClcBattery>(point.battery_mwh,
+                                               config_.chemistry);
+    }
+    SimulationConfig sim =
+        simulationConfig(point, strategy, battery.get());
+    sim.recorder = &out.recording;
+    SimulationScratch scratch;
+    engine.run(sim, out.simulation, scratch);
+    out.evaluation = evaluationFrom(point, strategy, out.simulation);
+    out.capacity_cap_mw = sim.capacity_cap_mw;
+    out.battery_capacity_mwh = battery != nullptr
+        ? battery->capacityMwh()
+        : MegaWattHours(0.0);
+    out.grid_only_kg = OperationalCarbonModel::gridEmissions(
+        load_trace_.power, grid_trace_.intensity);
+    return out;
 }
 
 OptimizationResult
@@ -357,6 +396,7 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
         h_point.record(pair_us.count() / static_cast<double>(inner));
         c_points.increment(inner);
     });
+    emitter.finish();
 
     // In-order scan with strict < reproduces the serial tie-break:
     // among equal totals the first-evaluated point wins.

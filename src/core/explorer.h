@@ -27,7 +27,9 @@
 #include "core/pareto.h"
 #include "datacenter/load_model.h"
 #include "grid/grid_synthesizer.h"
+#include "obs/audit.h"
 #include "obs/progress.h"
+#include "obs/recorder.h"
 #include "scheduler/simulation_engine.h"
 
 namespace carbonx
@@ -138,6 +140,45 @@ struct OptimizationResult
 };
 
 /**
+ * Full forensic detail of one design point: the carbon evaluation,
+ * the simulation aggregates, and the hour-by-hour flight recording —
+ * everything `carbonx explain` and the invariant auditor need to
+ * reconstruct where every kilogram of the reported total came from.
+ */
+struct ExplainResult
+{
+    Evaluation evaluation;
+    SimulationResult simulation;
+    obs::FlightRecorder recording;
+
+    /** Capacity cap the run was configured with. */
+    MegaWatts capacity_cap_mw{0.0};
+
+    /** Battery nameplate capacity (0 when the strategy has none). */
+    MegaWattHours battery_capacity_mwh{0.0};
+
+    /**
+     * All-grid counterfactual: operational carbon had every hour of
+     * demand been served from the grid. The anchor bar of the
+     * waterfall — the gap down to the actual operational carbon is
+     * what the renewable/battery/CAS investment avoided.
+     */
+    KilogramsCo2 grid_only_kg{0.0};
+
+    /** Audit context matching this run's configuration and outputs. */
+    obs::AuditContext auditContext() const
+    {
+        obs::AuditContext ctx;
+        ctx.capacity_cap_mw = capacity_cap_mw.value();
+        ctx.battery_capacity_mwh = battery_capacity_mwh.value();
+        ctx.residual_backlog_mwh =
+            simulation.residual_backlog_mwh.value();
+        ctx.reported_operational_kg = evaluation.operational_kg.value();
+        return ctx;
+    }
+};
+
+/**
  * User-supplied hourly traces, for running Carbon Explorer on real
  * data (e.g. actual EIA grid-monitor exports and metered datacenter
  * load) instead of the built-in synthetic models.
@@ -188,6 +229,15 @@ class CarbonExplorer
      */
     SimulationResult simulate(const DesignPoint &point,
                               Strategy strategy) const;
+
+    /**
+     * Re-run one design point with the flight recorder attached:
+     * same engine, same inputs, so the evaluation is bit-identical
+     * to evaluate() — plus the full hourly recording (carbon column
+     * included) ready for auditing and timeline export.
+     */
+    ExplainResult explain(const DesignPoint &point,
+                          Strategy strategy) const;
 
     /**
      * Exhaustive search: minimize total (op + embodied) carbon. The

@@ -1,11 +1,30 @@
 #include "report.h"
 
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
+#include "common/error.h"
 #include "common/table.h"
+#include "obs/provenance.h"
 
 namespace carbonx
 {
+
+namespace
+{
+
+/** Full round-trip precision for timeline exports. */
+std::string
+exactNumber(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // namespace
 
 std::string
 summarizeEvaluation(const Evaluation &eval)
@@ -55,6 +74,97 @@ printParetoTable(std::ostream &os, const std::string &title,
                       e.point.describe()});
     }
     table.print(os);
+}
+
+void
+printCarbonWaterfall(std::ostream &os, const ExplainResult &ex)
+{
+    const Evaluation &eval = ex.evaluation;
+    const double grid_only = ex.grid_only_kg.kilotons();
+    const double operational =
+        KilogramsCo2(eval.operational_kg).kilotons();
+    const double avoided = grid_only - operational;
+
+    TextTable table("Carbon waterfall: " + strategyName(eval.strategy) +
+                        " [" + eval.point.describe() + "]",
+                    {"Component", "Delta ktCO2", "Running ktCO2"});
+    double running = grid_only;
+    table.addRow({"all-grid counterfactual", formatFixed(grid_only, 2),
+                  formatFixed(running, 2)});
+    running -= avoided;
+    table.addRow({"avoided by renewables/battery/CAS",
+                  formatFixed(-avoided, 2), formatFixed(running, 2)});
+    const auto embodiedRow = [&](const char *label, KilogramsCo2 kg) {
+        running += kg.kilotons();
+        table.addRow({label, formatFixed(kg.kilotons(), 2),
+                      formatFixed(running, 2)});
+    };
+    embodiedRow("embodied: solar", eval.embodied_solar_kg);
+    embodiedRow("embodied: wind", eval.embodied_wind_kg);
+    embodiedRow("embodied: battery", eval.embodied_battery_kg);
+    embodiedRow("embodied: extra servers", eval.embodied_server_kg);
+    table.addRow({"net total",
+                  formatFixed(KilogramsCo2(eval.totalKg()).kilotons(), 2),
+                  formatFixed(running, 2)});
+    table.print(os);
+}
+
+void
+writeTimelineCsv(std::ostream &os, const obs::FlightRecorder &recording)
+{
+    if (obs::hasProcessProvenance())
+        obs::processProvenance().writeCommentHeader(os, "# ");
+    os << "hour";
+    for (const char *name : obs::FlightRecorder::columnNames())
+        os << ',' << name;
+    os << '\n';
+    const auto columns = recording.columns();
+    for (size_t h = 0; h < recording.hours(); ++h) {
+        os << h;
+        for (const auto *column : columns)
+            os << ',' << exactNumber((*column)[h]);
+        os << '\n';
+    }
+}
+
+void
+writeTimelineJson(std::ostream &os, const obs::FlightRecorder &recording)
+{
+    os << "{\n";
+    if (obs::hasProcessProvenance()) {
+        os << "  \"provenance\": ";
+        obs::processProvenance().writeJson(os, "  ");
+        os << ",\n";
+    }
+    os << "  \"year\": " << recording.year() << ",\n";
+    os << "  \"hours\": " << recording.hours() << ",\n";
+    os << "  \"has_carbon\": "
+       << (recording.hasCarbon() ? "true" : "false") << ",\n";
+    os << "  \"columns\": {";
+    const auto &names = obs::FlightRecorder::columnNames();
+    const auto columns = recording.columns();
+    for (size_t c = 0; c < columns.size(); ++c) {
+        os << (c == 0 ? "" : ",") << "\n    \"" << names[c] << "\": [";
+        const auto &values = *columns[c];
+        for (size_t h = 0; h < values.size(); ++h)
+            os << (h == 0 ? "" : ", ") << exactNumber(values[h]);
+        os << "]";
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+writeTimelineFile(const std::string &path,
+                  const obs::FlightRecorder &recording)
+{
+    std::ofstream out(path);
+    require(out.good(), "cannot open timeline output file: " + path);
+    if (path.size() >= 5 &&
+        path.compare(path.size() - 5, 5, ".json") == 0)
+        writeTimelineJson(out, recording);
+    else
+        writeTimelineCsv(out, recording);
+    require(out.good(), "failed writing timeline output file: " + path);
 }
 
 } // namespace carbonx

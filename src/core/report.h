@@ -30,6 +30,33 @@ void printEvaluationTable(std::ostream &os, const std::string &title,
 void printParetoTable(std::ostream &os, const std::string &title,
                       const std::vector<Evaluation> &frontier);
 
+/**
+ * Print the carbon waterfall of one explained design point: start at
+ * the all-grid counterfactual, subtract what the renewable/battery/
+ * CAS investment avoided, then stack the embodied cost of each asset
+ * class back on, ending at the reported net total. Every row carries
+ * its delta and the running cumulative, so the table reads top to
+ * bottom like the classic waterfall chart.
+ */
+void printCarbonWaterfall(std::ostream &os, const ExplainResult &ex);
+
+/**
+ * Export the hourly flight recording as CSV: one row per hour, one
+ * column per HourlyRecord field, full round-trip precision, with the
+ * process provenance manifest (when installed) as a '#' comment
+ * header.
+ */
+void writeTimelineCsv(std::ostream &os,
+                      const obs::FlightRecorder &recording);
+
+/** Timeline as JSON (column arrays + embedded provenance). */
+void writeTimelineJson(std::ostream &os,
+                       const obs::FlightRecorder &recording);
+
+/** Write the timeline to @p path; format by extension (.json/.csv). */
+void writeTimelineFile(const std::string &path,
+                       const obs::FlightRecorder &recording);
+
 } // namespace carbonx
 
 #endif // CARBONX_CORE_REPORT_H

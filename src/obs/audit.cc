@@ -1,0 +1,189 @@
+#include "audit.h"
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "common/tolerances.h"
+
+namespace carbonx::obs
+{
+
+namespace
+{
+
+/** Fixed-format double for violation messages (6 significant-ish). */
+std::string
+fmt(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+}
+
+/** Tag for whole-year checks in InvariantViolation::hour. */
+constexpr size_t kYearTotal = SIZE_MAX;
+
+} // namespace
+
+std::string
+InvariantViolation::format() const
+{
+    std::ostringstream os;
+    if (hour == kYearTotal)
+        os << "year-total";
+    else
+        os << "hour " << hour;
+    os << ": [" << invariant << "] " << message;
+    return os.str();
+}
+
+void
+AuditReport::write(std::ostream &os) const
+{
+    for (const InvariantViolation &v : violations)
+        os << v.format() << '\n';
+    os << "audit: " << violations.size() << " violation"
+       << (violations.size() == 1 ? "" : "s") << " across " << checks
+       << " checks over " << hours << " hours\n";
+}
+
+AuditReport
+auditRecording(const FlightRecorder &recording,
+               const AuditContext &context)
+{
+    AuditReport report;
+    const size_t n = recording.hours();
+    report.hours = n;
+
+    const auto violate = [&](size_t hour, const char *invariant,
+                             const std::string &message, double excess) {
+        report.violations.push_back(
+            InvariantViolation{hour, invariant, message, excess});
+    };
+    const auto check = [&](bool ok, size_t hour, const char *invariant,
+                           const std::string &message, double excess) {
+        ++report.checks;
+        if (!ok)
+            violate(hour, invariant, message, excess);
+    };
+
+    double prev_backlog = 0.0;
+    double carbon_sum = 0.0;
+    for (size_t h = 0; h < n; ++h) {
+        const HourlyRecord r = recording.row(h);
+
+        // Source-side energy balance: what the hour consumed (served
+        // load plus battery charging) must equal what supplied it
+        // (renewables used, grid draw, battery discharge).
+        const double supplied =
+            r.renewable_used_mw + r.grid_mw + r.battery_discharge_mw;
+        const double consumed = r.served_mw + r.battery_charge_mw;
+        const double imbalance = std::fabs(supplied - consumed);
+        check(imbalance <= kAuditEnergyBalanceSlackMw, h,
+              "energy-balance",
+              "supplied " + fmt(supplied) + " MW != consumed " +
+                  fmt(consumed) + " MW",
+              imbalance - kAuditEnergyBalanceSlackMw);
+
+        // Storage bounds: stored energy within [0, capacity].
+        check(r.battery_energy_mwh >= -kAuditEnergySlackMwh, h,
+              "soc-bounds",
+              "battery content " + fmt(r.battery_energy_mwh) +
+                  " MWh below zero",
+              -r.battery_energy_mwh);
+        check(r.battery_energy_mwh <=
+                  context.battery_capacity_mwh + kAuditEnergySlackMwh,
+              h, "soc-bounds",
+              "battery content " + fmt(r.battery_energy_mwh) +
+                  " MWh exceeds capacity " +
+                  fmt(context.battery_capacity_mwh) + " MWh",
+              r.battery_energy_mwh - context.battery_capacity_mwh);
+
+        // Physical capacity cap on served power.
+        check(r.served_mw <=
+                  context.capacity_cap_mw + kCapacityCapSlackMw,
+              h, "capacity-cap",
+              "served " + fmt(r.served_mw) + " MW exceeds cap " +
+                  fmt(context.capacity_cap_mw) + " MW",
+              r.served_mw - context.capacity_cap_mw);
+
+        // Curtailment accounting: what was not used was curtailed.
+        const double curtail_gap = std::fabs(
+            r.curtailed_mw - (r.renewable_mw - r.renewable_used_mw));
+        check(curtail_gap <= kAuditEnergyBalanceSlackMw &&
+                  r.curtailed_mw >= -kAuditEnergyBalanceSlackMw,
+              h, "curtailment",
+              "curtailed " + fmt(r.curtailed_mw) +
+                  " MW != renewable " + fmt(r.renewable_mw) +
+                  " - used " + fmt(r.renewable_used_mw),
+              curtail_gap - kAuditEnergyBalanceSlackMw);
+
+        // Backlog conservation: the deferred-work queue can only grow
+        // by what was shifted in this hour and can only shrink by
+        // work actually served; it can never go negative. Drained
+        // work is implicit (backlog decrease), so the two-sided check
+        // is: -served-capacity <= delta - shifted <= 0 is too strong
+        // (drain is bounded by the backlog itself); the conservation
+        // law is delta <= shifted (nothing appears from nowhere) and
+        // backlog >= 0.
+        const double delta = r.backlog_mwh - prev_backlog;
+        check(r.backlog_mwh >= -kAuditEnergySlackMwh, h,
+              "backlog-conservation",
+              "backlog " + fmt(r.backlog_mwh) + " MWh negative",
+              -r.backlog_mwh);
+        check(delta <= r.shifted_mwh + r.slo_violation_mwh +
+                           kAuditEnergySlackMwh,
+              h, "backlog-conservation",
+              "backlog grew " + fmt(delta) + " MWh but only " +
+                  fmt(r.shifted_mwh + r.slo_violation_mwh) +
+                  " MWh was shifted in",
+              delta - r.shifted_mwh - r.slo_violation_mwh);
+        prev_backlog = r.backlog_mwh;
+
+        // Column sanity: flows are non-negative by construction.
+        const bool nonneg =
+            r.load_mw >= 0.0 && r.served_mw >= 0.0 &&
+            r.renewable_mw >= 0.0 && r.renewable_used_mw >= 0.0 &&
+            r.grid_mw >= 0.0 && r.battery_charge_mw >= 0.0 &&
+            r.battery_discharge_mw >= 0.0 && r.shifted_mwh >= 0.0 &&
+            r.slo_violation_mwh >= 0.0 && r.grid_charge_mwh >= 0.0;
+        check(nonneg, h, "non-negative-flows",
+              "a flow column is negative", 0.0);
+
+        carbon_sum += r.carbon_kg;
+    }
+    report.recorded_carbon_kg = carbon_sum;
+
+    // Year totals. Residual backlog must match what the engine
+    // reported, closing the shifted-work ledger.
+    if (n > 0) {
+        const double residual_gap =
+            std::fabs(prev_backlog - context.residual_backlog_mwh);
+        check(residual_gap <= kAuditEnergySlackMwh, kYearTotal,
+              "backlog-conservation",
+              "recorded year-end backlog " + fmt(prev_backlog) +
+                  " MWh != reported residual " +
+                  fmt(context.residual_backlog_mwh) + " MWh",
+              residual_gap - kAuditEnergySlackMwh);
+    }
+
+    // Carbon reconciliation: every kilogram in the reported total
+    // must be attributable to a specific hour of the recording.
+    if (recording.hasCarbon()) {
+        const double carbon_gap =
+            std::fabs(carbon_sum - context.reported_operational_kg);
+        check(carbon_gap <= kAuditCarbonSlackKg, kYearTotal,
+              "carbon-reconciliation",
+              "cumulative hourly carbon " + fmt(carbon_sum) +
+                  " kg != reported operational total " +
+                  fmt(context.reported_operational_kg) + " kg",
+              carbon_gap - kAuditCarbonSlackKg);
+    }
+
+    return report;
+}
+
+} // namespace carbonx::obs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Invariant auditor for simulation flight recordings.
+ *
+ * The simulation engine enforces its physics implicitly — energy
+ * flows balance because the hourly arithmetic says so. The auditor
+ * makes the contract explicit and checkable after the fact: it
+ * replays a FlightRecorder buffer and verifies the conservation laws
+ * every hour, returning structured violations instead of asserting,
+ * so a corrupt recording (or a future engine regression) produces an
+ * actionable report rather than a crashed sweep.
+ *
+ * Invariants checked (tolerances from common/tolerances.h):
+ *  - energy balance: renewable_used + grid + battery_discharge ==
+ *    served + battery_charge, within kAuditEnergyBalanceSlackMw;
+ *  - storage bounds: battery energy content within [0, capacity];
+ *  - capacity cap: served power never exceeds the configured cap;
+ *  - curtailment: curtailed == renewable - renewable_used and >= 0;
+ *  - backlog conservation: the deferred-work backlog never goes
+ *    negative, grows by exactly what was shifted in, and ends at the
+ *    reported residual — so CAS-shifted work is conserved across the
+ *    SLO window, never silently dropped;
+ *  - carbon reconciliation: the cumulative hourly carbon column
+ *    equals the reported total operational carbon.
+ */
+
+#ifndef CARBONX_OBS_AUDIT_H
+#define CARBONX_OBS_AUDIT_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace carbonx::obs
+{
+
+/** Context the recording is audited against. */
+struct AuditContext
+{
+    /** Physical capacity cap the run was configured with (MW). */
+    double capacity_cap_mw = 0.0;
+
+    /** Battery nameplate capacity (MWh); 0 when no battery. */
+    double battery_capacity_mwh = 0.0;
+
+    /** Residual backlog the engine reported at year end (MWh). */
+    double residual_backlog_mwh = 0.0;
+
+    /**
+     * Total operational carbon the evaluation reported (kg); the
+     * carbon-reconciliation check compares the recording against it.
+     * Skipped when the recording has no carbon column.
+     */
+    double reported_operational_kg = 0.0;
+};
+
+/** One broken invariant at one hour (or SIZE_MAX for year totals). */
+struct InvariantViolation
+{
+    /** Hour index, or SIZE_MAX for whole-year checks. */
+    size_t hour = 0;
+
+    /** Invariant name, e.g. "energy-balance". */
+    std::string invariant;
+
+    /** Human-readable description with the offending magnitudes. */
+    std::string message;
+
+    /** How far past the tolerance the check landed (same unit). */
+    double excess = 0.0;
+
+    std::string format() const;
+};
+
+/** Outcome of one audit pass. */
+struct AuditReport
+{
+    std::vector<InvariantViolation> violations;
+
+    /** Hours audited. */
+    size_t hours = 0;
+
+    /** Individual invariant checks evaluated. */
+    size_t checks = 0;
+
+    /** Cumulative hourly carbon from the recording (kg). */
+    double recorded_carbon_kg = 0.0;
+
+    bool clean() const { return violations.empty(); }
+
+    /** One line per violation, plus a summary line. */
+    void write(std::ostream &os) const;
+};
+
+/**
+ * Replay @p recording against @p context and check every invariant.
+ * Never throws on a dirty recording — violations are data.
+ */
+AuditReport auditRecording(const FlightRecorder &recording,
+                           const AuditContext &context);
+
+} // namespace carbonx::obs
+
+#endif // CARBONX_OBS_AUDIT_H

@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/table.h"
+#include "obs/provenance.h"
 
 namespace carbonx::obs
 {
@@ -162,6 +163,8 @@ MetricsRegistry::latency(const std::string &name)
 void
 MetricsRegistry::writeText(std::ostream &os) const
 {
+    if (hasProcessProvenance())
+        processProvenance().writeCommentHeader(os, "# ");
     const std::lock_guard<std::mutex> lock(mutex_);
     TextTable table("Metrics registry",
                     {"Kind", "Name", "Count/Value", "Mean us", "Min us",
@@ -187,7 +190,13 @@ void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
-    os << "{\n  \"counters\": {";
+    os << "{\n";
+    if (hasProcessProvenance()) {
+        os << "  \"provenance\": ";
+        processProvenance().writeJson(os, "  ");
+        os << ",\n";
+    }
+    os << "  \"counters\": {";
     bool first = true;
     for (const auto &[name, c] : counters_) {
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
@@ -228,6 +237,8 @@ MetricsRegistry::writeJson(std::ostream &os) const
 void
 MetricsRegistry::writeCsv(std::ostream &os) const
 {
+    if (hasProcessProvenance())
+        processProvenance().writeCommentHeader(os, "# ");
     const std::lock_guard<std::mutex> lock(mutex_);
     os << "kind,name,field,value\n";
     for (const auto &[name, c] : counters_)

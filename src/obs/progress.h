@@ -115,6 +115,24 @@ class SweepProgressEmitter
             emit(done);
     }
 
+    /**
+     * Emit the terminal milestone if it has not fired yet. The final
+     * add() already reports when every point completes, but a pass
+     * that stops short of its total — or a future caller whose
+     * throttle stride never lands on the final point — would leave
+     * the progress series dangling below 100%. finish() closes it at
+     * the number of points actually done. Idempotent (emit() drops
+     * already-reported counts); call after the sweep loop joins.
+     */
+    void finish()
+    {
+        if (!callback_)
+            return;
+        const size_t done = done_.load(std::memory_order_relaxed);
+        if (done > 0)
+            emit(done);
+    }
+
   private:
     void emit(size_t done)
     {

@@ -1,0 +1,182 @@
+#include "provenance.h"
+
+#include <ctime>
+#include <ostream>
+#include <sstream>
+
+namespace carbonx::obs
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Provenance &
+processProvenanceStorage()
+{
+    static Provenance provenance;
+    return provenance;
+}
+
+bool &
+processProvenanceSetFlag()
+{
+    static bool set = false;
+    return set;
+}
+
+} // namespace
+
+std::string
+Provenance::buildInfo()
+{
+    std::string info = "cxx ";
+#if defined(__VERSION__)
+    info += __VERSION__;
+#else
+    info += "unknown";
+#endif
+#if defined(NDEBUG)
+    info += ", release";
+#else
+    info += ", debug";
+#endif
+    return info;
+}
+
+std::string
+Provenance::nowUtc()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+#if defined(_WIN32)
+    gmtime_s(&utc, &now);
+#else
+    gmtime_r(&now, &utc);
+#endif
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    return buf;
+}
+
+void
+Provenance::writeJson(std::ostream &os, const std::string &indent) const
+{
+    const std::string pad = indent + "  ";
+    os << "{\n";
+    os << pad << "\"tool\": \"" << jsonEscape(tool) << "\",\n";
+    os << pad << "\"invocation\": \"" << jsonEscape(invocation)
+       << "\",\n";
+    os << pad << "\"config_hash\": \"" << jsonEscape(config_hash)
+       << "\",\n";
+    os << pad << "\"region\": \"" << jsonEscape(region) << "\",\n";
+    os << pad << "\"year\": " << year << ",\n";
+    os << pad << "\"seed\": " << seed << ",\n";
+    os << pad << "\"threads\": " << threads << ",\n";
+    os << pad << "\"build\": \"" << jsonEscape(build) << "\",\n";
+    os << pad << "\"wall_time_utc\": \"" << jsonEscape(wall_time_utc)
+       << "\"";
+    for (const auto &[key, value] : extra)
+        os << ",\n"
+           << pad << "\"" << jsonEscape(key) << "\": \""
+           << jsonEscape(value) << "\"";
+    os << "\n" << indent << "}";
+}
+
+void
+Provenance::writeCommentHeader(std::ostream &os,
+                               const std::string &comment_prefix) const
+{
+    const auto line = [&](const char *key, const std::string &value) {
+        if (!value.empty())
+            os << comment_prefix << key << ": " << value << '\n';
+    };
+    line("tool", tool);
+    line("invocation", invocation);
+    line("config_hash", config_hash);
+    line("region", region);
+    if (year != 0)
+        os << comment_prefix << "year: " << year << '\n';
+    os << comment_prefix << "seed: " << seed << '\n';
+    os << comment_prefix << "threads: " << threads << '\n';
+    line("build", build);
+    line("wall_time_utc", wall_time_utc);
+    for (const auto &[key, value] : extra)
+        os << comment_prefix << key << ": " << value << '\n';
+}
+
+uint64_t
+fnv1a64(const std::string &data)
+{
+    uint64_t hash = 14695981039346656037ull;
+    for (char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+std::string
+fnv1a64Hex(const std::string &data)
+{
+    static const char *digits = "0123456789abcdef";
+    uint64_t hash = fnv1a64(data);
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return hex;
+}
+
+void
+setProcessProvenance(Provenance provenance)
+{
+    processProvenanceStorage() = std::move(provenance);
+    processProvenanceSetFlag() = true;
+}
+
+bool
+hasProcessProvenance()
+{
+    return processProvenanceSetFlag();
+}
+
+const Provenance &
+processProvenance()
+{
+    return processProvenanceStorage();
+}
+
+} // namespace carbonx::obs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Provenance manifests for exported artifacts.
+ *
+ * Any number in any file Carbon Explorer writes (metrics dumps,
+ * Chrome traces, timeline CSV/JSON, reports) should be reproducible
+ * from the file alone. A Provenance manifest carries everything
+ * needed to re-run the producing command: the tool version, the
+ * full configuration digest (a stable FNV-1a hash over the canonical
+ * key=value serialization, plus the key fields spelled out), RNG
+ * seed, region and year, thread count, build info, and the wall-clock
+ * time of the run.
+ *
+ * One process-wide manifest is installed via setProcessProvenance()
+ * (the CLI does this once after flag parsing); the metrics and trace
+ * writers embed it automatically, and the report/timeline writers
+ * take it explicitly.
+ */
+
+#ifndef CARBONX_OBS_PROVENANCE_H
+#define CARBONX_OBS_PROVENANCE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace carbonx::obs
+{
+
+/** Reproducibility header for one exported artifact. */
+struct Provenance
+{
+    /** Producing tool and version, e.g. "carbonx/0.4". */
+    std::string tool;
+
+    /** The command or API call that produced the artifact. */
+    std::string invocation;
+
+    /**
+     * Stable digest of the full configuration (FNV-1a 64 over the
+     * canonical serialization), as 16 lowercase hex digits.
+     */
+    std::string config_hash;
+
+    /** Region / balancing-authority code. */
+    std::string region;
+
+    /** Simulated calendar year. */
+    int year = 0;
+
+    /** Master RNG seed of all synthetic traces. */
+    uint64_t seed = 0;
+
+    /** Sweep worker-thread count (0 = serial caller only). */
+    uint64_t threads = 0;
+
+    /** Compiler and build type, from the build macros. */
+    std::string build;
+
+    /** Wall-clock time the run started, UTC ISO-8601. */
+    std::string wall_time_utc;
+
+    /** Extra key/value pairs (design point, strategy, ...). */
+    std::vector<std::pair<std::string, std::string>> extra;
+
+    /** Compiler/build-type string baked in at compile time. */
+    static std::string buildInfo();
+
+    /** Current wall-clock time as UTC ISO-8601. */
+    static std::string nowUtc();
+
+    /** JSON object (one line per field, no trailing newline). */
+    void writeJson(std::ostream &os, const std::string &indent) const;
+
+    /**
+     * Comment header for line-oriented formats: one "# key: value"
+     * line per field, using @p comment_prefix (e.g. "# ").
+     */
+    void writeCommentHeader(std::ostream &os,
+                            const std::string &comment_prefix) const;
+};
+
+/**
+ * FNV-1a 64-bit hash of @p data — the digest behind config_hash.
+ * Deterministic across platforms and runs; not cryptographic.
+ */
+uint64_t fnv1a64(const std::string &data);
+
+/** fnv1a64 rendered as 16 lowercase hex digits. */
+std::string fnv1a64Hex(const std::string &data);
+
+/**
+ * Install the process-wide manifest embedded by the metrics/trace
+ * writers. Call once per process after configuration is known;
+ * replaces any earlier manifest.
+ */
+void setProcessProvenance(Provenance provenance);
+
+/** True once setProcessProvenance() ran. */
+bool hasProcessProvenance();
+
+/** The installed manifest (empty-field default before install). */
+const Provenance &processProvenance();
+
+} // namespace carbonx::obs
+
+#endif // CARBONX_OBS_PROVENANCE_H

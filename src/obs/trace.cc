@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/provenance.h"
 
 namespace carbonx::obs
 {
@@ -85,6 +86,29 @@ SpanTracer::endSpan()
     events_.push_back(std::move(event));
 }
 
+void
+SpanTracer::addCounterTrack(const std::string &name,
+                            const std::vector<double> &values)
+{
+    if (!enabled())
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &track : counters_) {
+        if (track.first == name) {
+            track.second = values;
+            return;
+        }
+    }
+    counters_.emplace_back(name, values);
+}
+
+size_t
+SpanTracer::counterTrackCount() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.size();
+}
+
 size_t
 SpanTracer::eventCount() const
 {
@@ -112,7 +136,26 @@ SpanTracer::writeChromeTrace(std::ostream &os) const
            << ", \"pid\": 1, \"tid\": " << e.tid << "}";
         first = false;
     }
-    os << (first ? "" : "\n") << "], \"displayTimeUnit\": \"ms\"}\n";
+    // Counter tracks render as per-hour lanes on their own process
+    // row (pid 2) so the year-long timeline does not stretch the
+    // wall-clock span lanes; hour h maps to ts = h microseconds.
+    for (const auto &[name, values] : counters_) {
+        for (size_t h = 0; h < values.size(); ++h) {
+            os << (first ? "" : ",") << "\n  {\"name\": \""
+               << jsonEscape(name)
+               << "\", \"cat\": \"carbonx\", \"ph\": \"C\", \"ts\": "
+               << h << ", \"pid\": 2, \"tid\": 0, \"args\": {\"value\": "
+               << values[h] << "}}";
+            first = false;
+        }
+    }
+    os << (first ? "" : "\n") << "]";
+    if (hasProcessProvenance()) {
+        os << ",\n\"metadata\": {\"provenance\": ";
+        processProvenance().writeJson(os, "");
+        os << "}";
+    }
+    os << ", \"displayTimeUnit\": \"ms\"}\n";
 }
 
 void
@@ -129,6 +172,7 @@ SpanTracer::clear()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
+    counters_.clear();
 }
 
 } // namespace carbonx::obs

@@ -57,6 +57,20 @@ class SpanTracer
     /** Close the innermost open span of the calling thread. */
     void endSpan();
 
+    /**
+     * Attach a counter track: one named series sampled once per
+     * simulated hour, rendered by Chrome/Perfetto as a stacked area
+     * lane alongside the spans ("C" phase events; the hour index maps
+     * to microseconds on the trace clock). No-op while the tracer is
+     * disabled. Adding a track with an existing name replaces it, so
+     * re-running a command does not stack stale lanes.
+     */
+    void addCounterTrack(const std::string &name,
+                         const std::vector<double> &values);
+
+    /** Counter tracks attached so far. */
+    size_t counterTrackCount() const;
+
     /** Completed spans recorded so far. */
     size_t eventCount() const;
 
@@ -89,6 +103,7 @@ class SpanTracer
     std::chrono::steady_clock::time_point epoch_;
     mutable std::mutex mutex_;
     std::vector<Event> events_;
+    std::vector<std::pair<std::string, std::vector<double>>> counters_;
 };
 
 /**

@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/tolerances.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace carbonx
@@ -131,6 +132,23 @@ SimulationEngine::runImpl(const SimulationConfig &config,
     BatteryModel *battery = config.battery;
     if (battery != nullptr)
         battery->reset();
+
+    // Flight recording is strictly opt-in: with rec == nullptr the
+    // hourly loop pays one pointer check and nothing else, keeping
+    // the sweep's numbers and throughput untouched.
+    obs::FlightRecorder *const rec = config.recorder;
+    const bool record_carbon = config.grid_intensity != nullptr;
+    if (rec != nullptr) {
+        if (record_carbon)
+            require(config.grid_intensity->year() == dc_power_.year(),
+                    "intensity series must cover the simulated year");
+        rec->begin(dc_power_.year(), n, record_carbon);
+    }
+    // Previous-hour snapshots of the two monotone accumulators, used
+    // to derive per-hour deltas for the recording; untouched (two
+    // dead stack doubles) when recording is off.
+    double prev_deferred = 0.0;
+    double prev_violation = 0.0;
 
     SimulationScratch &backlog = scratch;
     backlog.clear();
@@ -289,6 +307,36 @@ SimulationEngine::runImpl(const SimulationConfig &config,
             MegaWattHours(std::max(ren - green_used, 0.0) * dt);
         result.max_backlog_mwh =
             max(result.max_backlog_mwh, MegaWattHours(backlog_mwh));
+
+        if (rec != nullptr) {
+            obs::HourlyRecord row;
+            row.load_mw = load;
+            row.served_mw = served;
+            row.renewable_mw = ren;
+            row.renewable_used_mw = green_used;
+            row.grid_mw = grid;
+            row.battery_charge_mw = battery_in;
+            row.battery_discharge_mw = battery_out;
+            row.battery_energy_mwh = battery != nullptr
+                ? battery->energyContentMwh().value()
+                : 0.0;
+            row.curtailed_mw = std::max(ren - green_used, 0.0);
+            row.shifted_mwh =
+                result.deferred_mwh.value() - prev_deferred;
+            row.backlog_mwh = backlog_mwh;
+            row.slo_violation_mwh =
+                result.slo_violation_mwh.value() - prev_violation;
+            row.grid_charge_mwh = grid_charge * dt;
+            // Same expression, same order as gridEmissions() sums it,
+            // so the recorded column reconciles exactly with the
+            // reported operational total.
+            row.carbon_kg =
+                record_carbon ? grid * (*config.grid_intensity)[h]
+                              : 0.0;
+            rec->record(h, row);
+            prev_deferred = result.deferred_mwh.value();
+            prev_violation = result.slo_violation_mwh.value();
+        }
     }
 
     c_runs.increment();

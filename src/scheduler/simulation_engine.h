@@ -29,6 +29,11 @@
 namespace carbonx
 {
 
+namespace obs
+{
+class FlightRecorder;
+} // namespace obs
+
 /**
  * When the battery may charge from the grid rather than only from
  * surplus renewables (an extension beyond the paper's renewable-only
@@ -77,6 +82,17 @@ struct SimulationConfig
      * grid-charging policy is not Never. Non-owning.
      */
     const TimeSeries *grid_intensity = nullptr;
+
+    /**
+     * Optional flight recorder the engine streams the full hourly
+     * state into (see obs/recorder.h). Null disables recording at the
+     * cost of one pointer check per hour — the engine's arithmetic
+     * and outputs are bit-identical either way. Non-owning; the
+     * engine begin()s it, so a recorder may be reused across runs.
+     * When set alongside a grid_intensity series the carbon column is
+     * filled with the per-hour grid emissions.
+     */
+    obs::FlightRecorder *recorder = nullptr;
 };
 
 /** Aggregated outcome of a simulated year. */

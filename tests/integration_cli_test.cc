@@ -231,6 +231,109 @@ TEST(Cli, OptimizeWritesMetricsAndTraceFiles)
     std::remove(trace_path.c_str());
 }
 
+TEST(Cli, ExplainExplicitPointAuditsCleanAndWritesTimeline)
+{
+    REQUIRE_CLI();
+    const std::string timeline_path = "cli_explain_timeline.csv";
+    const CliRun run = runCli(
+        "explain --ba PACE --dc 19 --solar 80 --wind 80 --battery 150"
+        " --strategy combined --timeline-out " +
+        timeline_path);
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("Carbon waterfall"), std::string::npos);
+    EXPECT_NE(run.output.find("all-grid counterfactual"),
+              std::string::npos);
+    EXPECT_NE(run.output.find("audit: 0 violations"),
+              std::string::npos);
+
+    const std::string timeline = readFile(timeline_path);
+    // Provenance comment header, then the columnar hourly records.
+    EXPECT_EQ(timeline.rfind("# tool: carbonx", 0), 0u);
+    EXPECT_NE(timeline.find("# config_hash: "), std::string::npos);
+    EXPECT_NE(timeline.find("# design_point: "), std::string::npos);
+    EXPECT_NE(timeline.find("hour,load_mw,served_mw"),
+              std::string::npos);
+    EXPECT_NE(timeline.find(",carbon_kg\n"), std::string::npos);
+    EXPECT_NE(timeline.find("\n0,"), std::string::npos);
+    std::remove(timeline_path.c_str());
+}
+
+TEST(Cli, ExplainSweepBestReproducesTotalExactly)
+{
+    REQUIRE_CLI();
+    const CliRun run =
+        runCli("explain --ba PACE --dc 19 --strategy ren --reach 4");
+    EXPECT_EQ(run.exit_code, 0);
+    EXPECT_NE(run.output.find("Best of sweep:"), std::string::npos);
+    EXPECT_NE(run.output.find(
+                  "reproduces the sweep-reported total exactly"),
+              std::string::npos);
+    EXPECT_NE(run.output.find("audit: 0 violations"),
+              std::string::npos);
+}
+
+TEST(Cli, ExplainTraceCarriesHourlyCounterTracks)
+{
+    REQUIRE_CLI();
+    const std::string trace_path = "cli_explain_trace.json";
+    const CliRun run = runCli(
+        "explain --ba PACE --dc 19 --solar 80 --wind 80 --battery 150"
+        " --trace-out " +
+        trace_path);
+    EXPECT_EQ(run.exit_code, 0);
+    const std::string trace = readFile(trace_path);
+    EXPECT_NE(trace.find("\"hourly/grid_mw\""), std::string::npos);
+    EXPECT_NE(trace.find("\"hourly/carbon_kg\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(trace.find("\"provenance\""), std::string::npos);
+    std::remove(trace_path.c_str());
+}
+
+TEST(Cli, ScheduleWritesMetricsAndTraceFiles)
+{
+    REQUIRE_CLI();
+    const std::string metrics_path = "cli_sched_metrics.json";
+    const std::string trace_path = "cli_sched_trace.json";
+    const CliRun run = runCli(
+        "schedule --ba PACE --dc 19 --metrics-out " + metrics_path +
+        " --trace-out " + trace_path);
+    EXPECT_EQ(run.exit_code, 0);
+
+    const std::string metrics = readFile(metrics_path);
+    EXPECT_NE(metrics.find("\"provenance\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"counters\""), std::string::npos);
+
+    const std::string trace = readFile(trace_path);
+    EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(trace.find("grid/synthesize"), std::string::npos);
+
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+TEST(Cli, BatteryWritesMetricsAndTraceFiles)
+{
+    REQUIRE_CLI();
+    const std::string metrics_path = "cli_batt_metrics.json";
+    const std::string trace_path = "cli_batt_trace.json";
+    const CliRun run = runCli(
+        "battery --ba PACE --dc 19 --solar 694 --wind 239"
+        " --metrics-out " +
+        metrics_path + " --trace-out " + trace_path);
+    EXPECT_EQ(run.exit_code, 0);
+
+    const std::string metrics = readFile(metrics_path);
+    EXPECT_NE(metrics.find("\"provenance\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"sim.runs\""), std::string::npos);
+
+    const std::string trace = readFile(trace_path);
+    EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(trace.find("sim/run"), std::string::npos);
+
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
 TEST(Cli, BadLogLevelFailsGracefully)
 {
     REQUIRE_CLI();

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests of SweepProgressEmitter milestone throttling: the series
+ * must be monotone, end at 100% even when the throttle stride does
+ * not divide the total, and finish() must close a pass that stops
+ * short of its total without ever double-reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/progress.h"
+
+namespace carbonx::obs
+{
+namespace
+{
+
+struct Capture
+{
+    std::vector<SweepProgress> snapshots;
+    ProgressCallback callback = [this](const SweepProgress &p) {
+        snapshots.push_back(p);
+    };
+};
+
+TEST(SweepProgress, FinalMilestoneAlwaysFires)
+{
+    // 7 points with at most 3 updates: stride ceil(7/3) = 3, so the
+    // throttle lands on 3 and 6 — never on 7. The final-point check
+    // must still close the series at 100%.
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 7, 3);
+    for (int i = 0; i < 7; ++i)
+        emitter.add(100.0 - i);
+    ASSERT_FALSE(capture.snapshots.empty());
+    EXPECT_EQ(capture.snapshots.back().points_done, 7u);
+    EXPECT_EQ(capture.snapshots.back().points_total, 7u);
+    EXPECT_EQ(capture.snapshots.back().fractionDone(), 1.0);
+    EXPECT_LE(capture.snapshots.size(), 4u);
+}
+
+TEST(SweepProgress, SeriesIsMonotoneAndTracksBest)
+{
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 2, 50, 10);
+    for (int i = 0; i < 50; ++i)
+        emitter.add(1000.0 - i);
+    ASSERT_FALSE(capture.snapshots.empty());
+    size_t prev = 0;
+    for (const SweepProgress &p : capture.snapshots) {
+        EXPECT_GT(p.points_done, prev);
+        prev = p.points_done;
+        EXPECT_EQ(p.pass, 2);
+        EXPECT_EQ(p.points_total, 50u);
+        EXPECT_GE(p.eta_seconds, 0.0);
+    }
+    EXPECT_EQ(capture.snapshots.back().points_done, 50u);
+    EXPECT_EQ(capture.snapshots.back().best_total_kg, 1000.0 - 49.0);
+}
+
+TEST(SweepProgress, FinishClosesAShortenedPass)
+{
+    // A pass that stops short of its total (e.g. an aborted sweep)
+    // leaves the throttled series dangling; finish() reports the
+    // points actually done.
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 100, 10);
+    for (int i = 0; i < 14; ++i) // Milestone at 10; 14 unreported.
+        emitter.add(50.0);
+    ASSERT_EQ(capture.snapshots.size(), 1u);
+    EXPECT_EQ(capture.snapshots.back().points_done, 10u);
+
+    emitter.finish();
+    ASSERT_EQ(capture.snapshots.size(), 2u);
+    EXPECT_EQ(capture.snapshots.back().points_done, 14u);
+}
+
+TEST(SweepProgress, FinishIsIdempotent)
+{
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 4, 2);
+    for (int i = 0; i < 4; ++i)
+        emitter.add(10.0);
+    const size_t after_adds = capture.snapshots.size();
+    EXPECT_EQ(capture.snapshots.back().points_done, 4u);
+
+    // The final add() already reported 4/4; finish() must not emit a
+    // duplicate — in any order or multiplicity.
+    emitter.finish();
+    emitter.finish();
+    EXPECT_EQ(capture.snapshots.size(), after_adds);
+}
+
+TEST(SweepProgress, FinishBeforeAnyPointIsSilent)
+{
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 10, 5);
+    emitter.finish();
+    EXPECT_TRUE(capture.snapshots.empty());
+}
+
+TEST(SweepProgress, EmptyCallbackMakesEmitterInert)
+{
+    const ProgressCallback empty;
+    SweepProgressEmitter emitter(empty, 0, 10, 5);
+    for (int i = 0; i < 10; ++i)
+        emitter.add(1.0);
+    emitter.finish(); // Must not crash or invoke anything.
+    SUCCEED();
+}
+
+} // namespace
+} // namespace carbonx::obs

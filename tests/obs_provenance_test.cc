@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Provenance manifest tests: stable FNV-1a digests, JSON/comment
+ * serialization, the process-wide manifest install, and the automatic
+ * embedding into metrics dumps and Chrome traces.
+ *
+ * Ordering note: ProcessManifestStartsUninstalled must run before any
+ * test that calls setProcessProvenance() — the manifest is
+ * process-global state and gtest runs tests in declaration order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/trace.h"
+
+namespace carbonx::obs
+{
+namespace
+{
+
+Provenance
+sampleProvenance()
+{
+    Provenance p;
+    p.tool = "carbonx-test";
+    p.invocation = "explain --ba PACE --dc 19";
+    p.config_hash = fnv1a64Hex("ba=PACE dc=19");
+    p.region = "PACE";
+    p.year = 2020;
+    p.seed = 2020;
+    p.threads = 4;
+    p.build = Provenance::buildInfo();
+    p.wall_time_utc = "2026-08-05T00:00:00Z";
+    p.extra.emplace_back("strategy", "combined");
+    return p;
+}
+
+TEST(Provenance, ProcessManifestStartsUninstalled)
+{
+    EXPECT_FALSE(hasProcessProvenance());
+    EXPECT_TRUE(processProvenance().tool.empty());
+}
+
+TEST(Provenance, Fnv1a64MatchesPublishedVectors)
+{
+    // Standard FNV-1a 64 test vectors (offset basis and "a").
+    EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64Hex(""), "cbf29ce484222325");
+    EXPECT_EQ(fnv1a64Hex("a"), "af63dc4c8601ec8c");
+}
+
+TEST(Provenance, DigestIsStableAndSensitive)
+{
+    const std::string blob = "ba=PACE dc=19 seed=2020";
+    EXPECT_EQ(fnv1a64(blob), fnv1a64(blob));
+    EXPECT_NE(fnv1a64(blob), fnv1a64("ba=PACE dc=19 seed=2021"));
+    EXPECT_EQ(fnv1a64Hex(blob).size(), 16u);
+    for (const char c : fnv1a64Hex(blob))
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << "digest must be lowercase hex, got '" << c << "'";
+}
+
+TEST(Provenance, WriteJsonCarriesEveryField)
+{
+    std::ostringstream os;
+    sampleProvenance().writeJson(os, "");
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"tool\": \"carbonx-test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"invocation\": \"explain --ba PACE --dc 19\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"config_hash\": \""), std::string::npos);
+    EXPECT_NE(json.find("\"region\": \"PACE\""), std::string::npos);
+    EXPECT_NE(json.find("\"year\": 2020"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 2020"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"wall_time_utc\": \"2026-08-05T00:00:00Z\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"strategy\": \"combined\""),
+              std::string::npos);
+}
+
+TEST(Provenance, WriteJsonEscapesSpecialCharacters)
+{
+    Provenance p;
+    p.invocation = "say \"hi\"\\\n";
+    std::ostringstream os;
+    p.writeJson(os, "");
+    EXPECT_NE(os.str().find(R"(say \"hi\"\\\n)"), std::string::npos);
+}
+
+TEST(Provenance, CommentHeaderPrefixesEveryLine)
+{
+    std::ostringstream os;
+    sampleProvenance().writeCommentHeader(os, "# ");
+    std::istringstream lines(os.str());
+    std::string line;
+    size_t count = 0;
+    while (std::getline(lines, line)) {
+        EXPECT_EQ(line.rfind("# ", 0), 0u) << line;
+        ++count;
+    }
+    EXPECT_GE(count, 9u);
+    EXPECT_NE(os.str().find("# tool: carbonx-test\n"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("# strategy: combined\n"),
+              std::string::npos);
+}
+
+TEST(Provenance, BuildInfoNamesCompilerAndBuildType)
+{
+    const std::string info = Provenance::buildInfo();
+    EXPECT_EQ(info.rfind("cxx ", 0), 0u);
+    EXPECT_TRUE(info.find("release") != std::string::npos ||
+                info.find("debug") != std::string::npos);
+}
+
+TEST(Provenance, NowUtcIsIso8601Shaped)
+{
+    const std::string now = Provenance::nowUtc();
+    ASSERT_EQ(now.size(), 20u);
+    EXPECT_EQ(now[4], '-');
+    EXPECT_EQ(now[10], 'T');
+    EXPECT_EQ(now.back(), 'Z');
+}
+
+TEST(Provenance, ProcessManifestRoundTrips)
+{
+    setProcessProvenance(sampleProvenance());
+    EXPECT_TRUE(hasProcessProvenance());
+    EXPECT_EQ(processProvenance().tool, "carbonx-test");
+    EXPECT_EQ(processProvenance().region, "PACE");
+
+    Provenance replacement = sampleProvenance();
+    replacement.region = "ERCO";
+    setProcessProvenance(replacement);
+    EXPECT_EQ(processProvenance().region, "ERCO");
+}
+
+TEST(Provenance, MetricsDumpsEmbedTheManifest)
+{
+    setProcessProvenance(sampleProvenance());
+    MetricsRegistry &registry = MetricsRegistry::instance();
+    registry.counter("test.embedding").increment();
+
+    std::ostringstream text;
+    registry.writeText(text);
+    EXPECT_EQ(text.str().rfind("# tool: carbonx-test\n", 0), 0u);
+
+    std::ostringstream csv;
+    registry.writeCsv(csv);
+    EXPECT_EQ(csv.str().rfind("# tool: carbonx-test\n", 0), 0u);
+
+    std::ostringstream json;
+    registry.writeJson(json);
+    EXPECT_NE(json.str().find("\"provenance\": {"), std::string::npos);
+    EXPECT_NE(json.str().find("\"tool\": \"carbonx-test\""),
+              std::string::npos);
+}
+
+TEST(Provenance, ChromeTraceEmbedsTheManifest)
+{
+    setProcessProvenance(sampleProvenance());
+    SpanTracer &tracer = SpanTracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    tracer.addCounterTrack("hourly/test", {1.0, 2.0});
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    tracer.setEnabled(false);
+    tracer.clear();
+    EXPECT_NE(os.str().find("\"metadata\": {"), std::string::npos);
+    EXPECT_NE(os.str().find("\"provenance\": {"), std::string::npos);
+    EXPECT_NE(os.str().find("\"config_hash\": \""), std::string::npos);
+}
+
+} // namespace
+} // namespace carbonx::obs

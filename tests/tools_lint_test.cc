@@ -193,6 +193,69 @@ TEST(LintSuppression, AllowCoversLineAndNextLine)
     EXPECT_EQ(countRule(too_far, lint::kRuleRawUnitDouble), 1u);
 }
 
+TEST(LintClassify, RecorderWritersAreSchedulerAndObs)
+{
+    EXPECT_TRUE(classify("src/scheduler/simulation_engine.cc")
+                    .recorder_writer);
+    EXPECT_TRUE(classify("src/obs/recorder.cc").recorder_writer);
+    EXPECT_TRUE(classify("src/obs/audit.cc").recorder_writer);
+    EXPECT_FALSE(classify("src/core/explorer.cc").recorder_writer);
+    EXPECT_FALSE(classify("tools/carbonx_cli.cc").recorder_writer);
+    // The recorder/audit headers are unit boundaries: raw doubles
+    // with unit suffixes are their deliberate export format.
+    EXPECT_TRUE(classify("src/obs/recorder.h").unit_boundary);
+    EXPECT_TRUE(classify("src/obs/audit.h").unit_boundary);
+}
+
+TEST(LintRecorderWrite, FlagsFieldWritesOutsideWriters)
+{
+    const std::string src =
+        "rec.grid_mw[h] = 0.0;\n"
+        "row.carbon_kg = grid * intensity;\n"
+        "recorder->backlog_mwh[h] += 1.0;\n"
+        "r.shifted_mwh *= 2.0;\n";
+    const auto diags = lintSource("src/core/x.cc", src);
+    EXPECT_EQ(countRule(diags, lint::kRuleRecorderWrite), 4u);
+    EXPECT_NE(diags[0].message.find("grid_mw"), std::string::npos);
+    EXPECT_NE(diags[0].message.find("read-only"), std::string::npos);
+}
+
+TEST(LintRecorderWrite, SilentForWritersReadsAndComparisons)
+{
+    const std::string writes =
+        "rec.grid_mw[h] = 0.0;\nrow.carbon_kg = 1.0;\n";
+    EXPECT_EQ(countRule(lintSource("src/scheduler/x.cc", writes),
+                        lint::kRuleRecorderWrite),
+              0u);
+    EXPECT_EQ(countRule(lintSource("src/obs/x.cc", writes),
+                        lint::kRuleRecorderWrite),
+              0u);
+
+    // Reads and comparisons of recorder fields are fine anywhere.
+    const auto reads = lintSource(
+        "src/core/x.cc",
+        "double g = rec.grid_mw[h];\n"
+        "if (row.carbon_kg == 0.0) {}\n"
+        "total += rec.backlog_mwh[h];\n"
+        "use(recording.served_mw);\n");
+    EXPECT_EQ(countRule(reads, lint::kRuleRecorderWrite), 0u);
+
+    // A local variable that merely shares a suffix is not a recorder
+    // field; only the recorded column names are fenced.
+    const auto unrelated = lintSource(
+        "src/core/x.cc", "state.max_supply_mw = 3.0;\n");
+    EXPECT_EQ(countRule(unrelated, lint::kRuleRecorderWrite), 0u);
+}
+
+TEST(LintRecorderWrite, AllowSuppressionWorks)
+{
+    const auto allowed = lintSource(
+        "src/core/x.cc",
+        "// carbonx-lint: allow(recorder-field-write) test fixture\n"
+        "rec.grid_mw[h] = 0.0;\n");
+    EXPECT_EQ(countRule(allowed, lint::kRuleRecorderWrite), 0u);
+}
+
 TEST(LintDiagnostic, FormatIsFileLineRuleMessage)
 {
     const Diagnostic d{"src/core/x.cc", 7, "magic-conversion", "boom"};

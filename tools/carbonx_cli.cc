@@ -15,6 +15,11 @@
  *                                  Carbon-aware scheduling savings.
  *   fleet     [--flex 0.4]         Geographic migration across the
  *                                  thirteen-site Meta fleet.
+ *   explain   --ba --dc [--solar S --wind W --battery B --extra X]
+ *                                  Re-simulate one design point with
+ *                                  the flight recorder on, audit the
+ *                                  recording, and print the carbon
+ *                                  waterfall.
  *
  * Common flags: --seed N, --year Y, --log-level L,
  * --metrics-out PATH, --trace-out PATH.
@@ -35,6 +40,7 @@
 #include "fleet/fleet.h"
 #include "grid/balancing_authority.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "scheduler/greedy_scheduler.h"
 
@@ -57,31 +63,82 @@ configFrom(const ArgParser &args)
 }
 
 /**
- * Apply the common observability flags: set the log level, the sweep
- * thread count, and enable span collection when a trace output was
- * requested.
+ * One observability session per CLI invocation — the single place all
+ * commands get their common flags handled. Construction applies
+ * --log-level and --threads, enables span collection when --trace-out
+ * was requested, and installs the process provenance manifest that
+ * every artifact writer embeds. flush() writes the --metrics-out /
+ * --trace-out files; the destructor flushes best-effort so a command
+ * that dies on an exception still leaves its metrics and trace behind
+ * for diagnosis.
  */
-void
-applyObsFlags(const ArgParser &args)
+class ObsSession
 {
-    setLogLevel(parseLogLevel(args.getString("log-level", "warn")));
-    // 0 = auto (CARBONX_THREADS env, else hardware concurrency).
-    setThreadCount(static_cast<size_t>(args.getUint64("threads", 0)));
-    if (!args.getString("trace-out", "").empty())
-        obs::SpanTracer::instance().setEnabled(true);
-}
+  public:
+    ObsSession(const ArgParser &args, int argc, char **argv)
+        : args_(args)
+    {
+        setLogLevel(parseLogLevel(args.getString("log-level", "warn")));
+        // 0 = auto (CARBONX_THREADS env, else hardware concurrency).
+        setThreadCount(
+            static_cast<size_t>(args.getUint64("threads", 0)));
+        if (!args.getString("trace-out", "").empty())
+            obs::SpanTracer::instance().setEnabled(true);
 
-/** Write --metrics-out / --trace-out files when requested. */
-void
-writeObsOutputs(const ArgParser &args)
-{
-    const std::string metrics_path = args.getString("metrics-out", "");
-    if (!metrics_path.empty())
-        obs::MetricsRegistry::instance().writeFile(metrics_path);
-    const std::string trace_path = args.getString("trace-out", "");
-    if (!trace_path.empty())
-        obs::SpanTracer::instance().writeChromeTraceFile(trace_path);
-}
+        std::string invocation = "carbonx";
+        std::string config_blob;
+        for (int i = 1; i < argc; ++i) {
+            invocation += ' ';
+            invocation += argv[i];
+            config_blob += argv[i];
+            config_blob += '\n';
+        }
+        obs::Provenance prov;
+        prov.tool = "carbonx";
+        prov.invocation = invocation;
+        prov.config_hash = obs::fnv1a64Hex(config_blob);
+        prov.region = args.getString("ba", "PACE");
+        prov.year = static_cast<int>(args.getInt("year", 2020));
+        prov.seed = args.getUint64("seed", 2020);
+        prov.threads = threadCount();
+        prov.build = obs::Provenance::buildInfo();
+        prov.wall_time_utc = obs::Provenance::nowUtc();
+        obs::setProcessProvenance(std::move(prov));
+    }
+
+    ObsSession(const ObsSession &) = delete;
+    ObsSession &operator=(const ObsSession &) = delete;
+
+    /** Write --metrics-out / --trace-out files when requested. */
+    void flush()
+    {
+        flushed_ = true;
+        const std::string metrics_path =
+            args_.getString("metrics-out", "");
+        if (!metrics_path.empty())
+            obs::MetricsRegistry::instance().writeFile(metrics_path);
+        const std::string trace_path = args_.getString("trace-out", "");
+        if (!trace_path.empty())
+            obs::SpanTracer::instance().writeChromeTraceFile(trace_path);
+    }
+
+    ~ObsSession()
+    {
+        if (flushed_)
+            return;
+        try {
+            flush();
+        } catch (const std::exception &e) {
+            // Unwinding from the command's own error; report the
+            // flush failure but never throw out of a destructor.
+            std::cerr << "carbonx: " << e.what() << '\n';
+        }
+    }
+
+  private:
+    const ArgParser &args_;
+    bool flushed_ = false;
+};
 
 int
 cmdSites()
@@ -270,6 +327,100 @@ cmdSchedule(const ArgParser &args)
 }
 
 int
+cmdExplain(const ArgParser &args)
+{
+    const ExplorerConfig config = configFrom(args);
+    CarbonExplorer explorer(config);
+    const Strategy strategy =
+        parseStrategy(args.getString("strategy", "combined"));
+
+    // The point to explain: taken from the flags when any design axis
+    // was given, otherwise the best of a coarse sweep — so a bare
+    // `carbonx explain` dissects the same optimum `optimize` reports.
+    DesignPoint point;
+    bool from_sweep = false;
+    Evaluation sweep_best;
+    if (args.has("solar") || args.has("wind") || args.has("battery") ||
+        args.has("extra")) {
+        point.solar_mw = MegaWatts(args.getDouble("solar", 0.0));
+        point.wind_mw = MegaWatts(args.getDouble("wind", 0.0));
+        point.battery_mwh =
+            MegaWattHours(args.getDouble("battery", 0.0));
+        point.extra_capacity = Fraction(args.getDouble("extra", 0.0));
+    } else {
+        const double reach = args.getDouble("reach", 6.0);
+        const DesignSpace space = DesignSpace::forDatacenter(
+            config.avg_dc_power_mw.value(), reach, 4, 3, 2);
+        sweep_best = explorer.optimize(space, strategy).best;
+        point = sweep_best.point;
+        from_sweep = true;
+        std::cout << "Best of sweep: "
+                  << summarizeEvaluation(sweep_best) << '\n';
+    }
+
+    // Tag the process manifest with the explained point so every
+    // artifact written below says exactly which design it describes.
+    {
+        obs::Provenance prov = obs::processProvenance();
+        prov.extra.emplace_back("strategy", strategyName(strategy));
+        prov.extra.emplace_back("design_point", point.describe());
+        obs::setProcessProvenance(std::move(prov));
+    }
+
+    const ExplainResult ex = explorer.explain(point, strategy);
+
+    int rc = 0;
+    if (from_sweep) {
+        // Bitwise, not approximate: the recording's carbon ledger is
+        // only trustworthy if the re-simulation is the same number.
+        if (ex.evaluation.totalKg().value() ==
+            sweep_best.totalKg().value()) {
+            std::cout << "Re-simulation reproduces the sweep-reported "
+                         "total exactly ("
+                      << formatFixed(ex.evaluation.totalKg().kilotons(),
+                                     2)
+                      << " ktCO2).\n";
+        } else {
+            std::cerr << "carbonx: re-simulated total "
+                      << ex.evaluation.totalKg().value()
+                      << " kg diverged from the sweep-reported "
+                      << sweep_best.totalKg().value() << " kg\n";
+            rc = 1;
+        }
+    }
+
+    std::cout << '\n';
+    printCarbonWaterfall(std::cout, ex);
+
+    const obs::AuditReport audit =
+        auditRecording(ex.recording, ex.auditContext());
+    std::cout << '\n';
+    audit.write(std::cout);
+    if (!audit.clean())
+        rc = 1;
+
+    const std::string timeline_path =
+        args.getString("timeline-out", "");
+    if (!timeline_path.empty())
+        writeTimelineFile(timeline_path, ex.recording);
+
+    // Per-hour counter lanes next to the spans in the Chrome trace.
+    auto &tracer = obs::SpanTracer::instance();
+    if (tracer.enabled()) {
+        tracer.addCounterTrack("hourly/grid_mw", ex.recording.grid_mw);
+        tracer.addCounterTrack("hourly/renewable_used_mw",
+                               ex.recording.renewable_used_mw);
+        tracer.addCounterTrack("hourly/battery_energy_mwh",
+                               ex.recording.battery_energy_mwh);
+        tracer.addCounterTrack("hourly/backlog_mwh",
+                               ex.recording.backlog_mwh);
+        tracer.addCounterTrack("hourly/carbon_kg",
+                               ex.recording.carbon_kg);
+    }
+    return rc;
+}
+
+int
 cmdFleet(const ArgParser &args)
 {
     const double flex = args.getDouble("flex", 0.4);
@@ -311,7 +462,13 @@ usage()
         "  battery  --ba PACE --dc 19 --solar 100 --wind 50 "
         "[--target 99.99]\n"
         "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
-        "  fleet    [--flex 0.4]\n\n"
+        "  fleet    [--flex 0.4]\n"
+        "  explain  --ba PACE --dc 19 [--strategy ren|batt|cas|"
+        "combined]\n"
+        "           [--solar S --wind W --battery B --extra X]  "
+        "(default: best of a coarse sweep)\n"
+        "           [--timeline-out PATH]  hourly recording "
+        "(.csv/.json)\n\n"
         "common flags: --seed N --year Y\n"
         "              --threads N          sweep worker threads "
         "(0 = auto; CARBONX_THREADS env also honored)\n"
@@ -336,7 +493,7 @@ main(int argc, char **argv)
     const std::string &command = args.positionals().front();
     int rc = 2;
     try {
-        applyObsFlags(args);
+        ObsSession obs_session(args, argc, argv);
         if (command == "sites")
             rc = cmdSites();
         else if (command == "regions")
@@ -351,12 +508,14 @@ main(int argc, char **argv)
             rc = cmdSchedule(args);
         else if (command == "fleet")
             rc = cmdFleet(args);
+        else if (command == "explain")
+            rc = cmdExplain(args);
         else {
             std::cerr << "unknown command: " << command << "\n\n";
             usage();
             return 2;
         }
-        writeObsOutputs(args);
+        obs_session.flush();
         return rc;
     } catch (const carbonx::Error &e) {
         std::cerr << "carbonx: " << e.what() << '\n';

@@ -60,6 +60,7 @@ inline const char *kRuleRawUnitDouble = "raw-unit-double";
 inline const char *kRuleSuffixMismatch = "unit-suffix-mismatch";
 inline const char *kRuleMagicConversion = "magic-conversion";
 inline const char *kRuleHeaderGuard = "header-guard";
+inline const char *kRuleRecorderWrite = "recorder-field-write";
 
 /** Per-file policy derived from its path. */
 struct FileKind
@@ -74,6 +75,12 @@ struct FileKind
     bool conversion_home = false;
     /** Header files must carry a CARBONX_*_H include guard. */
     bool is_header = false;
+    /**
+     * Only the simulation engine (src/scheduler) and the obs layer
+     * itself may assign HourlyRecord flight-recording fields; all
+     * other code consumes recordings read-only.
+     */
+    bool recorder_writer = false;
 };
 
 namespace detail
@@ -106,11 +113,18 @@ classify(const std::string &path)
                          detail::contains(path, "src/fleet/") ||
                          detail::contains(path, "src/forecast/") ||
                          detail::contains(path, "src/common/csv") ||
+                         // The flight recorder and its auditor are a
+                         // deliberate bulk raw-double export boundary
+                         // (unit-per-column, named in the suffix).
+                         detail::contains(path, "src/obs/recorder") ||
+                         detail::contains(path, "src/obs/audit") ||
                          detail::contains(path, "tools/carbonx_cli") ||
                          detail::contains(path, "tools/arg_parser");
     kind.conversion_home =
         detail::contains(path, "common/units.h") ||
         detail::contains(path, "timeseries/calendar.");
+    kind.recorder_writer = detail::contains(path, "src/scheduler/") ||
+                           detail::contains(path, "src/obs/");
     return kind;
 }
 
@@ -314,6 +328,16 @@ lintSource(const std::string &path, const std::string &source,
     // intensities or displays MWh as GWh.
     static const std::regex magic(
         R"([*/%]=?\s*(?:1000(?:\.0*)?|1e3|24(?:\.0*)?)(?![\w.]))");
+    // Rule 5: writes to HourlyRecord flight-recording fields (member
+    // access, optionally indexed, on the left of an assignment or
+    // compound assignment). Writing a recording is the engine's job;
+    // everyone else gets a tampered carbon ledger flagged.
+    static const std::regex recorder_write(
+        R"([.>](load_mw|served_mw|renewable_mw|renewable_used_mw)"
+        R"(|grid_mw|battery_charge_mw|battery_discharge_mw)"
+        R"(|battery_energy_mwh|curtailed_mw|shifted_mwh|backlog_mwh)"
+        R"(|slo_violation_mwh|grid_charge_mwh|carbon_kg))"
+        R"(\s*(?:\[[^\]]*\])?\s*[+\-*/]?=(?!=))");
 
     for (size_t i = 0; i < lines.size(); ++i) {
         const std::string &line = lines[i];
@@ -348,6 +372,19 @@ lintSource(const std::string &path, const std::string &source,
             report(lineno, kRuleMagicConversion,
                    "magic unit-conversion constant; use kHoursPerDay "
                    "(timeseries/calendar.h) or a units.h conversion");
+        }
+
+        if (!kind.recorder_writer) {
+            for (std::sregex_iterator it(line.begin(), line.end(),
+                                         recorder_write),
+                 end;
+                 it != end; ++it) {
+                report(lineno, kRuleRecorderWrite,
+                       "HourlyRecord field '" + (*it)[1].str() +
+                           "' written outside src/scheduler + "
+                           "src/obs; recordings are read-only to "
+                           "consumers");
+            }
         }
     }
 

@@ -9,12 +9,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 #include <vector>
 
 #include "battery/clc_battery.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "core/adaptive_sweep.h"
 #include "core/coordinate_descent.h"
 #include "core/explorer.h"
 #include "grid/balancing_authority.h"
@@ -204,6 +206,87 @@ BENCHMARK(BM_OptimizeSweep)
     ->ArgNames({"threads"})
     ->Arg(1)
     ->Arg(static_cast<int>(hardwareThreads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// A non-const twin of sharedExplorer() for benchmarks that attach a
+// sweep cache (setSweepCache mutates the explorer).
+CarbonExplorer &
+sharedSweepExplorer()
+{
+    static CarbonExplorer explorer([] {
+        ExplorerConfig config;
+        config.ba_code = "PACE";
+        config.avg_dc_power_mw = MegaWatts(19.0);
+        config.flexible_ratio = Fraction(0.4);
+        return config;
+    }());
+    return explorer;
+}
+
+// The same lattice as BM_OptimizeSweep under the adaptive driver with
+// a cold cache: the margin-guarded interpolation skips dominated-and-
+// worse interior points, so the ratio to BM_OptimizeSweep is the pure
+// algorithmic saving.
+void
+BM_AdaptiveSweep(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    setThreadCount(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        AdaptiveSweepResult r =
+            AdaptiveSweeper(ex).sweep(space,
+                                      Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.result.best.totalKg());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            space.sizeFor(Strategy::RenewableBatteryCas)));
+    setThreadCount(0);
+}
+BENCHMARK(BM_AdaptiveSweep)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(static_cast<int>(hardwareThreads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The resume path: a persistent cache pre-warmed by one full sweep
+// turns every later sweep of the same study into pure replay — no
+// simulation at all. This is the >=2x headline over BM_OptimizeSweep.
+void
+BM_AdaptiveSweepWarmCache(benchmark::State &state)
+{
+    CarbonExplorer &ex = sharedSweepExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "carbonx_bench_sweep.cxrc")
+            .string();
+    std::filesystem::remove(path);
+    SweepResultCache cache(
+        path, ex.configDigest(Strategy::RenewableBatteryCas));
+    ex.setSweepCache(&cache);
+    // Warm pass, outside the timed region.
+    AdaptiveSweeper(ex).sweep(space, Strategy::RenewableBatteryCas);
+    for (auto _ : state) {
+        AdaptiveSweepResult r =
+            AdaptiveSweeper(ex).sweep(space,
+                                      Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.result.best.totalKg());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            space.sizeFor(Strategy::RenewableBatteryCas)));
+    ex.setSweepCache(nullptr);
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_AdaptiveSweepWarmCache)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

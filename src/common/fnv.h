@@ -1,0 +1,68 @@
+/**
+ * @file
+ * FNV-1a 64-bit hashing over strings and raw byte ranges.
+ *
+ * This is the one hash the project uses for stable, cross-platform
+ * content digests: provenance config hashes, the result-cache file
+ * digests, and the sweep config keys all chain through these
+ * functions, so a digest computed by any layer can be compared with a
+ * digest computed by any other. Deterministic everywhere; not
+ * cryptographic.
+ */
+
+#ifndef CARBONX_COMMON_FNV_H
+#define CARBONX_COMMON_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace carbonx
+{
+
+/** The FNV-1a 64 offset basis: the seed of a fresh digest chain. */
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/** The FNV-1a 64 prime. */
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/**
+ * Fold @p size bytes at @p data into @p hash. Start a chain from
+ * kFnvOffsetBasis and feed successive ranges to digest a composite
+ * object field by field.
+ */
+inline uint64_t
+fnv1a64Bytes(const void *data, size_t size,
+             uint64_t hash = kFnvOffsetBasis)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** FNV-1a 64 of a string (chainable via @p hash). */
+inline uint64_t
+fnv1a64String(const std::string &data, uint64_t hash = kFnvOffsetBasis)
+{
+    return fnv1a64Bytes(data.data(), data.size(), hash);
+}
+
+/** A digest rendered as 16 lowercase hex digits. */
+inline std::string
+fnvHex(uint64_t hash)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<size_t>(i)] = digits[hash & 0xf];
+        hash >>= 4;
+    }
+    return hex;
+}
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_FNV_H

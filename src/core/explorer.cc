@@ -9,10 +9,12 @@
 #include "carbon/operational.h"
 #include "common/error.h"
 #include "common/csv.h"
+#include "common/fnv.h"
 #include "common/tolerances.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "core/adaptive_sweep.h"
 #include "grid/balancing_authority.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -126,6 +128,89 @@ CarbonExplorer::CarbonExplorer(ExplorerConfig config,
                 traces.dc_power.year() == traces.solar_shape.year() &&
                 traces.dc_power.year() == traces.wind_shape.year(),
             "external traces must cover the same year");
+}
+
+uint64_t
+CarbonExplorer::configDigest(Strategy strategy) const
+{
+    // Canonical, version-tagged serialization of every input an
+    // Evaluation depends on. Field order and widths are part of the
+    // format: any change must bump the version tag below so caches
+    // written by older builds rebuild instead of matching spuriously.
+    std::string buf;
+    buf.reserve(512);
+    const auto raw = [&buf](const auto &value) {
+        buf.append(reinterpret_cast<const char *>(&value),
+                   sizeof(value));
+    };
+    const auto str = [&](const std::string &s) {
+        raw(static_cast<uint64_t>(s.size()));
+        buf += s;
+    };
+
+    str("carbonx-sweep-config-v1");
+    str(config_.ba_code);
+    raw(static_cast<int64_t>(config_.year));
+    raw(config_.seed);
+    raw(config_.avg_dc_power_mw.value());
+    raw(config_.flexible_ratio.value());
+    raw(config_.slo_window_hours.value());
+
+    const BatteryChemistry &chem = config_.chemistry;
+    str(chem.name);
+    raw(chem.charge_efficiency);
+    raw(chem.discharge_efficiency);
+    raw(chem.max_charge_c_rate);
+    raw(chem.max_discharge_c_rate);
+    raw(chem.depth_of_discharge);
+    raw(chem.embodied_kg_per_kwh);
+    raw(static_cast<uint64_t>(chem.cycle_life.size()));
+    for (const CycleLifePoint &p : chem.cycle_life) {
+        raw(p.depth_of_discharge);
+        raw(p.cycles);
+    }
+    raw(chem.calendar_life_years);
+
+    raw(config_.renewable_embodied.wind_g_per_kwh.value());
+    raw(config_.renewable_embodied.solar_g_per_kwh.value());
+    raw(config_.renewable_embodied.wind_lifetime_years);
+    raw(config_.renewable_embodied.solar_lifetime_years);
+    raw(static_cast<int32_t>(config_.attribution));
+
+    raw(config_.server_spec.tdp_watts);
+    raw(config_.server_spec.idle_fraction);
+    raw(config_.server_spec.embodied_kg_co2);
+    raw(config_.server_spec.lifetime_years);
+    raw(config_.server_spec.infrastructure_multiplier);
+
+    raw(config_.load_params.avg_power_mw);
+    raw(config_.load_params.util_mean);
+    raw(config_.load_params.util_swing);
+    raw(config_.load_params.weekend_dip);
+    raw(config_.load_params.util_noise);
+    raw(config_.load_params.idle_power_fraction);
+    raw(config_.load_params.peak_hour);
+
+    raw(static_cast<int32_t>(strategy));
+
+    // Fold in the actual trace content (not just its parameters):
+    // external traces have no generating config, and even synthetic
+    // ones could drift across generator changes. Bit-equal digests
+    // then really do imply bit-equal evaluation inputs.
+    uint64_t digest = fnv1a64String(buf);
+    const auto fold = [&digest](const TimeSeries &series) {
+        const int32_t series_year = series.year();
+        digest =
+            fnv1a64Bytes(&series_year, sizeof(series_year), digest);
+        const std::span<const double> values = series.values();
+        digest = fnv1a64Bytes(values.data(),
+                              values.size() * sizeof(double), digest);
+    };
+    fold(load_trace_.power);
+    fold(grid_trace_.intensity);
+    fold(solar_shape_);
+    fold(wind_shape_);
+    return digest;
 }
 
 SimulationConfig
@@ -302,14 +387,152 @@ struct SweepWorkspace
 
 } // namespace
 
+struct SweepBatchEvaluator::Workspaces
+{
+    std::vector<SweepWorkspace> per_worker;
+};
+
+SweepBatchEvaluator::SweepBatchEvaluator(const CarbonExplorer &explorer,
+                                         Strategy strategy)
+    : explorer_(explorer), strategy_(strategy),
+      workspaces_(std::make_unique<Workspaces>())
+{
+    // One workspace per possible worker id (the caller is id 0, pool
+    // workers are 1..N-1), so no two workers ever share scratch.
+    const size_t worker_ids = std::max<size_t>(threadCount(), 1);
+    const int year = explorer_.load_trace_.power.year();
+    workspaces_->per_worker.reserve(worker_ids);
+    for (size_t i = 0; i < worker_ids; ++i)
+        workspaces_->per_worker.emplace_back(year);
+}
+
+SweepBatchEvaluator::~SweepBatchEvaluator() = default;
+
+void
+SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
+                              Evaluation *out,
+                              obs::SweepProgressEmitter *emitter)
+{
+    static auto &c_points = obs::counter("explorer.points_evaluated");
+    static auto &h_point = obs::latency("explorer.point_eval_us");
+    static auto &c_hits = obs::counter("sweep.cache_hits");
+
+    SweepResultCache *cache = explorer_.sweep_cache_;
+
+    // Serial cache pass on the coordinating thread; the cache needs
+    // no locking because workers never touch it.
+    std::vector<size_t> misses;
+    misses.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (cache != nullptr &&
+            cache->find(points[i], strategy_, &out[i])) {
+            ++cache_hits_;
+            if (emitter != nullptr)
+                emitter->add(out[i].totalKg().value());
+        } else {
+            misses.push_back(i);
+        }
+    }
+    if (cache != nullptr)
+        c_hits.increment(count - misses.size());
+
+    // Contiguous misses sharing a (solar, wind) pair form one run:
+    // the supply series and engine are built once per run and the
+    // battery/server axes reuse them, matching the pre-cache sweep's
+    // memory behavior point for point.
+    struct Run
+    {
+        size_t first = 0;
+        size_t count = 0;
+    };
+    std::vector<Run> runs;
+    for (size_t i = 0; i < misses.size();) {
+        const DesignPoint &lead = points[misses[i]];
+        size_t j = i + 1;
+        while (j < misses.size() &&
+               points[misses[j]].solar_mw.value() ==
+                   lead.solar_mw.value() &&
+               points[misses[j]].wind_mw.value() ==
+                   lead.wind_mw.value())
+            ++j;
+        runs.push_back(Run{i, j - i});
+        i = j;
+    }
+
+    const CarbonExplorer &ex = explorer_;
+    std::vector<SweepWorkspace> &workspaces = workspaces_->per_worker;
+    parallelFor(0, runs.size(), 1, [&](size_t r, size_t worker) {
+        SweepWorkspace &ws = workspaces[worker];
+        const Run &run = runs[r];
+        const DesignPoint &lead = points[misses[run.first]];
+        ex.coverage_.supplyFor(lead.solar_mw, lead.wind_mw, ws.supply);
+        const SimulationEngine engine(ex.load_trace_.power, ws.supply);
+
+        const auto run_start = std::chrono::steady_clock::now();
+        for (size_t k = 0; k < run.count; ++k) {
+            const size_t idx = misses[run.first + k];
+            const DesignPoint &point = points[idx];
+            ClcBattery *battery = nullptr;
+            if (strategyUsesBattery(strategy_) &&
+                point.battery_mwh.value() > 0.0) {
+                if (ws.battery == nullptr) {
+                    ws.battery = std::make_unique<ClcBattery>(
+                        point.battery_mwh, ex.config_.chemistry);
+                } else {
+                    ws.battery->setCapacity(point.battery_mwh);
+                }
+                battery = ws.battery.get();
+            }
+            CARBONX_SPAN("explorer/evaluate_point");
+            engine.run(ex.simulationConfig(point, strategy_, battery),
+                       ws.sim, ws.scratch);
+            out[idx] = ex.evaluationFrom(point, strategy_, ws.sim);
+            if (emitter != nullptr)
+                emitter->add(out[idx].totalKg().value());
+        }
+        // Point latency is sampled once per run (mean over its
+        // points) — one clock read and one histogram lock instead of
+        // one per design point.
+        const std::chrono::duration<double, std::micro> run_us =
+            std::chrono::steady_clock::now() - run_start;
+        h_point.record(run_us.count() /
+                       static_cast<double>(run.count));
+        c_points.increment(run.count);
+    });
+
+    simulated_points_ += misses.size();
+    ex.fresh_simulated_points_ += misses.size();
+    if (cache != nullptr) {
+        for (const size_t idx : misses)
+            cache->insert(out[idx]);
+    }
+    checkpoint();
+}
+
+void
+SweepBatchEvaluator::checkpoint()
+{
+    SweepResultCache *cache = explorer_.sweep_cache_;
+    if (cache != nullptr)
+        cache->flush();
+    // The abort hook fires only after the flush above, so everything
+    // this sweep simulated is already durable when the exception
+    // unwinds — the contract the resume tests rely on.
+    if (explorer_.abort_after_points_ > 0 &&
+        explorer_.fresh_simulated_points_ >=
+            explorer_.abort_after_points_) {
+        throw SweepAborted(explorer_.fresh_simulated_points_,
+                           cache != nullptr ? cache->path()
+                                            : std::string());
+    }
+}
+
 OptimizationResult
 CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
                              int pass) const
 {
     CARBONX_SPAN("explorer/optimize");
     static auto &c_passes = obs::counter("explorer.optimize_passes");
-    static auto &c_points = obs::counter("explorer.points_evaluated");
-    static auto &h_point = obs::latency("explorer.point_eval_us");
     static auto &g_threads = obs::gauge("sweep.threads");
     static auto &g_pps = obs::gauge("sweep.points_per_sec");
     c_passes.increment();
@@ -336,66 +559,42 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
     OptimizationResult result;
     result.evaluated.resize(total);
 
-    // One workspace per possible worker id (the caller is id 0, pool
-    // workers are 1..N-1), so no two workers ever share scratch.
+    std::vector<DesignPoint> points;
+    points.reserve(total);
+    for (const double s : solars) {
+        for (const double w : winds) {
+            for (const double b : batteries) {
+                for (const double x : extras) {
+                    points.push_back(DesignPoint{
+                        MegaWatts(s), MegaWatts(w), MegaWattHours(b),
+                        Fraction(x)});
+                }
+            }
+        }
+    }
+
     const size_t worker_ids = std::max<size_t>(threadCount(), 1);
     g_threads.set(static_cast<double>(
         std::min(worker_ids, std::max<size_t>(pairs, 1))));
-
-    const int year = load_trace_.power.year();
-    std::vector<SweepWorkspace> workspaces;
-    workspaces.reserve(worker_ids);
-    for (size_t i = 0; i < worker_ids; ++i)
-        workspaces.emplace_back(year);
 
     obs::SweepProgressEmitter emitter(progress_, pass, total,
                                       progress_updates_);
     const auto sweep_start = std::chrono::steady_clock::now();
 
-    parallelFor(0, pairs, 1, [&](size_t p, size_t worker) {
-        SweepWorkspace &ws = workspaces[worker];
-        const double s = solars[p / winds.size()];
-        const double w = winds[p % winds.size()];
-
-        // One engine per renewable pair: battery/server axes reuse
-        // the same load/supply series.
-        coverage_.supplyFor(MegaWatts(s), MegaWatts(w), ws.supply);
-        const SimulationEngine engine(load_trace_.power, ws.supply);
-
-        const auto pair_start = std::chrono::steady_clock::now();
-        size_t slot = p * inner;
-        for (double b : batteries) {
-            ClcBattery *battery = nullptr;
-            if (strategyUsesBattery(strategy) && b > 0.0) {
-                if (ws.battery == nullptr) {
-                    ws.battery = std::make_unique<ClcBattery>(
-                        MegaWattHours(b), config_.chemistry);
-                } else {
-                    ws.battery->setCapacity(MegaWattHours(b));
-                }
-                battery = ws.battery.get();
-            }
-            for (double x : extras) {
-                const DesignPoint point{MegaWatts(s), MegaWatts(w),
-                                        MegaWattHours(b),
-                                        Fraction(x)};
-                CARBONX_SPAN("explorer/evaluate_point");
-                engine.run(simulationConfig(point, strategy, battery),
-                           ws.sim, ws.scratch);
-                Evaluation eval =
-                    evaluationFrom(point, strategy, ws.sim);
-                emitter.add(eval.totalKg().value());
-                result.evaluated[slot++] = std::move(eval);
-            }
-        }
-        // Point latency is sampled once per pair (mean over the inner
-        // axes) — one clock read and one histogram lock instead of one
-        // per design point.
-        const std::chrono::duration<double, std::micro> pair_us =
-            std::chrono::steady_clock::now() - pair_start;
-        h_point.record(pair_us.count() / static_cast<double>(inner));
-        c_points.increment(inner);
-    });
+    // Pair-run batches bound the checkpoint interval: a kill loses at
+    // most one batch of fresh simulations, and the cache sees one
+    // flush per batch instead of one per sweep. Sized in whole pairs
+    // so run grouping inside the evaluator is never split.
+    SweepBatchEvaluator evaluator(*this, strategy);
+    const size_t batch_pairs =
+        std::max<size_t>(64, 8 * worker_ids);
+    for (size_t p0 = 0; p0 < pairs; p0 += batch_pairs) {
+        const size_t p1 = std::min(pairs, p0 + batch_pairs);
+        evaluator.evaluate(points.data() + p0 * inner,
+                           (p1 - p0) * inner,
+                           result.evaluated.data() + p0 * inner,
+                           &emitter);
+    }
     emitter.finish();
 
     // In-order scan with strict < reproduces the serial tie-break:
@@ -430,6 +629,35 @@ OptimizationResult::paretoSet() const
     return out;
 }
 
+DesignSpace
+CarbonExplorer::zoomedSpace(const DesignSpace &orig,
+                            const DesignSpace &cur,
+                            const DesignPoint &best)
+{
+    // Zoom each axis onto [best - step, best + step], clamped to
+    // the original bounds; keep the sample counts.
+    auto zoom = [](const AxisSpec &o, const AxisSpec &c, double b) {
+        AxisSpec next = c;
+        const double step = c.steps > 1
+            ? (c.max - c.min) / static_cast<double>(c.steps - 1)
+            : 0.0;
+        next.min = std::max(o.min, b - step);
+        next.max = std::min(o.max, b + step);
+        if (next.max <= next.min)
+            next.steps = 1;
+        return next;
+    };
+    DesignSpace out = cur;
+    out.solar_mw =
+        zoom(orig.solar_mw, cur.solar_mw, best.solar_mw.value());
+    out.wind_mw = zoom(orig.wind_mw, cur.wind_mw, best.wind_mw.value());
+    out.battery_mwh = zoom(orig.battery_mwh, cur.battery_mwh,
+                           best.battery_mwh.value());
+    out.extra_capacity = zoom(orig.extra_capacity, cur.extra_capacity,
+                              best.extra_capacity.value());
+    return out;
+}
+
 OptimizationResult
 CarbonExplorer::optimizeRefined(const DesignSpace &space,
                                 Strategy strategy, int rounds) const
@@ -440,32 +668,7 @@ CarbonExplorer::optimizeRefined(const DesignSpace &space,
 
     DesignSpace current = space;
     for (int round = 0; round < rounds; ++round) {
-        // Zoom each axis onto [best - step, best + step], clamped to
-        // the original bounds; keep the sample counts.
-        auto zoom = [](const AxisSpec &orig, const AxisSpec &cur,
-                       double best) {
-            AxisSpec next = cur;
-            const double step = cur.steps > 1
-                ? (cur.max - cur.min) /
-                      static_cast<double>(cur.steps - 1)
-                : 0.0;
-            next.min = std::max(orig.min, best - step);
-            next.max = std::min(orig.max, best + step);
-            if (next.max <= next.min)
-                next.steps = 1;
-            return next;
-        };
-        const DesignPoint &best = result.best.point;
-        current.solar_mw = zoom(space.solar_mw, current.solar_mw,
-                                best.solar_mw.value());
-        current.wind_mw = zoom(space.wind_mw, current.wind_mw,
-                               best.wind_mw.value());
-        current.battery_mwh = zoom(space.battery_mwh,
-                                   current.battery_mwh,
-                                   best.battery_mwh.value());
-        current.extra_capacity = zoom(space.extra_capacity,
-                                      current.extra_capacity,
-                                      best.extra_capacity.value());
+        current = zoomedSpace(space, current, result.best.point);
 
         OptimizationResult pass =
             optimizePass(current, strategy, round + 1);

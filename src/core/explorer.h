@@ -16,11 +16,13 @@
 #define CARBONX_CORE_EXPLORER_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "battery/chemistry.h"
 #include "carbon/embodied.h"
+#include "common/error.h"
 #include "core/coverage.h"
 #include "core/design_point.h"
 #include "core/design_space.h"
@@ -34,6 +36,32 @@
 
 namespace carbonx
 {
+
+class SweepResultCache;
+
+/**
+ * Thrown when a sweep stops early because the point-count abort hook
+ * fired (CarbonExplorer::setAbortAfterPoints). Everything simulated
+ * before the abort has been flushed to the sweep cache, so a rerun
+ * with the same configuration resumes where this one stopped. Used by
+ * the checkpoint/resume tests and the CI resume-smoke job.
+ */
+class SweepAborted : public Error
+{
+  public:
+    SweepAborted(size_t simulated, std::string cache_path)
+        : Error("sweep aborted after " + std::to_string(simulated) +
+                " simulated points" +
+                (cache_path.empty()
+                     ? std::string(" (no cache attached)")
+                     : "; progress flushed to " + cache_path)),
+          simulated_points(simulated), cache_path(std::move(cache_path))
+    {
+    }
+
+    size_t simulated_points = 0;
+    std::string cache_path;
+};
 
 /**
  * How renewable-farm embodied carbon is attributed to the datacenter.
@@ -260,6 +288,17 @@ class CarbonExplorer
                                        int rounds = 2) const;
 
     /**
+     * The zoom step optimizeRefined applies between passes: each axis
+     * of @p cur is narrowed to [best - step, best + step] (one current
+     * step in every direction), clamped to @p orig's bounds, keeping
+     * the sample counts. Shared with AdaptiveSweeper::sweepRefined so
+     * both drivers walk the identical refinement trajectory.
+     */
+    static DesignSpace zoomedSpace(const DesignSpace &orig,
+                                   const DesignSpace &cur,
+                                   const DesignPoint &best);
+
+    /**
      * Smallest battery that reaches @p target_pct coverage for the
      * given renewable investment, by bisection; negative when
      * unreachable below @p max_mwh (a negative @p max_mwh asks for
@@ -297,6 +336,55 @@ class CarbonExplorer
         progress_updates_ = max_updates_per_pass;
     }
 
+    /** The installed progress callback (may be empty). */
+    const obs::ProgressCallback &progressCallback() const
+    {
+        return progress_;
+    }
+
+    /** Milestone budget per sweep pass (see setProgressCallback). */
+    size_t progressUpdates() const { return progress_updates_; }
+
+    /**
+     * Stable FNV-1a digest of everything an Evaluation depends on:
+     * the full configuration (region, year, seed, demand model,
+     * chemistry, embodied parameters, attribution, server spec) plus
+     * the actual hourly trace content, folded with @p strategy. Two
+     * explorers with equal digests produce bit-identical evaluations
+     * for the same design point, which is what makes the digest safe
+     * as the persistent result-cache key.
+     */
+    uint64_t configDigest(Strategy strategy) const;
+
+    /**
+     * Attach a persistent result cache (borrowed; may be null to
+     * detach). Every sweep — optimize(), optimizeRefined(), and the
+     * adaptive driver — consults it before simulating a point and
+     * checkpoints fresh evaluations into it between parallel batches,
+     * so interrupted sweeps resume and identical re-runs are pure
+     * cache replays. The cache must have been created with
+     * configDigest(strategy) of the strategy being swept.
+     */
+    void setSweepCache(SweepResultCache *cache) { sweep_cache_ = cache; }
+
+    /** The attached sweep cache, or null. */
+    SweepResultCache *sweepCache() const { return sweep_cache_; }
+
+    /**
+     * Testing/CI hook: abort any sweep (throwing SweepAborted) once
+     * @p n points have been freshly simulated across passes, right
+     * after the cache checkpoint that persists them. 0 disables.
+     * Setting the threshold resets the fresh-point count.
+     */
+    void setAbortAfterPoints(size_t n)
+    {
+        abort_after_points_ = n;
+        fresh_simulated_points_ = 0;
+    }
+
+    /** The configured abort threshold (0 = disabled). */
+    size_t abortAfterPoints() const { return abort_after_points_; }
+
     const ExplorerConfig &config() const { return config_; }
     const GridTrace &gridTrace() const { return grid_trace_; }
     const TimeSeries &dcPower() const { return load_trace_.power; }
@@ -305,6 +393,8 @@ class CarbonExplorer
     MegaWatts dcPeakPowerMw() const { return peak_power_mw_; }
 
   private:
+    friend class SweepBatchEvaluator;
+
     /** One exhaustive pass; @p pass tags progress reports. */
     OptimizationResult optimizePass(const DesignSpace &space,
                                     Strategy strategy, int pass) const;
@@ -327,6 +417,73 @@ class CarbonExplorer
     MegaWatts peak_power_mw_;
     obs::ProgressCallback progress_;
     size_t progress_updates_ = 100;
+    SweepResultCache *sweep_cache_ = nullptr;
+    size_t abort_after_points_ = 0;
+    /**
+     * Fresh (cache-missed) simulations since setAbortAfterPoints,
+     * accumulated across passes by SweepBatchEvaluator. Mutated only
+     * on the coordinating thread, between parallel waves.
+     */
+    mutable size_t fresh_simulated_points_ = 0;
+};
+
+/**
+ * Cache-aware batch evaluator shared by the exhaustive sweep and the
+ * adaptive driver. Owns the per-worker simulation workspaces (supply
+ * series, engine scratch, battery instance) that make repeated point
+ * evaluations allocation-free, consults the explorer's sweep cache
+ * before simulating, and checkpoints fresh results back into it —
+ * always on the calling thread, between parallel waves, so the cache
+ * needs no internal locking.
+ *
+ * Determinism contract: evaluate() writes out[i] for points[i] and
+ * produces bit-identical Evaluations whether a point was simulated
+ * here, in a previous wave, or replayed from a cache written by an
+ * earlier process with the same configDigest.
+ */
+class SweepBatchEvaluator
+{
+  public:
+    /** @p explorer is borrowed and must outlive the evaluator. */
+    SweepBatchEvaluator(const CarbonExplorer &explorer, Strategy strategy);
+    ~SweepBatchEvaluator();
+
+    SweepBatchEvaluator(const SweepBatchEvaluator &) = delete;
+    SweepBatchEvaluator &operator=(const SweepBatchEvaluator &) = delete;
+
+    /**
+     * Evaluate @p count points into @p out (same length), hitting the
+     * cache where possible and simulating misses on the process
+     * thread pool. Points sharing a (solar, wind) pair should be
+     * contiguous so workers reuse the renewable supply series across
+     * the inner battery/server axes, matching the exhaustive sweep's
+     * memory behavior. Reports each point to @p emitter (optional).
+     *
+     * Each call ends with a checkpoint: fresh results are inserted
+     * into the attached cache and flushed to disk, then SweepAborted
+     * is thrown if the explorer's abort-after-points threshold has
+     * been crossed. Callers control checkpoint granularity by how
+     * many points they pass per call.
+     */
+    void evaluate(const DesignPoint *points, size_t count,
+                  Evaluation *out, obs::SweepProgressEmitter *emitter);
+
+    /** Freshly simulated (cache-missed) points so far. */
+    size_t simulatedPoints() const { return simulated_points_; }
+
+    /** Cache hits so far (0 when no cache is attached). */
+    size_t cacheHits() const { return cache_hits_; }
+
+  private:
+    struct Workspaces;
+
+    void checkpoint();
+
+    const CarbonExplorer &explorer_;
+    Strategy strategy_;
+    std::unique_ptr<Workspaces> workspaces_;
+    size_t simulated_points_ = 0;
+    size_t cache_hits_ = 0;
 };
 
 } // namespace carbonx

@@ -31,7 +31,12 @@ struct SweepProgress
     /** Design points evaluated so far in this pass. */
     size_t points_done = 0;
 
-    /** Design points this pass will evaluate in total. */
+    /**
+     * Design points this pass will evaluate in total, as currently
+     * known. An adaptive sweep discovers work as it refines, so the
+     * total may grow between milestones; it never shrinks, and
+     * points_done never exceeds it.
+     */
     size_t points_total = 0;
 
     /** Lowest total (operational + embodied) carbon so far (kg). */
@@ -99,6 +104,20 @@ class SweepProgressEmitter
     SweepProgressEmitter(const SweepProgressEmitter &) = delete;
     SweepProgressEmitter &operator=(const SweepProgressEmitter &) = delete;
 
+    /**
+     * Announce @p delta additional points this pass will evaluate.
+     * Adaptive refinement discovers work mid-pass; growing the total
+     * up front (before the new points' add() calls) keeps points_done
+     * <= points_total and fractionDone() <= 1 in every snapshot. The
+     * milestone stride stays the one derived from the construction
+     * total, so a pass that grows a lot reports proportionally more
+     * milestones; points_done stays monotone regardless.
+     */
+    void growTotal(size_t delta)
+    {
+        total_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
     /** Record one completed point and its total carbon (kg). */
     void add(double point_total_kg)
     {
@@ -111,7 +130,8 @@ class SweepProgressEmitter
         }
         const size_t done =
             done_.fetch_add(1, std::memory_order_relaxed) + 1;
-        if (done % stride_ == 0 || done == total_)
+        if (done % stride_ == 0 ||
+            done == total_.load(std::memory_order_relaxed))
             emit(done);
     }
 
@@ -143,10 +163,11 @@ class SweepProgressEmitter
             return;
         last_emitted_ = done;
 
+        const size_t total = total_.load(std::memory_order_relaxed);
         SweepProgress progress;
         progress.pass = pass_;
         progress.points_done = done;
-        progress.points_total = total_;
+        progress.points_total = total;
         progress.best_total_kg = best_kg_.load(std::memory_order_relaxed);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start_;
@@ -154,13 +175,13 @@ class SweepProgressEmitter
         const double mean_s =
             progress.elapsed_seconds / static_cast<double>(done);
         progress.eta_seconds =
-            mean_s * static_cast<double>(total_ - done);
+            mean_s * static_cast<double>(total > done ? total - done : 0);
         callback_(progress);
     }
 
     const ProgressCallback &callback_;
     const int pass_;
-    const size_t total_;
+    std::atomic<size_t> total_;
     const size_t stride_;
     const std::chrono::steady_clock::time_point start_;
     std::atomic<double> best_kg_{std::numeric_limits<double>::infinity()};

@@ -4,6 +4,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/fnv.h"
+
 namespace carbonx::obs
 {
 
@@ -139,25 +141,13 @@ Provenance::writeCommentHeader(std::ostream &os,
 uint64_t
 fnv1a64(const std::string &data)
 {
-    uint64_t hash = 14695981039346656037ull;
-    for (char c : data) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 1099511628211ull;
-    }
-    return hash;
+    return carbonx::fnv1a64String(data);
 }
 
 std::string
 fnv1a64Hex(const std::string &data)
 {
-    static const char *digits = "0123456789abcdef";
-    uint64_t hash = fnv1a64(data);
-    std::string hex(16, '0');
-    for (int i = 15; i >= 0; --i) {
-        hex[static_cast<size_t>(i)] = digits[hash & 0xf];
-        hash >>= 4;
-    }
-    return hex;
+    return carbonx::fnvHex(fnv1a64(data));
 }
 
 void

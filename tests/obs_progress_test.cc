@@ -111,5 +111,89 @@ TEST(SweepProgress, EmptyCallbackMakesEmitterInert)
     SUCCEED();
 }
 
+TEST(SweepProgress, GrowingTotalKeepsSnapshotsConsistent)
+{
+    // An adaptive sweep discovers work between waves: the total
+    // starts at the coarse count and grows before each refinement.
+    // Every snapshot must stay internally consistent — done never
+    // exceeds the total, the fraction never exceeds 1 — and both
+    // series must be monotone.
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 4, 100);
+    for (int i = 0; i < 4; ++i)
+        emitter.add(50.0 - i);
+    emitter.growTotal(6);
+    for (int i = 0; i < 6; ++i)
+        emitter.add(40.0 - i);
+    emitter.growTotal(2);
+    emitter.add(10.0);
+    emitter.add(9.0);
+    emitter.finish();
+
+    ASSERT_FALSE(capture.snapshots.empty());
+    size_t prev_done = 0;
+    size_t prev_total = 0;
+    for (const SweepProgress &p : capture.snapshots) {
+        EXPECT_LE(p.points_done, p.points_total);
+        EXPECT_LE(p.fractionDone(), 1.0);
+        EXPECT_GE(p.points_done, prev_done);
+        EXPECT_GE(p.points_total, prev_total);
+        prev_done = p.points_done;
+        prev_total = p.points_total;
+    }
+    EXPECT_EQ(capture.snapshots.back().points_done, 12u);
+    EXPECT_EQ(capture.snapshots.back().points_total, 12u);
+    EXPECT_EQ(capture.snapshots.back().fractionDone(), 1.0);
+}
+
+TEST(SweepProgress, GrowTotalAfterFinalPointStillClosesAtFullFraction)
+{
+    // The adaptive driver may grow the total for a wave that turns
+    // out to be fully skippable (every candidate excluded), adding
+    // zero evaluations. finish() must still close the series with
+    // done == total.
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 0, 3, 100);
+    for (int i = 0; i < 3; ++i)
+        emitter.add(5.0);
+    emitter.growTotal(0); // a wave with nothing to evaluate
+    emitter.finish();
+
+    ASSERT_FALSE(capture.snapshots.empty());
+    EXPECT_EQ(capture.snapshots.back().points_done,
+              capture.snapshots.back().points_total);
+    EXPECT_EQ(capture.snapshots.back().fractionDone(), 1.0);
+}
+
+TEST(SweepProgress, AdaptiveSweepMilestonesStayMonotoneEndToEnd)
+{
+    // Integration shape: many small growth bursts interleaved with
+    // completions, like cells-per-wave refinement. Tight stride so
+    // many milestones fire.
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 2, 10, 1000);
+    for (int i = 0; i < 10; ++i)
+        emitter.add(100.0);
+    for (int wave = 0; wave < 7; ++wave) {
+        emitter.growTotal(static_cast<size_t>(wave % 3));
+        for (int i = 0; i < wave % 3; ++i)
+            emitter.add(90.0 - wave);
+    }
+    emitter.finish();
+
+    ASSERT_FALSE(capture.snapshots.empty());
+    double prev_fraction = 0.0;
+    for (const SweepProgress &p : capture.snapshots) {
+        EXPECT_EQ(p.pass, 2);
+        EXPECT_LE(p.points_done, p.points_total);
+        // The fraction itself may dip when the total grows; it must
+        // never exceed 1 and must end at exactly 1.
+        EXPECT_LE(p.fractionDone(), 1.0);
+        prev_fraction = p.fractionDone();
+    }
+    EXPECT_EQ(prev_fraction, 1.0);
+    EXPECT_EQ(capture.snapshots.back().points_done, 16u);
+}
+
 } // namespace
 } // namespace carbonx::obs

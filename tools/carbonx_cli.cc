@@ -26,14 +26,19 @@
  */
 
 #include <algorithm>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 
 #include "arg_parser.h"
 #include "carbon/operational.h"
+#include "common/fnv.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "core/adaptive_sweep.h"
 #include "core/explorer.h"
 #include "core/report.h"
 #include "datacenter/site.h"
@@ -210,11 +215,56 @@ parseStrategy(const std::string &name)
                     "' (ren|batt|cas|combined|all)");
 }
 
+/**
+ * Open the per-strategy persistent sweep cache when --cache-dir was
+ * given (created on demand; one file per config digest, so unrelated
+ * studies coexist in the same directory). --resume additionally
+ * asserts that reusable results exist — a typo'd flag that changes
+ * the digest then fails loudly instead of silently re-simulating
+ * everything.
+ */
+std::unique_ptr<SweepResultCache>
+makeSweepCache(const ArgParser &args, const CarbonExplorer &explorer,
+               Strategy strategy)
+{
+    const std::string dir = args.getString("cache-dir", "");
+    const bool resume = args.getBool("resume");
+    if (dir.empty()) {
+        require(!resume, "--resume needs --cache-dir to know where "
+                         "the interrupted sweep's results live");
+        return nullptr;
+    }
+    std::filesystem::create_directories(dir);
+    const uint64_t digest = explorer.configDigest(strategy);
+    const std::string path =
+        (std::filesystem::path(dir) /
+         ("sweep-" + fnvHex(digest) + ".cxrc"))
+            .string();
+    std::ostringstream prov;
+    obs::processProvenance().writeJson(prov, "");
+    auto cache =
+        std::make_unique<SweepResultCache>(path, digest, prov.str());
+    if (resume) {
+        require(cache->loadedFromDisk() > 0,
+                "--resume: no reusable results in " + path +
+                    (cache->rebuildReason().empty()
+                         ? std::string(" (no prior run with this "
+                                       "configuration?)")
+                         : " (" + cache->rebuildReason() + ")"));
+        inform("resuming " + strategyName(strategy) + " sweep: " +
+               std::to_string(cache->loadedFromDisk()) +
+               " cached evaluations from " + path);
+    }
+    return cache;
+}
+
 int
 cmdOptimize(const ArgParser &args)
 {
     const ExplorerConfig config = configFrom(args);
     CarbonExplorer explorer(config);
+    explorer.setAbortAfterPoints(
+        static_cast<size_t>(args.getUint64("abort-after-points", 0)));
     if (args.getBool("progress")) {
         // ~10 stderr lines per pass plus the final one (throttling is
         // done by the sweep's emitter), so stdout stays a clean
@@ -248,9 +298,27 @@ cmdOptimize(const ArgParser &args)
         strategies = {parseStrategy(which)};
     }
 
+    const bool adaptive = args.getBool("refine");
     std::vector<Evaluation> bests;
-    for (Strategy s : strategies)
-        bests.push_back(explorer.optimizeRefined(space, s).best);
+    for (Strategy s : strategies) {
+        const std::unique_ptr<SweepResultCache> cache =
+            makeSweepCache(args, explorer, s);
+        explorer.setSweepCache(cache.get());
+        if (adaptive) {
+            const AdaptiveSweepResult adaptive_result =
+                AdaptiveSweeper(explorer).sweepRefined(space, s);
+            const AdaptiveSweepStats &st = adaptive_result.stats;
+            std::cerr << "refine[" << strategyName(s) << "]: "
+                      << st.simulated_points << " simulated, "
+                      << st.cache_hits << " cached, "
+                      << st.points_skipped << '/' << st.lattice_points
+                      << " skipped\n";
+            bests.push_back(adaptive_result.result.best);
+        } else {
+            bests.push_back(explorer.optimizeRefined(space, s).best);
+        }
+        explorer.setSweepCache(nullptr);
+    }
     printEvaluationTable(std::cout,
                          "Carbon-optimal designs (" + config.ba_code +
                              ", " +
@@ -351,7 +419,14 @@ cmdExplain(const ArgParser &args)
         const double reach = args.getDouble("reach", 6.0);
         const DesignSpace space = DesignSpace::forDatacenter(
             config.avg_dc_power_mw.value(), reach, 4, 3, 2);
+        // The coarse sweep reuses (and feeds) the persistent cache,
+        // so `explain` after `optimize --cache-dir D` replays stored
+        // evaluations instead of re-simulating its whole lattice.
+        const std::unique_ptr<SweepResultCache> cache =
+            makeSweepCache(args, explorer, strategy);
+        explorer.setSweepCache(cache.get());
         sweep_best = explorer.optimize(space, strategy).best;
+        explorer.setSweepCache(nullptr);
         point = sweep_best.point;
         from_sweep = true;
         std::cout << "Best of sweep: "
@@ -459,6 +534,14 @@ usage()
         "  coverage --ba PACE --dc 19 --solar 100 --wind 50\n"
         "  optimize --ba PACE --dc 19 [--strategy all|ren|batt|cas|"
         "combined] [--reach 10] [--progress]\n"
+        "           [--refine]             adaptive multi-resolution "
+        "sweep (bit-identical best, fewer simulations)\n"
+        "           [--cache-dir DIR]      persistent result cache; "
+        "reruns replay cached evaluations\n"
+        "           [--resume]             require cached results "
+        "(continue an interrupted --cache-dir sweep)\n"
+        "           [--abort-after-points N]  checkpoint then abort "
+        "after N fresh simulations (exit 3; CI hook)\n"
         "  battery  --ba PACE --dc 19 --solar 100 --wind 50 "
         "[--target 99.99]\n"
         "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
@@ -468,7 +551,9 @@ usage()
         "           [--solar S --wind W --battery B --extra X]  "
         "(default: best of a coarse sweep)\n"
         "           [--timeline-out PATH]  hourly recording "
-        "(.csv/.json)\n\n"
+        "(.csv/.json)\n"
+        "           [--cache-dir DIR] [--resume]  reuse optimize's "
+        "sweep cache for the coarse sweep\n\n"
         "common flags: --seed N --year Y\n"
         "              --threads N          sweep worker threads "
         "(0 = auto; CARBONX_THREADS env also honored)\n"
@@ -517,6 +602,14 @@ main(int argc, char **argv)
         }
         obs_session.flush();
         return rc;
+    } catch (const carbonx::SweepAborted &e) {
+        // The deliberate checkpoint-abort hook: everything simulated
+        // so far is flushed to the cache, so a rerun with --resume
+        // picks up exactly where this run stopped. Distinct exit code
+        // so the CI resume-smoke can tell "aborted as planned" from a
+        // real failure.
+        std::cerr << "carbonx: " << e.what() << '\n';
+        return 3;
     } catch (const carbonx::Error &e) {
         std::cerr << "carbonx: " << e.what() << '\n';
         return 1;

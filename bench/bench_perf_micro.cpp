@@ -16,6 +16,7 @@
 #include "battery/clc_battery.h"
 #include "common/parallel.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "core/adaptive_sweep.h"
 #include "core/coordinate_descent.h"
 #include "core/explorer.h"
@@ -209,6 +210,40 @@ BENCHMARK(BM_OptimizeSweep)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// The same sweep with phase timers on, as a visible row next to the
+// plain BM_OptimizeSweep pair. The phases are batch-scoped (hundreds
+// of timer pairs per sweep, not one per design point), so the delta
+// to the unprofiled rows is the whole cost of always-on profiling.
+void
+BM_OptimizeSweepProfiled(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    setThreadCount(static_cast<size_t>(state.range(0)));
+    auto &profiler = obs::PhaseProfiler::instance();
+    profiler.reset();
+    profiler.setEnabled(true);
+    for (auto _ : state) {
+        OptimizationResult r =
+            ex.optimize(space, Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.best.totalKg());
+    }
+    profiler.setEnabled(false);
+    profiler.reset();
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            space.sizeFor(Strategy::RenewableBatteryCas)));
+    setThreadCount(0);
+}
+BENCHMARK(BM_OptimizeSweepProfiled)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(static_cast<int>(hardwareThreads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 // A non-const twin of sharedExplorer() for benchmarks that attach a
 // sweep cache (setSweepCache mutates the explorer).
 CarbonExplorer &
@@ -372,6 +407,54 @@ recorderOffWithinNoise()
     return ok;
 }
 
+// Harness-level guard on the profiler's overhead budget: median wall
+// time of the Fig. 15 full-factorial sweep with phase timers on must
+// stay within 10% of the identical sweep with the profiler off. The
+// phases are batch-scoped, so the true cost is well under 2%; the
+// generous fence only absorbs scheduler noise in the medians. A real
+// regression (a per-point timer, a lock on the hot path) shows up as
+// far more.
+bool
+profilerOverheadWithinBudget()
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    auto &profiler = carbonx::obs::PhaseProfiler::instance();
+
+    const auto median_ms = [&] {
+        std::vector<double> samples;
+        for (int i = 0; i < 5; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            OptimizationResult r =
+                ex.optimize(space, Strategy::RenewableBatteryCas);
+            benchmark::DoNotOptimize(r.best.totalKg());
+            const std::chrono::duration<double, std::milli> ms =
+                std::chrono::steady_clock::now() - start;
+            samples.push_back(ms.count());
+        }
+        std::sort(samples.begin(), samples.end());
+        return samples[samples.size() / 2];
+    };
+
+    profiler.setEnabled(false);
+    median_ms(); // Warm the caches before timing either mode.
+    const double off_ms = median_ms();
+    profiler.reset();
+    profiler.setEnabled(true);
+    const double on_ms = median_ms();
+    profiler.setEnabled(false);
+    profiler.reset();
+
+    const bool ok = on_ms <= off_ms * 1.10;
+    std::cerr << "profiler overhead check: off " << off_ms
+              << " ms, on " << on_ms << " ms ("
+              << 100.0 * (on_ms - off_ms) / off_ms
+              << "%, fence 10%; "
+              << (ok ? "within budget" : "REGRESSION") << ")\n";
+    return ok;
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the run can end with a dump of the
@@ -387,6 +470,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     const bool recorder_ok = recorderOffWithinNoise();
+    const bool profiler_ok = profilerOverheadWithinBudget();
     carbonx::obs::MetricsRegistry::instance().writeText(std::cerr);
-    return recorder_ok ? 0 : 1;
+    return (recorder_ok && profiler_ok) ? 0 : 1;
 }

@@ -1,0 +1,47 @@
+#include "hot_counters.h"
+
+namespace carbonx::hot
+{
+
+HotCounterRegistry &
+HotCounterRegistry::instance()
+{
+    // Leaked so counter references stay valid in static destructors
+    // (same lifetime trick as MetricsRegistry).
+    static HotCounterRegistry *registry = new HotCounterRegistry();
+    return *registry;
+}
+
+std::atomic<uint64_t> &
+HotCounterRegistry::counter(const std::string &name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+HotCounterRegistry::snapshot() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, value] : counters_)
+        out.emplace_back(name, value.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
+HotCounterRegistry::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, value] : counters_)
+        value.store(0, std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t> &
+hotCounter(const std::string &name)
+{
+    return HotCounterRegistry::instance().counter(name);
+}
+
+} // namespace carbonx::hot

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dependency-free named atomic counters for the common layer.
+ *
+ * The full metrics registry lives in src/obs, which links against
+ * carbonx_common — so the thread pool and the result cache (both in
+ * common) cannot use obs::counter without a layering cycle. This tiny
+ * registry closes the gap: counters registered here are merged into
+ * every MetricsRegistry dump (text/JSON/CSV/Prometheus) under their
+ * own names and are zeroed by MetricsRegistry::reset(), so callers
+ * see one uniform namespace.
+ *
+ * Same contract as obs::Counter: register once (cache the reference
+ * in a function-local static on hot paths), references stay valid for
+ * the process lifetime, updates are lock-free relaxed atomics.
+ */
+
+#ifndef CARBONX_COMMON_HOT_COUNTERS_H
+#define CARBONX_COMMON_HOT_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace carbonx::hot
+{
+
+/** Process-wide registry of the common layer's counters. */
+class HotCounterRegistry
+{
+  public:
+    static HotCounterRegistry &instance();
+
+    /** The named counter, registered on first use. */
+    std::atomic<uint64_t> &counter(const std::string &name);
+
+    /** Name/value snapshot, sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+    /** Zero every counter in place; references stay valid. */
+    void reset();
+
+  private:
+    HotCounterRegistry() = default;
+
+    mutable std::mutex mutex_;
+    // std::map never invalidates element references on insert.
+    std::map<std::string, std::atomic<uint64_t>> counters_;
+};
+
+/** Shorthand for HotCounterRegistry::instance().counter(name). */
+std::atomic<uint64_t> &hotCounter(const std::string &name);
+
+} // namespace carbonx::hot
+
+#endif // CARBONX_COMMON_HOT_COUNTERS_H

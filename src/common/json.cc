@@ -1,0 +1,376 @@
+#include "json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+
+namespace
+{
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+    case JsonValue::Type::Null:
+        return "null";
+    case JsonValue::Type::Bool:
+        return "bool";
+    case JsonValue::Type::Number:
+        return "number";
+    case JsonValue::Type::String:
+        return "string";
+    case JsonValue::Type::Array:
+        return "array";
+    case JsonValue::Type::Object:
+        return "object";
+    }
+    return "?";
+}
+
+} // namespace
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after the JSON document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &why) const
+    {
+        throw Error("JSON parse error at byte " +
+                    std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *literal)
+    {
+        const size_t n = std::strlen(literal);
+        if (text_.compare(pos_, n, literal) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue parseValue()
+    {
+        skipWhitespace();
+        switch (peek()) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return parseString();
+        case 't':
+        case 'f':
+        case 'n':
+            return parseKeyword();
+        default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue parseKeyword()
+    {
+        JsonValue v;
+        if (consumeLiteral("true")) {
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = true;
+        } else if (consumeLiteral("false")) {
+            v.type_ = JsonValue::Type::Bool;
+            v.bool_ = false;
+        } else if (consumeLiteral("null")) {
+            v.type_ = JsonValue::Type::Null;
+        } else {
+            fail("expected true/false/null");
+        }
+        return v;
+    }
+
+    JsonValue parseNumber()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string token = text_.substr(start, pos_ - start);
+        char *tail = nullptr;
+        const double value = std::strtod(token.c_str(), &tail);
+        if (token.empty() || tail == nullptr || *tail != '\0')
+            fail("malformed number '" + token + "'");
+        JsonValue v;
+        v.type_ = JsonValue::Type::Number;
+        v.number_ = value;
+        return v;
+    }
+
+    std::string parseStringBody()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+            case '"':
+            case '\\':
+            case '/':
+                out.push_back(esc);
+                break;
+            case 'b':
+                out.push_back('\b');
+                break;
+            case 'f':
+                out.push_back('\f');
+                break;
+            case 'n':
+                out.push_back('\n');
+                break;
+            case 'r':
+                out.push_back('\r');
+                break;
+            case 't':
+                out.push_back('\t');
+                break;
+            case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (no surrogate-pair
+                // recombination: the repo never emits them).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                fail(std::string("unknown escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    JsonValue parseString()
+    {
+        JsonValue v;
+        v.type_ = JsonValue::Type::String;
+        v.string_ = parseStringBody();
+        return v;
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.type_ = JsonValue::Type::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items_.push_back(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.type_ = JsonValue::Type::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWhitespace();
+            std::string key = parseStringBody();
+            skipWhitespace();
+            expect(':');
+            v.members_.emplace_back(std::move(key), parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    require(in.good(), "cannot open JSON file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return parse(buf.str());
+    } catch (const Error &e) {
+        throw Error(path + ": " + e.what());
+    }
+}
+
+bool
+JsonValue::asBool() const
+{
+    require(type_ == Type::Bool,
+            std::string("JSON value is ") + typeName(type_) +
+                ", expected bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    require(type_ == Type::Number,
+            std::string("JSON value is ") + typeName(type_) +
+                ", expected number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    require(type_ == Type::String,
+            std::string("JSON value is ") + typeName(type_) +
+                ", expected string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    require(type_ == Type::Array,
+            std::string("JSON value is ") + typeName(type_) +
+                ", expected array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    require(type_ == Type::Object,
+            std::string("JSON value is ") + typeName(type_) +
+                ", expected object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[name, value] : members_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key, const std::string &context) const
+{
+    const JsonValue *value = find(key);
+    require(value != nullptr,
+            context + ": missing JSON key '" + key + "'");
+    return *value;
+}
+
+} // namespace carbonx

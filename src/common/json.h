@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON document parser.
+ *
+ * Carbon Explorer writes JSON in several places (metrics dumps,
+ * Chrome traces, BENCH_*.json perf reports) but until the bench
+ * comparator it never had to read any back. This is the smallest
+ * parser that round-trips what the repo emits: the full JSON grammar
+ * (objects, arrays, strings with escapes, numbers incl. exponents,
+ * true/false/null), strict about trailing garbage, with object key
+ * order preserved. Malformed input throws carbonx::Error with a byte
+ * offset — a truncated or hand-doctored report fails loudly instead
+ * of comparing garbage.
+ *
+ * Not streaming, not SAX, no comments/NaN extensions: reports are a
+ * few hundred KB at most and fit in memory many times over.
+ */
+
+#ifndef CARBONX_COMMON_JSON_H
+#define CARBONX_COMMON_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace carbonx
+{
+
+/** One parsed JSON value; a tree of these is a document. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    /** Parse @p text as one JSON document. @throws Error. */
+    static JsonValue parse(const std::string &text);
+
+    /** Parse the file at @p path. @throws Error (open/parse). */
+    static JsonValue parseFile(const std::string &path);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; throw Error on a type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array elements (throws unless isArray()). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in document order (throws unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const;
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Member lookup that must succeed: throws Error naming @p key
+     * when absent. The error mentions @p context for diagnosis
+     * ("BENCH report scenario 'optimize_sweep'").
+     */
+    const JsonValue &at(const std::string &key,
+                        const std::string &context) const;
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_COMMON_JSON_H

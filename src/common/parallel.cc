@@ -1,8 +1,10 @@
 #include "parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
+#include "common/hot_counters.h"
 #include "common/logging.h"
 
 namespace carbonx
@@ -121,22 +123,43 @@ ThreadPool::ensureWorkersLocked(size_t want,
 void
 ThreadPool::workChunks(size_t worker_id) noexcept
 {
+    // Dispatch telemetry, flushed once per worker per job so the
+    // per-chunk loop stays a single fetch_add. "Stolen" counts chunks
+    // a pool worker claimed instead of the coordinating caller — the
+    // dynamic-chunking analogue of work stealing.
+    static std::atomic<uint64_t> &c_chunks = hot::hotCounter("pool.chunks");
+    static std::atomic<uint64_t> &c_stolen =
+        hot::hotCounter("pool.chunks_stolen");
+    uint64_t chunks_taken = 0;
+    const auto flush_counts = [&] {
+        if (chunks_taken == 0)
+            return;
+        c_chunks.fetch_add(chunks_taken, std::memory_order_relaxed);
+        if (worker_id > 0)
+            c_stolen.fetch_add(chunks_taken, std::memory_order_relaxed);
+    };
     const std::function<void(size_t, size_t)> &fn = *body_;
     for (;;) {
         const size_t start = next_.fetch_add(chunk_,
                                              std::memory_order_relaxed);
-        if (start >= end_)
+        if (start >= end_) {
+            flush_counts();
             return;
+        }
+        ++chunks_taken;
         const size_t stop = std::min(start + chunk_, end_);
         try {
             for (size_t i = start; i < stop; ++i)
                 fn(i, worker_id);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(state_mutex_);
-            if (!error_)
-                error_ = std::current_exception();
-            // Cancel undispatched chunks; in-flight ones drain.
-            next_.store(end_, std::memory_order_relaxed);
+            {
+                const std::lock_guard<std::mutex> lock(state_mutex_);
+                if (!error_)
+                    error_ = std::current_exception();
+                // Cancel undispatched chunks; in-flight ones drain.
+                next_.store(end_, std::memory_order_relaxed);
+            }
+            flush_counts();
             return;
         }
     }
@@ -145,13 +168,25 @@ ThreadPool::workChunks(size_t worker_id) noexcept
 void
 ThreadPool::workerMain(size_t worker_id)
 {
+    // Wall time a live worker spends parked between jobs: the gap
+    // between a sweep's aggregate throughput and per-thread
+    // throughput is exactly this idle share.
+    static std::atomic<uint64_t> &c_idle_us =
+        hot::hotCounter("pool.idle_us");
     t_in_parallel_region = true;
     uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(state_mutex_);
     for (;;) {
+        const auto wait_start = std::chrono::steady_clock::now();
         cv_start_.wait(lock, [&] {
             return stopping_ || generation_ != seen;
         });
+        c_idle_us.fetch_add(
+            static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - wait_start)
+                    .count()),
+            std::memory_order_relaxed);
         if (stopping_)
             return;
         seen = generation_;
@@ -173,9 +208,17 @@ ThreadPool::run(size_t begin, size_t end, size_t chunk,
     const size_t span = end - begin;
     const size_t threads = threadCount();
 
+    static std::atomic<uint64_t> &c_jobs = hot::hotCounter("pool.jobs");
+    static std::atomic<uint64_t> &c_jobs_inline =
+        hot::hotCounter("pool.jobs_inline");
+    static std::atomic<uint64_t> &c_tasks = hot::hotCounter("pool.tasks");
+    c_jobs.fetch_add(1, std::memory_order_relaxed);
+    c_tasks.fetch_add(span, std::memory_order_relaxed);
+
     // Inline paths: single-threaded runs, ranges one chunk can cover,
     // and nested calls from inside another parallelFor body.
     if (threads <= 1 || span <= chunk || t_in_parallel_region) {
+        c_jobs_inline.fetch_add(1, std::memory_order_relaxed);
         const bool was_in_region = t_in_parallel_region;
         t_in_parallel_region = true;
         try {

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/fnv.h"
+#include "common/hot_counters.h"
 #include "common/logging.h"
 
 namespace carbonx
@@ -64,7 +65,7 @@ ResultCache::keyHash(const Key &key) const
 }
 
 const double *
-ResultCache::find(const Key &key) const
+ResultCache::lookup(const Key &key) const
 {
     const auto [begin, end] = index_.equal_range(keyHash(key));
     for (auto it = begin; it != end; ++it) {
@@ -75,11 +76,27 @@ ResultCache::find(const Key &key) const
     return nullptr;
 }
 
+const double *
+ResultCache::find(const Key &key) const
+{
+    static std::atomic<uint64_t> &c_hits =
+        hot::hotCounter("result_cache.hits");
+    static std::atomic<uint64_t> &c_misses =
+        hot::hotCounter("result_cache.misses");
+    const double *payload = lookup(key);
+    (payload != nullptr ? c_hits : c_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
 bool
 ResultCache::insert(const Key &key, const double *payload)
 {
-    if (find(key) != nullptr)
+    if (lookup(key) != nullptr)
         return false;
+    static std::atomic<uint64_t> &c_inserts =
+        hot::hotCounter("result_cache.inserts");
+    c_inserts.fetch_add(1, std::memory_order_relaxed);
     const auto record = static_cast<uint32_t>(coords_.size());
     coords_.push_back(key);
     payloads_.insert(payloads_.end(), payload, payload + payload_width_);
@@ -98,6 +115,8 @@ ResultCache::load()
     is.seekg(0, std::ios::beg);
 
     const auto fail = [&](const std::string &why) {
+        hot::hotCounter("result_cache.rebuilds")
+            .fetch_add(1, std::memory_order_relaxed);
         rebuild_reason_ = why;
         rewrite_needed_ = true;
         truncate_needed_ = false;
@@ -228,7 +247,13 @@ ResultCache::load()
     }
     loaded_from_disk_ = coords_.size();
     flushed_records_ = coords_.size();
+    hot::hotCounter("result_cache.records_loaded")
+        .fetch_add(loaded_from_disk_, std::memory_order_relaxed);
     if (truncate_needed_) {
+        // One corrupt tail per load at most: the scan stops at the
+        // first block whose digest fails.
+        hot::hotCounter("result_cache.corrupt_blocks")
+            .fetch_add(1, std::memory_order_relaxed);
         warn("result cache " + path_ + " has a corrupt tail (" +
              rebuild_reason_ + "); kept " +
              std::to_string(loaded_from_disk_) +
@@ -293,6 +318,10 @@ ResultCache::appendBlock(size_t first, size_t count)
     os.flush();
     require(os.good(), "result cache append failed: " + path_);
     good_prefix_bytes_ += block.size();
+    hot::hotCounter("result_cache.blocks_appended")
+        .fetch_add(1, std::memory_order_relaxed);
+    hot::hotCounter("result_cache.records_appended")
+        .fetch_add(count, std::memory_order_relaxed);
 }
 
 void

@@ -129,6 +129,8 @@ class ResultCache
     void writeFreshFile();
     void appendBlock(size_t first, size_t count);
     uint64_t keyHash(const Key &key) const;
+    /** find() without the hit/miss telemetry (used by insert()). */
+    const double *lookup(const Key &key) const;
 
     std::string path_;
     uint64_t config_digest_ = 0;

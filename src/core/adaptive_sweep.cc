@@ -10,6 +10,7 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace carbonx
@@ -18,8 +19,14 @@ namespace carbonx
 SweepResultCache::SweepResultCache(std::string path,
                                    uint64_t config_digest,
                                    std::string provenance)
-    : cache_(std::move(path), config_digest, kPayloadWidth,
-             std::move(provenance))
+    : cache_([&] {
+          // Delegating through a lambda so the phase brackets the
+          // underlying ResultCache's on-disk load (the common layer
+          // cannot depend on obs, so the timer lives here).
+          CARBONX_PROFILE("cache/load");
+          return ResultCache(std::move(path), config_digest,
+                             kPayloadWidth, std::move(provenance));
+      }())
 {
 }
 
@@ -71,6 +78,7 @@ SweepResultCache::insert(const Evaluation &eval)
 void
 SweepResultCache::flush()
 {
+    CARBONX_PROFILE("cache/flush");
     cache_.flush();
 }
 
@@ -179,6 +187,7 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
                            int pass) const
 {
     CARBONX_SPAN("explorer/adaptive_sweep");
+    CARBONX_PROFILE("adaptive/pass");
     static auto &c_sweeps = obs::counter("sweep.adaptive_passes");
     static auto &c_skipped = obs::counter("sweep.points_skipped");
     static auto &c_refined = obs::counter("sweep.cells_refined");

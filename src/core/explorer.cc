@@ -17,6 +17,7 @@
 #include "core/adaptive_sweep.h"
 #include "grid/balancing_authority.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace carbonx
@@ -330,6 +331,7 @@ ExplainResult
 CarbonExplorer::explain(const DesignPoint &point, Strategy strategy) const
 {
     CARBONX_SPAN("explorer/explain");
+    CARBONX_PROFILE("explorer/explain");
     obs::counter("explorer.explains").increment();
 
     ExplainResult out{Evaluation{},
@@ -413,6 +415,7 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
                               Evaluation *out,
                               obs::SweepProgressEmitter *emitter)
 {
+    CARBONX_PROFILE("sweep/batch");
     static auto &c_points = obs::counter("explorer.points_evaluated");
     static auto &h_point = obs::latency("explorer.point_eval_us");
     static auto &c_hits = obs::counter("sweep.cache_hits");
@@ -423,18 +426,21 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
     // no locking because workers never touch it.
     std::vector<size_t> misses;
     misses.reserve(count);
-    for (size_t i = 0; i < count; ++i) {
-        if (cache != nullptr &&
-            cache->find(points[i], strategy_, &out[i])) {
-            ++cache_hits_;
-            if (emitter != nullptr)
-                emitter->add(out[i].totalKg().value());
-        } else {
-            misses.push_back(i);
+    {
+        CARBONX_PROFILE("sweep/cache_lookup");
+        for (size_t i = 0; i < count; ++i) {
+            if (cache != nullptr &&
+                cache->find(points[i], strategy_, &out[i])) {
+                ++cache_hits_;
+                if (emitter != nullptr)
+                    emitter->add(out[i].totalKg().value());
+            } else {
+                misses.push_back(i);
+            }
         }
+        if (cache != nullptr)
+            c_hits.increment(count - misses.size());
     }
-    if (cache != nullptr)
-        c_hits.increment(count - misses.size());
 
     // Contiguous misses sharing a (solar, wind) pair form one run:
     // the supply series and engine are built once per run and the
@@ -462,6 +468,7 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
     const CarbonExplorer &ex = explorer_;
     std::vector<SweepWorkspace> &workspaces = workspaces_->per_worker;
     parallelFor(0, runs.size(), 1, [&](size_t r, size_t worker) {
+        CARBONX_PROFILE("sweep/run_group");
         SweepWorkspace &ws = workspaces[worker];
         const Run &run = runs[r];
         const DesignPoint &lead = points[misses[run.first]];
@@ -532,6 +539,7 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
                              int pass) const
 {
     CARBONX_SPAN("explorer/optimize");
+    CARBONX_PROFILE("sweep/pass");
     static auto &c_passes = obs::counter("explorer.optimize_passes");
     static auto &g_threads = obs::gauge("sweep.threads");
     static auto &g_pps = obs::gauge("sweep.points_per_sec");
@@ -588,12 +596,30 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
     SweepBatchEvaluator evaluator(*this, strategy);
     const size_t batch_pairs =
         std::max<size_t>(64, 8 * worker_ids);
-    for (size_t p0 = 0; p0 < pairs; p0 += batch_pairs) {
-        const size_t p1 = std::min(pairs, p0 + batch_pairs);
-        evaluator.evaluate(points.data() + p0 * inner,
-                           (p1 - p0) * inner,
-                           result.evaluated.data() + p0 * inner,
-                           &emitter);
+    size_t points_done = 0;
+    try {
+        for (size_t p0 = 0; p0 < pairs; p0 += batch_pairs) {
+            const size_t p1 = std::min(pairs, p0 + batch_pairs);
+            // Counted up front: checkpoint() only aborts after the
+            // whole batch has been evaluated and flushed.
+            points_done = p1 * inner;
+            evaluator.evaluate(points.data() + p0 * inner,
+                               (p1 - p0) * inner,
+                               result.evaluated.data() + p0 * inner,
+                               &emitter);
+        }
+    } catch (const SweepAborted &) {
+        // The aborting batch finished evaluating before checkpoint()
+        // threw, so the partial throughput is still meaningful; record
+        // it instead of leaving sweep.points_per_sec at zero on the
+        // abort path.
+        const std::chrono::duration<double> aborted_s =
+            std::chrono::steady_clock::now() - sweep_start;
+        if (aborted_s.count() > 0.0 && points_done > 0) {
+            g_pps.set(static_cast<double>(points_done) /
+                      aborted_s.count());
+        }
+        throw;
     }
     emitter.finish();
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/hot_counters.h"
 #include "common/table.h"
 #include "obs/provenance.h"
 
@@ -46,6 +47,37 @@ jsonNumber(double v)
     os.precision(15);
     os << v;
     return os.str();
+}
+
+/**
+ * The registry's own counters plus the common layer's hot counters,
+ * as one sorted name->value view. On a (never expected) name clash
+ * the registry's counter wins.
+ */
+std::map<std::string, uint64_t>
+mergedCounterValues(const std::map<std::string, Counter> &own)
+{
+    std::map<std::string, uint64_t> merged;
+    for (const auto &[name, c] : own)
+        merged.emplace(name, c.value());
+    for (const auto &[name, v] :
+         hot::HotCounterRegistry::instance().snapshot())
+        merged.emplace(name, v);
+    return merged;
+}
+
+/** Map a registry name onto the Prometheus charset, with prefix. */
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "carbonx_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
 }
 
 } // namespace
@@ -160,6 +192,15 @@ MetricsRegistry::latency(const std::string &name)
     return latencies_[name];
 }
 
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::counterValues() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::map<std::string, uint64_t> merged =
+        mergedCounterValues(counters_);
+    return {merged.begin(), merged.end()};
+}
+
 void
 MetricsRegistry::writeText(std::ostream &os) const
 {
@@ -169,8 +210,8 @@ MetricsRegistry::writeText(std::ostream &os) const
     TextTable table("Metrics registry",
                     {"Kind", "Name", "Count/Value", "Mean us", "Min us",
                      "Max us"});
-    for (const auto &[name, c] : counters_) {
-        table.addRow({"counter", name, std::to_string(c.value()), "-",
+    for (const auto &[name, v] : mergedCounterValues(counters_)) {
+        table.addRow({"counter", name, std::to_string(v), "-",
                       "-", "-"});
     }
     for (const auto &[name, g] : gauges_) {
@@ -198,9 +239,9 @@ MetricsRegistry::writeJson(std::ostream &os) const
     }
     os << "  \"counters\": {";
     bool first = true;
-    for (const auto &[name, c] : counters_) {
+    for (const auto &[name, v] : mergedCounterValues(counters_)) {
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
-           << "\": " << c.value();
+           << "\": " << v;
         first = false;
     }
     os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
@@ -241,8 +282,8 @@ MetricsRegistry::writeCsv(std::ostream &os) const
         processProvenance().writeCommentHeader(os, "# ");
     const std::lock_guard<std::mutex> lock(mutex_);
     os << "kind,name,field,value\n";
-    for (const auto &[name, c] : counters_)
-        os << "counter," << name << ",value," << c.value() << '\n';
+    for (const auto &[name, v] : mergedCounterValues(counters_))
+        os << "counter," << name << ",value," << v << '\n';
     for (const auto &[name, g] : gauges_)
         os << "gauge," << name << ",value," << jsonNumber(g.value())
            << '\n';
@@ -260,6 +301,43 @@ MetricsRegistry::writeCsv(std::ostream &os) const
 }
 
 void
+MetricsRegistry::dumpPrometheus(std::ostream &os) const
+{
+    // Prometheus ignores comment lines that are not HELP/TYPE, so the
+    // provenance header travels with the scrape text unharmed.
+    if (hasProcessProvenance())
+        processProvenance().writeCommentHeader(os, "# ");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, v] : mergedCounterValues(counters_)) {
+        const std::string prom = prometheusName(name) + "_total";
+        os << "# HELP " << prom << " carbonx counter " << name << '\n'
+           << "# TYPE " << prom << " counter\n"
+           << prom << ' ' << v << '\n';
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string prom = prometheusName(name);
+        os << "# HELP " << prom << " carbonx gauge " << name << '\n'
+           << "# TYPE " << prom << " gauge\n"
+           << prom << ' ' << jsonNumber(g.value()) << '\n';
+    }
+    for (const auto &[name, h] : latencies_) {
+        const std::string prom = prometheusName(name);
+        os << "# HELP " << prom << " carbonx latency " << name
+           << " (microseconds)\n"
+           << "# TYPE " << prom << " histogram\n";
+        uint64_t cumulative = 0;
+        for (const auto &bin : h.bins()) {
+            cumulative += bin.count;
+            os << prom << "_bucket{le=\"" << jsonNumber(bin.hi_us)
+               << "\"} " << cumulative << '\n';
+        }
+        os << prom << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+           << prom << "_sum " << jsonNumber(h.totalUs()) << '\n'
+           << prom << "_count " << h.count() << '\n';
+    }
+}
+
+void
 MetricsRegistry::writeFile(const std::string &path) const
 {
     std::ofstream out(path);
@@ -268,6 +346,8 @@ MetricsRegistry::writeFile(const std::string &path) const
         writeJson(out);
     else if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
         writeCsv(out);
+    else if (path.size() >= 5 && path.compare(path.size() - 5, 5, ".prom") == 0)
+        dumpPrometheus(out);
     else
         writeText(out);
     require(out.good(), "failed writing metrics output file: " + path);
@@ -276,6 +356,7 @@ MetricsRegistry::writeFile(const std::string &path) const
 void
 MetricsRegistry::reset()
 {
+    hot::HotCounterRegistry::instance().reset();
     const std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, c] : counters_)
         c.reset();

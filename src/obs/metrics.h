@@ -152,6 +152,13 @@ class MetricsRegistry
     Gauge &gauge(const std::string &name);
     LatencyHistogram &latency(const std::string &name);
 
+    /**
+     * Snapshot of every counter (registry plus the common layer's hot
+     * counters), name -> value, sorted by name. The bench reporter
+     * embeds this per scenario.
+     */
+    std::vector<std::pair<std::string, uint64_t>> counterValues() const;
+
     /** Human-readable fixed-width table of every instrument. */
     void writeText(std::ostream &os) const;
 
@@ -162,18 +169,35 @@ class MetricsRegistry
     void writeCsv(std::ostream &os) const;
 
     /**
+     * Prometheus text exposition format (version 0.0.4): one `# HELP`
+     * + `# TYPE` pair per metric, counters suffixed `_total`,
+     * histograms as cumulative `_bucket{le=...}` series plus `_sum`
+     * and `_count`. Metric names are sanitized to the Prometheus
+     * charset and prefixed `carbonx_` (`sweep.cache_hits` becomes
+     * `carbonx_sweep_cache_hits_total`). Groundwork for the
+     * `carbonx serve` roadmap item.
+     */
+    void dumpPrometheus(std::ostream &os) const;
+
+    /**
      * Write to @p path, picking the format from the extension:
-     * .json, .csv, anything else gets the text table.
+     * .json, .csv, .prom (Prometheus exposition), anything else gets
+     * the text table.
      */
     void writeFile(const std::string &path) const;
 
     /**
-     * Zero every instrument in place. Previously returned references
-     * stay valid; nothing is deregistered.
+     * Zero every instrument in place, including the common layer's
+     * hot counters. Previously returned references stay valid;
+     * nothing is deregistered.
      */
     void reset();
 
-    /** True when no instrument has been registered yet. */
+    /**
+     * True when no instrument has been registered here yet. The
+     * common layer's hot counters (merged into every dump) are not
+     * consulted — they register lazily on unrelated code paths.
+     */
     bool empty() const;
 
   private:

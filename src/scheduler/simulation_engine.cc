@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "common/tolerances.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
 
@@ -92,6 +93,7 @@ SimulationEngine::runImpl(const SimulationConfig &config,
                           SimulationScratch &scratch) const
 {
     CARBONX_SPAN("sim/run");
+    CARBONX_PROFILE("sim/run");
     static auto &c_runs = obs::counter("sim.runs");
     static auto &c_hours = obs::counter("sim.hours_simulated");
     static auto &h_run = obs::latency("sim.run_us");

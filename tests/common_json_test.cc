@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON parser the bench comparator uses to
+ * read BENCH_*.json reports back.
+ */
+
+#include "common/json.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace carbonx
+{
+namespace
+{
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedDocument)
+{
+    const JsonValue doc = JsonValue::parse(
+        R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": true})");
+    ASSERT_TRUE(doc.isObject());
+    const JsonValue &a = doc.at("a", "test");
+    ASSERT_TRUE(a.isArray());
+    ASSERT_EQ(a.items().size(), 3u);
+    EXPECT_DOUBLE_EQ(a.items()[0].asNumber(), 1.0);
+    EXPECT_EQ(a.items()[2].at("b", "test").asString(), "c");
+    EXPECT_TRUE(doc.at("d", "test").at("e", "test").isNull());
+    EXPECT_TRUE(doc.at("f", "test").asBool());
+}
+
+TEST(Json, PreservesObjectKeyOrder)
+{
+    const JsonValue doc =
+        JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+    const auto &members = doc.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members[0].first, "z");
+    EXPECT_EQ(members[1].first, "a");
+    EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(Json, DecodesStringEscapes)
+{
+    const JsonValue doc = JsonValue::parse(
+        R"("line\nbreak \"quoted\" back\\slash tab\t slash\/")");
+    EXPECT_EQ(doc.asString(),
+              "line\nbreak \"quoted\" back\\slash tab\t slash/");
+    // \u BMP escapes come back UTF-8 encoded.
+    EXPECT_EQ(JsonValue::parse(R"("\u0041")").asString(), "A");
+    EXPECT_EQ(JsonValue::parse(R"("\u00e9")").asString(), "\xc3\xa9");
+    EXPECT_EQ(JsonValue::parse(R"("\u20ac")").asString(),
+              "\xe2\x82\xac");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(JsonValue::parse(""), Error);
+    EXPECT_THROW(JsonValue::parse("{"), Error);
+    EXPECT_THROW(JsonValue::parse("[1, 2"), Error);
+    EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), Error);
+    EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+    EXPECT_THROW(JsonValue::parse("tru"), Error);
+    EXPECT_THROW(JsonValue::parse("1.2.3"), Error);
+    EXPECT_THROW(JsonValue::parse("\"bad \\q escape\""), Error);
+    EXPECT_THROW(JsonValue::parse("\"\\u12g4\""), Error);
+}
+
+TEST(Json, RejectsTrailingGarbage)
+{
+    EXPECT_THROW(JsonValue::parse("{} extra"), Error);
+    EXPECT_THROW(JsonValue::parse("1 2"), Error);
+    // Trailing whitespace is fine.
+    EXPECT_NO_THROW(JsonValue::parse("  {\"a\": 1}  \n"));
+}
+
+TEST(Json, ErrorMentionsByteOffset)
+{
+    try {
+        JsonValue::parse("{\"a\": }");
+        FAIL() << "expected a parse error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("byte"),
+                  std::string::npos);
+    }
+}
+
+TEST(Json, TypedAccessorsThrowOnMismatch)
+{
+    const JsonValue doc = JsonValue::parse("{\"n\": 1}");
+    EXPECT_THROW(doc.asNumber(), Error);
+    EXPECT_THROW(doc.at("n", "test").asString(), Error);
+    EXPECT_THROW(doc.items(), Error);
+    EXPECT_EQ(doc.find("missing"), nullptr);
+    EXPECT_EQ(doc.at("n", "test").find("x"), nullptr);
+    try {
+        doc.at("missing", "bench report");
+        FAIL() << "expected a lookup error";
+    } catch (const Error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("bench report"), std::string::npos);
+        EXPECT_NE(what.find("missing"), std::string::npos);
+    }
+}
+
+TEST(Json, ParseFileRoundTripsAndNamesPathOnError)
+{
+    const std::string path = "json_test_roundtrip.json";
+    {
+        std::ofstream out(path);
+        out << R"({"schema_version": 1, "values": [1.5, 2.5]})";
+    }
+    const JsonValue doc = JsonValue::parseFile(path);
+    EXPECT_DOUBLE_EQ(doc.at("schema_version", "t").asNumber(), 1.0);
+    EXPECT_EQ(doc.at("values", "t").items().size(), 2u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(JsonValue::parseFile("does_not_exist.json"), Error);
+
+    const std::string bad = "json_test_truncated.json";
+    {
+        std::ofstream out(bad);
+        out << "{\"cut\": ";
+    }
+    try {
+        JsonValue::parseFile(bad);
+        FAIL() << "expected a parse error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find(bad), std::string::npos);
+    }
+    std::remove(bad.c_str());
+}
+
+} // namespace
+} // namespace carbonx

@@ -16,6 +16,7 @@
 #include "battery/clc_battery.h"
 #include "common/parallel.h"
 #include "core/explorer.h"
+#include "obs/profiler.h"
 
 namespace carbonx
 {
@@ -100,6 +101,52 @@ TEST(ParallelSweep, OptimizeBitIdenticalAcrossThreadCounts)
         SCOPED_TRACE("threads=" + std::to_string(threads));
         expectResultIdentical(serial, parallel);
     }
+}
+
+TEST(ParallelSweep, OptimizeBitIdenticalWithProfilerEnabled)
+{
+    // The profiler's non-interference contract: enabling it only
+    // reads clocks, so a profiled sweep must stay bit-identical to an
+    // unprofiled serial one at any thread count.
+    const CarbonExplorer &ex = utahExplorer();
+    const DesignSpace space = smallSpace();
+    const Strategy strategy = Strategy::RenewableBatteryCas;
+
+    OptimizationResult unprofiled;
+    {
+        const ThreadCountGuard guard(1);
+        unprofiled = ex.optimize(space, strategy);
+    }
+
+    struct ProfilerGuard
+    {
+        ProfilerGuard()
+        {
+            auto &p = obs::PhaseProfiler::instance();
+            p.reset();
+            p.setEnabled(true);
+        }
+        ~ProfilerGuard()
+        {
+            auto &p = obs::PhaseProfiler::instance();
+            p.setEnabled(false);
+            p.reset();
+        }
+    };
+    const ProfilerGuard profiling;
+    for (size_t threads : {size_t{1}, size_t{2}, hardwareThreads()}) {
+        const ThreadCountGuard guard(threads);
+        const OptimizationResult profiled = ex.optimize(space, strategy);
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expectResultIdentical(unprofiled, profiled);
+    }
+
+    // And the sweep really was profiled, not silently disabled.
+    const obs::ProfileNode merged =
+        obs::PhaseProfiler::instance().merged();
+    const obs::ProfileNode *pass = merged.find("sweep/pass");
+    ASSERT_NE(pass, nullptr);
+    EXPECT_GE(pass->count, 3u);
 }
 
 TEST(ParallelSweep, OptimizeRefinedBitIdenticalAcrossThreadCounts)

@@ -14,6 +14,8 @@
 #include <sstream>
 #include <string>
 
+#include "common/json.h"
+
 namespace
 {
 
@@ -325,6 +327,40 @@ TEST(Cli, BatteryWritesMetricsAndTraceFiles)
     const std::string metrics = readFile(metrics_path);
     EXPECT_NE(metrics.find("\"provenance\""), std::string::npos);
     EXPECT_NE(metrics.find("\"sim.runs\""), std::string::npos);
+
+    const std::string trace = readFile(trace_path);
+    EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(trace.find("sim/run"), std::string::npos);
+
+    std::remove(metrics_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
+TEST(Cli, CheckpointAbortStillWritesMetricsAndTrace)
+{
+    REQUIRE_CLI();
+    const std::string metrics_path = "cli_abort_metrics.json";
+    const std::string trace_path = "cli_abort_trace.json";
+    const CliRun run = runCli(
+        "optimize --ba PACE --dc 19 --strategy combined "
+        "--abort-after-points 50 --metrics-out " +
+        metrics_path + " --trace-out " + trace_path);
+    // Deliberate checkpoint-abort: exit code 3, and both telemetry
+    // files must still be written — completely, not best-effort.
+    EXPECT_EQ(run.exit_code, 3);
+    EXPECT_NE(run.output.find("carbonx:"), std::string::npos);
+
+    const carbonx::JsonValue metrics =
+        carbonx::JsonValue::parseFile(metrics_path);
+    EXPECT_GT(metrics.at("counters", "metrics")
+                  .at("explorer.points_evaluated", "counters")
+                  .asNumber(),
+              0.0);
+    // The aborted pass still reports its partial sweep throughput.
+    const carbonx::JsonValue *pps =
+        metrics.at("gauges", "metrics").find("sweep.points_per_sec");
+    ASSERT_NE(pps, nullptr);
+    EXPECT_GT(pps->asNumber(), 0.0);
 
     const std::string trace = readFile(trace_path);
     EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/hot_counters.h"
 #include "obs/metrics.h"
 
 namespace carbonx::obs
@@ -197,6 +200,127 @@ TEST(Metrics, ConcurrentIncrementsLoseNothing)
                      0.5 * kThreads * kPerThread);
     EXPECT_EQ(registry.latency("test.concurrent_latency").count(),
               static_cast<uint64_t>(kThreads) * (kPerThread / 100));
+}
+
+TEST(Metrics, PrometheusDumpHasHelpTypeAndSuffixes)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.prom_counter").increment(7);
+    registry.gauge("test.prom_gauge").set(2.5);
+
+    std::ostringstream os;
+    registry.dumpPrometheus(os);
+    const std::string prom = os.str();
+
+    // Counters: carbonx_ prefix, dots sanitized, _total suffix, and
+    // the HELP/TYPE pair preceding the sample.
+    EXPECT_NE(prom.find("# HELP carbonx_test_prom_counter_total"),
+              std::string::npos);
+    EXPECT_NE(
+        prom.find("# TYPE carbonx_test_prom_counter_total counter"),
+        std::string::npos);
+    EXPECT_NE(prom.find("carbonx_test_prom_counter_total 7"),
+              std::string::npos);
+
+    EXPECT_NE(prom.find("# TYPE carbonx_test_prom_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(prom.find("carbonx_test_prom_gauge 2.5"),
+              std::string::npos);
+}
+
+TEST(Metrics, PrometheusHistogramBucketsAreCumulative)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    auto &h = registry.latency("test.prom_latency");
+    // Three samples across two distinct log bins.
+    h.record(10.0);
+    h.record(12.0);
+    h.record(10000.0);
+
+    std::ostringstream os;
+    registry.dumpPrometheus(os);
+    const std::string prom = os.str();
+
+    EXPECT_NE(prom.find("# TYPE carbonx_test_prom_latency histogram"),
+              std::string::npos);
+    // The cumulative series must end at the exact count via +Inf.
+    EXPECT_NE(prom.find("carbonx_test_prom_latency_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("carbonx_test_prom_latency_count 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("carbonx_test_prom_latency_sum 10022"),
+              std::string::npos);
+
+    // Bucket counts never decrease in exposition order.
+    uint64_t last = 0;
+    size_t pos = 0;
+    size_t buckets = 0;
+    const std::string needle =
+        "carbonx_test_prom_latency_bucket{le=\"";
+    while ((pos = prom.find(needle, pos)) != std::string::npos) {
+        const size_t close = prom.find("\"} ", pos);
+        ASSERT_NE(close, std::string::npos);
+        const uint64_t cumulative = std::stoull(prom.substr(close + 3));
+        EXPECT_GE(cumulative, last);
+        last = cumulative;
+        ++buckets;
+        pos = close;
+    }
+    EXPECT_GE(buckets, 3u); // Two non-empty bins plus +Inf.
+    EXPECT_EQ(last, 3u);
+}
+
+TEST(Metrics, WriteFileDispatchesPromExtension)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.prom_file").increment(1);
+
+    const std::string path = "metrics_dispatch_test.prom";
+    registry.writeFile(path);
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("carbonx_test_prom_file_total 1"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Metrics, HotCountersMergeIntoEveryDump)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    hot::hotCounter("test.hot_merged")
+        .fetch_add(11, std::memory_order_relaxed);
+
+    std::ostringstream json_os;
+    registry.writeJson(json_os);
+    EXPECT_DOUBLE_EQ(jsonNumberAfter(json_os.str(), "test.hot_merged"),
+                     11.0);
+
+    std::ostringstream prom_os;
+    registry.dumpPrometheus(prom_os);
+    EXPECT_NE(prom_os.str().find("carbonx_test_hot_merged_total 11"),
+              std::string::npos);
+
+    std::ostringstream csv_os;
+    registry.writeCsv(csv_os);
+    EXPECT_NE(csv_os.str().find("counter,test.hot_merged,value,11"),
+              std::string::npos);
+
+    const auto counters = registry.counterValues();
+    bool found = false;
+    for (const auto &[name, value] : counters)
+        found = found || (name == "test.hot_merged" && value == 11);
+    EXPECT_TRUE(found);
+
+    // Registry reset() zeroes hot counters too.
+    registry.reset();
+    EXPECT_EQ(hot::hotCounter("test.hot_merged")
+                  .load(std::memory_order_relaxed),
+              0u);
 }
 
 } // namespace

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "obs/progress.h"
@@ -193,6 +195,81 @@ TEST(SweepProgress, AdaptiveSweepMilestonesStayMonotoneEndToEnd)
     }
     EXPECT_EQ(prev_fraction, 1.0);
     EXPECT_EQ(capture.snapshots.back().points_done, 16u);
+}
+
+TEST(SweepProgress, ConcurrentAddGrowAndFinishStaysCoherent)
+{
+    // Stress the emitter the way a parallel refinement wave does:
+    // many worker threads add() concurrently, another thread grows
+    // the total mid-flight, and several threads race finish() at the
+    // end. The callback runs under the emit lock, so Capture's
+    // plain vector is safe.
+    constexpr size_t kThreads = 8;
+    constexpr size_t kPerThread = 500;
+    constexpr size_t kPoints = kThreads * kPerThread;
+    constexpr size_t kGrowth = 64;
+
+    Capture capture;
+    SweepProgressEmitter emitter(capture.callback, 1, kPoints, 50);
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (size_t i = 0; i < kPerThread; ++i) {
+                // Deterministic minimum 1.0 regardless of schedule.
+                emitter.add(
+                    1.0 + static_cast<double>(t * kPerThread + i));
+            }
+        });
+    }
+    // The grower races the adders; the announced-but-never-added
+    // points leave the pass short of its total, the case finish()
+    // exists for.
+    workers.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (size_t i = 0; i < kGrowth; ++i)
+            emitter.growTotal(1);
+    });
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+
+    std::vector<std::thread> finishers;
+    for (size_t t = 0; t < 4; ++t)
+        finishers.emplace_back([&] { emitter.finish(); });
+    for (auto &f : finishers)
+        f.join();
+
+    ASSERT_FALSE(capture.snapshots.empty());
+    size_t prev_done = 0;
+    size_t prev_total = 0;
+    size_t terminal_snapshots = 0;
+    for (const SweepProgress &p : capture.snapshots) {
+        EXPECT_EQ(p.pass, 1);
+        // Strictly monotone done, monotone totals, done <= total.
+        EXPECT_GT(p.points_done, prev_done);
+        EXPECT_GE(p.points_total, prev_total);
+        EXPECT_GE(p.points_total, kPoints);
+        EXPECT_LE(p.points_done, p.points_total);
+        EXPECT_LE(p.fractionDone(), 1.0);
+        prev_done = p.points_done;
+        prev_total = p.points_total;
+        if (p.points_done == kPoints)
+            ++terminal_snapshots;
+    }
+    // Racing finish() calls close the series exactly once, at the
+    // number of points actually completed.
+    EXPECT_EQ(terminal_snapshots, 1u);
+    EXPECT_EQ(capture.snapshots.back().points_done, kPoints);
+    // The terminal emit may race the last growTotal() calls, so the
+    // final total is only bounded, not exact.
+    EXPECT_LE(capture.snapshots.back().points_total,
+              kPoints + kGrowth);
+    EXPECT_DOUBLE_EQ(capture.snapshots.back().best_total_kg, 1.0);
 }
 
 } // namespace

@@ -256,6 +256,90 @@ TEST(LintRecorderWrite, AllowSuppressionWorks)
     EXPECT_EQ(countRule(allowed, lint::kRuleRecorderWrite), 0u);
 }
 
+TEST(LintProfilePhase, FlagsDuplicateDynamicAndEmptyNames)
+{
+    const auto diags = lintSource(
+        "src/core/x.cc",
+        "CARBONX_PROFILE(\"sweep/pass\");\n"
+        "CARBONX_PROFILE(\"sweep/pass\");\n"
+        "CARBONX_PROFILE(dynamic_name);\n"
+        "CARBONX_PROFILE(\"\");\n");
+    ASSERT_EQ(countRule(diags, lint::kRuleProfilePhase), 3u);
+    EXPECT_EQ(diags[0].line, 2u);
+    EXPECT_NE(diags[0].message.find("duplicate"), std::string::npos);
+    EXPECT_NE(diags[0].message.find("first used at line 1"),
+              std::string::npos);
+    EXPECT_EQ(diags[1].line, 3u);
+    EXPECT_NE(diags[1].message.find("string literal"),
+              std::string::npos);
+    EXPECT_EQ(diags[2].line, 4u);
+    EXPECT_NE(diags[2].message.find("empty"), std::string::npos);
+}
+
+TEST(LintProfilePhase, CleanUsageMacroDefinitionAndCommentsPass)
+{
+    // Unique literals are fine; the macro's own #define (with its
+    // backslash continuations), the CONCAT helpers, and mentions in
+    // comments or strings must not register as call sites.
+    const std::string src =
+        std::string(kGuard) +
+        "#define CARBONX_PROFILE_CONCAT2(a, b) a##b\n"
+        "#define CARBONX_PROFILE(name)                            \\\n"
+        "    ::carbonx::obs::ScopedPhase CARBONX_PROFILE_CONCAT(  \\\n"
+        "        carbonx_phase_, __LINE__)(name)\n"
+        "// CARBONX_PROFILE(\"in/a/comment\");\n"
+        "inline void f()\n"
+        "{\n"
+        "    CARBONX_PROFILE(\"phase/one\");\n"
+        "    CARBONX_PROFILE(\"phase/two\");\n"
+        "    const char *s = \"CARBONX_PROFILE(nope)\";\n"
+        "    (void)s;\n"
+        "}\n"
+        "#endif\n";
+    EXPECT_EQ(countRule(lintSource("src/obs/x.h", src),
+                        lint::kRuleProfilePhase),
+              0u);
+}
+
+TEST(LintProfilePhase, CrossFileDuplicatesPointAtFirstUse)
+{
+    using lint::PhaseUse;
+    using lint::collectProfilePhases;
+    std::vector<std::pair<std::string, std::vector<PhaseUse>>> per_file;
+    per_file.emplace_back(
+        "src/core/a.cc",
+        collectProfilePhases("CARBONX_PROFILE(\"shared/phase\");\n"
+                             "CARBONX_PROFILE(\"a/only\");\n"));
+    per_file.emplace_back(
+        "src/core/b.cc",
+        collectProfilePhases("CARBONX_PROFILE(\"shared/phase\");\n"));
+    // An in-file duplicate is lintSource's finding, not a cross-file
+    // one — it must not be re-reported by the aggregate pass.
+    per_file.emplace_back(
+        "src/core/c.cc",
+        collectProfilePhases("CARBONX_PROFILE(\"c/dup\");\n"
+                             "CARBONX_PROFILE(\"c/dup\");\n"));
+
+    const auto diags = lint::crossFilePhaseDuplicates(per_file);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].file, "src/core/b.cc");
+    EXPECT_EQ(diags[0].line, 1u);
+    EXPECT_EQ(diags[0].rule, lint::kRuleProfilePhase);
+    EXPECT_NE(diags[0].message.find("src/core/a.cc:1"),
+              std::string::npos);
+}
+
+TEST(LintProfilePhase, AllowSuppressionHidesSiteFromBothChecks)
+{
+    const std::string src =
+        "// carbonx-lint: allow(profile-phase) generated name\n"
+        "CARBONX_PROFILE(dynamic_name);\n";
+    EXPECT_TRUE(lintSource("src/core/x.cc", src).empty());
+    // The collector drops the waived site too, so it can never feed
+    // the cross-file duplicate check.
+    EXPECT_TRUE(lint::collectProfilePhases(src).empty());
+}
+
 TEST(LintDiagnostic, FormatIsFileLineRuleMessage)
 {
     const Diagnostic d{"src/core/x.cc", 7, "magic-conversion", "boom"};

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * `carbonx bench` — the performance observatory's macro benchmark
+ * suite and regression gate.
+ *
+ * Running the suite executes a fixed set of end-to-end scenarios
+ * (exhaustive sweep, adaptive sweep cold/warm, recorded simulation,
+ * explain) under the phase profiler and writes a provenance-stamped
+ * BENCH_<tag>.json report: per scenario the median wall time over
+ * --reps repetitions, a deterministic work_points count, the derived
+ * points_per_sec throughput, the hot-path counters, and the merged
+ * phase-profile call tree.
+ *
+ * `--compare BASELINE` turns the run into a regression gate: each
+ * scenario's throughput is compared against the baseline report and
+ * the command exits with code 4 when any scenario regressed by more
+ * than --threshold percent. `--input CANDIDATE` compares two existing
+ * report files without running anything — the deterministic path the
+ * integration tests and CI use.
+ *
+ * Smoke mode (--smoke) runs the same workloads with reps=1, so a
+ * smoke report remains comparable (same work_points) against a full
+ * baseline.
+ */
+
+#ifndef CARBONX_TOOLS_BENCH_SUITE_H
+#define CARBONX_TOOLS_BENCH_SUITE_H
+
+#include "arg_parser.h"
+
+namespace carbonx::tools
+{
+
+/**
+ * Entry point for the `bench` subcommand. Flags:
+ *   --tag NAME        report name suffix (BENCH_<tag>.json, default
+ *                     "local")
+ *   --out PATH        explicit report path (overrides --tag)
+ *   --reps N          timed repetitions per scenario (default 3)
+ *   --smoke           shorthand for --reps 1
+ *   --compare BASE    gate against a baseline report; exit 4 on a
+ *                     breach
+ *   --input CAND      with --compare: compare two report files, run
+ *                     nothing
+ *   --threshold PCT   tolerated throughput drop percent (default 5)
+ *
+ * @return 0 on success, 4 when --compare found a regression.
+ * @throws carbonx::Error on unreadable/malformed reports.
+ */
+int cmdBench(const ArgParser &args);
+
+} // namespace carbonx::tools
+
+#endif // CARBONX_TOOLS_BENCH_SUITE_H

@@ -20,6 +20,10 @@
  *                                  the flight recorder on, audit the
  *                                  recording, and print the carbon
  *                                  waterfall.
+ *   bench     [--smoke] [--compare BASE [--input CAND]]
+ *                                  Macro perf scenarios under the
+ *                                  phase profiler; BENCH_<tag>.json
+ *                                  reports and a regression gate.
  *
  * Common flags: --seed N, --year Y, --log-level L,
  * --metrics-out PATH, --trace-out PATH.
@@ -33,6 +37,7 @@
 #include <string>
 
 #include "arg_parser.h"
+#include "bench_suite.h"
 #include "carbon/operational.h"
 #include "common/fnv.h"
 #include "common/logging.h"
@@ -553,7 +558,14 @@ usage()
         "           [--timeline-out PATH]  hourly recording "
         "(.csv/.json)\n"
         "           [--cache-dir DIR] [--resume]  reuse optimize's "
-        "sweep cache for the coarse sweep\n\n"
+        "sweep cache for the coarse sweep\n"
+        "  bench    [--smoke] [--reps N] [--tag NAME] [--out PATH]\n"
+        "           run the macro perf scenarios under the phase "
+        "profiler; write BENCH_<tag>.json\n"
+        "           [--compare BASE [--threshold PCT]]  regression "
+        "gate vs a baseline report (exit 4 on breach)\n"
+        "           [--compare BASE --input CAND]  compare two "
+        "existing reports, run nothing\n\n"
         "common flags: --seed N --year Y\n"
         "              --threads N          sweep worker threads "
         "(0 = auto; CARBONX_THREADS env also honored)\n"
@@ -579,37 +591,46 @@ main(int argc, char **argv)
     int rc = 2;
     try {
         ObsSession obs_session(args, argc, argv);
-        if (command == "sites")
-            rc = cmdSites();
-        else if (command == "regions")
-            rc = cmdRegions();
-        else if (command == "coverage")
-            rc = cmdCoverage(args);
-        else if (command == "optimize")
-            rc = cmdOptimize(args);
-        else if (command == "battery")
-            rc = cmdBattery(args);
-        else if (command == "schedule")
-            rc = cmdSchedule(args);
-        else if (command == "fleet")
-            rc = cmdFleet(args);
-        else if (command == "explain")
-            rc = cmdExplain(args);
-        else {
-            std::cerr << "unknown command: " << command << "\n\n";
-            usage();
-            return 2;
+        try {
+            if (command == "sites")
+                rc = cmdSites();
+            else if (command == "regions")
+                rc = cmdRegions();
+            else if (command == "coverage")
+                rc = cmdCoverage(args);
+            else if (command == "optimize")
+                rc = cmdOptimize(args);
+            else if (command == "battery")
+                rc = cmdBattery(args);
+            else if (command == "schedule")
+                rc = cmdSchedule(args);
+            else if (command == "fleet")
+                rc = cmdFleet(args);
+            else if (command == "explain")
+                rc = cmdExplain(args);
+            else if (command == "bench")
+                rc = tools::cmdBench(args);
+            else {
+                std::cerr << "unknown command: " << command << "\n\n";
+                usage();
+                return 2;
+            }
+            obs_session.flush();
+            return rc;
+        } catch (const carbonx::SweepAborted &e) {
+            // The deliberate checkpoint-abort hook: everything
+            // simulated so far is flushed to the cache, so a rerun
+            // with --resume picks up exactly where this run stopped.
+            // Distinct exit code so the CI resume-smoke can tell
+            // "aborted as planned" from a real failure. The metrics
+            // and trace flush is explicit here — not left to the
+            // session destructor's best-effort path — so a flush
+            // failure surfaces as an error instead of a half-written
+            // artifact next to exit code 3.
+            obs_session.flush();
+            std::cerr << "carbonx: " << e.what() << '\n';
+            return 3;
         }
-        obs_session.flush();
-        return rc;
-    } catch (const carbonx::SweepAborted &e) {
-        // The deliberate checkpoint-abort hook: everything simulated
-        // so far is flushed to the cache, so a rerun with --resume
-        // picks up exactly where this run stopped. Distinct exit code
-        // so the CI resume-smoke can tell "aborted as planned" from a
-        // real failure.
-        std::cerr << "carbonx: " << e.what() << '\n';
-        return 3;
     } catch (const carbonx::Error &e) {
         std::cerr << "carbonx: " << e.what() << '\n';
         return 1;

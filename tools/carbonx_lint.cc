@@ -11,7 +11,9 @@
  * Policy is derived from each file's path (see lint::classify): the
  * data-boundary layers may hold raw unit-suffixed doubles, units.h
  * and the calendar own the conversion constants, and everything else
- * must use the strong types. Individual sites are waived with a
+ * must use the strong types. CARBONX_PROFILE phase names are also
+ * checked for uniqueness across every file scanned in one
+ * invocation. Individual sites are waived with a
  * `// carbonx-lint: allow(rule)` comment on or above the line.
  */
 
@@ -88,6 +90,9 @@ main(int argc, char **argv)
     }
 
     size_t total = 0;
+    std::vector<
+        std::pair<std::string, std::vector<carbonx::lint::PhaseUse>>>
+        phase_uses;
     for (const std::string &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -101,6 +106,16 @@ main(int argc, char **argv)
         for (const auto &d : diags)
             std::cout << d.format() << "\n";
         total += diags.size();
+        phase_uses.emplace_back(
+            file, carbonx::lint::collectProfilePhases(buf.str()));
+    }
+
+    // Profile phase names must be unique tree-wide, not just within
+    // each file; in-file duplicates were already reported above.
+    for (const auto &d :
+         carbonx::lint::crossFilePhaseDuplicates(phase_uses)) {
+        std::cout << d.format() << "\n";
+        ++total;
     }
 
     if (total > 0) {

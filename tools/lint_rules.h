@@ -9,8 +9,10 @@
  * that smuggle a unit in their identifier suffix, assignments between
  * identifiers whose suffixes disagree, magic unit-conversion
  * constants outside the two homes for such conversions (units.h and
- * the calendar), and headers missing the repo's include-guard
- * convention.
+ * the calendar), headers missing the repo's include-guard
+ * convention, and CARBONX_PROFILE call sites whose phase name is not
+ * a unique string literal (a dynamic or reused name merges unrelated
+ * call sites into one profile node and corrupts bench reports).
  *
  * Diagnostics carry file:line so editors and CI can jump straight to
  * the site. A `// carbonx-lint: allow(rule[, rule...])` comment (or
@@ -32,6 +34,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace carbonx
@@ -61,6 +64,7 @@ inline const char *kRuleSuffixMismatch = "unit-suffix-mismatch";
 inline const char *kRuleMagicConversion = "magic-conversion";
 inline const char *kRuleHeaderGuard = "header-guard";
 inline const char *kRuleRecorderWrite = "recorder-field-write";
+inline const char *kRuleProfilePhase = "profile-phase";
 
 /** Per-file policy derived from its path. */
 struct FileKind
@@ -293,6 +297,120 @@ unitSuffix(const std::string &identifier)
 
 } // namespace detail
 
+/** One CARBONX_PROFILE(...) call site found in a source file. */
+struct PhaseUse
+{
+    /** Literal contents; only meaningful when is_literal is set. */
+    std::string name;
+    size_t line = 0; ///< 1-based.
+    /** True when the argument is a single same-line string literal. */
+    bool is_literal = false;
+};
+
+/**
+ * Collect every CARBONX_PROFILE call site in @p source. Skips the
+ * macro's own #define (and its backslash continuations), comments and
+ * strings, and sites waived with `carbonx-lint: allow(profile-phase)`
+ * — a waived site is invisible to both the in-file and the
+ * cross-file uniqueness checks. Also used standalone by the
+ * carbonx_lint driver to check name uniqueness across files.
+ */
+inline std::vector<PhaseUse>
+collectProfilePhases(const std::string &source)
+{
+    const std::vector<std::string> raw_lines =
+        detail::splitLines(source);
+    const auto allows = detail::collectSuppressions(raw_lines);
+    const std::vector<std::string> lines =
+        detail::splitLines(stripCommentsAndStrings(source));
+
+    // CARBONX_PROFILE_CONCAT etc. do not match: '(' must follow.
+    static const std::regex call(R"(\bCARBONX_PROFILE\s*\()");
+
+    std::vector<PhaseUse> uses;
+    bool continued = false; // inside a multi-line #define
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &line = lines[i];
+        const size_t lineno = i + 1;
+
+        const size_t first = line.find_first_not_of(" \t");
+        const bool directive =
+            continued ||
+            (first != std::string::npos && line[first] == '#');
+        continued = directive && !raw_lines[i].empty() &&
+                    raw_lines[i].back() == '\\';
+        if (directive)
+            continue;
+        if (detail::isSuppressed(allows, lineno, kRuleProfilePhase))
+            continue;
+
+        for (std::sregex_iterator it(line.begin(), line.end(), call),
+             end;
+             it != end; ++it) {
+            PhaseUse use;
+            use.line = lineno;
+            size_t pos = static_cast<size_t>(it->position()) +
+                         static_cast<size_t>(it->length());
+            while (pos < line.size() &&
+                   (line[pos] == ' ' || line[pos] == '\t'))
+                ++pos;
+            if (pos < line.size() && line[pos] == '"') {
+                // The stripped line keeps the quotes but blanks the
+                // contents, so the closing quote found here is the
+                // real one; the name itself comes from the raw line
+                // (identical offsets).
+                const size_t close = line.find('"', pos + 1);
+                const size_t after =
+                    close == std::string::npos
+                        ? std::string::npos
+                        : line.find_first_not_of(" \t", close + 1);
+                if (after != std::string::npos && line[after] == ')') {
+                    use.is_literal = true;
+                    use.name =
+                        raw_lines[i].substr(pos + 1, close - pos - 1);
+                }
+            }
+            uses.push_back(use);
+        }
+    }
+    return uses;
+}
+
+/**
+ * Cross-file phase-name uniqueness for the carbonx_lint driver. Feed
+ * one entry per linted file (path + its collectProfilePhases result),
+ * in the order the files were scanned. Duplicates *within* one file
+ * are lintSource's job and are not re-reported here; a name reused
+ * across files is reported at the later site, pointing at the first.
+ */
+inline std::vector<Diagnostic>
+crossFilePhaseDuplicates(
+    const std::vector<std::pair<std::string, std::vector<PhaseUse>>>
+        &per_file)
+{
+    std::vector<Diagnostic> diags;
+    // name -> (file, line) of first use
+    std::map<std::string, std::pair<std::string, size_t>> first;
+    for (const auto &[file, uses] : per_file) {
+        for (const PhaseUse &use : uses) {
+            if (!use.is_literal || use.name.empty())
+                continue;
+            const auto [it, inserted] = first.emplace(
+                use.name, std::make_pair(file, use.line));
+            if (!inserted && it->second.first != file) {
+                diags.push_back(Diagnostic{
+                    file, use.line, kRuleProfilePhase,
+                    "phase name \"" + use.name +
+                        "\" already used at " + it->second.first +
+                        ":" + std::to_string(it->second.second) +
+                        "; CARBONX_PROFILE names must be unique "
+                        "across the tree"});
+            }
+        }
+    }
+    return diags;
+}
+
 /**
  * Lint one translation unit.
  *
@@ -384,6 +502,38 @@ lintSource(const std::string &path, const std::string &source,
                            "' written outside src/scheduler + "
                            "src/obs; recordings are read-only to "
                            "consumers");
+            }
+        }
+    }
+
+    // Rule 6: CARBONX_PROFILE phase names must be single string
+    // literals, unique within the file (the carbonx_lint driver
+    // extends uniqueness across files via crossFilePhaseDuplicates).
+    // A dynamic name defeats the profiler's pointer-identity fast
+    // path; a reused name merges unrelated call sites into one
+    // profile node and silently corrupts bench reports.
+    {
+        std::map<std::string, size_t> first_use;
+        for (const PhaseUse &use : collectProfilePhases(source)) {
+            if (!use.is_literal) {
+                report(use.line, kRuleProfilePhase,
+                       "CARBONX_PROFILE argument must be a single "
+                       "string literal on the call line");
+                continue;
+            }
+            if (use.name.empty()) {
+                report(use.line, kRuleProfilePhase,
+                       "CARBONX_PROFILE phase name must not be empty");
+                continue;
+            }
+            const auto [it, inserted] =
+                first_use.emplace(use.name, use.line);
+            if (!inserted) {
+                report(use.line, kRuleProfilePhase,
+                       "duplicate phase name \"" + use.name +
+                           "\" (first used at line " +
+                           std::to_string(it->second) +
+                           "); CARBONX_PROFILE names must be unique");
             }
         }
     }

@@ -22,7 +22,9 @@
 #include "core/explorer.h"
 #include "grid/balancing_authority.h"
 #include "grid/grid_synthesizer.h"
+#include "scheduler/batched_engine.h"
 #include "scheduler/greedy_scheduler.h"
+#include "scheduler/simulation_batch.h"
 #include "scheduler/simulation_engine.h"
 
 namespace
@@ -135,6 +137,53 @@ BENCHMARK(BM_SimulateRecorded)
     ->ArgNames({"recorder"})
     ->Arg(0)
     ->Arg(1);
+
+// One wave of the batched SoA kernel: 64 mixed lanes (with/without
+// battery, CAS on/off) through a single pass over the hourly trace.
+// items_per_second here is lanes (design points) per second — the
+// direct counterpart of one-run-per-point BM_SimulationYearBatteryCas.
+void
+BM_SimulateBatch(benchmark::State &state)
+{
+    const CarbonExplorer &ex = sharedExplorer();
+    const CoverageAnalyzer &cov = ex.coverageAnalyzer();
+    static const BatteryChemistry chem =
+        BatteryChemistry::lithiumIronPhosphate();
+    const BatchedSimulationEngine engine(ex.dcPower(), cov.solarShape(),
+                                         cov.windShape(),
+                                         &ex.gridIntensity());
+    const size_t lanes = 64;
+    SimulationBatch batch(lanes);
+    const auto fill = [&] {
+        batch.clear();
+        for (size_t i = 0; i < lanes; ++i) {
+            BatchLaneConfig lane;
+            lane.solar_mw = MegaWatts(20.0 + 1.5 * static_cast<double>(i));
+            lane.wind_mw = MegaWatts(80.0 - static_cast<double>(i));
+            const bool cas = i % 2 == 0;
+            lane.capacity_cap_mw =
+                MegaWatts((cas ? 1.5 : 1.0) * ex.dcPeakPowerMw().value());
+            if (cas)
+                lane.flexible_ratio = Fraction(0.4);
+            if (i % 4 != 3) {
+                lane.chemistry = &chem;
+                lane.battery_capacity_mwh =
+                    MegaWattHours(50.0 + 5.0 * static_cast<double>(i));
+            }
+            batch.addLane(lane);
+        }
+    };
+    fill();
+    engine.run(batch); // Warm-up: grow queues, register metrics.
+    for (auto _ : state) {
+        fill();
+        engine.run(batch);
+        benchmark::DoNotOptimize(batch.result(lanes - 1).coverage_pct);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_SimulateBatch);
 
 void
 BM_GreedySchedulerYear(benchmark::State &state)
@@ -444,9 +493,31 @@ profilerOverheadWithinBudget()
     profiler.setEnabled(true);
     const double on_ms = median_ms();
     profiler.setEnabled(false);
+    const carbonx::obs::ProfileNode merged = profiler.merged();
     profiler.reset();
 
-    const bool ok = on_ms <= off_ms * 1.10;
+    // The sweep routes through the batched kernel, so the profiled
+    // run must have timed its batch phases — a missing node means the
+    // fence silently stopped covering the hot path.
+    const auto findDeep = [](const carbonx::obs::ProfileNode &node,
+                             const std::string &name,
+                             auto &&self) -> bool {
+        if (node.name == name)
+            return true;
+        for (const carbonx::obs::ProfileNode &child : node.children) {
+            if (self(child, name, self))
+                return true;
+        }
+        return false;
+    };
+    const bool phases_ok = findDeep(merged, "sweep/batch_fill", findDeep) &&
+                           findDeep(merged, "sim/batch_step", findDeep) &&
+                           findDeep(merged, "sim/batch_drain", findDeep);
+    if (!phases_ok)
+        std::cerr << "profiler overhead check: batched kernel phases "
+                     "missing from the merged profile\n";
+
+    const bool ok = phases_ok && on_ms <= off_ms * 1.10;
     std::cerr << "profiler overhead check: off " << off_ms
               << " ms, on " << on_ms << " ms ("
               << 100.0 * (on_ms - off_ms) / off_ms

@@ -19,6 +19,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
+#include "scheduler/batched_engine.h"
 
 namespace carbonx
 {
@@ -238,16 +239,72 @@ CarbonExplorer::simulationConfig(const DesignPoint &point,
     return sim;
 }
 
+BatchLaneConfig
+CarbonExplorer::laneConfig(const DesignPoint &point,
+                           Strategy strategy) const
+{
+    BatchLaneConfig lane;
+    lane.solar_mw = point.solar_mw;
+    lane.wind_mw = point.wind_mw;
+    lane.capacity_cap_mw = MegaWatts(
+        peak_power_mw_.value() * (1.0 + (strategyUsesCas(strategy)
+                                             ? point.extra_capacity
+                                                   .value()
+                                             : 0.0)));
+    lane.flexible_ratio = strategyUsesCas(strategy)
+        ? config_.flexible_ratio
+        : Fraction(0.0);
+    lane.slo_window_hours = config_.slo_window_hours;
+    // Same gating as the scalar sweep worker: a lane has a battery
+    // exactly when simulationConfig would hand the engine a non-null
+    // one (strategy uses storage and the point sizes it above zero).
+    if (strategyUsesBattery(strategy) &&
+        point.battery_mwh.value() > 0.0) {
+        lane.battery_capacity_mwh = point.battery_mwh;
+        lane.chemistry = &config_.chemistry;
+    }
+    return lane;
+}
+
 Evaluation
 CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
                                const SimulationResult &sim) const
 {
+    return evaluationFromParts(
+        point, strategy, sim.coverage_pct,
+        OperationalCarbonModel::gridEmissions(sim.grid_power,
+                                              grid_trace_.intensity),
+        sim.renewable_used_mwh, sim.battery_cycles, sim.deferred_mwh,
+        sim.renewable_excess_mwh);
+}
+
+Evaluation
+CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
+                               const BatchLaneResult &lane) const
+{
+    // The batched kernel accumulated operational carbon per lane in
+    // the same hour order and with the same expression gridEmissions
+    // uses on the scalar grid series, so this overload is bit-
+    // identical to the SimulationResult one for the same point.
+    return evaluationFromParts(point, strategy, lane.coverage_pct,
+                               lane.operational_kg,
+                               lane.renewable_used_mwh,
+                               lane.battery_cycles, lane.deferred_mwh,
+                               lane.renewable_excess_mwh);
+}
+
+Evaluation
+CarbonExplorer::evaluationFromParts(
+    const DesignPoint &point, Strategy strategy, double coverage_pct,
+    KilogramsCo2 operational_kg, MegaWattHours renewable_used_mwh,
+    double battery_cycles, MegaWattHours deferred_mwh,
+    MegaWattHours renewable_excess_mwh) const
+{
     Evaluation eval;
     eval.point = point;
     eval.strategy = strategy;
-    eval.coverage_pct = sim.coverage_pct;
-    eval.operational_kg = OperationalCarbonModel::gridEmissions(
-        sim.grid_power, grid_trace_.intensity);
+    eval.coverage_pct = coverage_pct;
+    eval.operational_kg = operational_kg;
 
     // Renewable embodied carbon follows generated energy (LCA per-kWh
     // footprints amortize manufacturing over lifetime generation).
@@ -264,15 +321,15 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
         const double total_gen =
             solar_gen_mwh.value() + wind_gen_mwh.value();
         if (total_gen > 0.0 &&
-            sim.renewable_used_mwh.value() >
+            renewable_used_mwh.value() >
                 total_gen * (1.0 + kUnitIntervalSlack)) {
             warn("renewable energy used exceeds farm generation (" +
-                 formatFixed(sim.renewable_used_mwh.value(), 1) +
+                 formatFixed(renewable_used_mwh.value(), 1) +
                  " > " + formatFixed(total_gen, 1) +
                  " MWh); clamping attribution to the whole farm");
         }
         const double used_fraction = total_gen > 0.0
-            ? std::min(sim.renewable_used_mwh.value() / total_gen, 1.0)
+            ? std::min(renewable_used_mwh.value() / total_gen, 1.0)
             : 0.0;
         solar_attr *= used_fraction;
         wind_attr *= used_fraction;
@@ -286,7 +343,7 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
         point.battery_mwh.value() > 0.0) {
         const double days =
             static_cast<double>(load_trace_.power.calendar().daysInYear());
-        const double cycles_per_day = sim.battery_cycles / days;
+        const double cycles_per_day = battery_cycles / days;
         eval.embodied_battery_kg = embodied_.batteryAnnual(
             point.battery_mwh, config_.chemistry, cycles_per_day);
     }
@@ -295,9 +352,9 @@ CarbonExplorer::evaluationFrom(const DesignPoint &point, Strategy strategy,
             peak_power_mw_, point.extra_capacity);
     }
 
-    eval.battery_cycles = sim.battery_cycles;
-    eval.deferred_mwh = sim.deferred_mwh;
-    eval.renewable_excess_mwh = sim.renewable_excess_mwh;
+    eval.battery_cycles = battery_cycles;
+    eval.deferred_mwh = deferred_mwh;
+    eval.renewable_excess_mwh = renewable_excess_mwh;
     return eval;
 }
 
@@ -372,40 +429,53 @@ namespace
 {
 
 /**
- * Per-worker scratch for the design-space sweep: one renewable-supply
- * buffer, one simulation result, one deferral queue, and one battery
- * instance, all reused across every point the worker evaluates so the
- * inner (battery, extra-capacity) loop allocates nothing.
+ * Per-worker batch capacity: lanes per batched engine pass. Large
+ * enough to amortize one traversal of the hourly trace (and its
+ * cache traffic) over many design points, small enough that a wave
+ * still splits into several blocks for the thread pool to balance.
+ */
+constexpr size_t kSweepBatchLanes = 64;
+
+/**
+ * Per-worker scratch for the design-space sweep: one SoA simulation
+ * batch, reused across every wave the worker evaluates so the hot
+ * loop allocates nothing once its backlog queues have warmed up.
  */
 struct SweepWorkspace
 {
-    TimeSeries supply;
-    SimulationResult sim;
-    SimulationScratch scratch;
-    std::unique_ptr<ClcBattery> battery;
-
-    explicit SweepWorkspace(int year) : supply(year), sim(year) {}
+    SimulationBatch batch{kSweepBatchLanes};
 };
 
 } // namespace
 
 struct SweepBatchEvaluator::Workspaces
 {
+    BatchedSimulationEngine engine;
     std::vector<SweepWorkspace> per_worker;
+
+    Workspaces(const TimeSeries &dc_power, const TimeSeries &solar_shape,
+               const TimeSeries &wind_shape,
+               const TimeSeries *grid_intensity, size_t worker_ids)
+        : engine(dc_power, solar_shape, wind_shape, grid_intensity)
+    {
+        per_worker.resize(worker_ids);
+    }
 };
 
 SweepBatchEvaluator::SweepBatchEvaluator(const CarbonExplorer &explorer,
                                          Strategy strategy)
-    : explorer_(explorer), strategy_(strategy),
-      workspaces_(std::make_unique<Workspaces>())
+    : explorer_(explorer), strategy_(strategy)
 {
     // One workspace per possible worker id (the caller is id 0, pool
-    // workers are 1..N-1), so no two workers ever share scratch.
+    // workers are 1..N-1), so no two workers ever share scratch. The
+    // engine itself is shared: run() is const and only touches the
+    // worker's own batch. The intensity series is always attached so
+    // the kernel accumulates per-lane operational carbon inline.
     const size_t worker_ids = std::max<size_t>(threadCount(), 1);
-    const int year = explorer_.load_trace_.power.year();
-    workspaces_->per_worker.reserve(worker_ids);
-    for (size_t i = 0; i < worker_ids; ++i)
-        workspaces_->per_worker.emplace_back(year);
+    workspaces_ = std::make_unique<Workspaces>(
+        explorer_.load_trace_.power, explorer_.solar_shape_,
+        explorer_.wind_shape_, &explorer_.grid_trace_.intensity,
+        worker_ids);
 }
 
 SweepBatchEvaluator::~SweepBatchEvaluator() = default;
@@ -442,69 +512,51 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
             c_hits.increment(count - misses.size());
     }
 
-    // Contiguous misses sharing a (solar, wind) pair form one run:
-    // the supply series and engine are built once per run and the
-    // battery/server axes reuse them, matching the pre-cache sweep's
-    // memory behavior point for point.
-    struct Run
-    {
-        size_t first = 0;
-        size_t count = 0;
-    };
-    std::vector<Run> runs;
-    for (size_t i = 0; i < misses.size();) {
-        const DesignPoint &lead = points[misses[i]];
-        size_t j = i + 1;
-        while (j < misses.size() &&
-               points[misses[j]].solar_mw.value() ==
-                   lead.solar_mw.value() &&
-               points[misses[j]].wind_mw.value() ==
-                   lead.wind_mw.value())
-            ++j;
-        runs.push_back(Run{i, j - i});
-        i = j;
-    }
+    // Misses shard into fixed-size lane waves: each worker fills its
+    // whole wave into its SoA batch and one batched engine pass
+    // advances every lane through the hourly trace together. Per-lane
+    // supply is evaluated inline from the shared shapes inside the
+    // kernel, so no supply series is ever expanded. Wave order is the
+    // miss order and out-slots are fixed, so the merged results are
+    // bit-identical at any thread count.
+    static auto &g_batch = obs::gauge("sweep.batch_size");
+    g_batch.set(static_cast<double>(kSweepBatchLanes));
 
     const CarbonExplorer &ex = explorer_;
     std::vector<SweepWorkspace> &workspaces = workspaces_->per_worker;
-    parallelFor(0, runs.size(), 1, [&](size_t r, size_t worker) {
+    const BatchedSimulationEngine &engine = workspaces_->engine;
+    const size_t waves =
+        (misses.size() + kSweepBatchLanes - 1) / kSweepBatchLanes;
+    parallelFor(0, waves, 1, [&](size_t wave, size_t worker) {
         CARBONX_PROFILE("sweep/run_group");
         SweepWorkspace &ws = workspaces[worker];
-        const Run &run = runs[r];
-        const DesignPoint &lead = points[misses[run.first]];
-        ex.coverage_.supplyFor(lead.solar_mw, lead.wind_mw, ws.supply);
-        const SimulationEngine engine(ex.load_trace_.power, ws.supply);
-
+        const size_t i0 = wave * kSweepBatchLanes;
+        const size_t i1 =
+            std::min(misses.size(), i0 + kSweepBatchLanes);
         const auto run_start = std::chrono::steady_clock::now();
-        for (size_t k = 0; k < run.count; ++k) {
-            const size_t idx = misses[run.first + k];
-            const DesignPoint &point = points[idx];
-            ClcBattery *battery = nullptr;
-            if (strategyUsesBattery(strategy_) &&
-                point.battery_mwh.value() > 0.0) {
-                if (ws.battery == nullptr) {
-                    ws.battery = std::make_unique<ClcBattery>(
-                        point.battery_mwh, ex.config_.chemistry);
-                } else {
-                    ws.battery->setCapacity(point.battery_mwh);
-                }
-                battery = ws.battery.get();
-            }
-            CARBONX_SPAN("explorer/evaluate_point");
-            engine.run(ex.simulationConfig(point, strategy_, battery),
-                       ws.sim, ws.scratch);
-            out[idx] = ex.evaluationFrom(point, strategy_, ws.sim);
+        {
+            CARBONX_PROFILE("sweep/batch_fill");
+            ws.batch.clear();
+            for (size_t i = i0; i < i1; ++i)
+                ws.batch.addLane(
+                    ex.laneConfig(points[misses[i]], strategy_));
+        }
+        engine.run(ws.batch);
+        for (size_t i = i0; i < i1; ++i) {
+            const size_t idx = misses[i];
+            out[idx] = ex.evaluationFrom(points[idx], strategy_,
+                                         ws.batch.result(i - i0));
             if (emitter != nullptr)
                 emitter->add(out[idx].totalKg().value());
         }
-        // Point latency is sampled once per run (mean over its
-        // points) — one clock read and one histogram lock instead of
+        // Point latency is sampled once per wave (mean over its
+        // lanes) — one clock read and one histogram lock instead of
         // one per design point.
         const std::chrono::duration<double, std::micro> run_us =
             std::chrono::steady_clock::now() - run_start;
         h_point.record(run_us.count() /
-                       static_cast<double>(run.count));
-        c_points.increment(run.count);
+                       static_cast<double>(i1 - i0));
+        c_points.increment(i1 - i0);
     });
 
     simulated_points_ += misses.size();
@@ -591,8 +643,10 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
 
     // Pair-run batches bound the checkpoint interval: a kill loses at
     // most one batch of fresh simulations, and the cache sees one
-    // flush per batch instead of one per sweep. Sized in whole pairs
-    // so run grouping inside the evaluator is never split.
+    // flush per batch instead of one per sweep. Each batch hands the
+    // evaluator a whole wave of points, which it shards into SoA
+    // lane batches for the batched engine, so larger batches also
+    // mean fuller lanes per hourly-trace pass.
     SweepBatchEvaluator evaluator(*this, strategy);
     const size_t batch_pairs =
         std::max<size_t>(64, 8 * worker_ids);

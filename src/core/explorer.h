@@ -32,6 +32,7 @@
 #include "obs/audit.h"
 #include "obs/progress.h"
 #include "obs/recorder.h"
+#include "scheduler/simulation_batch.h"
 #include "scheduler/simulation_engine.h"
 
 namespace carbonx
@@ -403,9 +404,38 @@ class CarbonExplorer
     simulationConfig(const DesignPoint &point, Strategy strategy,
                      BatteryModel *battery) const;
 
+    /**
+     * Batched-lane equivalent of simulationConfig: same cap/ratio/
+     * window/battery mapping, expressed as a BatchLaneConfig for the
+     * SoA sweep kernel. laneConfig(p) and simulationConfig(p) always
+     * describe the identical simulation.
+     */
+    BatchLaneConfig laneConfig(const DesignPoint &point,
+                               Strategy strategy) const;
+
     Evaluation
     evaluationFrom(const DesignPoint &point, Strategy strategy,
                    const SimulationResult &sim) const;
+
+    Evaluation
+    evaluationFrom(const DesignPoint &point, Strategy strategy,
+                   const BatchLaneResult &lane) const;
+
+    /**
+     * Shared tail of both evaluationFrom overloads: carbon
+     * attribution from the simulation aggregates. Taking the
+     * aggregates by value keeps the scalar and batched paths
+     * bit-identical by construction — both feed the same numbers
+     * through the same arithmetic.
+     */
+    Evaluation
+    evaluationFromParts(const DesignPoint &point, Strategy strategy,
+                        double coverage_pct,
+                        KilogramsCo2 operational_kg,
+                        MegaWattHours renewable_used_mwh,
+                        double battery_cycles,
+                        MegaWattHours deferred_mwh,
+                        MegaWattHours renewable_excess_mwh) const;
 
     ExplorerConfig config_;
     GridTrace grid_trace_;
@@ -429,12 +459,15 @@ class CarbonExplorer
 
 /**
  * Cache-aware batch evaluator shared by the exhaustive sweep and the
- * adaptive driver. Owns the per-worker simulation workspaces (supply
- * series, engine scratch, battery instance) that make repeated point
- * evaluations allocation-free, consults the explorer's sweep cache
+ * adaptive driver. Owns one BatchedSimulationEngine plus a per-worker
+ * SimulationBatch (the SoA lane workspace that makes repeated point
+ * evaluations allocation-free), consults the explorer's sweep cache
  * before simulating, and checkpoints fresh results back into it —
  * always on the calling thread, between parallel waves, so the cache
- * needs no internal locking.
+ * needs no internal locking. Cache misses shard into fixed-size lane
+ * waves; each worker fills its whole wave into its batch and one
+ * batched engine pass advances every lane through the hourly trace
+ * together (scheduler/batched_engine.h).
  *
  * Determinism contract: evaluate() writes out[i] for points[i] and
  * produces bit-identical Evaluations whether a point was simulated
@@ -453,11 +486,12 @@ class SweepBatchEvaluator
 
     /**
      * Evaluate @p count points into @p out (same length), hitting the
-     * cache where possible and simulating misses on the process
-     * thread pool. Points sharing a (solar, wind) pair should be
-     * contiguous so workers reuse the renewable supply series across
-     * the inner battery/server axes, matching the exhaustive sweep's
-     * memory behavior. Reports each point to @p emitter (optional).
+     * cache where possible and simulating misses in batched waves on
+     * the process thread pool. Per-lane renewable supply is evaluated
+     * inline from the shared shapes inside the kernel, so no point
+     * ordering is required for performance (contiguous (solar, wind)
+     * runs are fine but no longer special). Reports each point to
+     * @p emitter (optional).
      *
      * Each call ends with a checkpoint: fresh results are inserted
      * into the attached cache and flushed to disk, then SweepAborted

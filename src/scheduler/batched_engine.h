@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Batched co-simulation: one pass over the hourly trace advances
+ * every lane of a SimulationBatch together.
+ *
+ * The scalar SimulationEngine stays the reference implementation (and
+ * the only path with flight recording / hourly output series); this
+ * engine is the sweep's hot path. Its hourly loop is two stages:
+ *
+ *  1. A branch-free lane loop computing per-lane renewable supply and
+ *     the fixed/flexible load split into contiguous staging arrays —
+ *     the auto-vectorizable part (each lane is independent, so SIMD
+ *     lanes never mix operands across design points and the values
+ *     are bit-identical to scalar evaluation order).
+ *  2. A per-lane scheduling/battery step that replicates the scalar
+ *     engine's arithmetic operation for operation, with ClcBattery's
+ *     charge/discharge math inlined on the batch's SoA state.
+ *
+ * Bit-identity contract: for every lane, all aggregates (and the
+ * derived operational carbon) equal what SimulationEngine::run plus
+ * OperationalCarbonModel::gridEmissions produce for the equivalent
+ * SimulationConfig — see the differential tests in
+ * tests/scheduler_batched_engine_test.cc and DESIGN.md for why the
+ * layout preserves this exactly.
+ */
+
+#ifndef CARBONX_SCHEDULER_BATCHED_ENGINE_H
+#define CARBONX_SCHEDULER_BATCHED_ENGINE_H
+
+#include "scheduler/simulation_batch.h"
+#include "timeseries/timeseries.h"
+
+namespace carbonx
+{
+
+/**
+ * Construct once per (load, shapes, intensity) trace set and run many
+ * batches against it. All series are borrowed and must outlive the
+ * engine. Thread-safe: run() only mutates the batch it is handed, so
+ * parallel sweep workers share one engine with per-worker batches.
+ */
+class BatchedSimulationEngine
+{
+  public:
+    /**
+     * @param dc_power Hourly datacenter demand (MW).
+     * @param solar_shape Per-unit solar shape (lane supply is
+     *        shape * nameplate, evaluated inline per hour).
+     * @param wind_shape Per-unit wind shape.
+     * @param grid_intensity Optional hourly grid intensity (g/kWh);
+     *        enables the per-lane operational-carbon accumulator and
+     *        grid-charging policies.
+     */
+    BatchedSimulationEngine(const TimeSeries &dc_power,
+                            const TimeSeries &solar_shape,
+                            const TimeSeries &wind_shape,
+                            const TimeSeries *grid_intensity = nullptr);
+
+    /**
+     * Simulate one year for every lane of @p batch, filling each
+     * lane's BatchLaneResult. Resets all lane run state first, so a
+     * batch may be re-run or refilled (clear + addLane) freely; after
+     * the first run of a given working set, run() performs no heap
+     * allocation.
+     */
+    void run(SimulationBatch &batch) const;
+
+    const TimeSeries &dcPower() const { return dc_power_; }
+
+  private:
+    const TimeSeries &dc_power_;
+    const TimeSeries &solar_shape_;
+    const TimeSeries &wind_shape_;
+    const TimeSeries *grid_intensity_;
+    double peak_mw_;
+};
+
+} // namespace carbonx
+
+#endif // CARBONX_SCHEDULER_BATCHED_ENGINE_H

@@ -19,6 +19,8 @@
 #ifndef CARBONX_SCHEDULER_SIMULATION_ENGINE_H
 #define CARBONX_SCHEDULER_SIMULATION_ENGINE_H
 
+#include <algorithm>
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -141,9 +143,10 @@ struct SimulationResult
 /**
  * Reusable deferred-work queue for SimulationEngine::run. A plain
  * vector with a head index stands in for std::deque: popFront is an
- * index bump, pushFront reuses the popped prefix when one exists, and
- * clear() keeps the capacity, so a worker that owns one scratch does
- * no queue allocation after its first simulated year.
+ * index bump, pushFront reuses the popped prefix (growing a fresh gap
+ * in one amortized-O(1) move when none is left), and clear() keeps
+ * the capacity, so a worker that owns one scratch does no queue
+ * allocation after its first simulated year.
  */
 struct SimulationScratch
 {
@@ -173,10 +176,16 @@ struct SimulationScratch
     void pushBack(const Entry &e) { entries.push_back(e); }
     void pushFront(const Entry &e)
     {
-        if (head > 0)
-            entries[--head] = e;
-        else
-            entries.insert(entries.begin(), e);
+        if (head == 0) {
+            // Out of front headroom: open a gap proportional to the
+            // queue length in one move, so a worst-case sequence of
+            // front pushes stays amortized O(1) instead of shifting
+            // the whole queue on every push.
+            const size_t grow = std::max<size_t>(entries.size(), 4);
+            entries.insert(entries.begin(), grow, Entry{});
+            head = grow;
+        }
+        entries[--head] = e;
     }
 };
 

@@ -217,17 +217,18 @@ TEST(Cli, OptimizeWritesMetricsAndTraceFiles)
     const std::string metrics = readFile(metrics_path);
     EXPECT_NE(metrics.find("\"explorer.points_evaluated\""),
               std::string::npos);
-    EXPECT_NE(metrics.find("\"sim.runs\""), std::string::npos);
+    // The sweep runs on the batched SoA kernel, so the simulation
+    // counters/spans are the batch ones.
+    EXPECT_NE(metrics.find("\"sim.batch_runs\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"sim.batch_lanes\""), std::string::npos);
     EXPECT_NE(metrics.find("\"explorer.point_eval_us\""),
               std::string::npos);
 
     const std::string trace = readFile(trace_path);
     EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
     EXPECT_NE(trace.find("explorer/optimize"), std::string::npos);
-    EXPECT_NE(trace.find("explorer/evaluate_point"),
-              std::string::npos);
     EXPECT_NE(trace.find("grid/synthesize"), std::string::npos);
-    EXPECT_NE(trace.find("sim/run"), std::string::npos);
+    EXPECT_NE(trace.find("sim/batch_run"), std::string::npos);
 
     std::remove(metrics_path.c_str());
     std::remove(trace_path.c_str());
@@ -364,7 +365,7 @@ TEST(Cli, CheckpointAbortStillWritesMetricsAndTrace)
 
     const std::string trace = readFile(trace_path);
     EXPECT_EQ(trace.rfind("{\"traceEvents\": [", 0), 0u);
-    EXPECT_NE(trace.find("sim/run"), std::string::npos);
+    EXPECT_NE(trace.find("sim/batch_run"), std::string::npos);
 
     std::remove(metrics_path.c_str());
     std::remove(trace_path.c_str());

@@ -123,6 +123,31 @@ makeScenarios()
         },
         nullptr});
 
+    // The raw batched-kernel path with no sweep bookkeeping: the full
+    // lattice straight through SweepBatchEvaluator, best picked with
+    // the same strict-< first-wins scan optimize() uses — so
+    // best_total_kg must equal the optimize_sweep row exactly, and
+    // the delta between the two rows is the cost of everything around
+    // the kernel (progress, refinement plumbing, result assembly).
+    scenarios.push_back(BenchScenario{
+        "batched_sweep", nullptr,
+        [explorer, space, strategy] {
+            const std::vector<DesignPoint> points =
+                space.enumerate(strategy);
+            std::vector<Evaluation> evals(points.size());
+            SweepBatchEvaluator evaluator(*explorer, strategy);
+            evaluator.evaluate(points.data(), points.size(),
+                               evals.data(), nullptr);
+            const Evaluation *best = &evals.front();
+            for (const Evaluation &eval : evals) {
+                if (eval.totalKg() < best->totalKg())
+                    best = &eval;
+            }
+            return RepOutcome{evals.size(), best->totalKg().value(),
+                              true};
+        },
+        nullptr});
+
     scenarios.push_back(BenchScenario{
         "adaptive_cold", nullptr,
         [explorer, space, strategy] {

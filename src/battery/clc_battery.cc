@@ -76,6 +76,7 @@ ClcBattery::minContentMwh() const
     return capacity_mwh_ * (1.0 - chemistry_.depth_of_discharge);
 }
 
+// carbonx-hot: called once per simulated hour by every engine.
 MegaWatts
 ClcBattery::charge(MegaWatts offered_power, Hours dt)
 {
@@ -104,6 +105,7 @@ ClcBattery::charge(MegaWatts offered_power, Hours dt)
     return accepted;
 }
 
+// carbonx-hot: called once per simulated hour by every engine.
 MegaWatts
 ClcBattery::discharge(MegaWatts requested_power, Hours dt)
 {

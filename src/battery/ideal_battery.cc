@@ -20,6 +20,7 @@ IdealBattery::stateOfCharge() const
                         : 0.0);
 }
 
+// carbonx-hot: called once per simulated hour by every engine.
 MegaWatts
 IdealBattery::charge(MegaWatts offered_power, Hours dt)
 {
@@ -33,6 +34,7 @@ IdealBattery::charge(MegaWatts offered_power, Hours dt)
     return accepted;
 }
 
+// carbonx-hot: called once per simulated hour by every engine.
 MegaWatts
 IdealBattery::discharge(MegaWatts requested_power, Hours dt)
 {

@@ -26,7 +26,8 @@ uint32_t
 threadId()
 {
     static std::atomic<uint32_t> next{1};
-    thread_local uint32_t id = next.fetch_add(1);
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
     return id;
 }
 

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Seeded concurrency-hygiene violations for the lint WILL_FAIL test.
+ * Never compiled into anything — linted only, expected to FAIL.
+ */
+
+#ifndef CARBONX_TESTS_LINT_FIXTURES_CONCURRENCY_VIOLATIONS_H
+#define CARBONX_TESTS_LINT_FIXTURES_CONCURRENCY_VIOLATIONS_H
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace carbonx_fixture
+{
+
+inline std::mutex g_mutex;
+inline std::atomic<unsigned> g_hits{0};
+
+inline void
+fireAndForget()
+{
+    g_mutex.lock(); // VIOLATION: naked lock, no RAII guard
+    std::thread t([] {});
+    t.detach(); // VIOLATION: detached thread
+    g_mutex.unlock();
+}
+
+// carbonx-hot
+inline unsigned
+countHit()
+{
+    return g_hits.fetch_add(1); // VIOLATION: default seq_cst in hot path
+}
+
+} // namespace carbonx_fixture
+
+#endif // CARBONX_TESTS_LINT_FIXTURES_CONCURRENCY_VIOLATIONS_H

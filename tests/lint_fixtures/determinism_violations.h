@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Seeded determinism violations for the lint WILL_FAIL test.
+ * Never compiled into anything — linted only, expected to FAIL.
+ */
+
+#ifndef CARBONX_TESTS_LINT_FIXTURES_DETERMINISM_VIOLATIONS_H
+#define CARBONX_TESTS_LINT_FIXTURES_DETERMINISM_VIOLATIONS_H
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+namespace carbonx_fixture
+{
+
+inline double
+jitteredNow()
+{
+    const int r = rand();                              // VIOLATION
+    std::random_device rd;                             // VIOLATION
+    const std::time_t stamp = time(nullptr);           // VIOLATION
+    const auto tick = std::chrono::system_clock::now(); // VIOLATION
+    return static_cast<double>(r + rd() + stamp) +
+           static_cast<double>(tick.time_since_epoch().count());
+}
+
+inline double
+sumInIterationOrder(const std::unordered_map<int, double> &weights)
+{
+    double total = 0.0;
+    for (const auto &entry : weights) // WARNING: unordered iteration
+        total += entry.second;
+    return total;
+}
+
+} // namespace carbonx_fixture
+
+#endif // CARBONX_TESTS_LINT_FIXTURES_DETERMINISM_VIOLATIONS_H

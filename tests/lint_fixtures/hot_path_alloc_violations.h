@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Seeded hot-path-alloc violations for the lint WILL_FAIL test.
+ * Never compiled into anything — linted only, expected to FAIL.
+ */
+
+#ifndef CARBONX_TESTS_LINT_FIXTURES_HOT_PATH_ALLOC_VIOLATIONS_H
+#define CARBONX_TESTS_LINT_FIXTURES_HOT_PATH_ALLOC_VIOLATIONS_H
+
+#include <string>
+#include <vector>
+
+namespace carbonx_fixture
+{
+
+// carbonx-hot
+inline double
+hotAccumulate(const std::vector<double> &xs)
+{
+    std::vector<double> scratch;        // VIOLATION: un-reserved vector
+    std::string label = "accumulate";   // VIOLATION: string construction
+    double *extra = new double[xs.size()]; // VIOLATION: new in hot path
+    double total = 0.0;
+    for (const double x : xs) {
+        scratch.push_back(x);           // VIOLATION: un-reserved growth
+        total += x;
+    }
+    delete[] extra;
+    (void)label;
+    return total;
+}
+
+} // namespace carbonx_fixture
+
+#endif // CARBONX_TESTS_LINT_FIXTURES_HOT_PATH_ALLOC_VIOLATIONS_H

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the carbonx-analyze C++ lexer
+ * (tools/analyze/lexer.h): token kinds and line mapping through the
+ * constructs that break naive regex scanning — raw strings, line
+ * continuations, nested comment markers inside strings, and
+ * maximal-munch operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint_rules.h"
+
+namespace lex = carbonx::lint::lex;
+
+namespace
+{
+
+std::vector<std::string>
+tokenTexts(const lex::TokenStream &ts)
+{
+    std::vector<std::string> out;
+    out.reserve(ts.tokens.size());
+    for (const lex::Token &t : ts.tokens)
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(LexerTest, TokenizesIdentifiersNumbersAndPuncts)
+{
+    const auto ts = lex::lexSource("int x_mwh = 42 + 7;\n");
+    const auto texts = tokenTexts(ts);
+    const std::vector<std::string> expected = {"int", "x_mwh", "=",
+                                               "42",  "+",     "7",
+                                               ";"};
+    EXPECT_EQ(texts, expected);
+    EXPECT_EQ(ts.tokens[0].kind, lex::TokKind::Ident);
+    EXPECT_EQ(ts.tokens[3].kind, lex::TokKind::Number);
+    EXPECT_EQ(ts.tokens[2].kind, lex::TokKind::Punct);
+    EXPECT_EQ(ts.line_count, 2u);
+}
+
+TEST(LexerTest, StringContentsBecomeOneBlankedToken)
+{
+    const auto ts =
+        lex::lexSource("auto s = \"no + tokens / here\";\n");
+    ASSERT_EQ(ts.tokens.size(), 5u);
+    EXPECT_EQ(ts.tokens[3].kind, lex::TokKind::String);
+    // The stripped text keeps the quotes but blanks the contents.
+    EXPECT_EQ(ts.stripped.find("tokens"), std::string::npos);
+    EXPECT_NE(ts.stripped.find('"'), std::string::npos);
+}
+
+TEST(LexerTest, RawStringSwallowsQuotesAndParens)
+{
+    const std::string src =
+        "auto s = R\"delim(quote \" paren ) and )\" too)delim\";\n"
+        "int after = 1;\n";
+    const auto ts = lex::lexSource(src);
+    // The raw string is one String token; nothing inside it leaks.
+    size_t strings = 0;
+    for (const lex::Token &t : ts.tokens)
+        if (t.kind == lex::TokKind::String) {
+            ++strings;
+            EXPECT_TRUE(t.is_raw);
+            EXPECT_EQ(t.line, 1u);
+        }
+    EXPECT_EQ(strings, 1u);
+    EXPECT_EQ(ts.stripped.find("paren"), std::string::npos);
+    // Tokens after the raw string (int after = 1 ;) land on the
+    // right line.
+    const auto &toks = ts.tokens;
+    ASSERT_GE(toks.size(), 5u);
+    EXPECT_EQ(toks[toks.size() - 5].text, "int");
+    EXPECT_EQ(toks[toks.size() - 5].line, 2u);
+}
+
+TEST(LexerTest, RawStringWithNewlinesKeepsLineMap)
+{
+    const std::string src = "auto s = R\"(line one\nline two\n)\";\n"
+                            "int after = 9;\n";
+    const auto ts = lex::lexSource(src);
+    const auto &toks = ts.tokens;
+    ASSERT_GE(toks.size(), 5u);
+    EXPECT_EQ(toks[toks.size() - 5].text, "int");
+    EXPECT_EQ(toks[toks.size() - 5].line, 4u);
+    // Newlines inside the raw string survive into the stripped text.
+    EXPECT_EQ(static_cast<size_t>(std::count(ts.stripped.begin(),
+                                             ts.stripped.end(),
+                                             '\n')),
+              4u);
+}
+
+TEST(LexerTest, LineContinuationJoinsLogicalLine)
+{
+    // The backslash-newline splice joins the directive; the directive
+    // list records it as one entry spanning two physical lines.
+    const std::string src = "#define TWO_LINES \\\n    1\nint x;\n";
+    const auto ts = lex::lexSource(src);
+    ASSERT_EQ(ts.directives.size(), 1u);
+    EXPECT_EQ(ts.directives[0].line, 1u);
+    EXPECT_EQ(ts.directives[0].end_line, 2u);
+    // The int declaration still maps to physical line 3.
+    ASSERT_FALSE(ts.tokens.empty());
+    EXPECT_EQ(ts.tokens[0].text, "int");
+    EXPECT_EQ(ts.tokens[0].line, 3u);
+}
+
+TEST(LexerTest, LineCommentContinuesAcrossSplice)
+{
+    const std::string src = "// comment \\\nstill comment\nint x;\n";
+    const auto ts = lex::lexSource(src);
+    ASSERT_EQ(ts.comments.size(), 1u);
+    EXPECT_EQ(ts.comments[0].line, 1u);
+    EXPECT_EQ(ts.comments[0].end_line, 2u);
+    ASSERT_FALSE(ts.tokens.empty());
+    EXPECT_EQ(ts.tokens[0].text, "int");
+    EXPECT_EQ(ts.tokens[0].line, 3u);
+}
+
+TEST(LexerTest, CommentMarkersInsideStringsAreNotComments)
+{
+    const std::string src =
+        "auto a = \"/* not a comment */\";\nint live = 2;\n";
+    const auto ts = lex::lexSource(src);
+    EXPECT_TRUE(ts.comments.empty());
+    // `live` must still tokenize: the fake block comment didn't eat
+    // the rest of the file.
+    bool saw_live = false;
+    for (const lex::Token &t : ts.tokens)
+        saw_live = saw_live || t.text == "live";
+    EXPECT_TRUE(saw_live);
+}
+
+TEST(LexerTest, BlockCommentWithNestedMarkersAndLineMap)
+{
+    const std::string src =
+        "/* outer /* looks nested */ int x = 1;\n"
+        "/* spans\nlines */ int y = 2;\n";
+    const auto ts = lex::lexSource(src);
+    ASSERT_EQ(ts.comments.size(), 2u);
+    EXPECT_EQ(ts.comments[1].line, 2u);
+    EXPECT_EQ(ts.comments[1].end_line, 3u);
+    // C comments do not nest: x tokenizes on line 1, y on line 3.
+    ASSERT_GE(ts.tokens.size(), 2u);
+    EXPECT_EQ(ts.tokens[1].text, "x");
+    EXPECT_EQ(ts.tokens[1].line, 1u);
+    bool saw_y = false;
+    for (const lex::Token &t : ts.tokens)
+        if (t.text == "y") {
+            saw_y = true;
+            EXPECT_EQ(t.line, 3u);
+        }
+    EXPECT_TRUE(saw_y);
+}
+
+TEST(LexerTest, MaximalMunchOperators)
+{
+    const auto ts =
+        lex::lexSource("a <<= b; c->d; e::f; g != h; i >>= j;\n");
+    const auto texts = tokenTexts(ts);
+    const auto has = [&](const char *op) {
+        for (const std::string &t : texts)
+            if (t == op)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has("<<="));
+    EXPECT_TRUE(has("->"));
+    EXPECT_TRUE(has("::"));
+    EXPECT_TRUE(has("!="));
+    EXPECT_TRUE(has(">>="));
+}
+
+TEST(LexerTest, NumbersWithSeparatorsAndExponents)
+{
+    // Digit separators are consumed but normalized out of the token
+    // text, so 1'000 compares equal to the magic-factor "1000".
+    const auto ts = lex::lexSource(
+        "auto a = 1'000'000; auto b = 1.5e-3; auto c = 0x1fULL;\n");
+    std::vector<std::string> numbers;
+    for (const lex::Token &t : ts.tokens)
+        if (t.kind == lex::TokKind::Number)
+            numbers.push_back(t.text);
+    const std::vector<std::string> expected = {"1000000", "1.5e-3",
+                                               "0x1fULL"};
+    EXPECT_EQ(numbers, expected);
+}
+
+TEST(LexerTest, CharLiteralsAndDigitSeparatorsDisambiguated)
+{
+    const auto ts =
+        lex::lexSource("char q = '\\''; int n = 2'048;\n");
+    size_t chars = 0;
+    size_t numbers = 0;
+    for (const lex::Token &t : ts.tokens) {
+        if (t.kind == lex::TokKind::Char)
+            ++chars;
+        if (t.kind == lex::TokKind::Number) {
+            ++numbers;
+            EXPECT_EQ(t.text, "2048"); // Separator normalized away.
+        }
+    }
+    EXPECT_EQ(chars, 1u);
+    EXPECT_EQ(numbers, 1u);
+}
+
+TEST(LexerTest, PreprocessorDirectivesAreNotTokens)
+{
+    const std::string src = "#include \"common/units.h\"\n"
+                            "#ifdef FOO\n"
+                            "int inside = 1;\n"
+                            "#endif\n";
+    const auto ts = lex::lexSource(src);
+    ASSERT_EQ(ts.directives.size(), 3u);
+    EXPECT_NE(ts.directives[0].text.find("common/units.h"),
+              std::string::npos);
+    // Only the declaration tokenizes; directive text stays out of
+    // the token stream.
+    for (const lex::Token &t : ts.tokens)
+        EXPECT_NE(t.text, "include");
+}
+
+TEST(LexerTest, StrippedPreservesEveryNewline)
+{
+    const std::string src = "int a; // trailing\n"
+                            "/* block\nspanning */ int b;\n"
+                            "auto s = \"multi\\nescape\";\n";
+    const auto ts = lex::lexSource(src);
+    EXPECT_EQ(std::count(ts.stripped.begin(), ts.stripped.end(),
+                         '\n'),
+              std::count(src.begin(), src.end(), '\n'));
+}
+
+} // namespace

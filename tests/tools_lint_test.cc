@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "lint_rules.h"
 
 namespace carbonx
@@ -344,6 +348,177 @@ TEST(LintDiagnostic, FormatIsFileLineRuleMessage)
 {
     const Diagnostic d{"src/core/x.cc", 7, "magic-conversion", "boom"};
     EXPECT_EQ(d.format(), "src/core/x.cc:7: [magic-conversion] boom");
+}
+
+// ---------------------------------------------------------------
+// Exit-code contract of the carbonx_lint binary: 0 clean, 1 when
+// violations are found, 2 on I/O or parse errors. Tests skip when
+// the binary is not at the expected build location.
+
+constexpr const char *kLintPath = "../tools/carbonx_lint";
+
+struct LintRun
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+LintRun
+runLint(const std::string &args)
+{
+    LintRun result;
+    const std::string command =
+        std::string(kLintPath) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    std::array<char, 512> buffer;
+    while (fgets(buffer.data(), buffer.size(), pipe) != nullptr)
+        result.output += buffer.data();
+    const int status = pclose(pipe);
+    result.exit_code = WEXITSTATUS(status);
+    return result;
+}
+
+bool
+lintBinaryPresent()
+{
+    std::ifstream probe(kLintPath);
+    return probe.good();
+}
+
+/** Write a scratch file next to the test binary; removed by caller. */
+std::string
+writeScratch(const std::string &name, const std::string &contents)
+{
+    std::ofstream out(name);
+    out << contents;
+    return name;
+}
+
+TEST(LintExitCodes, CleanFileExitsZero)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string path = writeScratch(
+        "lint_clean.cc", "int add(int a, int b) { return a + b; }\n");
+    const LintRun run = runLint(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_NE(run.output.find("clean"), std::string::npos);
+}
+
+TEST(LintExitCodes, ViolationsExitOne)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string path = writeScratch(
+        "lint_dirty.cc", "void f() { int r = rand(); (void)r; }\n");
+    const LintRun run = runLint(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_NE(run.output.find("determinism"), std::string::npos);
+}
+
+TEST(LintExitCodes, UnreadablePathIsAHardErrorTwo)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const LintRun run = runLint("no_such_dir_xyzzy");
+    EXPECT_EQ(run.exit_code, 2) << run.output;
+    EXPECT_NE(run.output.find("cannot read"), std::string::npos);
+}
+
+TEST(LintExitCodes, UnreadableFileAmongGoodOnesIsStillErrorTwo)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string good = writeScratch(
+        "lint_good.cc", "int add(int a, int b) { return a + b; }\n");
+    const LintRun run = runLint(good + " lint_missing_xyzzy.cc");
+    std::remove(good.c_str());
+    EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(LintExitCodes, UnknownFlagIsUsageErrorTwo)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const LintRun run = runLint("--no-such-flag .");
+    EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(LintExitCodes, MalformedBaselineIsParseErrorTwo)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string src = writeScratch(
+        "lint_base_src.cc", "int add(int a, int b) { return a + b; }\n");
+    const std::string baseline =
+        writeScratch("lint_bad_baseline.txt", "not a valid entry\n");
+    const LintRun run =
+        runLint("--baseline=" + baseline + " " + src);
+    std::remove(src.c_str());
+    std::remove(baseline.c_str());
+    EXPECT_EQ(run.exit_code, 2) << run.output;
+    EXPECT_NE(run.output.find("baseline"), std::string::npos);
+}
+
+TEST(LintExitCodes, BaselinedFindingsExitZero)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string src = writeScratch(
+        "lint_tolerated.cc",
+        "void f() { int r = rand(); (void)r; }\n");
+    const std::string baseline = writeScratch(
+        "lint_ok_baseline.txt",
+        "# scratch fixture exercising the baseline path\n"
+        "lint_tolerated.cc:1 determinism\n");
+    const LintRun run =
+        runLint("--baseline=" + baseline + " " + src);
+    std::remove(src.c_str());
+    std::remove(baseline.c_str());
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_NE(run.output.find("(baselined)"), std::string::npos);
+}
+
+TEST(LintExitCodes, BaselineDriftGateExitsOneOnStaleEntry)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string src = writeScratch(
+        "lint_short.cc", "int add(int a, int b) { return a + b; }\n");
+    const std::string baseline = writeScratch(
+        "lint_stale_baseline.txt",
+        "# entry points far past EOF\n"
+        "lint_short.cc:999 determinism\n");
+    const LintRun run =
+        runLint("--check-baseline=" + baseline + " " + src);
+    std::remove(src.c_str());
+    std::remove(baseline.c_str());
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_NE(run.output.find("drift"), std::string::npos);
+}
+
+TEST(LintExitCodes, SarifOutputParsesEvenWithFindings)
+{
+    if (!lintBinaryPresent())
+        GTEST_SKIP() << "carbonx_lint not at " << kLintPath;
+    const std::string src = writeScratch(
+        "lint_sarif_src.cc",
+        "void f() { int r = rand(); (void)r; }\n");
+    const LintRun run = runLint("--format=sarif " + src);
+    std::remove(src.c_str());
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    const auto doc = JsonValue::parse(run.output);
+    EXPECT_EQ(doc.at("version", "sarif").asString(), "2.1.0");
+    EXPECT_EQ(doc.at("runs", "sarif")
+                  .items()[0]
+                  .at("results", "run")
+                  .items()
+                  .size(),
+              1u);
 }
 
 } // namespace

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Baseline file support: land new rules without a flag-day.
+ *
+ * A baseline is a committed text file of findings that are known,
+ * reviewed, and deliberately tolerated. The driver demotes a finding
+ * that matches a baseline entry — same rule, same line, and a
+ * path-suffix match on the file — so it is reported but does not
+ * gate the build. Policy (enforced socially plus by the drift check
+ * in CI): every entry carries a comment line explaining *why* the
+ * finding is intentional, and entries whose file:line no longer
+ * exists must be pruned.
+ *
+ * Format, line-oriented:
+ *
+ *   # why this entry is intentional (comment lines attach to the
+ *   # entry below them)
+ *   src/common/foo.cc:123 rule-name
+ *
+ * Matching uses a path *suffix* with a component boundary, so a
+ * baseline written as `src/common/foo.cc` matches whether the driver
+ * was invoked as `carbonx_lint src` or with absolute paths from a
+ * ctest.
+ */
+
+#ifndef CARBONX_TOOLS_ANALYZE_BASELINE_H
+#define CARBONX_TOOLS_ANALYZE_BASELINE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/context.h"
+
+namespace carbonx
+{
+namespace lint
+{
+
+struct BaselineEntry
+{
+    std::string file; ///< Repo-relative, forward slashes.
+    size_t line = 0;  ///< 1-based.
+    std::string rule;
+    std::string comment; ///< The explanation above the entry.
+    size_t baseline_line = 0; ///< Where in the baseline file.
+    bool used = false; ///< Matched at least one finding this run.
+};
+
+struct BaselineParse
+{
+    bool ok = true;
+    std::string error; ///< First problem, with line number.
+    std::vector<BaselineEntry> entries;
+};
+
+/** True when @p path ends with @p suffix on a path boundary. */
+inline bool
+pathSuffixMatches(const std::string &path, const std::string &suffix)
+{
+    if (suffix.empty() || path.size() < suffix.size())
+        return false;
+    if (path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return false;
+    if (path.size() == suffix.size())
+        return true;
+    const char before = path[path.size() - suffix.size() - 1];
+    return before == '/';
+}
+
+/** Parse baseline text. Malformed entries fail the parse (ok=false). */
+inline BaselineParse
+parseBaseline(const std::string &text)
+{
+    BaselineParse result;
+    std::string pending_comment;
+    const std::vector<std::string> lines = detail::splitLines(text);
+    for (size_t i = 0; i < lines.size(); ++i) {
+        const std::string &raw = lines[i];
+        const size_t first = raw.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue; // Blank lines reset nothing.
+        if (raw[first] == '#') {
+            const size_t start =
+                raw.find_first_not_of("# \t", first);
+            if (start != std::string::npos) {
+                if (!pending_comment.empty())
+                    pending_comment += ' ';
+                pending_comment += raw.substr(start);
+            }
+            continue;
+        }
+        // ENTRY: path:line rule
+        const size_t space = raw.find_first_of(" \t", first);
+        if (space == std::string::npos) {
+            result.ok = false;
+            result.error = "baseline line " + std::to_string(i + 1) +
+                           ": expected 'path:line rule'";
+            return result;
+        }
+        const std::string loc = raw.substr(first, space - first);
+        const size_t colon = loc.find_last_of(':');
+        if (colon == std::string::npos || colon + 1 >= loc.size()) {
+            result.ok = false;
+            result.error = "baseline line " + std::to_string(i + 1) +
+                           ": missing ':line' in '" + loc + "'";
+            return result;
+        }
+        BaselineEntry entry;
+        entry.file = loc.substr(0, colon);
+        const std::string lineno = loc.substr(colon + 1);
+        entry.line = 0;
+        for (const char c : lineno) {
+            if (c < '0' || c > '9') {
+                result.ok = false;
+                result.error = "baseline line " +
+                               std::to_string(i + 1) +
+                               ": bad line number '" + lineno + "'";
+                return result;
+            }
+            entry.line = entry.line * 10 + static_cast<size_t>(c - '0');
+        }
+        const size_t rule_at = raw.find_first_not_of(" \t", space);
+        if (rule_at == std::string::npos) {
+            result.ok = false;
+            result.error = "baseline line " + std::to_string(i + 1) +
+                           ": missing rule name";
+            return result;
+        }
+        const size_t rule_end = raw.find_first_of(" \t", rule_at);
+        entry.rule = raw.substr(rule_at, rule_end == std::string::npos
+                                             ? std::string::npos
+                                             : rule_end - rule_at);
+        entry.comment = pending_comment;
+        entry.baseline_line = i + 1;
+        pending_comment.clear();
+        result.entries.push_back(entry);
+    }
+    return result;
+}
+
+/**
+ * Mark every finding that matches a baseline entry (and the entry as
+ * used). Returns the number of findings demoted.
+ */
+inline size_t
+applyBaseline(std::vector<BaselineEntry> &entries,
+              std::vector<Diagnostic> &diags)
+{
+    size_t demoted = 0;
+    for (Diagnostic &d : diags) {
+        for (BaselineEntry &entry : entries) {
+            if (entry.rule == d.rule && entry.line == d.line &&
+                pathSuffixMatches(d.file, entry.file)) {
+                d.baselined = true;
+                entry.used = true;
+                ++demoted;
+                break;
+            }
+        }
+    }
+    return demoted;
+}
+
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_ANALYZE_BASELINE_H

@@ -1,0 +1,498 @@
+/**
+ * @file
+ * Lightweight C++ lexer for carbonx-analyze.
+ *
+ * Turns one translation unit into a flat token stream (identifiers,
+ * pp-numbers, string/char literals, punctuation) plus side tables for
+ * comments and preprocessor directives, every entry tagged with its
+ * 1-based source line. It is not a compiler front end: no keyword
+ * table, no template disambiguation, no macro expansion — just
+ * enough structure that lint rules can match token patterns instead
+ * of regexes over raw text, without ever tripping on a unit suffix in
+ * prose, a "24/7" in a doc comment, or code quoted inside a string.
+ *
+ * Handled faithfully because the rules depend on it:
+ *   - line and block comments (contents recorded for waiver markers
+ *     and `carbonx-hot` annotations);
+ *   - string literals with escapes, encoding prefixes (L/u8/u/U) and
+ *     raw strings `R"delim(...)delim"` spanning lines;
+ *   - char literals and digit separators (1'000'000 lexes as one
+ *     number, not a number plus a char literal);
+ *   - preprocessor directives with backslash continuations, spliced
+ *     into one logical line and kept out of the code token stream;
+ *   - maximal-munch operators so `==` is never mistaken for `=`.
+ *
+ * The lexer also produces a "stripped" copy of the source (comment
+ * and literal contents blanked, newlines preserved) for the few
+ * line-oriented checks and for tooling that predates the token
+ * stream.
+ */
+
+#ifndef CARBONX_TOOLS_ANALYZE_LEXER_H
+#define CARBONX_TOOLS_ANALYZE_LEXER_H
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace carbonx
+{
+namespace lint
+{
+namespace lex
+{
+
+enum class TokKind
+{
+    Ident,  ///< Identifiers and keywords (no keyword table needed).
+    Number, ///< pp-numbers: 42, 1e3, 0x1F, 19.0_mw; digit
+            ///< separators normalized away (1'000 -> "1000").
+    String, ///< String literal; text holds the contents, not quotes.
+    Char,   ///< Character literal; text holds the contents.
+    Punct   ///< Operator or punctuator, maximal munch.
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    size_t line = 0;     ///< 1-based line where the token starts.
+    bool is_raw = false; ///< Raw string literal (String only).
+};
+
+/** One comment, with delimiters removed. */
+struct Comment
+{
+    std::string text;
+    size_t line = 0;     ///< 1-based start line.
+    size_t end_line = 0; ///< Last line the comment touches.
+};
+
+/** One preprocessor directive as a spliced logical line. */
+struct Directive
+{
+    /** Directive text from '#', continuations joined, comments cut. */
+    std::string text;
+    size_t line = 0;     ///< 1-based line of the '#'.
+    size_t end_line = 0; ///< Last physical line (continuations).
+};
+
+struct TokenStream
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<Directive> directives;
+    /**
+     * Source with comment bodies and literal contents blanked to
+     * spaces; newlines and literal delimiters survive, so line
+     * numbers and rough shape are intact.
+     */
+    std::string stripped;
+    size_t line_count = 0; ///< Physical lines in the input.
+};
+
+namespace detail
+{
+
+inline bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+           c == '_';
+}
+
+inline bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           c == '_';
+}
+
+inline bool
+isDigit(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Longest-first operator table for maximal munch. */
+inline const std::vector<std::string> &
+punctuators()
+{
+    static const std::vector<std::string> ops = {
+        "<<=", ">>=", "->*", "...", "<=>", "##", "::", "->", "++",
+        "--",  "<<",  ">>",  "<=",  ">=",  "==", "!=", "&&", "||",
+        "+=",  "-=",  "*=",  "/=",  "%=",  "&=", "|=", "^=", ".*",
+    };
+    return ops;
+}
+
+} // namespace detail
+
+/**
+ * Lex @p src. Never throws on malformed input: an unterminated
+ * literal ends at the next newline (or EOF) and lexing continues, so
+ * a half-edited file still produces diagnostics for its intact part.
+ */
+inline TokenStream
+lexSource(const std::string &src)
+{
+    TokenStream ts;
+    ts.stripped = src;
+    std::string &out = ts.stripped;
+
+    size_t i = 0;
+    size_t line = 1;
+    bool at_line_start = true;
+    const size_t n = src.size();
+
+    const auto blank = [&](size_t at) {
+        if (src[at] != '\n')
+            out[at] = ' ';
+    };
+
+    // Consume a quoted literal starting at the opening quote; returns
+    // one past the closing quote. Contents (and escapes) blanked.
+    const auto lexQuoted = [&](size_t start, char quote,
+                               std::string &contents) {
+        size_t j = start + 1;
+        while (j < n) {
+            const char c = src[j];
+            if (c == '\\' && j + 1 < n) {
+                contents += c;
+                contents += src[j + 1];
+                blank(j);
+                if (src[j + 1] == '\n')
+                    ++line;
+                else
+                    blank(j + 1);
+                j += 2;
+                continue;
+            }
+            if (c == quote)
+                return j + 1;
+            if (c == '\n') // Unterminated; resynchronize.
+                return j;
+            contents += c;
+            blank(j);
+            ++j;
+        }
+        return j;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        const char next = i + 1 < n ? src[i + 1] : '\0';
+
+        if (c == '\n') {
+            ++line;
+            at_line_start = true;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        if (c == '\\' && next == '\n') { // Stray line splice.
+            ++line;
+            i += 2;
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && next == '/') {
+            Comment comment;
+            comment.line = line;
+            blank(i);
+            blank(i + 1);
+            size_t j = i + 2;
+            while (j < n) {
+                if (src[j] == '\\' && j + 1 < n &&
+                    src[j + 1] == '\n') {
+                    // A line comment continues across a splice.
+                    blank(j);
+                    ++line;
+                    j += 2;
+                    comment.text += ' ';
+                    continue;
+                }
+                if (src[j] == '\n')
+                    break;
+                comment.text += src[j];
+                blank(j);
+                ++j;
+            }
+            comment.end_line = line;
+            ts.comments.push_back(comment);
+            i = j;
+            continue;
+        }
+        if (c == '/' && next == '*') {
+            Comment comment;
+            comment.line = line;
+            blank(i);
+            blank(i + 1);
+            size_t j = i + 2;
+            while (j < n) {
+                if (src[j] == '*' && j + 1 < n && src[j + 1] == '/') {
+                    blank(j);
+                    blank(j + 1);
+                    j += 2;
+                    break;
+                }
+                if (src[j] == '\n')
+                    ++line;
+                comment.text += src[j];
+                blank(j);
+                ++j;
+            }
+            comment.end_line = line;
+            ts.comments.push_back(comment);
+            i = j;
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its line, spliced.
+        if (c == '#' && at_line_start) {
+            Directive dir;
+            dir.line = line;
+            size_t j = i;
+            bool in_block_comment = false;
+            bool cut = false; // Past a // comment within the line.
+            while (j < n) {
+                const char d = src[j];
+                const char dn = j + 1 < n ? src[j + 1] : '\0';
+                if (in_block_comment) {
+                    if (d == '*' && dn == '/') {
+                        in_block_comment = false;
+                        blank(j);
+                        blank(j + 1);
+                        j += 2;
+                        continue;
+                    }
+                    if (d == '\n') {
+                        ++line;
+                        dir.text += ' ';
+                    } else {
+                        blank(j);
+                    }
+                    ++j;
+                    continue;
+                }
+                if (d == '\\' && dn == '\n') {
+                    ++line;
+                    dir.text += ' ';
+                    j += 2;
+                    cut = false;
+                    continue;
+                }
+                if (d == '\n')
+                    break;
+                if (d == '/' && dn == '*') {
+                    in_block_comment = true;
+                    blank(j);
+                    blank(j + 1);
+                    j += 2;
+                    continue;
+                }
+                if (d == '/' && dn == '/') {
+                    // Comment to end of physical line; directive may
+                    // still continue if the comment's line ends in a
+                    // backslash, which we treat as ending it.
+                    cut = true;
+                    blank(j);
+                    blank(j + 1);
+                    j += 2;
+                    continue;
+                }
+                if (cut) {
+                    blank(j);
+                    ++j;
+                    continue;
+                }
+                if (d == '"') {
+                    // Keep include paths readable in dir.text but
+                    // blank them in the stripped copy like any other
+                    // string literal.
+                    dir.text += d;
+                    size_t k = j + 1;
+                    while (k < n && src[k] != '"' && src[k] != '\n') {
+                        dir.text += src[k];
+                        blank(k);
+                        ++k;
+                    }
+                    if (k < n && src[k] == '"') {
+                        dir.text += '"';
+                        ++k;
+                    }
+                    j = k;
+                    continue;
+                }
+                dir.text += d;
+                ++j;
+            }
+            dir.end_line = line;
+            ts.directives.push_back(dir);
+            at_line_start = false;
+            i = j;
+            continue;
+        }
+
+        at_line_start = false;
+
+        // String literal (possibly via an encoding/raw prefix below).
+        if (c == '"') {
+            Token tok;
+            tok.kind = TokKind::String;
+            tok.line = line;
+            i = lexQuoted(i, '"', tok.text);
+            ts.tokens.push_back(tok);
+            continue;
+        }
+        if (c == '\'') {
+            Token tok;
+            tok.kind = TokKind::Char;
+            tok.line = line;
+            i = lexQuoted(i, '\'', tok.text);
+            ts.tokens.push_back(tok);
+            continue;
+        }
+
+        // pp-number: digits, or '.' followed by a digit. Consumes
+        // identifier chars, digit separators, '.' and exponent signs,
+        // so 1e3, 0x1F, 1'000'000 and 19.0_mw are each one token.
+        if (detail::isDigit(c) ||
+            (c == '.' && detail::isDigit(next))) {
+            Token tok;
+            tok.kind = TokKind::Number;
+            tok.line = line;
+            size_t j = i;
+            while (j < n) {
+                const char d = src[j];
+                if (detail::isIdentChar(d) || d == '.') {
+                    tok.text += d;
+                    ++j;
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        j < n &&
+                        (src[j] == '+' || src[j] == '-')) {
+                        tok.text += src[j];
+                        ++j;
+                    }
+                    continue;
+                }
+                if (d == '\'' && j + 1 < n &&
+                    detail::isIdentChar(src[j + 1])) {
+                    ++j; // Digit separator.
+                    continue;
+                }
+                break;
+            }
+            ts.tokens.push_back(tok);
+            i = j;
+            continue;
+        }
+
+        if (detail::isIdentStart(c)) {
+            std::string ident;
+            size_t j = i;
+            while (j < n && detail::isIdentChar(src[j])) {
+                ident += src[j];
+                ++j;
+            }
+            // Raw string: R"delim( ... )delim", with optional
+            // encoding prefix folded into the identifier (LR, u8R...).
+            if (j < n && src[j] == '"' &&
+                (ident == "R" || ident == "LR" || ident == "uR" ||
+                 ident == "UR" || ident == "u8R")) {
+                Token tok;
+                tok.kind = TokKind::String;
+                tok.is_raw = true;
+                tok.line = line;
+                size_t k = j + 1;
+                std::string delim;
+                while (k < n && src[k] != '(' && src[k] != '\n' &&
+                       delim.size() < 16) {
+                    delim += src[k];
+                    blank(k);
+                    ++k;
+                }
+                if (k < n && src[k] == '(') {
+                    blank(k);
+                    ++k;
+                    const std::string closer = ")" + delim + "\"";
+                    while (k < n) {
+                        if (src.compare(k, closer.size(), closer) ==
+                            0) {
+                            for (size_t b = 0; b < closer.size(); ++b)
+                                blank(k + b);
+                            k += closer.size();
+                            break;
+                        }
+                        if (src[k] == '\n')
+                            ++line;
+                        else
+                            tok.text += src[k];
+                        if (src[k] == '\n')
+                            tok.text += '\n';
+                        blank(k);
+                        ++k;
+                    }
+                }
+                ts.tokens.push_back(tok);
+                i = k;
+                continue;
+            }
+            // Encoding-prefixed ordinary string: L"x", u8"x"...
+            if (j < n && src[j] == '"' &&
+                (ident == "L" || ident == "u" || ident == "U" ||
+                 ident == "u8")) {
+                Token tok;
+                tok.kind = TokKind::String;
+                tok.line = line;
+                i = lexQuoted(j, '"', tok.text);
+                ts.tokens.push_back(tok);
+                continue;
+            }
+            Token tok;
+            tok.kind = TokKind::Ident;
+            tok.line = line;
+            tok.text = std::move(ident);
+            ts.tokens.push_back(tok);
+            i = j;
+            continue;
+        }
+
+        // Punctuation, maximal munch against the operator table;
+        // unknown bytes become single-char tokens.
+        {
+            Token tok;
+            tok.kind = TokKind::Punct;
+            tok.line = line;
+            for (const std::string &op : detail::punctuators()) {
+                if (src.compare(i, op.size(), op) == 0) {
+                    tok.text = op;
+                    break;
+                }
+            }
+            if (tok.text.empty())
+                tok.text = std::string(1, c);
+            i += tok.text.size();
+            ts.tokens.push_back(tok);
+        }
+    }
+
+    ts.line_count =
+        static_cast<size_t>(std::count(src.begin(), src.end(), '\n')) +
+        1;
+    return ts;
+}
+
+} // namespace lex
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_ANALYZE_LEXER_H

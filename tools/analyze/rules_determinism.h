@@ -1,0 +1,202 @@
+/**
+ * @file
+ * determinism: reject hidden entropy and wall-clock reads.
+ *
+ * Carbon Explorer's core contract is bit-identical sweeps at any
+ * thread count and across reruns (the differential tests diff full
+ * 8760-hour results byte for byte). Anything that injects entropy —
+ * rand(), std::random_device, wall-clock time — or that lets hash
+ * ordering leak into results silently breaks that contract in ways a
+ * runtime test only catches on the configuration that happens to
+ * exercise it. The rule:
+ *
+ *   - bans rand()/srand(), std::random_device, time(nullptr)
+ *     (and time(NULL)/time(0)), and argless
+ *     std::chrono::system_clock::now() outside common/rng.* and
+ *     src/obs (provenance stamps and traces legitimately read the
+ *     wall clock; seeded randomness lives in common/rng.h);
+ *   - flags iteration over std::unordered_* containers (range-for or
+ *     .begin()), which feeds hash-order into whatever consumes the
+ *     loop — Warning severity, because some iterations provably
+ *     cannot reach results; waive or fix by iterating a sorted view.
+ *
+ * steady_clock is always fine: it measures durations, not wall time,
+ * and never feeds results.
+ */
+
+#ifndef CARBONX_TOOLS_ANALYZE_RULES_DETERMINISM_H
+#define CARBONX_TOOLS_ANALYZE_RULES_DETERMINISM_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/context.h"
+
+namespace carbonx
+{
+namespace lint
+{
+namespace rules
+{
+
+namespace detdetail
+{
+
+using lex::TokKind;
+using lex::Token;
+
+inline bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+inline bool
+isIdent(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Ident && t.text == text;
+}
+
+inline bool
+isUnorderedType(const std::string &text)
+{
+    return text == "unordered_map" || text == "unordered_set" ||
+           text == "unordered_multimap" ||
+           text == "unordered_multiset";
+}
+
+/** Identifiers declared in this file with a std::unordered_* type. */
+inline std::set<std::string>
+unorderedIdents(const std::vector<Token> &toks)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            !isUnorderedType(toks[i].text))
+            continue;
+        // Skip the <...> template arguments, then expect the
+        // declared identifier.
+        size_t j = i + 1;
+        if (j < toks.size() && isPunct(toks[j], "<")) {
+            int depth = 0;
+            while (j < toks.size()) {
+                if (isPunct(toks[j], "<"))
+                    ++depth;
+                else if (isPunct(toks[j], ">"))
+                    --depth;
+                else if (isPunct(toks[j], ">>"))
+                    depth -= 2;
+                ++j;
+                if (depth <= 0)
+                    break;
+            }
+        }
+        // Reference/pointer declarators and cv-qualifiers may sit
+        // between the type and the declared name.
+        while (j < toks.size() &&
+               (isPunct(toks[j], "&") || isPunct(toks[j], "&&") ||
+                isPunct(toks[j], "*") || isIdent(toks[j], "const")))
+            ++j;
+        if (j < toks.size() && toks[j].kind == TokKind::Ident)
+            names.insert(toks[j].text);
+    }
+    return names;
+}
+
+} // namespace detdetail
+
+inline void
+checkDeterminism(const FileContext &ctx, std::vector<Diagnostic> &out)
+{
+    using namespace detdetail;
+    if (ctx.kind.entropy_home)
+        return;
+    const std::vector<Token> &toks = ctx.ts.tokens;
+    const std::set<std::string> unordered = unorderedIdents(toks);
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Ident)
+            continue;
+
+        // rand() / srand(seed).
+        if ((t.text == "rand" || t.text == "srand") &&
+            i + 1 < toks.size() && isPunct(toks[i + 1], "(") &&
+            // Not a member of some other class: x.rand() is theirs.
+            (i == 0 || (!isPunct(toks[i - 1], ".") &&
+                        !isPunct(toks[i - 1], "->")))) {
+            ctx.report(out, t.line, kRuleDeterminism,
+                       Severity::Error,
+                       "'" + t.text +
+                           "()' injects unseeded entropy; use the "
+                           "seeded generators in common/rng.h");
+            continue;
+        }
+
+        // std::random_device, in any position.
+        if (t.text == "random_device") {
+            ctx.report(out, t.line, kRuleDeterminism,
+                       Severity::Error,
+                       "std::random_device is nondeterministic by "
+                       "design; use the seeded generators in "
+                       "common/rng.h");
+            continue;
+        }
+
+        // time(nullptr) / time(NULL) / time(0).
+        if (t.text == "time" && i + 3 < toks.size() &&
+            isPunct(toks[i + 1], "(") &&
+            (isIdent(toks[i + 2], "nullptr") ||
+             isIdent(toks[i + 2], "NULL") ||
+             (toks[i + 2].kind == TokKind::Number &&
+              toks[i + 2].text == "0")) &&
+            isPunct(toks[i + 3], ")")) {
+            ctx.report(out, t.line, kRuleDeterminism,
+                       Severity::Error,
+                       "time(nullptr) reads the wall clock; results "
+                       "must not depend on when they were computed "
+                       "(obs owns provenance timestamps)");
+            continue;
+        }
+
+        // std::chrono::system_clock::now() with no argument.
+        if (t.text == "system_clock" && i + 4 < toks.size() &&
+            isPunct(toks[i + 1], "::") &&
+            isIdent(toks[i + 2], "now") &&
+            isPunct(toks[i + 3], "(") &&
+            isPunct(toks[i + 4], ")")) {
+            ctx.report(out, t.line, kRuleDeterminism,
+                       Severity::Error,
+                       "system_clock::now() reads the wall clock; "
+                       "use steady_clock for durations or pass "
+                       "timestamps in explicitly");
+            continue;
+        }
+
+        // Iteration over an unordered container declared in this
+        // file: range-for `for (x : u)` or `u.begin()`.
+        if (unordered.count(t.text) != 0) {
+            const bool range_for =
+                i >= 1 && isPunct(toks[i - 1], ":");
+            const bool begins =
+                i + 2 < toks.size() &&
+                (isPunct(toks[i + 1], ".") ||
+                 isPunct(toks[i + 1], "->")) &&
+                isIdent(toks[i + 2], "begin");
+            if (range_for || begins) {
+                ctx.report(
+                    out, t.line, kRuleDeterminism, Severity::Warning,
+                    "iterating unordered container '" + t.text +
+                        "' yields hash order; sort before anything "
+                        "ordering-sensitive consumes it");
+            }
+        }
+    }
+}
+
+} // namespace rules
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_ANALYZE_RULES_DETERMINISM_H

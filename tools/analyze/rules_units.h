@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit-discipline rules, ported from the original regex engine onto
+ * the analyze/lexer.h token stream:
+ *
+ *   raw-unit-double      a `double` declaration whose identifier
+ *                        smuggles a unit in its suffix (_mw, _mwh,
+ *                        _gkwh, _kgco2) outside the data boundary;
+ *   unit-suffix-mismatch an assignment between identifiers whose
+ *                        unit suffixes disagree;
+ *   magic-conversion     bare 24 / 1000 / 1e3 conversion factors
+ *                        outside units.h and the calendar.
+ *
+ * Token matching replaces the old regexes one-for-one: `==` can no
+ * longer be confused with `=`, `2400.0` is one number token and not
+ * a 24 with trailing digits, and literals in comments or strings
+ * were never tokenized in the first place.
+ */
+
+#ifndef CARBONX_TOOLS_ANALYZE_RULES_UNITS_H
+#define CARBONX_TOOLS_ANALYZE_RULES_UNITS_H
+
+#include <string>
+#include <vector>
+
+#include "analyze/context.h"
+
+namespace carbonx
+{
+namespace lint
+{
+namespace rules
+{
+
+namespace unitdetail
+{
+
+using lex::TokKind;
+using lex::Token;
+
+inline bool
+isPunct(const Token &t, const char *text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/**
+ * Walk a member chain (ident [. -> ::] ident ...) forward from @p i;
+ * returns one past the chain and fills @p spelled with the joined
+ * spelling. Requires toks[i] to be an identifier.
+ */
+inline size_t
+readChain(const std::vector<Token> &toks, size_t i,
+          std::string &spelled)
+{
+    spelled = toks[i].text;
+    ++i;
+    while (i + 1 < toks.size() &&
+           (isPunct(toks[i], ".") || isPunct(toks[i], "->") ||
+            isPunct(toks[i], "::")) &&
+           toks[i + 1].kind == TokKind::Ident) {
+        spelled += toks[i].text;
+        spelled += toks[i + 1].text;
+        i += 2;
+    }
+    return i;
+}
+
+/** Is @p text one of the magic conversion factors (24, 1000, 1e3)? */
+inline bool
+isMagicFactor(const std::string &text)
+{
+    for (const char *base : {"1000", "24"}) {
+        const std::string b(base);
+        if (text.compare(0, b.size(), b) != 0)
+            continue;
+        std::string rest = text.substr(b.size());
+        if (rest.empty())
+            return true;
+        if (rest[0] != '.')
+            continue;
+        bool all_zero = true;
+        for (size_t i = 1; i < rest.size(); ++i)
+            all_zero = all_zero && rest[i] == '0';
+        if (all_zero)
+            return true;
+    }
+    return text == "1e3";
+}
+
+} // namespace unitdetail
+
+/** raw-unit-double: `double [const] name_mwh` outside boundaries. */
+inline void
+checkRawUnitDouble(const FileContext &ctx,
+                   std::vector<Diagnostic> &out)
+{
+    using namespace unitdetail;
+    if (ctx.kind.unit_boundary)
+        return;
+    const std::vector<Token> &toks = ctx.ts.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident ||
+            toks[i].text != "double")
+            continue;
+        size_t j = i + 1;
+        if (toks[j].kind == TokKind::Ident && toks[j].text == "const" &&
+            j + 1 < toks.size())
+            ++j;
+        if (toks[j].kind != TokKind::Ident)
+            continue;
+        if (detail::unitSuffix(toks[j].text).empty())
+            continue;
+        ctx.report(out, toks[j].line, kRuleRawUnitDouble,
+                   Severity::Error,
+                   "raw double '" + toks[j].text +
+                       "' carries a unit suffix; use the strong "
+                       "type from common/units.h");
+    }
+}
+
+/** unit-suffix-mismatch: `lhs_mw = rhs_mwh [;,)]`. */
+inline void
+checkSuffixMismatch(const FileContext &ctx,
+                    std::vector<Diagnostic> &out)
+{
+    using namespace unitdetail;
+    const std::vector<Token> &toks = ctx.ts.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Ident)
+            continue;
+        std::string lhs;
+        const size_t after_lhs = readChain(toks, i, lhs);
+        if (after_lhs >= toks.size() ||
+            !isPunct(toks[after_lhs], "="))
+            continue;
+        const size_t rhs_at = after_lhs + 1;
+        if (rhs_at >= toks.size() ||
+            toks[rhs_at].kind != TokKind::Ident)
+            continue;
+        std::string rhs;
+        const size_t after_rhs = readChain(toks, rhs_at, rhs);
+        if (after_rhs >= toks.size())
+            continue;
+        const Token &term = toks[after_rhs];
+        if (!isPunct(term, ";") && !isPunct(term, ",") &&
+            !isPunct(term, ")"))
+            continue;
+        const std::string ls = detail::unitSuffix(lhs);
+        const std::string rs = detail::unitSuffix(rhs);
+        if (!ls.empty() && !rs.empty() && ls != rs) {
+            ctx.report(out, toks[i].line, kRuleSuffixMismatch,
+                       Severity::Error,
+                       "assigning '" + rhs + "' (" + rs + ") to '" +
+                           lhs + "' (" + ls + "); units disagree");
+        }
+        i = after_lhs; // Chains never nest; skip what we consumed.
+    }
+}
+
+/** magic-conversion: `* / %` (or compound) by 24, 1000, or 1e3. */
+inline void
+checkMagicConversion(const FileContext &ctx,
+                     std::vector<Diagnostic> &out)
+{
+    using namespace unitdetail;
+    if (ctx.kind.conversion_home)
+        return;
+    const std::vector<Token> &toks = ctx.ts.tokens;
+    size_t last_line = 0; // One finding per line, like the original.
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        const Token &op = toks[i];
+        if (op.kind != TokKind::Punct)
+            continue;
+        if (op.text != "*" && op.text != "/" && op.text != "%" &&
+            op.text != "*=" && op.text != "/=" && op.text != "%=")
+            continue;
+        const Token &num = toks[i + 1];
+        if (num.kind != TokKind::Number ||
+            !isMagicFactor(num.text))
+            continue;
+        if (num.line == last_line)
+            continue;
+        last_line = num.line;
+        ctx.report(out, num.line, kRuleMagicConversion,
+                   Severity::Error,
+                   "magic unit-conversion constant; use kHoursPerDay "
+                   "(timeseries/calendar.h) or a units.h conversion");
+    }
+}
+
+} // namespace rules
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_ANALYZE_RULES_UNITS_H

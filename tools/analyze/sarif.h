@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SARIF 2.1.0 emitter for carbonx-analyze findings.
+ *
+ * Emits the minimal schema-valid document GitHub code scanning
+ * consumes: one run, the tool driver with every registered rule
+ * (id + shortDescription + default level), and one result per
+ * non-baselined finding with ruleId/ruleIndex, level, message text,
+ * and a physicalLocation (artifactLocation.uri + region.startLine).
+ * Baselined findings are omitted — uploading them would re-annotate
+ * reviewed, deliberately tolerated sites on every PR.
+ *
+ * Dependency-free by design (the lint binary links no carbonx
+ * library); the writer is a few string helpers, and the unit test
+ * round-trips the output through common/json.h to prove it parses
+ * and carries the required properties.
+ */
+
+#ifndef CARBONX_TOOLS_ANALYZE_SARIF_H
+#define CARBONX_TOOLS_ANALYZE_SARIF_H
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/context.h"
+#include "analyze/registry.h"
+
+namespace carbonx
+{
+namespace lint
+{
+
+namespace sarifdetail
+{
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+inline const char *
+sarifLevel(Severity s)
+{
+    return s == Severity::Error ? "error" : "warning";
+}
+
+} // namespace sarifdetail
+
+/**
+ * Render @p diags as one SARIF 2.1.0 document. Findings flagged
+ * baselined are skipped. Paths are emitted as given (the driver
+ * passes repo-relative, forward-slash paths in CI).
+ */
+inline std::string
+sarifReport(const std::vector<Diagnostic> &diags)
+{
+    using sarifdetail::jsonEscape;
+    using sarifdetail::sarifLevel;
+
+    const std::vector<RuleInfo> &rules = ruleTable();
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"carbonx-lint\",\n"
+       << "          \"informationUri\": "
+          "\"https://github.com/carbonx/carbonx\",\n"
+       << "          \"rules\": [\n";
+    for (size_t i = 0; i < rules.size(); ++i) {
+        os << "            {\n"
+           << "              \"id\": \"" << rules[i].name << "\",\n"
+           << "              \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].summary) << "\"},\n"
+           << "              \"defaultConfiguration\": {\"level\": \""
+           << sarifLevel(rules[i].severity) << "\"}\n"
+           << "            }" << (i + 1 < rules.size() ? "," : "")
+           << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+
+    bool first = true;
+    for (const Diagnostic &d : diags) {
+        if (d.baselined)
+            continue;
+        size_t rule_index = 0;
+        for (size_t i = 0; i < rules.size(); ++i)
+            if (d.rule == rules[i].name)
+                rule_index = i;
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "        {\n"
+           << "          \"ruleId\": \"" << jsonEscape(d.rule)
+           << "\",\n"
+           << "          \"ruleIndex\": " << rule_index << ",\n"
+           << "          \"level\": \"" << sarifLevel(d.severity)
+           << "\",\n"
+           << "          \"message\": {\"text\": \""
+           << jsonEscape(d.message) << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << jsonEscape(d.file) << "\"},\n"
+           << "                \"region\": {\"startLine\": "
+           << (d.line == 0 ? 1 : d.line) << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }";
+    }
+    if (!first)
+        os << "\n";
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace lint
+} // namespace carbonx
+
+#endif // CARBONX_TOOLS_ANALYZE_SARIF_H

@@ -279,7 +279,6 @@ cmdOptimize(const ArgParser &args)
                 std::cerr << "progress: pass " << p.pass << ' '
                           << p.points_done << '/' << p.points_total
                           << " points, best "
-                          // carbonx-lint: allow(magic-conversion) kg->t display
                           << formatFixed(p.best_total_kg / 1e3, 1)
                           << " tCO2, eta "
                           << formatFixed(std::max(p.eta_seconds, 0.0),
@@ -520,7 +519,6 @@ cmdFleet(const ArgParser &args)
                                  .kilotons(),
                              1)
               << " ktCO2\nMigrated energy: "
-              // carbonx-lint: allow(magic-conversion) MWh->GWh display
               << formatFixed(migrated.migrated_mwh / 1e3, 1)
               << " GWh\n";
     return 0;

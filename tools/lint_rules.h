@@ -1,577 +1,54 @@
 /**
  * @file
- * carbonx-lint: dimensional-analysis lint rules for the Carbon
- * Explorer tree.
+ * carbonx-lint rule engine — umbrella header.
  *
- * The strong unit types in common/units.h make mixed-unit arithmetic
- * a compile error, but only where they are used. This header-only
- * engine closes the gap textually: it flags raw `double` declarations
- * that smuggle a unit in their identifier suffix, assignments between
- * identifiers whose suffixes disagree, magic unit-conversion
- * constants outside the two homes for such conversions (units.h and
- * the calendar), headers missing the repo's include-guard
- * convention, and CARBONX_PROFILE call sites whose phase name is not
- * a unique string literal (a dynamic or reused name merges unrelated
- * call sites into one profile node and corrupts bench reports).
+ * Historically this header WAS the engine: a regex-over-stripped-text
+ * checker for the unit-discipline rules. The regex core has been
+ * replaced by the token-based framework under tools/analyze/ — a
+ * lightweight C++ lexer (comment/string/raw-string/preprocessor-
+ * aware, line-mapped) and a rule registry where every rule is a
+ * named, severity-tagged visitor over the token stream, registered
+ * in one table with per-rule docs (see analyze/registry.h).
  *
- * Diagnostics carry file:line so editors and CI can jump straight to
- * the site. A `// carbonx-lint: allow(rule[, rule...])` comment (or
- * `allow(all)`) suppresses matching diagnostics on its own line and
- * the line immediately below, for the few deliberate boundary
- * crossings (hot-path accumulators, CLI display math).
- *
- * Kept header-only and dependency-free so both the standalone
- * carbonx_lint binary and the unit tests share one implementation.
+ * This header remains the stable include for the lint binary and the
+ * tests: it re-exports the public surface (Diagnostic, classify,
+ * lintSource, the rule-name constants, the profile-phase collectors,
+ * the `carbonx-lint: allow(...)` waiver machinery) plus the newer
+ * pieces (baseline filtering, SARIF emission). The historical
+ * stripCommentsAndStrings() helper survives, now implemented as a
+ * byproduct of lexing.
  */
 
 #ifndef CARBONX_TOOLS_LINT_RULES_H
 #define CARBONX_TOOLS_LINT_RULES_H
 
-#include <algorithm>
-#include <cstddef>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
-#include <string>
-#include <utility>
-#include <vector>
+#include "analyze/baseline.h"
+#include "analyze/context.h"
+#include "analyze/lexer.h"
+#include "analyze/registry.h"
+#include "analyze/rules_concurrency.h"
+#include "analyze/rules_determinism.h"
+#include "analyze/rules_hotpath.h"
+#include "analyze/rules_layering.h"
+#include "analyze/rules_structure.h"
+#include "analyze/rules_units.h"
+#include "analyze/sarif.h"
 
 namespace carbonx
 {
 namespace lint
 {
 
-/** One finding, addressed for editor/CI consumption. */
-struct Diagnostic
-{
-    std::string file;
-    size_t line = 0; ///< 1-based.
-    std::string rule;
-    std::string message;
-
-    std::string format() const
-    {
-        std::ostringstream os;
-        os << file << ':' << line << ": [" << rule << "] " << message;
-        return os.str();
-    }
-};
-
-/** Rule names, shared by checks and suppression comments. */
-inline const char *kRuleRawUnitDouble = "raw-unit-double";
-inline const char *kRuleSuffixMismatch = "unit-suffix-mismatch";
-inline const char *kRuleMagicConversion = "magic-conversion";
-inline const char *kRuleHeaderGuard = "header-guard";
-inline const char *kRuleRecorderWrite = "recorder-field-write";
-inline const char *kRuleProfilePhase = "profile-phase";
-
-/** Per-file policy derived from its path. */
-struct FileKind
-{
-    /**
-     * Boundary layers (CSV ingest, grid/datacenter/fleet/forecast
-     * data structs, CLI parsing) exchange raw doubles with the
-     * outside world by design; unit-suffixed doubles are allowed.
-     */
-    bool unit_boundary = false;
-    /** units.h and the calendar own the conversion constants. */
-    bool conversion_home = false;
-    /** Header files must carry a CARBONX_*_H include guard. */
-    bool is_header = false;
-    /**
-     * Only the simulation engine (src/scheduler) and the obs layer
-     * itself may assign HourlyRecord flight-recording fields; all
-     * other code consumes recordings read-only.
-     */
-    bool recorder_writer = false;
-};
-
-namespace detail
-{
-
-inline bool
-contains(const std::string &haystack, const char *needle)
-{
-    return haystack.find(needle) != std::string::npos;
-}
-
-inline bool
-endsWith(const std::string &s, const char *suffix)
-{
-    const std::string suf(suffix);
-    return s.size() >= suf.size() &&
-           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
-}
-
-} // namespace detail
-
-/** Derive the lint policy for @p path (substring-based, / separators). */
-inline FileKind
-classify(const std::string &path)
-{
-    FileKind kind;
-    kind.is_header = detail::endsWith(path, ".h");
-    kind.unit_boundary = detail::contains(path, "src/grid/") ||
-                         detail::contains(path, "src/datacenter/") ||
-                         detail::contains(path, "src/fleet/") ||
-                         detail::contains(path, "src/forecast/") ||
-                         detail::contains(path, "src/common/csv") ||
-                         // The flight recorder and its auditor are a
-                         // deliberate bulk raw-double export boundary
-                         // (unit-per-column, named in the suffix).
-                         detail::contains(path, "src/obs/recorder") ||
-                         detail::contains(path, "src/obs/audit") ||
-                         detail::contains(path, "tools/carbonx_cli") ||
-                         detail::contains(path, "tools/arg_parser");
-    kind.conversion_home =
-        detail::contains(path, "common/units.h") ||
-        detail::contains(path, "timeseries/calendar.");
-    kind.recorder_writer = detail::contains(path, "src/scheduler/") ||
-                           detail::contains(path, "src/obs/");
-    return kind;
-}
-
 /**
  * Replace the contents of comments, string literals, and character
  * literals with spaces, preserving every newline so line numbers
- * survive. Keeps the scanner from tripping over unit suffixes in
- * prose or "24/7" in a doc comment.
+ * survive. Implemented by the lexer (analyze/lexer.h), which records
+ * the stripped text as it tokenizes.
  */
 inline std::string
 stripCommentsAndStrings(const std::string &src)
 {
-    std::string out = src;
-    enum class State
-    {
-        Code,
-        LineComment,
-        BlockComment,
-        String,
-        Char
-    };
-    State state = State::Code;
-    for (size_t i = 0; i < src.size(); ++i) {
-        const char c = src[i];
-        const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-        switch (state) {
-        case State::Code:
-            if (c == '/' && next == '/') {
-                state = State::LineComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '/' && next == '*') {
-                state = State::BlockComment;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                state = State::String;
-            } else if (c == '\'') {
-                state = State::Char;
-            }
-            break;
-        case State::LineComment:
-            if (c == '\n')
-                state = State::Code;
-            else
-                out[i] = ' ';
-            break;
-        case State::BlockComment:
-            if (c == '*' && next == '/') {
-                out[i] = out[i + 1] = ' ';
-                state = State::Code;
-                ++i;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case State::String:
-            if (c == '\\' && next != '\0') {
-                out[i] = ' ';
-                if (next != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                state = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case State::Char:
-            if (c == '\\' && next != '\0') {
-                out[i] = ' ';
-                if (next != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '\'') {
-                state = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-namespace detail
-{
-
-inline std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string current;
-    for (const char c : text) {
-        if (c == '\n') {
-            lines.push_back(current);
-            current.clear();
-        } else {
-            current += c;
-        }
-    }
-    lines.push_back(current);
-    return lines;
-}
-
-/**
- * Suppressions from `carbonx-lint: allow(...)` comments, scanned on
- * the RAW source (the marker lives inside a comment). Maps 1-based
- * line number -> set of rule names ("all" matches every rule).
- */
-inline std::map<size_t, std::set<std::string>>
-collectSuppressions(const std::vector<std::string> &raw_lines)
-{
-    static const std::regex marker(
-        R"(carbonx-lint:\s*allow\(([^)]*)\))");
-    std::map<size_t, std::set<std::string>> out;
-    for (size_t i = 0; i < raw_lines.size(); ++i) {
-        std::smatch m;
-        if (!std::regex_search(raw_lines[i], m, marker))
-            continue;
-        std::set<std::string> rules;
-        std::string item;
-        std::istringstream list(m[1].str());
-        while (std::getline(list, item, ',')) {
-            const size_t a = item.find_first_not_of(" \t");
-            const size_t b = item.find_last_not_of(" \t");
-            if (a != std::string::npos)
-                rules.insert(item.substr(a, b - a + 1));
-        }
-        out[i + 1] = rules;
-    }
-    return out;
-}
-
-inline bool
-isSuppressed(const std::map<size_t, std::set<std::string>> &allows,
-             size_t line, const std::string &rule)
-{
-    // A marker covers its own line and the line directly below it.
-    for (const size_t at : {line, line > 1 ? line - 1 : line}) {
-        const auto it = allows.find(at);
-        if (it == allows.end())
-            continue;
-        if (it->second.count("all") || it->second.count(rule))
-            return true;
-    }
-    return false;
-}
-
-/** Longest recognized unit suffix of an identifier, or "". */
-inline std::string
-unitSuffix(const std::string &identifier)
-{
-    // Last component of a member chain: a.b->c_mwh scans as c_mwh.
-    size_t start = identifier.find_last_of(".>");
-    const std::string leaf = start == std::string::npos
-                                 ? identifier
-                                 : identifier.substr(start + 1);
-    static const std::vector<const char *> suffixes = {
-        "_mwh", "_mw", "_gkwh", "_kgco2"};
-    for (const char *s : suffixes)
-        if (endsWith(leaf, s))
-            return s;
-    return "";
-}
-
-} // namespace detail
-
-/** One CARBONX_PROFILE(...) call site found in a source file. */
-struct PhaseUse
-{
-    /** Literal contents; only meaningful when is_literal is set. */
-    std::string name;
-    size_t line = 0; ///< 1-based.
-    /** True when the argument is a single same-line string literal. */
-    bool is_literal = false;
-};
-
-/**
- * Collect every CARBONX_PROFILE call site in @p source. Skips the
- * macro's own #define (and its backslash continuations), comments and
- * strings, and sites waived with `carbonx-lint: allow(profile-phase)`
- * — a waived site is invisible to both the in-file and the
- * cross-file uniqueness checks. Also used standalone by the
- * carbonx_lint driver to check name uniqueness across files.
- */
-inline std::vector<PhaseUse>
-collectProfilePhases(const std::string &source)
-{
-    const std::vector<std::string> raw_lines =
-        detail::splitLines(source);
-    const auto allows = detail::collectSuppressions(raw_lines);
-    const std::vector<std::string> lines =
-        detail::splitLines(stripCommentsAndStrings(source));
-
-    // CARBONX_PROFILE_CONCAT etc. do not match: '(' must follow.
-    static const std::regex call(R"(\bCARBONX_PROFILE\s*\()");
-
-    std::vector<PhaseUse> uses;
-    bool continued = false; // inside a multi-line #define
-    for (size_t i = 0; i < lines.size(); ++i) {
-        const std::string &line = lines[i];
-        const size_t lineno = i + 1;
-
-        const size_t first = line.find_first_not_of(" \t");
-        const bool directive =
-            continued ||
-            (first != std::string::npos && line[first] == '#');
-        continued = directive && !raw_lines[i].empty() &&
-                    raw_lines[i].back() == '\\';
-        if (directive)
-            continue;
-        if (detail::isSuppressed(allows, lineno, kRuleProfilePhase))
-            continue;
-
-        for (std::sregex_iterator it(line.begin(), line.end(), call),
-             end;
-             it != end; ++it) {
-            PhaseUse use;
-            use.line = lineno;
-            size_t pos = static_cast<size_t>(it->position()) +
-                         static_cast<size_t>(it->length());
-            while (pos < line.size() &&
-                   (line[pos] == ' ' || line[pos] == '\t'))
-                ++pos;
-            if (pos < line.size() && line[pos] == '"') {
-                // The stripped line keeps the quotes but blanks the
-                // contents, so the closing quote found here is the
-                // real one; the name itself comes from the raw line
-                // (identical offsets).
-                const size_t close = line.find('"', pos + 1);
-                const size_t after =
-                    close == std::string::npos
-                        ? std::string::npos
-                        : line.find_first_not_of(" \t", close + 1);
-                if (after != std::string::npos && line[after] == ')') {
-                    use.is_literal = true;
-                    use.name =
-                        raw_lines[i].substr(pos + 1, close - pos - 1);
-                }
-            }
-            uses.push_back(use);
-        }
-    }
-    return uses;
-}
-
-/**
- * Cross-file phase-name uniqueness for the carbonx_lint driver. Feed
- * one entry per linted file (path + its collectProfilePhases result),
- * in the order the files were scanned. Duplicates *within* one file
- * are lintSource's job and are not re-reported here; a name reused
- * across files is reported at the later site, pointing at the first.
- */
-inline std::vector<Diagnostic>
-crossFilePhaseDuplicates(
-    const std::vector<std::pair<std::string, std::vector<PhaseUse>>>
-        &per_file)
-{
-    std::vector<Diagnostic> diags;
-    // name -> (file, line) of first use
-    std::map<std::string, std::pair<std::string, size_t>> first;
-    for (const auto &[file, uses] : per_file) {
-        for (const PhaseUse &use : uses) {
-            if (!use.is_literal || use.name.empty())
-                continue;
-            const auto [it, inserted] = first.emplace(
-                use.name, std::make_pair(file, use.line));
-            if (!inserted && it->second.first != file) {
-                diags.push_back(Diagnostic{
-                    file, use.line, kRuleProfilePhase,
-                    "phase name \"" + use.name +
-                        "\" already used at " + it->second.first +
-                        ":" + std::to_string(it->second.second) +
-                        "; CARBONX_PROFILE names must be unique "
-                        "across the tree"});
-            }
-        }
-    }
-    return diags;
-}
-
-/**
- * Lint one translation unit.
- *
- * @param path   Path reported in diagnostics and used by classify().
- * @param source Full file contents.
- * @param kind   Policy, normally classify(path).
- */
-inline std::vector<Diagnostic>
-lintSource(const std::string &path, const std::string &source,
-           const FileKind &kind)
-{
-    std::vector<Diagnostic> diags;
-    const std::vector<std::string> raw_lines =
-        detail::splitLines(source);
-    const auto allows = detail::collectSuppressions(raw_lines);
-    const std::vector<std::string> lines =
-        detail::splitLines(stripCommentsAndStrings(source));
-
-    const auto report = [&](size_t line, const char *rule,
-                            const std::string &message) {
-        if (!detail::isSuppressed(allows, line, rule))
-            diags.push_back(Diagnostic{path, line, rule, message});
-    };
-
-    // Rule 1: raw double declarations with a unit-suffixed name.
-    static const std::regex raw_double(
-        R"(\bdouble\s+(?:const\s+)?([A-Za-z_]\w*_(?:mwh?|gkwh|kgco2))\b)");
-    // Rule 2: assignment between identifiers with clashing suffixes.
-    static const std::regex assign(
-        R"(([A-Za-z_][\w.\->]*)\s*=(?![=])\s*([A-Za-z_][\w.\->]*)\s*[;,)])");
-    // Rule 3: magic unit-conversion constants. `/ 24` and `% 24` are
-    // hour<->day conversions; the 1000/1e3 family converts kWh-based
-    // intensities or displays MWh as GWh.
-    static const std::regex magic(
-        R"([*/%]=?\s*(?:1000(?:\.0*)?|1e3|24(?:\.0*)?)(?![\w.]))");
-    // Rule 5: writes to HourlyRecord flight-recording fields (member
-    // access, optionally indexed, on the left of an assignment or
-    // compound assignment). Writing a recording is the engine's job;
-    // everyone else gets a tampered carbon ledger flagged.
-    static const std::regex recorder_write(
-        R"([.>](load_mw|served_mw|renewable_mw|renewable_used_mw)"
-        R"(|grid_mw|battery_charge_mw|battery_discharge_mw)"
-        R"(|battery_energy_mwh|curtailed_mw|shifted_mwh|backlog_mwh)"
-        R"(|slo_violation_mwh|grid_charge_mwh|carbon_kg))"
-        R"(\s*(?:\[[^\]]*\])?\s*[+\-*/]?=(?!=))");
-
-    for (size_t i = 0; i < lines.size(); ++i) {
-        const std::string &line = lines[i];
-        const size_t lineno = i + 1;
-
-        if (!kind.unit_boundary) {
-            for (std::sregex_iterator it(line.begin(), line.end(),
-                                         raw_double),
-                 end;
-                 it != end; ++it) {
-                report(lineno, kRuleRawUnitDouble,
-                       "raw double '" + (*it)[1].str() +
-                           "' carries a unit suffix; use the strong "
-                           "type from common/units.h");
-            }
-        }
-
-        for (std::sregex_iterator it(line.begin(), line.end(), assign),
-             end;
-             it != end; ++it) {
-            const std::string lhs = detail::unitSuffix((*it)[1].str());
-            const std::string rhs = detail::unitSuffix((*it)[2].str());
-            if (!lhs.empty() && !rhs.empty() && lhs != rhs) {
-                report(lineno, kRuleSuffixMismatch,
-                       "assigning '" + (*it)[2].str() + "' (" + rhs +
-                           ") to '" + (*it)[1].str() + "' (" + lhs +
-                           "); units disagree");
-            }
-        }
-
-        if (!kind.conversion_home && std::regex_search(line, magic)) {
-            report(lineno, kRuleMagicConversion,
-                   "magic unit-conversion constant; use kHoursPerDay "
-                   "(timeseries/calendar.h) or a units.h conversion");
-        }
-
-        if (!kind.recorder_writer) {
-            for (std::sregex_iterator it(line.begin(), line.end(),
-                                         recorder_write),
-                 end;
-                 it != end; ++it) {
-                report(lineno, kRuleRecorderWrite,
-                       "HourlyRecord field '" + (*it)[1].str() +
-                           "' written outside src/scheduler + "
-                           "src/obs; recordings are read-only to "
-                           "consumers");
-            }
-        }
-    }
-
-    // Rule 6: CARBONX_PROFILE phase names must be single string
-    // literals, unique within the file (the carbonx_lint driver
-    // extends uniqueness across files via crossFilePhaseDuplicates).
-    // A dynamic name defeats the profiler's pointer-identity fast
-    // path; a reused name merges unrelated call sites into one
-    // profile node and silently corrupts bench reports.
-    {
-        std::map<std::string, size_t> first_use;
-        for (const PhaseUse &use : collectProfilePhases(source)) {
-            if (!use.is_literal) {
-                report(use.line, kRuleProfilePhase,
-                       "CARBONX_PROFILE argument must be a single "
-                       "string literal on the call line");
-                continue;
-            }
-            if (use.name.empty()) {
-                report(use.line, kRuleProfilePhase,
-                       "CARBONX_PROFILE phase name must not be empty");
-                continue;
-            }
-            const auto [it, inserted] =
-                first_use.emplace(use.name, use.line);
-            if (!inserted) {
-                report(use.line, kRuleProfilePhase,
-                       "duplicate phase name \"" + use.name +
-                           "\" (first used at line " +
-                           std::to_string(it->second) +
-                           "); CARBONX_PROFILE names must be unique");
-            }
-        }
-    }
-
-    // Rule 4: headers must use the repo's CARBONX_*_H guard idiom.
-    if (kind.is_header) {
-        static const std::regex ifndef(R"(^\s*#\s*ifndef\s+(CARBONX_\w+)\b)");
-        static const std::regex define(R"(^\s*#\s*define\s+(CARBONX_\w+)\b)");
-        bool guarded = false;
-        std::string macro;
-        for (size_t i = 0; i < lines.size(); ++i) {
-            std::smatch m;
-            if (macro.empty()) {
-                if (std::regex_search(lines[i], m, ifndef))
-                    macro = m[1].str();
-            } else if (std::regex_search(lines[i], m, define)) {
-                guarded = m[1].str() == macro;
-                break;
-            } else if (lines[i].find_first_not_of(" \t") !=
-                       std::string::npos) {
-                break; // something between #ifndef and #define
-            }
-        }
-        if (!guarded) {
-            report(1, kRuleHeaderGuard,
-                   "header lacks a CARBONX_*_H include guard "
-                   "(#ifndef/#define pair)");
-        }
-    }
-
-    return diags;
-}
-
-/** Convenience overload: classify from the path. */
-inline std::vector<Diagnostic>
-lintSource(const std::string &path, const std::string &source)
-{
-    return lintSource(path, source, classify(path));
+    return lex::lexSource(src).stripped;
 }
 
 } // namespace lint

@@ -15,6 +15,7 @@
 
 #include "battery/clc_battery.h"
 #include "common/parallel.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "core/adaptive_sweep.h"
@@ -294,7 +295,7 @@ BENCHMARK(BM_OptimizeSweepProfiled)
     ->Unit(benchmark::kMillisecond);
 
 // A non-const twin of sharedExplorer() for benchmarks that attach a
-// sweep cache (setSweepCache mutates the explorer).
+// sweep cache or journal (both setters mutate the explorer).
 CarbonExplorer &
 sharedSweepExplorer()
 {
@@ -307,6 +308,44 @@ sharedSweepExplorer()
     }());
     return explorer;
 }
+
+// The same sweep with the decision journal attached, as a visible row
+// next to the plain BM_OptimizeSweep pair. Rows are buffered into
+// per-worker sinks and flushed block-wise once per pass, so the delta
+// to the unjournaled rows is the whole cost of --journal-out.
+void
+BM_OptimizeSweepJournaled(benchmark::State &state)
+{
+    CarbonExplorer &ex = sharedSweepExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "carbonx_bench_journal.cxj")
+            .string();
+    setThreadCount(static_cast<size_t>(state.range(0)));
+    obs::DecisionJournal journal(
+        path, ex.configDigest(Strategy::RenewableBatteryCas));
+    ex.setJournal(&journal);
+    for (auto _ : state) {
+        OptimizationResult r =
+            ex.optimize(space, Strategy::RenewableBatteryCas);
+        benchmark::DoNotOptimize(r.best.totalKg());
+    }
+    ex.setJournal(nullptr);
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(
+            space.sizeFor(Strategy::RenewableBatteryCas)));
+    setThreadCount(0);
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_OptimizeSweepJournaled)
+    ->ArgNames({"threads"})
+    ->Arg(1)
+    ->Arg(static_cast<int>(hardwareThreads()))
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 // The same lattice as BM_OptimizeSweep under the adaptive driver with
 // a cold cache: the margin-guarded interpolation skips dominated-and-
@@ -526,6 +565,69 @@ profilerOverheadWithinBudget()
     return ok;
 }
 
+// Harness-level guard on the decision journal's overhead budget:
+// median wall time of the Fig. 15 full-factorial sweep with a journal
+// attached must stay within 5% of the identical sweep without one.
+// Rows go into pre-sized per-worker sinks (a plain push_back per
+// point) and hit the disk once per pass, so the true cost is around
+// 1%; a real regression (per-row I/O, an allocation or lock on the
+// record path) shows up as far more.
+bool
+journalOverheadWithinBudget()
+{
+    CarbonExplorer &ex = sharedSweepExplorer();
+    const DesignSpace space =
+        DesignSpace::forDatacenter(19.0, 10.0, 7, 7, 3);
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "carbonx_bench_journal_fence.cxj")
+            .string();
+
+    const auto median_ms = [&] {
+        std::vector<double> samples;
+        for (int i = 0; i < 5; ++i) {
+            const auto start = std::chrono::steady_clock::now();
+            OptimizationResult r =
+                ex.optimize(space, Strategy::RenewableBatteryCas);
+            benchmark::DoNotOptimize(r.best.totalKg());
+            const std::chrono::duration<double, std::milli> ms =
+                std::chrono::steady_clock::now() - start;
+            samples.push_back(ms.count());
+        }
+        std::sort(samples.begin(), samples.end());
+        return samples[samples.size() / 2];
+    };
+
+    median_ms(); // Warm the caches before timing either mode.
+    const double off_ms = median_ms();
+    carbonx::obs::DecisionJournal journal(
+        path, ex.configDigest(Strategy::RenewableBatteryCas));
+    ex.setJournal(&journal);
+    const double on_ms = median_ms();
+    ex.setJournal(nullptr);
+    journal.flush();
+    const uint64_t rows = journal.flushedRows();
+    std::filesystem::remove(path);
+
+    // The journaled run must actually have journaled: five sweeps of
+    // the full lattice, one row per design point.
+    const uint64_t expected =
+        5 * static_cast<uint64_t>(
+                space.sizeFor(Strategy::RenewableBatteryCas));
+    const bool rows_ok = rows >= expected;
+    if (!rows_ok)
+        std::cerr << "journal overhead check: only " << rows
+                  << " rows journaled (expected >= " << expected
+                  << ") — the fence stopped covering the hot path\n";
+
+    const bool ok = rows_ok && on_ms <= off_ms * 1.05;
+    std::cerr << "journal overhead check: off " << off_ms << " ms, on "
+              << on_ms << " ms ("
+              << 100.0 * (on_ms - off_ms) / off_ms << "%, fence 5%; "
+              << (ok ? "within budget" : "REGRESSION") << ")\n";
+    return ok;
+}
+
 } // namespace
 
 // Expanded BENCHMARK_MAIN() so the run can end with a dump of the
@@ -542,6 +644,7 @@ main(int argc, char **argv)
     benchmark::Shutdown();
     const bool recorder_ok = recorderOffWithinNoise();
     const bool profiler_ok = profilerOverheadWithinBudget();
+    const bool journal_ok = journalOverheadWithinBudget();
     carbonx::obs::MetricsRegistry::instance().writeText(std::cerr);
-    return (recorder_ok && profiler_ok) ? 0 : 1;
+    return (recorder_ok && profiler_ok && journal_ok) ? 0 : 1;
 }

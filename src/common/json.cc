@@ -373,4 +373,46 @@ JsonValue::at(const std::string &key, const std::string &context) const
     return *value;
 }
 
+std::string
+jsonEscapeString(const std::string &s)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out += "\\u00";
+                out.push_back(hex[(c >> 4) & 0xf]);
+                out.push_back(hex[c & 0xf]);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
 } // namespace carbonx

@@ -27,6 +27,17 @@
 namespace carbonx
 {
 
+/**
+ * Escape @p s for embedding between the quotes of a JSON string
+ * literal: quotes and backslashes are backslash-escaped, control
+ * characters (U+0000..U+001F) become the short escapes (\n, \t, \r,
+ * \b, \f) or \u00XX. The one escape helper shared by every JSON
+ * writer in the tree (metrics dumps, Chrome traces, bench reports) —
+ * local re-implementations tend to forget the control characters and
+ * emit documents this file's own parser rejects.
+ */
+std::string jsonEscapeString(const std::string &s);
+
 /** One parsed JSON value; a tree of these is a document. */
 class JsonValue
 {

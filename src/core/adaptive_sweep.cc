@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
@@ -194,6 +195,9 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
     static auto &c_excluded = obs::counter("sweep.cells_excluded");
     static auto &c_inflated = obs::counter("sweep.margin_inflations");
     c_sweeps.increment();
+    obs::DecisionJournal *journal = explorer_.journal();
+    if (explorer_.runStatus() != nullptr)
+        explorer_.runStatus()->setPhase("adaptive sweep");
 
     // The same lattice the exhaustive pass enumerates, in the same
     // linear order: axes a strategy ignores collapse to {0}.
@@ -258,24 +262,31 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
                                       explorer_.progressUpdates());
 
     // Evaluate a sorted, unevaluated index list; scatter into evals.
+    // @p ann, when non-null, annotates the journal rows of this wave
+    // (one entry per id, in id order) with the triage verdict and the
+    // prediction the decision was based on.
     std::vector<DesignPoint> wave_points;
     std::vector<Evaluation> wave_out;
-    const auto evaluateIndices = [&](const std::vector<size_t> &ids) {
-        if (ids.empty())
-            return;
-        wave_points.clear();
-        wave_points.reserve(ids.size());
-        for (const size_t li : ids)
-            wave_points.push_back(pointAt(latticeIdxOf(li)));
-        wave_out.resize(ids.size());
-        evaluator.evaluate(wave_points.data(), wave_points.size(),
-                           wave_out.data(), &emitter);
-        for (size_t k = 0; k < ids.size(); ++k) {
-            evals[ids[k]] = std::move(wave_out[k]);
-            evaluated[ids[k]] = 1;
-        }
-    };
-    evaluateIndices(coarse_points);
+    const auto evaluateIndices =
+        [&](const std::vector<size_t> &ids,
+            const SweepBatchEvaluator::PointAnnotation *ann) {
+            if (ids.empty())
+                return;
+            wave_points.clear();
+            wave_points.reserve(ids.size());
+            for (const size_t li : ids)
+                wave_points.push_back(pointAt(latticeIdxOf(li)));
+            wave_out.resize(ids.size());
+            if (ann != nullptr)
+                evaluator.setPointAnnotations(ann);
+            evaluator.evaluate(wave_points.data(), wave_points.size(),
+                               wave_out.data(), &emitter);
+            for (size_t k = 0; k < ids.size(); ++k) {
+                evals[ids[k]] = std::move(wave_out[k]);
+                evaluated[ids[k]] = 1;
+            }
+        };
+    evaluateIndices(coarse_points, nullptr);
 
     // Global objective spreads over the coarse pass anchor the margin
     // floors; frozen here so margins evolve only through the audit's
@@ -423,6 +434,44 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
     std::vector<PointPrediction> preds(total);
     std::vector<size_t> skipped_ids;
 
+    // Journal plumbing for triage decisions: skipped points are
+    // journaled immediately (they never reach the evaluator), and
+    // simulated waves carry PointAnnotations so the evaluator's rows
+    // record the triage verdict plus the prediction behind it. A
+    // revived point therefore journals twice — Skipped when pruned,
+    // ReArmed when the inflated margins bring it back — so readers
+    // can replay the margin-inflation history.
+    std::vector<SweepBatchEvaluator::PointAnnotation> wave_ann;
+    const auto annotationsFor =
+        [&](const std::vector<size_t> &ids,
+            obs::DecisionVerdict verdict)
+        -> const SweepBatchEvaluator::PointAnnotation * {
+        if (journal == nullptr || ids.empty())
+            return nullptr;
+        wave_ann.clear();
+        wave_ann.reserve(ids.size());
+        for (const size_t li : ids) {
+            const PointPrediction &p = preds[li];
+            wave_ann.push_back(SweepBatchEvaluator::PointAnnotation{
+                verdict, p.e_hat + p.o_hat, inflation * p.m_t});
+        }
+        return wave_ann.data();
+    };
+    const auto journalSkip = [&](const LatticeIdx &idx, size_t li,
+                                 uint64_t ts) {
+        obs::DecisionRow row;
+        row.point_id = obs::decisionPointId(
+            {axes[0][idx[0]], axes[1][idx[1]], axes[2][idx[2]],
+             axes[3][idx[3]]});
+        row.wave = journal->nextWave();
+        row.verdict = obs::DecisionVerdict::Skipped;
+        row.predicted_kg = preds[li].e_hat + preds[li].o_hat;
+        row.actual_kg = std::numeric_limits<double>::quiet_NaN();
+        row.margin_kg = inflation * preds[li].m_t;
+        row.ts_us = ts;
+        journal->sink(0).record(row);
+    };
+
     const auto skippable = [&](const PointPrediction &p) {
         const double t_hat = p.e_hat + p.o_hat;
         if (!(t_hat - inflation * p.m_t > best_total))
@@ -529,6 +578,11 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
                       pending.begin() + static_cast<ptrdiff_t>(take));
 
         wave_ids.clear();
+        // One timestamp per triage wave: skip rows are bookkeeping,
+        // not timing samples, so a shared clock read keeps the triage
+        // loop cheap.
+        const uint64_t triage_ts =
+            journal != nullptr ? journal->nowUs() : 0;
         for (const Cell &cell : wave) {
             bool any_needed = false;
             bool any_skipped = false;
@@ -540,6 +594,8 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
                 if (skippable(preds[li])) {
                     decided[li] = 2;
                     skipped_ids.push_back(li);
+                    if (journal != nullptr)
+                        journalSkip(idx, li, triage_ts);
                     any_skipped = true;
                 } else {
                     decided[li] = 1;
@@ -555,7 +611,10 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
         std::sort(wave_ids.begin(), wave_ids.end());
 
         emitter.growTotal(wave_ids.size());
-        evaluateIndices(wave_ids);
+        evaluateIndices(
+            wave_ids,
+            annotationsFor(wave_ids,
+                           obs::DecisionVerdict::Interpolated));
         for (const size_t li : wave_ids)
             best_total =
                 std::min(best_total, evals[li].totalKg().value());
@@ -596,7 +655,10 @@ AdaptiveSweeper::sweepPass(const DesignSpace &space, Strategy strategy,
                 break;
             std::sort(revived.begin(), revived.end());
             emitter.growTotal(revived.size());
-            evaluateIndices(revived);
+            evaluateIndices(
+                revived,
+                annotationsFor(revived,
+                               obs::DecisionVerdict::ReArmed));
             for (const size_t li : revived)
                 best_total = std::min(best_total,
                                       evals[li].totalKg().value());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "battery/clc_battery.h"
@@ -436,6 +437,17 @@ namespace
  */
 constexpr size_t kSweepBatchLanes = 64;
 
+/** Journal point id of @p point (same bytes as the cache key). */
+uint64_t
+journalPointId(const DesignPoint &point)
+{
+    return obs::decisionPointId(
+        {point.solar_mw.value(), point.wind_mw.value(),
+         point.battery_mwh.value(), point.extra_capacity.value()});
+}
+
+constexpr double kJournalNan = std::numeric_limits<double>::quiet_NaN();
+
 /**
  * Per-worker scratch for the design-space sweep: one SoA simulation
  * batch, reused across every wave the worker evaluates so the hot
@@ -491,17 +503,36 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
     static auto &c_hits = obs::counter("sweep.cache_hits");
 
     SweepResultCache *cache = explorer_.sweep_cache_;
+    obs::DecisionJournal *journal = explorer_.journal_;
+    obs::RunStatus *status = explorer_.run_status_;
+    if (journal != nullptr)
+        journal->ensureSinks(workspaces_->per_worker.size());
 
     // Serial cache pass on the coordinating thread; the cache needs
-    // no locking because workers never touch it.
+    // no locking because workers never touch it. Cache replays are
+    // journaled here (worker 0, no wave of their own): the cached
+    // total is the "actual", there was never a prediction.
     std::vector<size_t> misses;
     misses.reserve(count);
     {
         CARBONX_PROFILE("sweep/cache_lookup");
+        const uint64_t ts =
+            journal != nullptr ? journal->nowUs() : 0;
         for (size_t i = 0; i < count; ++i) {
             if (cache != nullptr &&
                 cache->find(points[i], strategy_, &out[i])) {
                 ++cache_hits_;
+                if (journal != nullptr) {
+                    obs::DecisionRow row;
+                    row.point_id = journalPointId(points[i]);
+                    row.wave = journal->nextWave();
+                    row.verdict = obs::DecisionVerdict::CacheHit;
+                    row.predicted_kg = kJournalNan;
+                    row.actual_kg = out[i].totalKg().value();
+                    row.margin_kg = kJournalNan;
+                    row.ts_us = ts;
+                    journal->sink(0).record(row);
+                }
                 if (emitter != nullptr)
                     emitter->add(out[i].totalKg().value());
             } else {
@@ -527,6 +558,13 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
     const BatchedSimulationEngine &engine = workspaces_->engine;
     const size_t waves =
         (misses.size() + kSweepBatchLanes - 1) / kSweepBatchLanes;
+    // Wave ids are claimed from the journal before the parallel
+    // region launches: the journal's counter spans the whole run, so
+    // ids stay unique even though every optimize pass constructs a
+    // fresh evaluator.
+    const uint32_t wave_base = journal != nullptr
+        ? journal->claimWaves(static_cast<uint32_t>(waves))
+        : 0;
     parallelFor(0, waves, 1, [&](size_t wave, size_t worker) {
         CARBONX_PROFILE("sweep/run_group");
         SweepWorkspace &ws = workspaces[worker];
@@ -542,13 +580,41 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
                     ex.laneConfig(points[misses[i]], strategy_));
         }
         engine.run(ws.batch);
+        // One timestamp per wave keeps journaling off the per-point
+        // path; rows go into this worker's private sink, so no other
+        // worker ever touches the same buffer.
+        const uint64_t wave_ts =
+            journal != nullptr ? journal->nowUs() : 0;
         for (size_t i = i0; i < i1; ++i) {
             const size_t idx = misses[i];
             out[idx] = ex.evaluationFrom(points[idx], strategy_,
                                          ws.batch.result(i - i0));
+            if (journal != nullptr) {
+                const PointAnnotation *ann = annotations_ != nullptr
+                    ? &annotations_[idx]
+                    : nullptr;
+                obs::DecisionRow row;
+                row.point_id = journalPointId(points[idx]);
+                row.wave =
+                    wave_base + static_cast<uint32_t>(wave);
+                row.worker = static_cast<uint16_t>(worker);
+                row.lane = static_cast<uint16_t>(i - i0);
+                row.verdict = ann != nullptr
+                    ? ann->verdict
+                    : obs::DecisionVerdict::Evaluated;
+                row.predicted_kg =
+                    ann != nullptr ? ann->predicted_kg : kJournalNan;
+                row.actual_kg = out[idx].totalKg().value();
+                row.margin_kg =
+                    ann != nullptr ? ann->margin_kg : kJournalNan;
+                row.ts_us = wave_ts;
+                journal->sink(worker).record(row);
+            }
             if (emitter != nullptr)
                 emitter->add(out[idx].totalKg().value());
         }
+        if (status != nullptr)
+            status->noteWave(worker, i1 - i0);
         // Point latency is sampled once per wave (mean over its
         // lanes) — one clock read and one histogram lock instead of
         // one per design point.
@@ -558,6 +624,9 @@ SweepBatchEvaluator::evaluate(const DesignPoint *points, size_t count,
                        static_cast<double>(i1 - i0));
         c_points.increment(i1 - i0);
     });
+
+    // Annotations cover exactly one evaluate() call.
+    annotations_ = nullptr;
 
     simulated_points_ += misses.size();
     ex.fresh_simulated_points_ += misses.size();
@@ -574,6 +643,8 @@ SweepBatchEvaluator::checkpoint()
     SweepResultCache *cache = explorer_.sweep_cache_;
     if (cache != nullptr)
         cache->flush();
+    if (explorer_.journal_ != nullptr)
+        explorer_.journal_->flush();
     // The abort hook fires only after the flush above, so everything
     // this sweep simulated is already durable when the exception
     // unwinds — the contract the resume tests rely on.
@@ -596,6 +667,8 @@ CarbonExplorer::optimizePass(const DesignSpace &space, Strategy strategy,
     static auto &g_threads = obs::gauge("sweep.threads");
     static auto &g_pps = obs::gauge("sweep.points_per_sec");
     c_passes.increment();
+    if (run_status_ != nullptr)
+        run_status_->setPhase("exhaustive sweep");
 
     const std::vector<double> solars = space.solar_mw.samples();
     const std::vector<double> winds = space.wind_mw.samples();

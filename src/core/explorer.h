@@ -30,8 +30,10 @@
 #include "datacenter/load_model.h"
 #include "grid/grid_synthesizer.h"
 #include "obs/audit.h"
+#include "obs/journal.h"
 #include "obs/progress.h"
 #include "obs/recorder.h"
+#include "obs/status.h"
 #include "scheduler/simulation_batch.h"
 #include "scheduler/simulation_engine.h"
 
@@ -372,6 +374,32 @@ class CarbonExplorer
     SweepResultCache *sweepCache() const { return sweep_cache_; }
 
     /**
+     * Attach a decision journal (borrowed; may be null to detach).
+     * Every sweep then records one row per design-point decision —
+     * evaluated / interpolated / skipped / cache_hit / re_armed —
+     * through the batched evaluator and the adaptive driver, flushed
+     * block-wise at each checkpoint. Emission is instance-based and
+     * re-entrant: two explorers with two journals never share state.
+     */
+    void setJournal(obs::DecisionJournal *journal)
+    {
+        journal_ = journal;
+    }
+
+    /** The attached decision journal, or null. */
+    obs::DecisionJournal *journal() const { return journal_; }
+
+    /**
+     * Attach a live run-status sink (borrowed; may be null). Sweep
+     * workers publish per-wave progress into it; the CLI renders it
+     * as the --status-out page and the SIGUSR1 dump.
+     */
+    void setRunStatus(obs::RunStatus *status) { run_status_ = status; }
+
+    /** The attached run-status sink, or null. */
+    obs::RunStatus *runStatus() const { return run_status_; }
+
+    /**
      * Testing/CI hook: abort any sweep (throwing SweepAborted) once
      * @p n points have been freshly simulated across passes, right
      * after the cache checkpoint that persists them. 0 disables.
@@ -448,6 +476,8 @@ class CarbonExplorer
     obs::ProgressCallback progress_;
     size_t progress_updates_ = 100;
     SweepResultCache *sweep_cache_ = nullptr;
+    obs::DecisionJournal *journal_ = nullptr;
+    obs::RunStatus *run_status_ = nullptr;
     size_t abort_after_points_ = 0;
     /**
      * Fresh (cache-missed) simulations since setAbortAfterPoints,
@@ -508,6 +538,29 @@ class SweepBatchEvaluator
     /** Cache hits so far (0 when no cache is attached). */
     size_t cacheHits() const { return cache_hits_; }
 
+    /**
+     * Journal annotation of one point in the next evaluate() call:
+     * the verdict its rows carry and the prediction/margin that was
+     * in force when the driver decided to simulate it. Points with
+     * no annotation journal as Evaluated with NaN prediction.
+     */
+    struct PointAnnotation
+    {
+        obs::DecisionVerdict verdict = obs::DecisionVerdict::Evaluated;
+        double predicted_kg = 0.0;
+        double margin_kg = 0.0;
+    };
+
+    /**
+     * Annotate the next evaluate() call: @p annotations is parallel
+     * to its points array (borrowed, may be null). Consumed by that
+     * call — subsequent calls revert to plain Evaluated rows.
+     */
+    void setPointAnnotations(const PointAnnotation *annotations)
+    {
+        annotations_ = annotations;
+    }
+
   private:
     struct Workspaces;
 
@@ -518,6 +571,7 @@ class SweepBatchEvaluator
     std::unique_ptr<Workspaces> workspaces_;
     size_t simulated_points_ = 0;
     size_t cache_hits_ = 0;
+    const PointAnnotation *annotations_ = nullptr;
 };
 
 } // namespace carbonx

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <set>
 #include <ostream>
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fnv.h"
 #include "common/hot_counters.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "obs/provenance.h"
 
@@ -22,20 +25,6 @@ namespace
 constexpr double kLogLoUs = 0.0;
 constexpr double kLogHiUs = 7.0;
 constexpr size_t kLogBins = 28;
-
-/** Escape a string for embedding in a JSON double-quoted literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
 
 /** Render a double as JSON (finite; shortest round-trippable-ish). */
 std::string
@@ -76,6 +65,33 @@ prometheusName(const std::string &name)
                         (c >= 'A' && c <= 'Z') ||
                         (c >= '0' && c <= '9') || c == '_';
         out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+/**
+ * prometheusName() is lossy — "sweep.points" and "sweep_points" both
+ * map to carbonx_sweep_points — so two distinct registry names can
+ * silently merge into one scrape series. Resolve the full dump's
+ * names at once: any sanitized name claimed by more than one raw
+ * name gets a deterministic 8-hex-digit FNV suffix of its raw name,
+ * so colliding series stay distinct and stable across runs.
+ */
+std::map<std::string, std::string>
+disambiguatedPromNames(const std::vector<std::string> &raw_names)
+{
+    std::map<std::string, std::set<std::string>> by_prom;
+    for (const std::string &raw : raw_names)
+        by_prom[prometheusName(raw)].insert(raw);
+    std::map<std::string, std::string> out;
+    for (const auto &[prom, raws] : by_prom) {
+        for (const std::string &raw : raws) {
+            if (raws.size() == 1)
+                out[raw] = prom;
+            else
+                out[raw] = prom + "_" +
+                           fnvHex(fnv1a64String(raw)).substr(0, 8);
+        }
     }
     return out;
 }
@@ -240,21 +256,21 @@ MetricsRegistry::writeJson(std::ostream &os) const
     os << "  \"counters\": {";
     bool first = true;
     for (const auto &[name, v] : mergedCounterValues(counters_)) {
-        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+        os << (first ? "" : ",") << "\n    \"" << jsonEscapeString(name)
            << "\": " << v;
         first = false;
     }
     os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
     first = true;
     for (const auto &[name, g] : gauges_) {
-        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+        os << (first ? "" : ",") << "\n    \"" << jsonEscapeString(name)
            << "\": " << jsonNumber(g.value());
         first = false;
     }
     os << (first ? "" : "\n  ") << "},\n  \"latencies\": {";
     first = true;
     for (const auto &[name, h] : latencies_) {
-        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+        os << (first ? "" : ",") << "\n    \"" << jsonEscapeString(name)
            << "\": {\"count\": " << h.count()
            << ", \"total_us\": " << jsonNumber(h.totalUs())
            << ", \"min_us\": " << jsonNumber(h.minUs())
@@ -308,20 +324,31 @@ MetricsRegistry::dumpPrometheus(std::ostream &os) const
     if (hasProcessProvenance())
         processProvenance().writeCommentHeader(os, "# ");
     const std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &[name, v] : mergedCounterValues(counters_)) {
-        const std::string prom = prometheusName(name) + "_total";
+    const std::map<std::string, uint64_t> counters =
+        mergedCounterValues(counters_);
+    std::vector<std::string> raw_names;
+    for (const auto &[name, v] : counters)
+        raw_names.push_back(name);
+    for (const auto &[name, g] : gauges_)
+        raw_names.push_back(name);
+    for (const auto &[name, h] : latencies_)
+        raw_names.push_back(name);
+    const std::map<std::string, std::string> prom_names =
+        disambiguatedPromNames(raw_names);
+    for (const auto &[name, v] : counters) {
+        const std::string prom = prom_names.at(name) + "_total";
         os << "# HELP " << prom << " carbonx counter " << name << '\n'
            << "# TYPE " << prom << " counter\n"
            << prom << ' ' << v << '\n';
     }
     for (const auto &[name, g] : gauges_) {
-        const std::string prom = prometheusName(name);
+        const std::string prom = prom_names.at(name);
         os << "# HELP " << prom << " carbonx gauge " << name << '\n'
            << "# TYPE " << prom << " gauge\n"
            << prom << ' ' << jsonNumber(g.value()) << '\n';
     }
     for (const auto &[name, h] : latencies_) {
-        const std::string prom = prometheusName(name);
+        const std::string prom = prom_names.at(name);
         os << "# HELP " << prom << " carbonx latency " << name
            << " (microseconds)\n"
            << "# TYPE " << prom << " histogram\n";

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/table.h"
 
 namespace carbonx::obs
@@ -140,19 +141,6 @@ writeTextRows(TextTable &table, const ProfileNode &node, size_t depth)
         writeTextRows(table, c, depth + 1);
 }
 
-std::string
-jsonEscapeName(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 } // namespace
 
 const ProfileNode *
@@ -269,7 +257,7 @@ void
 writeProfileJson(std::ostream &os, const ProfileNode &node,
                  const std::string &indent)
 {
-    os << "{\"name\": \"" << jsonEscapeName(node.name)
+    os << "{\"name\": \"" << jsonEscapeString(node.name)
        << "\", \"count\": " << node.count
        << ", \"total_ns\": " << node.total_ns
        << ", \"self_ns\": " << node.self_ns

@@ -5,44 +5,13 @@
 #include <sstream>
 
 #include "common/fnv.h"
+#include "common/json.h"
 
 namespace carbonx::obs
 {
 
 namespace
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 Provenance &
 processProvenanceStorage()
@@ -97,22 +66,22 @@ Provenance::writeJson(std::ostream &os, const std::string &indent) const
 {
     const std::string pad = indent + "  ";
     os << "{\n";
-    os << pad << "\"tool\": \"" << jsonEscape(tool) << "\",\n";
-    os << pad << "\"invocation\": \"" << jsonEscape(invocation)
+    os << pad << "\"tool\": \"" << jsonEscapeString(tool) << "\",\n";
+    os << pad << "\"invocation\": \"" << jsonEscapeString(invocation)
        << "\",\n";
-    os << pad << "\"config_hash\": \"" << jsonEscape(config_hash)
+    os << pad << "\"config_hash\": \"" << jsonEscapeString(config_hash)
        << "\",\n";
-    os << pad << "\"region\": \"" << jsonEscape(region) << "\",\n";
+    os << pad << "\"region\": \"" << jsonEscapeString(region) << "\",\n";
     os << pad << "\"year\": " << year << ",\n";
     os << pad << "\"seed\": " << seed << ",\n";
     os << pad << "\"threads\": " << threads << ",\n";
-    os << pad << "\"build\": \"" << jsonEscape(build) << "\",\n";
-    os << pad << "\"wall_time_utc\": \"" << jsonEscape(wall_time_utc)
+    os << pad << "\"build\": \"" << jsonEscapeString(build) << "\",\n";
+    os << pad << "\"wall_time_utc\": \"" << jsonEscapeString(wall_time_utc)
        << "\"";
     for (const auto &[key, value] : extra)
         os << ",\n"
-           << pad << "\"" << jsonEscape(key) << "\": \""
-           << jsonEscape(value) << "\"";
+           << pad << "\"" << jsonEscapeString(key) << "\": \""
+           << jsonEscapeString(value) << "\"";
     os << "\n" << indent << "}";
 }
 

@@ -1,0 +1,154 @@
+#include "status.h"
+
+#include <algorithm>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace carbonx::obs
+{
+
+void
+RunStatus::updateProgress(int pass, uint64_t done, uint64_t total,
+                          double best_total_kg, double elapsed_seconds,
+                          double eta_seconds)
+{
+    pass_.store(pass, std::memory_order_relaxed);
+    done_.store(done, std::memory_order_relaxed);
+    total_.store(total, std::memory_order_relaxed);
+    best_kg_.store(best_total_kg, std::memory_order_relaxed);
+    elapsed_s_.store(elapsed_seconds, std::memory_order_relaxed);
+    eta_s_.store(eta_seconds, std::memory_order_relaxed);
+}
+
+void
+RunStatus::noteWave(size_t worker, uint64_t points)
+{
+    Slot &slot = workers_[std::min(worker, kMaxWorkers - 1)];
+    slot.waves.fetch_add(1, std::memory_order_relaxed);
+    slot.points.fetch_add(points, std::memory_order_relaxed);
+    waves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+RunStatus::Snapshot
+RunStatus::snapshot() const
+{
+    Snapshot snap;
+    snap.phase = phase_.load(std::memory_order_relaxed);
+    snap.pass = pass_.load(std::memory_order_relaxed);
+    snap.points_done = done_.load(std::memory_order_relaxed);
+    snap.points_total = total_.load(std::memory_order_relaxed);
+    snap.best_total_kg = best_kg_.load(std::memory_order_relaxed);
+    snap.elapsed_seconds = elapsed_s_.load(std::memory_order_relaxed);
+    snap.eta_seconds = eta_s_.load(std::memory_order_relaxed);
+    snap.points_per_sec = snap.elapsed_seconds > 0.0
+        ? static_cast<double>(snap.points_done) / snap.elapsed_seconds
+        : 0.0;
+    snap.waves_done = waves_.load(std::memory_order_relaxed);
+    for (size_t w = 0; w < kMaxWorkers; ++w) {
+        const uint64_t waves =
+            workers_[w].waves.load(std::memory_order_relaxed);
+        const uint64_t points =
+            workers_[w].points.load(std::memory_order_relaxed);
+        if (waves == 0 && points == 0)
+            continue;
+        snap.workers.emplace_back(w, WorkerState{waves, points});
+    }
+    return snap;
+}
+
+void
+RunStatus::writeText(std::ostream &os) const
+{
+    const Snapshot snap = snapshot();
+    os << "carbonx run status\n"
+       << "  phase:        " << snap.phase << "\n"
+       << "  pass:         " << snap.pass << "\n"
+       << "  points:       " << snap.points_done << " / "
+       << snap.points_total << "\n"
+       << "  best total:   " << formatFixed(snap.best_total_kg, 1)
+       << " kg\n"
+       << "  elapsed:      " << formatFixed(snap.elapsed_seconds, 1)
+       << " s\n"
+       << "  eta:          "
+       << (snap.eta_seconds >= 0.0
+               ? formatFixed(snap.eta_seconds, 1) + " s"
+               : std::string("unknown"))
+       << "\n"
+       << "  points/s:     " << formatFixed(snap.points_per_sec, 1)
+       << "\n"
+       << "  waves:        " << snap.waves_done << "\n";
+    if (!snap.workers.empty()) {
+        os << "  workers:\n";
+        for (const auto &[id, state] : snap.workers) {
+            os << "    worker " << id << ": " << state.waves
+               << " waves, " << state.points << " points\n";
+        }
+    }
+}
+
+bool
+RunStatus::writeFile(const std::string &path) const
+{
+    std::ostringstream page;
+    writeText(page);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::trunc);
+        if (!os.is_open()) {
+            warn("cannot write status file " + tmp);
+            return false;
+        }
+        os << page.str();
+        os.flush();
+        if (!os.good()) {
+            warn("status file write failed: " + tmp);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        warn("cannot rename status file " + tmp + " -> " + path +
+             " (" + ec.message() + ")");
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+volatile std::sig_atomic_t g_status_requested = 0;
+
+extern "C" void
+statusSignalHandler(int)
+{
+    g_status_requested = 1;
+}
+
+} // namespace
+
+void
+installStatusSignalHandler()
+{
+#ifdef SIGUSR1
+    std::signal(SIGUSR1, statusSignalHandler);
+#endif
+}
+
+bool
+consumeStatusSignal()
+{
+    if (g_status_requested == 0)
+        return false;
+    g_status_requested = 0;
+    return true;
+}
+
+} // namespace carbonx::obs

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Live run status for long sweeps: a lock-free, atomically updated
+ * snapshot of what the process is doing right now, rendered either
+ * as a periodically rewritten single-page status file (--status-out,
+ * written tmp-then-rename so readers never see a torn page) or on
+ * demand to stderr when the process receives SIGUSR1.
+ *
+ * Writers are the sweep internals: the explorer/adaptive driver sets
+ * the phase, the CLI progress callback publishes pass/points/ETA,
+ * and each batched-evaluator worker bumps its own per-worker slot
+ * after every wave. Every field is an atomic with relaxed ordering —
+ * the page is an operator's situational-awareness tool, not a
+ * synchronization point, so a snapshot may mix values from adjacent
+ * waves; it is never torn within one field.
+ *
+ * The SIGUSR1 path is split in two because almost nothing is
+ * async-signal-safe: the handler only sets a flag, and the
+ * coordinating thread polls consumeStatusSignal() at its progress
+ * milestones and does the actual formatting and I/O.
+ */
+
+#ifndef CARBONX_OBS_STATUS_H
+#define CARBONX_OBS_STATUS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace carbonx::obs
+{
+
+class RunStatus
+{
+  public:
+    /**
+     * Fixed worker-slot count: indexable without allocation from any
+     * worker. Workers beyond the array fold into the last slot
+     * (never expected — the thread pool is far smaller).
+     */
+    static constexpr size_t kMaxWorkers = 64;
+
+    struct WorkerState
+    {
+        uint64_t waves = 0;  ///< Evaluation waves this worker ran.
+        uint64_t points = 0; ///< Design points it simulated.
+    };
+
+    /** One coherent-enough copy of every published field. */
+    struct Snapshot
+    {
+        const char *phase = "idle";
+        int pass = 0;
+        uint64_t points_done = 0;
+        uint64_t points_total = 0;
+        double best_total_kg = 0.0;
+        double elapsed_seconds = 0.0;
+        double eta_seconds = -1.0;
+        double points_per_sec = 0.0;
+        uint64_t waves_done = 0;
+        /** Slots that saw work, in worker-id order (id = index). */
+        std::vector<std::pair<size_t, WorkerState>> workers;
+    };
+
+    /** @p phase must have static storage duration (string literal). */
+    void setPhase(const char *phase)
+    {
+        phase_.store(phase, std::memory_order_relaxed);
+    }
+
+    /** Publish one progress milestone (CLI progress callback). */
+    void updateProgress(int pass, uint64_t done, uint64_t total,
+                        double best_total_kg, double elapsed_seconds,
+                        double eta_seconds);
+
+    /** Worker @p worker finished one wave of @p points points. */
+    void noteWave(size_t worker, uint64_t points);
+
+    Snapshot snapshot() const;
+
+    /** Render the single status page (text). */
+    void writeText(std::ostream &os) const;
+
+    /**
+     * Rewrite the status file at @p path atomically: the page is
+     * written to path + ".tmp" and renamed over @p path, so a
+     * concurrent reader sees either the old page or the new one.
+     * Failures warn and return false (status must never kill a run).
+     */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint64_t> waves{0};
+        std::atomic<uint64_t> points{0};
+    };
+
+    std::atomic<const char *> phase_{"idle"};
+    std::atomic<int> pass_{0};
+    std::atomic<uint64_t> done_{0};
+    std::atomic<uint64_t> total_{0};
+    std::atomic<double> best_kg_{0.0};
+    std::atomic<double> elapsed_s_{0.0};
+    std::atomic<double> eta_s_{-1.0};
+    std::atomic<uint64_t> waves_{0};
+    std::array<Slot, kMaxWorkers> workers_{};
+};
+
+/**
+ * Install the SIGUSR1 handler (idempotent; no-op on platforms
+ * without SIGUSR1). The handler only sets an internal flag.
+ */
+void installStatusSignalHandler();
+
+/**
+ * True when SIGUSR1 arrived since the last call; clears the flag.
+ * Poll from the coordinating thread (e.g. each progress milestone)
+ * and render the status page when it fires.
+ */
+bool consumeStatusSignal();
+
+} // namespace carbonx::obs
+
+#endif // CARBONX_OBS_STATUS_H

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "obs/provenance.h"
 
 namespace carbonx::obs
@@ -29,20 +30,6 @@ threadId()
     thread_local uint32_t id =
         next.fetch_add(1, std::memory_order_relaxed);
     return id;
-}
-
-/** Escape a span name for a JSON string literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
 }
 
 } // namespace
@@ -131,7 +118,7 @@ SpanTracer::writeChromeTrace(std::ostream &os) const
     bool first = true;
     for (const Event &e : events_) {
         os << (first ? "" : ",") << "\n  {\"name\": \""
-           << jsonEscape(e.name)
+           << jsonEscapeString(e.name)
            << "\", \"cat\": \"carbonx\", \"ph\": \"X\", \"ts\": "
            << e.ts_us << ", \"dur\": " << e.dur_us
            << ", \"pid\": 1, \"tid\": " << e.tid << "}";
@@ -143,7 +130,7 @@ SpanTracer::writeChromeTrace(std::ostream &os) const
     for (const auto &[name, values] : counters_) {
         for (size_t h = 0; h < values.size(); ++h) {
             os << (first ? "" : ",") << "\n  {\"name\": \""
-               << jsonEscape(name)
+               << jsonEscapeString(name)
                << "\", \"cat\": \"carbonx\", \"ph\": \"C\", \"ts\": "
                << h << ", \"pid\": 2, \"tid\": 0, \"args\": {\"value\": "
                << values[h] << "}}";

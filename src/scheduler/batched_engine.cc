@@ -44,10 +44,15 @@ BatchedSimulationEngine::run(SimulationBatch &batch) const
     static auto &g_charged = obs::gauge("battery.charged_mwh_total");
     static auto &g_discharged =
         obs::gauge("battery.discharged_mwh_total");
+    // Fill factor of this batch relative to its reserved capacity:
+    // the sweep's journal/status tooling reads this alongside wave
+    // counts to tell "few full waves" from "many ragged ones".
+    static auto &g_fill = obs::gauge("sim.batch_fill_lanes");
 
     const size_t m = batch.size_;
     if (m == 0)
         return;
+    g_fill.set(static_cast<double>(m));
     const size_t n = dc_power_.size();
 
     // Engine-side lane validation (the batch validated everything it

@@ -173,6 +173,28 @@ TEST_F(BenchCompareFixtures, DoctoredReportFailsWithExitFour)
     EXPECT_NE(run.output.find("FAILED"), std::string::npos);
 }
 
+TEST_F(BenchCompareFixtures, ExitFourStillFlushesTelemetryFiles)
+{
+    REQUIRE_CLI();
+    const std::string base =
+        fixture("bench_fix_base_flush.json", 1000.0, 1029);
+    const std::string cand =
+        fixture("bench_fix_cand_flush.json", 500.0, 1029);
+    const std::string metrics_path = "bench_fix_flush_metrics.json";
+    const CliRun run = runCli("bench --compare " + base + " --input " +
+                              cand + " --threshold 25 --metrics-out " +
+                              metrics_path);
+    EXPECT_EQ(run.exit_code, 4) << run.output;
+
+    // The gate breach must not cost the telemetry: the metrics file
+    // is complete and parseable, not half-written or missing.
+    const carbonx::JsonValue metrics =
+        carbonx::JsonValue::parseFile(metrics_path);
+    EXPECT_TRUE(metrics.find("provenance") != nullptr);
+    EXPECT_TRUE(metrics.find("counters") != nullptr);
+    std::remove(metrics_path.c_str());
+}
+
 TEST_F(BenchCompareFixtures, ImprovementPassesTheGate)
 {
     REQUIRE_CLI();

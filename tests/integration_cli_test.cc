@@ -371,6 +371,119 @@ TEST(Cli, CheckpointAbortStillWritesMetricsAndTrace)
     std::remove(trace_path.c_str());
 }
 
+TEST(Cli, OptimizeJournalReconcilesWithMetricsViaInspect)
+{
+    REQUIRE_CLI();
+    const std::string journal_path = "cli_journal.cxj";
+    const std::string status_path = "cli_journal_status.txt";
+    const std::string metrics_path = "cli_journal_metrics.json";
+    const CliRunSplit run = runCliSplit(
+        "optimize --ba PACE --dc 19 --strategy ren --journal-out " +
+        journal_path + " --status-out " + status_path +
+        " --metrics-out " + metrics_path);
+    EXPECT_EQ(run.exit_code, 0) << run.err;
+
+    // The status page reached its terminal phase.
+    const std::string status = readFile(status_path);
+    EXPECT_NE(status.find("done"), std::string::npos);
+
+    // The journal's decision counts reconcile exactly with the
+    // metrics the sweep reported about itself.
+    const CliRun inspect =
+        runCli("inspect " + journal_path + " --format json");
+    ASSERT_EQ(inspect.exit_code, 0) << inspect.output;
+    const carbonx::JsonValue report =
+        carbonx::JsonValue::parse(inspect.output);
+    const carbonx::JsonValue metrics =
+        carbonx::JsonValue::parseFile(metrics_path);
+    const double evaluated = report.at("decisions", "report")
+                                 .at("evaluated", "decisions")
+                                 .asNumber();
+    EXPECT_EQ(evaluated, metrics.at("counters", "metrics")
+                             .at("explorer.points_evaluated",
+                                 "counters")
+                             .asNumber());
+    EXPECT_EQ(report.at("rows", "report").asNumber(), evaluated)
+        << "exhaustive sweep journals only evaluated rows";
+
+    // The text rendering names its sections.
+    const CliRun text = runCli("inspect " + journal_path);
+    EXPECT_EQ(text.exit_code, 0);
+    EXPECT_NE(text.output.find("Decision breakdown"),
+              std::string::npos);
+    EXPECT_NE(text.output.find("Wave timeline"), std::string::npos);
+    EXPECT_NE(text.output.find("Per-worker utilization"),
+              std::string::npos);
+
+    std::remove(journal_path.c_str());
+    std::remove(status_path.c_str());
+    std::remove(metrics_path.c_str());
+}
+
+TEST(Cli, InspectIsByteStableAcrossInvocations)
+{
+    REQUIRE_CLI();
+    const std::string journal_path = "cli_journal_stable.cxj";
+    const CliRun make = runCli(
+        "optimize --ba PACE --dc 19 --strategy ren --journal-out " +
+        journal_path);
+    ASSERT_EQ(make.exit_code, 0);
+
+    for (const std::string format : {"text", "json", "csv"}) {
+        const CliRun first =
+            runCli("inspect " + journal_path + " --format " + format);
+        const CliRun second =
+            runCli("inspect " + journal_path + " --format " + format);
+        EXPECT_EQ(first.exit_code, 0) << format;
+        EXPECT_EQ(first.output, second.output)
+            << format << " rendering must be byte-stable";
+    }
+    std::remove(journal_path.c_str());
+}
+
+TEST(Cli, CheckpointAbortStillFlushesTheJournal)
+{
+    REQUIRE_CLI();
+    const std::string journal_path = "cli_abort_journal.cxj";
+    const CliRun run = runCli(
+        "optimize --ba PACE --dc 19 --strategy combined "
+        "--abort-after-points 50 --journal-out " +
+        journal_path);
+    EXPECT_EQ(run.exit_code, 3);
+
+    // Every decision made before the abort is on disk and readable.
+    const CliRun inspect =
+        runCli("inspect " + journal_path + " --format json");
+    ASSERT_EQ(inspect.exit_code, 0) << inspect.output;
+    const carbonx::JsonValue report =
+        carbonx::JsonValue::parse(inspect.output);
+    EXPECT_GE(report.at("rows", "report").asNumber(), 50.0);
+    std::remove(journal_path.c_str());
+}
+
+TEST(Cli, InspectMissingOrCorruptJournalFailsGracefully)
+{
+    REQUIRE_CLI();
+    const CliRun missing = runCli("inspect no_such_journal.cxj");
+    EXPECT_EQ(missing.exit_code, 1);
+    EXPECT_NE(missing.output.find("carbonx:"), std::string::npos);
+
+    const std::string garbage_path = "cli_garbage.cxj";
+    {
+        std::ofstream out(garbage_path, std::ios::binary);
+        out << "this is not a journal file at all";
+    }
+    const CliRun corrupt = runCli("inspect " + garbage_path);
+    EXPECT_EQ(corrupt.exit_code, 1);
+    EXPECT_NE(corrupt.output.find("carbonx:"), std::string::npos);
+    std::remove(garbage_path.c_str());
+
+    const CliRun noarg = runCli("inspect");
+    EXPECT_EQ(noarg.exit_code, 1);
+    EXPECT_NE(noarg.output.find("usage: carbonx inspect"),
+              std::string::npos);
+}
+
 TEST(Cli, BadLogLevelFailsGracefully)
 {
     REQUIRE_CLI();

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fnv.h"
 #include "common/hot_counters.h"
 #include "obs/metrics.h"
 
@@ -270,6 +271,48 @@ TEST(Metrics, PrometheusHistogramBucketsAreCumulative)
     }
     EXPECT_GE(buckets, 3u); // Two non-empty bins plus +Inf.
     EXPECT_EQ(last, 3u);
+}
+
+TEST(Metrics, PrometheusCollidingNamesGetDistinctStableSeries)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    // Both raw names sanitize to carbonx_test_collide_x; without
+    // disambiguation the second would silently merge into the first's
+    // scrape series.
+    registry.counter("test.collide.x").increment(3);
+    registry.counter("test.collide_x").increment(9);
+    // A lone name whose sanitized form nobody else claims must keep
+    // the plain spelling, suffix-free.
+    registry.counter("test.collide.alone").increment(1);
+
+    std::ostringstream os;
+    registry.dumpPrometheus(os);
+    const std::string prom = os.str();
+
+    // Each colliding raw name appears under a deterministic suffixed
+    // series carrying its own value.
+    const std::string dot_series =
+        "carbonx_test_collide_x_" +
+        fnvHex(fnv1a64String("test.collide.x")).substr(0, 8) +
+        "_total";
+    const std::string under_series =
+        "carbonx_test_collide_x_" +
+        fnvHex(fnv1a64String("test.collide_x")).substr(0, 8) +
+        "_total";
+    ASSERT_NE(dot_series, under_series);
+    EXPECT_NE(prom.find(dot_series + " 3"), std::string::npos);
+    EXPECT_NE(prom.find(under_series + " 9"), std::string::npos);
+    // The bare merged name must not be exported as a sample.
+    EXPECT_EQ(prom.find("\ncarbonx_test_collide_x_total "),
+              std::string::npos);
+    EXPECT_NE(prom.find("carbonx_test_collide_alone_total 1"),
+              std::string::npos);
+
+    // Determinism across dumps: same suffixes every time.
+    std::ostringstream again;
+    registry.dumpPrometheus(again);
+    EXPECT_EQ(prom, again.str());
 }
 
 TEST(Metrics, WriteFileDispatchesPromExtension)

@@ -222,6 +222,44 @@ TEST_F(Trace, ThreadsGetDistinctSpanStacks)
     EXPECT_EQ(tracer.eventCount(), 2u * kThreads);
 }
 
+TEST_F(Trace, HostileSpanAndCounterNamesStayValidJson)
+{
+    auto &tracer = SpanTracer::instance();
+    tracer.setEnabled(true);
+    // Every class of character the JSON escaper must handle: quotes,
+    // backslashes, control characters, and a DEL-adjacent byte.
+    const std::string hostile =
+        "test/\"quote\\back\\\\slash\nnewline\ttab\x01" "ctl";
+    {
+        ScopedSpan span(hostile.c_str(), true);
+    }
+    tracer.addCounterTrack(hostile + "/counter", {1.0, 2.0, 3.0});
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    const std::string json = os.str();
+
+    // No raw control characters may survive into the output.
+    for (const char c : json)
+        EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20 ||
+                    c == '\n')
+            << "raw control byte 0x" << std::hex
+            << static_cast<int>(static_cast<unsigned char>(c));
+    // The escaper's canonical forms are all present.
+    EXPECT_NE(json.find("\\\"quote"), std::string::npos);
+    EXPECT_NE(json.find("\\\\back"), std::string::npos);
+    EXPECT_NE(json.find("\\nnewline"), std::string::npos);
+    EXPECT_NE(json.find("\\ttab"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001ctl"), std::string::npos);
+    // Structure survives: balanced braces/brackets, both events
+    // parseable, counter samples intact.
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+    EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+}
+
 TEST_F(Trace, ClearDropsRecordedEvents)
 {
     auto &tracer = SpanTracer::instance();

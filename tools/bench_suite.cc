@@ -71,19 +71,6 @@ jsonNumber(double v)
     return os.str();
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
 /**
  * The suite's scenarios over one canonical workload (PACE, 19 MW,
  * year 2020, seed 2020 — the same configuration the micro benchmarks
@@ -291,7 +278,7 @@ writeReport(const std::string &path, const std::string &tag, int reps,
     require(out.good(), "cannot open bench report file: " + path);
     out << "{\n  \"schema_version\": " << kBenchSchemaVersion
         << ",\n  \"suite\": \"" << (reps == 1 ? "smoke" : "full")
-        << "\",\n  \"tag\": \"" << jsonEscape(tag) << "\",\n";
+        << "\",\n  \"tag\": \"" << jsonEscapeString(tag) << "\",\n";
     if (obs::hasProcessProvenance()) {
         out << "  \"provenance\": ";
         obs::processProvenance().writeJson(out, "  ");
@@ -305,7 +292,7 @@ writeReport(const std::string &path, const std::string &tag, int reps,
                 ? static_cast<double>(s.outcome.work_points) / s.wall_s
                 : 0.0;
         out << (first ? "" : ",") << "\n    {\n      \"name\": \""
-            << jsonEscape(s.name) << "\",\n      \"reps\": " << s.reps
+            << jsonEscapeString(s.name) << "\",\n      \"reps\": " << s.reps
             << ",\n      \"wall_s\": " << jsonNumber(s.wall_s)
             << ",\n      \"work_points\": " << s.outcome.work_points
             << ",\n      \"points_per_sec\": " << jsonNumber(pps);
@@ -317,7 +304,7 @@ writeReport(const std::string &path, const std::string &tag, int reps,
         bool first_counter = true;
         for (const auto &[name, value] : s.counters) {
             out << (first_counter ? "" : ",") << "\n        \""
-                << jsonEscape(name) << "\": " << value;
+                << jsonEscapeString(name) << "\": " << value;
             first_counter = false;
         }
         out << (first_counter ? "" : "\n      ")

@@ -24,6 +24,10 @@
  *                                  Macro perf scenarios under the
  *                                  phase profiler; BENCH_<tag>.json
  *                                  reports and a regression gate.
+ *   inspect   <journal> [--format text|json|csv]
+ *                                  Render a sweep decision journal
+ *                                  (optimize --journal-out) into
+ *                                  decision/wave/worker reports.
  *
  * Common flags: --seed N, --year Y, --log-level L,
  * --metrics-out PATH, --trace-out PATH.
@@ -32,12 +36,14 @@
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "arg_parser.h"
 #include "bench_suite.h"
+#include "inspect_suite.h"
 #include "carbon/operational.h"
 #include "common/fnv.h"
 #include "common/logging.h"
@@ -49,8 +55,10 @@
 #include "datacenter/site.h"
 #include "fleet/fleet.h"
 #include "grid/balancing_authority.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "scheduler/greedy_scheduler.h"
 
@@ -264,18 +272,29 @@ makeSweepCache(const ArgParser &args, const CarbonExplorer &explorer,
 }
 
 int
-cmdOptimize(const ArgParser &args)
+cmdOptimize(const ArgParser &args, obs::RunStatus &status)
 {
     const ExplorerConfig config = configFrom(args);
     CarbonExplorer explorer(config);
     explorer.setAbortAfterPoints(
         static_cast<size_t>(args.getUint64("abort-after-points", 0)));
-    if (args.getBool("progress")) {
-        // ~10 stderr lines per pass plus the final one (throttling is
-        // done by the sweep's emitter), so stdout stays a clean
-        // parseable table.
-        explorer.setProgressCallback(
-            [](const obs::SweepProgress &p) {
+
+    // Live run status: the sweep publishes phase/wave state into
+    // `status` (owned by main so the SweepAborted handler can still
+    // render it), the progress callback republishes the page, and
+    // SIGUSR1 dumps it to stderr on demand. The progress callback is
+    // always installed — it doubles as the SIGUSR1 poll point — but
+    // stderr progress lines stay opt-in.
+    explorer.setRunStatus(&status);
+    obs::installStatusSignalHandler();
+    const bool progress = args.getBool("progress");
+    const std::string status_path = args.getString("status-out", "");
+    explorer.setProgressCallback(
+        [&status, status_path, progress](const obs::SweepProgress &p) {
+            if (progress) {
+                // ~10 stderr lines per pass plus the final one
+                // (throttling is done by the sweep's emitter), so
+                // stdout stays a clean parseable table.
                 std::cerr << "progress: pass " << p.pass << ' '
                           << p.points_done << '/' << p.points_total
                           << " points, best "
@@ -284,9 +303,24 @@ cmdOptimize(const ArgParser &args)
                           << formatFixed(std::max(p.eta_seconds, 0.0),
                                          1)
                           << "s\n";
-            },
-            10);
-    }
+            }
+            status.updateProgress(p.pass, p.points_done,
+                                  p.points_total, p.best_total_kg,
+                                  p.elapsed_seconds, p.eta_seconds);
+            if (!status_path.empty())
+                status.writeFile(status_path);
+            if (obs::consumeStatusSignal())
+                status.writeText(std::cerr);
+        },
+        10);
+
+    // Decision journal: one per run, covering every strategy swept.
+    // The header digest folds each strategy's config digest so a
+    // journal can be matched to its caches; checkpoint() keeps it
+    // durable through aborts, and the destructor is the last-resort
+    // flush on error paths.
+    std::unique_ptr<obs::DecisionJournal> journal;
+    const std::string journal_path = args.getString("journal-out", "");
     const double reach = args.getDouble("reach", 10.0);
     const DesignSpace space = DesignSpace::forDatacenter(
         config.avg_dc_power_mw.value(), reach, 7, 7, 3);
@@ -302,12 +336,39 @@ cmdOptimize(const ArgParser &args)
         strategies = {parseStrategy(which)};
     }
 
+    if (!journal_path.empty()) {
+        uint64_t digest = kFnvOffsetBasis;
+        for (Strategy s : strategies) {
+            const uint64_t d = explorer.configDigest(s);
+            digest = fnv1a64Bytes(&d, sizeof(d), digest);
+        }
+        std::ostringstream prov;
+        obs::processProvenance().writeJson(prov, "");
+        journal = std::make_unique<obs::DecisionJournal>(
+            journal_path, digest, prov.str());
+        explorer.setJournal(journal.get());
+    }
+
     const bool adaptive = args.getBool("refine");
     std::vector<Evaluation> bests;
     for (Strategy s : strategies) {
         const std::unique_ptr<SweepResultCache> cache =
             makeSweepCache(args, explorer, s);
         explorer.setSweepCache(cache.get());
+        if (journal != nullptr && cache != nullptr &&
+            !cache->rebuildReason().empty()) {
+            // The cache dropped corrupt or mismatched on-disk state
+            // while loading; journal it so `inspect` can explain a
+            // cold-looking run that was supposed to be warm.
+            obs::DecisionRow row;
+            row.verdict = obs::DecisionVerdict::CacheCorrupt;
+            row.predicted_kg =
+                std::numeric_limits<double>::quiet_NaN();
+            row.actual_kg = row.predicted_kg;
+            row.margin_kg = row.predicted_kg;
+            row.ts_us = journal->nowUs();
+            journal->sink(0).record(row);
+        }
         if (adaptive) {
             const AdaptiveSweepResult adaptive_result =
                 AdaptiveSweeper(explorer).sweepRefined(space, s);
@@ -322,6 +383,17 @@ cmdOptimize(const ArgParser &args)
             bests.push_back(explorer.optimizeRefined(space, s).best);
         }
         explorer.setSweepCache(nullptr);
+    }
+    if (journal != nullptr) {
+        journal->flush();
+        explorer.setJournal(nullptr);
+        inform("decision journal: " +
+               std::to_string(journal->flushedRows()) + " rows in " +
+               journal->path());
+    }
+    if (!status_path.empty()) {
+        status.setPhase("done");
+        status.writeFile(status_path);
     }
     printEvaluationTable(std::cout,
                          "Carbon-optimal designs (" + config.ba_code +
@@ -545,6 +617,12 @@ usage()
         "(continue an interrupted --cache-dir sweep)\n"
         "           [--abort-after-points N]  checkpoint then abort "
         "after N fresh simulations (exit 3; CI hook)\n"
+        "           [--journal-out PATH]   per-decision sweep journal "
+        "(render with `carbonx inspect`)\n"
+        "           [--status-out PATH]    live status page, "
+        "atomically rewritten at each progress milestone\n"
+        "                                  (SIGUSR1 dumps the same "
+        "page to stderr on demand)\n"
         "  battery  --ba PACE --dc 19 --solar 100 --wind 50 "
         "[--target 99.99]\n"
         "  schedule --ba PACE --dc 19 [--flex 0.4] [--cap-mult 1.3]\n"
@@ -563,7 +641,12 @@ usage()
         "           [--compare BASE [--threshold PCT]]  regression "
         "gate vs a baseline report (exit 4 on breach)\n"
         "           [--compare BASE --input CAND]  compare two "
-        "existing reports, run nothing\n\n"
+        "existing reports, run nothing\n"
+        "  inspect  <journal> [--format text|json|csv]\n"
+        "           decision breakdown, wave timeline, cache "
+        "efficacy and per-worker utilization of a\n"
+        "           --journal-out file; --trace-out adds per-wave "
+        "counter tracks to the span trace\n\n"
         "common flags: --seed N --year Y\n"
         "              --threads N          sweep worker threads "
         "(0 = auto; CARBONX_THREADS env also honored)\n"
@@ -587,6 +670,9 @@ main(int argc, char **argv)
     }
     const std::string &command = args.positionals().front();
     int rc = 2;
+    // Outlives the explorer inside cmdOptimize: sweep workers publish
+    // into it, and it stays valid while exceptions unwind.
+    carbonx::obs::RunStatus run_status;
     try {
         ObsSession obs_session(args, argc, argv);
         try {
@@ -597,7 +683,7 @@ main(int argc, char **argv)
             else if (command == "coverage")
                 rc = cmdCoverage(args);
             else if (command == "optimize")
-                rc = cmdOptimize(args);
+                rc = cmdOptimize(args, run_status);
             else if (command == "battery")
                 rc = cmdBattery(args);
             else if (command == "schedule")
@@ -608,6 +694,8 @@ main(int argc, char **argv)
                 rc = cmdExplain(args);
             else if (command == "bench")
                 rc = tools::cmdBench(args);
+            else if (command == "inspect")
+                rc = tools::cmdInspect(args);
             else {
                 std::cerr << "unknown command: " << command << "\n\n";
                 usage();

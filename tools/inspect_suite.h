@@ -1,0 +1,49 @@
+/**
+ * @file
+ * `carbonx inspect` — render a sweep decision journal into a human-
+ * and machine-readable report.
+ *
+ * The journal (written by `optimize --journal-out`) holds one row per
+ * design-point decision. Inspect aggregates it into:
+ *
+ *   - the decision breakdown (rows per verdict, percentages),
+ *   - the wave timeline (rows, verdict mix, workers and timestamp
+ *     span per evaluation wave),
+ *   - cache efficacy (replayed vs simulated points, corrupt events),
+ *   - the margin-inflation history (skip margins and revivals per
+ *     wave),
+ *   - per-worker utilization (simulated rows per worker).
+ *
+ * Every figure is derived purely from the journal bytes, so the
+ * report is byte-stable across invocations — the property the golden
+ * round-trip test pins down. With --trace-out the per-wave verdict
+ * counts are also attached as Chrome counter tracks and merged into
+ * the span trace the observability session writes.
+ */
+
+#ifndef CARBONX_TOOLS_INSPECT_SUITE_H
+#define CARBONX_TOOLS_INSPECT_SUITE_H
+
+#include "arg_parser.h"
+
+namespace carbonx::tools
+{
+
+/**
+ * Entry point for the `inspect` subcommand. Usage:
+ *   carbonx inspect <journal> [--format text|json|csv]
+ *
+ * --format text  sectioned report (default)
+ * --format json  one stable JSON object with every section
+ * --format csv   the wave timeline as a flat CSV table
+ *
+ * @return 0 on success (a clean-prefix recovery from a truncated
+ *         journal still reports, with the truncation called out).
+ * @throws carbonx::Error when the journal is missing or its header
+ *         is corrupt (no row can be trusted).
+ */
+int cmdInspect(const ArgParser &args);
+
+} // namespace carbonx::tools
+
+#endif // CARBONX_TOOLS_INSPECT_SUITE_H

@@ -77,4 +77,9 @@
 #include "core/robustness.h"
 #include "core/sensitivity.h"
 
+// Declarative scenarios.
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
 #endif // CARBONX_CARBONX_H

@@ -151,7 +151,8 @@ CarbonExplorer::configDigest(Strategy strategy) const
         buf += s;
     };
 
-    str("carbonx-sweep-config-v1");
+    // v2: grid-charging policy/threshold joined the evaluation inputs.
+    str("carbonx-sweep-config-v2");
     str(config_.ba_code);
     raw(static_cast<int64_t>(config_.year));
     raw(config_.seed);
@@ -179,6 +180,8 @@ CarbonExplorer::configDigest(Strategy strategy) const
     raw(config_.renewable_embodied.wind_lifetime_years);
     raw(config_.renewable_embodied.solar_lifetime_years);
     raw(static_cast<int32_t>(config_.attribution));
+    raw(static_cast<int32_t>(config_.grid_charge_policy));
+    raw(config_.grid_charge_threshold_gkwh.value());
 
     raw(config_.server_spec.tdp_watts);
     raw(config_.server_spec.idle_fraction);
@@ -232,6 +235,11 @@ CarbonExplorer::simulationConfig(const DesignPoint &point,
         : Fraction(0.0);
     sim.slo_window_hours = config_.slo_window_hours;
     sim.battery = strategyUsesBattery(strategy) ? battery : nullptr;
+    if (sim.battery != nullptr) {
+        sim.grid_charge_policy = config_.grid_charge_policy;
+        sim.grid_charge_threshold_gkwh =
+            config_.grid_charge_threshold_gkwh;
+    }
     // Always hand the engine the intensity series: unused unless a
     // recorder or a grid-charging policy is attached, and having it
     // here means explain() recordings get the carbon column filled
@@ -263,6 +271,9 @@ CarbonExplorer::laneConfig(const DesignPoint &point,
         point.battery_mwh.value() > 0.0) {
         lane.battery_capacity_mwh = point.battery_mwh;
         lane.chemistry = &config_.chemistry;
+        lane.grid_charge_policy = config_.grid_charge_policy;
+        lane.grid_charge_threshold_gkwh =
+            config_.grid_charge_threshold_gkwh;
     }
     return lane;
 }

@@ -123,6 +123,18 @@ struct ExplorerConfig
     /** Server SKU for extra demand-response capacity. */
     ServerSpec server_spec{};
 
+    /**
+     * Battery grid-charging policy. Never reproduces the paper;
+     * BelowIntensityThreshold lets the battery charge from the grid
+     * whenever the hourly intensity is at or below the threshold —
+     * the grid-charging ablation, now a first-class design knob so
+     * the scenario registry can sweep it.
+     */
+    GridChargePolicy grid_charge_policy = GridChargePolicy::Never;
+
+    /** Intensity threshold for BelowIntensityThreshold. */
+    GramsPerKwh grid_charge_threshold_gkwh{0.0};
+
     /** Extra knobs of the demand model (avg power is overridden). */
     LoadModelParams load_params{};
 };

@@ -1,0 +1,201 @@
+#include "registry.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace carbonx::scenario
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** One parsed-but-unresolved scenario file. */
+struct RawDoc
+{
+    std::string file;
+    JsonValue doc;
+    std::string id;
+    std::string extends;
+};
+
+/** Classic Levenshtein; scenario ids are short, quadratic is fine. */
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<size_t> row(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        size_t diag = row[0];
+        row[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            const size_t up = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                               diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+} // namespace
+
+ScenarioRegistry
+ScenarioRegistry::loadDirectory(const std::string &dir)
+{
+    ScenarioRegistry reg;
+
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return reg;
+
+    std::vector<std::string> paths;
+    for (const fs::directory_entry &entry :
+         fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file() &&
+            entry.path().extension() == ".json")
+            paths.push_back(entry.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    // Phase 1: parse every file and index by id. A JSON syntax error
+    // surfaces as a UserError naming the file, not the raw parser
+    // offset message alone.
+    std::map<std::string, RawDoc> by_id;
+    for (const std::string &path : paths) {
+        RawDoc raw;
+        raw.file = path;
+        try {
+            raw.doc = JsonValue::parseFile(path);
+        } catch (const Error &e) {
+            throw UserError("scenario " + path +
+                            ": not valid JSON: " + e.what());
+        }
+        // Meta-only overlay onto a scratch scenario extracts (and
+        // type-checks) the identity fields; full resolution below
+        // re-applies the document in chain order.
+        Scenario scratch;
+        applyScenarioJson(scratch, raw.doc, path, /*meta=*/true);
+        raw.id = scratch.id;
+        raw.extends = scratch.extends;
+        if (raw.id.empty())
+            throw UserError("scenario " + path +
+                            ": field 'id': required");
+        const auto [it, inserted] = by_id.emplace(raw.id, raw);
+        if (!inserted)
+            throw UserError("scenario " + path + ": field 'id': '" +
+                            raw.id + "' already defined by " +
+                            it->second.file);
+        (void)it;
+    }
+
+    // Phase 2: resolve each extends chain root-first.
+    for (const auto &[id, raw] : by_id) {
+        // Walk child -> root, collecting the chain and detecting
+        // cycles before any overlay is applied.
+        std::vector<const RawDoc *> chain = {&raw};
+        std::vector<std::string> seen = {id};
+        const RawDoc *cur = &raw;
+        while (!cur->extends.empty()) {
+            const std::string &parent = cur->extends;
+            const auto parent_it = by_id.find(parent);
+            if (parent_it == by_id.end())
+                throw UserError("scenario " + cur->file +
+                                ": field 'extends': unknown parent "
+                                "scenario '" +
+                                parent + "'");
+            if (std::find(seen.begin(), seen.end(), parent) !=
+                seen.end()) {
+                std::string cycle;
+                for (const std::string &link : seen)
+                    cycle += link + " -> ";
+                throw UserError("scenario " + cur->file +
+                                ": field 'extends': cycle " + cycle +
+                                parent);
+            }
+            seen.push_back(parent);
+            cur = &parent_it->second;
+            chain.push_back(cur);
+        }
+
+        Scenario s;
+        for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+            const bool is_leaf = (*it == &raw);
+            applyScenarioJson(s, (*it)->doc, (*it)->file, is_leaf);
+        }
+        s.source_path = raw.file;
+        validateScenario(s);
+        reg.scenarios_.push_back(std::move(s));
+    }
+
+    // std::map iteration already sorted scenarios_ by id.
+    return reg;
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &id) const
+{
+    for (const Scenario &s : scenarios_)
+        if (s.id == id)
+            return &s;
+    return nullptr;
+}
+
+const Scenario &
+ScenarioRegistry::get(const std::string &id) const
+{
+    if (const Scenario *s = find(id))
+        return *s;
+    std::string msg = "unknown scenario '" + id + "'";
+    const std::vector<std::string> close = nearMisses(id);
+    if (!close.empty()) {
+        msg += "; did you mean: ";
+        for (size_t i = 0; i < close.size(); ++i)
+            msg += (i ? ", " : "") + close[i];
+        msg += "?";
+    }
+    throw UserError(msg);
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::runnable(const std::string &tag) const
+{
+    std::vector<const Scenario *> out;
+    for (const Scenario &s : scenarios_) {
+        if (s.abstract_base)
+            continue;
+        if (!tag.empty() && !s.hasTag(tag))
+            continue;
+        out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<std::string>
+ScenarioRegistry::nearMisses(const std::string &id, size_t max) const
+{
+    std::vector<std::pair<size_t, std::string>> ranked;
+    for (const Scenario &s : scenarios_) {
+        const size_t d = editDistance(id, s.id);
+        // Beyond half the id's length a suggestion is noise.
+        if (d <= std::max<size_t>(2, s.id.size() / 2))
+            ranked.emplace_back(d, s.id);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<std::string> out;
+    for (const auto &[d, sid] : ranked) {
+        (void)d;
+        if (out.size() >= max)
+            break;
+        out.push_back(sid);
+    }
+    return out;
+}
+
+} // namespace carbonx::scenario

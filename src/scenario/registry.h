@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ScenarioRegistry: load every scenarios/ JSON file into validated
+ * Scenario structs, resolving extends-inheritance for ablations.
+ *
+ * Inheritance model: a scenario may name a parent via "extends". The
+ * resolved scenario starts from built-in defaults, then overlays each
+ * document on the chain root-first, the scenario's own file last —
+ * a struct-overlay, not a JSON merge, so a child only has to state
+ * what differs from its family base. Identity fields (id, extends,
+ * abstract) are never inherited. Chains are acyclic by construction:
+ * a cycle is a UserError naming the full chain.
+ */
+
+#ifndef CARBONX_SCENARIO_REGISTRY_H
+#define CARBONX_SCENARIO_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace carbonx::scenario
+{
+
+class ScenarioRegistry
+{
+  public:
+    /**
+     * Load every *.json under @p dir (recursively, sorted by path so
+     * registry order is deterministic). A missing or empty directory
+     * yields an empty registry — the "no scenarios installed" case is
+     * the caller's to report (the CLI maps it to its own exit code).
+     * @throws UserError on any unparseable, invalid, duplicate-id, or
+     * cyclic scenario, naming the file and field.
+     */
+    static ScenarioRegistry loadDirectory(const std::string &dir);
+
+    /** All resolved scenarios, sorted by id (abstract bases too). */
+    const std::vector<Scenario> &all() const { return scenarios_; }
+
+    bool empty() const { return scenarios_.empty(); }
+
+    /** Lookup by id; nullptr when absent. */
+    const Scenario *find(const std::string &id) const;
+
+    /**
+     * Lookup that must succeed. @throws UserError naming @p id and
+     * the closest committed ids (see nearMisses) — the one-line
+     * "did you mean" the CLI prints before exiting.
+     */
+    const Scenario &get(const std::string &id) const;
+
+    /**
+     * Runnable scenarios: abstract bases excluded, optionally
+     * filtered to those carrying @p tag ("" = no filter).
+     */
+    std::vector<const Scenario *>
+    runnable(const std::string &tag = "") const;
+
+    /**
+     * Up to @p max registered ids closest to @p id by edit distance,
+     * nearest first; ids further than half their length away are not
+     * suggestions and are dropped.
+     */
+    std::vector<std::string> nearMisses(const std::string &id,
+                                        size_t max = 3) const;
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+} // namespace carbonx::scenario
+
+#endif // CARBONX_SCENARIO_REGISTRY_H

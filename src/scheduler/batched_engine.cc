@@ -350,8 +350,11 @@ BatchedSimulationEngine::run(SimulationBatch &batch) const
                 ? b_discharged[l] / b_usable[l]
                 : 0.0;
             r.grid_charge_mwh = MegaWattHours(acc_grid_charge[l]);
+            // Same clamp as the scalar engine: grid-charging losses
+            // can push grid draw past demand; coverage floors at 0.
             r.coverage_pct = acc_load[l] > 0.0
-                ? (1.0 - acc_grid[l] / acc_load[l]) * 100.0
+                ? std::max(0.0,
+                           (1.0 - acc_grid[l] / acc_load[l]) * 100.0)
                 : 100.0;
             r.operational_kg = KilogramsCo2(acc_carbon[l]);
         }

@@ -348,8 +348,15 @@ SimulationEngine::runImpl(const SimulationConfig &config,
     result.peak_power_mw = MegaWatts(result.served_power.max());
     result.battery_cycles =
         battery != nullptr ? battery->fullEquivalentCycles() : 0.0;
+    // Clamped at zero: with grid charging enabled, battery round-trip
+    // losses can push total grid draw past total demand, and a
+    // negative "renewable coverage" is meaningless. Without grid
+    // charging grid draw never exceeds load and the clamp is inert.
     result.coverage_pct = result.load_energy_mwh.value() > 0.0
-        ? (1.0 - result.grid_energy_mwh / result.load_energy_mwh) * 100.0
+        ? std::max(0.0,
+                   (1.0 - result.grid_energy_mwh /
+                              result.load_energy_mwh) *
+                       100.0)
         : 100.0;
 }
 

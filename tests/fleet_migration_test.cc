@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Edge-case and differential coverage of the fleet migration
+ * scheduler: the degenerate migration fractions (0% must reproduce
+ * the no-migration baseline bit-for-bit, 100% must still conserve
+ * energy and only ever help), a single-site fleet (nowhere to go),
+ * and the compositional property that a fleet with migration off is
+ * exactly the sum of its sites simulated independently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace carbonx
+{
+namespace
+{
+
+/** A small three-site fleet with contrasting grids. */
+FleetConfig
+triFleet(double migratable_ratio)
+{
+    FleetConfig config;
+    config.year = 2020;
+    config.seed = 2020;
+    config.migratable_ratio = migratable_ratio;
+    config.sites = {
+        {"UT", "PACE", 19.0, 40.0, 10.0, 0.3},
+        {"TX", "ERCO", 25.0, 10.0, 60.0, 0.3},
+        {"OR", "BPAT", 12.0, 0.0, 0.0, 0.3},
+    };
+    return config;
+}
+
+void
+expectSiteRowsBitwiseEqual(const FleetResult &a, const FleetResult &b)
+{
+    ASSERT_EQ(a.sites.size(), b.sites.size());
+    for (size_t i = 0; i < a.sites.size(); ++i) {
+        EXPECT_EQ(a.sites[i].name, b.sites[i].name);
+        EXPECT_EQ(a.sites[i].original_energy_mwh,
+                  b.sites[i].original_energy_mwh);
+        EXPECT_EQ(a.sites[i].served_energy_mwh,
+                  b.sites[i].served_energy_mwh);
+        EXPECT_EQ(a.sites[i].grid_energy_mwh,
+                  b.sites[i].grid_energy_mwh);
+        EXPECT_EQ(a.sites[i].emissions_kg, b.sites[i].emissions_kg);
+    }
+}
+
+TEST(FleetMigration, ZeroMigratableRatioIsTheBaselineBitwise)
+{
+    const FleetSimulator sim(triFleet(0.0));
+    const FleetResult base = sim.runWithoutMigration();
+    const FleetResult moved = sim.runWithMigration();
+
+    // ratio 0 leaves served == load exactly (load * 1.0), so the two
+    // paths must agree bit for bit, not approximately.
+    expectSiteRowsBitwiseEqual(base, moved);
+    EXPECT_EQ(base.total_load_mwh, moved.total_load_mwh);
+    EXPECT_EQ(base.total_grid_mwh, moved.total_grid_mwh);
+    EXPECT_EQ(base.total_emissions_kg, moved.total_emissions_kg);
+    EXPECT_EQ(base.coverage_pct, moved.coverage_pct);
+    EXPECT_EQ(moved.migrated_mwh, 0.0);
+}
+
+TEST(FleetMigration, FullMigrationConservesEnergyAndOnlyHelps)
+{
+    const FleetSimulator sim(triFleet(1.0));
+    const FleetResult base = sim.runWithoutMigration();
+    const FleetResult moved = sim.runWithMigration();
+
+    // Energy conservation: every pooled MWh is placed somewhere.
+    double served = 0.0;
+    for (const FleetSiteResult &row : moved.sites)
+        served += row.served_energy_mwh;
+    EXPECT_NEAR(served, moved.total_load_mwh,
+                1e-9 * moved.total_load_mwh);
+
+    // With the whole fleet's load free to move, the greedy scheduler
+    // must do no worse than leaving everything home, and on grids
+    // this heterogeneous it must actually move load.
+    EXPECT_GE(moved.coverage_pct, base.coverage_pct - 1e-9);
+    EXPECT_LE(moved.total_emissions_kg,
+              base.total_emissions_kg * (1.0 + 1e-12));
+    EXPECT_GT(moved.migrated_mwh, 0.0);
+
+    // Total demand itself is migration-invariant.
+    EXPECT_EQ(base.total_load_mwh, moved.total_load_mwh);
+}
+
+TEST(FleetMigration, MigrationStrictlyImprovesTheMetaFleet)
+{
+    const FleetSimulator sim(FleetSimulator::metaFleet(0.4));
+    const FleetResult base = sim.runWithoutMigration();
+    const FleetResult moved = sim.runWithMigration();
+
+    // The paper-scale 13-site fleet has enough grid diversity that
+    // spatial scheduling strictly reduces emissions.
+    EXPECT_LT(moved.total_emissions_kg, base.total_emissions_kg);
+    EXPECT_GT(moved.coverage_pct, base.coverage_pct);
+    EXPECT_GT(moved.migrated_mwh, 0.0);
+}
+
+TEST(FleetMigration, SingleSiteFleetHasNowhereToGo)
+{
+    FleetConfig config = triFleet(0.5);
+    config.sites.resize(1);
+    const FleetSimulator sim(config);
+    const FleetResult base = sim.runWithoutMigration();
+    const FleetResult moved = sim.runWithMigration();
+
+    // All pooled load lands back on the only site. Re-placement may
+    // split the hourly sum differently in floating point, so totals
+    // are compared to a tight relative tolerance rather than bitwise.
+    ASSERT_EQ(moved.sites.size(), 1u);
+    EXPECT_NEAR(moved.sites[0].served_energy_mwh,
+                base.sites[0].served_energy_mwh,
+                1e-9 * base.sites[0].served_energy_mwh);
+    EXPECT_NEAR(moved.total_emissions_kg, base.total_emissions_kg,
+                1e-9 * base.total_emissions_kg + 1e-9);
+    EXPECT_NEAR(moved.coverage_pct, base.coverage_pct, 1e-9);
+    // Nothing can exceed the site's own demand by more than rounding.
+    EXPECT_LE(moved.migrated_mwh, 1e-6);
+}
+
+TEST(FleetMigration, FleetWithoutMigrationIsTheSumOfItsSites)
+{
+    const FleetConfig fleet_config = triFleet(0.0);
+    const FleetSimulator fleet(fleet_config);
+    const FleetResult whole = fleet.runWithoutMigration();
+
+    // Simulate each site as its own one-site fleet: the per-site load
+    // substream is derived from (seed, site name), so splitting the
+    // fleet must not change any site's year.
+    double sum_load = 0.0;
+    double sum_grid = 0.0;
+    double sum_emissions = 0.0;
+    ASSERT_EQ(whole.sites.size(), fleet_config.sites.size());
+    for (size_t i = 0; i < fleet_config.sites.size(); ++i) {
+        FleetConfig solo_config = fleet_config;
+        solo_config.sites = {fleet_config.sites[i]};
+        const FleetSimulator solo(solo_config);
+        const FleetResult result = solo.runWithoutMigration();
+        ASSERT_EQ(result.sites.size(), 1u);
+
+        EXPECT_EQ(result.sites[0].original_energy_mwh,
+                  whole.sites[i].original_energy_mwh)
+            << fleet_config.sites[i].name;
+        EXPECT_EQ(result.sites[0].grid_energy_mwh,
+                  whole.sites[i].grid_energy_mwh)
+            << fleet_config.sites[i].name;
+        EXPECT_EQ(result.sites[0].emissions_kg,
+                  whole.sites[i].emissions_kg)
+            << fleet_config.sites[i].name;
+
+        sum_load += result.total_load_mwh;
+        sum_grid += result.total_grid_mwh;
+        sum_emissions += result.total_emissions_kg;
+    }
+
+    // Totals accumulate per-site rows in site order on both paths,
+    // so even the sums agree bitwise.
+    EXPECT_EQ(sum_load, whole.total_load_mwh);
+    EXPECT_EQ(sum_grid, whole.total_grid_mwh);
+    EXPECT_EQ(sum_emissions, whole.total_emissions_kg);
+}
+
+} // namespace
+} // namespace carbonx

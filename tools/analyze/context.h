@@ -136,7 +136,7 @@ layerNames()
     static const std::vector<std::string> layers = {
         "common",    "obs",       "timeseries", "grid",
         "datacenter", "battery",  "carbon",     "forecast",
-        "scheduler", "fleet",     "core"};
+        "scheduler", "fleet",     "core",       "scenario"};
     return layers;
 }
 
@@ -158,7 +158,12 @@ classify(const std::string &path)
                          // (unit-per-column, named in the suffix).
                          detail::contains(path, "src/obs/recorder") ||
                          detail::contains(path, "src/obs/audit") ||
+                         // Scenario files are JSON: every number
+                         // crosses the parse/report boundary as a
+                         // raw double named by its key suffix.
+                         detail::contains(path, "src/scenario/") ||
                          detail::contains(path, "tools/carbonx_cli") ||
+                         detail::contains(path, "tools/run_suite") ||
                          detail::contains(path, "tools/arg_parser");
     kind.conversion_home =
         detail::contains(path, "common/units.h") ||

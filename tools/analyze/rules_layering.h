@@ -24,7 +24,9 @@
  *   carbon     -> common timeseries datacenter battery
  *   scheduler  -> common obs timeseries datacenter battery
  *   fleet      -> common timeseries datacenter grid
- *   core       -> everything
+ *   core       -> everything below it
+ *   scenario   -> everything (it binds declarative configs onto the
+ *                 core explorer, so it sits above core)
  *
  * Same-directory includes ("coverage.h") carry no layer prefix and
  * are always fine. Files outside src/<layer>/ (tools, tests, the
@@ -70,6 +72,10 @@ allowedEdges()
         {"core",
          {"common", "obs", "timeseries", "datacenter", "forecast",
           "grid", "battery", "carbon", "scheduler", "fleet"}},
+        {"scenario",
+         {"common", "obs", "timeseries", "datacenter", "forecast",
+          "grid", "battery", "carbon", "scheduler", "fleet",
+          "core"}},
     };
     return dag;
 }

@@ -28,6 +28,11 @@
  *                                  Render a sweep decision journal
  *                                  (optimize --journal-out) into
  *                                  decision/wave/worker reports.
+ *   run       <scenario-id> | --list | --check
+ *                                  Execute a declarative scenario
+ *                                  from scenarios/ (provenance-
+ *                                  stamped report, expectations
+ *                                  enforced); exit 5 on unknown ids.
  *
  * Common flags: --seed N, --year Y, --log-level L,
  * --metrics-out PATH, --trace-out PATH.
@@ -44,6 +49,7 @@
 #include "arg_parser.h"
 #include "bench_suite.h"
 #include "inspect_suite.h"
+#include "run_suite.h"
 #include "carbon/operational.h"
 #include "common/fnv.h"
 #include "common/logging.h"
@@ -274,6 +280,19 @@ makeSweepCache(const ArgParser &args, const CarbonExplorer &explorer,
 int
 cmdOptimize(const ArgParser &args, obs::RunStatus &status)
 {
+    // Declarative path: --scenario resolves the whole study from the
+    // registry and shares `carbonx run`'s semantics, including exit
+    // code 5 on an unknown id or an empty registry.
+    if (args.has("scenario")) {
+        const scenario::ScenarioRegistry registry =
+            tools::loadScenarioRegistry(args);
+        const scenario::Scenario *s = tools::resolveScenario(
+            registry, args.getString("scenario", ""));
+        if (s == nullptr)
+            return tools::kExitNoScenario;
+        return tools::runResolvedScenario(*s, args);
+    }
+
     const ExplorerConfig config = configFrom(args);
     CarbonExplorer explorer(config);
     explorer.setAbortAfterPoints(
@@ -646,7 +665,19 @@ usage()
         "           decision breakdown, wave timeline, cache "
         "efficacy and per-worker utilization of a\n"
         "           --journal-out file; --trace-out adds per-wave "
-        "counter tracks to the span trace\n\n"
+        "counter tracks to the span trace\n"
+        "  run      <scenario-id> [--refine|--exhaustive] "
+        "[--report-out PATH] [--cache-dir DIR]\n"
+        "           [--journal-out PATH] [--scenario-dir DIR]  "
+        "execute a declarative scenario; the report's\n"
+        "           best point is bit-identical between exhaustive "
+        "and --refine runs\n"
+        "           --list [--tag TAG]     table of runnable "
+        "scenarios\n"
+        "           --check                validate every scenario "
+        "file and exit\n"
+        "           (optimize --scenario ID runs the same path; "
+        "unknown ids exit 5 with a near-miss list)\n\n"
         "common flags: --seed N --year Y\n"
         "              --threads N          sweep worker threads "
         "(0 = auto; CARBONX_THREADS env also honored)\n"
@@ -696,6 +727,8 @@ main(int argc, char **argv)
                 rc = tools::cmdBench(args);
             else if (command == "inspect")
                 rc = tools::cmdInspect(args);
+            else if (command == "run")
+                rc = tools::cmdRun(args);
             else {
                 std::cerr << "unknown command: " << command << "\n\n";
                 usage();
